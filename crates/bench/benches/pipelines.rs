@@ -1,0 +1,81 @@
+//! Criterion benchmarks of pipeline construction, analytical profiling and
+//! cycle simulation — the throughput numbers that bound how fast the
+//! figure binaries can sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsuite_core::config::{CompModel, GnnModel, RunConfig};
+use gsuite_core::pipeline::PipelineRun;
+use gsuite_graph::datasets::Dataset;
+use gsuite_profile::{HwProfiler, Profiler, SimProfiler};
+
+fn small_config(model: GnnModel, comp: CompModel) -> RunConfig {
+    RunConfig {
+        model,
+        comp,
+        dataset: Dataset::Cora,
+        scale: 0.1,
+        layers: 2,
+        hidden: 16,
+        functional_math: false,
+        ..RunConfig::default()
+    }
+}
+
+fn bench_pipeline_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_build");
+    group.sample_size(10);
+    for (model, comp, label) in [
+        (GnnModel::Gcn, CompModel::Mp, "gcn_mp"),
+        (GnnModel::Gcn, CompModel::Spmm, "gcn_spmm"),
+        (GnnModel::Gin, CompModel::Mp, "gin_mp"),
+        (GnnModel::Sage, CompModel::Mp, "sage_mp"),
+    ] {
+        let cfg = small_config(model, comp);
+        let graph = cfg.load_graph();
+        group.bench_function(label, |b| {
+            b.iter(|| PipelineRun::build(&graph, &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_functional_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("functional_inference");
+    group.sample_size(10);
+    let cfg = RunConfig {
+        functional_math: true,
+        ..small_config(GnnModel::Gcn, CompModel::Mp)
+    };
+    let graph = cfg.load_graph();
+    group.bench_function("gcn_mp_cora@0.1", |b| {
+        b.iter(|| PipelineRun::build(&graph, &cfg).unwrap().output.sum())
+    });
+    group.finish();
+}
+
+fn bench_profiling_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiling");
+    group.sample_size(10);
+    let cfg = small_config(GnnModel::Gcn, CompModel::Mp);
+    let graph = cfg.load_graph();
+    let run = PipelineRun::build(&graph, &cfg).unwrap();
+    let hw = HwProfiler::v100();
+    group.bench_function("hw_profiler_gcn_mp", |b| {
+        b.iter(|| {
+            let _ = run.profile(&hw);
+        })
+    });
+    let sim = SimProfiler::scaled(4).max_ctas(Some(64));
+    group.bench_function("cycle_sim_one_kernel", |b| {
+        b.iter(|| sim.profile(run.launches[2].workload.as_ref()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline_build,
+    bench_functional_inference,
+    bench_profiling_backends
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Regenerates **Fig. 3** — end-to-end execution time of PyG, DGL,
+//! gSuite-MP and gSuite-SpMM across the three GNN models and five datasets.
+//!
+//! Expected shape (paper §V-D1): PyG slowest (initialization-dominated),
+//! gSuite variants fastest; times grow strongly on Reddit/LiveJournal.
+
+use gsuite_bench::{ms, profile_pipeline, sweep_config, BenchOpts};
+use gsuite_core::config::{CompModel, FrameworkKind, GnnModel};
+use gsuite_graph::datasets::Dataset;
+use gsuite_profile::TextTable;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    opts.header(
+        "Fig. 3",
+        "end-to-end execution time (ms) per framework, model and dataset",
+    );
+
+    for model in GnnModel::ALL {
+        let mut table = TextTable::new(&[
+            "Dataset", "PyG", "DGL", "gSuite-MP", "gSuite-SpMM",
+        ]);
+        let mut device_table = TextTable::new(&[
+            "Dataset", "PyG", "DGL", "gSuite-MP", "gSuite-SpMM",
+        ]);
+        for dataset in Dataset::ALL {
+            let hw = opts.hw();
+            let cell = |fw: FrameworkKind, comp: CompModel| -> (String, String) {
+                // gSuite has no SAGE-SpMM (paper §V-A).
+                if fw == FrameworkKind::GSuite
+                    && model == GnnModel::Sage
+                    && comp == CompModel::Spmm
+                {
+                    return ("n/a".to_string(), "n/a".to_string());
+                }
+                let cfg = sweep_config(&opts, fw, model, comp, dataset);
+                let p = profile_pipeline(&cfg, &hw);
+                (ms(p.total_time_ms()), ms(p.device_time_ms()))
+            };
+            let pyg = cell(FrameworkKind::PygLike, CompModel::Mp);
+            let dgl = cell(FrameworkKind::DglLike, CompModel::Spmm);
+            let gs_mp = cell(FrameworkKind::GSuite, CompModel::Mp);
+            let gs_sp = cell(FrameworkKind::GSuite, CompModel::Spmm);
+            table.row_owned(vec![
+                dataset.short().to_string(),
+                pyg.0,
+                dgl.0,
+                gs_mp.0,
+                gs_sp.0,
+            ]);
+            device_table.row_owned(vec![
+                dataset.short().to_string(),
+                pyg.1,
+                dgl.1,
+                gs_mp.1,
+                gs_sp.1,
+            ]);
+        }
+        opts.emit(
+            &format!("fig3_{}", model.name().to_lowercase()),
+            &format!("End-to-end execution time (ms) — {model}"),
+            &table,
+        );
+        opts.emit(
+            &format!("fig3_{}_device", model.name().to_lowercase()),
+            &format!("Device-only time (ms) — {model} (kernel growth across datasets)"),
+            &device_table,
+        );
+    }
+    println!("shape check: PyG > DGL > gSuite on every row (init-dominated small datasets);");
+    println!("             all frameworks converge toward kernel time on RD/LJ.");
+}

@@ -1,0 +1,48 @@
+//! Regenerates **Fig. 9** — compute and memory utilization of the
+//! gSuite-MP kernels across models and datasets (cycle simulator).
+//!
+//! Expected shape (paper §V-D6): scatter uses memory best (especially in
+//! GIN/SAGE, where it runs at input width); sgemm's compute *and* memory
+//! utilization scale up with workload size (LiveJournal highest).
+
+use gsuite_bench::{pct, profile_pipeline, sweep_config, BenchOpts};
+use gsuite_core::config::{CompModel, FrameworkKind, GnnModel};
+use gsuite_graph::datasets::Dataset;
+use gsuite_profile::TextTable;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    opts.header(
+        "Fig. 9",
+        "compute/memory utilization (%) of gSuite-MP kernels (cycle simulator)",
+    );
+
+    let kernels = ["sgemm", "indexSelect", "scatter"];
+    for model in GnnModel::ALL {
+        let mut table = TextTable::new(&[
+            "Dataset", "Kernel", "Compute", "Memory",
+        ]);
+        for dataset in Dataset::ALL {
+            let cfg = sweep_config(&opts, FrameworkKind::GSuite, model, CompModel::Mp, dataset);
+            let sim = opts.sim_for(dataset);
+            let profile = profile_pipeline(&cfg, &sim);
+            let merged = profile.merged_by_kernel();
+            for kernel in kernels {
+                let Some(k) = merged.iter().find(|k| k.kernel == kernel) else {
+                    continue;
+                };
+                table.row_owned(vec![
+                    dataset.short().to_string(),
+                    kernel.to_string(),
+                    pct(k.compute_utilization),
+                    pct(k.memory_utilization),
+                ]);
+            }
+        }
+        opts.emit(
+            &format!("fig9_{}", model.name().to_lowercase()),
+            &format!("Compute/memory utilization — gSuite-MP {model}"),
+            &table,
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! The gSuite command-line interface — the paper's "pass a few parameters"
+//! user surface (Fig. 1).
+//!
+//! ```text
+//! gsuite-cli [--config FILE] [--model gcn|gin|sag] [--comp mp|spmm]
+//!            [--dataset cora|citeseer|pubmed|reddit|livejournal]
+//!            [--scale F] [--layers N] [--hidden N]
+//!            [--framework gsuite|pyg|dgl] [--seed N]
+//!            [--backend hw|sim] [--sim-sms N] [--max-ctas N] [--quiet]
+//! ```
+//!
+//! Builds the configured pipeline, runs it functionally, profiles every
+//! kernel launch on the selected backend and prints a characterization
+//! report.
+
+use std::process::ExitCode;
+
+use gsuite_core::config::RunConfig;
+use gsuite_core::pipeline::PipelineRun;
+use gsuite_profile::{HwProfiler, Profiler, SimProfiler, TextTable};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run with --help for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "gsuite-cli: framework-independent GNN inference benchmark\n\
+         \n\
+         pipeline flags (defaults in parentheses):\n\
+           --config FILE          apply a key=value defaults file first\n\
+           --model gcn|gin|sag    GNN model (gcn)\n\
+           --comp mp|spmm         computational model (mp)\n\
+           --dataset NAME         cora|citeseer|pubmed|reddit|livejournal (cora)\n\
+           --scale F              dataset scale in (0,1] (1.0)\n\
+           --layers N             GNN layers (2)\n\
+           --hidden N             hidden width (16)\n\
+           --framework NAME       gsuite|pyg|dgl (gsuite)\n\
+           --seed N               weight seed (42)\n\
+           --functional BOOL      compute real outputs host-side (true)\n\
+         \n\
+         measurement flags:\n\
+           --backend hw|sim       analytical profiler or cycle simulator (hw)\n\
+           --sim-sms N            simulated SM count for --backend sim (8)\n\
+           --max-ctas N           CTA sampling cap for --backend sim (2048)\n\
+           --quiet                print only the summary line"
+    );
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    // Split measurement flags (handled here) from pipeline flags
+    // (handled by RunConfig).
+    let mut backend = "hw".to_string();
+    let mut sim_sms: usize = 8;
+    let mut max_ctas: u64 = 2048;
+    let mut quiet = false;
+    let mut config_file: Option<String> = None;
+    let mut pipeline_args: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let take_value = |i: usize| -> Result<String, String> {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("flag {} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--backend" => {
+                backend = take_value(i)?;
+                i += 2;
+            }
+            "--sim-sms" => {
+                sim_sms = take_value(i)?
+                    .parse()
+                    .map_err(|_| "--sim-sms expects an integer".to_string())?;
+                i += 2;
+            }
+            "--max-ctas" => {
+                max_ctas = take_value(i)?
+                    .parse()
+                    .map_err(|_| "--max-ctas expects an integer".to_string())?;
+                i += 2;
+            }
+            "--config" => {
+                config_file = Some(take_value(i)?);
+                i += 2;
+            }
+            "--quiet" => {
+                quiet = true;
+                i += 1;
+            }
+            _ => {
+                pipeline_args.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+
+    let mut config = RunConfig::default();
+    if let Some(path) = config_file {
+        let content = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read config file {path}: {e}"))?;
+        config.apply_file(&content).map_err(|e| e.to_string())?;
+    }
+    let overrides = RunConfig::from_args(&pipeline_args).map_err(|e| e.to_string())?;
+    // CLI flags win over file defaults: re-apply them on top.
+    if !pipeline_args.is_empty() {
+        config = merge(config, overrides, &pipeline_args);
+    }
+
+    let profiler: Box<dyn Profiler> = match backend.as_str() {
+        "hw" => Box::new(HwProfiler::v100()),
+        "sim" => Box::new(SimProfiler::scaled(sim_sms.clamp(1, 80)).max_ctas(Some(max_ctas))),
+        other => return Err(format!("unknown backend {other:?} (expected hw|sim)")),
+    };
+
+    let graph = config.load_graph();
+    if !quiet {
+        println!("gSuite-rs | {}", config.label());
+        let stats = graph.stats();
+        println!(
+            "graph: {} nodes, {} edges, {} features | layers={} hidden={}\n",
+            stats.nodes, stats.edges, stats.feature_len, config.layers, config.hidden
+        );
+    }
+    let run = PipelineRun::build(&graph, &config).map_err(|e| e.to_string())?;
+    let profile = run.profile(profiler.as_ref());
+
+    if !quiet {
+        let mut table = TextTable::new(&[
+            "#", "kernel", "time (ms)", "instr", "L1 hit", "L2 hit", "comp util", "mem util",
+        ]);
+        for (i, k) in profile.kernels.iter().enumerate() {
+            table.row_owned(vec![
+                (i + 1).to_string(),
+                k.kernel.clone(),
+                format!("{:.4}", k.time_ms),
+                k.instr_mix.total().to_string(),
+                format!("{:.1}%", k.l1.hit_rate() * 100.0),
+                format!("{:.1}%", k.l2.hit_rate() * 100.0),
+                format!("{:.1}%", k.compute_utilization * 100.0),
+                format!("{:.1}%", k.memory_utilization * 100.0),
+            ]);
+        }
+        println!("{}", table.render());
+        println!(
+            "host overhead: {:.2} ms ({} launches)",
+            profile.host_overhead_ms,
+            profile.kernels.len()
+        );
+    }
+    println!(
+        "{} | backend={} | device {:.3} ms | end-to-end {:.3} ms | output checksum {:.6}",
+        config.label(),
+        profiler.backend(),
+        profile.device_time_ms(),
+        profile.total_time_ms(),
+        run.output.sum()
+    );
+    Ok(())
+}
+
+/// Re-applies CLI overrides on top of file defaults. `RunConfig::from_args`
+/// already validated `overrides`; we only need to know which keys the user
+/// actually passed.
+fn merge(mut base: RunConfig, overrides: RunConfig, raw_flags: &[String]) -> RunConfig {
+    let passed = |key: &str| {
+        raw_flags.iter().any(|a| {
+            a == &format!("--{key}") || a.starts_with(&format!("--{key}="))
+        })
+    };
+    if passed("model") {
+        base.model = overrides.model;
+    }
+    if passed("comp") || passed("computational-model") {
+        base.comp = overrides.comp;
+    }
+    if passed("dataset") {
+        base.dataset = overrides.dataset;
+    }
+    if passed("scale") {
+        base.scale = overrides.scale;
+    }
+    if passed("layers") {
+        base.layers = overrides.layers;
+    }
+    if passed("hidden") {
+        base.hidden = overrides.hidden;
+    }
+    if passed("framework") {
+        base.framework = overrides.framework;
+    }
+    if passed("seed") {
+        base.seed = overrides.seed;
+    }
+    if passed("functional") || passed("functional-math") {
+        base.functional_math = overrides.functional_math;
+    }
+    base
+}

@@ -1,0 +1,396 @@
+//! The paper's User Interface / Abstraction Module (Fig. 1): a GNN
+//! pipeline is fully described by a handful of parameters, passed as CLI
+//! flags or read from a `key = value` defaults file.
+
+use gsuite_graph::datasets::Dataset;
+use gsuite_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreError, Result};
+
+/// The GNN models gSuite ships.
+///
+/// GCN, GIN and GraphSAGE are the paper's evaluated trio (§II-C);
+/// GAT and SGC are extension models demonstrating the suite's
+/// plug-and-play extendability claim (§IV) — they are built from the same
+/// Table II core kernels and are *not* part of the paper-reproduction
+/// sweeps ([`GnnModel::ALL`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GnnModel {
+    /// Graph Convolutional Network.
+    Gcn,
+    /// Graph Isomorphism Network.
+    Gin,
+    /// GraphSAGE.
+    Sage,
+    /// Graph Attention Network (single-head; extension model, MP only).
+    Gat,
+    /// Simple Graph Convolution (K-hop propagation then one linear;
+    /// extension model).
+    Sgc,
+}
+
+impl GnnModel {
+    /// The paper's evaluated models, in its order.
+    pub const ALL: [GnnModel; 3] = [GnnModel::Gcn, GnnModel::Gin, GnnModel::Sage];
+
+    /// Every model including the extension models.
+    pub const EXTENDED: [GnnModel; 5] = [
+        GnnModel::Gcn,
+        GnnModel::Gin,
+        GnnModel::Sage,
+        GnnModel::Gat,
+        GnnModel::Sgc,
+    ];
+
+    /// Paper-style short name (`GCN`, `GIN`, `SAG`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            GnnModel::Gcn => "GCN",
+            GnnModel::Gin => "GIN",
+            GnnModel::Sage => "SAG",
+            GnnModel::Gat => "GAT",
+            GnnModel::Sgc => "SGC",
+        }
+    }
+
+    /// Parses a model name (case-insensitive; accepts `sage`/`sag`).
+    pub fn parse(s: &str) -> Option<GnnModel> {
+        match s.to_ascii_lowercase().as_str() {
+            "gcn" => Some(GnnModel::Gcn),
+            "gin" => Some(GnnModel::Gin),
+            "sag" | "sage" | "graphsage" => Some(GnnModel::Sage),
+            "gat" => Some(GnnModel::Gat),
+            "sgc" => Some(GnnModel::Sgc),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for GnnModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The two computational models (paper §II-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompModel {
+    /// Message passing (indexSelect / scatter / sgemm).
+    Mp,
+    /// Sparse matrix multiplication (SpGEMM / SpMM / sgemm).
+    Spmm,
+}
+
+impl CompModel {
+    /// Both computational models.
+    pub const ALL: [CompModel; 2] = [CompModel::Mp, CompModel::Spmm];
+
+    /// Paper-style name (`MP`, `SpMM`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CompModel::Mp => "MP",
+            CompModel::Spmm => "SpMM",
+        }
+    }
+
+    /// Parses a computational-model name.
+    pub fn parse(s: &str) -> Option<CompModel> {
+        match s.to_ascii_lowercase().as_str() {
+            "mp" | "messagepassing" | "message-passing" => Some(CompModel::Mp),
+            "spmm" | "sparse" => Some(CompModel::Spmm),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CompModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which implementation runs the pipeline: gSuite's own kernels or one of
+/// the framework baselines the paper compares against (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrameworkKind {
+    /// gSuite's framework-independent kernels.
+    GSuite,
+    /// The PyTorch-Geometric-like baseline (MP schema, heavy dependency
+    /// chain).
+    PygLike,
+    /// The DGL-like baseline (SpMM schema).
+    DglLike,
+}
+
+impl FrameworkKind {
+    /// All frameworks in the paper's Fig. 3 order (PyG, DGL, gSuite).
+    pub const ALL: [FrameworkKind; 3] = [
+        FrameworkKind::PygLike,
+        FrameworkKind::DglLike,
+        FrameworkKind::GSuite,
+    ];
+
+    /// Display label.
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameworkKind::GSuite => "gSuite",
+            FrameworkKind::PygLike => "PyG",
+            FrameworkKind::DglLike => "DGL",
+        }
+    }
+
+    /// Parses a framework name.
+    pub fn parse(s: &str) -> Option<FrameworkKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "gsuite" | "none" => Some(FrameworkKind::GSuite),
+            "pyg" | "pytorch-geometric" | "pyglike" => Some(FrameworkKind::PygLike),
+            "dgl" | "dgllike" => Some(FrameworkKind::DglLike),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FrameworkKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full description of one benchmark run — the paper's "few parameters".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// GNN model.
+    pub model: GnnModel,
+    /// Computational model.
+    pub comp: CompModel,
+    /// Dataset (Table IV).
+    pub dataset: Dataset,
+    /// Dataset scale in `(0, 1]` (1.0 = full Table IV size).
+    pub scale: f64,
+    /// Number of GNN layers.
+    pub layers: usize,
+    /// Hidden width of every layer.
+    pub hidden: usize,
+    /// Executing framework.
+    pub framework: FrameworkKind,
+    /// RNG seed (weights).
+    pub seed: u64,
+    /// Compute real outputs host-side (disable for huge profile-only runs).
+    pub functional_math: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            model: GnnModel::Gcn,
+            comp: CompModel::Mp,
+            dataset: Dataset::Cora,
+            scale: 1.0,
+            layers: 2,
+            hidden: 16,
+            framework: FrameworkKind::GSuite,
+            seed: 42,
+            functional_math: true,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Loads the configured graph at the configured scale.
+    pub fn load_graph(&self) -> Graph {
+        self.dataset.load_scaled(self.scale)
+    }
+
+    /// A human-readable run label, e.g. `"gSuite-MP GCN on Cora"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}-{} {} on {}",
+            self.framework,
+            self.comp.name(),
+            self.model,
+            self.dataset
+        )
+    }
+
+    /// Applies one `key = value` setting.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownKey`] for unrecognized keys,
+    /// [`CoreError::InvalidConfig`] for unparsable values.
+    pub fn apply(&mut self, key: &str, value: &str) -> Result<()> {
+        let invalid = |expected: &str| CoreError::InvalidConfig {
+            key: key.to_string(),
+            value: value.to_string(),
+            expected: expected.to_string(),
+        };
+        match key {
+            "model" => {
+                self.model = GnnModel::parse(value).ok_or_else(|| invalid("gcn|gin|sag"))?
+            }
+            "comp" | "computational-model" => {
+                self.comp = CompModel::parse(value).ok_or_else(|| invalid("mp|spmm"))?
+            }
+            "dataset" => {
+                self.dataset =
+                    Dataset::parse(value).ok_or_else(|| invalid("cora|citeseer|pubmed|reddit|livejournal"))?
+            }
+            "scale" => {
+                let v: f64 = value.parse().map_err(|_| invalid("float in (0,1]"))?;
+                if !(v > 0.0 && v <= 1.0) {
+                    return Err(invalid("float in (0,1]"));
+                }
+                self.scale = v;
+            }
+            "layers" => {
+                let v: usize = value.parse().map_err(|_| invalid("positive integer"))?;
+                if v == 0 {
+                    return Err(invalid("positive integer"));
+                }
+                self.layers = v;
+            }
+            "hidden" => {
+                let v: usize = value.parse().map_err(|_| invalid("positive integer"))?;
+                if v == 0 {
+                    return Err(invalid("positive integer"));
+                }
+                self.hidden = v;
+            }
+            "framework" => {
+                self.framework =
+                    FrameworkKind::parse(value).ok_or_else(|| invalid("gsuite|pyg|dgl"))?
+            }
+            "seed" => self.seed = value.parse().map_err(|_| invalid("integer"))?,
+            "functional" | "functional-math" => {
+                self.functional_math = value.parse().map_err(|_| invalid("true|false"))?
+            }
+            _ => {
+                return Err(CoreError::UnknownKey {
+                    key: key.to_string(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a defaults file: one `key = value` per line, `#` comments.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RunConfig::apply`], plus
+    /// [`CoreError::InvalidConfig`] for lines without `=`.
+    pub fn apply_file(&mut self, content: &str) -> Result<()> {
+        for (lineno, raw) in content.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(CoreError::InvalidConfig {
+                    key: format!("line {}", lineno + 1),
+                    value: raw.to_string(),
+                    expected: "key = value".to_string(),
+                });
+            };
+            self.apply(key.trim(), value.trim())?;
+        }
+        Ok(())
+    }
+
+    /// Parses CLI-style arguments (`--key value` or `--key=value`) on top
+    /// of the defaults. A leading `--config <path>` pair is handled by the
+    /// CLI binary, not here.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RunConfig::apply`], plus
+    /// [`CoreError::InvalidConfig`] for malformed flags.
+    pub fn from_args<S: AsRef<str>>(args: &[S]) -> Result<RunConfig> {
+        let mut config = RunConfig::default();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = args[i].as_ref();
+            let Some(flag) = arg.strip_prefix("--") else {
+                return Err(CoreError::InvalidConfig {
+                    key: arg.to_string(),
+                    value: String::new(),
+                    expected: "--key value".to_string(),
+                });
+            };
+            if let Some((key, value)) = flag.split_once('=') {
+                config.apply(key, value)?;
+                i += 1;
+            } else {
+                let value = args.get(i + 1).map(|s| s.as_ref()).ok_or_else(|| {
+                    CoreError::InvalidConfig {
+                        key: flag.to_string(),
+                        value: String::new(),
+                        expected: "a value after the flag".to_string(),
+                    }
+                })?;
+                config.apply(flag, value)?;
+                i += 2;
+            }
+        }
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = RunConfig::default();
+        assert_eq!(c.model, GnnModel::Gcn);
+        assert_eq!(c.layers, 2);
+        assert!(c.functional_math);
+    }
+
+    #[test]
+    fn parse_enums() {
+        assert_eq!(GnnModel::parse("SAGE"), Some(GnnModel::Sage));
+        assert_eq!(GnnModel::parse("sag"), Some(GnnModel::Sage));
+        assert_eq!(CompModel::parse("SpMM"), Some(CompModel::Spmm));
+        assert_eq!(FrameworkKind::parse("PyG"), Some(FrameworkKind::PygLike));
+        assert_eq!(GnnModel::parse("transformer"), None);
+    }
+
+    #[test]
+    fn from_args_both_flag_styles() {
+        let c = RunConfig::from_args(&["--model", "gin", "--layers=3", "--dataset", "PB"]).unwrap();
+        assert_eq!(c.model, GnnModel::Gin);
+        assert_eq!(c.layers, 3);
+        assert_eq!(c.dataset, Dataset::PubMed);
+    }
+
+    #[test]
+    fn bad_values_are_rejected() {
+        assert!(RunConfig::from_args(&["--layers", "0"]).is_err());
+        assert!(RunConfig::from_args(&["--scale", "2.0"]).is_err());
+        assert!(RunConfig::from_args(&["--nonsense", "1"]).is_err());
+        assert!(RunConfig::from_args(&["bare"]).is_err());
+        assert!(RunConfig::from_args(&["--model"]).is_err());
+    }
+
+    #[test]
+    fn config_file_round_trip() {
+        let mut c = RunConfig::default();
+        c.apply_file(
+            "# defaults\nmodel = sag\ncomp = mp\nhidden = 32 # wide\n\nscale = 0.5\n",
+        )
+        .unwrap();
+        assert_eq!(c.model, GnnModel::Sage);
+        assert_eq!(c.hidden, 32);
+        assert!((c.scale - 0.5).abs() < 1e-12);
+        assert!(c.apply_file("not a kv line").is_err());
+    }
+
+    #[test]
+    fn label_reads_well() {
+        let c = RunConfig::default();
+        assert_eq!(c.label(), "gSuite-MP GCN on Cora");
+    }
+}

@@ -1,0 +1,98 @@
+use std::error::Error;
+use std::fmt;
+
+use gsuite_graph::GraphError;
+use gsuite_tensor::TensorError;
+
+/// Error type for pipeline construction and configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The requested (model, computational model) pair is not available —
+    /// e.g. GraphSAGE has no SpMM implementation in gSuite (paper §V-A).
+    UnsupportedCombination {
+        /// Model name.
+        model: String,
+        /// Computational model name.
+        comp: String,
+    },
+    /// A configuration value failed to parse.
+    InvalidConfig {
+        /// The configuration key.
+        key: String,
+        /// The rejected value.
+        value: String,
+        /// What was expected.
+        expected: String,
+    },
+    /// An unknown CLI flag or configuration key.
+    UnknownKey {
+        /// The offending key.
+        key: String,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// An underlying graph operation failed.
+    Graph(GraphError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnsupportedCombination { model, comp } => {
+                write!(f, "model {model} has no {comp} implementation")
+            }
+            CoreError::InvalidConfig {
+                key,
+                value,
+                expected,
+            } => write!(f, "invalid value {value:?} for {key}: expected {expected}"),
+            CoreError::UnknownKey { key } => write!(f, "unknown configuration key {key:?}"),
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Tensor(e) => Some(e),
+            CoreError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_combination() {
+        let e = CoreError::UnsupportedCombination {
+            model: "SAG".into(),
+            comp: "SpMM".into(),
+        };
+        assert!(e.to_string().contains("SAG"));
+        assert!(e.to_string().contains("SpMM"));
+    }
+
+    #[test]
+    fn conversions_work() {
+        let te = TensorError::Empty { op: "x" };
+        let ce: CoreError = te.into();
+        assert!(matches!(ce, CoreError::Tensor(_)));
+    }
+}

@@ -1,0 +1,223 @@
+//! Elementwise glue kernels: activations, residual combines and the
+//! mean-divide of scatter-mean. These are the small wrapper launches GNN
+//! frameworks insert between the Table II primitives (reported as "other"
+//! in the paper's kernel-time figures).
+
+use gsuite_gpu::{Grid, Instr, KernelWorkload, TraceBuilder};
+
+use super::{warp_window, CTA_THREADS};
+
+/// The elementwise operation variants pipelines need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EwOp {
+    /// `out = max(a, 0)` — the Θ activation between layers.
+    Relu,
+    /// `out = alpha * a + b` — GIN's `(1 + ε)·h + aggregate` combine and
+    /// GraphSAGE's `W1·h + W2·mean` merge.
+    Axpy,
+    /// `out[v][c] = a[v][c] * s[v]` — per-row scaling (mean-divide,
+    /// degree normalization).
+    RowScale,
+    /// `out = a` — a bare copy (framework wrapper kernels: dtype casts,
+    /// contiguous-layout fixups).
+    Copy,
+}
+
+impl EwOp {
+    /// Lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EwOp::Relu => "relu",
+            EwOp::Axpy => "axpy",
+            EwOp::RowScale => "rowscale",
+            EwOp::Copy => "copy",
+        }
+    }
+}
+
+/// Workload descriptor for one elementwise launch over `elems` elements of
+/// a `[rows, feat]` row-major buffer.
+#[derive(Debug, Clone)]
+pub struct ElementwiseKernel {
+    /// Operation variant.
+    pub op: EwOp,
+    /// Base address of input `a`.
+    pub a_base: u64,
+    /// Base address of input `b` (Axpy only).
+    pub b_base: Option<u64>,
+    /// Base address of the per-row scale vector (RowScale only).
+    pub s_base: Option<u64>,
+    /// Base address of the output.
+    pub out_base: u64,
+    /// Total elements.
+    pub elems: u64,
+    /// Feature width (row length) — used by RowScale's row lookup.
+    pub feat: usize,
+}
+
+impl ElementwiseKernel {
+    /// A ReLU over `elems` elements.
+    pub fn relu(a_base: u64, out_base: u64, elems: u64) -> Self {
+        ElementwiseKernel {
+            op: EwOp::Relu,
+            a_base,
+            b_base: None,
+            s_base: None,
+            out_base,
+            elems,
+            feat: 1,
+        }
+    }
+
+    /// `out = alpha*a + b` over `elems` elements.
+    pub fn axpy(a_base: u64, b_base: u64, out_base: u64, elems: u64) -> Self {
+        ElementwiseKernel {
+            op: EwOp::Axpy,
+            a_base,
+            b_base: Some(b_base),
+            s_base: None,
+            out_base,
+            elems,
+            feat: 1,
+        }
+    }
+
+    /// `out[v][c] = a[v][c] * s[v]` over a `[rows, feat]` buffer.
+    pub fn row_scale(a_base: u64, s_base: u64, out_base: u64, elems: u64, feat: usize) -> Self {
+        ElementwiseKernel {
+            op: EwOp::RowScale,
+            a_base,
+            b_base: None,
+            s_base: Some(s_base),
+            out_base,
+            elems,
+            feat: feat.max(1),
+        }
+    }
+
+    /// A bare copy (framework wrapper).
+    pub fn copy(a_base: u64, out_base: u64, elems: u64) -> Self {
+        ElementwiseKernel {
+            op: EwOp::Copy,
+            a_base,
+            b_base: None,
+            s_base: None,
+            out_base,
+            elems,
+            feat: 1,
+        }
+    }
+}
+
+impl KernelWorkload for ElementwiseKernel {
+    fn name(&self) -> String {
+        format!("elementwise-{}", self.op.label())
+    }
+
+    fn grid(&self) -> Grid {
+        Grid::cover(self.elems, CTA_THREADS as u32)
+    }
+
+    fn trace(&self, cta: u64, warp: u32) -> Vec<Instr> {
+        let Some((t0, active)) = warp_window(cta, warp, self.elems) else {
+            return Vec::new();
+        };
+        let mut tb = TraceBuilder::new(active);
+        tb.int(&[]);
+        let a = tb.load_lanes(self.a_base + t0 * 4, 4);
+        let result = match self.op {
+            EwOp::Relu => tb.fp32(&[a]),
+            EwOp::Copy => a,
+            EwOp::Axpy => {
+                let b = tb.load_lanes(self.b_base.expect("axpy has b") + t0 * 4, 4);
+                let scaled = tb.fp32(&[a]);
+                tb.fp32(&[scaled, b])
+            }
+            EwOp::RowScale => {
+                let f = self.feat as u64;
+                let s_base = self.s_base.expect("rowscale has s");
+                let s_addrs: Vec<u64> = (0..active as u64)
+                    .map(|l| s_base + ((t0 + l) / f) * 4)
+                    .collect();
+                let s = tb.load_gather(&s_addrs, 4, &[]);
+                tb.fp32(&[a, s])
+            }
+        };
+        tb.store_lanes(result, self.out_base + t0 * 4, 4);
+        tb.control();
+        tb.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsuite_gpu::InstrClass;
+
+    #[test]
+    fn relu_is_load_op_store() {
+        let k = ElementwiseKernel::relu(0x100, 0x2000, 64);
+        let t = k.trace(0, 0);
+        let classes: Vec<InstrClass> = t.iter().map(|i| i.class).collect();
+        assert!(classes.contains(&InstrClass::LoadGlobal));
+        assert!(classes.contains(&InstrClass::Fp32));
+        assert!(classes.contains(&InstrClass::StoreGlobal));
+    }
+
+    #[test]
+    fn axpy_loads_both_operands() {
+        let k = ElementwiseKernel::axpy(0x100, 0x200, 0x300, 32);
+        let loads = k
+            .trace(0, 0)
+            .iter()
+            .filter(|i| i.class == InstrClass::LoadGlobal)
+            .count();
+        assert_eq!(loads, 2);
+    }
+
+    #[test]
+    fn row_scale_gathers_per_row() {
+        let k = ElementwiseKernel::row_scale(0x100, 0x9000, 0x300, 64, 8);
+        let t = k.trace(0, 0);
+        let gather = t
+            .iter()
+            .filter(|i| i.class == InstrClass::LoadGlobal)
+            .nth(1)
+            .unwrap();
+        let mut addrs = Vec::new();
+        gather.mem.as_ref().unwrap().lane_addrs(&mut addrs);
+        // 8-wide rows: lanes 0..7 share row 0's scale, lanes 8..15 row 1's.
+        assert_eq!(addrs[0], 0x9000);
+        assert_eq!(addrs[7], 0x9000);
+        assert_eq!(addrs[8], 0x9004);
+    }
+
+    #[test]
+    fn copy_has_no_arithmetic() {
+        let k = ElementwiseKernel::copy(0, 0x1000, 32);
+        let fp = k
+            .trace(0, 0)
+            .iter()
+            .filter(|i| i.class == InstrClass::Fp32)
+            .count();
+        assert_eq!(fp, 0);
+    }
+
+    #[test]
+    fn grid_and_tail() {
+        let k = ElementwiseKernel::relu(0, 0x1000, 130);
+        assert_eq!(k.grid().ctas, 2);
+        let tail = k.trace(1, 0);
+        assert_eq!(tail[0].active, 2, "130 - 128 = 2 tail elements");
+        assert!(k.trace(1, 1).is_empty());
+    }
+
+    #[test]
+    fn names_include_variant() {
+        assert_eq!(
+            ElementwiseKernel::relu(0, 0, 1).name(),
+            "elementwise-relu"
+        );
+        assert_eq!(EwOp::RowScale.label(), "rowscale");
+    }
+}

@@ -1,0 +1,267 @@
+//! The `indexSelect` kernel: gathers node-embedding rows along one endpoint
+//! column of the COO edge index (paper Table II, Fig. 2 left).
+
+use std::sync::Arc;
+
+use gsuite_gpu::{Grid, Instr, KernelWorkload, TraceBuilder};
+
+use super::{warp_window, CTA_THREADS};
+#[cfg(test)]
+use super::CTA_WARPS;
+
+/// GCN's symmetric-normalization folding: each gathered message is scaled
+/// by `rsqrt(deg[src]) * rsqrt(deg[dst])` (Eq. 1 of the paper), which adds
+/// two degree gathers, two SFU rsqrts and two multiplies per element.
+#[derive(Debug, Clone)]
+pub struct GcnEdgeScale {
+    /// Destination endpoint per edge (for `deg[dst]`).
+    pub dst: Arc<Vec<u32>>,
+    /// Base address of the degree vector.
+    pub deg_base: u64,
+}
+
+/// Workload descriptor for one `indexSelect` launch.
+///
+/// Output element `t` (row-major over `[E, f]`) is
+/// `src[index[t / f]][t % f]`: one thread per output element, 128-thread
+/// CTAs. Consecutive lanes share the gathered row whenever `f >= 32`, so
+/// wide features coalesce and narrow features scatter — exactly the
+/// behaviour that drives the paper's locality observations.
+#[derive(Debug, Clone)]
+pub struct IndexSelectKernel {
+    /// Gathered endpoint per edge (usually the source column).
+    pub index: Arc<Vec<u32>>,
+    /// Base address of the endpoint array.
+    pub index_base: u64,
+    /// Base address of the gathered (source) matrix.
+    pub src_base: u64,
+    /// Feature width `f` of the gathered matrix.
+    pub feat: usize,
+    /// Base address of the `[E, f]` output.
+    pub out_base: u64,
+    /// Optional GCN normalization folding.
+    pub scale: Option<GcnEdgeScale>,
+}
+
+/// Elements processed per thread (grid-stride coarsening, as PyG's gather
+/// kernels do); gives each warp four independent gathers in flight.
+pub const IS_COARSEN: u64 = 4;
+
+impl IndexSelectKernel {
+    /// Total output elements (`E * f`).
+    pub fn total_elements(&self) -> u64 {
+        self.index.len() as u64 * self.feat as u64
+    }
+
+    /// The 32-element windows warp `(cta, warp)` covers:
+    /// `(element0, active_lanes)` per group.
+    fn groups(&self, cta: u64, warp: u32) -> Vec<(u64, usize)> {
+        let total = self.total_elements();
+        let threads = total.div_ceil(IS_COARSEN);
+        let Some((thread0, _)) = warp_window(cta, warp, threads) else {
+            return Vec::new();
+        };
+        let e_base = thread0 * IS_COARSEN;
+        (0..IS_COARSEN)
+            .map(|g| e_base + g * 32)
+            .filter(|&start| start < total)
+            .map(|start| (start, ((total - start).min(32)) as usize))
+            .collect()
+    }
+}
+
+impl KernelWorkload for IndexSelectKernel {
+    fn name(&self) -> String {
+        "indexSelect".to_string()
+    }
+
+    fn grid(&self) -> Grid {
+        Grid::cover(
+            self.total_elements().div_ceil(IS_COARSEN),
+            CTA_THREADS as u32,
+        )
+    }
+
+    fn trace(&self, cta: u64, warp: u32) -> Vec<Instr> {
+        let f = self.feat as u64;
+        let groups = self.groups(cta, warp);
+        if groups.is_empty() {
+            return Vec::new();
+        }
+        let mut tb = TraceBuilder::new(groups[0].1);
+        let e_reg = tb.int(&[]);
+        tb.int(&[e_reg]);
+        // Phase 1: endpoint loads for every group (all in flight at once).
+        // Each access carries its SASS-level address arithmetic: an IMAD
+        // for the element index and a 64-bit base+offset add.
+        let mut idx_regs = Vec::with_capacity(groups.len());
+        for &(t0, active) in &groups {
+            tb.set_active(active);
+            let ea = tb.int(&[e_reg]);
+            tb.int(&[ea]);
+            let idx_addrs: Vec<u64> = (0..active as u64)
+                .map(|l| self.index_base + ((t0 + l) / f) * 4)
+                .collect();
+            idx_regs.push(tb.load_gather(&idx_addrs, 4, &[ea]));
+        }
+        // Phase 2: row gathers from the source matrix (row*f IMAD + column
+        // add + 64-bit address formation per access).
+        let mut values = Vec::with_capacity(groups.len());
+        for (&(t0, active), &idx_reg) in groups.iter().zip(&idx_regs) {
+            tb.set_active(active);
+            let ra = tb.int(&[idx_reg]);
+            let rb = tb.int(&[ra]);
+            tb.int(&[rb]);
+            let src_addrs: Vec<u64> = (0..active as u64)
+                .map(|l| {
+                    let t = t0 + l;
+                    let row = self.index[(t / f) as usize] as u64;
+                    self.src_base + (row * f + t % f) * 4
+                })
+                .collect();
+            values.push(tb.load_gather(&src_addrs, 4, &[rb]));
+        }
+        // Optional GCN normalization: degree gathers + rsqrt + scale.
+        if let Some(scale) = &self.scale {
+            for (g, (&(t0, active), &idx_reg)) in groups.iter().zip(&idx_regs).enumerate() {
+                tb.set_active(active);
+                let dsrc_addrs: Vec<u64> = (0..active as u64)
+                    .map(|l| {
+                        let e = (t0 + l) / f;
+                        scale.deg_base + self.index[e as usize] as u64 * 4
+                    })
+                    .collect();
+                let ddst_addrs: Vec<u64> = (0..active as u64)
+                    .map(|l| {
+                        let e = (t0 + l) / f;
+                        scale.deg_base + scale.dst[e as usize] as u64 * 4
+                    })
+                    .collect();
+                let dsrc = tb.load_gather(&dsrc_addrs, 4, &[idx_reg]);
+                let ddst = tb.load_gather(&ddst_addrs, 4, &[idx_reg]);
+                let r1 = tb.sfu(&[dsrc]);
+                let r2 = tb.sfu(&[ddst]);
+                let m1 = tb.fp32(&[values[g], r1]);
+                values[g] = tb.fp32(&[m1, r2]);
+            }
+        }
+        // Phase 3: coalesced stores (output address add per group).
+        for (&(t0, active), &value) in groups.iter().zip(&values) {
+            tb.set_active(active);
+            tb.int(&[]);
+            tb.store_lanes(value, self.out_base + t0 * 4, 4);
+        }
+        tb.control();
+        tb.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsuite_gpu::InstrClass;
+
+    fn kernel(edges: usize, feat: usize) -> IndexSelectKernel {
+        let index: Vec<u32> = (0..edges as u32).map(|e| e % 7).collect();
+        IndexSelectKernel {
+            index: Arc::new(index),
+            index_base: 0x1000,
+            src_base: 0x10_0000,
+            feat,
+            out_base: 0x80_0000,
+            scale: None,
+        }
+    }
+
+    #[test]
+    fn grid_covers_all_elements() {
+        let k = kernel(100, 16);
+        let grid = k.grid();
+        // Each thread handles IS_COARSEN elements.
+        assert!(grid.ctas * CTA_THREADS * IS_COARSEN >= 1600);
+        assert_eq!(grid.ctas, 1600u64.div_ceil(IS_COARSEN).div_ceil(CTA_THREADS));
+        assert_eq!(grid.warps_per_cta, CTA_WARPS);
+    }
+
+    #[test]
+    fn trace_counts_scale_with_elements() {
+        let k = kernel(4, 8); // 32 elements = exactly one warp
+        let t = k.trace(0, 0);
+        assert!(!t.is_empty());
+        assert!(k.trace(0, 1).is_empty(), "second warp has no work");
+        let loads = t
+            .iter()
+            .filter(|i| i.class == InstrClass::LoadGlobal)
+            .count();
+        assert_eq!(loads, 2, "index load + source gather");
+        let stores = t
+            .iter()
+            .filter(|i| i.class == InstrClass::StoreGlobal)
+            .count();
+        assert_eq!(stores, 1);
+    }
+
+    #[test]
+    fn wide_features_coalesce_narrow_features_scatter() {
+        let wide = kernel(32, 64);
+        let narrow = kernel(2048, 1);
+        let sector_count = |k: &IndexSelectKernel| {
+            let t = k.trace(0, 0);
+            t.iter()
+                .filter(|i| i.class == InstrClass::LoadGlobal)
+                .map(|i| i.mem.as_ref().unwrap().sectors().len())
+                .max()
+                .unwrap()
+        };
+        // Wide: whole warp reads one row -> few sectors. Narrow: every lane
+        // reads a different row -> many sectors.
+        assert!(sector_count(&wide) <= 8);
+        assert!(sector_count(&narrow) >= 4);
+    }
+
+    #[test]
+    fn gather_addresses_use_real_indices() {
+        let k = IndexSelectKernel {
+            index: Arc::new(vec![5, 0]),
+            index_base: 0,
+            src_base: 1000,
+            feat: 32,
+            out_base: 0x8000,
+            scale: None,
+        };
+        // Warp 0's first group covers edge 0 entirely (f = 32): all lanes
+        // read row 5. Loads are phased: both groups' index loads first,
+        // then the source gathers — take the first gather.
+        let t = k.trace(0, 0);
+        let gather = t
+            .iter()
+            .filter(|i| i.class == InstrClass::LoadGlobal)
+            .nth(2)
+            .unwrap();
+        let mut addrs = Vec::new();
+        gather.mem.as_ref().unwrap().lane_addrs(&mut addrs);
+        assert_eq!(addrs[0], 1000 + 5 * 32 * 4);
+        assert_eq!(addrs[31], 1000 + (5 * 32 + 31) * 4);
+    }
+
+    #[test]
+    fn gcn_scale_adds_sfu_work() {
+        let mut k = kernel(8, 4);
+        let plain_len = k.trace(0, 0).len();
+        k.scale = Some(GcnEdgeScale {
+            dst: Arc::new((0..8).map(|e| (e % 3) as u32).collect()),
+            deg_base: 0x5000,
+        });
+        let t = k.trace(0, 0);
+        assert!(t.len() > plain_len);
+        let sfus = t.iter().filter(|i| i.class == InstrClass::Sfu).count();
+        assert_eq!(sfus, 2, "two rsqrt per element batch");
+    }
+
+    #[test]
+    fn empty_when_no_edges() {
+        let k = kernel(0, 4);
+        assert_eq!(k.grid().ctas, 1);
+        assert!(k.trace(0, 0).is_empty());
+    }
+}

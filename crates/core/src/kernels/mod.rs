@@ -1,0 +1,210 @@
+//! The gSuite core kernels (paper Table II).
+//!
+//! | kernel | comp. model | short | description |
+//! |---|---|---|---|
+//! | [`IndexSelectKernel`] | MP   | `is` | gathers node rows along the edge index |
+//! | [`ScatterKernel`]     | MP   | `sc` | reduces edge rows into destination nodes (atomics) |
+//! | [`SgemmKernel`]       | both | `sg` | dense matrix multiply (the linear/Θ step) |
+//! | [`SpmmKernel`]        | SpMM | `sp` | CSR × dense multiply (aggregation) |
+//! | [`SpgemmKernel`]      | SpMM | `sp` | CSR × CSR multiply (the normalization chain) |
+//! | [`ElementwiseKernel`] | both | `ew` | activation / combine / mean-divide glue |
+//!
+//! Each kernel struct is a *workload descriptor*: it holds the buffer base
+//! addresses and the index/structure arrays of one concrete launch and
+//! implements [`gsuite_gpu::KernelWorkload`], generating warp traces whose
+//! memory addresses come from the live graph data. The functional twin of
+//! every kernel lives in [`gsuite_tensor::ops`] (`gather_rows`,
+//! `scatter_rows`, `gemm`, `spmm`, `spgemm`); the model builders in
+//! [`crate::models`] call both sides from the same inputs, and the test
+//! suite asserts they stay in lock-step (instruction counts vs element
+//! counts, trace coverage vs output shapes).
+//!
+//! Thread mappings follow the standard CUDA implementations the paper
+//! imitates (PyG's MP kernels, cuSPARSE-style SpMM): element-parallel
+//! 128-thread CTAs for gather/scatter, warp-per-row-chunk with 32-column
+//! strips for sparse ops, and a 4-outputs-per-lane register-blocked GEMM
+//! with split-K for deep reductions.
+
+mod elementwise;
+mod index_select;
+mod scatter;
+mod sgemm;
+mod spgemm;
+mod spmm;
+
+pub use elementwise::{ElementwiseKernel, EwOp};
+pub use index_select::{GcnEdgeScale, IndexSelectKernel};
+pub use scatter::ScatterKernel;
+pub use sgemm::SgemmKernel;
+pub use spgemm::SpgemmKernel;
+pub use spmm::SpmmKernel;
+
+use std::sync::Arc;
+
+use gsuite_gpu::KernelWorkload;
+use serde::{Deserialize, Serialize};
+
+/// Threads per CTA for element-parallel kernels.
+pub const CTA_THREADS: u64 = 128;
+/// Warps per CTA for element-parallel kernels.
+pub const CTA_WARPS: u32 = (CTA_THREADS / 32) as u32;
+
+/// Kernel taxonomy used for grouping in figures (paper Table II names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// `indexSelect` (MP gather).
+    IndexSelect,
+    /// `scatter` (MP reduce).
+    Scatter,
+    /// `sgemm` (dense linear).
+    Sgemm,
+    /// `SpMM` (sparse × dense).
+    Spmm,
+    /// `SpGEMM` (sparse × sparse).
+    Spgemm,
+    /// Elementwise glue (activations, combines) — the figures' "other".
+    Elementwise,
+}
+
+impl KernelKind {
+    /// The paper's kernel name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::IndexSelect => "indexSelect",
+            KernelKind::Scatter => "scatter",
+            KernelKind::Sgemm => "sgemm",
+            KernelKind::Spmm => "SpMM",
+            KernelKind::Spgemm => "SpGEMM",
+            KernelKind::Elementwise => "other",
+        }
+    }
+
+    /// The paper's two-letter short form.
+    pub fn short(self) -> &'static str {
+        match self {
+            KernelKind::IndexSelect => "is",
+            KernelKind::Scatter => "sc",
+            KernelKind::Sgemm => "sg",
+            KernelKind::Spmm => "sp",
+            KernelKind::Spgemm => "sp",
+            KernelKind::Elementwise => "ew",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded kernel launch of a pipeline: its taxonomy plus the workload
+/// that regenerates its GPU behaviour on demand.
+#[derive(Clone)]
+pub struct Launch {
+    /// Kernel taxonomy for grouping.
+    pub kind: KernelKind,
+    /// The trace-generating workload.
+    pub workload: Arc<dyn KernelWorkload + Send + Sync>,
+}
+
+impl Launch {
+    /// Wraps a workload under its kind.
+    pub fn new(kind: KernelKind, workload: impl KernelWorkload + Send + Sync + 'static) -> Self {
+        Launch {
+            kind,
+            workload: Arc::new(workload),
+        }
+    }
+}
+
+impl std::fmt::Debug for Launch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Launch")
+            .field("kind", &self.kind)
+            .field("kernel", &self.workload.name())
+            .finish()
+    }
+}
+
+/// Splits CSR rows into chunks of at most `cap` stored entries, returning
+/// `(row, start_offset)` pairs — the row-splitting load balancer used by
+/// the sparse kernels (hot power-law rows would otherwise monopolize one
+/// warp). Rows with no entries produce no chunks.
+pub(crate) fn row_chunks(row_ptr: &[u32], cap: u32) -> Vec<(u32, u32)> {
+    let mut chunks = Vec::new();
+    for r in 0..row_ptr.len().saturating_sub(1) {
+        let start = row_ptr[r];
+        let end = row_ptr[r + 1];
+        let mut s = start;
+        while s < end {
+            chunks.push((r as u32, s));
+            s += cap;
+        }
+    }
+    chunks
+}
+
+/// The `(element0, active)` window of warp `warp` of CTA `cta` over a flat
+/// iteration space of `total` elements, or `None` if the warp is past the
+/// end.
+#[inline]
+pub(crate) fn warp_window(cta: u64, warp: u32, total: u64) -> Option<(u64, usize)> {
+    let t0 = (cta * CTA_WARPS as u64 + warp as u64) * 32;
+    if t0 >= total {
+        return None;
+    }
+    Some((t0, ((total - t0).min(32)) as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_match_paper() {
+        assert_eq!(KernelKind::IndexSelect.name(), "indexSelect");
+        assert_eq!(KernelKind::Spmm.name(), "SpMM");
+        assert_eq!(KernelKind::Sgemm.short(), "sg");
+        assert_eq!(KernelKind::Scatter.short(), "sc");
+    }
+
+    #[test]
+    fn row_chunks_split_hot_rows() {
+        // rows: 0 -> 3 entries, 1 -> 0 entries, 2 -> 5 entries, cap 2
+        let row_ptr = [0u32, 3, 3, 8];
+        let chunks = row_chunks(&row_ptr, 2);
+        assert_eq!(
+            chunks,
+            vec![(0, 0), (0, 2), (2, 3), (2, 5), (2, 7)]
+        );
+    }
+
+    #[test]
+    fn row_chunks_skip_empty_rows() {
+        let row_ptr = [0u32, 0, 0, 1];
+        assert_eq!(row_chunks(&row_ptr, 8), vec![(2, 0)]);
+    }
+
+    #[test]
+    fn warp_window_covers_iteration_space() {
+        let total = 300u64; // 2 CTAs x 4 warps x 32 = 256 < 300 -> 3 CTAs
+        let mut covered = 0u64;
+        for cta in 0..3 {
+            for warp in 0..CTA_WARPS {
+                if let Some((t0, active)) = warp_window(cta, warp, total) {
+                    assert_eq!(t0 % 32, 0);
+                    covered += active as u64;
+                }
+            }
+        }
+        assert_eq!(covered, total);
+    }
+
+    #[test]
+    fn warp_window_past_end_is_none() {
+        assert!(warp_window(10, 0, 32).is_none());
+        assert!(warp_window(0, 1, 32).is_none());
+        assert_eq!(warp_window(0, 0, 32), Some((0, 32)));
+    }
+}

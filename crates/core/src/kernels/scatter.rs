@@ -1,0 +1,226 @@
+//! The `scatter` kernel: reduces edge-message rows into destination nodes
+//! with atomic read-modify-writes (paper Table II, Fig. 2 left).
+
+use std::sync::Arc;
+
+use gsuite_gpu::{Grid, Instr, KernelWorkload, TraceBuilder};
+use gsuite_tensor::ops::Reduce;
+
+use super::{warp_window, CTA_THREADS};
+
+/// Workload descriptor for one `scatter` launch.
+///
+/// Input element `t` (row-major over `[E, f]`) is atomically reduced into
+/// `out[index[t / f]][t % f]`. The atomic destination pattern follows the
+/// *live* edge index, so hot destinations of a power-law graph serialize in
+/// the simulator's atomic unit — the contention the paper calls out when it
+/// recommends "architectural support for more efficient synchronization".
+///
+/// A degree-count variant ([`ScatterKernel::degrees`]) omits the input load
+/// (it scatters the constant 1, as the GCN pipeline's first stage does in
+/// Fig. 2).
+#[derive(Debug, Clone)]
+pub struct ScatterKernel {
+    /// Destination endpoint per edge.
+    pub index: Arc<Vec<u32>>,
+    /// Base address of the endpoint array.
+    pub index_base: u64,
+    /// Base address of the `[E, f]` input rows; `None` scatters a constant.
+    pub in_base: Option<u64>,
+    /// Feature width `f`.
+    pub feat: usize,
+    /// Base address of the `[out_rows, f]` output.
+    pub out_base: u64,
+    /// Number of output rows.
+    pub out_rows: usize,
+    /// Reduction mode (affects only the functional twin; sum/mean/max all
+    /// use one atomic RMW per element on the device).
+    pub reduce: Reduce,
+}
+
+/// Elements processed per thread (grid-stride coarsening), matching the
+/// gather side so each warp keeps several independent accesses in flight.
+pub const SC_COARSEN: u64 = 4;
+
+impl ScatterKernel {
+    /// The degree-count variant: scatters the constant 1 per edge
+    /// (`feat = 1`, no input load).
+    pub fn degrees(
+        index: Arc<Vec<u32>>,
+        index_base: u64,
+        out_base: u64,
+        out_rows: usize,
+    ) -> Self {
+        ScatterKernel {
+            index,
+            index_base,
+            in_base: None,
+            feat: 1,
+            out_base,
+            out_rows,
+            reduce: Reduce::Sum,
+        }
+    }
+
+    /// Total input elements (`E * f`).
+    pub fn total_elements(&self) -> u64 {
+        self.index.len() as u64 * self.feat as u64
+    }
+
+    fn groups(&self, cta: u64, warp: u32) -> Vec<(u64, usize)> {
+        let total = self.total_elements();
+        let threads = total.div_ceil(SC_COARSEN);
+        let Some((thread0, _)) = warp_window(cta, warp, threads) else {
+            return Vec::new();
+        };
+        let e_base = thread0 * SC_COARSEN;
+        (0..SC_COARSEN)
+            .map(|g| e_base + g * 32)
+            .filter(|&start| start < total)
+            .map(|start| (start, ((total - start).min(32)) as usize))
+            .collect()
+    }
+}
+
+impl KernelWorkload for ScatterKernel {
+    fn name(&self) -> String {
+        "scatter".to_string()
+    }
+
+    fn grid(&self) -> Grid {
+        Grid::cover(
+            self.total_elements().div_ceil(SC_COARSEN),
+            CTA_THREADS as u32,
+        )
+    }
+
+    fn trace(&self, cta: u64, warp: u32) -> Vec<Instr> {
+        let f = self.feat as u64;
+        let groups = self.groups(cta, warp);
+        if groups.is_empty() {
+            return Vec::new();
+        }
+        let mut tb = TraceBuilder::new(groups[0].1);
+        let e_reg = tb.int(&[]);
+        // Phase 1: destination-index loads for every group, each with its
+        // SASS-level address arithmetic (element IMAD + base add).
+        let mut idx_regs = Vec::with_capacity(groups.len());
+        for &(t0, active) in &groups {
+            tb.set_active(active);
+            let ea = tb.int(&[e_reg]);
+            tb.int(&[ea]);
+            let idx_addrs: Vec<u64> = (0..active as u64)
+                .map(|l| self.index_base + ((t0 + l) / f) * 4)
+                .collect();
+            idx_regs.push(tb.load_gather(&idx_addrs, 4, &[ea]));
+        }
+        // Phase 2: message loads (coalesced), unless scattering a constant.
+        let mut values = Vec::with_capacity(groups.len());
+        for &(t0, active) in &groups {
+            tb.set_active(active);
+            values.push(match self.in_base {
+                Some(base) => {
+                    tb.int(&[]);
+                    tb.load_lanes(base + t0 * 4, 4)
+                }
+                None => tb.int(&[]),
+            });
+        }
+        // Phase 3: atomic reduces with the graph's true collision pattern
+        // (row*f IMAD + column add per access).
+        for ((&(t0, active), &value), &idx_reg) in
+            groups.iter().zip(&values).zip(&idx_regs)
+        {
+            tb.set_active(active);
+            let ra = tb.int(&[idx_reg]);
+            tb.int(&[ra]);
+            let out_addrs: Vec<u64> = (0..active as u64)
+                .map(|l| {
+                    let t = t0 + l;
+                    let row = self.index[(t / f) as usize] as u64;
+                    self.out_base + (row * f + t % f) * 4
+                })
+                .collect();
+            tb.atomic_scatter(value, &out_addrs, 4);
+        }
+        tb.control();
+        tb.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsuite_gpu::InstrClass;
+
+    fn kernel(edges: usize, feat: usize) -> ScatterKernel {
+        ScatterKernel {
+            index: Arc::new((0..edges as u32).map(|e| e % 5).collect()),
+            index_base: 0x2000,
+            in_base: Some(0x20_0000),
+            feat,
+            out_base: 0x90_0000,
+            out_rows: 5,
+            reduce: Reduce::Sum,
+        }
+    }
+
+    #[test]
+    fn trace_has_atomic_not_store() {
+        let t = kernel(8, 4).trace(0, 0);
+        assert!(t.iter().any(|i| i.class == InstrClass::AtomicGlobal));
+        assert!(!t.iter().any(|i| i.class == InstrClass::StoreGlobal));
+    }
+
+    #[test]
+    fn hot_destination_produces_duplicate_sectors() {
+        // All edges point at node 0: every lane of the atomic hits the same
+        // output row.
+        let k = ScatterKernel {
+            index: Arc::new(vec![0; 64]),
+            index_base: 0,
+            in_base: Some(0x1000),
+            feat: 1,
+            out_base: 0x20_0000,
+            out_rows: 4,
+            reduce: Reduce::Sum,
+        };
+        let t = k.trace(0, 0);
+        let atomic = t
+            .iter()
+            .find(|i| i.class == InstrClass::AtomicGlobal)
+            .unwrap();
+        let mut lanes = Vec::new();
+        atomic.mem.as_ref().unwrap().lane_sectors_into(&mut lanes);
+        assert_eq!(lanes.len(), 32);
+        assert!(lanes.windows(2).all(|w| w[0] == w[1]), "all lanes collide");
+    }
+
+    #[test]
+    fn degree_variant_has_no_input_load() {
+        let k = ScatterKernel::degrees(Arc::new(vec![1, 2, 3]), 0, 0x100, 4);
+        let t = k.trace(0, 0);
+        let loads = t
+            .iter()
+            .filter(|i| i.class == InstrClass::LoadGlobal)
+            .count();
+        assert_eq!(loads, 1, "only the index load remains");
+        assert_eq!(k.feat, 1);
+    }
+
+    #[test]
+    fn grid_matches_element_count() {
+        let k = kernel(1000, 3);
+        assert_eq!(k.total_elements(), 3000);
+        assert_eq!(
+            k.grid().ctas,
+            3000u64.div_ceil(SC_COARSEN).div_ceil(CTA_THREADS)
+        );
+    }
+
+    #[test]
+    fn out_of_range_warp_is_empty() {
+        let k = kernel(1, 1);
+        assert!(k.trace(0, 1).is_empty());
+    }
+}

@@ -1,0 +1,262 @@
+//! The `sgemm` kernel: dense `C = A · B` — every model's linear/Θ step
+//! (paper Table II).
+
+use gsuite_gpu::{Grid, Instr, KernelWorkload, TraceBuilder};
+#[cfg(test)]
+use gsuite_gpu::MemAccess;
+
+/// Workload descriptor for one `sgemm` launch (`[m,k] x [k,n] -> [m,n]`).
+///
+/// Mapping mirrors register-blocked library GEMMs: each lane accumulates 4
+/// outputs, each warp covers 128 consecutive outputs of `C`, each 4-warp CTA
+/// covers 512. Deep reductions are split-K (`k_strip`): separate CTAs cover
+/// K strips and accumulate into `C` with atomics, which bounds per-warp
+/// trace length and matches what cuBLAS does for tall-skinny shapes.
+#[derive(Debug, Clone)]
+pub struct SgemmKernel {
+    /// Rows of `A`/`C`.
+    pub m: usize,
+    /// Inner (reduction) dimension.
+    pub k: usize,
+    /// Columns of `B`/`C`.
+    pub n: usize,
+    /// Base address of `A` (`[m, k]`, row-major).
+    pub a_base: u64,
+    /// Base address of `B` (`[k, n]`, row-major).
+    pub b_base: u64,
+    /// Base address of `C` (`[m, n]`, row-major).
+    pub c_base: u64,
+    /// K-strip length for split-K (set to `k` to disable splitting).
+    pub k_strip: usize,
+    /// Fuse a ReLU at the store (the paper's Θ activation).
+    pub relu: bool,
+}
+
+/// Outputs accumulated per lane.
+const OUTS_PER_LANE: u64 = 4;
+/// Outputs covered by one warp.
+const OUTS_PER_WARP: u64 = 32 * OUTS_PER_LANE;
+/// Outputs covered by one 4-warp CTA.
+const OUTS_PER_CTA: u64 = 4 * OUTS_PER_WARP;
+
+impl SgemmKernel {
+    /// A kernel with the default split-K policy (strips of 256 once
+    /// `k > 512`).
+    pub fn new(m: usize, k: usize, n: usize, a_base: u64, b_base: u64, c_base: u64) -> Self {
+        let k_strip = if k > 512 { 256 } else { k.max(1) };
+        SgemmKernel {
+            m,
+            k,
+            n,
+            a_base,
+            b_base,
+            c_base,
+            k_strip,
+            relu: false,
+        }
+    }
+
+    /// Enables the fused ReLU at the store.
+    pub fn with_relu(mut self, relu: bool) -> Self {
+        self.relu = relu;
+        self
+    }
+
+    fn output_tiles(&self) -> u64 {
+        ((self.m * self.n) as u64).div_ceil(OUTS_PER_CTA).max(1)
+    }
+
+    fn k_strips(&self) -> u64 {
+        (self.k as u64).div_ceil(self.k_strip.max(1) as u64).max(1)
+    }
+
+    /// Whether split-K accumulation (atomic stores) is active.
+    pub fn is_split_k(&self) -> bool {
+        self.k_strips() > 1
+    }
+}
+
+impl KernelWorkload for SgemmKernel {
+    fn name(&self) -> String {
+        "sgemm".to_string()
+    }
+
+    fn grid(&self) -> Grid {
+        Grid::new(self.output_tiles() * self.k_strips(), 4)
+    }
+
+    fn trace(&self, cta: u64, warp: u32) -> Vec<Instr> {
+        let total_outs = (self.m * self.n) as u64;
+        let tiles = self.output_tiles();
+        let tile = cta % tiles;
+        let strip = cta / tiles;
+        let out0 = tile * OUTS_PER_CTA + warp as u64 * OUTS_PER_WARP;
+        if out0 >= total_outs || self.k == 0 {
+            return Vec::new();
+        }
+        let nouts = (total_outs - out0).min(OUTS_PER_WARP);
+        let active = nouts.div_ceil(OUTS_PER_LANE).min(32) as usize;
+        let segments = nouts.div_ceil(32) as usize; // 32-wide B/C segments
+        let n = self.n as u64;
+        let row = out0 / n;
+        let col0 = out0 % n;
+        let k0 = strip as usize * self.k_strip;
+        let k1 = self.k.min(k0 + self.k_strip);
+
+        let mut tb = TraceBuilder::new(active);
+        tb.int(&[]);
+        tb.int(&[]);
+        // Shared-memory tile staging, as library GEMMs do: every TILE_K
+        // k-steps the CTA cooperatively stages an A sliver and a B tile
+        // through shared memory (this warp's share: 2 + `segments` global
+        // loads guarded by a barrier), then runs TILE_K iterations of FMAs
+        // against the staged data. Four rotating accumulators break the
+        // FMA dependency chain.
+        const TILE_K: usize = 8;
+        let mut accs = [tb.fp32(&[]), tb.fp32(&[]), tb.fp32(&[]), tb.fp32(&[])];
+        let mut kk = k0;
+        let mut step = 0usize;
+        while kk < k1 {
+            let tile_end = k1.min(kk + TILE_K);
+            // Stage the A sliver (row, kk..tile_end).
+            let a_addr = self.a_base + (row * self.k as u64 + kk as u64) * 4;
+            let a_reg = tb.load_strided(a_addr, 4, 4);
+            let a2 = tb.load_strided(a_addr + 16, 4, 4);
+            // Stage this warp's share of the B tile: two staged rows per
+            // segment (the other rows are loaded by sibling warps).
+            let mut stage = Vec::with_capacity(segments * 2);
+            for krow in [kk, (kk + TILE_K / 2).min(tile_end - 1)] {
+                for seg in 0..segments {
+                    let seg_cols = (nouts - seg as u64 * 32).min(32) as usize;
+                    let base = self.b_base + (krow as u64 * n + col0 + seg as u64 * 32) * 4;
+                    tb.set_active(seg_cols.max(1));
+                    stage.push(tb.load_strided(base, 4, 4));
+                    tb.set_active(active);
+                }
+            }
+            tb.sync(); // tile visible to the whole CTA
+            let b_reg = *stage.last().unwrap_or(&a2);
+            for _ in kk..tile_end {
+                tb.int(&[]); // shared-memory pointer arithmetic
+                for seg in 0..segments {
+                    let lane = (step + seg) % accs.len();
+                    accs[lane] = tb.fp32(&[a_reg, b_reg, accs[lane]]);
+                }
+                step += 1;
+            }
+            tb.control(); // tile-loop bookkeeping
+            kk = tile_end;
+        }
+        // Reduce the accumulators.
+        let r1 = tb.fp32(&[accs[0], accs[1]]);
+        let r2 = tb.fp32(&[accs[2], accs[3]]);
+        let mut acc = tb.fp32(&[r1, r2]);
+        if self.relu && !self.is_split_k() {
+            acc = tb.fp32(&[acc]);
+        }
+        // Store (or atomically accumulate) the C segment.
+        for seg in 0..segments {
+            let seg_cols = (nouts - seg as u64 * 32).min(32) as usize;
+            let base = self.c_base + (row * n + col0 + seg as u64 * 32) * 4;
+            tb.set_active(seg_cols.max(1));
+            if self.is_split_k() {
+                let addrs: Vec<u64> =
+                    (0..seg_cols as u64).map(|l| base + l * 4).collect();
+                tb.atomic_scatter(acc, &addrs, 4);
+            } else {
+                tb.store_lanes(acc, base, 4);
+            }
+        }
+        tb.control();
+        tb.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsuite_gpu::InstrClass;
+
+    fn kernel(m: usize, k: usize, n: usize) -> SgemmKernel {
+        SgemmKernel::new(m, k, n, 0x1000, 0x100_000, 0x800_000)
+    }
+
+    #[test]
+    fn small_gemm_is_single_strip() {
+        let g = kernel(16, 64, 8);
+        assert!(!g.is_split_k());
+        assert_eq!(g.grid().ctas, 1, "128 outputs fit one CTA");
+        let t = g.trace(0, 0);
+        // Warp 0 owns all 128 outputs (4 segments): per 8-deep k-tile the
+        // warp stages 2 A loads + 2x4 B loads, then runs 8x4 FMAs.
+        let loads = t
+            .iter()
+            .filter(|i| i.class == InstrClass::LoadGlobal)
+            .count();
+        assert_eq!(loads, (64 / 8) * (2 + 2 * 4));
+        let fmas = t.iter().filter(|i| i.class == InstrClass::Fp32).count();
+        assert_eq!(
+            fmas,
+            64 * 4 + 4 + 3,
+            "one FMA per segment-step, 4 accumulator inits, 3 reduce ops"
+        );
+        let syncs = t.iter().filter(|i| i.class == InstrClass::Sync).count();
+        assert_eq!(syncs, 8, "one barrier per staged tile");
+        assert!(t.iter().any(|i| i.class == InstrClass::StoreGlobal));
+        // The mix must be FP32-dominated (the paper's Fig. 5 shape).
+        assert!(fmas * 2 > t.len(), "sgemm should be >50% FP32: {fmas}/{}", t.len());
+    }
+
+    #[test]
+    fn deep_k_splits_and_accumulates_atomically() {
+        let g = kernel(64, 2048, 64);
+        assert!(g.is_split_k());
+        assert_eq!(g.grid().ctas, g.output_tiles() * 8);
+        let t = g.trace(0, 0);
+        assert!(
+            t.iter().any(|i| i.class == InstrClass::AtomicGlobal),
+            "split-K accumulates with atomics"
+        );
+        // Each strip is bounded, keeping traces small.
+        assert!(t.len() < 256 * 12);
+    }
+
+    #[test]
+    fn relu_adds_one_fp32() {
+        let plain = kernel(8, 16, 16);
+        let relu = kernel(8, 16, 16).with_relu(true);
+        let a = plain.trace(0, 0).len();
+        let b = relu.trace(0, 0).len();
+        assert_eq!(b, a + 1);
+    }
+
+    #[test]
+    fn tail_warp_handles_partial_outputs() {
+        // 8x8 = 64 outputs: warp 0 covers all 64 (128 capacity), warp 1 none.
+        let g = kernel(8, 4, 8);
+        assert!(!g.trace(0, 0).is_empty());
+        assert!(g.trace(0, 1).is_empty());
+    }
+
+    #[test]
+    fn b_loads_are_coalesced() {
+        let g = kernel(32, 8, 128);
+        let t = g.trace(0, 0);
+        // Loads per tile: 2 A stages then the B stages; all coalesced.
+        let b_load = t
+            .iter()
+            .filter(|i| i.class == InstrClass::LoadGlobal)
+            .nth(2)
+            .unwrap();
+        match b_load.mem.as_deref() {
+            Some(MemAccess::Strided { stride, .. }) => assert_eq!(*stride, 4),
+            other => panic!("expected strided B load, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_k_yields_empty_trace() {
+        let g = SgemmKernel::new(4, 0, 4, 0, 0, 0);
+        assert!(g.trace(0, 0).is_empty());
+    }
+}

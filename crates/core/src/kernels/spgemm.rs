@@ -1,0 +1,212 @@
+//! The `SpGEMM` kernel: CSR × CSR multiply — the normalization chain of the
+//! SpMM-model GCN (paper Table II, Fig. 2 right).
+
+use std::sync::Arc;
+
+use gsuite_gpu::{Grid, Instr, KernelWorkload, TraceBuilder};
+
+use super::row_chunks;
+
+/// A-row entries processed per warp before splitting.
+pub const SPGEMM_CHUNK: u32 = 256;
+
+/// Workload descriptor for one `SpGEMM` launch (`A[m,p] x B[p,q]`).
+///
+/// Mapping: one warp per A-row chunk (Gustavson row formulation). For each
+/// stored `A[r][c]` the warp streams B's row `c` in 32-entry slabs,
+/// performing hash-accumulator index math (integer ops) and multiply-adds,
+/// then writes the output row's entries. All loop bounds come from the live
+/// CSR structures of both operands.
+#[derive(Debug, Clone)]
+pub struct SpgemmKernel {
+    /// A's CSR row pointer.
+    pub a_row_ptr: Arc<Vec<u32>>,
+    /// A's CSR column indices.
+    pub a_col_idx: Arc<Vec<u32>>,
+    /// B's CSR row pointer.
+    pub b_row_ptr: Arc<Vec<u32>>,
+    /// Output structure row pointer (for the write phase).
+    pub out_row_ptr: Arc<Vec<u32>>,
+    /// Base address of A's row pointer / column / value arrays.
+    pub a_bases: (u64, u64, u64),
+    /// Base address of B's row pointer / column / value arrays.
+    pub b_bases: (u64, u64, u64),
+    /// Base address of the output column / value arrays.
+    pub out_bases: (u64, u64),
+    /// Pre-split (row, start) chunks of A.
+    chunks: Arc<Vec<(u32, u32)>>,
+}
+
+impl SpgemmKernel {
+    /// Builds the kernel, pre-splitting A's rows.
+    pub fn new(
+        a_row_ptr: Arc<Vec<u32>>,
+        a_col_idx: Arc<Vec<u32>>,
+        b_row_ptr: Arc<Vec<u32>>,
+        out_row_ptr: Arc<Vec<u32>>,
+        a_bases: (u64, u64, u64),
+        b_bases: (u64, u64, u64),
+        out_bases: (u64, u64),
+    ) -> Self {
+        let chunks = Arc::new(row_chunks(&a_row_ptr, SPGEMM_CHUNK));
+        SpgemmKernel {
+            a_row_ptr,
+            a_col_idx,
+            b_row_ptr,
+            out_row_ptr,
+            a_bases,
+            b_bases,
+            out_bases,
+            chunks,
+        }
+    }
+
+    /// Total warps (A-row chunks).
+    pub fn total_warps(&self) -> u64 {
+        self.chunks.len() as u64
+    }
+}
+
+impl KernelWorkload for SpgemmKernel {
+    fn name(&self) -> String {
+        "SpGEMM".to_string()
+    }
+
+    fn grid(&self) -> Grid {
+        Grid::new(self.total_warps().div_ceil(4).max(1), 4)
+    }
+
+    fn trace(&self, cta: u64, warp: u32) -> Vec<Instr> {
+        let widx = cta * 4 + warp as u64;
+        if widx >= self.total_warps() {
+            return Vec::new();
+        }
+        let (row, start) = self.chunks[widx as usize];
+        let row_end = self.a_row_ptr[row as usize + 1];
+        let end = row_end.min(start + SPGEMM_CHUNK);
+        let (a_rp, a_ci, a_val) = self.a_bases;
+        let (b_rp, b_ci, b_val) = self.b_bases;
+
+        let mut tb = TraceBuilder::new(32);
+        let rp = tb.load_strided(a_rp + row as u64 * 4, 0, 4);
+        tb.load_strided(a_rp + (row as u64 + 1) * 4, 0, 4);
+        tb.int(&[rp]);
+        for j in start..end {
+            let c = self.a_col_idx[j as usize] as u64;
+            // A entry (column + value, broadcast).
+            let ac = tb.load_strided(a_ci + j as u64 * 4, 0, 4);
+            let av = tb.load_strided(a_val + j as u64 * 4, 0, 4);
+            // B row bounds.
+            tb.load_strided(b_rp + c * 4, 0, 4);
+            tb.load_strided(b_rp + (c + 1) * 4, 0, 4);
+            tb.int(&[ac]);
+            let b_start = self.b_row_ptr[c as usize];
+            let b_end = self.b_row_ptr[c as usize + 1];
+            let mut slab = b_start;
+            while slab < b_end {
+                let lanes = ((b_end - slab).min(32)).max(1) as usize;
+                tb.set_active(lanes);
+                let bc = tb.load_strided(b_ci + slab as u64 * 4, 4, 4);
+                let bv = tb.load_strided(b_val + slab as u64 * 4, 4, 4);
+                // Hash-accumulator probe (integer) + multiply-add.
+                let h = tb.int(&[bc]);
+                tb.int(&[h]);
+                tb.fp32(&[av, bv]);
+                slab += 32;
+            }
+            tb.set_active(32);
+        }
+        // Output row write (only the first chunk of a row writes, modeling
+        // the separate numeric-phase behaviour of real SpGEMM).
+        if start == self.a_row_ptr[row as usize] {
+            let (out_ci, out_val) = self.out_bases;
+            let o_start = self.out_row_ptr[row as usize];
+            let o_end = self.out_row_ptr[row as usize + 1];
+            let mut slab = o_start;
+            while slab < o_end {
+                let lanes = ((o_end - slab).min(32)).max(1) as usize;
+                tb.set_active(lanes);
+                let v = tb.fp32(&[]);
+                tb.store_lanes(v, out_ci + slab as u64 * 4, 4);
+                tb.store_lanes(v, out_val + slab as u64 * 4, 4);
+                slab += 32;
+            }
+        }
+        tb.control();
+        tb.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsuite_gpu::InstrClass;
+
+    fn rp(lens: &[u32]) -> Arc<Vec<u32>> {
+        let mut v = vec![0u32];
+        for &l in lens {
+            v.push(v.last().unwrap() + l);
+        }
+        Arc::new(v)
+    }
+
+    fn kernel(a_lens: &[u32], b_lens: &[u32], out_lens: &[u32]) -> SpgemmKernel {
+        let a_nnz = a_lens.iter().sum::<u32>() as usize;
+        let b_rows = b_lens.len();
+        let a_ci: Vec<u32> = (0..a_nnz).map(|i| (i % b_rows) as u32).collect();
+        SpgemmKernel::new(
+            rp(a_lens),
+            Arc::new(a_ci),
+            rp(b_lens),
+            rp(out_lens),
+            (0x100, 0x1000, 0x2000),
+            (0x3000, 0x4000, 0x5000),
+            (0x6000, 0x7000),
+        )
+    }
+
+    #[test]
+    fn one_warp_per_a_row() {
+        let k = kernel(&[2, 1, 3], &[1, 1, 1], &[1, 1, 1]);
+        assert_eq!(k.total_warps(), 3);
+    }
+
+    #[test]
+    fn work_scales_with_b_row_length() {
+        let short = kernel(&[1], &[2], &[2]);
+        let long = kernel(&[1], &[200], &[2]);
+        assert!(long.trace(0, 0).len() > short.trace(0, 0).len() * 2);
+    }
+
+    #[test]
+    fn output_written_once_per_row() {
+        let k = kernel(&[SPGEMM_CHUNK + 1], &[1; 600], &[64]);
+        assert_eq!(k.total_warps(), 2, "A row split into two chunks");
+        let first = k.trace(0, 0);
+        let second = k.trace(0, 1);
+        let stores = |t: &[Instr]| {
+            t.iter()
+                .filter(|i| i.class == InstrClass::StoreGlobal)
+                .count()
+        };
+        assert!(stores(&first) > 0, "first chunk writes the output row");
+        assert_eq!(stores(&second), 0, "later chunks do not rewrite");
+    }
+
+    #[test]
+    fn mix_is_int_heavy() {
+        // SpGEMM's hash probing makes INT a large share — the Fig. 5 shape.
+        let k = kernel(&[8], &[40; 8], &[32]);
+        let t = k.trace(0, 0);
+        let ints = t.iter().filter(|i| i.class == InstrClass::Int).count();
+        let fp = t.iter().filter(|i| i.class == InstrClass::Fp32).count();
+        assert!(ints > fp, "int ({ints}) should outnumber fp32 ({fp})");
+    }
+
+    #[test]
+    fn empty_a_means_no_warps() {
+        let k = kernel(&[0, 0], &[1], &[0, 0]);
+        assert_eq!(k.total_warps(), 0);
+        assert!(k.trace(0, 0).is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! The `SpMM` kernel: CSR × dense multiply — the SpMM computational
+//! model's aggregation step (paper Table II, Fig. 2 right).
+
+use std::sync::Arc;
+
+use gsuite_gpu::{Grid, Instr, KernelWorkload, TraceBuilder};
+
+use super::row_chunks;
+
+/// Entries processed per warp before a row is split (load balancing for
+/// power-law rows).
+pub const SPMM_CHUNK: u32 = 1024;
+
+/// Workload descriptor for one `SpMM` launch
+/// (`CSR[m,p] x dense[p,f] -> dense[m,f]`).
+///
+/// Mapping follows cuSPARSE-style row-parallel SpMM: each warp owns one
+/// (row-chunk, 32-column strip) pair; lanes are feature columns. Row
+/// lengths come from the live CSR structure, so load imbalance, the
+/// gather pattern over `X` and the partial-warp divergence for narrow
+/// features (`f < 32`, e.g. LiveJournal's `f = 1`) are all genuine.
+#[derive(Debug, Clone)]
+pub struct SpmmKernel {
+    /// CSR row pointer of the sparse operand (`m + 1` entries).
+    pub row_ptr: Arc<Vec<u32>>,
+    /// CSR column indices.
+    pub col_idx: Arc<Vec<u32>>,
+    /// Whether stored values are loaded (false for unweighted copy-sum).
+    pub has_values: bool,
+    /// Base address of the row pointer array.
+    pub rp_base: u64,
+    /// Base address of the column index array.
+    pub ci_base: u64,
+    /// Base address of the values array.
+    pub val_base: u64,
+    /// Base address of the dense operand `X` (`[p, f]`).
+    pub x_base: u64,
+    /// Base address of the `[m, f]` output.
+    pub out_base: u64,
+    /// Feature width `f`.
+    pub feat: usize,
+    /// Pre-split (row, start) chunks.
+    chunks: Arc<Vec<(u32, u32)>>,
+}
+
+impl SpmmKernel {
+    /// Builds the kernel, pre-splitting rows into [`SPMM_CHUNK`]-entry
+    /// chunks.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        row_ptr: Arc<Vec<u32>>,
+        col_idx: Arc<Vec<u32>>,
+        has_values: bool,
+        rp_base: u64,
+        ci_base: u64,
+        val_base: u64,
+        x_base: u64,
+        out_base: u64,
+        feat: usize,
+    ) -> Self {
+        let chunks = Arc::new(row_chunks(&row_ptr, SPMM_CHUNK));
+        SpmmKernel {
+            row_ptr,
+            col_idx,
+            has_values,
+            rp_base,
+            ci_base,
+            val_base,
+            x_base,
+            out_base,
+            feat,
+            chunks,
+        }
+    }
+
+    fn strips(&self) -> u64 {
+        (self.feat as u64).div_ceil(32).max(1)
+    }
+
+    /// Total warps (chunks × column strips).
+    pub fn total_warps(&self) -> u64 {
+        self.chunks.len() as u64 * self.strips()
+    }
+}
+
+impl KernelWorkload for SpmmKernel {
+    fn name(&self) -> String {
+        "SpMM".to_string()
+    }
+
+    fn grid(&self) -> Grid {
+        Grid::new(self.total_warps().div_ceil(4).max(1), 4)
+    }
+
+    fn trace(&self, cta: u64, warp: u32) -> Vec<Instr> {
+        let widx = cta * 4 + warp as u64;
+        if widx >= self.total_warps() {
+            return Vec::new();
+        }
+        let strips = self.strips();
+        let chunk = (widx / strips) as usize;
+        let strip = widx % strips;
+        let (row, start) = self.chunks[chunk];
+        let row_end = self.row_ptr[row as usize + 1];
+        let end = row_end.min(start + SPMM_CHUNK);
+        let f = self.feat as u64;
+        let c0 = strip * 32;
+        let active = ((f - c0).min(32)).max(1) as usize;
+
+        let mut tb = TraceBuilder::new(active);
+        // Row bounds.
+        let rp = tb.load_strided(self.rp_base + row as u64 * 4, 0, 4);
+        tb.load_strided(self.rp_base + (row as u64 + 1) * 4, 0, 4);
+        tb.int(&[rp]);
+        // Two-deep software pipeline with rotating accumulators: the loads
+        // of entry j+2 are in flight while entry j's FMA executes, as real
+        // SpMM kernels arrange.
+        let mut accs = [tb.fp32(&[]), tb.fp32(&[]), tb.fp32(&[]), tb.fp32(&[])];
+        let mut pipeline: std::collections::VecDeque<(u8, Option<u8>)> =
+            std::collections::VecDeque::new();
+        let mut fma_step = 0usize;
+        for (step, j) in (start..end).enumerate() {
+            let col = self.col_idx[j as usize] as u64;
+            // Broadcast loads of the column index (and value).
+            let col_reg = tb.load_strided(self.ci_base + j as u64 * 4, 0, 4);
+            let val_reg = if self.has_values {
+                Some(tb.load_strided(self.val_base + j as u64 * 4, 0, 4))
+            } else {
+                None
+            };
+            // Coalesced strip of X[col][c0 .. c0+active]; the address
+            // depends on the loaded column index (row*f IMAD + base add).
+            let addr_reg = tb.int(&[col_reg]);
+            let x_base = self.x_base + (col * f + c0) * 4;
+            let x_reg = {
+                let addrs: Vec<u64> = (0..active as u64).map(|l| x_base + l * 4).collect();
+                tb.load_gather(&addrs, 4, &[addr_reg])
+            };
+            pipeline.push_back((x_reg, val_reg));
+            if pipeline.len() > 2 {
+                let (px, pv) = pipeline.pop_front().expect("len checked");
+                let lane = fma_step % accs.len();
+                fma_step += 1;
+                accs[lane] = match pv {
+                    Some(v) => tb.fp32(&[px, v, accs[lane]]),
+                    None => tb.fp32(&[px, accs[lane]]),
+                };
+            }
+            if step % 8 == 7 {
+                tb.control();
+            }
+        }
+        // Drain the pipeline.
+        while let Some((px, pv)) = pipeline.pop_front() {
+            let lane = fma_step % accs.len();
+            fma_step += 1;
+            accs[lane] = match pv {
+                Some(v) => tb.fp32(&[px, v, accs[lane]]),
+                None => tb.fp32(&[px, accs[lane]]),
+            };
+        }
+        let r1 = tb.fp32(&[accs[0], accs[1]]);
+        let r2 = tb.fp32(&[accs[2], accs[3]]);
+        let acc = tb.fp32(&[r1, r2]);
+        // Output strip; chunked rows accumulate atomically.
+        let out = self.out_base + (row as u64 * f + c0) * 4;
+        let chunked = start > self.row_ptr[row as usize] || end < row_end;
+        if chunked {
+            let addrs: Vec<u64> = (0..active as u64).map(|l| out + l * 4).collect();
+            tb.atomic_scatter(acc, &addrs, 4);
+        } else {
+            tb.store_lanes(acc, out, 4);
+        }
+        tb.control();
+        tb.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsuite_gpu::InstrClass;
+
+    fn csr(row_lens: &[u32], cols: usize) -> (Arc<Vec<u32>>, Arc<Vec<u32>>) {
+        let mut rp = vec![0u32];
+        for &l in row_lens {
+            rp.push(rp.last().unwrap() + l);
+        }
+        let nnz = *rp.last().unwrap() as usize;
+        let ci: Vec<u32> = (0..nnz).map(|i| (i % cols) as u32).collect();
+        (Arc::new(rp), Arc::new(ci))
+    }
+
+    fn kernel(row_lens: &[u32], feat: usize) -> SpmmKernel {
+        let (rp, ci) = csr(row_lens, 7);
+        SpmmKernel::new(rp, ci, true, 0x100, 0x1000, 0x2000, 0x10_000, 0x80_000, feat)
+    }
+
+    #[test]
+    fn warp_per_row_and_strip() {
+        let k = kernel(&[2, 3, 1], 64);
+        // 3 rows (un-split) x 2 strips of 32 columns = 6 warps.
+        assert_eq!(k.total_warps(), 6);
+        assert_eq!(k.grid().ctas, 2);
+    }
+
+    #[test]
+    fn trace_length_follows_row_length() {
+        let k = kernel(&[2, 30], 32);
+        let short = k.trace(0, 0); // row 0, 2 nnz
+        let long = k.trace(0, 1); // row 1, 30 nnz
+        assert!(long.len() > short.len() * 5);
+    }
+
+    #[test]
+    fn narrow_features_shrink_active_lanes() {
+        let k = kernel(&[4], 1);
+        let t = k.trace(0, 0);
+        assert!(t.iter().all(|i| i.active == 1), "f = 1 => 1 active lane");
+    }
+
+    #[test]
+    fn hot_row_is_split_and_accumulates_atomically() {
+        let k = kernel(&[SPMM_CHUNK + 10], 32);
+        assert_eq!(k.total_warps(), 2, "row split into two chunks");
+        let first = k.trace(0, 0);
+        let second = k.trace(0, 1);
+        assert!(
+            first.iter().any(|i| i.class == InstrClass::AtomicGlobal),
+            "chunked rows accumulate atomically"
+        );
+        assert!(second.iter().any(|i| i.class == InstrClass::AtomicGlobal));
+    }
+
+    #[test]
+    fn unweighted_skips_value_loads() {
+        let (rp, ci) = csr(&[4], 7);
+        let w = SpmmKernel::new(rp.clone(), ci.clone(), true, 0, 0, 0, 0, 0, 32);
+        let u = SpmmKernel::new(rp, ci, false, 0, 0, 0, 0, 0, 32);
+        let wl = w.trace(0, 0).iter().filter(|i| i.class == InstrClass::LoadGlobal).count();
+        let ul = u.trace(0, 0).iter().filter(|i| i.class == InstrClass::LoadGlobal).count();
+        assert_eq!(wl, ul + 4, "one value load per nnz saved");
+    }
+
+    #[test]
+    fn x_access_uses_live_column_indices() {
+        let rp = Arc::new(vec![0u32, 1]);
+        let ci = Arc::new(vec![9u32]);
+        let k = SpmmKernel::new(rp, ci, false, 0, 0x50, 0x60, 0x1000, 0x2000, 32);
+        let t = k.trace(0, 0);
+        let x_load = t
+            .iter()
+            .filter(|i| i.class == InstrClass::LoadGlobal)
+            .nth(3) // rp, rp+1, ci, then X
+            .unwrap();
+        let mut addrs = Vec::new();
+        x_load.mem.as_ref().unwrap().lane_addrs(&mut addrs);
+        assert_eq!(addrs[0], 0x1000 + 9 * 32 * 4);
+    }
+
+    #[test]
+    fn empty_matrix_has_no_work() {
+        let k = kernel(&[0, 0], 16);
+        assert_eq!(k.total_warps(), 0);
+        assert!(k.trace(0, 0).is_empty());
+    }
+}

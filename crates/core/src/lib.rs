@@ -1,0 +1,74 @@
+//! # gsuite-core
+//!
+//! The core of gSuite-rs: a flexible, framework-independent benchmark suite
+//! for GNN *inference*, reproducing the system described in
+//! ["gSuite: A Flexible and Framework Independent Benchmark Suite for Graph
+//! Neural Network Inference on GPUs"](https://arxiv.org/abs/2210.11601)
+//! (IISWC 2022).
+//!
+//! The suite is built exactly the way the paper describes (§IV):
+//!
+//! * **Core kernels** ([`kernels`]) — the Table II primitives
+//!   (`indexSelect`, `scatter`, `sgemm`, `SpMM`, `SpGEMM`, plus the small
+//!   `elementwise` glue kernel frameworks insert). Every kernel is a
+//!   *workload descriptor*: it knows both its functional semantics (via
+//!   `gsuite-tensor`) and its warp-level GPU instruction/address stream
+//!   (via `gsuite-gpu`), so correctness testing and architectural
+//!   characterization share one source of truth.
+//! * **GNN models** ([`models`]) — GCN, GIN and GraphSAGE assembled from
+//!   core kernels under both computational models (message passing and
+//!   sparse matrix multiplication; GraphSAGE is MP-only in the gSuite
+//!   surface, matching the paper).
+//! * **Pipelines** ([`pipeline`]) — an ordered list of kernel launches plus
+//!   the functional result, with profiling over any
+//!   [`gsuite_profile::Profiler`] backend.
+//! * **Configuration** ([`config`]) — the paper's User Interface /
+//!   Abstraction Module: a pipeline is selected by a handful of parameters
+//!   (model, dataset, layers, computational model, framework), with a
+//!   `key = value` defaults file.
+//! * **Framework adapters** ([`frameworks`]) — PyG-like and DGL-like
+//!   baselines that run the same math through modeled dependency-chain
+//!   overheads (host initialization, launch gaps, wrapper kernels), used by
+//!   the Fig. 3/4 comparisons.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gsuite_core::config::{CompModel, GnnModel, RunConfig};
+//! use gsuite_core::pipeline::PipelineRun;
+//! use gsuite_graph::datasets::Dataset;
+//!
+//! # fn main() -> Result<(), gsuite_core::CoreError> {
+//! let config = RunConfig {
+//!     model: GnnModel::Gcn,
+//!     comp: CompModel::Mp,
+//!     dataset: Dataset::Cora,
+//!     scale: 0.02,
+//!     layers: 2,
+//!     hidden: 8,
+//!     ..RunConfig::default()
+//! };
+//! let graph = config.load_graph();
+//! let run = PipelineRun::build(&graph, &config)?;
+//! assert!(!run.launches.is_empty());
+//! assert_eq!(run.output.rows(), graph.num_nodes());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+mod device;
+mod error;
+pub mod frameworks;
+pub mod kernels;
+pub mod models;
+pub mod pipeline;
+
+pub use device::AddressSpace;
+pub use error::CoreError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

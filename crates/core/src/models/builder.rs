@@ -1,0 +1,729 @@
+//! The pipeline builder: couples functional math with launch emission.
+//!
+//! Every method emits the kernel launch(es) a CUDA implementation of the
+//! same step would make and — when functional math is enabled — computes
+//! the true result with [`gsuite_tensor::ops`]. Device buffers are fake
+//! addresses from an [`AddressSpace`]; index and sparse-structure arrays
+//! are shared `Arc`s so launches stay cheap to clone.
+
+use std::sync::Arc;
+
+use gsuite_graph::Graph;
+use gsuite_tensor::ops::{self, Reduce};
+use gsuite_tensor::{CsrMatrix, DenseMatrix};
+
+use crate::device::AddressSpace;
+use crate::kernels::{
+    ElementwiseKernel, GcnEdgeScale, IndexSelectKernel, KernelKind, Launch, ScatterKernel,
+    SgemmKernel, SpgemmKernel, SpmmKernel,
+};
+use crate::Result;
+
+/// A dense device tensor: an address plus shape, with the host-side value
+/// present only in functional mode.
+#[derive(Debug, Clone)]
+pub struct DTensor {
+    /// Device base address.
+    pub base: u64,
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Host value (functional mode only).
+    pub data: Option<DenseMatrix>,
+}
+
+impl DTensor {
+    /// Total elements.
+    pub fn elems(&self) -> u64 {
+        self.rows as u64 * self.cols as u64
+    }
+}
+
+/// An index (endpoint) array on the device.
+#[derive(Debug, Clone)]
+pub struct DIndex {
+    /// Device base address.
+    pub base: u64,
+    /// The endpoint values.
+    pub data: Arc<Vec<u32>>,
+}
+
+/// A sparse CSR device matrix: structure always present (workloads need
+/// it), numeric values only in functional mode.
+#[derive(Debug, Clone)]
+pub struct DSparse {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// CSR row pointer.
+    pub row_ptr: Arc<Vec<u32>>,
+    /// CSR column indices.
+    pub col_idx: Arc<Vec<u32>>,
+    /// Stored values (functional mode; `None` means implicit ones).
+    pub values: Option<Arc<Vec<f32>>>,
+    /// Whether device kernels load the value array.
+    pub has_values: bool,
+    /// Base addresses: row pointer, column indices, values.
+    pub bases: (u64, u64, u64),
+}
+
+impl DSparse {
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Reconstructs a host [`CsrMatrix`] (functional mode helper).
+    fn to_csr(&self) -> CsrMatrix {
+        let values = match &self.values {
+            Some(v) => v.as_ref().clone(),
+            None => vec![1.0; self.nnz()],
+        };
+        CsrMatrix::from_parts(
+            self.rows,
+            self.cols,
+            self.row_ptr.as_ref().clone(),
+            self.col_idx.as_ref().clone(),
+            values,
+        )
+        .expect("DSparse maintains CSR invariants")
+    }
+}
+
+/// Pipeline builder over one graph.
+pub struct Builder<'g> {
+    graph: &'g Graph,
+    functional: bool,
+    space: AddressSpace,
+    launches: Vec<Launch>,
+    output: Option<DTensor>,
+    /// Transposed, deduplicated adjacency (rows = destinations) — the
+    /// canonical aggregation structure both computational models share.
+    adj_t: CsrMatrix,
+    /// Cached edge endpoint arrays (without and with self-loops).
+    edges_raw: Option<(DIndex, DIndex)>,
+    edges_loop: Option<(DIndex, DIndex)>,
+    /// Cached degree vector (`in-degree + 1`) and its device address.
+    deg: Option<(u64, Arc<Vec<f32>>)>,
+}
+
+impl<'g> Builder<'g> {
+    /// A builder over `graph`; `functional` enables host-side math.
+    pub fn new(graph: &'g Graph, functional: bool) -> Self {
+        Builder {
+            graph,
+            functional,
+            space: AddressSpace::new(),
+            launches: Vec::new(),
+            output: None,
+            adj_t: graph.adjacency_csr_transposed(),
+            edges_raw: None,
+            edges_loop: None,
+            deg: None,
+        }
+    }
+
+    /// Whether functional math is enabled.
+    pub fn functional(&self) -> bool {
+        self.functional
+    }
+
+    /// The graph under construction.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Number of launches emitted so far.
+    pub fn launch_count(&self) -> usize {
+        self.launches.len()
+    }
+
+    /// The input feature tensor `X` (allocated on first call).
+    pub fn input_features(&mut self) -> DTensor {
+        let g = self.graph;
+        let base = self.space.alloc_f32(g.num_nodes() as u64 * g.feature_dim() as u64);
+        DTensor {
+            base,
+            rows: g.num_nodes(),
+            cols: g.feature_dim(),
+            data: self.functional.then(|| g.features().clone()),
+        }
+    }
+
+    /// Marks `out` as the pipeline's final output.
+    pub fn set_output(&mut self, out: DTensor) {
+        self.output = Some(out);
+    }
+
+    /// Consumes the builder, returning launches and the output matrix
+    /// (zeros of the right shape when functional math was off).
+    pub fn finish(self) -> (Vec<Launch>, DenseMatrix) {
+        let output = match self.output {
+            Some(DTensor {
+                data: Some(m), ..
+            }) => m,
+            Some(DTensor { rows, cols, .. }) => DenseMatrix::zeros(rows, cols),
+            None => DenseMatrix::zeros(0, 0),
+        };
+        (self.launches, output)
+    }
+
+    // ----- graph-derived operands -------------------------------------
+
+    /// Deduplicated `(src, dst)` endpoint arrays, sorted by destination —
+    /// the canonical MP edge index.
+    pub fn edges(&mut self) -> (DIndex, DIndex) {
+        if self.edges_raw.is_none() {
+            let (src, dst) = endpoints_of(&self.adj_t, false);
+            let src_base = self.space.alloc_f32(src.len() as u64);
+            let dst_base = self.space.alloc_f32(dst.len() as u64);
+            self.edges_raw = Some((
+                DIndex {
+                    base: src_base,
+                    data: Arc::new(src),
+                },
+                DIndex {
+                    base: dst_base,
+                    data: Arc::new(dst),
+                },
+            ));
+        }
+        self.edges_raw.clone().expect("just cached")
+    }
+
+    /// Endpoint arrays with self-loops appended (`Â`'s edge set).
+    pub fn edges_with_loops(&mut self) -> (DIndex, DIndex) {
+        if self.edges_loop.is_none() {
+            let (src, dst) = endpoints_of(&self.adj_t, true);
+            let src_base = self.space.alloc_f32(src.len() as u64);
+            let dst_base = self.space.alloc_f32(dst.len() as u64);
+            self.edges_loop = Some((
+                DIndex {
+                    base: src_base,
+                    data: Arc::new(src),
+                },
+                DIndex {
+                    base: dst_base,
+                    data: Arc::new(dst),
+                },
+            ));
+        }
+        self.edges_loop.clone().expect("just cached")
+    }
+
+    /// The `deg = in-degree + 1` vector (`Â`'s row sums), emitting the
+    /// degree-count scatter launch the GCN pipeline starts with (Fig. 2).
+    ///
+    /// The launch is emitted on *every* call: like PyG's `cached=False`
+    /// default, frameworks recompute the normalization each layer, and the
+    /// paper's kernel-share figures include that recurring scatter. The
+    /// host-side vector itself is cached.
+    pub fn degree_vector(&mut self) -> (u64, Arc<Vec<f32>>) {
+        let n = self.graph.num_nodes();
+        let (_, dst_loop) = self.edges_with_loops();
+        let entry = match &self.deg {
+            Some(cached) => cached.clone(),
+            None => {
+                let deg_base = self.space.alloc_f32(n as u64);
+                let mut deg = vec![1.0f32; n];
+                for (r, d) in deg.iter_mut().enumerate() {
+                    *d += self.adj_t.row_nnz(r) as f32;
+                }
+                let entry = (deg_base, Arc::new(deg));
+                self.deg = Some(entry.clone());
+                entry
+            }
+        };
+        self.launches.push(Launch::new(
+            KernelKind::Scatter,
+            ScatterKernel::degrees(dst_loop.data.clone(), dst_loop.base, entry.0, n),
+        ));
+        entry
+    }
+
+    /// The unit-valued transposed adjacency `Â^T` (optionally with
+    /// self-loops) as a device CSR.
+    pub fn adj_t_sparse(&mut self, with_loops: bool) -> DSparse {
+        let csr = if with_loops {
+            add_diag(&self.adj_t, 1.0)
+        } else {
+            self.adj_t.clone()
+        };
+        self.upload_sparse(&csr, false)
+    }
+
+    /// GIN's aggregation matrix `Â^T + (1 + eps)·I` with numeric values.
+    pub fn gin_matrix(&mut self, eps: f32) -> DSparse {
+        let csr = add_diag(&self.adj_t, 1.0 + eps);
+        self.upload_sparse(&csr, true)
+    }
+
+    /// GraphSAGE's mean matrix: row-normalized `Â^T` with self-loops.
+    pub fn sage_mean_matrix(&mut self) -> DSparse {
+        let with_loops = add_diag(&self.adj_t, 1.0);
+        let sums = with_loops.row_sums();
+        let mut csr = with_loops;
+        // Divide every row by its sum.
+        let mut scaled: Vec<f32> = Vec::with_capacity(csr.nnz());
+        for r in 0..csr.rows() {
+            let s = sums[r].max(1.0);
+            let (_, vals) = csr.row(r);
+            scaled.extend(vals.iter().map(|v| v / s));
+        }
+        csr = CsrMatrix::from_parts(
+            csr.rows(),
+            csr.cols(),
+            csr.row_ptr().to_vec(),
+            csr.col_indices().to_vec(),
+            scaled,
+        )
+        .expect("same structure");
+        self.upload_sparse(&csr, true)
+    }
+
+    /// The diagonal `D^-1/2` of `Â` as a device CSR (GCN's normalizer).
+    pub fn inv_sqrt_deg_diag(&mut self) -> DSparse {
+        let n = self.graph.num_nodes();
+        let mut diag = vec![0.0f32; n];
+        for (r, d) in diag.iter_mut().enumerate() {
+            *d = 1.0 / ((self.adj_t.row_nnz(r) as f32 + 1.0).sqrt());
+        }
+        let csr = CsrMatrix::from_diagonal(&diag);
+        self.upload_sparse(&csr, true)
+    }
+
+    fn upload_sparse(&mut self, csr: &CsrMatrix, has_values: bool) -> DSparse {
+        let rp_base = self.space.alloc_f32(csr.row_ptr().len() as u64);
+        let ci_base = self.space.alloc_f32(csr.nnz() as u64);
+        let val_base = self.space.alloc_f32(csr.nnz() as u64);
+        DSparse {
+            rows: csr.rows(),
+            cols: csr.cols(),
+            row_ptr: Arc::new(csr.row_ptr().to_vec()),
+            col_idx: Arc::new(csr.col_indices().to_vec()),
+            values: self.functional.then(|| Arc::new(csr.values().to_vec())),
+            has_values,
+            bases: (rp_base, ci_base, val_base),
+        }
+    }
+
+    // ----- core-kernel emitters ---------------------------------------
+
+    /// `sgemm`: `out = x · w` with optional fused ReLU.
+    pub fn linear(&mut self, x: &DTensor, w: &DenseMatrix, relu: bool) -> Result<DTensor> {
+        let (k, n) = w.shape();
+        let w_base = self.space.alloc_f32((k * n) as u64);
+        let out_base = self.space.alloc_f32(x.rows as u64 * n as u64);
+        let kernel = SgemmKernel::new(x.rows, k, n, x.base, w_base, out_base).with_relu(relu);
+        let needs_separate_relu = relu && kernel.is_split_k();
+        self.launches.push(Launch::new(KernelKind::Sgemm, kernel));
+        let mut out = DTensor {
+            base: out_base,
+            rows: x.rows,
+            cols: n,
+            data: match &x.data {
+                Some(xd) => {
+                    let mut c = ops::gemm(xd, w)?;
+                    if relu {
+                        c = c.relu();
+                    }
+                    Some(c)
+                }
+                None => None,
+            },
+        };
+        if needs_separate_relu {
+            out = self.relu_inner(out);
+        }
+        Ok(out)
+    }
+
+    /// `indexSelect`: gathers `x` rows along `index`, optionally folding
+    /// GCN's symmetric normalization (`deg` + destination endpoints).
+    pub fn index_select(
+        &mut self,
+        x: &DTensor,
+        index: &DIndex,
+        gcn_scale: Option<(&DIndex, u64, &Arc<Vec<f32>>)>,
+    ) -> Result<DTensor> {
+        let e = index.data.len();
+        let out_base = self.space.alloc_f32(e as u64 * x.cols as u64);
+        let scale = gcn_scale.map(|(dst, deg_base, _)| GcnEdgeScale {
+            dst: dst.data.clone(),
+            deg_base,
+        });
+        self.launches.push(Launch::new(
+            KernelKind::IndexSelect,
+            IndexSelectKernel {
+                index: index.data.clone(),
+                index_base: index.base,
+                src_base: x.base,
+                feat: x.cols,
+                out_base,
+                scale,
+            },
+        ));
+        let data = match &x.data {
+            Some(xd) => {
+                let mut msgs = ops::gather_rows(xd, &index.data)?;
+                if let Some((dst, _, deg)) = gcn_scale {
+                    for i in 0..e {
+                        let s = 1.0
+                            / (deg[index.data[i] as usize] * deg[dst.data[i] as usize]).sqrt();
+                        for v in msgs.row_mut(i) {
+                            *v *= s;
+                        }
+                    }
+                }
+                Some(msgs)
+            }
+            None => None,
+        };
+        Ok(DTensor {
+            base: out_base,
+            rows: e,
+            cols: x.cols,
+            data,
+        })
+    }
+
+    /// `scatter`: reduces `msgs` rows into `out_rows` destinations.
+    pub fn scatter(
+        &mut self,
+        msgs: &DTensor,
+        index: &DIndex,
+        out_rows: usize,
+        reduce: Reduce,
+    ) -> Result<DTensor> {
+        let out_base = self.space.alloc_f32(out_rows as u64 * msgs.cols as u64);
+        self.launches.push(Launch::new(
+            KernelKind::Scatter,
+            ScatterKernel {
+                index: index.data.clone(),
+                index_base: index.base,
+                in_base: Some(msgs.base),
+                feat: msgs.cols,
+                out_base,
+                out_rows,
+                reduce,
+            },
+        ));
+        let data = match &msgs.data {
+            Some(md) => Some(ops::scatter_rows(md, &index.data, out_rows, reduce)?),
+            None => None,
+        };
+        Ok(DTensor {
+            base: out_base,
+            rows: out_rows,
+            cols: msgs.cols,
+            data,
+        })
+    }
+
+    /// `SpMM`: `out = a · x`.
+    pub fn spmm(&mut self, a: &DSparse, x: &DTensor) -> Result<DTensor> {
+        let out_base = self.space.alloc_f32(a.rows as u64 * x.cols as u64);
+        self.launches.push(Launch::new(
+            KernelKind::Spmm,
+            SpmmKernel::new(
+                a.row_ptr.clone(),
+                a.col_idx.clone(),
+                a.has_values,
+                a.bases.0,
+                a.bases.1,
+                a.bases.2,
+                x.base,
+                out_base,
+                x.cols,
+            ),
+        ));
+        let data = match &x.data {
+            Some(xd) => Some(ops::spmm(&a.to_csr(), xd)?),
+            None => None,
+        };
+        Ok(DTensor {
+            base: out_base,
+            rows: a.rows,
+            cols: x.cols,
+            data,
+        })
+    }
+
+    /// `SpGEMM`: `out = a · b`, whose sparsity pattern equals
+    /// `pattern_like`'s (true for every chain gSuite executes: diagonal ×
+    /// general and general × diagonal products preserve the general
+    /// operand's pattern).
+    pub fn spgemm(&mut self, a: &DSparse, b: &DSparse, pattern_like: &DSparse) -> Result<DSparse> {
+        let out_ci = self.space.alloc_f32(pattern_like.nnz() as u64);
+        let out_val = self.space.alloc_f32(pattern_like.nnz() as u64);
+        self.launches.push(Launch::new(
+            KernelKind::Spgemm,
+            SpgemmKernel::new(
+                a.row_ptr.clone(),
+                a.col_idx.clone(),
+                b.row_ptr.clone(),
+                pattern_like.row_ptr.clone(),
+                a.bases,
+                b.bases,
+                (out_ci, out_val),
+            ),
+        ));
+        let values = if self.functional {
+            let product = ops::spgemm(&a.to_csr(), &b.to_csr())?;
+            debug_assert_eq!(product.col_indices(), pattern_like.col_idx.as_slice());
+            Some(Arc::new(product.values().to_vec()))
+        } else {
+            None
+        };
+        let rp_base = self.space.alloc_f32(pattern_like.row_ptr.len() as u64);
+        Ok(DSparse {
+            rows: a.rows,
+            cols: b.cols,
+            row_ptr: pattern_like.row_ptr.clone(),
+            col_idx: pattern_like.col_idx.clone(),
+            values,
+            has_values: true,
+            bases: (rp_base, out_ci, out_val),
+        })
+    }
+
+    // ----- elementwise glue --------------------------------------------
+
+    /// ReLU over a tensor (a separate elementwise launch).
+    pub fn relu(&mut self, x: &DTensor) -> DTensor {
+        self.relu_inner(x.clone())
+    }
+
+    fn relu_inner(&mut self, x: DTensor) -> DTensor {
+        let out_base = self.space.alloc_f32(x.elems());
+        self.launches.push(Launch::new(
+            KernelKind::Elementwise,
+            ElementwiseKernel::relu(x.base, out_base, x.elems()),
+        ));
+        DTensor {
+            base: out_base,
+            rows: x.rows,
+            cols: x.cols,
+            data: x.data.map(|d| d.relu()),
+        }
+    }
+
+    /// `out = alpha·a + b` (GIN combine, SAGE merge).
+    pub fn axpy(&mut self, alpha: f32, a: &DTensor, b: &DTensor) -> Result<DTensor> {
+        let out_base = self.space.alloc_f32(a.elems());
+        self.launches.push(Launch::new(
+            KernelKind::Elementwise,
+            ElementwiseKernel::axpy(a.base, b.base, out_base, a.elems()),
+        ));
+        let data = match (&a.data, &b.data) {
+            (Some(ad), Some(bd)) => Some(ad.scale(alpha).add(bd)?),
+            _ => None,
+        };
+        Ok(DTensor {
+            base: out_base,
+            rows: a.rows,
+            cols: a.cols,
+            data,
+        })
+    }
+
+    /// `out[v][:] = x[v][:] * s[v]` (mean-divide).
+    pub fn row_scale(&mut self, x: &DTensor, s: &Arc<Vec<f32>>, s_base: u64) -> DTensor {
+        let out_base = self.space.alloc_f32(x.elems());
+        self.launches.push(Launch::new(
+            KernelKind::Elementwise,
+            ElementwiseKernel::row_scale(x.base, s_base, out_base, x.elems(), x.cols),
+        ));
+        let data = x.data.as_ref().map(|d| {
+            DenseMatrix::from_fn(x.rows, x.cols, |r, c| d.get(r, c) * s[r])
+        });
+        DTensor {
+            base: out_base,
+            rows: x.rows,
+            cols: x.cols,
+            data,
+        }
+    }
+
+    /// A bare copy launch (framework wrapper overhead; used by the
+    /// PyG-/DGL-like adapters).
+    pub fn wrapper_copy(&mut self, x: &DTensor) -> DTensor {
+        let out_base = self.space.alloc_f32(x.elems());
+        self.launches.push(Launch::new(
+            KernelKind::Elementwise,
+            ElementwiseKernel::copy(x.base, out_base, x.elems()),
+        ));
+        DTensor {
+            base: out_base,
+            rows: x.rows,
+            cols: x.cols,
+            data: x.data.clone(),
+        }
+    }
+
+    // ----- model-specific composite layers ------------------------------
+
+    /// One DGL-style SAGE-SpMM layer (mean aggregation via row-normalized
+    /// SpMM). Exposed for the DGL baseline adapter.
+    pub fn sage_spmm_layer(
+        &mut self,
+        x: &DTensor,
+        w1: &DenseMatrix,
+        w2: &DenseMatrix,
+        last: bool,
+    ) -> Result<DTensor> {
+        let mean_mat = self.sage_mean_matrix();
+        let mean = self.spmm(&mean_mat, x)?;
+        let a = self.linear(x, w1, false)?;
+        let b = self.linear(&mean, w2, false)?;
+        let mut out = self.axpy(1.0, &a, &b)?;
+        if !last {
+            out = self.relu(&out);
+        }
+        Ok(out)
+    }
+}
+
+/// Extracts `(src, dst)` endpoint arrays from a transposed adjacency
+/// (rows are destinations), optionally appending self-loops.
+fn endpoints_of(adj_t: &CsrMatrix, with_loops: bool) -> (Vec<u32>, Vec<u32>) {
+    let nnz = adj_t.nnz() + if with_loops { adj_t.rows() } else { 0 };
+    let mut src = Vec::with_capacity(nnz);
+    let mut dst = Vec::with_capacity(nnz);
+    for d in 0..adj_t.rows() {
+        let (cols, _) = adj_t.row(d);
+        for &s in cols {
+            src.push(s);
+            dst.push(d as u32);
+        }
+        if with_loops {
+            src.push(d as u32);
+            dst.push(d as u32);
+        }
+    }
+    (src, dst)
+}
+
+/// `m + value·I` with unit off-diagonal entries preserved.
+fn add_diag(m: &CsrMatrix, value: f32) -> CsrMatrix {
+    let n = m.rows();
+    let mut triplets: Vec<(usize, usize, f32)> =
+        m.iter().filter(|&(r, c, _)| r != c).collect();
+    for i in 0..n {
+        triplets.push((i, i, value));
+    }
+    CsrMatrix::from_triplets(n, n, &triplets).expect("valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsuite_graph::{EdgeList, Graph};
+
+    fn tiny_graph() -> Graph {
+        // 0 -> 1, 0 -> 2, 1 -> 2, plus a duplicate edge to exercise dedup.
+        let edges = EdgeList::from_pairs(3, &[(0, 1), (0, 2), (1, 2), (0, 2)]).unwrap();
+        let features = DenseMatrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32 * 0.1);
+        Graph::new(edges, features).unwrap()
+    }
+
+    #[test]
+    fn edges_are_deduplicated_and_sorted_by_dst() {
+        let g = tiny_graph();
+        let mut b = Builder::new(&g, true);
+        let (src, dst) = b.edges();
+        assert_eq!(dst.data.as_slice(), &[1u32, 2, 2]);
+        assert_eq!(src.data.as_slice(), &[0u32, 0, 1]);
+        assert_eq!(src.data.len(), 3, "duplicate (0,2) collapsed");
+    }
+
+    #[test]
+    fn degree_vector_counts_self_loop() {
+        let g = tiny_graph();
+        let mut b = Builder::new(&g, true);
+        let (_, deg) = b.degree_vector();
+        // in-degrees: 0, 1, 2 (after dedup); +1 self loop each.
+        assert_eq!(deg.as_slice(), &[1.0, 2.0, 3.0]);
+        assert_eq!(b.launch_count(), 1, "degree scatter emitted");
+    }
+
+    #[test]
+    fn linear_matches_gemm() {
+        let g = tiny_graph();
+        let mut b = Builder::new(&g, true);
+        let x = b.input_features();
+        let w = DenseMatrix::from_fn(4, 2, |r, c| (r + c) as f32);
+        let out = b.linear(&x, &w, false).unwrap();
+        let expected = ops::gemm(g.features(), &w).unwrap();
+        assert!(out.data.unwrap().approx_eq(&expected, 1e-5));
+        assert_eq!(b.launch_count(), 1);
+    }
+
+    #[test]
+    fn profile_mode_emits_launches_without_data() {
+        let g = tiny_graph();
+        let mut b = Builder::new(&g, false);
+        let x = b.input_features();
+        assert!(x.data.is_none());
+        let w = DenseMatrix::zeros(4, 2);
+        let out = b.linear(&x, &w, true).unwrap();
+        assert!(out.data.is_none());
+        assert_eq!(out.cols, 2);
+        assert_eq!(b.launch_count(), 1);
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip_matches_spmm() {
+        // gather(X, src) scatter-sum by dst == A^T X — the MP/SpMM bridge.
+        let g = tiny_graph();
+        let mut b = Builder::new(&g, true);
+        let x = b.input_features();
+        let (src, dst) = b.edges();
+        let msgs = b.index_select(&x, &src, None).unwrap();
+        let agg = b.scatter(&msgs, &dst, 3, Reduce::Sum).unwrap();
+        let at = g.adjacency_csr_transposed();
+        let expected = ops::spmm(&at, g.features()).unwrap();
+        assert!(agg.data.unwrap().approx_eq(&expected, 1e-5));
+    }
+
+    #[test]
+    fn spgemm_diag_chain_preserves_pattern() {
+        let g = tiny_graph();
+        let mut b = Builder::new(&g, true);
+        let at = b.adj_t_sparse(true);
+        let d = b.inv_sqrt_deg_diag();
+        let t1 = b.spgemm(&d, &at, &at).unwrap();
+        let t2 = b.spgemm(&t1, &d, &at).unwrap();
+        assert_eq!(t2.nnz(), at.nnz());
+        // Values match gcn_norm on the transposed adjacency.
+        let expected = gsuite_graph::gcn_norm_csr(&g.adjacency_csr_transposed());
+        let got = t2.to_csr();
+        assert!(got.to_dense().approx_eq(&expected.to_dense(), 1e-5));
+    }
+
+    #[test]
+    fn sage_mean_matrix_rows_sum_to_one() {
+        let g = tiny_graph();
+        let mut b = Builder::new(&g, true);
+        let m = b.sage_mean_matrix();
+        for s in m.to_csr().row_sums() {
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn axpy_and_row_scale_functional() {
+        let g = tiny_graph();
+        let mut b = Builder::new(&g, true);
+        let x = b.input_features();
+        let doubled = b.axpy(1.0, &x, &x).unwrap();
+        let expected = g.features().scale(2.0);
+        assert!(doubled.data.as_ref().unwrap().approx_eq(&expected, 1e-6));
+
+        let halves = Arc::new(vec![0.5f32; 3]);
+        let halved = b.row_scale(&doubled, &halves, 0x9999);
+        assert!(halved.data.unwrap().approx_eq(g.features(), 1e-6));
+    }
+}

@@ -1,0 +1,136 @@
+//! Graph Convolutional Network (Kipf & Welling) — paper §II-C1, Eqs. 1–2,
+//! pipelines per Fig. 2.
+
+use gsuite_tensor::ops::Reduce;
+
+use super::builder::Builder;
+use super::ModelWeights;
+use crate::Result;
+
+/// The message-passing GCN pipeline (Fig. 2 left), per layer:
+/// degree scatter → `sgemm` (X·W) → `indexSelect` with the folded
+/// `1/√(d_u d_v)` normalization → `scatter`-sum over `Â`'s edges (self-loops
+/// included) → ReLU between layers.
+///
+/// Note the paper's structural point: GCN applies the linear step *first*,
+/// so its gather/scatter kernels run at hidden width — far less parallelism
+/// than GIN/SAGE, which aggregate at input width (this is what drives GCN's
+/// idle-heavy Fig. 7 profile).
+pub fn build_mp(b: &mut Builder<'_>, weights: &ModelWeights) -> Result<()> {
+    let n = b.graph().num_nodes();
+    let mut x = b.input_features();
+    let layers = weights.layers.len();
+    for (l, lw) in weights.layers.iter().enumerate() {
+        let (src, dst) = b.edges_with_loops();
+        let (deg_base, deg) = b.degree_vector();
+        let h = b.linear(&x, &lw.w1, false)?;
+        let msgs = b.index_select(&h, &src, Some((&dst, deg_base, &deg)))?;
+        let mut out = b.scatter(&msgs, &dst, n, Reduce::Sum)?;
+        if l + 1 < layers {
+            out = b.relu(&out);
+        }
+        x = out;
+    }
+    b.set_output(x);
+    Ok(())
+}
+
+/// The SpMM GCN pipeline (Fig. 2 right), per layer:
+/// `SpGEMM` (D^-1/2 · Â^T) → `SpGEMM` (· D^-1/2) → `SpMM` (· X) →
+/// `sgemm` (· W) → ReLU between layers.
+pub fn build_spmm(b: &mut Builder<'_>, weights: &ModelWeights) -> Result<()> {
+    let mut x = b.input_features();
+    let layers = weights.layers.len();
+    for (l, lw) in weights.layers.iter().enumerate() {
+        let at = b.adj_t_sparse(true);
+        let d = b.inv_sqrt_deg_diag();
+        let t1 = b.spgemm(&d, &at, &at)?;
+        let t2 = b.spgemm(&t1, &d, &at)?;
+        let agg = b.spmm(&t2, &x)?;
+        let mut out = b.linear(&agg, &lw.w1, false)?;
+        if l + 1 < layers {
+            out = b.relu(&out);
+        }
+        x = out;
+    }
+    b.set_output(x);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::KernelKind;
+    use gsuite_graph::GraphGenerator;
+
+    fn weights(in_dim: usize, hidden: usize, layers: usize) -> ModelWeights {
+        ModelWeights::init(crate::config::GnnModel::Gcn, in_dim, hidden, layers, 3)
+    }
+
+    #[test]
+    fn mp_kernel_sequence_matches_fig2() {
+        let g = GraphGenerator::new(20, 60).seed(1).build_graph(8).unwrap();
+        let mut b = Builder::new(&g, true);
+        build_mp(&mut b, &weights(8, 4, 1)).unwrap();
+        let (launches, out) = b.finish();
+        let kinds: Vec<KernelKind> = launches.iter().map(|l| l.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                KernelKind::Scatter, // degrees
+                KernelKind::Sgemm,
+                KernelKind::IndexSelect,
+                KernelKind::Scatter,
+            ]
+        );
+        assert_eq!(out.shape(), (20, 4));
+    }
+
+    #[test]
+    fn spmm_kernel_sequence_matches_fig2() {
+        let g = GraphGenerator::new(20, 60).seed(1).build_graph(8).unwrap();
+        let mut b = Builder::new(&g, true);
+        build_spmm(&mut b, &weights(8, 4, 1)).unwrap();
+        let (launches, out) = b.finish();
+        let kinds: Vec<KernelKind> = launches.iter().map(|l| l.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                KernelKind::Spgemm,
+                KernelKind::Spgemm,
+                KernelKind::Spmm,
+                KernelKind::Sgemm,
+            ]
+        );
+        assert_eq!(out.shape(), (20, 4));
+    }
+
+    #[test]
+    fn mp_equals_spmm() {
+        // The paper's central equivalence: both computational models
+        // implement Eq. 1 == Eq. 2.
+        let g = GraphGenerator::new(30, 120).seed(5).build_graph(6).unwrap();
+        let w = weights(6, 5, 2);
+        let mut mp = Builder::new(&g, true);
+        build_mp(&mut mp, &w).unwrap();
+        let (_, mp_out) = mp.finish();
+        let mut sp = Builder::new(&g, true);
+        build_spmm(&mut sp, &w).unwrap();
+        let (_, sp_out) = sp.finish();
+        assert!(
+            mp_out.approx_eq(&sp_out, 1e-3),
+            "max diff {}",
+            mp_out.max_abs_diff(&sp_out).unwrap()
+        );
+    }
+
+    #[test]
+    fn layers_stack() {
+        let g = GraphGenerator::new(12, 30).seed(2).build_graph(4).unwrap();
+        let mut b = Builder::new(&g, true);
+        build_mp(&mut b, &weights(4, 4, 3)).unwrap();
+        let (launches, _) = b.finish();
+        // 4 kernels per layer + relu between layers (2 of them).
+        assert_eq!(launches.len(), 3 * 4 + 2);
+    }
+}

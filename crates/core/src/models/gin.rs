@@ -1,0 +1,147 @@
+//! Graph Isomorphism Network (Xu et al.) — paper §II-C2, Eqs. 3–4.
+
+use gsuite_tensor::ops::Reduce;
+
+use super::builder::Builder;
+use super::ModelWeights;
+use crate::Result;
+
+/// GIN's injectivity constant ε (GIN-0 convention; the paper treats it as a
+/// fixed constant in Eqs. 3–4).
+pub const GIN_EPS: f32 = 0.0;
+
+/// The message-passing GIN pipeline (Eq. 3), per layer:
+/// `indexSelect` (raw features!) → `scatter`-sum → elementwise combine
+/// `(1+ε)·h + Σ` → 2-layer MLP (`sgemm` → ReLU → `sgemm`) → ReLU between
+/// layers.
+///
+/// Unlike GCN, aggregation runs at *input* width — on Cora that is 1433
+/// floats per node, which is why GIN's gather/scatter kernels dominate and
+/// keep the machine busy (paper Figs. 4 and 7).
+pub fn build_mp(b: &mut Builder<'_>, weights: &ModelWeights) -> Result<()> {
+    let n = b.graph().num_nodes();
+    let mut x = b.input_features();
+    let layers = weights.layers.len();
+    for (l, lw) in weights.layers.iter().enumerate() {
+        let (src, dst) = b.edges();
+        let msgs = b.index_select(&x, &src, None)?;
+        let agg = b.scatter(&msgs, &dst, n, Reduce::Sum)?;
+        let comb = b.axpy(1.0 + GIN_EPS, &x, &agg)?;
+        let h1 = b.linear(&comb, &lw.w1, false)?;
+        let h1r = b.relu(&h1);
+        let w2 = lw.w2.as_ref().expect("GIN has a 2-layer MLP");
+        let mut out = b.linear(&h1r, w2, false)?;
+        if l + 1 < layers {
+            out = b.relu(&out);
+        }
+        x = out;
+    }
+    b.set_output(x);
+    Ok(())
+}
+
+/// The SpMM GIN pipeline (Eq. 4), per layer:
+/// `SpMM` with `M = Â^T + (1+ε)·I` → 2-layer MLP → ReLU between layers.
+pub fn build_spmm(b: &mut Builder<'_>, weights: &ModelWeights) -> Result<()> {
+    let mut x = b.input_features();
+    let layers = weights.layers.len();
+    for (l, lw) in weights.layers.iter().enumerate() {
+        let m = b.gin_matrix(GIN_EPS);
+        let agg = b.spmm(&m, &x)?;
+        let h1 = b.linear(&agg, &lw.w1, false)?;
+        let h1r = b.relu(&h1);
+        let w2 = lw.w2.as_ref().expect("GIN has a 2-layer MLP");
+        let mut out = b.linear(&h1r, w2, false)?;
+        if l + 1 < layers {
+            out = b.relu(&out);
+        }
+        x = out;
+    }
+    b.set_output(x);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GnnModel;
+    use crate::kernels::KernelKind;
+    use gsuite_graph::GraphGenerator;
+
+    fn weights(in_dim: usize, hidden: usize, layers: usize) -> ModelWeights {
+        ModelWeights::init(GnnModel::Gin, in_dim, hidden, layers, 11)
+    }
+
+    #[test]
+    fn mp_sequence() {
+        let g = GraphGenerator::new(16, 40).seed(4).build_graph(6).unwrap();
+        let mut b = Builder::new(&g, true);
+        build_mp(&mut b, &weights(6, 4, 1)).unwrap();
+        let (launches, out) = b.finish();
+        let kinds: Vec<KernelKind> = launches.iter().map(|l| l.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                KernelKind::IndexSelect,
+                KernelKind::Scatter,
+                KernelKind::Elementwise, // (1+eps) combine
+                KernelKind::Sgemm,
+                KernelKind::Elementwise, // MLP ReLU
+                KernelKind::Sgemm,
+            ]
+        );
+        assert_eq!(out.shape(), (16, 4));
+    }
+
+    #[test]
+    fn spmm_sequence_is_shorter() {
+        let g = GraphGenerator::new(16, 40).seed(4).build_graph(6).unwrap();
+        let mut b = Builder::new(&g, true);
+        build_spmm(&mut b, &weights(6, 4, 1)).unwrap();
+        let (launches, _) = b.finish();
+        let kinds: Vec<KernelKind> = launches.iter().map(|l| l.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                KernelKind::Spmm,
+                KernelKind::Sgemm,
+                KernelKind::Elementwise,
+                KernelKind::Sgemm,
+            ]
+        );
+    }
+
+    #[test]
+    fn mp_equals_spmm() {
+        let g = GraphGenerator::new(25, 90).seed(9).build_graph(5).unwrap();
+        let w = weights(5, 6, 2);
+        let mut mp = Builder::new(&g, true);
+        build_mp(&mut mp, &w).unwrap();
+        let (_, mp_out) = mp.finish();
+        let mut sp = Builder::new(&g, true);
+        build_spmm(&mut sp, &w).unwrap();
+        let (_, sp_out) = sp.finish();
+        assert!(
+            mp_out.approx_eq(&sp_out, 1e-3),
+            "max diff {}",
+            mp_out.max_abs_diff(&sp_out).unwrap()
+        );
+    }
+
+    #[test]
+    fn aggregation_runs_at_input_width() {
+        // GIN gathers raw features: the indexSelect kernel's element count
+        // must be E * f (not E * hidden).
+        let g = GraphGenerator::new(16, 40).seed(4).build_graph(12).unwrap();
+        let dedup_edges = g.adjacency_csr_transposed().nnz() as u64;
+        let mut b = Builder::new(&g, false);
+        build_mp(&mut b, &weights(12, 2, 1)).unwrap();
+        let (launches, _) = b.finish();
+        let is = &launches[0];
+        assert_eq!(is.kind, KernelKind::IndexSelect);
+        // grid covers E_dedup * 12 elements with 128-thread CTAs handling
+        // 4 elements per thread
+        let expect_elems = dedup_edges * 12;
+        assert_eq!(is.workload.grid().ctas, expect_elems.div_ceil(4).div_ceil(128));
+    }
+}

@@ -1,0 +1,184 @@
+//! The GNN models of the paper (§II-C): GCN, GIN and GraphSAGE, each
+//! assembled from core kernels under the MP and/or SpMM computational
+//! models.
+//!
+//! Model builders work in two coupled domains at once:
+//!
+//! * **functionally** — computing the real inference result with
+//!   [`gsuite_tensor::ops`] (skippable for profile-only runs on huge
+//!   inputs), and
+//! * **architecturally** — emitting one [`crate::kernels::Launch`] per
+//!   kernel the corresponding CUDA pipeline would launch, with buffer
+//!   addresses from a shared [`crate::AddressSpace`] and index/structure
+//!   arrays taken from the live graph.
+//!
+//! The central correctness property (tested in `tests/`): for GCN and GIN,
+//! the MP pipeline and the SpMM pipeline produce the same output up to
+//! floating-point reassociation — the paper's claim that both computational
+//! models implement the same mathematics (Eqs. 1–4).
+
+mod builder;
+mod gat;
+mod gcn;
+mod gin;
+mod sage;
+mod sgc;
+
+pub use builder::{Builder, DSparse, DTensor};
+
+use gsuite_tensor::DenseMatrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{CompModel, GnnModel, RunConfig};
+use crate::kernels::Launch;
+use crate::{CoreError, Result};
+use gsuite_graph::Graph;
+
+/// Per-layer dense weights.
+#[derive(Debug, Clone)]
+pub struct LayerWeights {
+    /// Primary linear weight (`[in, hidden]`).
+    pub w1: DenseMatrix,
+    /// Secondary weight: GIN's second MLP layer (`[hidden, hidden]`) or
+    /// GraphSAGE's neighbour weight (`[in, hidden]`).
+    pub w2: Option<DenseMatrix>,
+}
+
+/// All layer weights of a model instance, seeded deterministically.
+#[derive(Debug, Clone)]
+pub struct ModelWeights {
+    /// One entry per GNN layer.
+    pub layers: Vec<LayerWeights>,
+}
+
+impl ModelWeights {
+    /// Initializes weights for `model` with `layers` layers mapping
+    /// `in_dim -> hidden -> ... -> hidden`.
+    pub fn init(model: GnnModel, in_dim: usize, hidden: usize, layers: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x57ED_5EED);
+        let mut mk = |rows: usize, cols: usize| {
+            let scale = 1.0 / (rows.max(1) as f32).sqrt();
+            DenseMatrix::from_fn(rows, cols, |_, _| (rng.gen::<f32>() - 0.5) * 2.0 * scale)
+        };
+        let mut out = Vec::with_capacity(layers);
+        for layer in 0..layers {
+            // SGC propagates at input width before its single linear layer.
+            let d_in = if layer == 0 || model == GnnModel::Sgc {
+                in_dim
+            } else {
+                hidden
+            };
+            let w1 = mk(d_in, hidden);
+            let w2 = match model {
+                GnnModel::Gin => Some(mk(hidden, hidden)),
+                GnnModel::Sage => Some(mk(d_in, hidden)),
+                // Packed [hidden, 2] attention projection vectors.
+                GnnModel::Gat => Some(mk(hidden, 2)),
+                GnnModel::Gcn | GnnModel::Sgc => None,
+            };
+            out.push(LayerWeights { w1, w2 });
+        }
+        ModelWeights { layers: out }
+    }
+}
+
+/// Builds the kernel pipeline (and, in functional mode, the inference
+/// result) for `config` over `graph`.
+///
+/// This is the entry point [`crate::pipeline::PipelineRun`] uses; it
+/// dispatches on `(model, comp)` and returns the launches plus the output
+/// feature matrix (zeros when functional math is disabled).
+///
+/// # Errors
+///
+/// Returns [`CoreError::UnsupportedCombination`] for GraphSAGE under SpMM —
+/// the combination the paper's gSuite surface does not provide (§V-A). The
+/// DGL-like baseline adapter reaches SAGE-SpMM through
+/// [`builder::Builder::sage_spmm_layer`] directly instead.
+pub fn build_model(graph: &Graph, config: &RunConfig) -> Result<(Vec<Launch>, DenseMatrix)> {
+    let weights = ModelWeights::init(
+        config.model,
+        graph.feature_dim(),
+        config.hidden,
+        config.layers,
+        config.seed,
+    );
+    let mut builder = Builder::new(graph, config.functional_math);
+    match (config.model, config.comp) {
+        (GnnModel::Gcn, CompModel::Mp) => gcn::build_mp(&mut builder, &weights)?,
+        (GnnModel::Gcn, CompModel::Spmm) => gcn::build_spmm(&mut builder, &weights)?,
+        (GnnModel::Gin, CompModel::Mp) => gin::build_mp(&mut builder, &weights)?,
+        (GnnModel::Gin, CompModel::Spmm) => gin::build_spmm(&mut builder, &weights)?,
+        (GnnModel::Sage, CompModel::Mp) => sage::build_mp(&mut builder, &weights)?,
+        (GnnModel::Gat, CompModel::Mp) => gat::build_mp(&mut builder, &weights)?,
+        (GnnModel::Sgc, CompModel::Mp) => sgc::build_mp(&mut builder, &weights)?,
+        (GnnModel::Sgc, CompModel::Spmm) => sgc::build_spmm(&mut builder, &weights)?,
+        (GnnModel::Sage, CompModel::Spmm) | (GnnModel::Gat, CompModel::Spmm) => {
+            return Err(CoreError::UnsupportedCombination {
+                model: config.model.name().to_string(),
+                comp: "SpMM".to_string(),
+            })
+        }
+    }
+    Ok(builder.finish())
+}
+
+/// Builds the DGL-style SAGE-SpMM pipeline (mean aggregation as a
+/// row-normalized SpMM). Not part of the gSuite surface — used by the
+/// DGL-like baseline adapter.
+pub fn build_sage_spmm(graph: &Graph, config: &RunConfig) -> Result<(Vec<Launch>, DenseMatrix)> {
+    let weights = ModelWeights::init(
+        GnnModel::Sage,
+        graph.feature_dim(),
+        config.hidden,
+        config.layers,
+        config.seed,
+    );
+    let mut builder = Builder::new(graph, config.functional_math);
+    sage::build_spmm(&mut builder, &weights)?;
+    Ok(builder.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsuite_graph::datasets::Dataset;
+
+    #[test]
+    fn weights_are_seeded() {
+        let a = ModelWeights::init(GnnModel::Gcn, 8, 4, 2, 7);
+        let b = ModelWeights::init(GnnModel::Gcn, 8, 4, 2, 7);
+        let c = ModelWeights::init(GnnModel::Gcn, 8, 4, 2, 8);
+        assert_eq!(a.layers[0].w1, b.layers[0].w1);
+        assert_ne!(a.layers[0].w1, c.layers[0].w1);
+    }
+
+    #[test]
+    fn weight_shapes_follow_model() {
+        let gcn = ModelWeights::init(GnnModel::Gcn, 10, 4, 2, 0);
+        assert_eq!(gcn.layers[0].w1.shape(), (10, 4));
+        assert_eq!(gcn.layers[1].w1.shape(), (4, 4));
+        assert!(gcn.layers[0].w2.is_none());
+
+        let gin = ModelWeights::init(GnnModel::Gin, 10, 4, 1, 0);
+        assert_eq!(gin.layers[0].w2.as_ref().unwrap().shape(), (4, 4));
+
+        let sage = ModelWeights::init(GnnModel::Sage, 10, 4, 1, 0);
+        assert_eq!(sage.layers[0].w2.as_ref().unwrap().shape(), (10, 4));
+    }
+
+    #[test]
+    fn sage_spmm_is_rejected() {
+        let config = RunConfig {
+            model: GnnModel::Sage,
+            comp: CompModel::Spmm,
+            dataset: Dataset::Cora,
+            scale: 0.01,
+            ..RunConfig::default()
+        };
+        let graph = config.load_graph();
+        let err = build_model(&graph, &config).unwrap_err();
+        assert!(matches!(err, CoreError::UnsupportedCombination { .. }));
+    }
+}

@@ -1,0 +1,132 @@
+//! GraphSAGE (Hamilton et al.) — paper §II-C3, Eq. 5. MP-only in the
+//! gSuite surface; the SpMM variant exists solely for the DGL-like
+//! baseline adapter.
+
+use gsuite_tensor::ops::Reduce;
+
+use super::builder::Builder;
+use super::ModelWeights;
+use crate::Result;
+
+/// The message-passing GraphSAGE pipeline (Eq. 5), per layer:
+/// degree scatter → `indexSelect` (raw features over `N(v) ∪ {v}`) →
+/// `scatter`-sum → elementwise mean-divide → two `sgemm`s (`W1·h`,
+/// `W2·mean`) → elementwise add → ReLU between layers.
+pub fn build_mp(b: &mut Builder<'_>, weights: &ModelWeights) -> Result<()> {
+    let n = b.graph().num_nodes();
+    let mut x = b.input_features();
+    let layers = weights.layers.len();
+    for (l, lw) in weights.layers.iter().enumerate() {
+        let (src, dst) = b.edges_with_loops();
+        let (deg_base, deg) = b.degree_vector();
+        let msgs = b.index_select(&x, &src, None)?;
+        let sum = b.scatter(&msgs, &dst, n, Reduce::Sum)?;
+        let inv_deg = std::sync::Arc::new(deg.iter().map(|&d| 1.0 / d).collect::<Vec<f32>>());
+        let mean = b.row_scale(&sum, &inv_deg, deg_base);
+        let a = b.linear(&x, &lw.w1, false)?;
+        let w2 = lw.w2.as_ref().expect("SAGE has a neighbour weight");
+        let bb = b.linear(&mean, w2, false)?;
+        let mut out = b.axpy(1.0, &a, &bb)?;
+        if l + 1 < layers {
+            out = b.relu(&out);
+        }
+        x = out;
+    }
+    b.set_output(x);
+    Ok(())
+}
+
+/// The DGL-style SpMM GraphSAGE: mean aggregation as a row-normalized
+/// `SpMM`, then the same linear tail. Not exposed through the gSuite
+/// configuration surface (the paper found no SpMM SAGE to imitate); the
+/// DGL-like adapter calls it directly.
+pub fn build_spmm(b: &mut Builder<'_>, weights: &ModelWeights) -> Result<()> {
+    let mut x = b.input_features();
+    let layers = weights.layers.len();
+    for (l, lw) in weights.layers.iter().enumerate() {
+        let w2 = lw.w2.as_ref().expect("SAGE has a neighbour weight");
+        let out = b.sage_spmm_layer(&x, &lw.w1, w2, l + 1 == layers)?;
+        x = out;
+    }
+    b.set_output(x);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GnnModel;
+    use crate::kernels::KernelKind;
+    use gsuite_graph::GraphGenerator;
+    use gsuite_tensor::ops;
+
+    fn weights(in_dim: usize, hidden: usize, layers: usize) -> ModelWeights {
+        ModelWeights::init(GnnModel::Sage, in_dim, hidden, layers, 21)
+    }
+
+    #[test]
+    fn mp_sequence() {
+        let g = GraphGenerator::new(14, 30).seed(6).build_graph(5).unwrap();
+        let mut b = Builder::new(&g, true);
+        build_mp(&mut b, &weights(5, 3, 1)).unwrap();
+        let (launches, out) = b.finish();
+        let kinds: Vec<KernelKind> = launches.iter().map(|l| l.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                KernelKind::Scatter, // degrees
+                KernelKind::IndexSelect,
+                KernelKind::Scatter,
+                KernelKind::Elementwise, // mean divide
+                KernelKind::Sgemm,
+                KernelKind::Sgemm,
+                KernelKind::Elementwise, // add
+            ]
+        );
+        assert_eq!(out.shape(), (14, 3));
+    }
+
+    #[test]
+    fn functional_matches_direct_formula() {
+        // out = X·W1 + mean_{N(v) ∪ {v}}(X)·W2
+        let g = GraphGenerator::new(10, 24).seed(8).build_graph(4).unwrap();
+        let w = weights(4, 3, 1);
+        let mut b = Builder::new(&g, true);
+        build_mp(&mut b, &w).unwrap();
+        let (_, out) = b.finish();
+
+        // Direct computation.
+        let at = gsuite_graph::add_self_loops(&g.adjacency_csr_transposed());
+        let deg: Vec<f32> = at.row_sums();
+        let summed = ops::spmm(&at, g.features()).unwrap();
+        let mean = gsuite_tensor::DenseMatrix::from_fn(10, 4, |r, c| {
+            summed.get(r, c) / deg[r]
+        });
+        let expected = ops::gemm(g.features(), &w.layers[0].w1)
+            .unwrap()
+            .add(&ops::gemm(&mean, w.layers[0].w2.as_ref().unwrap()).unwrap())
+            .unwrap();
+        assert!(
+            out.approx_eq(&expected, 1e-4),
+            "max diff {}",
+            out.max_abs_diff(&expected).unwrap()
+        );
+    }
+
+    #[test]
+    fn mp_equals_dgl_spmm_variant() {
+        let g = GraphGenerator::new(18, 50).seed(12).build_graph(6).unwrap();
+        let w = weights(6, 4, 2);
+        let mut mp = Builder::new(&g, true);
+        build_mp(&mut mp, &w).unwrap();
+        let (_, mp_out) = mp.finish();
+        let mut sp = Builder::new(&g, true);
+        build_spmm(&mut sp, &w).unwrap();
+        let (_, sp_out) = sp.finish();
+        assert!(
+            mp_out.approx_eq(&sp_out, 1e-3),
+            "max diff {}",
+            mp_out.max_abs_diff(&sp_out).unwrap()
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Simple Graph Convolution (Wu et al.) — an *extension* model: K hops of
+//! GCN-normalized propagation followed by a single linear layer,
+//! `X' = (D^-1/2 Â D^-1/2)^K · X · W`.
+//!
+//! SGC showcases the configuration surface: `layers` selects the number of
+//! propagation hops K (the model always has exactly one weight matrix).
+
+use gsuite_tensor::ops::Reduce;
+
+use super::builder::Builder;
+use super::ModelWeights;
+use crate::Result;
+
+/// MP formulation: K rounds of (degree scatter → normalized indexSelect →
+/// scatter-sum), then one `sgemm`.
+pub fn build_mp(b: &mut Builder<'_>, weights: &ModelWeights) -> Result<()> {
+    let n = b.graph().num_nodes();
+    let mut x = b.input_features();
+    let hops = weights.layers.len();
+    for _ in 0..hops {
+        let (src, dst) = b.edges_with_loops();
+        let (deg_base, deg) = b.degree_vector();
+        let msgs = b.index_select(&x, &src, Some((&dst, deg_base, &deg)))?;
+        x = b.scatter(&msgs, &dst, n, Reduce::Sum)?;
+    }
+    let out = b.linear(&x, &weights.layers[0].w1, false)?;
+    b.set_output(out);
+    Ok(())
+}
+
+/// SpMM formulation: the normalization chain once, then K `SpMM` hops and
+/// one `sgemm`.
+pub fn build_spmm(b: &mut Builder<'_>, weights: &ModelWeights) -> Result<()> {
+    let mut x = b.input_features();
+    let hops = weights.layers.len();
+    let at = b.adj_t_sparse(true);
+    let d = b.inv_sqrt_deg_diag();
+    let t1 = b.spgemm(&d, &at, &at)?;
+    let norm = b.spgemm(&t1, &d, &at)?;
+    for _ in 0..hops {
+        x = b.spmm(&norm, &x)?;
+    }
+    let out = b.linear(&x, &weights.layers[0].w1, false)?;
+    b.set_output(out);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GnnModel;
+    use crate::kernels::KernelKind;
+    use gsuite_graph::GraphGenerator;
+
+    fn weights(in_dim: usize, hidden: usize, hops: usize) -> ModelWeights {
+        // SGC has one weight; `layers` entries exist but only the first is
+        // used (input width throughout, since propagation precedes it).
+        let mut w = ModelWeights::init(GnnModel::Gcn, in_dim, hidden, 1, 17);
+        while w.layers.len() < hops {
+            w.layers.push(w.layers[0].clone());
+        }
+        w
+    }
+
+    #[test]
+    fn single_sgemm_regardless_of_hops() {
+        let g = GraphGenerator::new(18, 50).seed(1).build_graph(6).unwrap();
+        for hops in [1usize, 3] {
+            let mut b = Builder::new(&g, true);
+            build_mp(&mut b, &weights(6, 4, hops)).unwrap();
+            let (launches, _) = b.finish();
+            let sgemms = launches.iter().filter(|l| l.kind == KernelKind::Sgemm).count();
+            assert_eq!(sgemms, 1, "SGC has exactly one linear layer");
+            let scatters = launches.iter().filter(|l| l.kind == KernelKind::Scatter).count();
+            assert_eq!(scatters, hops * 2, "degree + aggregation per hop");
+        }
+    }
+
+    #[test]
+    fn mp_equals_spmm() {
+        let g = GraphGenerator::new(24, 80).seed(8).build_graph(5).unwrap();
+        let w = weights(5, 4, 2);
+        let mut mp = Builder::new(&g, true);
+        build_mp(&mut mp, &w).unwrap();
+        let (_, mp_out) = mp.finish();
+        let mut sp = Builder::new(&g, true);
+        build_spmm(&mut sp, &w).unwrap();
+        let (_, sp_out) = sp.finish();
+        assert!(
+            mp_out.approx_eq(&sp_out, 1e-3),
+            "max diff {}",
+            mp_out.max_abs_diff(&sp_out).unwrap()
+        );
+    }
+
+    #[test]
+    fn spmm_normalizes_once() {
+        let g = GraphGenerator::new(18, 50).seed(1).build_graph(6).unwrap();
+        let mut b = Builder::new(&g, true);
+        build_spmm(&mut b, &weights(6, 4, 3)).unwrap();
+        let (launches, _) = b.finish();
+        let spgemms = launches.iter().filter(|l| l.kind == KernelKind::Spgemm).count();
+        assert_eq!(spgemms, 2, "normalization chain built once, reused per hop");
+        let spmms = launches.iter().filter(|l| l.kind == KernelKind::Spmm).count();
+        assert_eq!(spmms, 3);
+    }
+}

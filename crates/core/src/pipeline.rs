@@ -1,0 +1,156 @@
+//! Pipeline assembly and profiling: the executable form of one configured
+//! GNN inference run.
+
+use gsuite_profile::{PipelineProfile, Profiler};
+use gsuite_tensor::DenseMatrix;
+
+use crate::config::RunConfig;
+use crate::frameworks;
+use crate::kernels::Launch;
+use crate::Result;
+use gsuite_graph::Graph;
+
+/// A fully built pipeline: the ordered kernel launches, the functional
+/// output, and the run description.
+///
+/// # Example
+///
+/// ```
+/// use gsuite_core::config::RunConfig;
+/// use gsuite_core::pipeline::PipelineRun;
+/// use gsuite_profile::HwProfiler;
+///
+/// # fn main() -> Result<(), gsuite_core::CoreError> {
+/// let config = RunConfig {
+///     scale: 0.02,
+///     hidden: 8,
+///     ..RunConfig::default()
+/// };
+/// let graph = config.load_graph();
+/// let run = PipelineRun::build(&graph, &config)?;
+/// let profile = run.profile(&HwProfiler::v100());
+/// assert_eq!(profile.kernels.len(), run.launches.len());
+/// assert!(profile.total_time_ms() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PipelineRun {
+    /// Human-readable run label.
+    pub label: String,
+    /// The configuration that produced this run.
+    pub config: RunConfig,
+    /// Kernel launches in execution order.
+    pub launches: Vec<Launch>,
+    /// Functional inference output (zeros when functional math disabled).
+    pub output: DenseMatrix,
+}
+
+impl PipelineRun {
+    /// Builds the pipeline for `config` over `graph`, honoring the
+    /// configured framework (gSuite or a baseline adapter).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::CoreError::UnsupportedCombination`] for
+    /// gSuite + GraphSAGE + SpMM.
+    pub fn build(graph: &Graph, config: &RunConfig) -> Result<Self> {
+        let (launches, output) = frameworks::build_pipeline(graph, config)?;
+        Ok(PipelineRun {
+            label: config.label(),
+            config: config.clone(),
+            launches,
+            output,
+        })
+    }
+
+    /// Profiles every launch with `profiler` and attaches the framework's
+    /// modeled host overheads (init + per-launch dispatch).
+    pub fn profile(&self, profiler: &dyn Profiler) -> PipelineProfile {
+        let costs = self.config.framework.costs();
+        let mut profile = PipelineProfile::new(self.label.clone());
+        profile.host_overhead_ms =
+            costs.init_ms + costs.per_launch_ms * self.launches.len() as f64;
+        for launch in &self.launches {
+            let mut stats = profiler.profile(launch.workload.as_ref());
+            // Group under the Table II taxonomy name (e.g. all elementwise
+            // variants report as "other").
+            stats.kernel = launch.kind.name().to_string();
+            profile.kernels.push(stats);
+        }
+        profile
+    }
+
+    /// Total kernel launches.
+    pub fn launch_count(&self) -> usize {
+        self.launches.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CompModel, FrameworkKind, GnnModel};
+    use gsuite_graph::datasets::Dataset;
+    use gsuite_profile::HwProfiler;
+
+    fn config() -> RunConfig {
+        RunConfig {
+            model: GnnModel::Gcn,
+            comp: CompModel::Mp,
+            dataset: Dataset::Cora,
+            scale: 0.02,
+            layers: 2,
+            hidden: 8,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn build_and_profile() {
+        let cfg = config();
+        let graph = cfg.load_graph();
+        let run = PipelineRun::build(&graph, &cfg).unwrap();
+        // GCN-MP: 4 kernels/layer x 2 layers + 1 inter-layer ReLU.
+        assert_eq!(run.launch_count(), 9);
+        let profile = run.profile(&HwProfiler::v100());
+        assert_eq!(profile.kernels.len(), 9);
+        assert!(profile.device_time_ms() > 0.0);
+        assert!(profile.host_overhead_ms > 0.0);
+        // Kernel records grouped under Table II names.
+        assert!(profile.kernels.iter().any(|k| k.kernel == "indexSelect"));
+        assert!(profile.kernels.iter().any(|k| k.kernel == "sgemm"));
+    }
+
+    #[test]
+    fn framework_overheads_rank_pipelines() {
+        let graph = config().load_graph();
+        let mut times = Vec::new();
+        for fw in FrameworkKind::ALL {
+            let cfg = RunConfig {
+                framework: fw,
+                ..config()
+            };
+            let run = PipelineRun::build(&graph, &cfg).unwrap();
+            let p = run.profile(&HwProfiler::v100());
+            times.push((fw, p.total_time_ms()));
+        }
+        let pyg = times.iter().find(|(f, _)| *f == FrameworkKind::PygLike).unwrap().1;
+        let dgl = times.iter().find(|(f, _)| *f == FrameworkKind::DglLike).unwrap().1;
+        let gsuite = times.iter().find(|(f, _)| *f == FrameworkKind::GSuite).unwrap().1;
+        assert!(pyg > dgl, "PyG {pyg} should exceed DGL {dgl}");
+        assert!(dgl > gsuite, "DGL {dgl} should exceed gSuite {gsuite}");
+    }
+
+    #[test]
+    fn profile_only_mode_builds_without_math() {
+        let cfg = RunConfig {
+            functional_math: false,
+            ..config()
+        };
+        let graph = cfg.load_graph();
+        let run = PipelineRun::build(&graph, &cfg).unwrap();
+        assert_eq!(run.output.sum(), 0.0, "profile-only output is zeros");
+        assert_eq!(run.launch_count(), 9);
+    }
+}

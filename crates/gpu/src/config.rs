@@ -1,0 +1,208 @@
+use serde::{Deserialize, Serialize};
+
+use crate::cache::CacheConfig;
+
+/// Full architectural configuration of the simulated GPU.
+///
+/// The [`GpuConfig::v100`] preset models an NVIDIA V100 (Volta, SXM2 32 GB)
+/// — the card the paper runs on — and [`GpuConfig::v100_scaled`] produces a
+/// proportionally shrunk device (fewer SMs with per-SM cache capacity and
+/// bandwidth shares held constant) for tractable cycle simulation.
+///
+/// Rates are expressed in *warp instructions per cycle per SM* for the
+/// functional units and *32-byte sectors per cycle* for memory servers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Human-readable device name (appears in reports).
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Maximum resident warps per SM.
+    pub warps_per_sm: usize,
+    /// Maximum resident CTAs per SM.
+    pub ctas_per_sm: usize,
+    /// Warp schedulers per SM (each issues one warp instruction per cycle).
+    pub schedulers_per_sm: usize,
+    /// Threads per warp (32 on all NVIDIA architectures).
+    pub warp_size: usize,
+    /// Core clock in GHz; converts cycles to wall time.
+    pub clock_ghz: f64,
+
+    /// FP32 issue throughput per SM (warp instructions per cycle).
+    pub fp32_rate: f64,
+    /// Integer issue throughput per SM.
+    pub int_rate: f64,
+    /// Special-function-unit issue throughput per SM.
+    pub sfu_rate: f64,
+    /// Load/store issue throughput per SM.
+    pub ldst_rate: f64,
+    /// Result latency of FP32/INT ALU operations (cycles).
+    pub alu_latency: u64,
+    /// Result latency of SFU operations (cycles).
+    pub sfu_latency: u64,
+    /// Instruction fetch/decode refill latency (cycles) paid at warp start
+    /// and after control-flow instructions.
+    pub ifetch_latency: u64,
+
+    /// Per-SM L1 data cache.
+    pub l1: CacheConfig,
+    /// L1 hit latency (cycles).
+    pub l1_latency: u64,
+    /// Maximum outstanding memory sectors per SM (MSHR capacity).
+    pub l1_mshrs: usize,
+    /// Device-wide shared L2 cache.
+    pub l2: CacheConfig,
+    /// L2 hit latency (cycles), on top of L1 latency.
+    pub l2_latency: u64,
+    /// Aggregate L2 service rate (sectors per cycle, device-wide).
+    pub l2_sectors_per_cycle: f64,
+    /// DRAM access latency (cycles), on top of L2.
+    pub dram_latency: u64,
+    /// Aggregate DRAM bandwidth (sectors per cycle, device-wide).
+    pub dram_sectors_per_cycle: f64,
+    /// Additional serialization latency of an atomic RMW on one sector.
+    pub atomic_latency: u64,
+    /// Maximum in-flight store/atomic sectors per SM.
+    pub store_queue: usize,
+    /// Bypass the L1 for global loads (the mitigation the paper suggests
+    /// for GNN inference's cache-hostile gathers, §V-D5). Stores already
+    /// bypass (write-through no-allocate).
+    pub l1_bypass: bool,
+}
+
+/// Memory sector (minimum transaction) size in bytes, as on Volta.
+pub const SECTOR_BYTES: u64 = 32;
+
+impl GpuConfig {
+    /// Full-size NVIDIA V100 (SXM2 32 GB) model.
+    ///
+    /// 80 SMs, 64 warps/SM, 4 schedulers/SM, 128 KB L1/SM, 6 MB L2,
+    /// ~900 GB/s HBM2 at 1.455 GHz (≈ 19.3 sectors/cycle).
+    pub fn v100() -> Self {
+        GpuConfig {
+            name: "V100-SXM2-32GB (simulated)".to_string(),
+            num_sms: 80,
+            warps_per_sm: 64,
+            ctas_per_sm: 32,
+            schedulers_per_sm: 4,
+            warp_size: 32,
+            clock_ghz: 1.455,
+            fp32_rate: 2.0,
+            int_rate: 2.0,
+            sfu_rate: 0.25,
+            ldst_rate: 1.0,
+            alu_latency: 4,
+            sfu_latency: 16,
+            ifetch_latency: 5,
+            l1: CacheConfig::new(128 * 1024, 4),
+            l1_latency: 28,
+            l1_mshrs: 128,
+            l2: CacheConfig::new(6 * 1024 * 1024, 16),
+            l2_latency: 190,
+            l2_sectors_per_cycle: 46.0,
+            dram_latency: 220,
+            dram_sectors_per_cycle: 19.3,
+            atomic_latency: 12,
+            store_queue: 192,
+            l1_bypass: false,
+        }
+    }
+
+    /// Returns a copy with L1 load bypassing enabled (ablation knob).
+    pub fn with_l1_bypass(mut self, bypass: bool) -> Self {
+        self.l1_bypass = bypass;
+        self
+    }
+
+    /// A V100 proportionally scaled down to `num_sms` SMs.
+    ///
+    /// Per-SM resources (L1, scheduler count, FU rates, MSHRs) are
+    /// unchanged; device-wide resources (L2 capacity, L2/DRAM bandwidth)
+    /// shrink by `num_sms / 80` so per-SM pressure — and therefore hit
+    /// rates, stall mix and utilization — stay representative. This is the
+    /// standard trick for keeping trace-driven simulation affordable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sms` is zero or greater than 80.
+    pub fn v100_scaled(num_sms: usize) -> Self {
+        assert!(num_sms >= 1 && num_sms <= 80, "num_sms must be in 1..=80");
+        let full = GpuConfig::v100();
+        let frac = num_sms as f64 / full.num_sms as f64;
+        // Round the scaled capacity down to a whole number of sets.
+        let set_bytes = full.l2.associativity * SECTOR_BYTES as usize;
+        let l2_bytes = (((full.l2.capacity_bytes as f64 * frac) as usize) / set_bytes * set_bytes)
+            .max(64 * 1024);
+        GpuConfig {
+            name: format!("V100/{num_sms}sm (scaled sim)"),
+            num_sms,
+            l2: CacheConfig::new(l2_bytes, full.l2.associativity),
+            l2_sectors_per_cycle: (full.l2_sectors_per_cycle * frac).max(1.0),
+            dram_sectors_per_cycle: (full.dram_sectors_per_cycle * frac).max(0.5),
+            ..full
+        }
+    }
+
+    /// Total warp-issue slots per cycle (device-wide): the denominator of
+    /// compute utilization.
+    pub fn peak_issue_per_cycle(&self) -> f64 {
+        (self.num_sms * self.schedulers_per_sm) as f64
+    }
+
+    /// Converts a cycle count to milliseconds at this clock.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e9) * 1e3
+    }
+
+    /// Peak DRAM bandwidth in GB/s (for report headers).
+    pub fn dram_gbps(&self) -> f64 {
+        self.dram_sectors_per_cycle * SECTOR_BYTES as f64 * self.clock_ghz
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig::v100_scaled(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_preset_is_sane() {
+        let c = GpuConfig::v100();
+        assert_eq!(c.num_sms, 80);
+        assert_eq!(c.warp_size, 32);
+        // ~900 GB/s HBM2
+        let bw = c.dram_gbps();
+        assert!((850.0..950.0).contains(&bw), "bandwidth {bw} GB/s");
+    }
+
+    #[test]
+    fn scaled_preserves_per_sm_resources() {
+        let full = GpuConfig::v100();
+        let scaled = GpuConfig::v100_scaled(8);
+        assert_eq!(scaled.num_sms, 8);
+        assert_eq!(scaled.l1, full.l1);
+        assert_eq!(scaled.fp32_rate, full.fp32_rate);
+        // device-wide resources shrink ~10x (L2 rounded to whole sets)
+        let ratio = full.l2.capacity_bytes as f64 / scaled.l2.capacity_bytes as f64;
+        assert!((9.9..10.1).contains(&ratio), "L2 ratio {ratio}");
+        assert!((scaled.dram_sectors_per_cycle * 10.0 - full.dram_sectors_per_cycle).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_sms must be in 1..=80")]
+    fn scaled_rejects_zero() {
+        let _ = GpuConfig::v100_scaled(0);
+    }
+
+    #[test]
+    fn cycles_to_ms_matches_clock() {
+        let c = GpuConfig::v100();
+        let ms = c.cycles_to_ms(1_455_000);
+        assert!((ms - 1.0).abs() < 1e-9);
+    }
+}

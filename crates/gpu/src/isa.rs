@@ -1,0 +1,615 @@
+//! The abstract warp-level instruction set traces are written in.
+//!
+//! A trace instruction is deliberately minimal: an execution class (which
+//! functional unit it occupies and what mix bucket it lands in), up to three
+//! source registers and one destination register (for scoreboard
+//! dependencies), the number of active lanes, and — for memory operations —
+//! the per-lane byte addresses the coalescer will merge into sectors.
+//!
+//! Registers are *virtual trace registers* local to one warp; kernels rotate
+//! through a small window of them (see [`REG_WINDOW`]) to express
+//! instruction-level parallelism: an unrolled loop uses several, a serial
+//! dependency chain reuses one.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::SECTOR_BYTES;
+
+/// Virtual trace register id (per warp), `0..REG_WINDOW`.
+pub type Reg = u8;
+
+/// Sentinel meaning "no register operand".
+pub const NO_REG: Reg = u8::MAX;
+
+/// Size of the per-warp virtual register window. Trace register ids must be
+/// below this value (the scoreboard uses a 64-bit mask).
+pub const REG_WINDOW: u8 = 64;
+
+/// Execution class of a trace instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstrClass {
+    /// Single-precision floating-point ALU op (FMA, add, mul...).
+    Fp32,
+    /// Integer ALU op (address arithmetic, comparisons, index math).
+    Int,
+    /// Special-function unit op (rsqrt, exp, ...).
+    Sfu,
+    /// Global-memory load.
+    LoadGlobal,
+    /// Global-memory store.
+    StoreGlobal,
+    /// Global-memory atomic read-modify-write (the scatter reduce).
+    AtomicGlobal,
+    /// Control flow (branch, predicate set, loop bookkeeping).
+    Control,
+    /// CTA-wide barrier (`__syncthreads`).
+    Sync,
+}
+
+impl InstrClass {
+    /// `true` for classes that access global memory.
+    pub fn is_memory(self) -> bool {
+        matches!(
+            self,
+            InstrClass::LoadGlobal | InstrClass::StoreGlobal | InstrClass::AtomicGlobal
+        )
+    }
+
+    /// `true` for ALU/SFU classes whose results complete after a fixed
+    /// latency.
+    pub fn is_compute(self) -> bool {
+        matches!(self, InstrClass::Fp32 | InstrClass::Int | InstrClass::Sfu)
+    }
+}
+
+/// Per-lane global-memory addresses of one warp-level memory instruction.
+///
+/// Coalesced accesses use the allocation-free [`MemAccess::Strided`] form;
+/// irregular kernels (gathers, scatters) carry explicit address vectors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemAccess {
+    /// Lane `i` accesses `base + i * stride`, `lanes` lanes active.
+    Strided {
+        /// Byte address of lane 0.
+        base: u64,
+        /// Byte distance between consecutive lanes.
+        stride: u32,
+        /// Active lane count (1..=32).
+        lanes: u8,
+        /// Bytes accessed per lane.
+        bytes_per_lane: u32,
+    },
+    /// Explicit per-lane byte addresses.
+    Gather {
+        /// One byte address per active lane.
+        addrs: Vec<u64>,
+        /// Bytes accessed per lane.
+        bytes_per_lane: u32,
+    },
+}
+
+impl MemAccess {
+    /// Number of active lanes.
+    pub fn lanes(&self) -> u8 {
+        match self {
+            MemAccess::Strided { lanes, .. } => *lanes,
+            MemAccess::Gather { addrs, .. } => addrs.len().min(32) as u8,
+        }
+    }
+
+    /// Appends each lane's byte address to `out`.
+    pub fn lane_addrs(&self, out: &mut Vec<u64>) {
+        match self {
+            MemAccess::Strided {
+                base,
+                stride,
+                lanes,
+                ..
+            } => {
+                for lane in 0..*lanes as u64 {
+                    out.push(base + lane * *stride as u64);
+                }
+            }
+            MemAccess::Gather { addrs, .. } => out.extend_from_slice(addrs),
+        }
+    }
+
+    /// Bytes accessed per lane.
+    pub fn bytes_per_lane(&self) -> u32 {
+        match self {
+            MemAccess::Strided { bytes_per_lane, .. } => *bytes_per_lane,
+            MemAccess::Gather { bytes_per_lane, .. } => *bytes_per_lane,
+        }
+    }
+
+    /// The coalescer: unique 32-byte sector ids touched by this access,
+    /// sorted and deduplicated, appended to `out`.
+    pub fn sectors_into(&self, out: &mut Vec<u64>) {
+        let start = out.len();
+        let bytes = self.bytes_per_lane() as u64;
+        let mut push_range = |addr: u64| {
+            let first = addr / SECTOR_BYTES;
+            let last = (addr + bytes - 1) / SECTOR_BYTES;
+            for s in first..=last {
+                out.push(s);
+            }
+        };
+        match self {
+            MemAccess::Strided {
+                base,
+                stride,
+                lanes,
+                ..
+            } => {
+                for lane in 0..*lanes as u64 {
+                    push_range(base + lane * *stride as u64);
+                }
+            }
+            MemAccess::Gather { addrs, .. } => {
+                for &a in addrs {
+                    push_range(a);
+                }
+            }
+        }
+        out[start..].sort_unstable();
+        let mut w = start;
+        for i in start..out.len() {
+            if w == start || out[w - 1] != out[i] {
+                out[w] = out[i];
+                w += 1;
+            }
+        }
+        out.truncate(w);
+    }
+
+    /// Convenience wrapper returning the sectors as a fresh vector.
+    pub fn sectors(&self) -> Vec<u64> {
+        let mut v = Vec::new();
+        self.sectors_into(&mut v);
+        v
+    }
+
+    /// Per-lane sector ids *without* deduplication (atomics serialize on
+    /// duplicates, so multiplicity matters), appended to `out`.
+    pub fn lane_sectors_into(&self, out: &mut Vec<u64>) {
+        match self {
+            MemAccess::Strided {
+                base,
+                stride,
+                lanes,
+                ..
+            } => {
+                for lane in 0..*lanes as u64 {
+                    out.push((base + lane * *stride as u64) / SECTOR_BYTES);
+                }
+            }
+            MemAccess::Gather { addrs, .. } => {
+                out.extend(addrs.iter().map(|&a| a / SECTOR_BYTES));
+            }
+        }
+    }
+}
+
+/// One warp-level trace instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instr {
+    /// Execution class.
+    pub class: InstrClass,
+    /// Destination register, or [`NO_REG`].
+    pub dst: Reg,
+    /// Source registers ([`NO_REG`]-padded).
+    pub srcs: [Reg; 3],
+    /// Number of active lanes (1..=32); drives the occupancy W-buckets.
+    pub active: u8,
+    /// Memory addresses for memory-class instructions.
+    pub mem: Option<Box<MemAccess>>,
+}
+
+impl Instr {
+    fn pack_srcs(srcs: &[Reg]) -> [Reg; 3] {
+        let mut out = [NO_REG; 3];
+        for (slot, &reg) in out.iter_mut().zip(srcs.iter()) {
+            *slot = reg;
+        }
+        out
+    }
+
+    /// An FP32 ALU instruction.
+    pub fn fp32(dst: Reg, srcs: &[Reg], active: u8) -> Self {
+        Instr {
+            class: InstrClass::Fp32,
+            dst,
+            srcs: Self::pack_srcs(srcs),
+            active,
+            mem: None,
+        }
+    }
+
+    /// An integer ALU instruction.
+    pub fn int(dst: Reg, srcs: &[Reg], active: u8) -> Self {
+        Instr {
+            class: InstrClass::Int,
+            dst,
+            srcs: Self::pack_srcs(srcs),
+            active,
+            mem: None,
+        }
+    }
+
+    /// A special-function-unit instruction.
+    pub fn sfu(dst: Reg, srcs: &[Reg], active: u8) -> Self {
+        Instr {
+            class: InstrClass::Sfu,
+            dst,
+            srcs: Self::pack_srcs(srcs),
+            active,
+            mem: None,
+        }
+    }
+
+    /// A global load of `mem` into `dst`, depending on `deps` (address
+    /// registers).
+    pub fn load(dst: Reg, mem: MemAccess, deps: &[Reg]) -> Self {
+        let active = mem.lanes();
+        Instr {
+            class: InstrClass::LoadGlobal,
+            dst,
+            srcs: Self::pack_srcs(deps),
+            active,
+            mem: Some(Box::new(mem)),
+        }
+    }
+
+    /// A global store of register `src` to `mem`.
+    pub fn store(src: Reg, mem: MemAccess) -> Self {
+        let active = mem.lanes();
+        Instr {
+            class: InstrClass::StoreGlobal,
+            dst: NO_REG,
+            srcs: Self::pack_srcs(&[src]),
+            active,
+            mem: Some(Box::new(mem)),
+        }
+    }
+
+    /// A global atomic RMW of register `src` onto `mem` (no return value,
+    /// like the `atomicAdd` in a scatter reduction).
+    pub fn atomic(src: Reg, mem: MemAccess) -> Self {
+        let active = mem.lanes();
+        Instr {
+            class: InstrClass::AtomicGlobal,
+            dst: NO_REG,
+            srcs: Self::pack_srcs(&[src]),
+            active,
+            mem: Some(Box::new(mem)),
+        }
+    }
+
+    /// A control-flow instruction (branch / loop bookkeeping).
+    pub fn control(active: u8) -> Self {
+        Instr {
+            class: InstrClass::Control,
+            dst: NO_REG,
+            srcs: [NO_REG; 3],
+            active,
+            mem: None,
+        }
+    }
+
+    /// A CTA-wide barrier.
+    pub fn sync(active: u8) -> Self {
+        Instr {
+            class: InstrClass::Sync,
+            dst: NO_REG,
+            srcs: [NO_REG; 3],
+            active,
+            mem: None,
+        }
+    }
+
+    /// Iterator over real (non-sentinel) source registers.
+    pub fn sources(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.srcs.iter().copied().filter(|&r| r != NO_REG)
+    }
+}
+
+/// Convenience builder that assembles a warp trace with rotating virtual
+/// registers.
+///
+/// Kernels use it to express realistic dependency structure without
+/// hand-numbering registers:
+///
+/// ```
+/// use gsuite_gpu::{TraceBuilder, InstrClass};
+///
+/// let mut tb = TraceBuilder::new(32);
+/// let idx = tb.load_lanes(0x1000, 4);         // coalesced index load
+/// let val = tb.load_gather(&[0x2000, 0x9000, 0x4000], 4, &[idx]); // gather
+/// tb.fp32(&[val]);                             // consume
+/// tb.control();
+/// let trace = tb.finish();
+/// assert_eq!(trace.len(), 4);
+/// assert_eq!(trace[1].class, InstrClass::LoadGlobal);
+/// ```
+#[derive(Debug)]
+pub struct TraceBuilder {
+    trace: Vec<Instr>,
+    next_reg: Reg,
+    active: u8,
+}
+
+impl TraceBuilder {
+    /// A builder for a warp with `active` live lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` is 0 or greater than 32.
+    pub fn new(active: usize) -> Self {
+        assert!(active >= 1 && active <= 32, "active lanes must be 1..=32");
+        TraceBuilder {
+            trace: Vec::new(),
+            next_reg: 0,
+            active: active as u8,
+        }
+    }
+
+    /// Changes the active lane count for subsequently emitted instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` is 0 or greater than 32.
+    pub fn set_active(&mut self, active: usize) {
+        assert!(active >= 1 && active <= 32, "active lanes must be 1..=32");
+        self.active = active as u8;
+    }
+
+    fn alloc(&mut self) -> Reg {
+        let r = self.next_reg;
+        // Rotate through the register window: old values naturally become
+        // dead, giving the scoreboard realistic reuse distances.
+        self.next_reg = (self.next_reg + 1) % REG_WINDOW;
+        r
+    }
+
+    /// Emits an FP32 op reading `srcs`, returns its destination register.
+    pub fn fp32(&mut self, srcs: &[Reg]) -> Reg {
+        let dst = self.alloc();
+        self.trace.push(Instr::fp32(dst, srcs, self.active));
+        dst
+    }
+
+    /// Emits an integer op reading `srcs`, returns its destination register.
+    pub fn int(&mut self, srcs: &[Reg]) -> Reg {
+        let dst = self.alloc();
+        self.trace.push(Instr::int(dst, srcs, self.active));
+        dst
+    }
+
+    /// Emits an SFU op reading `srcs`, returns its destination register.
+    pub fn sfu(&mut self, srcs: &[Reg]) -> Reg {
+        let dst = self.alloc();
+        self.trace.push(Instr::sfu(dst, srcs, self.active));
+        dst
+    }
+
+    /// Emits a unit-stride warp load: lane `i` reads
+    /// `base + i * bytes_per_lane`. Returns the destination register.
+    pub fn load_lanes(&mut self, base: u64, bytes_per_lane: u32) -> Reg {
+        let dst = self.alloc();
+        self.trace.push(Instr::load(
+            dst,
+            MemAccess::Strided {
+                base,
+                stride: bytes_per_lane,
+                lanes: self.active,
+                bytes_per_lane,
+            },
+            &[],
+        ));
+        dst
+    }
+
+    /// Emits a strided warp load with an explicit inter-lane stride.
+    pub fn load_strided(&mut self, base: u64, stride: u32, bytes_per_lane: u32) -> Reg {
+        let dst = self.alloc();
+        self.trace.push(Instr::load(
+            dst,
+            MemAccess::Strided {
+                base,
+                stride,
+                lanes: self.active,
+                bytes_per_lane,
+            },
+            &[],
+        ));
+        dst
+    }
+
+    /// Emits a gather load from explicit per-lane addresses that depends on
+    /// `deps` (e.g. the register holding gathered indices). Returns the
+    /// destination register.
+    pub fn load_gather(&mut self, addrs: &[u64], bytes_per_lane: u32, deps: &[Reg]) -> Reg {
+        let dst = self.alloc();
+        self.trace.push(Instr::load(
+            dst,
+            MemAccess::Gather {
+                addrs: addrs.to_vec(),
+                bytes_per_lane,
+            },
+            deps,
+        ));
+        dst
+    }
+
+    /// Emits a unit-stride warp store of register `src`.
+    pub fn store_lanes(&mut self, src: Reg, base: u64, bytes_per_lane: u32) {
+        self.trace.push(Instr::store(
+            src,
+            MemAccess::Strided {
+                base,
+                stride: bytes_per_lane,
+                lanes: self.active,
+                bytes_per_lane,
+            },
+        ));
+    }
+
+    /// Emits a scatter store of `src` to explicit per-lane addresses.
+    pub fn store_scatter(&mut self, src: Reg, addrs: &[u64], bytes_per_lane: u32) {
+        self.trace.push(Instr::store(
+            src,
+            MemAccess::Gather {
+                addrs: addrs.to_vec(),
+                bytes_per_lane,
+            },
+        ));
+    }
+
+    /// Emits an atomic RMW of `src` onto explicit per-lane addresses.
+    pub fn atomic_scatter(&mut self, src: Reg, addrs: &[u64], bytes_per_lane: u32) {
+        self.trace.push(Instr::atomic(
+            src,
+            MemAccess::Gather {
+                addrs: addrs.to_vec(),
+                bytes_per_lane,
+            },
+        ));
+    }
+
+    /// Emits a control-flow instruction.
+    pub fn control(&mut self) {
+        self.trace.push(Instr::control(self.active));
+    }
+
+    /// Emits a CTA barrier.
+    pub fn sync(&mut self) {
+        self.trace.push(Instr::sync(self.active));
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+
+    /// Finalizes and returns the trace.
+    pub fn finish(self) -> Vec<Instr> {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sectors_dedup_and_split() {
+        let acc = MemAccess::Gather {
+            addrs: vec![0, 4, 8, 31, 32, 100],
+            bytes_per_lane: 4,
+        };
+        // 0..31 -> sector 0; addr 31 (4 bytes) spans sectors 0 and 1;
+        // 32 -> sector 1; 100..104 -> sector 3.
+        assert_eq!(acc.sectors(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn coalesced_warp_load_touches_four_sectors() {
+        let mut tb = TraceBuilder::new(32);
+        tb.load_lanes(0, 4);
+        let trace = tb.finish();
+        let mem = trace[0].mem.as_ref().unwrap();
+        assert_eq!(mem.sectors().len(), 4, "32 lanes x 4B = 128B = 4 sectors");
+    }
+
+    #[test]
+    fn strided_and_gather_agree() {
+        let strided = MemAccess::Strided {
+            base: 64,
+            stride: 8,
+            lanes: 16,
+            bytes_per_lane: 4,
+        };
+        let gather = MemAccess::Gather {
+            addrs: (0..16).map(|i| 64 + i * 8).collect(),
+            bytes_per_lane: 4,
+        };
+        assert_eq!(strided.sectors(), gather.sectors());
+        assert_eq!(strided.lanes(), gather.lanes());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        strided.lane_addrs(&mut a);
+        gather.lane_addrs(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scattered_load_touches_many_sectors() {
+        let addrs: Vec<u64> = (0..32).map(|i| i * 4096).collect();
+        let mut tb = TraceBuilder::new(32);
+        tb.load_gather(&addrs, 4, &[]);
+        let trace = tb.finish();
+        assert_eq!(trace[0].mem.as_ref().unwrap().sectors().len(), 32);
+    }
+
+    #[test]
+    fn lane_sectors_keep_duplicates() {
+        let acc = MemAccess::Gather {
+            addrs: vec![0, 4, 8, 64],
+            bytes_per_lane: 4,
+        };
+        let mut lanes = Vec::new();
+        acc.lane_sectors_into(&mut lanes);
+        assert_eq!(lanes, vec![0, 0, 0, 2]);
+    }
+
+    #[test]
+    fn builder_tracks_dependencies() {
+        let mut tb = TraceBuilder::new(32);
+        let a = tb.load_lanes(0, 4);
+        let b = tb.fp32(&[a]);
+        tb.store_lanes(b, 4096, 4);
+        let trace = tb.finish();
+        assert_eq!(trace[1].sources().collect::<Vec<_>>(), vec![a]);
+        assert_eq!(trace[2].sources().collect::<Vec<_>>(), vec![b]);
+        assert_eq!(trace[2].class, InstrClass::StoreGlobal);
+    }
+
+    #[test]
+    fn register_window_rotates() {
+        let mut tb = TraceBuilder::new(1);
+        let first = tb.fp32(&[]);
+        for _ in 0..(REG_WINDOW as usize - 1) {
+            tb.fp32(&[]);
+        }
+        let wrapped = tb.fp32(&[]);
+        assert_eq!(first, wrapped, "register window wraps");
+    }
+
+    #[test]
+    fn active_lane_bounds() {
+        let mut tb = TraceBuilder::new(7);
+        tb.control();
+        let trace = tb.finish();
+        assert_eq!(trace[0].active, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "active lanes")]
+    fn zero_active_rejected() {
+        let _ = TraceBuilder::new(0);
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(InstrClass::LoadGlobal.is_memory());
+        assert!(InstrClass::AtomicGlobal.is_memory());
+        assert!(!InstrClass::Fp32.is_memory());
+        assert!(InstrClass::Fp32.is_compute());
+        assert!(!InstrClass::Sync.is_compute());
+    }
+}

@@ -1,0 +1,66 @@
+//! # gsuite-gpu
+//!
+//! A from-scratch, cycle-level SIMT GPU simulator — the stand-in for
+//! GPGPU-Sim (and, indirectly, the V100 silicon) in gSuite-rs.
+//!
+//! The paper characterizes GNN inference kernels with a timing-detailed GPU
+//! simulator; every architectural metric in its evaluation (issue-stall
+//! distribution, warp occupancy, L1/L2 hit rates, compute/memory
+//! utilization, instruction mix) is *defined* by the machinery modeled here:
+//!
+//! * **SMs** with resident CTAs, greedy-then-oldest warp schedulers, a
+//!   register scoreboard and per-class functional-unit throughput limits;
+//! * a **memory subsystem** with a 32-byte-sector access coalescer,
+//!   set-associative L1D per SM, a shared banked L2, a DRAM
+//!   bandwidth/latency queue, MSHR limits and an atomic unit with
+//!   per-sector serialization (the scatter kernel's contention);
+//! * **accounting** for exactly the paper's metrics: stall reasons
+//!   (MemoryDependency, ExecutionDependency, InstructionFetch,
+//!   Synchronization, NotSelected, InstructionIssued), occupancy buckets
+//!   (Stall / Idle / W8 / W20 / W32), cache hits, DRAM traffic, and
+//!   functional-unit busy time.
+//!
+//! Kernels are *trace-driven*: anything implementing [`KernelWorkload`]
+//! exposes a grid of CTAs and per-warp instruction traces whose memory
+//! addresses come from live input data, so irregular-access behaviour (the
+//! heart of GNN inference) is genuine rather than synthesized.
+//!
+//! The simulator is event-driven between issue cycles, which keeps
+//! multi-million-instruction kernels tractable on one host core, and
+//! supports CTA sampling ([`SimOptions::max_ctas`]) for grids far larger
+//! than what cycle simulation can cover — the same methodology
+//! architectural papers use with GPGPU-Sim.
+//!
+//! # Example
+//!
+//! ```
+//! use gsuite_gpu::{testkit::StreamWorkload, GpuConfig, SimOptions, Simulator};
+//!
+//! // 64 warps each streaming through 1 KiB of global memory.
+//! let workload = StreamWorkload::new(16, 4, 256);
+//! let sim = Simulator::new(GpuConfig::v100_scaled(4), SimOptions::default());
+//! let stats = sim.run(&workload);
+//! assert!(stats.cycles > 0);
+//! assert_eq!(stats.l1.accesses, stats.l1.hits + stats.l1.misses());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cache;
+mod config;
+mod isa;
+mod memsys;
+mod sim;
+mod sm;
+mod stats;
+pub mod testkit;
+mod workload;
+
+pub use cache::{CacheConfig, SetAssocCache};
+pub use config::GpuConfig;
+pub use isa::{Instr, InstrClass, MemAccess, Reg, TraceBuilder, NO_REG};
+pub use memsys::MemSubsystem;
+pub use sim::{SimOptions, Simulator};
+pub use stats::{CacheStats, InstrMix, OccupancyBuckets, SimStats, StallBreakdown, StallReason};
+pub use workload::{Grid, KernelWorkload};

@@ -1,0 +1,332 @@
+//! Memory subsystem: per-SM L1D caches, a shared L2, and a DRAM
+//! bandwidth/latency model, plus the atomic unit.
+//!
+//! Servers (L2, DRAM) are modeled as fluid queues: each has a service rate
+//! (sectors per cycle) tracked as a `free_at` timestamp, so the simulator
+//! never needs per-cycle token loops — a request's completion time is
+//! computed in O(1) when it is injected. This is what keeps multi-million
+//! instruction kernels affordable while preserving bandwidth and queueing
+//! behaviour.
+
+use crate::cache::SetAssocCache;
+use crate::config::{GpuConfig, SECTOR_BYTES};
+use crate::stats::CacheStats;
+
+/// Outcome of injecting one warp-level memory access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemResult {
+    /// Cycle at which the access's data is available (loads) or fully
+    /// drained (stores/atomics).
+    pub done_at: u64,
+    /// Number of 32-byte sectors the access coalesced into.
+    pub sectors: u32,
+}
+
+/// A fixed-size, open-addressed table tracking in-service completion times
+/// of recently touched atomic sectors. Collisions overwrite (an
+/// approximation that bounds memory while preserving hot-sector
+/// serialization, the first-order contention effect in scatter).
+#[derive(Debug)]
+struct AtomicTable {
+    tags: Vec<u64>,
+    free_at: Vec<u64>,
+    mask: usize,
+}
+
+impl AtomicTable {
+    fn new(slots_pow2: usize) -> Self {
+        let n = slots_pow2.next_power_of_two();
+        AtomicTable {
+            tags: vec![u64::MAX; n],
+            free_at: vec![0; n],
+            mask: n - 1,
+        }
+    }
+
+    /// Serializes an atomic on `sector` starting no earlier than `now`;
+    /// returns the cycle the RMW completes.
+    fn serialize(&mut self, sector: u64, now: u64, op_latency: u64) -> u64 {
+        // Fibonacci hashing spreads sequential sector ids.
+        let slot = ((sector.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 40) as usize & self.mask;
+        let start = if self.tags[slot] == sector {
+            self.free_at[slot].max(now)
+        } else {
+            self.tags[slot] = sector;
+            now
+        };
+        let done = start + op_latency;
+        self.free_at[slot] = done;
+        done
+    }
+
+    fn reset(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.free_at.fill(0);
+    }
+}
+
+/// The device memory hierarchy shared by all SMs.
+#[derive(Debug)]
+pub struct MemSubsystem {
+    l1: Vec<SetAssocCache>,
+    l2: SetAssocCache,
+    l1_latency: u64,
+    l2_latency: u64,
+    dram_latency: u64,
+    atomic_latency: u64,
+    /// Cycles of L2 service time per sector (1 / rate).
+    l2_service: f64,
+    /// Cycles of DRAM service time per sector (1 / rate).
+    dram_service: f64,
+    /// Global loads skip the L1 entirely (ablation knob).
+    l1_bypass: bool,
+    /// Fluid-queue clocks, in fractional cycles.
+    l2_free_at: f64,
+    dram_free_at: f64,
+    atomics: AtomicTable,
+    /// Total DRAM sector transfers (for bandwidth/utilization accounting).
+    dram_sectors: u64,
+    /// Accumulated DRAM busy time in cycles.
+    dram_busy: f64,
+}
+
+impl MemSubsystem {
+    /// Builds the hierarchy for `config`.
+    pub fn new(config: &GpuConfig) -> Self {
+        MemSubsystem {
+            l1: (0..config.num_sms)
+                .map(|_| SetAssocCache::new(config.l1))
+                .collect(),
+            l2: SetAssocCache::new(config.l2),
+            l1_latency: config.l1_latency,
+            l2_latency: config.l2_latency,
+            dram_latency: config.dram_latency,
+            atomic_latency: config.atomic_latency,
+            l1_bypass: config.l1_bypass,
+            l2_service: 1.0 / config.l2_sectors_per_cycle,
+            dram_service: 1.0 / config.dram_sectors_per_cycle,
+            l2_free_at: 0.0,
+            dram_free_at: 0.0,
+            atomics: AtomicTable::new(1 << 20),
+            dram_sectors: 0,
+            dram_busy: 0.0,
+        }
+    }
+
+    /// Injects a load/store of `sectors` (deduplicated sector ids) from SM
+    /// `sm` at cycle `now`. Returns the completion time and transaction
+    /// count. Stores take the same path with write-through/no-allocate L1
+    /// semantics (`is_store = true` skips the L1 fill).
+    pub fn access(&mut self, sm: usize, sectors: &[u64], now: u64, is_store: bool) -> MemResult {
+        let mut done = now + self.l1_latency;
+        for &sector in sectors {
+            // Write-through, no write-allocate L1: stores skip the L1
+            // entirely and are serviced by L2 (Volta behaviour); loads
+            // look up and fill the per-SM L1 unless bypassing is enabled.
+            let l1_hit = !is_store && !self.l1_bypass && self.l1[sm].access(sector);
+            if l1_hit {
+                done = done.max(now + self.l1_latency);
+                continue;
+            }
+            // L2 service (fluid queue).
+            let arrival = (now + self.l1_latency) as f64;
+            let start = arrival.max(self.l2_free_at);
+            self.l2_free_at = start + self.l2_service;
+            let l2_hit = self.l2.access(sector);
+            let sector_done = if l2_hit {
+                start as u64 + self.l2_latency
+            } else {
+                let dram_arrival = start + self.l2_latency as f64;
+                let dram_start = dram_arrival.max(self.dram_free_at);
+                self.dram_free_at = dram_start + self.dram_service;
+                self.dram_busy += self.dram_service;
+                self.dram_sectors += 1;
+                dram_start as u64 + self.dram_latency
+            };
+            done = done.max(sector_done);
+        }
+        MemResult {
+            done_at: done,
+            sectors: sectors.len() as u32,
+        }
+    }
+
+    /// Injects an atomic RMW on `sectors` from SM `sm`. Atomics bypass L1
+    /// and serialize per sector at the L2 atomic unit (as on Volta);
+    /// duplicate sectors *within* the warp serialize against each other,
+    /// which is how hot scatter destinations show up as latency.
+    ///
+    /// Unlike [`MemSubsystem::access`], `sectors` here may contain
+    /// duplicates (one entry per active lane).
+    pub fn atomic(&mut self, _sm: usize, sectors: &[u64], now: u64) -> MemResult {
+        let mut done = now + self.l1_latency;
+        for &sector in sectors {
+            // Each atomic also consumes L2 bandwidth.
+            let arrival = (now + self.l1_latency) as f64;
+            let start = arrival.max(self.l2_free_at);
+            self.l2_free_at = start + self.l2_service;
+            let l2_hit = self.l2.access(sector);
+            let base_ready = if l2_hit {
+                start as u64 + self.l2_latency
+            } else {
+                let dram_arrival = start + self.l2_latency as f64;
+                let dram_start = dram_arrival.max(self.dram_free_at);
+                self.dram_free_at = dram_start + self.dram_service;
+                self.dram_busy += self.dram_service;
+                self.dram_sectors += 1;
+                dram_start as u64 + self.dram_latency
+            };
+            let serialized = self
+                .atomics
+                .serialize(sector, base_ready, self.atomic_latency);
+            done = done.max(serialized);
+        }
+        MemResult {
+            done_at: done,
+            sectors: sectors.len() as u32,
+        }
+    }
+
+    /// Merged L1 counters across all SMs.
+    pub fn l1_stats(&self) -> CacheStats {
+        let mut s = CacheStats::default();
+        for c in &self.l1 {
+            s.accesses += c.accesses();
+            s.hits += c.hits();
+        }
+        s
+    }
+
+    /// L2 counters.
+    pub fn l2_stats(&self) -> CacheStats {
+        CacheStats {
+            accesses: self.l2.accesses(),
+            hits: self.l2.hits(),
+        }
+    }
+
+    /// Total bytes read from / written to DRAM.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_sectors * SECTOR_BYTES
+    }
+
+    /// Accumulated DRAM busy time, in cycles.
+    pub fn dram_busy_cycles(&self) -> f64 {
+        self.dram_busy
+    }
+
+    /// Clears caches, queues and counters (between kernels).
+    pub fn reset(&mut self) {
+        for c in &mut self.l1 {
+            c.reset();
+        }
+        self.l2.reset();
+        self.l2_free_at = 0.0;
+        self.dram_free_at = 0.0;
+        self.atomics.reset();
+        self.dram_sectors = 0;
+        self.dram_busy = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> GpuConfig {
+        GpuConfig::v100_scaled(2)
+    }
+
+    #[test]
+    fn repeated_load_hits_l1_and_gets_faster() {
+        let cfg = small_config();
+        let mut mem = MemSubsystem::new(&cfg);
+        let cold = mem.access(0, &[100], 0, false);
+        let warm = mem.access(0, &[100], cold.done_at, false);
+        assert!(cold.done_at >= cfg.l1_latency + cfg.l2_latency + cfg.dram_latency);
+        assert_eq!(warm.done_at - cold.done_at, cfg.l1_latency);
+        let l1 = mem.l1_stats();
+        assert_eq!(l1.accesses, 2);
+        assert_eq!(l1.hits, 1);
+    }
+
+    #[test]
+    fn l2_serves_misses_from_other_sms() {
+        let cfg = small_config();
+        let mut mem = MemSubsystem::new(&cfg);
+        mem.access(0, &[55], 0, false); // DRAM fill, lands in L2
+        let t = mem.access(1, &[55], 10_000, false); // different SM: L1 miss, L2 hit
+        assert_eq!(mem.l2_stats().hits, 1);
+        assert_eq!(t.done_at, 10_000 + cfg.l1_latency + cfg.l2_latency);
+    }
+
+    #[test]
+    fn dram_bandwidth_queues_requests() {
+        let cfg = small_config();
+        let mut mem = MemSubsystem::new(&cfg);
+        // Flood with distinct sectors at cycle 0: completion times must
+        // spread by at least the service interval.
+        let sectors: Vec<u64> = (0..200).map(|i| i * 1_000).collect();
+        let r = mem.access(0, &sectors, 0, false);
+        let min_span = (200.0 * (1.0 / cfg.dram_sectors_per_cycle)) as u64;
+        assert!(
+            r.done_at >= min_span,
+            "200 sectors at {} sectors/cycle must take >= {min_span} cycles, got {}",
+            cfg.dram_sectors_per_cycle,
+            r.done_at
+        );
+        assert_eq!(mem.dram_bytes(), 200 * SECTOR_BYTES);
+    }
+
+    #[test]
+    fn stores_do_not_allocate_in_l1() {
+        let cfg = small_config();
+        let mut mem = MemSubsystem::new(&cfg);
+        mem.access(0, &[42], 0, true); // store
+        let after = mem.access(0, &[42], 50_000, false); // load must miss L1 (but hits L2)
+        assert_eq!(mem.l1_stats().hits, 0);
+        assert_eq!(after.done_at, 50_000 + cfg.l1_latency + cfg.l2_latency);
+    }
+
+    #[test]
+    fn atomics_serialize_on_same_sector() {
+        let cfg = small_config();
+        let mut mem = MemSubsystem::new(&cfg);
+        // 32 lanes all hammering one sector: must serialize ~32x atomic_latency.
+        let sectors = vec![7u64; 32];
+        let r = mem.atomic(0, &sectors, 0);
+        let serial_floor = 32 * cfg.atomic_latency;
+        assert!(
+            r.done_at >= serial_floor,
+            "32 same-sector atomics must serialize: {} < {serial_floor}",
+            r.done_at
+        );
+    }
+
+    #[test]
+    fn atomics_to_distinct_sectors_overlap() {
+        let cfg = small_config();
+        let mut mem = MemSubsystem::new(&cfg);
+        let distinct: Vec<u64> = (0..32).map(|i| i * 100).collect();
+        let spread = mem.atomic(0, &distinct, 0);
+        mem.reset();
+        let same = mem.atomic(0, &vec![7u64; 32], 0);
+        assert!(
+            spread.done_at < same.done_at,
+            "distinct sectors ({}) should finish before one hot sector ({})",
+            spread.done_at,
+            same.done_at
+        );
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let cfg = small_config();
+        let mut mem = MemSubsystem::new(&cfg);
+        mem.access(0, &[1, 2, 3], 0, false);
+        mem.reset();
+        assert_eq!(mem.l1_stats().accesses, 0);
+        assert_eq!(mem.l2_stats().accesses, 0);
+        assert_eq!(mem.dram_bytes(), 0);
+    }
+}

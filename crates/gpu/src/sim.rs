@@ -1,0 +1,1124 @@
+//! The simulator driver: CTA placement, the issue loop, event processing
+//! and statistics finalization.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::config::GpuConfig;
+use crate::isa::{InstrClass, Reg, NO_REG};
+use crate::memsys::MemSubsystem;
+use crate::sm::{reg_bit, BlockReason, CtaState, FuKind, SmState, WarpState};
+use crate::stats::{InstrMix, OccupancyBuckets, SimStats, StallBreakdown, StallReason};
+use crate::workload::KernelWorkload;
+
+/// Knobs controlling one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimOptions {
+    /// Simulate at most this many CTAs of the grid (sampling); statistics
+    /// distributions come from the sample and the time estimate is scaled
+    /// back up by the sampled fraction. `None` = the whole grid.
+    pub max_ctas: Option<u64>,
+    /// Hard cycle budget as a safety valve; simulation stops (and reports
+    /// what it has) when exceeded. `None` = unlimited.
+    pub max_cycles: Option<u64>,
+}
+
+/// A configured cycle-level GPU simulator.
+///
+/// Create one per device configuration and call [`Simulator::run`] once per
+/// kernel launch; runs are independent (caches start cold each launch, as
+/// the paper's per-kernel profiling does).
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: GpuConfig,
+    options: SimOptions,
+}
+
+impl Simulator {
+    /// A simulator for `config` with run `options`.
+    pub fn new(config: GpuConfig, options: SimOptions) -> Self {
+        Simulator { config, options }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// The run options.
+    pub fn options(&self) -> &SimOptions {
+        &self.options
+    }
+
+    /// Runs `workload` to completion and returns its statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on scheduling deadlock, which indicates an invalid workload
+    /// (e.g. CTAs whose warps execute unmatched barriers).
+    pub fn run<W: KernelWorkload + ?Sized>(&self, workload: &W) -> SimStats {
+        Run::new(&self.config, self.options, workload).execute()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// A load's data arrived: free MSHR sectors, clear the register.
+    LoadDone {
+        sm: usize,
+        slot: usize,
+        gen: u64,
+        reg: Reg,
+        sectors: u32,
+    },
+    /// A store/atomic drained: free store-queue sectors.
+    StoreDone { sm: usize, sectors: u32 },
+    /// A timed wake (instruction fetch done, ALU latency elapsed).
+    Wake { sm: usize, slot: usize, gen: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    at: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for a min-heap on (at, seq).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Run<'a, W: KernelWorkload + ?Sized> {
+    cfg: &'a GpuConfig,
+    options: SimOptions,
+    workload: &'a W,
+    mem: MemSubsystem,
+    sms: Vec<SmState>,
+    /// Per-SM per-slot generation counters guarding stale events.
+    gens: Vec<Vec<u64>>,
+    events: BinaryHeap<Event>,
+    seq: u64,
+    now: u64,
+    next_cta: u64,
+    sim_ctas: u64,
+    retired_ctas: u64,
+    warp_age: u64,
+    // accumulating statistics
+    mix: InstrMix,
+    stalls: StallBreakdown,
+    occ: OccupancyBuckets,
+    /// Accumulated scheduler-idle cycles (integrated at resident-count
+    /// transitions rather than per cycle, for speed).
+    idle_acc: u64,
+    /// Per `(sm, sched)` cycle at which the scheduler last became empty.
+    idle_start: Vec<u64>,
+    /// Scheduler keys with (potentially) non-empty ready lists; the issue
+    /// phase iterates only these instead of every scheduler on the device.
+    active: Vec<usize>,
+    is_active: Vec<bool>,
+    // scratch buffers reused across instructions
+    scratch_sectors: Vec<u64>,
+}
+
+impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
+    fn new(cfg: &'a GpuConfig, options: SimOptions, workload: &'a W) -> Self {
+        let grid = workload.grid();
+        let sim_ctas = options
+            .max_ctas
+            .map_or(grid.ctas, |cap| grid.ctas.min(cap.max(1)));
+        Run {
+            cfg,
+            options,
+            workload,
+            mem: MemSubsystem::new(cfg),
+            sms: (0..cfg.num_sms)
+                .map(|_| SmState::new(cfg.warps_per_sm, cfg.ctas_per_sm, cfg.schedulers_per_sm))
+                .collect(),
+            gens: vec![vec![0; cfg.warps_per_sm]; cfg.num_sms],
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            next_cta: 0,
+            sim_ctas,
+            retired_ctas: 0,
+            warp_age: 0,
+            mix: InstrMix::default(),
+            stalls: StallBreakdown::default(),
+            occ: OccupancyBuckets::default(),
+            idle_acc: 0,
+            idle_start: vec![0; cfg.num_sms * cfg.schedulers_per_sm],
+            active: Vec::with_capacity(cfg.num_sms * cfg.schedulers_per_sm),
+            is_active: vec![false; cfg.num_sms * cfg.schedulers_per_sm],
+            scratch_sectors: Vec::with_capacity(128),
+        }
+    }
+
+    #[inline]
+    fn sched_key(&self, sm: usize, sched: usize) -> usize {
+        sm * self.cfg.schedulers_per_sm + sched
+    }
+
+    /// Moves a warp into its scheduler's ready list and flags the scheduler
+    /// as active for the issue phase.
+    fn make_ready(&mut self, sm: usize, slot: usize) {
+        let sched = match self.sms[sm].warps[slot].as_ref() {
+            Some(w) if !w.done => w.sched,
+            _ => return,
+        };
+        self.sms[sm].push_ready(slot);
+        let key = self.sched_key(sm, sched);
+        if !self.is_active[key] {
+            self.is_active[key] = true;
+            self.active.push(key);
+        }
+    }
+
+    fn push_event(&mut self, at: u64, kind: EventKind) {
+        self.seq += 1;
+        self.events.push(Event {
+            at: at.max(self.now + 1),
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    fn execute(mut self) -> SimStats {
+        let grid = self.workload.grid();
+        if grid.ctas == 0 {
+            return SimStats {
+                kernel: self.workload.name(),
+                sampled_fraction: 1.0,
+                ..SimStats::default()
+            };
+        }
+        self.launch_wave();
+        loop {
+            self.process_due_events();
+            if self.retired_ctas == self.sim_ctas && self.events.is_empty() {
+                break;
+            }
+            if let Some(budget) = self.options.max_cycles {
+                if self.now >= budget {
+                    break;
+                }
+            }
+            let any_ready = self.issue_phase();
+            if any_ready {
+                self.now += 1;
+            } else if let Some(at) = self.events.peek().map(|e| e.at) {
+                // Nothing can issue before the next event: jump straight to
+                // it (idle/stall cycles are integrated at finalize time).
+                self.now = at;
+            } else if self.retired_ctas == self.sim_ctas {
+                break;
+            } else {
+                panic!(
+                    "simulation deadlock at cycle {}: {}/{} CTAs retired, no events pending \
+                     (unmatched barriers in the workload?)",
+                    self.now, self.retired_ctas, self.sim_ctas
+                );
+            }
+        }
+        self.finalize(grid.ctas)
+    }
+
+    /// Fills every SM with CTAs round-robin while room and work remain.
+    fn launch_wave(&mut self) {
+        let warps_per_cta = self.workload.grid().warps_per_cta as usize;
+        loop {
+            let mut progressed = false;
+            for sm in 0..self.sms.len() {
+                if self.next_cta >= self.sim_ctas {
+                    return;
+                }
+                if self.sms[sm].has_room(warps_per_cta) {
+                    let cta = self.next_cta;
+                    self.next_cta += 1;
+                    self.place_cta(sm, cta);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    fn place_cta(&mut self, sm_idx: usize, cta: u64) {
+        let warps_per_cta = self.workload.grid().warps_per_cta;
+        let cta_slot = self.sms[sm_idx]
+            .free_cta_slots
+            .pop()
+            .expect("has_room checked");
+        let mut warp_slots = Vec::with_capacity(warps_per_cta as usize);
+        let mut live = 0usize;
+        for w in 0..warps_per_cta {
+            let trace = self.workload.trace(cta, w);
+            if trace.is_empty() {
+                continue;
+            }
+            let slot = self.sms[sm_idx]
+                .free_warp_slots
+                .pop()
+                .expect("has_room checked");
+            self.gens[sm_idx][slot] += 1;
+            let gen = self.gens[sm_idx][slot];
+            let sched = slot % self.cfg.schedulers_per_sm;
+            self.warp_age += 1;
+            let mut warp = WarpState::new(trace, cta_slot, sched, self.warp_age);
+            // Model the fetch/decode ramp at warp start.
+            warp.blocked = Some(BlockReason::IFetch);
+            warp.block_start = self.now;
+            self.sms[sm_idx].resident[sched] += 1;
+            if self.sms[sm_idx].resident[sched] == 1 {
+                // Scheduler leaves the idle state: close the idle span.
+                let key = self.sched_key(sm_idx, sched);
+                self.idle_acc += self.now.saturating_sub(self.idle_start[key]);
+            }
+            self.sms[sm_idx].warps[slot] = Some(warp);
+            warp_slots.push(slot);
+            live += 1;
+            self.push_event(
+                self.now + self.cfg.ifetch_latency,
+                EventKind::Wake {
+                    sm: sm_idx,
+                    slot,
+                    gen,
+                },
+            );
+        }
+        if live == 0 {
+            // Degenerate CTA with no work at all.
+            self.sms[sm_idx].free_cta_slots.push(cta_slot);
+            self.retired_ctas += 1;
+            return;
+        }
+        self.sms[sm_idx].ctas[cta_slot] = Some(CtaState {
+            warp_slots,
+            live_warps: live,
+            arrived: 0,
+        });
+    }
+
+    fn process_due_events(&mut self) {
+        while self
+            .events
+            .peek()
+            .is_some_and(|event| event.at <= self.now)
+        {
+            let event = self.events.pop().expect("peeked");
+            match event.kind {
+                EventKind::LoadDone {
+                    sm,
+                    slot,
+                    gen,
+                    reg,
+                    sectors,
+                } => {
+                    self.sms[sm].inflight_loads =
+                        self.sms[sm].inflight_loads.saturating_sub(sectors as usize);
+                    if self.gens[sm][slot] == gen {
+                        if let Some(warp) = self.sms[sm].warps[slot].as_mut() {
+                            warp.pending_mem &= !reg_bit(reg);
+                        }
+                        self.reevaluate(sm, slot);
+                    }
+                    self.wake_mem_waiters(sm);
+                }
+                EventKind::StoreDone { sm, sectors } => {
+                    self.sms[sm].inflight_stores =
+                        self.sms[sm].inflight_stores.saturating_sub(sectors as usize);
+                    self.wake_mem_waiters(sm);
+                }
+                EventKind::Wake { sm, slot, gen } => {
+                    if self.gens[sm][slot] == gen {
+                        self.reevaluate(sm, slot);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Moves warps blocked on MSHR/store-queue space back to ready so they
+    /// can retry their memory instruction.
+    ///
+    /// Wakes at most two waiters (FIFO) per completion: each completion
+    /// frees one access worth of sectors, so waking the whole queue would
+    /// only make every waiter fail its retry and re-enqueue — an O(queue²)
+    /// trap. Head-of-line blocking of a wide gather behind a narrow load is
+    /// the realistic behaviour anyway.
+    fn wake_mem_waiters(&mut self, sm: usize) {
+        // If nothing is left in flight there will be no further completion
+        // events: every waiter must get its retry now or never.
+        let wake_all = self.sms[sm].inflight_loads == 0 && self.sms[sm].inflight_stores == 0;
+        let budget = if wake_all {
+            self.sms[sm].mem_waiters.len()
+        } else {
+            2
+        };
+        for _ in 0..budget {
+            if self.sms[sm].mem_waiters.is_empty() {
+                break;
+            }
+            let slot = self.sms[sm].mem_waiters.remove(0);
+            self.reevaluate(sm, slot);
+        }
+    }
+
+    /// Re-derives a blocked warp's state from its current instruction:
+    /// accounts the finished stall period and either unblocks it into the
+    /// ready list or re-blocks it with the (possibly different) reason.
+    fn reevaluate(&mut self, sm: usize, slot: usize) {
+        let now = self.now;
+        let mut push_wake: Option<u64> = None;
+        let mut became_ready = false;
+        {
+            let warp = match self.sms[sm].warps[slot].as_mut() {
+                Some(w) if !w.done => w,
+                _ => return,
+            };
+            let Some(reason) = warp.blocked else { return };
+            // Barrier wakes are driven exclusively by the releasing warp.
+            if reason == BlockReason::Barrier {
+                return;
+            }
+            let instr = &warp.trace[warp.pc];
+            let mem_mask = warp.mem_blocking(instr);
+            let alu_ready = warp.alu_ready_at(instr);
+            let new_reason = if mem_mask != 0 {
+                Some(BlockReason::Memory)
+            } else if alu_ready > now {
+                Some(BlockReason::Execution)
+            } else {
+                None
+            };
+            match new_reason {
+                None => {
+                    self.stalls
+                        .add(reason.stall_reason(), now.saturating_sub(warp.block_start));
+                    warp.blocked = None;
+                    became_ready = true;
+                }
+                Some(next) if next != reason => {
+                    self.stalls
+                        .add(reason.stall_reason(), now.saturating_sub(warp.block_start));
+                    warp.blocked = Some(next);
+                    warp.block_start = now;
+                    if next == BlockReason::Execution {
+                        push_wake = Some(alu_ready);
+                    }
+                }
+                Some(_) => { /* still blocked for the same reason; wait for its event */ }
+            }
+        }
+        if became_ready {
+            self.make_ready(sm, slot);
+        }
+        if let Some(at) = push_wake {
+            let gen = self.gens[sm][slot];
+            self.push_event(at, EventKind::Wake { sm, slot, gen });
+        }
+    }
+
+    /// One issue cycle over every scheduler. Returns whether any scheduler
+    /// had ready warps (used to decide between stepping and skipping).
+    ///
+    /// Idle/Stall occupancy buckets are *not* incremented here: idle time is
+    /// integrated at resident-count transitions and stall time falls out as
+    /// the residual at finalize, which keeps the per-cycle cost of empty
+    /// schedulers at a single branch.
+    fn issue_phase(&mut self) -> bool {
+        let mut any_ready = false;
+        // Deterministic SM-major order also keeps memory access sequential.
+        self.active.sort_unstable();
+        let mut i = 0;
+        while i < self.active.len() {
+            let key = self.active[i];
+            let sm = key / self.cfg.schedulers_per_sm;
+            let sched = key % self.cfg.schedulers_per_sm;
+            if self.sms[sm].ready[sched].is_empty() {
+                // Stale entry: deactivate.
+                self.is_active[key] = false;
+                self.active.swap_remove(i);
+                continue;
+            }
+            any_ready = true;
+            let issued = self.try_issue_for_scheduler(sm, sched);
+            let remaining = self.sms[sm].ready[sched].len();
+            if issued {
+                // Ready-but-not-chosen warps this cycle.
+                self.stalls
+                    .add(StallReason::NotSelected, remaining.saturating_sub(1) as u64);
+            } else {
+                self.stalls.add(StallReason::NotSelected, remaining as u64);
+            }
+            i += 1;
+        }
+        any_ready
+    }
+
+    /// Greedy-then-oldest pick: last-issued warp first, then ascending age.
+    /// Tries up to four candidates (a realistic scheduler examines a small
+    /// window) until one issues. Returns whether an issue happened.
+    fn try_issue_for_scheduler(&mut self, sm: usize, sched: usize) -> bool {
+        let mut tried = [usize::MAX; 4];
+        let mut tried_len = 0usize;
+        while tried_len < tried.len() {
+            let candidate = {
+                let smst = &self.sms[sm];
+                let ready = &smst.ready[sched];
+                if ready.is_empty() {
+                    return false;
+                }
+                let not_tried = |s: &usize| !tried[..tried_len].contains(s);
+                let greedy = smst.last_issued[sched].filter(|s| {
+                    not_tried(s)
+                        && smst.warps[*s].as_ref().is_some_and(|w| w.in_ready)
+                        && ready.contains(s)
+                });
+                match greedy {
+                    Some(slot) => Some(slot),
+                    None => ready
+                        .iter()
+                        .copied()
+                        .filter(not_tried)
+                        .min_by_key(|&s| smst.warps[s].as_ref().map_or(u64::MAX, |w| w.age)),
+                }
+            };
+            let Some(slot) = candidate else { return false };
+            match self.issue_warp(sm, sched, slot) {
+                IssueOutcome::Issued => {
+                    self.sms[sm].last_issued[sched] = Some(slot);
+                    return true;
+                }
+                IssueOutcome::FuBusy => {
+                    tried[tried_len] = slot;
+                    tried_len += 1;
+                }
+                IssueOutcome::BecameBlocked => {
+                    // Warp left the ready list (MSHR/queue full); try others.
+                }
+            }
+        }
+        false
+    }
+
+    fn issue_warp(&mut self, sm: usize, sched: usize, slot: usize) -> IssueOutcome {
+        let now = self.now;
+        // Snapshot what we need from the instruction without holding the
+        // borrow across SM mutation.
+        let (class, dst, active) = {
+            let warp = self.sms[sm].warps[slot].as_ref().expect("ready warp");
+            let instr = warp.current();
+            (instr.class, instr.dst, instr.active)
+        };
+
+        // Functional-unit structural check.
+        if let Some(fu) = FuKind::of(class) {
+            let free_at = self.sms[sm].fu_free[fu as usize];
+            if free_at > now as f64 {
+                return IssueOutcome::FuBusy;
+            }
+        }
+
+        match class {
+            InstrClass::LoadGlobal => {
+                self.scratch_sectors.clear();
+                {
+                    let warp = self.sms[sm].warps[slot].as_ref().expect("ready warp");
+                    let mem = warp.current().mem.as_ref().expect("load carries addresses");
+                    let mut v = std::mem::take(&mut self.scratch_sectors);
+                    mem.sectors_into(&mut v);
+                    self.scratch_sectors = v;
+                }
+                let needed = self.scratch_sectors.len();
+                if self.sms[sm].inflight_loads + needed > self.cfg.l1_mshrs {
+                    self.block_on_mem_capacity(sm, sched, slot);
+                    return IssueOutcome::BecameBlocked;
+                }
+                let sectors = std::mem::take(&mut self.scratch_sectors);
+                let result = self.mem.access(sm, &sectors, now, false);
+                self.scratch_sectors = sectors;
+                self.sms[sm].inflight_loads += needed;
+                let gen = self.gens[sm][slot];
+                self.push_event(
+                    result.done_at,
+                    EventKind::LoadDone {
+                        sm,
+                        slot,
+                        gen,
+                        reg: dst,
+                        sectors: needed as u32,
+                    },
+                );
+                if dst != NO_REG {
+                    let warp = self.sms[sm].warps[slot].as_mut().expect("ready warp");
+                    warp.pending_mem |= reg_bit(dst);
+                }
+                self.mix.load_store += 1;
+                self.consume_fu(sm, FuKind::Ldst);
+                self.complete_issue(sm, sched, slot, active);
+            }
+            InstrClass::StoreGlobal | InstrClass::AtomicGlobal => {
+                let is_atomic = class == InstrClass::AtomicGlobal;
+                self.scratch_sectors.clear();
+                {
+                    let warp = self.sms[sm].warps[slot].as_ref().expect("ready warp");
+                    let mem = warp.current().mem.as_ref().expect("store carries addresses");
+                    let mut v = std::mem::take(&mut self.scratch_sectors);
+                    if is_atomic {
+                        mem.lane_sectors_into(&mut v);
+                    } else {
+                        mem.sectors_into(&mut v);
+                    }
+                    self.scratch_sectors = v;
+                }
+                // Queue occupancy is in unique sectors.
+                let unique = if is_atomic {
+                    let mut u = self.scratch_sectors.clone();
+                    u.sort_unstable();
+                    u.dedup();
+                    u.len()
+                } else {
+                    self.scratch_sectors.len()
+                };
+                if self.sms[sm].inflight_stores + unique > self.cfg.store_queue {
+                    self.block_on_mem_capacity(sm, sched, slot);
+                    return IssueOutcome::BecameBlocked;
+                }
+                let sectors = std::mem::take(&mut self.scratch_sectors);
+                let result = if is_atomic {
+                    self.mem.atomic(sm, &sectors, now)
+                } else {
+                    self.mem.access(sm, &sectors, now, true)
+                };
+                self.scratch_sectors = sectors;
+                self.sms[sm].inflight_stores += unique;
+                self.push_event(
+                    result.done_at,
+                    EventKind::StoreDone {
+                        sm,
+                        sectors: unique as u32,
+                    },
+                );
+                self.mix.load_store += 1;
+                self.consume_fu(sm, FuKind::Ldst);
+                self.complete_issue(sm, sched, slot, active);
+            }
+            InstrClass::Fp32 | InstrClass::Int | InstrClass::Sfu => {
+                let latency = if class == InstrClass::Sfu {
+                    self.cfg.sfu_latency
+                } else {
+                    self.cfg.alu_latency
+                };
+                {
+                    let warp = self.sms[sm].warps[slot].as_mut().expect("ready warp");
+                    if dst != NO_REG {
+                        let idx = (dst % crate::isa::REG_WINDOW) as usize;
+                        warp.reg_ready_at[idx] = now + latency;
+                    }
+                }
+                match class {
+                    InstrClass::Fp32 => self.mix.fp32 += 1,
+                    InstrClass::Int => self.mix.int += 1,
+                    _ => self.mix.other += 1,
+                }
+                self.consume_fu(sm, FuKind::of(class).expect("compute class"));
+                self.complete_issue(sm, sched, slot, active);
+            }
+            InstrClass::Control => {
+                self.mix.control += 1;
+                // Post-branch fetch refill: regardless of the next
+                // instruction's dependencies, the warp waits for the fetch
+                // stage; `reevaluate` re-derives any deeper block when the
+                // refill completes.
+                let gen = self.gens[sm][slot];
+                self.advance_pc(sm, sched, slot);
+                let retired = self.sms[sm].warps[slot].as_ref().map_or(true, |w| w.done);
+                if !retired {
+                    self.remove_from_ready_if_needed(sm, sched, slot);
+                    let warp = self.sms[sm].warps[slot].as_mut().expect("live warp");
+                    warp.blocked = Some(BlockReason::IFetch);
+                    warp.block_start = now;
+                    self.push_event(
+                        now + self.cfg.ifetch_latency,
+                        EventKind::Wake { sm, slot, gen },
+                    );
+                }
+                self.record_issue(active);
+            }
+            InstrClass::Sync => {
+                self.mix.control += 1;
+                self.handle_barrier(sm, sched, slot, active);
+            }
+        }
+        IssueOutcome::Issued
+    }
+
+    fn consume_fu(&mut self, sm: usize, fu: FuKind) {
+        let rate = match fu {
+            FuKind::Fp32 => self.cfg.fp32_rate,
+            FuKind::Int => self.cfg.int_rate,
+            FuKind::Sfu => self.cfg.sfu_rate,
+            FuKind::Ldst => self.cfg.ldst_rate,
+        };
+        let free = &mut self.sms[sm].fu_free[fu as usize];
+        *free = free.max(self.now as f64) + 1.0 / rate;
+    }
+
+    fn record_issue(&mut self, active: u8) {
+        self.occ.record_issue(active);
+        self.stalls.add(StallReason::InstructionIssued, 1);
+    }
+
+    /// Common post-issue path for straight-line instructions: record, move
+    /// the PC forward and either retire, keep ready, or block on the next
+    /// instruction's dependencies.
+    fn complete_issue(&mut self, sm: usize, sched: usize, slot: usize, active: u8) {
+        self.record_issue(active);
+        self.advance_pc(sm, sched, slot);
+    }
+
+    fn advance_pc(&mut self, sm: usize, sched: usize, slot: usize) {
+        let now = self.now;
+        enum Next {
+            Retire,
+            Ready,
+            Block(BlockReason, Option<u64>),
+        }
+        let next = {
+            let warp = self.sms[sm].warps[slot].as_mut().expect("live warp");
+            warp.pc += 1;
+            if warp.pc >= warp.trace.len() {
+                Next::Retire
+            } else {
+                let instr = &warp.trace[warp.pc];
+                let mem_mask = warp.mem_blocking(instr);
+                let alu_ready = warp.alu_ready_at(instr);
+                if mem_mask != 0 {
+                    Next::Block(BlockReason::Memory, None)
+                } else if alu_ready > now {
+                    Next::Block(BlockReason::Execution, Some(alu_ready))
+                } else {
+                    Next::Ready
+                }
+            }
+        };
+        match next {
+            Next::Retire => self.retire_warp(sm, sched, slot),
+            Next::Ready => { /* stays in (or returns to) the ready list */ }
+            Next::Block(reason, wake_at) => {
+                self.remove_from_ready_if_needed(sm, sched, slot);
+                let warp = self.sms[sm].warps[slot].as_mut().expect("live warp");
+                warp.blocked = Some(reason);
+                warp.block_start = now;
+                if let Some(at) = wake_at {
+                    let gen = self.gens[sm][slot];
+                    self.push_event(at, EventKind::Wake { sm, slot, gen });
+                }
+            }
+        }
+    }
+
+    fn remove_from_ready_if_needed(&mut self, sm: usize, sched: usize, slot: usize) {
+        let in_ready = self.sms[sm].warps[slot]
+            .as_ref()
+            .is_some_and(|w| w.in_ready);
+        if in_ready {
+            let ready = &mut self.sms[sm].ready[sched];
+            if let Some(pos) = ready.iter().position(|&s| s == slot) {
+                ready.swap_remove(pos);
+            }
+            if let Some(w) = self.sms[sm].warps[slot].as_mut() {
+                w.in_ready = false;
+            }
+        }
+    }
+
+    fn block_on_mem_capacity(&mut self, sm: usize, sched: usize, slot: usize) {
+        self.remove_from_ready_if_needed(sm, sched, slot);
+        let now = self.now;
+        let warp = self.sms[sm].warps[slot].as_mut().expect("live warp");
+        warp.blocked = Some(BlockReason::Memory);
+        warp.block_start = now;
+        self.sms[sm].mem_waiters.push(slot);
+    }
+
+    fn handle_barrier(&mut self, sm: usize, sched: usize, slot: usize, active: u8) {
+        self.record_issue(active);
+        let cta_slot = self.sms[sm].warps[slot]
+            .as_ref()
+            .expect("live warp")
+            .cta_slot;
+        let (arrived, live) = {
+            let cta = self.sms[sm].ctas[cta_slot].as_mut().expect("live CTA");
+            cta.arrived += 1;
+            (cta.arrived, cta.live_warps)
+        };
+        if arrived >= live {
+            // Everyone is here: release all waiters, then advance self.
+            let waiters: Vec<usize> = {
+                let cta = self.sms[sm].ctas[cta_slot].as_mut().expect("live CTA");
+                cta.arrived = 0;
+                cta.warp_slots.clone()
+            };
+            let now = self.now;
+            for w in waiters {
+                if w == slot {
+                    continue;
+                }
+                let (was_barrier, start) = {
+                    match self.sms[sm].warps[w].as_ref() {
+                        Some(ws) if ws.blocked == Some(BlockReason::Barrier) => {
+                            (true, ws.block_start)
+                        }
+                        _ => (false, 0),
+                    }
+                };
+                if was_barrier {
+                    self.stalls
+                        .add(StallReason::Synchronization, now.saturating_sub(start));
+                    if let Some(ws) = self.sms[sm].warps[w].as_mut() {
+                        ws.blocked = None;
+                        ws.pc += 1;
+                    }
+                    // Evaluate the released warp's next instruction.
+                    self.post_barrier_eval(sm, w);
+                }
+            }
+            self.advance_pc(sm, sched, slot);
+        } else {
+            self.remove_from_ready_if_needed(sm, sched, slot);
+            let now = self.now;
+            let warp = self.sms[sm].warps[slot].as_mut().expect("live warp");
+            warp.blocked = Some(BlockReason::Barrier);
+            warp.block_start = now;
+        }
+    }
+
+    /// After a barrier release, a woken warp is positioned after the sync;
+    /// classify its next state like `advance_pc` does (minus the pc bump,
+    /// which the releaser already performed).
+    fn post_barrier_eval(&mut self, sm: usize, slot: usize) {
+        let now = self.now;
+        enum Next {
+            Retire(usize),
+            Ready,
+            Block(BlockReason, Option<u64>),
+        }
+        let next = {
+            let warp = self.sms[sm].warps[slot].as_mut().expect("live warp");
+            if warp.pc >= warp.trace.len() {
+                Next::Retire(warp.sched)
+            } else {
+                let instr = &warp.trace[warp.pc];
+                let mem_mask = warp.mem_blocking(instr);
+                let alu_ready = warp.alu_ready_at(instr);
+                if mem_mask != 0 {
+                    Next::Block(BlockReason::Memory, None)
+                } else if alu_ready > now {
+                    Next::Block(BlockReason::Execution, Some(alu_ready))
+                } else {
+                    Next::Ready
+                }
+            }
+        };
+        match next {
+            Next::Retire(sched) => self.retire_warp(sm, sched, slot),
+            Next::Ready => self.make_ready(sm, slot),
+            Next::Block(reason, wake_at) => {
+                let warp = self.sms[sm].warps[slot].as_mut().expect("live warp");
+                warp.blocked = Some(reason);
+                warp.block_start = now;
+                if let Some(at) = wake_at {
+                    let gen = self.gens[sm][slot];
+                    self.push_event(at, EventKind::Wake { sm, slot, gen });
+                }
+            }
+        }
+    }
+
+    fn retire_warp(&mut self, sm: usize, sched: usize, slot: usize) {
+        self.remove_from_ready_if_needed(sm, sched, slot);
+        let cta_slot = {
+            let warp = self.sms[sm].warps[slot].as_mut().expect("live warp");
+            warp.done = true;
+            warp.cta_slot
+        };
+        self.gens[sm][slot] += 1; // invalidate in-flight events for this slot
+        self.sms[sm].warps[slot] = None;
+        self.sms[sm].free_warp_slots.push(slot);
+        self.sms[sm].resident[sched] = self.sms[sm].resident[sched].saturating_sub(1);
+        if self.sms[sm].resident[sched] == 0 {
+            // Scheduler enters the idle state after this cycle.
+            let key = self.sched_key(sm, sched);
+            self.idle_start[key] = self.now + 1;
+        }
+        let cta_done = {
+            let cta = self.sms[sm].ctas[cta_slot].as_mut().expect("live CTA");
+            cta.live_warps -= 1;
+            cta.live_warps == 0
+        };
+        if cta_done {
+            self.sms[sm].ctas[cta_slot] = None;
+            self.sms[sm].free_cta_slots.push(cta_slot);
+            self.retired_ctas += 1;
+            if self.next_cta < self.sim_ctas {
+                let cta = self.next_cta;
+                self.next_cta += 1;
+                self.place_cta(sm, cta);
+            }
+        }
+    }
+
+    fn finalize(mut self, total_ctas: u64) -> SimStats {
+        let cycles = self.now;
+        // Close idle spans for schedulers that are still empty, then derive
+        // the Stall bucket as the residual of the scheduler-cycle budget.
+        for sm in 0..self.sms.len() {
+            for sched in 0..self.cfg.schedulers_per_sm {
+                if self.sms[sm].resident[sched] == 0 {
+                    let key = self.sched_key(sm, sched);
+                    self.idle_acc += cycles.saturating_sub(self.idle_start[key]);
+                }
+            }
+        }
+        let sched_cycles = cycles * (self.cfg.num_sms * self.cfg.schedulers_per_sm) as u64;
+        self.occ.idle = self.idle_acc.min(sched_cycles);
+        let issues = self.occ.w8 + self.occ.w20 + self.occ.w32;
+        self.occ.stall = sched_cycles.saturating_sub(self.occ.idle + issues);
+        // Renormalize the stall distribution to *scheduler-slot samples*
+        // (the nvprof/GPGPU-Sim "issue stall reasons" convention): each
+        // occupied scheduler-cycle is one sample — `InstructionIssued` when
+        // an instruction went out, otherwise a stall reason. The per-warp
+        // integration above gives the correct *relative* weights among the
+        // stall reasons; here we scale them so they fill exactly the
+        // non-issuing occupied slots.
+        {
+            let stall_budget = self.occ.stall as f64;
+            let reasons = [
+                StallReason::MemoryDependency,
+                StallReason::ExecutionDependency,
+                StallReason::InstructionFetch,
+                StallReason::Synchronization,
+                StallReason::NotSelected,
+            ];
+            let raw_total: u64 = reasons.iter().map(|&r| self.stalls.get(r)).sum();
+            if raw_total > 0 {
+                let mut scaled = StallBreakdown::default();
+                scaled.add(StallReason::InstructionIssued, issues);
+                for r in reasons {
+                    let share = self.stalls.get(r) as f64 / raw_total as f64;
+                    scaled.add(r, (share * stall_budget).round() as u64);
+                }
+                self.stalls = scaled;
+            }
+        }
+        let sampled_fraction = self.sim_ctas as f64 / total_ctas as f64;
+        let time_ms = self.cfg.cycles_to_ms(cycles) / sampled_fraction.max(f64::MIN_POSITIVE);
+        let compute_instrs = self.mix.fp32 + self.mix.int + self.mix.other;
+        let issue_slots = (cycles as f64) * self.cfg.peak_issue_per_cycle();
+        let compute_utilization = if issue_slots > 0.0 {
+            (compute_instrs as f64 / issue_slots).min(1.0)
+        } else {
+            0.0
+        };
+        let memory_utilization = if cycles > 0 {
+            (self.mem.dram_busy_cycles() / cycles as f64).min(1.0)
+        } else {
+            0.0
+        };
+        SimStats {
+            kernel: self.workload.name(),
+            cycles,
+            time_ms,
+            sampled_fraction,
+            instr_mix: self.mix,
+            stalls: self.stalls,
+            occupancy: self.occ,
+            l1: self.mem.l1_stats(),
+            l2: self.mem.l2_stats(),
+            dram_bytes: self.mem.dram_bytes(),
+            compute_utilization,
+            memory_utilization,
+        }
+    }
+}
+
+enum IssueOutcome {
+    Issued,
+    FuBusy,
+    BecameBlocked,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{ComputeWorkload, StreamWorkload};
+    use crate::GpuConfig;
+
+    fn sim(sms: usize) -> Simulator {
+        Simulator::new(GpuConfig::v100_scaled(sms), SimOptions::default())
+    }
+
+    #[test]
+    fn empty_grid_returns_zeroes() {
+        #[derive(Debug)]
+        struct Empty;
+        impl crate::KernelWorkload for Empty {
+            fn name(&self) -> String {
+                "empty".into()
+            }
+            fn grid(&self) -> crate::Grid {
+                crate::Grid {
+                    ctas: 0,
+                    warps_per_cta: 1,
+                }
+            }
+            fn trace(&self, _: u64, _: u32) -> Vec<crate::Instr> {
+                Vec::new()
+            }
+        }
+        let stats = sim(2).run(&Empty);
+        assert_eq!(stats.cycles, 0);
+        assert_eq!(stats.instructions(), 0);
+    }
+
+    #[test]
+    fn compute_workload_counts_instructions() {
+        let w = ComputeWorkload::new(4, 2, 100, 0);
+        let stats = sim(2).run(&w);
+        // 4 CTAs x 2 warps x (100 fp32 + 1 control)
+        assert_eq!(stats.instr_mix.fp32, 4 * 2 * 100);
+        assert_eq!(stats.instr_mix.control, 4 * 2);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn stream_workload_moves_dram_bytes() {
+        let w = StreamWorkload::new(8, 2, 64);
+        let stats = sim(2).run(&w);
+        assert!(stats.dram_bytes > 0);
+        assert!(stats.l1.accesses > 0);
+        assert!(stats.memory_utilization > 0.0);
+    }
+
+    #[test]
+    fn dependent_chain_slower_than_independent() {
+        // Same instruction count; serial chain must take more cycles.
+        let serial = ComputeWorkload::new(1, 1, 400, 0).serial(true);
+        let parallel = ComputeWorkload::new(1, 1, 400, 0).serial(false);
+        let s = sim(1).run(&serial);
+        let p = sim(1).run(&parallel);
+        assert!(
+            s.cycles > p.cycles,
+            "serial {} should exceed parallel {}",
+            s.cycles,
+            p.cycles
+        );
+        assert!(s.stalls.execution_dependency > p.stalls.execution_dependency);
+    }
+
+    #[test]
+    fn cta_sampling_scales_time() {
+        let w = ComputeWorkload::new(64, 2, 64, 0);
+        let full = sim(2).run(&w);
+        let sampled = Simulator::new(
+            GpuConfig::v100_scaled(2),
+            SimOptions {
+                max_ctas: Some(16),
+                max_cycles: None,
+            },
+        )
+        .run(&w);
+        assert!((sampled.sampled_fraction - 0.25).abs() < 1e-9);
+        // Scaled estimate should land in the same ballpark as the full run.
+        let ratio = sampled.time_ms / full.time_ms;
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "scaled estimate off by {ratio}x"
+        );
+    }
+
+    #[test]
+    fn stall_accounting_covers_warp_lifetime() {
+        let w = StreamWorkload::new(4, 2, 128);
+        let stats = sim(2).run(&w);
+        let total = stats.stalls.total();
+        assert!(total > 0);
+        // Memory-bound streaming: memory dependency must dominate exec dep.
+        assert!(stats.stalls.memory_dependency > stats.stalls.execution_dependency);
+    }
+
+    #[test]
+    fn occupancy_buckets_accounted_every_cycle() {
+        let w = ComputeWorkload::new(2, 1, 50, 0);
+        let cfg = GpuConfig::v100_scaled(2);
+        let scheds = cfg.num_sms * cfg.schedulers_per_sm;
+        let stats = Simulator::new(cfg, SimOptions::default()).run(&w);
+        assert_eq!(
+            stats.occupancy.total(),
+            stats.cycles * scheds as u64,
+            "every scheduler-cycle must land in exactly one bucket"
+        );
+    }
+
+    #[test]
+    fn barrier_synchronizes_cta() {
+        use crate::{Grid, Instr, KernelWorkload};
+        #[derive(Debug)]
+        struct BarrierKernel;
+        impl KernelWorkload for BarrierKernel {
+            fn name(&self) -> String {
+                "barrier".into()
+            }
+            fn grid(&self) -> Grid {
+                Grid::new(1, 4)
+            }
+            fn trace(&self, _cta: u64, warp: u32) -> Vec<Instr> {
+                let mut tb = crate::TraceBuilder::new(32);
+                // Unequal pre-barrier work, equal post-barrier work.
+                for _ in 0..(warp + 1) * 20 {
+                    tb.fp32(&[]);
+                }
+                tb.sync();
+                for _ in 0..10 {
+                    tb.int(&[]);
+                }
+                tb.finish()
+            }
+        }
+        let stats = sim(1).run(&BarrierKernel);
+        assert!(
+            stats.stalls.synchronization > 0,
+            "early-arriving warps must wait at the barrier"
+        );
+        assert_eq!(stats.instr_mix.int, 4 * 10, "all warps ran the epilogue");
+    }
+
+    #[test]
+    fn max_cycles_is_a_hard_stop() {
+        let w = ComputeWorkload::new(512, 4, 4000, 0);
+        let stats = Simulator::new(
+            GpuConfig::v100_scaled(1),
+            SimOptions {
+                max_ctas: None,
+                max_cycles: Some(500),
+            },
+        )
+        .run(&w);
+        assert!(stats.cycles <= 501);
+    }
+}

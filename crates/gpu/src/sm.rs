@@ -1,0 +1,302 @@
+//! Streaming-multiprocessor internals: resident warps, CTA slots, the
+//! register scoreboard, per-class functional-unit availability and the
+//! greedy-then-oldest scheduler state.
+
+use crate::isa::{Instr, InstrClass, Reg, NO_REG, REG_WINDOW};
+use crate::stats::StallReason;
+
+/// Why a warp is not schedulable right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BlockReason {
+    /// Waiting on a load result, an MSHR slot or a store-queue slot.
+    Memory,
+    /// Waiting on an ALU/SFU result.
+    Execution,
+    /// Waiting on instruction fetch (warp start / post-branch refill).
+    IFetch,
+    /// Waiting at a CTA barrier.
+    Barrier,
+}
+
+impl BlockReason {
+    pub(crate) fn stall_reason(self) -> StallReason {
+        match self {
+            BlockReason::Memory => StallReason::MemoryDependency,
+            BlockReason::Execution => StallReason::ExecutionDependency,
+            BlockReason::IFetch => StallReason::InstructionFetch,
+            BlockReason::Barrier => StallReason::Synchronization,
+        }
+    }
+}
+
+/// Functional-unit classes with issue-rate limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FuKind {
+    Fp32 = 0,
+    Int = 1,
+    Sfu = 2,
+    Ldst = 3,
+}
+
+impl FuKind {
+    pub(crate) fn of(class: InstrClass) -> Option<FuKind> {
+        match class {
+            InstrClass::Fp32 => Some(FuKind::Fp32),
+            InstrClass::Int => Some(FuKind::Int),
+            InstrClass::Sfu => Some(FuKind::Sfu),
+            InstrClass::LoadGlobal | InstrClass::StoreGlobal | InstrClass::AtomicGlobal => {
+                Some(FuKind::Ldst)
+            }
+            InstrClass::Control | InstrClass::Sync => None,
+        }
+    }
+}
+
+/// One resident warp.
+///
+/// Register dependencies are tracked two ways: loads set a bit in
+/// [`WarpState::pending_mem`] (cleared by the load-completion event, since
+/// memory latency is not known at issue time), while ALU/SFU results record
+/// their fixed-latency ready cycle in [`WarpState::reg_ready_at`] — no event
+/// traffic for the common compute case.
+#[derive(Debug)]
+pub(crate) struct WarpState {
+    pub trace: Vec<Instr>,
+    pub pc: usize,
+    pub cta_slot: usize,
+    pub sched: usize,
+    /// Global launch order; lower = older (GTO tie-break).
+    pub age: u64,
+    /// Bitmask of registers pending a load result.
+    pub pending_mem: u64,
+    /// Cycle at which each ALU/SFU-written register becomes readable.
+    pub reg_ready_at: Vec<u64>,
+    pub blocked: Option<BlockReason>,
+    pub block_start: u64,
+    pub done: bool,
+    /// True while the warp sits in its scheduler's ready list.
+    pub in_ready: bool,
+}
+
+impl WarpState {
+    pub(crate) fn new(trace: Vec<Instr>, cta_slot: usize, sched: usize, age: u64) -> Self {
+        WarpState {
+            trace,
+            pc: 0,
+            cta_slot,
+            sched,
+            age,
+            pending_mem: 0,
+            reg_ready_at: vec![0; REG_WINDOW as usize],
+            blocked: None,
+            block_start: 0,
+            done: false,
+            in_ready: false,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn current(&self) -> &Instr {
+        &self.trace[self.pc]
+    }
+
+    /// Pending-load registers blocking `instr` (sources plus WAW on the
+    /// destination).
+    #[inline]
+    pub(crate) fn mem_blocking(&self, instr: &Instr) -> u64 {
+        let mut mask = 0u64;
+        for src in instr.sources() {
+            mask |= reg_bit(src);
+        }
+        if instr.dst != NO_REG {
+            mask |= reg_bit(instr.dst);
+        }
+        self.pending_mem & mask
+    }
+
+    /// Cycle at which all of `instr`'s ALU-produced sources are readable
+    /// (0 when none are in flight).
+    #[inline]
+    pub(crate) fn alu_ready_at(&self, instr: &Instr) -> u64 {
+        let mut ready = 0u64;
+        for src in instr.sources() {
+            ready = ready.max(self.reg_ready_at[(src % REG_WINDOW) as usize]);
+        }
+        ready
+    }
+}
+
+#[inline]
+pub(crate) fn reg_bit(reg: Reg) -> u64 {
+    debug_assert!(reg < REG_WINDOW, "trace register {reg} outside window");
+    1u64 << (reg % REG_WINDOW)
+}
+
+/// One resident CTA.
+#[derive(Debug)]
+pub(crate) struct CtaState {
+    /// Warp slot ids belonging to this CTA.
+    pub warp_slots: Vec<usize>,
+    /// Warps not yet retired.
+    pub live_warps: usize,
+    /// Warps currently waiting at the barrier.
+    pub arrived: usize,
+}
+
+/// Per-SM state.
+#[derive(Debug)]
+pub(crate) struct SmState {
+    pub warps: Vec<Option<WarpState>>,
+    pub free_warp_slots: Vec<usize>,
+    pub ctas: Vec<Option<CtaState>>,
+    pub free_cta_slots: Vec<usize>,
+    /// Ready warp slots per scheduler.
+    pub ready: Vec<Vec<usize>>,
+    /// Last warp each scheduler issued from (greedy part of GTO).
+    pub last_issued: Vec<Option<usize>>,
+    /// Live (not done) warps per scheduler — Idle/Stall classification.
+    pub resident: Vec<usize>,
+    /// Fractional next-free timestamps per functional unit.
+    pub fu_free: [f64; 4],
+    /// Outstanding load sectors (MSHR occupancy).
+    pub inflight_loads: usize,
+    /// Outstanding store/atomic sectors.
+    pub inflight_stores: usize,
+    /// Warps blocked waiting for MSHR or store-queue space.
+    pub mem_waiters: Vec<usize>,
+}
+
+impl SmState {
+    pub(crate) fn new(warps_per_sm: usize, ctas_per_sm: usize, schedulers: usize) -> Self {
+        SmState {
+            warps: (0..warps_per_sm).map(|_| None).collect(),
+            free_warp_slots: (0..warps_per_sm).rev().collect(),
+            ctas: (0..ctas_per_sm).map(|_| None).collect(),
+            free_cta_slots: (0..ctas_per_sm).rev().collect(),
+            ready: vec![Vec::new(); schedulers],
+            last_issued: vec![None; schedulers],
+            resident: vec![0; schedulers],
+            fu_free: [0.0; 4],
+            inflight_loads: 0,
+            inflight_stores: 0,
+            mem_waiters: Vec::new(),
+        }
+    }
+
+    /// Whether a CTA of `warps_per_cta` warps fits right now.
+    pub(crate) fn has_room(&self, warps_per_cta: usize) -> bool {
+        !self.free_cta_slots.is_empty() && self.free_warp_slots.len() >= warps_per_cta
+    }
+
+    /// Moves `slot` into its scheduler's ready list (idempotent).
+    pub(crate) fn push_ready(&mut self, slot: usize) {
+        let warp = self.warps[slot].as_mut().expect("warp exists");
+        if warp.done || warp.in_ready {
+            return;
+        }
+        warp.in_ready = true;
+        let sched = warp.sched;
+        self.ready[sched].push(slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Instr, TraceBuilder};
+
+    fn warp_with(trace: Vec<Instr>) -> WarpState {
+        WarpState::new(trace, 0, 0, 0)
+    }
+
+    #[test]
+    fn mem_blocking_tracks_pending_loads() {
+        let mut tb = TraceBuilder::new(32);
+        let a = tb.load_lanes(0, 4); // reg <- mem
+        let b = tb.fp32(&[a]);
+        let _c = tb.fp32(&[a, b]);
+        let trace = tb.finish();
+        let mut w = warp_with(trace);
+        w.pending_mem = reg_bit(a);
+        w.pc = 2;
+        let instr = w.trace[2].clone();
+        assert_eq!(w.mem_blocking(&instr), reg_bit(a));
+    }
+
+    #[test]
+    fn alu_ready_takes_max_over_sources() {
+        let mut tb = TraceBuilder::new(32);
+        let a = tb.fp32(&[]);
+        let b = tb.fp32(&[]);
+        let _c = tb.fp32(&[a, b]);
+        let trace = tb.finish();
+        let mut w = warp_with(trace);
+        w.reg_ready_at[a as usize] = 10;
+        w.reg_ready_at[b as usize] = 25;
+        w.pc = 2;
+        let instr = w.trace[2].clone();
+        assert_eq!(w.alu_ready_at(&instr), 25);
+        assert_eq!(w.mem_blocking(&instr), 0);
+    }
+
+    #[test]
+    fn waw_blocks_via_dst() {
+        let mut w = warp_with(vec![Instr::fp32(3, &[], 32)]);
+        w.pending_mem = reg_bit(3);
+        let instr = w.trace[0].clone();
+        assert_eq!(w.mem_blocking(&instr), reg_bit(3));
+    }
+
+    #[test]
+    fn no_reg_never_blocks() {
+        let mut w = warp_with(vec![Instr::control(32)]);
+        w.pending_mem = u64::MAX;
+        let instr = w.trace[0].clone();
+        assert_eq!(w.mem_blocking(&instr), 0);
+        assert_eq!(w.alu_ready_at(&instr), 0);
+    }
+
+    #[test]
+    fn fu_mapping() {
+        assert_eq!(FuKind::of(InstrClass::Fp32), Some(FuKind::Fp32));
+        assert_eq!(FuKind::of(InstrClass::AtomicGlobal), Some(FuKind::Ldst));
+        assert_eq!(FuKind::of(InstrClass::Control), None);
+        assert_eq!(FuKind::of(InstrClass::Sync), None);
+    }
+
+    #[test]
+    fn sm_room_accounting() {
+        let mut sm = SmState::new(8, 2, 2);
+        assert!(sm.has_room(4));
+        assert!(!sm.has_room(9));
+        sm.free_cta_slots.pop();
+        for _ in 0..6 {
+            sm.free_warp_slots.pop();
+        }
+        assert!(sm.has_room(2));
+        assert!(!sm.has_room(3));
+        sm.free_cta_slots.pop();
+        assert!(!sm.has_room(1), "no CTA slots left");
+    }
+
+    #[test]
+    fn push_ready_is_idempotent() {
+        let mut sm = SmState::new(4, 1, 1);
+        sm.warps[0] = Some(warp_with(vec![Instr::control(32)]));
+        sm.push_ready(0);
+        sm.push_ready(0);
+        assert_eq!(sm.ready[0].len(), 1);
+    }
+
+    #[test]
+    fn block_reason_maps_to_stall_reason() {
+        assert_eq!(
+            BlockReason::Memory.stall_reason(),
+            StallReason::MemoryDependency
+        );
+        assert_eq!(
+            BlockReason::Barrier.stall_reason(),
+            StallReason::Synchronization
+        );
+    }
+}

@@ -1,0 +1,359 @@
+//! Per-kernel statistics — one field per metric the paper reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a resident warp could not issue in a given cycle.
+///
+/// These are exactly the issue-stall categories of the paper's Fig. 6
+/// (GPGPU-Sim / nvprof terminology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StallReason {
+    /// The warp issued an instruction (not a stall; kept in the same
+    /// distribution as the paper does).
+    InstructionIssued,
+    /// Waiting on an outstanding global-memory load result or a full
+    /// MSHR/store queue.
+    MemoryDependency,
+    /// Waiting on an ALU/SFU result still in its latency window.
+    ExecutionDependency,
+    /// Waiting on instruction fetch/decode (warp start, post-branch refill).
+    InstructionFetch,
+    /// Waiting at a CTA barrier.
+    Synchronization,
+    /// Ready to issue but the scheduler picked another warp (or the
+    /// functional unit had no issue slot this cycle).
+    NotSelected,
+}
+
+impl StallReason {
+    /// All reasons, in the paper's legend order.
+    pub const ALL: [StallReason; 6] = [
+        StallReason::MemoryDependency,
+        StallReason::ExecutionDependency,
+        StallReason::InstructionIssued,
+        StallReason::InstructionFetch,
+        StallReason::Synchronization,
+        StallReason::NotSelected,
+    ];
+
+    /// Display label matching the paper's figure legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallReason::InstructionIssued => "InstructionIssued",
+            StallReason::MemoryDependency => "MemoryDependency",
+            StallReason::ExecutionDependency => "ExecutionDependency",
+            StallReason::InstructionFetch => "InstructionFetch",
+            StallReason::Synchronization => "Synchronization",
+            StallReason::NotSelected => "NotSelected",
+        }
+    }
+}
+
+/// Warp-cycle counts per stall reason.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallBreakdown {
+    /// Warp-cycles in which an instruction issued.
+    pub issued: u64,
+    /// Warp-cycles blocked on memory results.
+    pub memory_dependency: u64,
+    /// Warp-cycles blocked on ALU/SFU results.
+    pub execution_dependency: u64,
+    /// Warp-cycles blocked on instruction fetch.
+    pub instruction_fetch: u64,
+    /// Warp-cycles blocked at barriers.
+    pub synchronization: u64,
+    /// Warp-cycles ready but not selected.
+    pub not_selected: u64,
+}
+
+impl StallBreakdown {
+    /// Adds `cycles` to the counter for `reason`.
+    pub fn add(&mut self, reason: StallReason, cycles: u64) {
+        match reason {
+            StallReason::InstructionIssued => self.issued += cycles,
+            StallReason::MemoryDependency => self.memory_dependency += cycles,
+            StallReason::ExecutionDependency => self.execution_dependency += cycles,
+            StallReason::InstructionFetch => self.instruction_fetch += cycles,
+            StallReason::Synchronization => self.synchronization += cycles,
+            StallReason::NotSelected => self.not_selected += cycles,
+        }
+    }
+
+    /// Count for one reason.
+    pub fn get(&self, reason: StallReason) -> u64 {
+        match reason {
+            StallReason::InstructionIssued => self.issued,
+            StallReason::MemoryDependency => self.memory_dependency,
+            StallReason::ExecutionDependency => self.execution_dependency,
+            StallReason::InstructionFetch => self.instruction_fetch,
+            StallReason::Synchronization => self.synchronization,
+            StallReason::NotSelected => self.not_selected,
+        }
+    }
+
+    /// Total warp-cycles accounted.
+    pub fn total(&self) -> u64 {
+        StallReason::ALL.iter().map(|&r| self.get(r)).sum()
+    }
+
+    /// Fraction of warp-cycles attributed to `reason` (0 when empty).
+    pub fn fraction(&self, reason: StallReason) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(reason) as f64 / total as f64
+        }
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &StallBreakdown) {
+        for reason in StallReason::ALL {
+            self.add(reason, other.get(reason));
+        }
+    }
+}
+
+/// Scheduler-cycle occupancy buckets — the paper's Fig. 7 categories.
+///
+/// `Stall`: warps resident but none could issue. `Idle`: no runnable warps
+/// resident on the scheduler. `W8`/`W20`/`W32`: an instruction issued with
+/// ≤8, 9–20, or 21–32 active lanes respectively.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OccupancyBuckets {
+    /// Scheduler-cycles stalled (resident warps, none eligible).
+    pub stall: u64,
+    /// Scheduler-cycles with no resident runnable warps.
+    pub idle: u64,
+    /// Issues with 1–8 active lanes.
+    pub w8: u64,
+    /// Issues with 9–20 active lanes.
+    pub w20: u64,
+    /// Issues with 21–32 active lanes.
+    pub w32: u64,
+}
+
+impl OccupancyBuckets {
+    /// Records one issue with `active` lanes.
+    pub fn record_issue(&mut self, active: u8) {
+        match active {
+            0..=8 => self.w8 += 1,
+            9..=20 => self.w20 += 1,
+            _ => self.w32 += 1,
+        }
+    }
+
+    /// Total scheduler-cycles accounted.
+    pub fn total(&self) -> u64 {
+        self.stall + self.idle + self.w8 + self.w20 + self.w32
+    }
+
+    /// `(label, fraction)` pairs in the paper's legend order.
+    pub fn fractions(&self) -> [(&'static str, f64); 5] {
+        let total = self.total().max(1) as f64;
+        [
+            ("Stall", self.stall as f64 / total),
+            ("Idle", self.idle as f64 / total),
+            ("W8", self.w8 as f64 / total),
+            ("W20", self.w20 as f64 / total),
+            ("W32", self.w32 as f64 / total),
+        ]
+    }
+
+    /// Merges another set of buckets into this one.
+    pub fn merge(&mut self, other: &OccupancyBuckets) {
+        self.stall += other.stall;
+        self.idle += other.idle;
+        self.w8 += other.w8;
+        self.w20 += other.w20;
+        self.w32 += other.w32;
+    }
+}
+
+/// Issued-instruction counts by class — the paper's Fig. 5 mix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstrMix {
+    /// FP32 ALU instructions.
+    pub fp32: u64,
+    /// Integer ALU instructions.
+    pub int: u64,
+    /// Global loads, stores and atomics.
+    pub load_store: u64,
+    /// Control flow and barriers.
+    pub control: u64,
+    /// Everything else (SFU).
+    pub other: u64,
+}
+
+impl InstrMix {
+    /// Total issued instructions.
+    pub fn total(&self) -> u64 {
+        self.fp32 + self.int + self.load_store + self.control + self.other
+    }
+
+    /// `(label, fraction)` pairs in the paper's legend order.
+    pub fn fractions(&self) -> [(&'static str, f64); 5] {
+        let total = self.total().max(1) as f64;
+        [
+            ("FP32", self.fp32 as f64 / total),
+            ("INT", self.int as f64 / total),
+            ("Load/Store", self.load_store as f64 / total),
+            ("Control", self.control as f64 / total),
+            ("other", self.other as f64 / total),
+        ]
+    }
+
+    /// Merges another mix into this one.
+    pub fn merge(&mut self, other: &InstrMix) {
+        self.fp32 += other.fp32;
+        self.int += other.int;
+        self.load_store += other.load_store;
+        self.control += other.control;
+        self.other += other.other;
+    }
+}
+
+/// Access/hit counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Sector lookups.
+    pub accesses: u64,
+    /// Sector hits.
+    pub hits: u64,
+}
+
+impl CacheStats {
+    /// Misses (`accesses - hits`).
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Hit ratio in `[0, 1]`; 0 when no accesses were made.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+    }
+}
+
+/// Complete result of simulating one kernel launch.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Kernel name.
+    pub kernel: String,
+    /// Simulated cycles (of the sampled portion of the grid).
+    pub cycles: u64,
+    /// Estimated wall time in milliseconds for the *full* grid
+    /// (sampled time divided by [`SimStats::sampled_fraction`]).
+    pub time_ms: f64,
+    /// Fraction of the grid's CTAs that were cycle-simulated (1.0 = all).
+    pub sampled_fraction: f64,
+    /// Issued-instruction mix.
+    pub instr_mix: InstrMix,
+    /// Warp-cycle stall distribution.
+    pub stalls: StallBreakdown,
+    /// Scheduler-cycle occupancy buckets.
+    pub occupancy: OccupancyBuckets,
+    /// L1D counters (all SMs merged).
+    pub l1: CacheStats,
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// Bytes transferred from DRAM.
+    pub dram_bytes: u64,
+    /// Fraction of issue slots spent on compute instructions, in `[0, 1]`.
+    pub compute_utilization: f64,
+    /// Fraction of DRAM bandwidth consumed, in `[0, 1]`.
+    pub memory_utilization: f64,
+}
+
+impl SimStats {
+    /// Warp instructions issued in total.
+    pub fn instructions(&self) -> u64 {
+        self.instr_mix.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_breakdown_roundtrip() {
+        let mut b = StallBreakdown::default();
+        b.add(StallReason::MemoryDependency, 10);
+        b.add(StallReason::InstructionIssued, 30);
+        assert_eq!(b.get(StallReason::MemoryDependency), 10);
+        assert_eq!(b.total(), 40);
+        assert!((b.fraction(StallReason::MemoryDependency) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_merge_adds() {
+        let mut a = StallBreakdown::default();
+        a.add(StallReason::Synchronization, 5);
+        let mut b = StallBreakdown::default();
+        b.add(StallReason::Synchronization, 7);
+        b.add(StallReason::NotSelected, 1);
+        a.merge(&b);
+        assert_eq!(a.get(StallReason::Synchronization), 12);
+        assert_eq!(a.total(), 13);
+    }
+
+    #[test]
+    fn occupancy_bucket_boundaries() {
+        let mut o = OccupancyBuckets::default();
+        o.record_issue(1);
+        o.record_issue(8);
+        o.record_issue(9);
+        o.record_issue(20);
+        o.record_issue(21);
+        o.record_issue(32);
+        assert_eq!(o.w8, 2);
+        assert_eq!(o.w20, 2);
+        assert_eq!(o.w32, 2);
+    }
+
+    #[test]
+    fn occupancy_fractions_sum_to_one() {
+        let mut o = OccupancyBuckets::default();
+        o.stall = 10;
+        o.idle = 10;
+        o.record_issue(32);
+        let sum: f64 = o.fractions().iter().map(|&(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instr_mix_fractions() {
+        let mix = InstrMix {
+            fp32: 50,
+            int: 30,
+            load_store: 15,
+            control: 5,
+            other: 0,
+        };
+        assert_eq!(mix.total(), 100);
+        let f = mix.fractions();
+        assert_eq!(f[0], ("FP32", 0.5));
+        assert_eq!(f[3], ("Control", 0.05));
+    }
+
+    #[test]
+    fn cache_stats_rates() {
+        let c = CacheStats {
+            accesses: 8,
+            hits: 6,
+        };
+        assert_eq!(c.misses(), 2);
+        assert!((c.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! The contract between kernels and the simulator.
+
+use crate::isa::Instr;
+
+/// Launch geometry of a kernel: a 1-D grid of CTAs, each with a fixed
+/// number of warps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Grid {
+    /// Number of cooperative thread arrays (thread blocks).
+    pub ctas: u64,
+    /// Warps per CTA.
+    pub warps_per_cta: u32,
+}
+
+impl Grid {
+    /// A grid with `ctas` CTAs of `warps_per_cta` warps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warps_per_cta` is zero.
+    pub fn new(ctas: u64, warps_per_cta: u32) -> Self {
+        assert!(warps_per_cta > 0, "CTAs must contain at least one warp");
+        Grid { ctas, warps_per_cta }
+    }
+
+    /// A grid sized to cover `work_items` threads with CTAs of
+    /// `threads_per_cta` threads (the usual 1-D launch arithmetic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads_per_cta` is zero or not a multiple of 32.
+    pub fn cover(work_items: u64, threads_per_cta: u32) -> Self {
+        assert!(
+            threads_per_cta > 0 && threads_per_cta % 32 == 0,
+            "threads_per_cta must be a positive multiple of 32"
+        );
+        let ctas = work_items.div_ceil(threads_per_cta as u64).max(1);
+        Grid {
+            ctas,
+            warps_per_cta: threads_per_cta / 32,
+        }
+    }
+
+    /// Total warps in the grid.
+    pub fn total_warps(&self) -> u64 {
+        self.ctas * self.warps_per_cta as u64
+    }
+}
+
+/// A kernel the simulator can run: a grid plus a per-warp instruction trace.
+///
+/// Implementations generate traces lazily — the simulator calls
+/// [`KernelWorkload::trace`] when (and only when) a CTA becomes resident on
+/// an SM, and drops the trace when the warp retires, so grids with millions
+/// of warps never materialize in memory at once.
+///
+/// Memory addresses inside traces should be derived from the kernel's real
+/// input data (buffer base addresses plus live indices); this is what makes
+/// the cache/stall behaviour of irregular GNN kernels faithful.
+pub trait KernelWorkload {
+    /// Kernel name for reports (e.g. `"indexSelect"`).
+    fn name(&self) -> String;
+
+    /// Launch geometry.
+    fn grid(&self) -> Grid;
+
+    /// Instruction trace of warp `warp` (within `0..grid().warps_per_cta`)
+    /// of CTA `cta`. May be empty for tail warps with no work.
+    fn trace(&self, cta: u64, warp: u32) -> Vec<Instr>;
+}
+
+impl<W: KernelWorkload + ?Sized> KernelWorkload for &W {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn grid(&self) -> Grid {
+        (**self).grid()
+    }
+    fn trace(&self, cta: u64, warp: u32) -> Vec<Instr> {
+        (**self).trace(cta, warp)
+    }
+}
+
+impl<W: KernelWorkload + ?Sized> KernelWorkload for Box<W> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn grid(&self) -> Grid {
+        (**self).grid()
+    }
+    fn trace(&self, cta: u64, warp: u32) -> Vec<Instr> {
+        (**self).trace(cta, warp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cover_rounds_up() {
+        let g = Grid::cover(1000, 128);
+        assert_eq!(g.ctas, 8);
+        assert_eq!(g.warps_per_cta, 4);
+        assert_eq!(g.total_warps(), 32);
+    }
+
+    #[test]
+    fn cover_minimum_one_cta() {
+        let g = Grid::cover(0, 64);
+        assert_eq!(g.ctas, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 32")]
+    fn cover_rejects_ragged_cta() {
+        let _ = Grid::cover(100, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one warp")]
+    fn grid_rejects_zero_warps() {
+        let _ = Grid::new(1, 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based invariants of the cycle simulator.
+
+use gsuite_gpu::testkit::{AtomicWorkload, ComputeWorkload, GatherWorkload, StreamWorkload};
+use gsuite_gpu::{GpuConfig, KernelWorkload, SimOptions, Simulator};
+use proptest::prelude::*;
+
+fn check_invariants(stats: &gsuite_gpu::SimStats, cfg: &GpuConfig) {
+    // Every scheduler-cycle lands in exactly one occupancy bucket.
+    let sched_cycles = stats.cycles * (cfg.num_sms * cfg.schedulers_per_sm) as u64;
+    assert_eq!(stats.occupancy.total(), sched_cycles);
+    // Cache hits never exceed accesses, and L2 only sees L1 misses
+    // (plus store traffic, so allow >=).
+    assert!(stats.l1.hits <= stats.l1.accesses);
+    assert!(stats.l2.hits <= stats.l2.accesses);
+    // Issued warp-instructions match the instruction mix total.
+    assert_eq!(stats.stalls.issued, stats.instr_mix.total());
+    // Utilizations are proper fractions.
+    assert!((0.0..=1.0).contains(&stats.compute_utilization));
+    assert!((0.0..=1.0).contains(&stats.memory_utilization));
+    // DRAM traffic is sector-aligned.
+    assert_eq!(stats.dram_bytes % 32, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn compute_invariants(
+        ctas in 1u64..24,
+        warps in 1u32..4,
+        ops in 1usize..120,
+        serial in proptest::bool::ANY,
+        sms in 1usize..4,
+    ) {
+        let cfg = GpuConfig::v100_scaled(sms);
+        let w = ComputeWorkload::new(ctas, warps, ops, 0).serial(serial);
+        let stats = Simulator::new(cfg.clone(), SimOptions::default()).run(&w);
+        check_invariants(&stats, &cfg);
+        prop_assert_eq!(stats.instr_mix.fp32, ctas * warps as u64 * ops as u64);
+        prop_assert_eq!(stats.instr_mix.control, ctas * warps as u64);
+    }
+
+    #[test]
+    fn stream_invariants(
+        ctas in 1u64..16,
+        warps in 1u32..4,
+        kb in 1u64..8,
+    ) {
+        let cfg = GpuConfig::v100_scaled(2);
+        let w = StreamWorkload::new(ctas, warps, kb * 1024);
+        let stats = Simulator::new(cfg.clone(), SimOptions::default()).run(&w);
+        check_invariants(&stats, &cfg);
+        prop_assert!(stats.dram_bytes > 0, "cold streams must touch DRAM");
+    }
+
+    #[test]
+    fn gather_invariants(
+        ctas in 1u64..10,
+        gathers in 1usize..24,
+        table_kb in 1u64..512,
+        seed in 0u64..100,
+    ) {
+        let cfg = GpuConfig::v100_scaled(2);
+        let w = GatherWorkload::new(ctas, 2, gathers, table_kb * 1024, seed);
+        let stats = Simulator::new(cfg.clone(), SimOptions::default()).run(&w);
+        check_invariants(&stats, &cfg);
+    }
+
+    #[test]
+    fn atomic_invariants(
+        ctas in 1u64..8,
+        atomics in 1usize..16,
+        targets in 1u64..1024,
+    ) {
+        let cfg = GpuConfig::v100_scaled(2);
+        let w = AtomicWorkload::new(ctas, 2, atomics, targets);
+        let stats = Simulator::new(cfg.clone(), SimOptions::default()).run(&w);
+        check_invariants(&stats, &cfg);
+        prop_assert_eq!(
+            stats.instr_mix.load_store,
+            ctas * 2 * atomics as u64
+        );
+    }
+
+    #[test]
+    fn simulation_is_deterministic(
+        ctas in 1u64..12,
+        gathers in 1usize..16,
+        seed in 0u64..50,
+    ) {
+        let w = GatherWorkload::new(ctas, 2, gathers, 64 * 1024, seed);
+        let a = Simulator::new(GpuConfig::v100_scaled(2), SimOptions::default()).run(&w);
+        let b = Simulator::new(GpuConfig::v100_scaled(2), SimOptions::default()).run(&w);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampling_never_exceeds_grid(
+        ctas in 1u64..32,
+        cap in 1u64..64,
+    ) {
+        let w = ComputeWorkload::new(ctas, 1, 16, 0);
+        let stats = Simulator::new(
+            GpuConfig::v100_scaled(1),
+            SimOptions { max_ctas: Some(cap), max_cycles: None },
+        )
+        .run(&w);
+        let expect = (ctas.min(cap)) as f64 / ctas as f64;
+        prop_assert!((stats.sampled_fraction - expect).abs() < 1e-12);
+    }
+}
+
+/// More-work monotonicity: doubling the per-warp work should never make the
+/// kernel *faster* (sanity check on the fluid queues and scoreboard).
+#[test]
+fn more_work_takes_longer() {
+    let cfg = GpuConfig::v100_scaled(2);
+    let small = ComputeWorkload::new(8, 2, 64, 0);
+    let big = ComputeWorkload::new(8, 2, 256, 0);
+    let a = Simulator::new(cfg.clone(), SimOptions::default()).run(&small);
+    let b = Simulator::new(cfg, SimOptions::default()).run(&big);
+    assert!(b.cycles > a.cycles);
+}
+
+/// A kernel bigger than the resident capacity must run in waves.
+#[test]
+fn oversubscribed_grid_completes() {
+    let cfg = GpuConfig::v100_scaled(1); // 64 warps resident max
+    let w = ComputeWorkload::new(512, 2, 8, 0); // 1024 warps total
+    let stats = Simulator::new(cfg, SimOptions::default()).run(&w);
+    assert_eq!(stats.instr_mix.fp32, 512 * 2 * 8);
+}

@@ -1,0 +1,178 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{GraphError, Result};
+
+/// A directed edge list — the paper's `edgeIndex` COO vector.
+///
+/// Edge `e` goes from `src()[e]` to `dst()[e]`. This is the raw topology
+/// container every other format is derived from; MP kernels consume it
+/// directly (indexSelect gathers by `src`, scatter reduces by `dst`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeList {
+    num_nodes: usize,
+    src: Vec<u32>,
+    dst: Vec<u32>,
+}
+
+impl EdgeList {
+    /// Builds an edge list, validating that all endpoints are in bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] when an endpoint is
+    /// `>= num_nodes`, and [`GraphError::InvalidGeneratorArgs`] when the
+    /// two endpoint arrays have different lengths.
+    pub fn new(num_nodes: usize, src: Vec<u32>, dst: Vec<u32>) -> Result<Self> {
+        if src.len() != dst.len() {
+            return Err(GraphError::InvalidGeneratorArgs {
+                reason: format!(
+                    "src has {} entries but dst has {}",
+                    src.len(),
+                    dst.len()
+                ),
+            });
+        }
+        for &endpoint in src.iter().chain(dst.iter()) {
+            if endpoint as usize >= num_nodes {
+                return Err(GraphError::NodeOutOfBounds {
+                    node: endpoint as usize,
+                    num_nodes,
+                });
+            }
+        }
+        Ok(EdgeList {
+            num_nodes,
+            src,
+            dst,
+        })
+    }
+
+    /// Builds from `(src, dst)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EdgeList::new`].
+    pub fn from_pairs(num_nodes: usize, pairs: &[(u32, u32)]) -> Result<Self> {
+        let src = pairs.iter().map(|&(s, _)| s).collect();
+        let dst = pairs.iter().map(|&(_, d)| d).collect();
+        EdgeList::new(num_nodes, src, dst)
+    }
+
+    /// Number of nodes the endpoints index into.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Source endpoint per edge.
+    pub fn src(&self) -> &[u32] {
+        &self.src
+    }
+
+    /// Destination endpoint per edge.
+    pub fn dst(&self) -> &[u32] {
+        &self.dst
+    }
+
+    /// Iterator over `(src, dst)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.src.iter().zip(&self.dst).map(|(&s, &d)| (s, d))
+    }
+
+    /// Out-degree of every node.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_nodes];
+        for &s in &self.src {
+            deg[s as usize] += 1;
+        }
+        deg
+    }
+
+    /// In-degree of every node.
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_nodes];
+        for &d in &self.dst {
+            deg[d as usize] += 1;
+        }
+        deg
+    }
+
+    /// Sorts edges by `(dst, src)` — the order scatter-friendly layouts use.
+    pub fn sort_by_dst(&mut self) {
+        let mut perm: Vec<usize> = (0..self.num_edges()).collect();
+        perm.sort_unstable_by_key(|&e| (self.dst[e], self.src[e]));
+        self.src = perm.iter().map(|&e| self.src[e]).collect();
+        self.dst = perm.iter().map(|&e| self.dst[e]).collect();
+    }
+
+    /// Returns a copy with every edge reversed.
+    pub fn reversed(&self) -> EdgeList {
+        EdgeList {
+            num_nodes: self.num_nodes,
+            src: self.dst.clone(),
+            dst: self.src.clone(),
+        }
+    }
+
+    /// Deduplicates edges (after sorting by `(src, dst)`), removing parallel
+    /// duplicates. Returns the number of edges removed.
+    pub fn dedup(&mut self) -> usize {
+        let before = self.num_edges();
+        let mut pairs: Vec<(u32, u32)> = self.iter().collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        self.src = pairs.iter().map(|&(s, _)| s).collect();
+        self.dst = pairs.iter().map(|&(_, d)| d).collect();
+        before - self.num_edges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_bounds() {
+        assert!(EdgeList::new(3, vec![0, 2], vec![1, 0]).is_ok());
+        assert!(matches!(
+            EdgeList::new(3, vec![0, 3], vec![1, 0]).unwrap_err(),
+            GraphError::NodeOutOfBounds { node: 3, .. }
+        ));
+        assert!(EdgeList::new(3, vec![0], vec![1, 2]).is_err());
+    }
+
+    #[test]
+    fn degrees() {
+        let e = EdgeList::from_pairs(4, &[(0, 1), (0, 2), (1, 2), (3, 2)]).unwrap();
+        assert_eq!(e.out_degrees(), vec![2, 1, 0, 1]);
+        assert_eq!(e.in_degrees(), vec![0, 1, 3, 0]);
+    }
+
+    #[test]
+    fn sort_by_dst_orders_edges() {
+        let mut e = EdgeList::from_pairs(3, &[(2, 1), (0, 2), (1, 0), (0, 1)]).unwrap();
+        e.sort_by_dst();
+        let pairs: Vec<(u32, u32)> = e.iter().collect();
+        assert_eq!(pairs, vec![(1, 0), (0, 1), (2, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let e = EdgeList::from_pairs(3, &[(0, 1), (1, 2)]).unwrap();
+        let r = e.reversed();
+        let pairs: Vec<(u32, u32)> = r.iter().collect();
+        assert_eq!(pairs, vec![(1, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn dedup_removes_parallel_edges() {
+        let mut e = EdgeList::from_pairs(3, &[(0, 1), (0, 1), (1, 2), (0, 1)]).unwrap();
+        let removed = e.dedup();
+        assert_eq!(removed, 2);
+        assert_eq!(e.num_edges(), 2);
+    }
+}

@@ -1,0 +1,89 @@
+use std::error::Error;
+use std::fmt;
+
+use gsuite_tensor::TensorError;
+
+/// Error type for graph construction and conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint referenced a node id `>= num_nodes`.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// The feature matrix row count disagrees with the node count.
+    FeatureRowsMismatch {
+        /// Rows in the provided feature matrix.
+        feature_rows: usize,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A generator was asked for an impossible topology
+    /// (e.g. more edges than a simple graph can hold).
+    InvalidGeneratorArgs {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, num_nodes } => {
+                write!(f, "node id {node} out of bounds for graph with {num_nodes} nodes")
+            }
+            GraphError::FeatureRowsMismatch {
+                feature_rows,
+                num_nodes,
+            } => write!(
+                f,
+                "feature matrix has {feature_rows} rows but the graph has {num_nodes} nodes"
+            ),
+            GraphError::InvalidGeneratorArgs { reason } => {
+                write!(f, "invalid generator arguments: {reason}")
+            }
+            GraphError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for GraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GraphError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for GraphError {
+    fn from(e: TensorError) -> Self {
+        GraphError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_ids() {
+        let e = GraphError::NodeOutOfBounds {
+            node: 9,
+            num_nodes: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn tensor_errors_convert() {
+        let te = TensorError::Empty { op: "x" };
+        let ge: GraphError = te.clone().into();
+        assert_eq!(ge, GraphError::Tensor(te));
+    }
+}

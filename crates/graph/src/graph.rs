@@ -1,0 +1,303 @@
+use serde::{Deserialize, Serialize};
+
+use gsuite_tensor::{CooMatrix, CsrMatrix, DenseMatrix};
+
+use crate::{EdgeList, GraphError, Result};
+
+/// The graph data formats discussed in the paper (§II-D).
+///
+/// MP pipelines consume [`GraphFormat::Coo`] (the `edgeIndex`), SpMM
+/// pipelines consume [`GraphFormat::Csr`]; [`GraphFormat::Dense`] exists for
+/// completeness and tiny graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GraphFormat {
+    /// Coordinate / edge-index format.
+    Coo,
+    /// Compressed sparse row.
+    Csr,
+    /// Compressed sparse column (CSR of the transpose).
+    Csc,
+    /// Dense `|V| x |V|` adjacency matrix.
+    Dense,
+}
+
+impl std::fmt::Display for GraphFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            GraphFormat::Coo => "COO",
+            GraphFormat::Csr => "CSR",
+            GraphFormat::Csc => "CSC",
+            GraphFormat::Dense => "dense",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Summary statistics of a graph — the columns of the paper's Table IV.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of nodes `|V|`.
+    pub nodes: usize,
+    /// Number of directed edges `|E|`.
+    pub edges: usize,
+    /// Feature (embedding) length `f`.
+    pub feature_len: usize,
+    /// Mean out-degree.
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_degree: u32,
+}
+
+/// A property graph: directed topology plus a dense node-feature matrix.
+///
+/// Topology is stored as the canonical [`EdgeList`] (COO) with lazily-built
+/// CSR caches for both edge directions, mirroring how the paper's data
+/// loader "loads edge index vector and feature representation vector".
+///
+/// # Example
+///
+/// ```
+/// use gsuite_graph::{Graph, EdgeList};
+/// use gsuite_tensor::DenseMatrix;
+///
+/// # fn main() -> Result<(), gsuite_graph::GraphError> {
+/// let edges = EdgeList::from_pairs(3, &[(0, 1), (1, 2), (2, 0)])?;
+/// let feats = DenseMatrix::zeros(3, 8);
+/// let g = Graph::new(edges, feats)?;
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.adjacency_csr().nnz(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Graph {
+    edges: EdgeList,
+    features: DenseMatrix,
+    name: String,
+}
+
+impl Graph {
+    /// Builds a graph from topology and features.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::FeatureRowsMismatch`] when
+    /// `features.rows() != edges.num_nodes()`.
+    pub fn new(edges: EdgeList, features: DenseMatrix) -> Result<Self> {
+        if features.rows() != edges.num_nodes() {
+            return Err(GraphError::FeatureRowsMismatch {
+                feature_rows: features.rows(),
+                num_nodes: edges.num_nodes(),
+            });
+        }
+        Ok(Graph {
+            edges,
+            features,
+            name: "unnamed".to_string(),
+        })
+    }
+
+    /// Builds a graph and tags it with a dataset name (used in reports).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::new`].
+    pub fn with_name(
+        edges: EdgeList,
+        features: DenseMatrix,
+        name: impl Into<String>,
+    ) -> Result<Self> {
+        let mut g = Graph::new(edges, features)?;
+        g.name = name.into();
+        Ok(g)
+    }
+
+    /// Dataset name tag.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes `|V|`.
+    pub fn num_nodes(&self) -> usize {
+        self.edges.num_nodes()
+    }
+
+    /// Number of directed edges `|E|`.
+    pub fn num_edges(&self) -> usize {
+        self.edges.num_edges()
+    }
+
+    /// Feature length `f`.
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// The COO topology (`edgeIndex`).
+    pub fn edges(&self) -> &EdgeList {
+        &self.edges
+    }
+
+    /// The `[|V|, f]` node-feature matrix `X`.
+    pub fn features(&self) -> &DenseMatrix {
+        &self.features
+    }
+
+    /// Replaces the feature matrix (e.g. to change feature width).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::FeatureRowsMismatch`] when the row count does
+    /// not equal the node count.
+    pub fn set_features(&mut self, features: DenseMatrix) -> Result<()> {
+        if features.rows() != self.num_nodes() {
+            return Err(GraphError::FeatureRowsMismatch {
+                feature_rows: features.rows(),
+                num_nodes: self.num_nodes(),
+            });
+        }
+        self.features = features;
+        Ok(())
+    }
+
+    /// Unweighted adjacency matrix `A` in CSR form: `A[src][dst] = 1`.
+    ///
+    /// Parallel edges collapse to a single unit entry (simple-graph view),
+    /// matching how GNN frameworks build `A` from an edge index.
+    pub fn adjacency_csr(&self) -> CsrMatrix {
+        adjacency_from_pairs(self.num_nodes(), self.edges.iter())
+    }
+
+    /// Adjacency of the *reversed* graph (`A^T`): rows are destinations.
+    ///
+    /// SpMM aggregation `A^T · X` over this matrix matches MP aggregation
+    /// where messages flow `src -> dst`.
+    pub fn adjacency_csr_transposed(&self) -> CsrMatrix {
+        adjacency_from_pairs(self.num_nodes(), self.edges.iter().map(|(s, d)| (d, s)))
+    }
+
+    /// Adjacency in COO form.
+    pub fn adjacency_coo(&self) -> CooMatrix {
+        self.adjacency_csr().to_coo()
+    }
+
+    /// Dense `|V| x |V|` adjacency. Intended for tiny graphs and tests.
+    pub fn adjacency_dense(&self) -> DenseMatrix {
+        self.adjacency_csr().to_dense()
+    }
+
+    /// Out-degrees per node.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        self.edges.out_degrees()
+    }
+
+    /// In-degrees per node.
+    pub fn in_degrees(&self) -> Vec<u32> {
+        self.edges.in_degrees()
+    }
+
+    /// Table IV-style summary statistics.
+    pub fn stats(&self) -> GraphStats {
+        let deg = self.edges.out_degrees();
+        let max_degree = deg.iter().copied().max().unwrap_or(0);
+        let avg_degree = if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_nodes() as f64
+        };
+        GraphStats {
+            nodes: self.num_nodes(),
+            edges: self.num_edges(),
+            feature_len: self.feature_dim(),
+            avg_degree,
+            max_degree,
+        }
+    }
+}
+
+fn adjacency_from_pairs(
+    n: usize,
+    pairs: impl Iterator<Item = (u32, u32)>,
+) -> CsrMatrix {
+    let mut list: Vec<(u32, u32)> = pairs.collect();
+    list.sort_unstable();
+    list.dedup();
+    let mut row_ptr = vec![0u32; n + 1];
+    for &(s, _) in &list {
+        row_ptr[s as usize + 1] += 1;
+    }
+    for i in 0..n {
+        row_ptr[i + 1] += row_ptr[i];
+    }
+    let col_indices: Vec<u32> = list.iter().map(|&(_, d)| d).collect();
+    let values = vec![1.0f32; col_indices.len()];
+    CsrMatrix::from_parts(n, n, row_ptr, col_indices, values)
+        .expect("adjacency construction preserves CSR invariants")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let edges = EdgeList::from_pairs(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        Graph::new(edges, DenseMatrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32)).unwrap()
+    }
+
+    #[test]
+    fn feature_rows_validated() {
+        let edges = EdgeList::from_pairs(3, &[(0, 1)]).unwrap();
+        let err = Graph::new(edges, DenseMatrix::zeros(4, 2)).unwrap_err();
+        assert!(matches!(err, GraphError::FeatureRowsMismatch { .. }));
+    }
+
+    #[test]
+    fn adjacency_orientation() {
+        let g = triangle();
+        let a = g.adjacency_csr();
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(1, 0), 0.0);
+        let at = g.adjacency_csr_transposed();
+        assert_eq!(at.get(1, 0), 1.0);
+        assert_eq!(at.to_dense(), a.to_dense().transpose());
+    }
+
+    #[test]
+    fn parallel_edges_collapse() {
+        let edges = EdgeList::from_pairs(2, &[(0, 1), (0, 1), (0, 1)]).unwrap();
+        let g = Graph::new(edges, DenseMatrix::zeros(2, 1)).unwrap();
+        assert_eq!(g.adjacency_csr().nnz(), 1);
+        // but the raw edge list keeps multiplicity
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn stats_reflect_topology() {
+        let g = triangle();
+        let s = g.stats();
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.feature_len, 2);
+        assert!((s.avg_degree - 1.0).abs() < 1e-12);
+        assert_eq!(s.max_degree, 1);
+    }
+
+    #[test]
+    fn dense_adjacency_matches_csr() {
+        let g = triangle();
+        assert_eq!(g.adjacency_dense(), g.adjacency_csr().to_dense());
+    }
+
+    #[test]
+    fn set_features_validates() {
+        let mut g = triangle();
+        assert!(g.set_features(DenseMatrix::zeros(3, 16)).is_ok());
+        assert_eq!(g.feature_dim(), 16);
+        assert!(g.set_features(DenseMatrix::zeros(2, 16)).is_err());
+    }
+
+    #[test]
+    fn format_display() {
+        assert_eq!(GraphFormat::Coo.to_string(), "COO");
+        assert_eq!(GraphFormat::Dense.to_string(), "dense");
+    }
+}

@@ -1,0 +1,46 @@
+//! # gsuite-graph
+//!
+//! Graph substrate for gSuite-rs: topology containers in the formats the
+//! paper discusses (§II-D: dense matrix, sparse matrix, COO, CSR), format
+//! conversions, GCN-style normalization, synthetic graph generators and the
+//! five evaluation datasets of Table IV.
+//!
+//! The original gSuite imports Cora/CiteSeer/PubMed/Reddit/LiveJournal from
+//! disk. Those downloads are unavailable here, and — crucially for a
+//! *performance* characterization — only the topology statistics and tensor
+//! shapes matter, not labels or accuracy. [`datasets`] therefore generates
+//! seeded synthetic graphs that match Table IV exactly in node count, edge
+//! count and feature length, with a heavy-tailed degree distribution for the
+//! citation/social graphs (see `DESIGN.md` §2 for the substitution argument).
+//!
+//! # Example
+//!
+//! ```
+//! use gsuite_graph::{datasets::Dataset, GraphFormat};
+//!
+//! // A 2% scale Cora-shaped graph with the paper's 1433-wide features.
+//! let graph = Dataset::Cora.load_scaled(0.02);
+//! assert_eq!(graph.feature_dim(), 1433);
+//! let csr = graph.adjacency_csr();
+//! assert_eq!(csr.rows(), graph.num_nodes());
+//! assert!(matches!(GraphFormat::Csr, GraphFormat::Csr));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod datasets;
+mod edge_list;
+mod error;
+mod generate;
+mod graph;
+mod normalize;
+
+pub use edge_list::EdgeList;
+pub use error::GraphError;
+pub use generate::{GraphGenerator, GraphTopology};
+pub use graph::{Graph, GraphFormat, GraphStats};
+pub use normalize::{add_self_loops, gcn_norm_csr, inv_sqrt_degree, symmetrize};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;

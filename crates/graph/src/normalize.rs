@@ -1,0 +1,137 @@
+//! GCN-style adjacency normalization (paper §II-C1, Eq. 2).
+//!
+//! The SpMM formulation of GCN multiplies `D^-1/2 · Â · D^-1/2 · X · Θ`,
+//! where `Â = A + I` and `D` is `Â`'s diagonal degree matrix. These helpers
+//! build each factor so pipelines can either pre-fold the normalization
+//! (common in frameworks) or execute it as explicit SpGEMM kernels, which is
+//! what gSuite's SpMM-GCN pipeline does (Fig. 2, right).
+
+use gsuite_tensor::CsrMatrix;
+
+/// Inserts self-loops: returns `Â = A + I` (existing diagonal entries are
+/// overwritten with 1, matching framework behaviour for unweighted graphs).
+pub fn add_self_loops(a: &CsrMatrix) -> CsrMatrix {
+    assert_eq!(a.rows(), a.cols(), "adjacency must be square");
+    let n = a.rows();
+    let mut triplets: Vec<(usize, usize, f32)> =
+        a.iter().filter(|&(r, c, _)| r != c).collect();
+    for i in 0..n {
+        triplets.push((i, i, 1.0));
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+        .expect("self-loop insertion preserves CSR invariants")
+}
+
+/// Symmetrizes the adjacency: `A ∪ A^T` with unit weights.
+///
+/// Citation graphs in GNN evaluation are conventionally treated as
+/// undirected; frameworks symmetrize on load.
+pub fn symmetrize(a: &CsrMatrix) -> CsrMatrix {
+    assert_eq!(a.rows(), a.cols(), "adjacency must be square");
+    let n = a.rows();
+    let mut pairs: Vec<(usize, usize)> = a.iter().map(|(r, c, _)| (r, c)).collect();
+    pairs.extend(a.iter().map(|(r, c, _)| (c, r)));
+    pairs.sort_unstable();
+    pairs.dedup();
+    let triplets: Vec<(usize, usize, f32)> =
+        pairs.into_iter().map(|(r, c)| (r, c, 1.0)).collect();
+    CsrMatrix::from_triplets(n, n, &triplets)
+        .expect("symmetrization preserves CSR invariants")
+}
+
+/// `D^-1/2` of `a` as a diagonal CSR matrix, where `D_ii` is the row sum of
+/// `a`. Zero-degree rows map to 0 (isolated nodes contribute nothing).
+pub fn inv_sqrt_degree(a: &CsrMatrix) -> CsrMatrix {
+    let diag: Vec<f32> = a
+        .row_sums()
+        .into_iter()
+        .map(|d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
+    CsrMatrix::from_diagonal(&diag)
+}
+
+/// The fully folded GCN propagation matrix `D^-1/2 · Â · D^-1/2`.
+///
+/// This is the single sparse operand frameworks typically cache; gSuite's
+/// explicit-kernel pipeline instead materializes it with two `SpGEMM`
+/// launches (see `gsuite-core::models::gcn`).
+pub fn gcn_norm_csr(a: &CsrMatrix) -> CsrMatrix {
+    let a_hat = add_self_loops(a);
+    let d = inv_sqrt_degree(&a_hat);
+    let left = gsuite_tensor::ops::spgemm(&d, &a_hat).expect("shape-compatible by construction");
+    gsuite_tensor::ops::spgemm(&left, &d).expect("shape-compatible by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsuite_tensor::ops;
+
+    fn path_graph() -> CsrMatrix {
+        // 0 -> 1 -> 2
+        CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn self_loops_add_diagonal() {
+        let a = path_graph();
+        let a_hat = add_self_loops(&a);
+        assert_eq!(a_hat.nnz(), 5);
+        for i in 0..3 {
+            assert_eq!(a_hat.get(i, i), 1.0);
+        }
+        assert_eq!(a_hat.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn self_loops_idempotent_on_diagonal() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 5.0), (0, 1, 1.0)]).unwrap();
+        let a_hat = add_self_loops(&a);
+        assert_eq!(a_hat.get(0, 0), 1.0, "existing diagonal reset to 1");
+        assert_eq!(a_hat.nnz(), 3);
+    }
+
+    #[test]
+    fn symmetrize_adds_reverse_edges() {
+        let a = path_graph();
+        let s = symmetrize(&a);
+        assert_eq!(s.get(1, 0), 1.0);
+        assert_eq!(s.get(2, 1), 1.0);
+        assert_eq!(s.nnz(), 4);
+        assert_eq!(s.to_dense(), s.transpose().to_dense());
+    }
+
+    #[test]
+    fn inv_sqrt_degree_handles_isolated() {
+        let a = CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (0, 2, 1.0)]).unwrap();
+        let d = inv_sqrt_degree(&a);
+        assert!((d.get(0, 0) - 1.0 / 2.0f32.sqrt()).abs() < 1e-6);
+        assert_eq!(d.get(1, 1), 0.0);
+        assert_eq!(d.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn gcn_norm_rows_sum_correctly() {
+        // For a symmetric Â, D^-1/2 Â D^-1/2 entries are 1/sqrt(d_i d_j).
+        let a = symmetrize(&path_graph());
+        let norm = gcn_norm_csr(&a);
+        let a_hat = add_self_loops(&a);
+        let deg: Vec<f32> = a_hat.row_sums();
+        for (r, c, v) in norm.iter() {
+            let expected = 1.0 / (deg[r] * deg[c]).sqrt();
+            assert!(
+                (v - expected).abs() < 1e-5,
+                "entry ({r},{c}) = {v}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn gcn_norm_matches_manual_chain() {
+        let a = path_graph();
+        let a_hat = add_self_loops(&a);
+        let d = inv_sqrt_degree(&a_hat);
+        let manual = ops::spgemm(&ops::spgemm(&d, &a_hat).unwrap(), &d).unwrap();
+        assert_eq!(gcn_norm_csr(&a), manual);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the graph substrate.
+
+use gsuite_graph::{
+    add_self_loops, gcn_norm_csr, symmetrize, EdgeList, Graph, GraphGenerator, GraphTopology,
+};
+use gsuite_tensor::DenseMatrix;
+use proptest::prelude::*;
+
+fn arb_topology() -> impl Strategy<Value = GraphTopology> {
+    prop_oneof![
+        (0.1f64..1.3).prop_map(|exponent| GraphTopology::PowerLaw { exponent }),
+        Just(GraphTopology::ErdosRenyi),
+        Just(GraphTopology::Ring),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generator_hits_exact_counts(
+        nodes in 2usize..120,
+        edges in 0usize..400,
+        topology in arb_topology(),
+        seed in 0u64..1000,
+    ) {
+        let e = GraphGenerator::new(nodes, edges)
+            .topology(topology)
+            .seed(seed)
+            .build_edges()
+            .unwrap();
+        prop_assert_eq!(e.num_nodes(), nodes);
+        prop_assert_eq!(e.num_edges(), edges);
+        prop_assert!(e.iter().all(|(s, d)| s != d), "no self loops");
+        prop_assert_eq!(e.out_degrees().iter().sum::<u32>() as usize, edges);
+        prop_assert_eq!(e.in_degrees().iter().sum::<u32>() as usize, edges);
+    }
+
+    #[test]
+    fn adjacency_transpose_consistency(
+        nodes in 2usize..40,
+        edges in 0usize..150,
+        seed in 0u64..500,
+    ) {
+        let el = GraphGenerator::new(nodes, edges).seed(seed).build_edges().unwrap();
+        let g = Graph::new(el, DenseMatrix::zeros(nodes, 3)).unwrap();
+        let a = g.adjacency_csr();
+        let at = g.adjacency_csr_transposed();
+        prop_assert_eq!(at.to_dense(), a.to_dense().transpose());
+    }
+
+    #[test]
+    fn self_loops_make_diagonal_full(
+        nodes in 2usize..30,
+        edges in 0usize..100,
+        seed in 0u64..500,
+    ) {
+        let el = GraphGenerator::new(nodes, edges).seed(seed).build_edges().unwrap();
+        let g = Graph::new(el, DenseMatrix::zeros(nodes, 1)).unwrap();
+        let a_hat = add_self_loops(&g.adjacency_csr());
+        for i in 0..nodes {
+            prop_assert_eq!(a_hat.get(i, i), 1.0);
+        }
+        prop_assert_eq!(a_hat.nnz(), g.adjacency_csr().nnz() + nodes);
+    }
+
+    #[test]
+    fn symmetrize_is_symmetric_and_idempotent(
+        nodes in 2usize..30,
+        edges in 0usize..100,
+        seed in 0u64..500,
+    ) {
+        let el = GraphGenerator::new(nodes, edges).seed(seed).build_edges().unwrap();
+        let g = Graph::new(el, DenseMatrix::zeros(nodes, 1)).unwrap();
+        let s = symmetrize(&g.adjacency_csr());
+        prop_assert_eq!(s.to_dense(), s.transpose().to_dense());
+        prop_assert_eq!(symmetrize(&s), s);
+    }
+
+    #[test]
+    fn gcn_norm_spectral_bound(
+        nodes in 2usize..25,
+        edges in 1usize..80,
+        seed in 0u64..500,
+    ) {
+        // Entries of D^-1/2 Â D^-1/2 lie in (0, 1] and rows are bounded.
+        let el = GraphGenerator::new(nodes, edges).seed(seed).build_edges().unwrap();
+        let g = Graph::new(el, DenseMatrix::zeros(nodes, 1)).unwrap();
+        let norm = gcn_norm_csr(&symmetrize(&g.adjacency_csr()));
+        for (_, _, v) in norm.iter() {
+            prop_assert!(v > 0.0 && v <= 1.0 + 1e-6, "entry {v} outside (0,1]");
+        }
+    }
+
+    #[test]
+    fn edge_list_sort_preserves_multiset(
+        nodes in 2usize..20,
+        pairs in proptest::collection::vec((0u32..20, 0u32..20), 0..60),
+    ) {
+        let pairs: Vec<(u32, u32)> = pairs
+            .into_iter()
+            .map(|(s, d)| (s % nodes as u32, d % nodes as u32))
+            .collect();
+        let mut el = EdgeList::from_pairs(nodes, &pairs).unwrap();
+        el.sort_by_dst();
+        let mut original = pairs.clone();
+        let mut sorted: Vec<(u32, u32)> = el.iter().collect();
+        original.sort_unstable();
+        sorted.sort_unstable();
+        prop_assert_eq!(original, sorted);
+    }
+}

@@ -1,0 +1,286 @@
+//! The `nvprof` stand-in: a single-pass analytical hardware model.
+//!
+//! Where the cycle simulator executes a kernel cycle by cycle, this model
+//! walks every warp trace once, counting instructions and replaying memory
+//! accesses through a *silicon-flavoured* cache hierarchy, then computes the
+//! launch time with a roofline: the slowest of issue throughput, per-class
+//! ALU throughput, LDST throughput, L2 bandwidth and DRAM bandwidth, plus a
+//! latency floor for launches too small to fill the machine.
+//!
+//! Two deliberate modeling differences versus `gsuite-gpu` reproduce the
+//! profiler/simulator gap the paper highlights in Fig. 8:
+//!
+//! * the hardware L2 fills at **64-byte granularity** (sector pairs, as the
+//!   V100 fetches on miss), so spatially-local misses prefetch their
+//!   neighbour sector — the simulator moves strict 32-byte sectors;
+//! * this model always uses the **full 6 MB L2** of the real card, while
+//!   tractable cycle simulation usually runs a scaled device.
+
+use gsuite_gpu::{
+    CacheConfig, CacheStats, GpuConfig, Grid, InstrMix, KernelWorkload, SetAssocCache,
+};
+
+use crate::stats::{Backend, KernelStats};
+use crate::Profiler;
+
+/// Analytical profiler configuration.
+#[derive(Debug, Clone)]
+pub struct HwProfiler {
+    config: GpuConfig,
+    /// Maximum CTAs whose traces are walked (sampling for huge grids);
+    /// counters are scaled back up by the sampled fraction.
+    max_ctas: u64,
+    /// Fixed per-launch host/driver overhead in microseconds.
+    launch_overhead_us: f64,
+}
+
+impl HwProfiler {
+    /// A profiler modeling the paper's full-size V100.
+    pub fn v100() -> Self {
+        HwProfiler {
+            config: GpuConfig::v100(),
+            max_ctas: 4096,
+            launch_overhead_us: 5.0,
+        }
+    }
+
+    /// A profiler for an arbitrary device configuration.
+    pub fn with_config(config: GpuConfig) -> Self {
+        HwProfiler {
+            config,
+            max_ctas: 4096,
+            launch_overhead_us: 5.0,
+        }
+    }
+
+    /// Sets the CTA sampling cap (default 4096).
+    pub fn max_ctas(mut self, max_ctas: u64) -> Self {
+        self.max_ctas = max_ctas.max(1);
+        self
+    }
+
+    /// Sets the per-launch overhead in microseconds (default 5).
+    pub fn launch_overhead_us(mut self, us: f64) -> Self {
+        self.launch_overhead_us = us;
+        self
+    }
+
+    /// The modeled device.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+}
+
+impl Profiler for HwProfiler {
+    fn backend(&self) -> Backend {
+        Backend::HwProfiler
+    }
+
+    fn profile(&self, workload: &dyn KernelWorkload) -> KernelStats {
+        let grid = workload.grid();
+        let cfg = &self.config;
+        let sample_ctas = grid.ctas.min(self.max_ctas);
+        let scale = if sample_ctas == 0 {
+            1.0
+        } else {
+            grid.ctas as f64 / sample_ctas as f64
+        };
+
+        let mut mix = InstrMix::default();
+        // Hardware-flavoured hierarchy: per-SM L1s (same geometry as the
+        // device), full-size L2 with 64B fill granularity.
+        let mut l1s: Vec<SetAssocCache> =
+            (0..cfg.num_sms).map(|_| SetAssocCache::new(cfg.l1)).collect();
+        let mut l2 = SetAssocCache::new(CacheConfig::new(
+            GpuConfig::v100().l2.capacity_bytes,
+            GpuConfig::v100().l2.associativity,
+        ));
+        let mut l2_accesses = 0u64;
+        let mut l2_hits = 0u64;
+        let mut dram_sectors = 0u64;
+        let mut l2_sectors = 0u64;
+        let mut ldst_instrs = 0u64;
+        let mut critical_path = 0u64; // per-warp latency estimate, max over warps
+        let mut sectors: Vec<u64> = Vec::with_capacity(64);
+
+        for cta in 0..sample_ctas {
+            let sm = (cta % cfg.num_sms as u64) as usize;
+            for warp in 0..grid.warps_per_cta {
+                let trace = workload.trace(cta, warp);
+                let mut warp_latency = cfg.ifetch_latency;
+                for instr in &trace {
+                    match instr.class {
+                        gsuite_gpu::InstrClass::Fp32 => {
+                            mix.fp32 += 1;
+                            warp_latency += 1;
+                        }
+                        gsuite_gpu::InstrClass::Int => {
+                            mix.int += 1;
+                            warp_latency += 1;
+                        }
+                        gsuite_gpu::InstrClass::Sfu => {
+                            mix.other += 1;
+                            warp_latency += 2;
+                        }
+                        gsuite_gpu::InstrClass::Control | gsuite_gpu::InstrClass::Sync => {
+                            mix.control += 1;
+                            warp_latency += cfg.ifetch_latency;
+                        }
+                        gsuite_gpu::InstrClass::LoadGlobal
+                        | gsuite_gpu::InstrClass::StoreGlobal
+                        | gsuite_gpu::InstrClass::AtomicGlobal => {
+                            mix.load_store += 1;
+                            ldst_instrs += 1;
+                            let mem = instr.mem.as_ref().expect("memory instr has addresses");
+                            sectors.clear();
+                            mem.sectors_into(&mut sectors);
+                            l2_sectors += sectors.len() as u64;
+                            let is_store =
+                                instr.class != gsuite_gpu::InstrClass::LoadGlobal;
+                            let mut worst = cfg.l1_latency;
+                            for &sector in sectors.iter() {
+                                let l1_hit = !is_store && l1s[sm].access(sector);
+                                if l1_hit {
+                                    continue;
+                                }
+                                // 64B fill granularity: adjacent sector pair.
+                                let line = sector / 2;
+                                l2_accesses += 1;
+                                if l2.access(line) {
+                                    l2_hits += 1;
+                                    worst = worst.max(cfg.l1_latency + cfg.l2_latency);
+                                } else {
+                                    dram_sectors += 2; // 64B fill
+                                    worst = worst
+                                        .max(cfg.l1_latency + cfg.l2_latency + cfg.dram_latency);
+                                }
+                            }
+                            // Assume ~4 overlapping loads hide latency.
+                            warp_latency += worst / 4;
+                        }
+                    }
+                }
+                critical_path = critical_path.max(warp_latency);
+            }
+        }
+
+        // Scale sampled counters to the full grid.
+        let scale_u = |v: u64| (v as f64 * scale).round() as u64;
+        mix = InstrMix {
+            fp32: scale_u(mix.fp32),
+            int: scale_u(mix.int),
+            load_store: scale_u(mix.load_store),
+            control: scale_u(mix.control),
+            other: scale_u(mix.other),
+        };
+        let l1: CacheStats = {
+            let mut s = CacheStats::default();
+            for c in &l1s {
+                s.accesses += c.accesses();
+                s.hits += c.hits();
+            }
+            CacheStats {
+                accesses: scale_u(s.accesses),
+                hits: scale_u(s.hits),
+            }
+        };
+        let l2_stats = CacheStats {
+            accesses: scale_u(l2_accesses),
+            hits: scale_u(l2_hits),
+        };
+        let dram_sectors = scale_u(dram_sectors);
+        let l2_sectors = scale_u(l2_sectors);
+        let ldst_instrs = scale_u(ldst_instrs);
+
+        // Roofline time in cycles.
+        let sms = cfg.num_sms as f64;
+        let issue_cycles = mix.total() as f64 / cfg.peak_issue_per_cycle();
+        let fp32_cycles = mix.fp32 as f64 / (cfg.fp32_rate * sms);
+        let int_cycles = mix.int as f64 / (cfg.int_rate * sms);
+        let ldst_cycles = ldst_instrs as f64 / (cfg.ldst_rate * sms);
+        let l2_cycles = l2_sectors as f64 / cfg.l2_sectors_per_cycle;
+        let dram_cycles = dram_sectors as f64 / cfg.dram_sectors_per_cycle;
+        // How many concurrent "waves" of warps the machine needs.
+        let resident_warps = (cfg.num_sms * cfg.warps_per_sm) as u64;
+        let waves = Grid::total_warps(&grid).div_ceil(resident_warps).max(1);
+        let latency_cycles = (critical_path * waves) as f64;
+        let busy_cycles = issue_cycles
+            .max(fp32_cycles)
+            .max(int_cycles)
+            .max(ldst_cycles)
+            .max(l2_cycles)
+            .max(dram_cycles)
+            .max(latency_cycles);
+        let time_ms = cfg.cycles_to_ms(busy_cycles.ceil() as u64) + self.launch_overhead_us / 1e3;
+
+        let compute_cycles = fp32_cycles.max(int_cycles);
+        KernelStats {
+            kernel: workload.name(),
+            backend: Backend::HwProfiler,
+            time_ms,
+            instr_mix: mix,
+            stalls: None,
+            occupancy: None,
+            l1,
+            l2: l2_stats,
+            dram_bytes: dram_sectors * 32,
+            compute_utilization: (compute_cycles / busy_cycles.max(1.0)).min(1.0),
+            memory_utilization: (dram_cycles / busy_cycles.max(1.0)).min(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsuite_gpu::testkit::{ComputeWorkload, GatherWorkload, StreamWorkload};
+
+    #[test]
+    fn counts_instructions_exactly_without_sampling() {
+        let w = ComputeWorkload::new(8, 2, 50, 0);
+        let stats = HwProfiler::v100().profile(&w);
+        assert_eq!(stats.instr_mix.fp32, 8 * 2 * 50);
+        assert_eq!(stats.instr_mix.control, 8 * 2);
+        assert_eq!(stats.backend, Backend::HwProfiler);
+        assert!(stats.stalls.is_none(), "nvprof cannot see stall reasons");
+    }
+
+    #[test]
+    fn sampling_scales_counters() {
+        let full = ComputeWorkload::new(64, 1, 10, 0);
+        let stats = HwProfiler::v100().max_ctas(16).profile(&full);
+        // 64 CTAs sampled at 16 -> counts scaled by 4.
+        assert_eq!(stats.instr_mix.fp32, 64 * 10);
+    }
+
+    #[test]
+    fn compute_bound_vs_memory_bound() {
+        let c = HwProfiler::v100().profile(&ComputeWorkload::new(256, 4, 400, 0));
+        let m = HwProfiler::v100().profile(&StreamWorkload::new(256, 4, 16 * 1024));
+        assert!(c.compute_utilization > c.memory_utilization);
+        assert!(m.memory_utilization > m.compute_utilization);
+    }
+
+    #[test]
+    fn launch_overhead_is_a_floor() {
+        let w = ComputeWorkload::new(1, 1, 1, 0);
+        let stats = HwProfiler::v100().launch_overhead_us(50.0).profile(&w);
+        assert!(stats.time_ms >= 0.05);
+    }
+
+    #[test]
+    fn random_gathers_miss_more_than_streams() {
+        let g = HwProfiler::v100().profile(&GatherWorkload::new(64, 4, 16, 64 * 1024 * 1024, 1));
+        let s = HwProfiler::v100().profile(&StreamWorkload::new(64, 4, 8 * 1024));
+        assert!(g.l1.hit_rate() < 0.5);
+        assert!(g.l1.hit_rate() < s.l1.hit_rate() + 0.5);
+        assert!(g.dram_bytes > 0);
+    }
+
+    #[test]
+    fn more_work_more_time() {
+        let small = HwProfiler::v100().profile(&ComputeWorkload::new(16, 2, 64, 0));
+        let big = HwProfiler::v100().profile(&ComputeWorkload::new(16, 2, 6400, 0));
+        assert!(big.time_ms > small.time_ms);
+    }
+}

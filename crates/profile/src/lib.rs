@@ -1,0 +1,58 @@
+//! # gsuite-profile
+//!
+//! The profiling layer of gSuite-rs: a uniform per-kernel metric record
+//! ([`KernelStats`]), two interchangeable measurement backends, and report
+//! helpers (aligned text tables, CSV).
+//!
+//! The paper measures every kernel twice — once with NVIDIA's `nvprof` on a
+//! real V100 and once with the GPGPU-Sim cycle-level simulator — and Fig. 8
+//! explicitly compares the two. This crate reproduces that methodology with
+//! two backends over the same [`gsuite_gpu::KernelWorkload`]s:
+//!
+//! * [`HwProfiler`] — the `nvprof` stand-in: a fast single-pass analytical
+//!   model of a *full-size* V100 (roofline timing, silicon-flavoured cache
+//!   hierarchy with 64-byte fill granularity);
+//! * [`SimProfiler`] — the GPGPU-Sim stand-in: wraps the cycle-level
+//!   simulator and converts its statistics.
+//!
+//! The two models deliberately differ in their L2 behaviour (fill
+//! granularity, effective capacity), which reproduces the paper's
+//! observation that profiler and simulator agree on L1 but diverge on L2,
+//! most visibly for small workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use gsuite_gpu::testkit::StreamWorkload;
+//! use gsuite_profile::{HwProfiler, Profiler, SimProfiler};
+//!
+//! let kernel = StreamWorkload::new(16, 4, 1024);
+//! let hw = HwProfiler::v100().profile(&kernel);
+//! let sim = SimProfiler::scaled(4).profile(&kernel);
+//! assert!(hw.time_ms > 0.0 && sim.time_ms > 0.0);
+//! assert_eq!(hw.kernel, sim.kernel);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod analytical;
+mod report;
+mod simbackend;
+mod stats;
+
+pub use analytical::HwProfiler;
+pub use report::{write_csv, TextTable};
+pub use simbackend::SimProfiler;
+pub use stats::{Backend, KernelStats, PipelineProfile};
+
+use gsuite_gpu::KernelWorkload;
+
+/// A measurement backend: takes a kernel workload, returns its metrics.
+pub trait Profiler {
+    /// Short backend label used in reports (e.g. `"nvprof-hw"`).
+    fn backend(&self) -> Backend;
+
+    /// Measures one kernel launch.
+    fn profile(&self, workload: &dyn KernelWorkload) -> KernelStats;
+}

@@ -1,0 +1,109 @@
+//! The GPGPU-Sim stand-in: adapter from the cycle-level simulator to the
+//! unified [`KernelStats`] record.
+
+use gsuite_gpu::{GpuConfig, KernelWorkload, SimOptions, Simulator};
+
+use crate::stats::{Backend, KernelStats};
+use crate::Profiler;
+
+/// Cycle-simulator profiling backend.
+///
+/// Wraps a [`Simulator`] and converts each run's [`gsuite_gpu::SimStats`]
+/// into the same record shape the analytical profiler emits, so figures can
+/// overlay both (the paper's Fig. 8).
+#[derive(Debug, Clone)]
+pub struct SimProfiler {
+    simulator: Simulator,
+}
+
+impl SimProfiler {
+    /// A backend over an explicit simulator.
+    pub fn new(simulator: Simulator) -> Self {
+        SimProfiler { simulator }
+    }
+
+    /// A backend over a proportionally scaled V100 with `num_sms` SMs and a
+    /// default CTA sampling cap chosen for interactive use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sms` is zero or greater than 80.
+    pub fn scaled(num_sms: usize) -> Self {
+        SimProfiler {
+            simulator: Simulator::new(
+                GpuConfig::v100_scaled(num_sms),
+                SimOptions {
+                    max_ctas: Some(2048),
+                    max_cycles: None,
+                },
+            ),
+        }
+    }
+
+    /// A backend over the full 80-SM V100 (use for small grids only).
+    pub fn full() -> Self {
+        SimProfiler {
+            simulator: Simulator::new(GpuConfig::v100(), SimOptions::default()),
+        }
+    }
+
+    /// Replaces the CTA sampling cap.
+    pub fn max_ctas(mut self, max_ctas: Option<u64>) -> Self {
+        let options = SimOptions {
+            max_ctas,
+            ..*self.simulator.options()
+        };
+        self.simulator = Simulator::new(self.simulator.config().clone(), options);
+        self
+    }
+
+    /// The underlying simulator.
+    pub fn simulator(&self) -> &Simulator {
+        &self.simulator
+    }
+}
+
+impl Profiler for SimProfiler {
+    fn backend(&self) -> Backend {
+        Backend::CycleSim
+    }
+
+    fn profile(&self, workload: &dyn KernelWorkload) -> KernelStats {
+        KernelStats::from_sim(self.simulator.run(workload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsuite_gpu::testkit::{ComputeWorkload, StreamWorkload};
+
+    #[test]
+    fn converts_sim_stats() {
+        let w = ComputeWorkload::new(4, 2, 32, 0);
+        let stats = SimProfiler::scaled(2).profile(&w);
+        assert_eq!(stats.backend, Backend::CycleSim);
+        assert!(stats.stalls.is_some());
+        assert!(stats.occupancy.is_some());
+        assert_eq!(stats.instr_mix.fp32, 4 * 2 * 32);
+    }
+
+    #[test]
+    fn sampling_cap_applies() {
+        let w = ComputeWorkload::new(100, 1, 16, 0);
+        let capped = SimProfiler::scaled(1).max_ctas(Some(10)).profile(&w);
+        // Sampled run scales instruction counters only for time; mix counts
+        // reflect the sample.
+        assert_eq!(capped.instr_mix.fp32, 10 * 16);
+    }
+
+    #[test]
+    fn agrees_with_hw_profiler_on_mix() {
+        use crate::{HwProfiler, Profiler as _};
+        let w = StreamWorkload::new(8, 2, 512);
+        let sim = SimProfiler::scaled(2).profile(&w);
+        let hw = HwProfiler::v100().profile(&w);
+        assert_eq!(sim.instr_mix.load_store, hw.instr_mix.load_store);
+        assert_eq!(sim.instr_mix.fp32, hw.instr_mix.fp32);
+    }
+}

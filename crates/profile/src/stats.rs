@@ -1,0 +1,237 @@
+//! The unified per-kernel metric record shared by both backends.
+
+use serde::{Deserialize, Serialize};
+
+use gsuite_gpu::{CacheStats, InstrMix, OccupancyBuckets, SimStats, StallBreakdown};
+
+/// Which measurement backend produced a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Backend {
+    /// The analytical hardware model (the `nvprof` stand-in).
+    HwProfiler,
+    /// The cycle-level simulator (the GPGPU-Sim stand-in).
+    CycleSim,
+}
+
+impl Backend {
+    /// Label used in figures, mirroring the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::HwProfiler => "NVProf",
+            Backend::CycleSim => "Sim",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Metrics of one kernel launch, as reported by either backend.
+///
+/// Cycle-only metrics (stall distribution, occupancy buckets) are `None`
+/// for the hardware profiler, just as `nvprof` cannot observe them directly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Kernel name (e.g. `"indexSelect"`).
+    pub kernel: String,
+    /// Producing backend.
+    pub backend: Backend,
+    /// Estimated wall time of the launch in milliseconds.
+    pub time_ms: f64,
+    /// Issued-instruction mix.
+    pub instr_mix: InstrMix,
+    /// Warp-cycle stall distribution (cycle simulator only).
+    pub stalls: Option<StallBreakdown>,
+    /// Scheduler occupancy buckets (cycle simulator only).
+    pub occupancy: Option<OccupancyBuckets>,
+    /// L1D counters.
+    pub l1: CacheStats,
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// Bytes moved to/from DRAM.
+    pub dram_bytes: u64,
+    /// Fraction of issue bandwidth spent on compute, `[0, 1]`.
+    pub compute_utilization: f64,
+    /// Fraction of DRAM bandwidth consumed, `[0, 1]`.
+    pub memory_utilization: f64,
+}
+
+impl KernelStats {
+    /// Converts cycle-simulator output into the unified record.
+    pub fn from_sim(stats: SimStats) -> Self {
+        KernelStats {
+            kernel: stats.kernel,
+            backend: Backend::CycleSim,
+            time_ms: stats.time_ms,
+            instr_mix: stats.instr_mix,
+            stalls: Some(stats.stalls),
+            occupancy: Some(stats.occupancy),
+            l1: stats.l1,
+            l2: stats.l2,
+            dram_bytes: stats.dram_bytes,
+            compute_utilization: stats.compute_utilization,
+            memory_utilization: stats.memory_utilization,
+        }
+    }
+}
+
+/// A profiled pipeline: one record per kernel launch, in launch order, plus
+/// host-side overhead (framework initialization, launch gaps).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PipelineProfile {
+    /// Pipeline label (e.g. `"gSuite-MP GCN on Cora"`).
+    pub label: String,
+    /// Host-side overhead in milliseconds (framework init, dispatch).
+    pub host_overhead_ms: f64,
+    /// Per-launch kernel records in execution order.
+    pub kernels: Vec<KernelStats>,
+}
+
+impl PipelineProfile {
+    /// A profile with the given label and no measurements yet.
+    pub fn new(label: impl Into<String>) -> Self {
+        PipelineProfile {
+            label: label.into(),
+            host_overhead_ms: 0.0,
+            kernels: Vec::new(),
+        }
+    }
+
+    /// Total device time (sum over kernel launches) in milliseconds.
+    pub fn device_time_ms(&self) -> f64 {
+        self.kernels.iter().map(|k| k.time_ms).sum()
+    }
+
+    /// End-to-end time: host overhead plus device time, in milliseconds.
+    pub fn total_time_ms(&self) -> f64 {
+        self.host_overhead_ms + self.device_time_ms()
+    }
+
+    /// Fraction of device time spent in each distinct kernel name, sorted
+    /// descending — the paper's Fig. 4 breakdown.
+    pub fn kernel_time_shares(&self) -> Vec<(String, f64)> {
+        let total = self.device_time_ms();
+        let mut shares: Vec<(String, f64)> = Vec::new();
+        for k in &self.kernels {
+            match shares.iter_mut().find(|(name, _)| *name == k.kernel) {
+                Some((_, t)) => *t += k.time_ms,
+                None => shares.push((k.kernel.clone(), k.time_ms)),
+            }
+        }
+        if total > 0.0 {
+            for (_, t) in &mut shares {
+                *t /= total;
+            }
+        }
+        shares.sort_by(|a, b| b.1.total_cmp(&a.1));
+        shares
+    }
+
+    /// Merges per-kernel records with the same kernel name (summing counts
+    /// and times), useful for per-kernel metric figures.
+    pub fn merged_by_kernel(&self) -> Vec<KernelStats> {
+        let mut merged: Vec<KernelStats> = Vec::new();
+        for k in &self.kernels {
+            match merged.iter_mut().find(|m| m.kernel == k.kernel) {
+                None => merged.push(k.clone()),
+                Some(m) => {
+                    m.time_ms += k.time_ms;
+                    m.instr_mix.merge(&k.instr_mix);
+                    m.l1.merge(&k.l1);
+                    m.l2.merge(&k.l2);
+                    m.dram_bytes += k.dram_bytes;
+                    // Time-weighted utilizations.
+                    let w_new = k.time_ms / m.time_ms.max(f64::MIN_POSITIVE);
+                    m.compute_utilization =
+                        m.compute_utilization * (1.0 - w_new) + k.compute_utilization * w_new;
+                    m.memory_utilization =
+                        m.memory_utilization * (1.0 - w_new) + k.memory_utilization * w_new;
+                    match (&mut m.stalls, &k.stalls) {
+                        (Some(a), Some(b)) => a.merge(b),
+                        (a @ None, Some(b)) => *a = Some(*b),
+                        _ => {}
+                    }
+                    match (&mut m.occupancy, &k.occupancy) {
+                        (Some(a), Some(b)) => a.merge(b),
+                        (a @ None, Some(b)) => *a = Some(*b),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(kernel: &str, time_ms: f64) -> KernelStats {
+        KernelStats {
+            kernel: kernel.to_string(),
+            backend: Backend::CycleSim,
+            time_ms,
+            instr_mix: InstrMix {
+                fp32: 10,
+                ..InstrMix::default()
+            },
+            stalls: None,
+            occupancy: None,
+            l1: CacheStats {
+                accesses: 100,
+                hits: 50,
+            },
+            l2: CacheStats::default(),
+            dram_bytes: 320,
+            compute_utilization: 0.5,
+            memory_utilization: 0.25,
+        }
+    }
+
+    #[test]
+    fn pipeline_times_add_up() {
+        let mut p = PipelineProfile::new("test");
+        p.host_overhead_ms = 1.0;
+        p.kernels.push(stats("a", 2.0));
+        p.kernels.push(stats("b", 3.0));
+        assert!((p.device_time_ms() - 5.0).abs() < 1e-12);
+        assert!((p.total_time_ms() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_time_shares_sum_to_one() {
+        let mut p = PipelineProfile::new("test");
+        p.kernels.push(stats("a", 1.0));
+        p.kernels.push(stats("b", 3.0));
+        p.kernels.push(stats("a", 1.0));
+        let shares = p.kernel_time_shares();
+        let total: f64 = shares.iter().map(|&(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(shares[0].0, "b");
+        assert!((shares[0].1 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_by_kernel_sums_counters() {
+        let mut p = PipelineProfile::new("test");
+        p.kernels.push(stats("a", 2.0));
+        p.kernels.push(stats("a", 2.0));
+        p.kernels.push(stats("b", 1.0));
+        let merged = p.merged_by_kernel();
+        assert_eq!(merged.len(), 2);
+        let a = merged.iter().find(|k| k.kernel == "a").unwrap();
+        assert_eq!(a.instr_mix.fp32, 20);
+        assert_eq!(a.l1.accesses, 200);
+        assert!((a.time_ms - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backend_labels() {
+        assert_eq!(Backend::HwProfiler.label(), "NVProf");
+        assert_eq!(Backend::CycleSim.to_string(), "Sim");
+    }
+}

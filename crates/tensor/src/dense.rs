@@ -1,0 +1,503 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, TensorError};
+
+/// A row-major dense `f32` matrix.
+///
+/// This is the feature-matrix type used throughout gSuite-rs: node embeddings
+/// `X` of shape `[|V|, f]`, layer weights `W` of shape `[f, h]`, and all
+/// intermediate pipeline buffers.
+///
+/// The storage layout is guaranteed row-major and contiguous; GPU workloads
+/// in `gsuite-core` rely on this to compute per-lane byte addresses.
+///
+/// # Example
+///
+/// ```
+/// use gsuite_tensor::DenseMatrix;
+///
+/// # fn main() -> Result<(), gsuite_tensor::TensorError> {
+/// let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.get(1, 0), 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows x cols` matrix with every element set to `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(TensorError::LengthMismatch {
+                op: "DenseMatrix::from_vec",
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(DenseMatrix { rows, cols, data })
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the rows have differing
+    /// lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Result<Self> {
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(rows.len() * ncols);
+        for row in rows {
+            if row.len() != ncols {
+                return Err(TensorError::LengthMismatch {
+                    op: "DenseMatrix::from_rows",
+                    expected: ncols,
+                    actual: row.len(),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(DenseMatrix {
+            rows: rows.len(),
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Builds a matrix by calling `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows()` or `col >= cols()`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows()` or `col >= cols()`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrow of row `row` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows()`.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f32] {
+        assert!(row < self.rows, "row index out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows()`.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        assert!(row < self.rows, "row index out of bounds");
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// The full row-major backing buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the backing buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum with `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference `self - other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn hadamard(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
+        self.zip_with(other, "hadamard", |a, b| a * b)
+    }
+
+    fn zip_with(
+        &self,
+        other: &DenseMatrix,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<DenseMatrix> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// In-place accumulation `self += other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add_assign(&mut self, other: &DenseMatrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_assign",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `scalar`, returning a new matrix.
+    pub fn scale(&self, scalar: f32) -> DenseMatrix {
+        let data = self.data.iter().map(|&v| v * scalar).collect();
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// In-place scaling of every element.
+    pub fn scale_mut(&mut self, scalar: f32) {
+        for v in &mut self.data {
+            *v *= scalar;
+        }
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> DenseMatrix {
+        let data = self.data.iter().map(|&v| f(v)).collect();
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Rectified linear unit: `max(x, 0)` elementwise (paper's Θ choice).
+    pub fn relu(&self) -> DenseMatrix {
+        self.map(|v| v.max(0.0))
+    }
+
+    /// Logistic sigmoid elementwise (the paper's alternative Θ).
+    pub fn sigmoid(&self) -> DenseMatrix {
+        self.map(|v| 1.0 / (1.0 + (-v).exp()))
+    }
+
+    /// Sum of all elements (useful as a cheap checksum in tests/benches).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&v| v as f64).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Maximum absolute elementwise difference to `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> Result<f32> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "max_abs_diff",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max))
+    }
+
+    /// `true` when every element differs from `other` by at most `tol`.
+    ///
+    /// Shapes must match; mismatched shapes return `false` rather than an
+    /// error so the method can be used directly in assertions.
+    pub fn approx_eq(&self, other: &DenseMatrix, tol: f32) -> bool {
+        self.shape() == other.shape() && self.max_abs_diff(other).map_or(false, |d| d <= tol)
+    }
+}
+
+impl Default for DenseMatrix {
+    fn default() -> Self {
+        DenseMatrix::zeros(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = DenseMatrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        let err = DenseMatrix::from_vec(2, 2, vec![1.0; 5]).unwrap_err();
+        assert!(matches!(err, TensorError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
+        assert!(matches!(err, TensorError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        m.set(1, 2, 7.5);
+        assert_eq!(m.get(1, 2), 7.5);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn identity_has_unit_diagonal() {
+        let i = DenseMatrix::identity(4);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(i.get(r, c), if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = DenseMatrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.get(0, 1), 4.0);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = DenseMatrix::from_fn(2, 2, |r, c| (r + c) as f32);
+        let b = DenseMatrix::filled(2, 2, 3.0);
+        let sum = a.add(&b).unwrap();
+        let back = sum.sub(&b).unwrap();
+        assert!(back.approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn add_shape_mismatch() {
+        let a = DenseMatrix::zeros(2, 2);
+        let b = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            a.add(&b).unwrap_err(),
+            TensorError::ShapeMismatch { op: "add", .. }
+        ));
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let m = DenseMatrix::from_rows(&[&[-1.0, 0.5], &[2.0, -3.0]]).unwrap();
+        let r = m.relu();
+        assert_eq!(r.as_slice(), &[0.0, 0.5, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn sigmoid_bounds() {
+        let m = DenseMatrix::from_rows(&[&[-100.0, 0.0, 100.0]]).unwrap();
+        let s = m.sigmoid();
+        assert!(s.get(0, 0) < 1e-6);
+        assert!((s.get(0, 1) - 0.5).abs() < 1e-6);
+        assert!(s.get(0, 2) > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn scale_and_sum() {
+        let m = DenseMatrix::filled(2, 2, 2.0);
+        assert_eq!(m.scale(1.5).sum(), 12.0);
+        assert_eq!(m.sum(), 8.0);
+    }
+
+    #[test]
+    fn hadamard_elementwise() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[&[3.0, 4.0]]).unwrap();
+        assert_eq!(a.hadamard(&b).unwrap().as_slice(), &[3.0, 8.0]);
+    }
+
+    #[test]
+    fn rows_iterator_yields_all_rows() {
+        let m = DenseMatrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        let rows: Vec<&[f32]> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn approx_eq_respects_tolerance() {
+        let a = DenseMatrix::filled(1, 1, 1.0);
+        let b = DenseMatrix::filled(1, 1, 1.05);
+        assert!(a.approx_eq(&b, 0.1));
+        assert!(!a.approx_eq(&b, 0.01));
+        let c = DenseMatrix::filled(2, 1, 1.0);
+        assert!(!a.approx_eq(&c, 10.0), "shape mismatch is never equal");
+    }
+
+    #[test]
+    fn frobenius_norm_matches_manual() {
+        let m = DenseMatrix::from_rows(&[&[3.0, 4.0]]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-9);
+    }
+}

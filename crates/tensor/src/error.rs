@@ -1,0 +1,102 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible operations in `gsuite-tensor`.
+///
+/// Every variant names the operation that failed and the offending
+/// dimensions/indices, so callers can report actionable messages without
+/// carrying extra context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Operation name, e.g. `"gemm"`.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A buffer length did not match the shape it was supposed to fill.
+    LengthMismatch {
+        /// Operation name.
+        op: &'static str,
+        /// Expected number of elements.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// An index was out of bounds for the matrix it addressed.
+    IndexOutOfBounds {
+        /// Operation name.
+        op: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound the index had to respect.
+        bound: usize,
+    },
+    /// Sparse constructor input violated a structural invariant
+    /// (unsorted or duplicate coordinates, row pointer not monotone, ...).
+    InvalidSparseStructure {
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+    /// The operation requires a non-empty matrix but got an empty one.
+    Empty {
+        /// Operation name.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::LengthMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "length mismatch in {op}: expected {expected} elements, got {actual}"
+            ),
+            TensorError::IndexOutOfBounds { op, index, bound } => {
+                write!(f, "index {index} out of bounds (< {bound}) in {op}")
+            }
+            TensorError::InvalidSparseStructure { reason } => {
+                write!(f, "invalid sparse structure: {reason}")
+            }
+            TensorError::Empty { op } => write!(f, "operation {op} requires a non-empty matrix"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::ShapeMismatch {
+            op: "gemm",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("gemm"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("4x5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

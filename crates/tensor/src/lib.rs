@@ -1,0 +1,51 @@
+//! # gsuite-tensor
+//!
+//! Dense and sparse matrix substrate for [gSuite-rs](https://arxiv.org/abs/2210.11601),
+//! a framework-independent GNN inference benchmark suite.
+//!
+//! The paper builds its core kernels (`indexSelect`, `scatter`, `sgemm`,
+//! `SpGEMM`/`SpMM`) directly on vendor libraries; this crate plays the role
+//! of those vendor libraries on the host side. It provides:
+//!
+//! * [`DenseMatrix`] — row-major `f32` matrices with elementwise ops,
+//!   activations and reductions;
+//! * [`CooMatrix`] / [`CsrMatrix`] — sparse matrices in coordinate and
+//!   compressed-sparse-row form, with validated invariants and conversions;
+//! * [`ops`] — the reference math used by the functional side of every core
+//!   kernel: tiled GEMM, SpMM (CSR×dense), SpGEMM (CSR×CSR) and the row
+//!   gather/scatter primitives underlying message passing.
+//!
+//! Everything here is deterministic, pure CPU math: the *timing* behaviour of
+//! these operations on a GPU is modeled separately by `gsuite-gpu`.
+//!
+//! # Example
+//!
+//! ```
+//! use gsuite_tensor::{DenseMatrix, CsrMatrix, ops};
+//!
+//! # fn main() -> Result<(), gsuite_tensor::TensorError> {
+//! // A tiny 2-node graph: 0 -> 1, adjacency as CSR.
+//! let adj = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0f32)])?;
+//! let features = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+//! // One aggregation step: A * X.
+//! let aggregated = ops::spmm(&adj, &features)?;
+//! assert_eq!(aggregated.row(0), &[3.0, 4.0]);
+//! assert_eq!(aggregated.row(1), &[0.0, 0.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dense;
+mod error;
+pub mod ops;
+mod sparse;
+
+pub use dense::DenseMatrix;
+pub use error::TensorError;
+pub use sparse::{CooMatrix, CsrMatrix, Triplet};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

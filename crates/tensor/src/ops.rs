@@ -1,0 +1,482 @@
+//! Reference math for the gSuite core kernels.
+//!
+//! Each function here is the *functional* (host CPU) semantics of one of the
+//! paper's Table II kernels:
+//!
+//! | paper kernel | reference op |
+//! |---|---|
+//! | `sgemm`        | [`gemm`] |
+//! | `SpMM`         | [`spmm`] (CSR × dense) |
+//! | `SpGEMM`       | [`spgemm`] (CSR × CSR) |
+//! | `indexSelect`  | [`gather_rows`] |
+//! | `scatter`      | [`scatter_rows`] with a [`Reduce`] mode |
+//!
+//! The timing/architectural behaviour of the same kernels on a GPU is
+//! modeled in `gsuite-gpu`; correctness tests in `gsuite-core` assert that
+//! pipelines built from GPU workloads compute exactly what these functions
+//! compute.
+
+use crate::{CsrMatrix, DenseMatrix, Result, TensorError};
+
+/// Reduction mode for [`scatter_rows`], matching the aggregator functions the
+/// paper lists for GNN aggregation (sum, mean, max).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub enum Reduce {
+    /// Sum of contributions (GCN, GIN).
+    #[default]
+    Sum,
+    /// Arithmetic mean of contributions (GraphSAGE).
+    Mean,
+    /// Elementwise maximum of contributions.
+    Max,
+}
+
+impl Reduce {
+    /// Short lowercase name (`"sum"`, `"mean"`, `"max"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Reduce::Sum => "sum",
+            Reduce::Mean => "mean",
+            Reduce::Max => "max",
+        }
+    }
+}
+
+impl std::fmt::Display for Reduce {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Naive triple-loop matrix multiply, used as the test oracle for [`gemm`].
+pub fn gemm_naive(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
+    check_gemm_shapes("gemm_naive", a, b)?;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = DenseMatrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a.get(i, p) * b.get(p, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    Ok(out)
+}
+
+/// Dense matrix multiply `A · B` (the `sgemm` kernel's semantics).
+///
+/// Uses a cache-blocked i-k-j loop order; identical results to
+/// [`gemm_naive`] up to floating-point association order.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `a.cols() != b.rows()`.
+pub fn gemm(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
+    check_gemm_shapes("gemm", a, b)?;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = DenseMatrix::zeros(m, n);
+    const BLOCK: usize = 64;
+    let a_buf = a.as_slice();
+    let b_buf = b.as_slice();
+    for ib in (0..m).step_by(BLOCK) {
+        for pb in (0..k).step_by(BLOCK) {
+            for i in ib..(ib + BLOCK).min(m) {
+                let out_row = out.row_mut(i);
+                for p in pb..(pb + BLOCK).min(k) {
+                    let a_ip = a_buf[i * k + p];
+                    if a_ip == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b_buf[p * n..(p + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += a_ip * bv;
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Sparse × dense multiply `A · X` with `A` in CSR (the `SpMM` kernel).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `a.cols() != x.rows()`.
+pub fn spmm(a: &CsrMatrix, x: &DenseMatrix) -> Result<DenseMatrix> {
+    if a.cols() != x.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "spmm",
+            lhs: (a.rows(), a.cols()),
+            rhs: x.shape(),
+        });
+    }
+    let f = x.cols();
+    let mut out = DenseMatrix::zeros(a.rows(), f);
+    for r in 0..a.rows() {
+        let (cols, vals) = a.row(r);
+        let out_row = out.row_mut(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            let x_row = x.row(c as usize);
+            for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                *o += v * xv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Sparse × sparse multiply `A · B`, both CSR (the `SpGEMM` kernel).
+///
+/// Implemented with the classic Gustavson row-accumulator algorithm; the
+/// output keeps explicit zeros out and columns sorted.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `a.cols() != b.rows()`.
+pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "spgemm",
+            lhs: (a.rows(), a.cols()),
+            rhs: (b.rows(), b.cols()),
+        });
+    }
+    let n = b.cols();
+    let mut row_ptr = Vec::with_capacity(a.rows() + 1);
+    row_ptr.push(0u32);
+    let mut col_indices: Vec<u32> = Vec::new();
+    let mut values: Vec<f32> = Vec::new();
+    // Dense accumulator with a "touched" list: O(flops) overall.
+    let mut acc = vec![0.0f32; n];
+    let mut touched: Vec<u32> = Vec::new();
+    for r in 0..a.rows() {
+        let (a_cols, a_vals) = a.row(r);
+        for (&ac, &av) in a_cols.iter().zip(a_vals) {
+            let (b_cols, b_vals) = b.row(ac as usize);
+            for (&bc, &bv) in b_cols.iter().zip(b_vals) {
+                if acc[bc as usize] == 0.0 && !touched.contains(&bc) {
+                    touched.push(bc);
+                }
+                acc[bc as usize] += av * bv;
+            }
+        }
+        touched.sort_unstable();
+        for &c in &touched {
+            col_indices.push(c);
+            values.push(acc[c as usize]);
+            acc[c as usize] = 0.0;
+        }
+        touched.clear();
+        row_ptr.push(col_indices.len() as u32);
+    }
+    CsrMatrix::from_parts(a.rows(), n, row_ptr, col_indices, values)
+}
+
+/// Gathers rows of `src` selected by `index` (the `indexSelect` kernel).
+///
+/// Output row `i` is `src.row(index[i])`. In message passing this expands
+/// node embeddings onto edges: `index` is one endpoint column of the COO
+/// `edgeIndex`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IndexOutOfBounds`] when any index is `>= src.rows()`.
+pub fn gather_rows(src: &DenseMatrix, index: &[u32]) -> Result<DenseMatrix> {
+    let f = src.cols();
+    let mut out = DenseMatrix::zeros(index.len(), f);
+    for (i, &idx) in index.iter().enumerate() {
+        if idx as usize >= src.rows() {
+            return Err(TensorError::IndexOutOfBounds {
+                op: "gather_rows",
+                index: idx as usize,
+                bound: src.rows(),
+            });
+        }
+        out.row_mut(i).copy_from_slice(src.row(idx as usize));
+    }
+    Ok(out)
+}
+
+/// Scatters rows of `src` into an output of `out_rows` rows, reducing
+/// collisions with `reduce` (the `scatter` kernel).
+///
+/// Output row `index[i]` receives `src.row(i)`. With [`Reduce::Sum`] this is
+/// exactly the message-passing aggregation step; [`Reduce::Mean`] divides by
+/// the number of contributions; [`Reduce::Max`] keeps the elementwise max
+/// (rows with no contribution stay zero).
+///
+/// # Errors
+///
+/// * [`TensorError::LengthMismatch`] when `index.len() != src.rows()`.
+/// * [`TensorError::IndexOutOfBounds`] when any index is `>= out_rows`.
+pub fn scatter_rows(
+    src: &DenseMatrix,
+    index: &[u32],
+    out_rows: usize,
+    reduce: Reduce,
+) -> Result<DenseMatrix> {
+    if index.len() != src.rows() {
+        return Err(TensorError::LengthMismatch {
+            op: "scatter_rows",
+            expected: src.rows(),
+            actual: index.len(),
+        });
+    }
+    let f = src.cols();
+    let mut out = DenseMatrix::zeros(out_rows, f);
+    let mut counts = vec![0u32; out_rows];
+    // For Max we track whether a row has been written to distinguish
+    // "no contribution" (stays 0) from "max of negatives".
+    for (i, &idx) in index.iter().enumerate() {
+        let idx = idx as usize;
+        if idx >= out_rows {
+            return Err(TensorError::IndexOutOfBounds {
+                op: "scatter_rows",
+                index: idx,
+                bound: out_rows,
+            });
+        }
+        let src_row = src.row(i);
+        let first = counts[idx] == 0;
+        counts[idx] += 1;
+        let out_row = out.row_mut(idx);
+        match reduce {
+            Reduce::Sum | Reduce::Mean => {
+                for (o, &s) in out_row.iter_mut().zip(src_row) {
+                    *o += s;
+                }
+            }
+            Reduce::Max => {
+                if first {
+                    out_row.copy_from_slice(src_row);
+                } else {
+                    for (o, &s) in out_row.iter_mut().zip(src_row) {
+                        *o = o.max(s);
+                    }
+                }
+            }
+        }
+    }
+    if reduce == Reduce::Mean {
+        for (r, &count) in counts.iter().enumerate() {
+            if count > 1 {
+                let inv = 1.0 / count as f32;
+                for v in out.row_mut(r) {
+                    *v *= inv;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Per-destination contribution counts for a scatter (`degree` of each output
+/// row). Exposed because mean-aggregating models reuse it.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IndexOutOfBounds`] when any index is `>= out_rows`.
+pub fn scatter_counts(index: &[u32], out_rows: usize) -> Result<Vec<u32>> {
+    let mut counts = vec![0u32; out_rows];
+    for &idx in index {
+        if idx as usize >= out_rows {
+            return Err(TensorError::IndexOutOfBounds {
+                op: "scatter_counts",
+                index: idx as usize,
+                bound: out_rows,
+            });
+        }
+        counts[idx as usize] += 1;
+    }
+    Ok(counts)
+}
+
+fn check_gemm_shapes(op: &'static str, a: &DenseMatrix, b: &DenseMatrix) -> Result<()> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: &[&[f32]]) -> DenseMatrix {
+        DenseMatrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn gemm_small_known_answer() {
+        let a = mat(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = mat(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = gemm(&a, &b).unwrap();
+        assert_eq!(c, mat(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn gemm_matches_naive_on_rectangular() {
+        let a = DenseMatrix::from_fn(7, 13, |r, c| ((r * 31 + c * 7) % 5) as f32 - 2.0);
+        let b = DenseMatrix::from_fn(13, 9, |r, c| ((r * 17 + c * 3) % 7) as f32 - 3.0);
+        let fast = gemm(&a, &b).unwrap();
+        let slow = gemm_naive(&a, &b).unwrap();
+        assert!(fast.approx_eq(&slow, 1e-4));
+    }
+
+    #[test]
+    fn gemm_identity_is_noop() {
+        let a = DenseMatrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let i = DenseMatrix::identity(4);
+        assert!(gemm(&a, &i).unwrap().approx_eq(&a, 0.0));
+        assert!(gemm(&i, &a).unwrap().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn gemm_shape_mismatch() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(4, 2);
+        assert!(matches!(
+            gemm(&a, &b).unwrap_err(),
+            TensorError::ShapeMismatch { op: "gemm", .. }
+        ));
+    }
+
+    #[test]
+    fn spmm_matches_dense_gemm() {
+        let a = CsrMatrix::from_triplets(
+            3,
+            4,
+            &[(0, 1, 2.0), (1, 0, 1.0), (1, 3, -1.0), (2, 2, 0.5)],
+        )
+        .unwrap();
+        let x = DenseMatrix::from_fn(4, 5, |r, c| (r + c) as f32);
+        let sparse = spmm(&a, &x).unwrap();
+        let dense = gemm(&a.to_dense(), &x).unwrap();
+        assert!(sparse.approx_eq(&dense, 1e-5));
+    }
+
+    #[test]
+    fn spmm_shape_mismatch() {
+        let a = CsrMatrix::empty(3, 4);
+        let x = DenseMatrix::zeros(5, 2);
+        assert!(spmm(&a, &x).is_err());
+    }
+
+    #[test]
+    fn spgemm_matches_dense() {
+        let a = CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0)]).unwrap();
+        let b = CsrMatrix::from_triplets(3, 2, &[(0, 1, 4.0), (1, 0, 5.0), (2, 1, 6.0)]).unwrap();
+        let c = spgemm(&a, &b).unwrap();
+        let dense = gemm(&a.to_dense(), &b.to_dense()).unwrap();
+        assert!(c.to_dense().approx_eq(&dense, 1e-5));
+    }
+
+    #[test]
+    fn spgemm_identity_is_noop() {
+        let a = CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.5), (2, 0, -2.0)]).unwrap();
+        let i = CsrMatrix::identity(3);
+        assert_eq!(spgemm(&a, &i).unwrap(), a);
+        assert_eq!(spgemm(&i, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn spgemm_shape_mismatch() {
+        let a = CsrMatrix::empty(2, 3);
+        let b = CsrMatrix::empty(4, 2);
+        assert!(spgemm(&a, &b).is_err());
+    }
+
+    #[test]
+    fn gather_rows_selects() {
+        let x = mat(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let g = gather_rows(&x, &[2, 0, 2]).unwrap();
+        assert_eq!(g.row(0), &[3.0, 3.0]);
+        assert_eq!(g.row(1), &[1.0, 1.0]);
+        assert_eq!(g.row(2), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn gather_rows_out_of_bounds() {
+        let x = DenseMatrix::zeros(2, 2);
+        assert!(gather_rows(&x, &[5]).is_err());
+    }
+
+    #[test]
+    fn scatter_sum_accumulates() {
+        let src = mat(&[&[1.0], &[2.0], &[4.0]]);
+        let out = scatter_rows(&src, &[0, 1, 0], 2, Reduce::Sum).unwrap();
+        assert_eq!(out.row(0), &[5.0]);
+        assert_eq!(out.row(1), &[2.0]);
+    }
+
+    #[test]
+    fn scatter_mean_divides() {
+        let src = mat(&[&[2.0], &[4.0], &[9.0]]);
+        let out = scatter_rows(&src, &[0, 0, 1], 3, Reduce::Mean).unwrap();
+        assert_eq!(out.row(0), &[3.0]);
+        assert_eq!(out.row(1), &[9.0]);
+        assert_eq!(out.row(2), &[0.0]);
+    }
+
+    #[test]
+    fn scatter_max_keeps_largest() {
+        let src = mat(&[&[-5.0], &[-1.0], &[3.0]]);
+        let out = scatter_rows(&src, &[0, 0, 1], 2, Reduce::Max).unwrap();
+        assert_eq!(out.row(0), &[-1.0], "max of negatives, not clamped to 0");
+        assert_eq!(out.row(1), &[3.0]);
+    }
+
+    #[test]
+    fn scatter_index_length_checked() {
+        let src = DenseMatrix::zeros(3, 1);
+        assert!(matches!(
+            scatter_rows(&src, &[0, 1], 2, Reduce::Sum).unwrap_err(),
+            TensorError::LengthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn scatter_index_bounds_checked() {
+        let src = DenseMatrix::zeros(1, 1);
+        assert!(scatter_rows(&src, &[7], 2, Reduce::Sum).is_err());
+    }
+
+    #[test]
+    fn scatter_sum_equals_transpose_spmm() {
+        // scatter-sum of gathered rows == A^T (one-hot by index) times src.
+        // This is the algebraic identity the MP/SpMM equivalence rests on.
+        let src = mat(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let index = [1u32, 1, 0];
+        let scattered = scatter_rows(&src, &index, 2, Reduce::Sum).unwrap();
+        let one_hot = CsrMatrix::from_triplets(
+            2,
+            3,
+            &[(1, 0, 1.0), (1, 1, 1.0), (0, 2, 1.0)],
+        )
+        .unwrap();
+        let via_spmm = spmm(&one_hot, &src).unwrap();
+        assert!(scattered.approx_eq(&via_spmm, 1e-6));
+    }
+
+    #[test]
+    fn scatter_counts_match() {
+        assert_eq!(scatter_counts(&[0, 0, 2], 3).unwrap(), vec![2, 0, 1]);
+        assert!(scatter_counts(&[3], 3).is_err());
+    }
+
+    #[test]
+    fn reduce_names() {
+        assert_eq!(Reduce::Sum.to_string(), "sum");
+        assert_eq!(Reduce::Mean.name(), "mean");
+        assert_eq!(Reduce::Max.name(), "max");
+    }
+}

@@ -1,0 +1,563 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{DenseMatrix, Result, TensorError};
+
+/// A `(row, col, value)` coordinate entry of a sparse matrix.
+pub type Triplet = (usize, usize, f32);
+
+/// Sparse matrix in coordinate (COO) format.
+///
+/// COO is the edge-list format used by message-passing frameworks (the paper
+/// calls it `edgeIndex`); entry `k` says `value[k]` sits at
+/// `(row_indices[k], col_indices[k])`.
+///
+/// Invariants enforced at construction:
+/// * all indices in bounds,
+/// * entries sorted by `(row, col)`,
+/// * no duplicate coordinates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    row_indices: Vec<u32>,
+    col_indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CooMatrix {
+    /// Builds a COO matrix from triplets, sorting and validating them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for out-of-range coordinates
+    /// and [`TensorError::InvalidSparseStructure`] for duplicates.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[Triplet]) -> Result<Self> {
+        let mut entries: Vec<Triplet> = triplets.to_vec();
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut row_indices = Vec::with_capacity(entries.len());
+        let mut col_indices = Vec::with_capacity(entries.len());
+        let mut values = Vec::with_capacity(entries.len());
+        let mut last: Option<(usize, usize)> = None;
+        for (r, c, v) in entries {
+            if r >= rows {
+                return Err(TensorError::IndexOutOfBounds {
+                    op: "CooMatrix::from_triplets(row)",
+                    index: r,
+                    bound: rows,
+                });
+            }
+            if c >= cols {
+                return Err(TensorError::IndexOutOfBounds {
+                    op: "CooMatrix::from_triplets(col)",
+                    index: c,
+                    bound: cols,
+                });
+            }
+            if last == Some((r, c)) {
+                return Err(TensorError::InvalidSparseStructure {
+                    reason: format!("duplicate coordinate ({r}, {c})"),
+                });
+            }
+            last = Some((r, c));
+            row_indices.push(r as u32);
+            col_indices.push(c as u32);
+            values.push(v);
+        }
+        Ok(CooMatrix {
+            rows,
+            cols,
+            row_indices,
+            col_indices,
+            values,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row index of every entry, sorted ascending.
+    pub fn row_indices(&self) -> &[u32] {
+        &self.row_indices
+    }
+
+    /// Column index of every entry.
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_indices
+    }
+
+    /// Stored values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Iterator over `(row, col, value)` triplets in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = Triplet> + '_ {
+        self.row_indices
+            .iter()
+            .zip(&self.col_indices)
+            .zip(&self.values)
+            .map(|((&r, &c), &v)| (r as usize, c as usize, v))
+    }
+
+    /// Converts to CSR format.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut row_ptr = vec![0u32; self.rows + 1];
+        for &r in &self.row_indices {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_indices: self.col_indices.clone(),
+            values: self.values.clone(),
+        }
+    }
+
+    /// Converts to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            out.set(r, c, v);
+        }
+        out
+    }
+}
+
+/// Sparse matrix in compressed sparse row (CSR) format.
+///
+/// CSR is the format the paper's SpMM kernels consume: `row_ptr` has
+/// `rows + 1` monotone entries, and row `r` owns the half-open slice
+/// `col_indices[row_ptr[r]..row_ptr[r+1]]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<u32>,
+    col_indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw parts, validating every invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidSparseStructure`] if `row_ptr` is not
+    /// monotone, its length is wrong, columns are unsorted/duplicated within
+    /// a row, or array lengths disagree; [`TensorError::IndexOutOfBounds`]
+    /// for out-of-range column indices.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<u32>,
+        col_indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<Self> {
+        if row_ptr.len() != rows + 1 {
+            return Err(TensorError::InvalidSparseStructure {
+                reason: format!("row_ptr has {} entries, expected {}", row_ptr.len(), rows + 1),
+            });
+        }
+        if row_ptr[0] != 0 {
+            return Err(TensorError::InvalidSparseStructure {
+                reason: "row_ptr[0] must be 0".to_string(),
+            });
+        }
+        if col_indices.len() != values.len() {
+            return Err(TensorError::InvalidSparseStructure {
+                reason: format!(
+                    "col_indices ({}) and values ({}) lengths differ",
+                    col_indices.len(),
+                    values.len()
+                ),
+            });
+        }
+        if *row_ptr.last().unwrap() as usize != col_indices.len() {
+            return Err(TensorError::InvalidSparseStructure {
+                reason: format!(
+                    "row_ptr last entry {} does not match nnz {}",
+                    row_ptr.last().unwrap(),
+                    col_indices.len()
+                ),
+            });
+        }
+        for w in row_ptr.windows(2) {
+            if w[0] > w[1] {
+                return Err(TensorError::InvalidSparseStructure {
+                    reason: "row_ptr must be monotone non-decreasing".to_string(),
+                });
+            }
+        }
+        for r in 0..rows {
+            let s = row_ptr[r] as usize;
+            let e = row_ptr[r + 1] as usize;
+            let row_cols = &col_indices[s..e];
+            for w in row_cols.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(TensorError::InvalidSparseStructure {
+                        reason: format!("row {r} columns not strictly increasing"),
+                    });
+                }
+            }
+            if let Some(&max) = row_cols.last() {
+                if max as usize >= cols {
+                    return Err(TensorError::IndexOutOfBounds {
+                        op: "CsrMatrix::from_parts(col)",
+                        index: max as usize,
+                        bound: cols,
+                    });
+                }
+            }
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_indices,
+            values,
+        })
+    }
+
+    /// Convenience constructor from triplets (goes through COO).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CooMatrix::from_triplets`].
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[Triplet]) -> Result<Self> {
+        Ok(CooMatrix::from_triplets(rows, cols, triplets)?.to_csr())
+    }
+
+    /// An empty (all-zero) `rows x cols` CSR matrix.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The `n x n` identity in CSR form.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n as u32).collect(),
+            col_indices: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Builds a diagonal matrix from per-row values.
+    pub fn from_diagonal(diag: &[f32]) -> Self {
+        let n = diag.len();
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n as u32).collect(),
+            col_indices: (0..n as u32).collect(),
+            values: diag.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The row-pointer array (`rows + 1` entries).
+    pub fn row_ptr(&self) -> &[u32] {
+        &self.row_ptr
+    }
+
+    /// Column indices, row by row, strictly increasing within each row.
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_indices
+    }
+
+    /// Stored values aligned with [`Self::col_indices`].
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Number of stored entries in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        (self.row_ptr[r + 1] - self.row_ptr[r]) as usize
+    }
+
+    /// The `(col_indices, values)` slices of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let s = self.row_ptr[r] as usize;
+        let e = self.row_ptr[r + 1] as usize;
+        (&self.col_indices[s..e], &self.values[s..e])
+    }
+
+    /// Value at `(row, col)`, or `0.0` when the entry is structurally zero.
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        let (cols, vals) = self.row(row);
+        match cols.binary_search(&(col as u32)) {
+            Ok(i) => vals[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterator over `(row, col, value)` triplets in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = Triplet> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter()
+                .zip(vals)
+                .map(move |(&c, &v)| (r, c as usize, v))
+        })
+    }
+
+    /// Converts to COO format.
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut row_indices = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            row_indices.extend(std::iter::repeat(r as u32).take(self.row_nnz(r)));
+        }
+        CooMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_indices,
+            col_indices: self.col_indices.clone(),
+            values: self.values.clone(),
+        }
+    }
+
+    /// Converts to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            out.set(r, c, v);
+        }
+        out
+    }
+
+    /// Returns the transpose (a CSR matrix of shape `cols x rows`).
+    ///
+    /// Since the transpose of CSR is CSC of the original, this is also how
+    /// callers obtain a CSC view of the matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut row_ptr = vec![0u32; self.cols + 1];
+        for &c in &self.col_indices {
+            row_ptr[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_indices = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        let mut next = row_ptr.clone();
+        for (r, c, v) in self.iter() {
+            let slot = next[c] as usize;
+            col_indices[slot] = r as u32;
+            values[slot] = v;
+            next[c] += 1;
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_indices,
+            values,
+        }
+    }
+
+    /// Applies `f` to every stored value, returning a new matrix with the
+    /// same sparsity pattern.
+    pub fn map_values(&self, f: impl Fn(f32) -> f32) -> CsrMatrix {
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr: self.row_ptr.clone(),
+            col_indices: self.col_indices.clone(),
+            values: self.values.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Row sums (out-degree weights for adjacency matrices).
+    pub fn row_sums(&self) -> Vec<f32> {
+        (0..self.rows)
+            .map(|r| self.row(r).1.iter().sum())
+            .collect()
+    }
+}
+
+impl From<&CooMatrix> for CsrMatrix {
+    fn from(coo: &CooMatrix) -> Self {
+        coo.to_csr()
+    }
+}
+
+impl From<&CsrMatrix> for CooMatrix {
+    fn from(csr: &CsrMatrix) -> Self {
+        csr.to_coo()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_triplets() -> Vec<Triplet> {
+        vec![
+            (0, 1, 1.0),
+            (1, 0, 2.0),
+            (1, 2, 3.0),
+            (2, 2, 4.0),
+        ]
+    }
+
+    #[test]
+    fn coo_sorts_and_counts() {
+        let coo = CooMatrix::from_triplets(3, 3, &[(2, 2, 4.0), (0, 1, 1.0), (1, 0, 2.0)]).unwrap();
+        assert_eq!(coo.nnz(), 3);
+        let rows: Vec<usize> = coo.iter().map(|(r, _, _)| r).collect();
+        assert_eq!(rows, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn coo_rejects_out_of_bounds() {
+        let err = CooMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).unwrap_err();
+        assert!(matches!(err, TensorError::IndexOutOfBounds { .. }));
+        let err = CooMatrix::from_triplets(2, 2, &[(0, 5, 1.0)]).unwrap_err();
+        assert!(matches!(err, TensorError::IndexOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn coo_rejects_duplicates() {
+        let err = CooMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0)]).unwrap_err();
+        assert!(matches!(err, TensorError::InvalidSparseStructure { .. }));
+    }
+
+    #[test]
+    fn coo_to_csr_to_coo_roundtrip() {
+        let coo = CooMatrix::from_triplets(3, 3, &sample_triplets()).unwrap();
+        let back = coo.to_csr().to_coo();
+        assert_eq!(coo, back);
+    }
+
+    #[test]
+    fn csr_row_access() {
+        let csr = CsrMatrix::from_triplets(3, 3, &sample_triplets()).unwrap();
+        assert_eq!(csr.row_nnz(1), 2);
+        let (cols, vals) = csr.row(1);
+        assert_eq!(cols, &[0, 2]);
+        assert_eq!(vals, &[2.0, 3.0]);
+        assert_eq!(csr.get(1, 2), 3.0);
+        assert_eq!(csr.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn csr_from_parts_validates() {
+        // row_ptr wrong length
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        // non-monotone row_ptr
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
+        // col out of bounds
+        assert!(CsrMatrix::from_parts(1, 1, vec![0, 1], vec![3], vec![1.0]).is_err());
+        // duplicate col within row
+        assert!(CsrMatrix::from_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).is_err());
+        // unsorted col within row
+        assert!(CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err());
+        // nnz mismatch with last row_ptr
+        assert!(CsrMatrix::from_parts(1, 3, vec![0, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
+        // ok
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn csr_identity() {
+        let i = CsrMatrix::identity(3);
+        assert_eq!(i.nnz(), 3);
+        assert_eq!(i.get(1, 1), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+        assert_eq!(i.to_dense(), DenseMatrix::identity(3));
+    }
+
+    #[test]
+    fn csr_transpose_matches_dense() {
+        let csr = CsrMatrix::from_triplets(3, 4, &[(0, 3, 1.0), (1, 0, 2.0), (2, 1, 3.0)]).unwrap();
+        let t = csr.transpose();
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t.to_dense(), csr.to_dense().transpose());
+    }
+
+    #[test]
+    fn csr_transpose_involution() {
+        let csr = CsrMatrix::from_triplets(3, 3, &sample_triplets()).unwrap();
+        assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let csr = CsrMatrix::from_triplets(3, 3, &sample_triplets()).unwrap();
+        let dense = csr.to_dense();
+        assert_eq!(dense.get(1, 2), 3.0);
+        assert_eq!(dense.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn diag_and_row_sums() {
+        let d = CsrMatrix::from_diagonal(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.row_sums(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(d.get(2, 2), 3.0);
+    }
+
+    #[test]
+    fn map_values_preserves_pattern() {
+        let csr = CsrMatrix::from_triplets(3, 3, &sample_triplets()).unwrap();
+        let doubled = csr.map_values(|v| v * 2.0);
+        assert_eq!(doubled.nnz(), csr.nnz());
+        assert_eq!(doubled.get(2, 2), 8.0);
+        assert_eq!(doubled.col_indices(), csr.col_indices());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let e = CsrMatrix::empty(4, 5);
+        assert_eq!(e.nnz(), 0);
+        assert_eq!(e.rows(), 4);
+        assert_eq!(e.row_nnz(3), 0);
+    }
+}

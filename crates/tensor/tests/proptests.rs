@@ -1,0 +1,126 @@
+//! Property-based tests for the tensor substrate.
+
+use gsuite_tensor::{ops, CooMatrix, CsrMatrix, DenseMatrix, Triplet};
+use proptest::prelude::*;
+
+/// Strategy: a sorted, deduplicated list of triplets inside an `r x c` grid.
+fn triplets(rows: usize, cols: usize, max_nnz: usize) -> impl Strategy<Value = Vec<Triplet>> {
+    proptest::collection::vec(
+        (0..rows, 0..cols, -8i32..8),
+        0..max_nnz,
+    )
+    .prop_map(|v| {
+        let mut seen = std::collections::HashSet::new();
+        v.into_iter()
+            .filter(|&(r, c, _)| seen.insert((r, c)))
+            .map(|(r, c, val)| (r, c, val as f32 * 0.5))
+            .collect()
+    })
+}
+
+fn small_dense(rows: usize, cols: usize) -> impl Strategy<Value = DenseMatrix> {
+    proptest::collection::vec(-4.0f32..4.0, rows * cols)
+        .prop_map(move |data| DenseMatrix::from_vec(rows, cols, data).expect("sized by strategy"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coo_csr_roundtrip(t in triplets(9, 7, 30)) {
+        let coo = CooMatrix::from_triplets(9, 7, &t).unwrap();
+        let csr = coo.to_csr();
+        prop_assert_eq!(coo.to_dense(), csr.to_dense());
+        prop_assert_eq!(&csr.to_coo(), &coo);
+        prop_assert_eq!(csr.nnz(), t.len());
+    }
+
+    #[test]
+    fn csr_transpose_involution(t in triplets(8, 8, 24)) {
+        let csr = CsrMatrix::from_triplets(8, 8, &t).unwrap();
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    #[test]
+    fn csr_transpose_matches_dense(t in triplets(6, 9, 20)) {
+        let csr = CsrMatrix::from_triplets(6, 9, &t).unwrap();
+        prop_assert_eq!(csr.transpose().to_dense(), csr.to_dense().transpose());
+    }
+
+    #[test]
+    fn gemm_matches_naive(a in small_dense(5, 4), b in small_dense(4, 6)) {
+        let fast = ops::gemm(&a, &b).unwrap();
+        let slow = ops::gemm_naive(&a, &b).unwrap();
+        prop_assert!(fast.approx_eq(&slow, 1e-3));
+    }
+
+    #[test]
+    fn gemm_distributes_over_addition(
+        a in small_dense(4, 3),
+        b in small_dense(3, 5),
+        c in small_dense(3, 5),
+    ) {
+        // A(B + C) == AB + AC
+        let lhs = ops::gemm(&a, &b.add(&c).unwrap()).unwrap();
+        let rhs = ops::gemm(&a, &b).unwrap().add(&ops::gemm(&a, &c).unwrap()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn spmm_matches_dense_gemm(t in triplets(7, 5, 20), x in small_dense(5, 3)) {
+        let a = CsrMatrix::from_triplets(7, 5, &t).unwrap();
+        let sparse = ops::spmm(&a, &x).unwrap();
+        let dense = ops::gemm(&a.to_dense(), &x).unwrap();
+        prop_assert!(sparse.approx_eq(&dense, 1e-3));
+    }
+
+    #[test]
+    fn spgemm_matches_dense_gemm(ta in triplets(6, 5, 18), tb in triplets(5, 7, 18)) {
+        let a = CsrMatrix::from_triplets(6, 5, &ta).unwrap();
+        let b = CsrMatrix::from_triplets(5, 7, &tb).unwrap();
+        let sparse = ops::spgemm(&a, &b).unwrap();
+        let dense = ops::gemm(&a.to_dense(), &b.to_dense()).unwrap();
+        prop_assert!(sparse.to_dense().approx_eq(&dense, 1e-3));
+        // result must still satisfy all CSR invariants
+        let rebuilt = CsrMatrix::from_parts(
+            sparse.rows(), sparse.cols(),
+            sparse.row_ptr().to_vec(),
+            sparse.col_indices().to_vec(),
+            sparse.values().to_vec(),
+        );
+        prop_assert!(rebuilt.is_ok());
+    }
+
+    #[test]
+    fn gather_then_scatter_sum_is_degree_scaling(
+        x in small_dense(6, 4),
+        index in proptest::collection::vec(0u32..6, 0..20),
+    ) {
+        // scatter_sum(gather(X, idx), idx) == diag(counts) * X
+        let gathered = ops::gather_rows(&x, &index).unwrap();
+        let scattered = ops::scatter_rows(&gathered, &index, 6, ops::Reduce::Sum).unwrap();
+        let counts = ops::scatter_counts(&index, 6).unwrap();
+        let expected = DenseMatrix::from_fn(6, 4, |r, c| counts[r] as f32 * x.get(r, c));
+        prop_assert!(scattered.approx_eq(&expected, 1e-3));
+    }
+
+    #[test]
+    fn scatter_mean_bounded_by_min_max(
+        src in small_dense(8, 2),
+        index in proptest::collection::vec(0u32..4, 8),
+    ) {
+        let out = ops::scatter_rows(&src, &index, 4, ops::Reduce::Mean).unwrap();
+        let maxed = ops::scatter_rows(&src, &index, 4, ops::Reduce::Max).unwrap();
+        for r in 0..4 {
+            for c in 0..2 {
+                // mean never exceeds max over the same contributions
+                prop_assert!(out.get(r, c) <= maxed.get(r, c) + 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_transpose_involution(m in small_dense(5, 7)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+}

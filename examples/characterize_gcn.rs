@@ -1,0 +1,79 @@
+//! Architectural characterization of one pipeline on BOTH measurement
+//! backends — the paper's dual nvprof/GPGPU-Sim methodology (Figs. 6–8)
+//! in miniature.
+//!
+//! ```sh
+//! cargo run --release --example characterize_gcn
+//! ```
+
+use gsuite::core::config::{CompModel, GnnModel, RunConfig};
+use gsuite::core::pipeline::PipelineRun;
+use gsuite::gpu::StallReason;
+use gsuite::profile::{HwProfiler, SimProfiler, TextTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = RunConfig {
+        model: GnnModel::Gcn,
+        comp: CompModel::Mp,
+        scale: 0.25,
+        layers: 2,
+        hidden: 16,
+        functional_math: false, // characterization only
+        ..RunConfig::default()
+    };
+    let graph = config.load_graph();
+    let run = PipelineRun::build(&graph, &config)?;
+    println!("{} | {} launches\n", run.label, run.launch_count());
+
+    // Backend 1: the analytical hardware model (nvprof stand-in).
+    let hw = run.profile(&HwProfiler::v100());
+    // Backend 2: the cycle-level simulator (GPGPU-Sim stand-in) on a
+    // 16-SM scaled V100 with CTA sampling.
+    let sim = run.profile(&SimProfiler::scaled(16).max_ctas(Some(512)));
+
+    // Fig. 8-style comparison: cache hit rates, NVProf vs Sim.
+    let mut cache = TextTable::new(&["kernel", "L1 NVProf", "L1 Sim", "L2 NVProf", "L2 Sim"]);
+    for (h, s) in hw.merged_by_kernel().iter().zip(sim.merged_by_kernel().iter()) {
+        cache.row_owned(vec![
+            h.kernel.clone(),
+            format!("{:.1}%", h.l1.hit_rate() * 100.0),
+            format!("{:.1}%", s.l1.hit_rate() * 100.0),
+            format!("{:.1}%", h.l2.hit_rate() * 100.0),
+            format!("{:.1}%", s.l2.hit_rate() * 100.0),
+        ]);
+    }
+    println!("cache hit rates (NVProf-like vs cycle sim):\n{}", cache.render());
+
+    // Fig. 6-style stall reasons (simulator only — nvprof cannot see them).
+    let mut stalls = TextTable::new(&["kernel", "MemDep", "ExecDep", "Issued", "IFetch", "NotSel"]);
+    for k in sim.merged_by_kernel() {
+        let b = k.stalls.expect("sim reports stalls");
+        let p = |r: StallReason| format!("{:.1}%", b.fraction(r) * 100.0);
+        stalls.row_owned(vec![
+            k.kernel.clone(),
+            p(StallReason::MemoryDependency),
+            p(StallReason::ExecutionDependency),
+            p(StallReason::InstructionIssued),
+            p(StallReason::InstructionFetch),
+            p(StallReason::NotSelected),
+        ]);
+    }
+    println!("issue-stall distribution (cycle sim):\n{}", stalls.render());
+
+    // Fig. 7-style occupancy.
+    let mut occ = TextTable::new(&["kernel", "Stall", "Idle", "W8", "W20", "W32"]);
+    for k in sim.merged_by_kernel() {
+        let o = k.occupancy.expect("sim reports occupancy");
+        let f = o.fractions();
+        occ.row_owned(vec![
+            k.kernel.clone(),
+            format!("{:.1}%", f[0].1 * 100.0),
+            format!("{:.1}%", f[1].1 * 100.0),
+            format!("{:.1}%", f[2].1 * 100.0),
+            format!("{:.1}%", f[3].1 * 100.0),
+            format!("{:.1}%", f[4].1 * 100.0),
+        ]);
+    }
+    println!("warp occupancy (cycle sim):\n{}", occ.render());
+    Ok(())
+}

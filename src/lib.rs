@@ -1,0 +1,46 @@
+//! # gSuite-rs
+//!
+//! A from-scratch Rust reproduction of *"gSuite: A Flexible and Framework
+//! Independent Benchmark Suite for Graph Neural Network Inference on GPUs"*
+//! (IISWC 2022, arXiv:2210.11601) — the benchmark suite, every substrate it
+//! needs (graph datasets, dense/sparse math, a cycle-level SIMT GPU
+//! simulator, an nvprof-like analytical profiler) and the harness that
+//! regenerates every table and figure of the paper's evaluation.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`tensor`] | dense matrices, CSR/COO sparse, GEMM/SpMM/SpGEMM reference math |
+//! | [`graph`]  | graph formats, conversions, normalization, Table IV datasets |
+//! | [`gpu`]    | the cycle-level SIMT GPU simulator (GPGPU-Sim stand-in) |
+//! | [`profile`]| kernel metrics, analytical profiler (nvprof stand-in), reports |
+//! | [`core`]   | the gSuite core kernels, GNN models, pipelines, config, baselines |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gsuite::core::config::RunConfig;
+//! use gsuite::core::pipeline::PipelineRun;
+//! use gsuite::profile::HwProfiler;
+//!
+//! # fn main() -> Result<(), gsuite::core::CoreError> {
+//! // Configure a 2-layer GCN on (a scaled) Cora, message-passing model.
+//! let config = RunConfig {
+//!     scale: 0.05,
+//!     hidden: 8,
+//!     ..RunConfig::default()
+//! };
+//! let graph = config.load_graph();
+//! let run = PipelineRun::build(&graph, &config)?;
+//! let profile = run.profile(&HwProfiler::v100());
+//! println!("{}: {:.3} ms end-to-end", run.label, profile.total_time_ms());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use gsuite_core as core;
+pub use gsuite_gpu as gpu;
+pub use gsuite_graph as graph;
+pub use gsuite_profile as profile;
+pub use gsuite_tensor as tensor;

@@ -1,0 +1,91 @@
+//! Property-based integration tests: the MP ≡ SpMM equivalence (the
+//! paper's Eqs. 1–4) over random graphs, shapes and seeds, through the
+//! full public pipeline API.
+
+use gsuite::core::config::{CompModel, GnnModel, RunConfig};
+use gsuite::core::models::build_model;
+use gsuite::graph::{Graph, GraphGenerator, GraphTopology};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (5usize..40, 1usize..6, 0u64..200, 1usize..12).prop_map(|(nodes, deg, seed, feat)| {
+        let edges = (nodes * deg).min(nodes * (nodes - 1) / 2);
+        GraphGenerator::new(nodes, edges)
+            .topology(GraphTopology::PowerLaw { exponent: 0.8 })
+            .seed(seed)
+            .build_graph(feat)
+            .expect("valid generator args")
+    })
+}
+
+fn config(model: GnnModel, comp: CompModel, layers: usize, hidden: usize, seed: u64) -> RunConfig {
+    RunConfig {
+        model,
+        comp,
+        layers,
+        hidden,
+        seed,
+        ..RunConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gcn_mp_equals_spmm(graph in arb_graph(), layers in 1usize..3, hidden in 1usize..8, seed in 0u64..100) {
+        let (_, mp) = build_model(&graph, &config(GnnModel::Gcn, CompModel::Mp, layers, hidden, seed)).unwrap();
+        let (_, sp) = build_model(&graph, &config(GnnModel::Gcn, CompModel::Spmm, layers, hidden, seed)).unwrap();
+        prop_assert!(
+            mp.approx_eq(&sp, 1e-3),
+            "GCN max diff {}",
+            mp.max_abs_diff(&sp).unwrap()
+        );
+    }
+
+    #[test]
+    fn gin_mp_equals_spmm(graph in arb_graph(), layers in 1usize..3, hidden in 1usize..8, seed in 0u64..100) {
+        let (_, mp) = build_model(&graph, &config(GnnModel::Gin, CompModel::Mp, layers, hidden, seed)).unwrap();
+        let (_, sp) = build_model(&graph, &config(GnnModel::Gin, CompModel::Spmm, layers, hidden, seed)).unwrap();
+        prop_assert!(
+            mp.approx_eq(&sp, 1e-3),
+            "GIN max diff {}",
+            mp.max_abs_diff(&sp).unwrap()
+        );
+    }
+
+    #[test]
+    fn outputs_are_seed_stable(graph in arb_graph(), seed in 0u64..100) {
+        let cfg = config(GnnModel::Sage, CompModel::Mp, 2, 4, seed);
+        let (_, a) = build_model(&graph, &cfg).unwrap();
+        let (_, b) = build_model(&graph, &cfg).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn launch_counts_are_shape_independent(graph in arb_graph(), seed in 0u64..50) {
+        // The kernel *sequence* depends only on (model, comp, layers) —
+        // never on the topology or features.
+        let cfg = config(GnnModel::Gcn, CompModel::Mp, 2, 4, seed);
+        let (launches, _) = build_model(&graph, &cfg).unwrap();
+        prop_assert_eq!(launches.len(), 9);
+        let kinds: Vec<String> = launches.iter().map(|l| l.kind.to_string()).collect();
+        prop_assert_eq!(
+            kinds[..4].join(","),
+            "scatter,sgemm,indexSelect,scatter"
+        );
+    }
+
+    #[test]
+    fn profile_mode_matches_functional_launches(graph in arb_graph(), seed in 0u64..50) {
+        let functional = config(GnnModel::Gin, CompModel::Mp, 1, 4, seed);
+        let profile_only = RunConfig { functional_math: false, ..functional.clone() };
+        let (fl, _) = build_model(&graph, &functional).unwrap();
+        let (pl, _) = build_model(&graph, &profile_only).unwrap();
+        prop_assert_eq!(fl.len(), pl.len());
+        for (a, b) in fl.iter().zip(&pl) {
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert_eq!(a.workload.grid(), b.workload.grid());
+        }
+    }
+}

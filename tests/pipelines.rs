@@ -1,0 +1,194 @@
+//! Cross-crate integration tests: end-to-end pipelines over every model,
+//! computational model and framework, through both measurement backends.
+
+use gsuite::core::config::{CompModel, FrameworkKind, GnnModel, RunConfig};
+use gsuite::core::pipeline::PipelineRun;
+use gsuite::graph::datasets::Dataset;
+use gsuite::profile::{HwProfiler, SimProfiler};
+
+fn small(model: GnnModel, comp: CompModel) -> RunConfig {
+    RunConfig {
+        model,
+        comp,
+        dataset: Dataset::Cora,
+        scale: 0.03,
+        layers: 2,
+        hidden: 8,
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+fn every_gsuite_pair_runs_end_to_end() {
+    let pairs = [
+        (GnnModel::Gcn, CompModel::Mp),
+        (GnnModel::Gcn, CompModel::Spmm),
+        (GnnModel::Gin, CompModel::Mp),
+        (GnnModel::Gin, CompModel::Spmm),
+        (GnnModel::Sage, CompModel::Mp),
+    ];
+    for (model, comp) in pairs {
+        let cfg = small(model, comp);
+        let graph = cfg.load_graph();
+        let run = PipelineRun::build(&graph, &cfg)
+            .unwrap_or_else(|e| panic!("{model:?}/{comp:?}: {e}"));
+        assert!(run.launch_count() > 0, "{model:?}/{comp:?}");
+        assert_eq!(run.output.shape(), (graph.num_nodes(), 8));
+        assert!(
+            run.output.sum().abs() > 1e-9,
+            "{model:?}/{comp:?} produced all-zero output"
+        );
+    }
+}
+
+#[test]
+fn every_dataset_builds_scaled_pipelines() {
+    for dataset in Dataset::ALL {
+        let cfg = RunConfig {
+            dataset,
+            scale: 0.002_f64.min(1.0).max(2.0 / dataset.spec().nodes as f64),
+            hidden: 4,
+            layers: 1,
+            functional_math: false,
+            ..RunConfig::default()
+        };
+        let graph = cfg.load_graph();
+        let run = PipelineRun::build(&graph, &cfg).unwrap();
+        assert!(run.launch_count() >= 4, "{dataset}: {}", run.launch_count());
+    }
+}
+
+#[test]
+fn mp_and_spmm_agree_through_public_api() {
+    for model in [GnnModel::Gcn, GnnModel::Gin] {
+        let mp_cfg = small(model, CompModel::Mp);
+        let sp_cfg = small(model, CompModel::Spmm);
+        let graph = mp_cfg.load_graph();
+        let mp = PipelineRun::build(&graph, &mp_cfg).unwrap();
+        let sp = PipelineRun::build(&graph, &sp_cfg).unwrap();
+        assert!(
+            mp.output.approx_eq(&sp.output, 1e-3),
+            "{model:?}: max diff {}",
+            mp.output.max_abs_diff(&sp.output).unwrap()
+        );
+    }
+}
+
+#[test]
+fn frameworks_share_math_but_not_overheads() {
+    let graph = small(GnnModel::Gcn, CompModel::Mp).load_graph();
+    let mut outputs = Vec::new();
+    let mut times = Vec::new();
+    for fw in FrameworkKind::ALL {
+        let cfg = RunConfig {
+            framework: fw,
+            ..small(GnnModel::Gcn, CompModel::Mp)
+        };
+        let run = PipelineRun::build(&graph, &cfg).unwrap();
+        let profile = run.profile(&HwProfiler::v100());
+        outputs.push(run.output);
+        times.push((fw, profile.total_time_ms()));
+    }
+    for pair in outputs.windows(2) {
+        assert!(pair[0].approx_eq(&pair[1], 1e-4), "same math everywhere");
+    }
+    let t = |f: FrameworkKind| times.iter().find(|(x, _)| *x == f).unwrap().1;
+    assert!(t(FrameworkKind::PygLike) > t(FrameworkKind::DglLike));
+    assert!(t(FrameworkKind::DglLike) > t(FrameworkKind::GSuite));
+}
+
+#[test]
+fn hw_and_sim_backends_agree_on_instruction_counts() {
+    let cfg = RunConfig {
+        functional_math: false,
+        ..small(GnnModel::Gcn, CompModel::Mp)
+    };
+    let graph = cfg.load_graph();
+    let run = PipelineRun::build(&graph, &cfg).unwrap();
+    let hw = run.profile(&HwProfiler::v100());
+    let sim = run.profile(&SimProfiler::scaled(4));
+    for (h, s) in hw.kernels.iter().zip(&sim.kernels) {
+        assert_eq!(h.kernel, s.kernel);
+        assert_eq!(
+            h.instr_mix.total(),
+            s.instr_mix.total(),
+            "{}: backends must execute identical traces",
+            h.kernel
+        );
+        assert_eq!(h.instr_mix.fp32, s.instr_mix.fp32, "{}", h.kernel);
+        assert_eq!(h.instr_mix.load_store, s.instr_mix.load_store, "{}", h.kernel);
+    }
+}
+
+#[test]
+fn builds_are_deterministic() {
+    let cfg = small(GnnModel::Sage, CompModel::Mp);
+    let graph = cfg.load_graph();
+    let a = PipelineRun::build(&graph, &cfg).unwrap();
+    let b = PipelineRun::build(&graph, &cfg).unwrap();
+    assert_eq!(a.output, b.output);
+    assert_eq!(a.launch_count(), b.launch_count());
+    let sim = SimProfiler::scaled(2).max_ctas(Some(64));
+    let pa = a.profile(&sim);
+    let pb = b.profile(&sim);
+    assert_eq!(pa, pb, "simulation is deterministic end to end");
+}
+
+#[test]
+fn layer_and_width_sweeps_scale_launches() {
+    let graph = small(GnnModel::Gcn, CompModel::Mp).load_graph();
+    let count = |layers: usize| {
+        let cfg = RunConfig {
+            layers,
+            ..small(GnnModel::Gcn, CompModel::Mp)
+        };
+        PipelineRun::build(&graph, &cfg).unwrap().launch_count()
+    };
+    // GCN-MP: 4 kernels per layer + 1 ReLU between layers.
+    assert_eq!(count(1), 4);
+    assert_eq!(count(2), 9);
+    assert_eq!(count(4), 19);
+}
+
+#[test]
+fn extension_models_run_end_to_end() {
+    // GAT and SGC (paper §IV extendability demo) work through the same
+    // public surface as the paper trio.
+    for (model, comps) in [
+        (GnnModel::Gat, vec![CompModel::Mp]),
+        (GnnModel::Sgc, vec![CompModel::Mp, CompModel::Spmm]),
+    ] {
+        for comp in comps {
+            let cfg = small(model, comp);
+            let graph = cfg.load_graph();
+            let run = PipelineRun::build(&graph, &cfg)
+                .unwrap_or_else(|e| panic!("{model:?}/{comp:?}: {e}"));
+            assert!(run.launch_count() > 0);
+            assert_eq!(run.output.rows(), graph.num_nodes());
+            let profile = run.profile(&HwProfiler::v100());
+            assert!(profile.device_time_ms() > 0.0);
+        }
+    }
+    // SGC's MP and SpMM forms agree like GCN's do.
+    let mp_cfg = small(GnnModel::Sgc, CompModel::Mp);
+    let sp_cfg = small(GnnModel::Sgc, CompModel::Spmm);
+    let graph = mp_cfg.load_graph();
+    let mp = PipelineRun::build(&graph, &mp_cfg).unwrap();
+    let sp = PipelineRun::build(&graph, &sp_cfg).unwrap();
+    assert!(mp.output.approx_eq(&sp.output, 1e-3));
+    // GAT under SpMM is rejected like SAGE.
+    let bad = small(GnnModel::Gat, CompModel::Spmm);
+    assert!(PipelineRun::build(&graph, &bad).is_err());
+}
+
+#[test]
+fn config_surface_round_trips() {
+    let mut cfg = RunConfig::default();
+    cfg.apply_file("model = gin\ncomp = spmm\ndataset = pubmed\nscale = 0.01\nhidden = 4\n")
+        .unwrap();
+    let graph = cfg.load_graph();
+    let run = PipelineRun::build(&graph, &cfg).unwrap();
+    assert!(run.label.contains("GIN"));
+    assert!(run.label.contains("SpMM"));
+    assert!(run.label.contains("PubMed"));
+}

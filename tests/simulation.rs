@@ -1,0 +1,220 @@
+//! Integration tests of the architectural-metric path: real GNN kernel
+//! workloads through the cycle simulator, checking the invariants and the
+//! qualitative shapes the paper's figures rest on.
+
+use gsuite::core::config::{CompModel, GnnModel, RunConfig};
+use gsuite::core::kernels::KernelKind;
+use gsuite::core::pipeline::PipelineRun;
+use gsuite::gpu::{GpuConfig, SimOptions, Simulator};
+use gsuite::graph::datasets::Dataset;
+ 
+use gsuite::profile::{KernelStats, Profiler, SimProfiler};
+
+fn profile_kernels(cfg: &RunConfig, sim: &SimProfiler) -> Vec<(KernelKind, KernelStats)> {
+    let graph = cfg.load_graph();
+    let run = PipelineRun::build(&graph, cfg).unwrap();
+    run.launches
+        .iter()
+        .map(|l| (l.kind, sim.profile(l.workload.as_ref())))
+        .collect()
+}
+
+fn base_config() -> RunConfig {
+    RunConfig {
+        model: GnnModel::Gin,
+        comp: CompModel::Mp,
+        dataset: Dataset::Cora,
+        scale: 0.05,
+        layers: 1,
+        hidden: 8,
+        functional_math: false,
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+fn simulator_invariants_hold_for_every_kernel_kind() {
+    let sim = SimProfiler::scaled(4).max_ctas(Some(128));
+    let mut kinds_seen = Vec::new();
+    for comp in [CompModel::Mp, CompModel::Spmm] {
+        let cfg = RunConfig {
+            comp,
+            model: GnnModel::Gcn,
+            ..base_config()
+        };
+        for (kind, stats) in profile_kernels(&cfg, &sim) {
+            kinds_seen.push(kind);
+            assert!(stats.time_ms > 0.0, "{kind}: zero time");
+            assert!(stats.l1.hits <= stats.l1.accesses, "{kind}");
+            assert!(stats.l2.hits <= stats.l2.accesses, "{kind}");
+            assert!(stats.instr_mix.total() > 0, "{kind}");
+            let stalls = stats.stalls.expect("sim reports stalls");
+            assert_eq!(
+                stalls.issued,
+                stats.instr_mix.total(),
+                "{kind}: one issued warp-slot per instruction"
+            );
+            assert!((0.0..=1.0).contains(&stats.compute_utilization), "{kind}");
+            assert!((0.0..=1.0).contains(&stats.memory_utilization), "{kind}");
+        }
+    }
+    for expected in [
+        KernelKind::Scatter,
+        KernelKind::Sgemm,
+        KernelKind::IndexSelect,
+        KernelKind::Spgemm,
+        KernelKind::Spmm,
+    ] {
+        assert!(kinds_seen.contains(&expected), "missing {expected}");
+    }
+}
+
+#[test]
+fn hot_destination_scatter_slower_than_spread() {
+    // The paper's atomic-contention observation: a hot destination
+    // serializes the scatter reduce. Same unique edge count in both
+    // topologies, only the destination distribution differs.
+    use gsuite::graph::EdgeList;
+    use gsuite::tensor::DenseMatrix;
+    let n = 2_000usize;
+    let sim = SimProfiler::scaled(4);
+    let time_for = |pairs: Vec<(u32, u32)>| -> f64 {
+        let edges = EdgeList::from_pairs(n, &pairs).unwrap();
+        let graph =
+            gsuite::graph::Graph::new(edges, DenseMatrix::zeros(n, 16)).unwrap();
+        let cfg = RunConfig {
+            functional_math: false,
+            layers: 1,
+            hidden: 8,
+            ..RunConfig::default()
+        };
+        use gsuite::core::models::build_model;
+        let (launches, _) = build_model(&graph, &cfg).unwrap();
+        launches
+            .iter()
+            .filter(|l| l.kind == KernelKind::Scatter)
+            .map(|l| sim.profile(l.workload.as_ref()).time_ms)
+            .sum()
+    };
+    // Hot: everyone points at node 0. Spread: a ring.
+    let hot = time_for((1..n as u32).map(|i| (i, 0)).collect());
+    let spread = time_for((0..n as u32 - 1).map(|i| (i, i + 1)).collect());
+    assert!(
+        hot > spread * 1.5,
+        "hot-destination scatter ({hot:.4} ms) should far exceed ring ({spread:.4} ms)"
+    );
+}
+
+#[test]
+fn wider_features_increase_aggregation_time() {
+    let sim = SimProfiler::scaled(4).max_ctas(Some(256));
+    let time_at = |hidden: usize| -> f64 {
+        let cfg = RunConfig {
+            hidden,
+            model: GnnModel::Gcn, // aggregation runs at hidden width
+            ..base_config()
+        };
+        profile_kernels(&cfg, &sim)
+            .into_iter()
+            .filter(|(k, _)| *k == KernelKind::IndexSelect)
+            .map(|(_, s)| s.time_ms)
+            .sum()
+    };
+    assert!(time_at(64) > time_at(4));
+}
+
+#[test]
+fn cta_sampling_reports_fraction_and_extrapolates() {
+    let cfg = RunConfig {
+        model: GnnModel::Gin, // big gather grids
+        ..base_config()
+    };
+    let graph = cfg.load_graph();
+    let run = PipelineRun::build(&graph, &cfg).unwrap();
+    let is = run
+        .launches
+        .iter()
+        .find(|l| l.kind == KernelKind::IndexSelect)
+        .unwrap();
+    let full = Simulator::new(GpuConfig::v100_scaled(4), SimOptions::default());
+    let sampled = Simulator::new(
+        GpuConfig::v100_scaled(4),
+        SimOptions {
+            max_ctas: Some(8),
+            max_cycles: None,
+        },
+    );
+    let f = full.run(is.workload.as_ref());
+    let s = sampled.run(is.workload.as_ref());
+    assert!((f.sampled_fraction - 1.0).abs() < 1e-12);
+    assert!(s.sampled_fraction < 1.0);
+    // The extrapolated time estimate lands within a small factor.
+    let ratio = s.time_ms / f.time_ms;
+    assert!(
+        (0.2..5.0).contains(&ratio),
+        "extrapolation off by {ratio}x ({} vs {})",
+        s.time_ms,
+        f.time_ms
+    );
+}
+
+#[test]
+fn gcn_aggregation_idles_more_than_gin_on_small_graphs() {
+    // Fig. 7's headline: GCN MP kernels (hidden width) leave the machine
+    // idle on small datasets; GIN (input width) keeps it busy.
+    let sim = SimProfiler::scaled(16).max_ctas(Some(2048));
+    let idle_share = |model: GnnModel| -> f64 {
+        let cfg = RunConfig {
+            model,
+            dataset: Dataset::Cora,
+            scale: 0.25,
+            layers: 1,
+            hidden: 8,
+            functional_math: false,
+            ..RunConfig::default()
+        };
+        let mut idle = 0u64;
+        let mut total = 0u64;
+        for (kind, stats) in profile_kernels(&cfg, &sim) {
+            if kind == KernelKind::IndexSelect || kind == KernelKind::Scatter {
+                let occ = stats.occupancy.expect("sim occupancy");
+                idle += occ.idle;
+                total += occ.total();
+            }
+        }
+        idle as f64 / total.max(1) as f64
+    };
+    let gcn = idle_share(GnnModel::Gcn);
+    let gin = idle_share(GnnModel::Gin);
+    assert!(
+        gcn > gin,
+        "GCN idle share ({gcn:.3}) should exceed GIN's ({gin:.3})"
+    );
+}
+
+#[test]
+fn narrow_features_land_in_low_occupancy_buckets() {
+    // LiveJournal's f=1 drives SpMM/aggregation warps into the W8 bucket.
+    let sim = SimProfiler::scaled(4).max_ctas(Some(256));
+    let cfg = RunConfig {
+        dataset: Dataset::LiveJournal,
+        scale: 0.0002,
+        model: GnnModel::Gin,
+        comp: CompModel::Spmm,
+        layers: 1,
+        hidden: 8,
+        functional_math: false,
+        ..RunConfig::default()
+    };
+    for (kind, stats) in profile_kernels(&cfg, &sim) {
+        if kind == KernelKind::Spmm {
+            let occ = stats.occupancy.expect("sim occupancy");
+            assert!(
+                occ.w8 > occ.w32,
+                "f=1 SpMM should be W8-heavy: w8={} w32={}",
+                occ.w8,
+                occ.w32
+            );
+        }
+    }
+}
