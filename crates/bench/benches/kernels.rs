@@ -1,60 +1,62 @@
-//! Criterion micro-benchmarks of the core-kernel reference math
-//! (the host-side functional twins of the Table II kernels).
+//! Micro-benchmarks of the core-kernel reference math (the host-side
+//! functional twins of the Table II kernels).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gsuite_bench::microbench::Runner;
 use gsuite_graph::datasets::Dataset;
 use gsuite_tensor::ops::{self, Reduce};
 use gsuite_tensor::DenseMatrix;
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gemm");
-    group.sample_size(10);
+fn bench_gemm(r: &mut Runner) {
     for &(m, k, n) in &[(256usize, 256usize, 64usize), (512, 512, 64)] {
-        let a = DenseMatrix::from_fn(m, k, |r, cc| ((r * 31 + cc) % 17) as f32 * 0.1);
-        let b = DenseMatrix::from_fn(k, n, |r, cc| ((r * 7 + cc) % 13) as f32 * 0.1);
-        group.throughput(Throughput::Elements((m * k * n) as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{m}x{k}x{n}")),
-            &(a, b),
-            |bench, (a, b)| bench.iter(|| ops::gemm(a, b).unwrap()),
+        let a = DenseMatrix::from_fn(m, k, |row, col| ((row * 31 + col) % 17) as f32 * 0.1);
+        let b = DenseMatrix::from_fn(k, n, |row, col| ((row * 7 + col) % 13) as f32 * 0.1);
+        let elems = (m * k * n) as f64;
+        r.bench_units(
+            &format!("gemm/{m}x{k}x{n}"),
+            0.5,
+            Some((elems, "elems")),
+            || {
+                ops::gemm(&a, &b).unwrap();
+            },
         );
     }
-    group.finish();
 }
 
-fn bench_spmm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spmm");
-    group.sample_size(10);
+fn bench_spmm(r: &mut Runner) {
     for scale in [0.25, 1.0] {
         let g = Dataset::Cora.load_scaled(scale);
         let a = g.adjacency_csr_transposed();
-        let x = DenseMatrix::from_fn(g.num_nodes(), 64, |r, cc| ((r + cc) % 11) as f32 * 0.1);
-        group.throughput(Throughput::Elements(a.nnz() as u64 * 64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("cora@{scale}")),
-            &(a, x),
-            |bench, (a, x)| bench.iter(|| ops::spmm(a, x).unwrap()),
+        let x = DenseMatrix::from_fn(g.num_nodes(), 64, |row, col| {
+            ((row + col) % 11) as f32 * 0.1
+        });
+        let elems = a.nnz() as f64 * 64.0;
+        r.bench_units(
+            &format!("spmm/cora@{scale}"),
+            0.5,
+            Some((elems, "elems")),
+            || {
+                ops::spmm(&a, &x).unwrap();
+            },
         );
     }
-    group.finish();
 }
 
-fn bench_spgemm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spgemm");
-    group.sample_size(10);
+fn bench_spgemm(r: &mut Runner) {
     let g = Dataset::Cora.load_scaled(0.5);
     let at = gsuite_graph::add_self_loops(&g.adjacency_csr_transposed());
     let d = gsuite_graph::inv_sqrt_degree(&at);
-    group.throughput(Throughput::Elements(at.nnz() as u64));
-    group.bench_function("d_times_a_cora@0.5", |bench| {
-        bench.iter(|| ops::spgemm(&d, &at).unwrap())
-    });
-    group.finish();
+    let elems = at.nnz() as f64;
+    r.bench_units(
+        "spgemm/d_times_a_cora@0.5",
+        0.5,
+        Some((elems, "nnz")),
+        || {
+            ops::spgemm(&d, &at).unwrap();
+        },
+    );
 }
 
-fn bench_gather_scatter(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gather_scatter");
-    group.sample_size(10);
+fn bench_gather_scatter(r: &mut Runner) {
     let g = Dataset::Cora.load();
     let at = g.adjacency_csr_transposed();
     // endpoints sorted by destination
@@ -67,17 +69,24 @@ fn bench_gather_scatter(c: &mut Criterion) {
             dst.push(d as u32);
         }
     }
-    let x = DenseMatrix::from_fn(g.num_nodes(), 64, |r, cc| ((r + cc) % 11) as f32 * 0.1);
-    group.throughput(Throughput::Elements(src.len() as u64 * 64));
-    group.bench_function("gather_cora_f64", |bench| {
-        bench.iter(|| ops::gather_rows(&x, &src).unwrap())
+    let x = DenseMatrix::from_fn(g.num_nodes(), 64, |row, col| {
+        ((row + col) % 11) as f32 * 0.1
+    });
+    let elems = src.len() as f64 * 64.0;
+    r.bench_units("gather/cora_f64", 0.5, Some((elems, "elems")), || {
+        ops::gather_rows(&x, &src).unwrap();
     });
     let msgs = ops::gather_rows(&x, &src).unwrap();
-    group.bench_function("scatter_sum_cora_f64", |bench| {
-        bench.iter(|| ops::scatter_rows(&msgs, &dst, g.num_nodes(), Reduce::Sum).unwrap())
+    r.bench_units("scatter_sum/cora_f64", 0.5, Some((elems, "elems")), || {
+        ops::scatter_rows(&msgs, &dst, g.num_nodes(), Reduce::Sum).unwrap();
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_spmm, bench_spgemm, bench_gather_scatter);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::new("kernels");
+    bench_gemm(&mut r);
+    bench_spmm(&mut r);
+    bench_spgemm(&mut r);
+    bench_gather_scatter(&mut r);
+    r.finish_from_env();
+}

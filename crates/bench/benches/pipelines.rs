@@ -1,8 +1,8 @@
-//! Criterion benchmarks of pipeline construction, analytical profiling and
-//! cycle simulation — the throughput numbers that bound how fast the
-//! figure binaries can sweep.
+//! Benchmarks of pipeline construction, analytical profiling and cycle
+//! simulation — the throughput numbers that bound how fast the figure
+//! binaries can sweep — including the serial vs. parallel profiling paths.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gsuite_bench::microbench::Runner;
 use gsuite_core::config::{CompModel, GnnModel, RunConfig};
 use gsuite_core::pipeline::PipelineRun;
 use gsuite_graph::datasets::Dataset;
@@ -21,9 +21,7 @@ fn small_config(model: GnnModel, comp: CompModel) -> RunConfig {
     }
 }
 
-fn bench_pipeline_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline_build");
-    group.sample_size(10);
+fn bench_pipeline_build(r: &mut Runner) {
     for (model, comp, label) in [
         (GnnModel::Gcn, CompModel::Mp, "gcn_mp"),
         (GnnModel::Gcn, CompModel::Spmm, "gcn_spmm"),
@@ -32,50 +30,48 @@ fn bench_pipeline_build(c: &mut Criterion) {
     ] {
         let cfg = small_config(model, comp);
         let graph = cfg.load_graph();
-        group.bench_function(label, |b| {
-            b.iter(|| PipelineRun::build(&graph, &cfg).unwrap())
+        r.bench(&format!("build/{label}"), 0.5, || {
+            PipelineRun::build(&graph, &cfg).unwrap();
         });
     }
-    group.finish();
 }
 
-fn bench_functional_inference(c: &mut Criterion) {
-    let mut group = c.benchmark_group("functional_inference");
-    group.sample_size(10);
+fn bench_functional_inference(r: &mut Runner) {
     let cfg = RunConfig {
         functional_math: true,
         ..small_config(GnnModel::Gcn, CompModel::Mp)
     };
     let graph = cfg.load_graph();
-    group.bench_function("gcn_mp_cora@0.1", |b| {
-        b.iter(|| PipelineRun::build(&graph, &cfg).unwrap().output.sum())
+    r.bench("functional/gcn_mp_cora@0.1", 0.5, || {
+        let run = PipelineRun::build(&graph, &cfg).unwrap();
+        let _ = run.output.sum();
     });
-    group.finish();
 }
 
-fn bench_profiling_backends(c: &mut Criterion) {
-    let mut group = c.benchmark_group("profiling");
-    group.sample_size(10);
+fn bench_profiling_backends(r: &mut Runner) {
     let cfg = small_config(GnnModel::Gcn, CompModel::Mp);
     let graph = cfg.load_graph();
     let run = PipelineRun::build(&graph, &cfg).unwrap();
+    let launches = run.launch_count() as f64;
     let hw = HwProfiler::v100();
-    group.bench_function("hw_profiler_gcn_mp", |b| {
-        b.iter(|| {
+    r.bench_units(
+        "profile/hw_serial_gcn_mp",
+        1.0,
+        Some((launches, "launches")),
+        || {
             let _ = run.profile(&hw);
-        })
-    });
+        },
+    );
     let sim = SimProfiler::scaled(4).max_ctas(Some(64));
-    group.bench_function("cycle_sim_one_kernel", |b| {
-        b.iter(|| sim.profile(run.launches[2].workload.as_ref()))
+    r.bench("profile/cycle_sim_one_kernel", 1.0, || {
+        let _ = sim.profile(run.launches[2].workload.as_ref());
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_pipeline_build,
-    bench_functional_inference,
-    bench_profiling_backends
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::new("pipelines");
+    bench_pipeline_build(&mut r);
+    bench_functional_inference(&mut r);
+    bench_profiling_backends(&mut r);
+    r.finish_from_env();
+}

@@ -1,0 +1,130 @@
+//! The PR's headline benchmark: trace-replay throughput of the simulator
+//! stack on the two kernels that dominate every pipeline's device time —
+//! `SpMM` (irregular gathers) and `sgemm` (dense streaming) — plus the
+//! analytical profiler's full-trace walk and raw trace generation.
+//!
+//! Reported as **warps/s** (warps fully replayed per wall-clock second),
+//! the unit the `BENCH_*.json` trajectory files track across PRs.
+
+use std::sync::Arc;
+
+use gsuite_bench::microbench::Runner;
+use gsuite_core::kernels::{SgemmKernel, SpmmKernel};
+use gsuite_gpu::{GpuConfig, KernelWorkload, SimOptions, Simulator};
+use gsuite_graph::GraphGenerator;
+use gsuite_profile::{HwProfiler, Profiler};
+
+/// A power-law CSR shaped like a scaled citation graph (deterministic).
+fn powerlaw_csr(nodes: usize, edges: usize) -> (Arc<Vec<u32>>, Arc<Vec<u32>>) {
+    let g = GraphGenerator::new(nodes, edges)
+        .seed(42)
+        .build_graph(1)
+        .expect("valid generator args");
+    let csr = g.adjacency_csr_transposed();
+    (
+        Arc::new(csr.row_ptr().to_vec()),
+        Arc::new(csr.col_indices().to_vec()),
+    )
+}
+
+fn spmm_kernel(feat: usize) -> SpmmKernel {
+    let (rp, ci) = powerlaw_csr(4_000, 24_000);
+    SpmmKernel::new(
+        rp, ci, true, 0x1000, 0x10_000, 0x80_000, 0x100_000, 0x800_000, feat,
+    )
+}
+
+fn sgemm_kernel() -> SgemmKernel {
+    SgemmKernel::new(2_000, 64, 32, 0x1000, 0x100_000, 0x800_000)
+}
+
+fn sim() -> Simulator {
+    Simulator::new(
+        GpuConfig::v100_scaled(4),
+        SimOptions {
+            max_ctas: Some(1_024),
+            max_cycles: None,
+        },
+    )
+}
+
+/// Warps actually replayed given the CTA sampling cap.
+fn sampled_warps(w: &dyn KernelWorkload, max_ctas: u64) -> f64 {
+    let grid = w.grid();
+    (grid.ctas.min(max_ctas) * grid.warps_per_cta as u64) as f64
+}
+
+fn main() {
+    let mut r = Runner::new("trace_replay");
+    let simulator = sim();
+
+    let spmm = spmm_kernel(32);
+    let warps = sampled_warps(&spmm, 1_024);
+    r.bench_units("sim_replay/SpMM", 2.0, Some((warps, "warps")), || {
+        let stats = simulator.run(&spmm);
+        assert!(stats.cycles > 0);
+    });
+
+    let sgemm = sgemm_kernel();
+    let warps = sampled_warps(&sgemm, 1_024);
+    r.bench_units("sim_replay/sgemm", 2.0, Some((warps, "warps")), || {
+        let stats = simulator.run(&sgemm);
+        assert!(stats.cycles > 0);
+    });
+
+    // The analytical profiler walks every sampled warp trace exactly once:
+    // this isolates trace *generation + single-pass consumption* cost.
+    let hw = HwProfiler::v100().max_ctas(1_024);
+    let warps = sampled_warps(&spmm, 1_024);
+    r.bench_units("hw_profile/SpMM", 2.0, Some((warps, "warps")), || {
+        let stats = hw.profile(&spmm);
+        assert!(stats.instr_mix.total() > 0);
+    });
+    let warps = sampled_warps(&sgemm, 1_024);
+    r.bench_units("hw_profile/sgemm", 2.0, Some((warps, "warps")), || {
+        let stats = hw.profile(&sgemm);
+        assert!(stats.instr_mix.total() > 0);
+    });
+
+    // Raw trace generation over the sampled grid, no consumer: the owned
+    // shim path (fresh buffer per warp) vs the streaming arena path.
+    for (name, workload) in [
+        ("trace_gen/SpMM", &spmm as &dyn KernelWorkload),
+        ("trace_gen/sgemm", &sgemm as &dyn KernelWorkload),
+    ] {
+        let grid = workload.grid();
+        let ctas = grid.ctas.min(1_024);
+        let warps = (ctas * grid.warps_per_cta as u64) as f64;
+        r.bench_units(name, 2.0, Some((warps, "warps")), || {
+            let mut instrs = 0usize;
+            for cta in 0..ctas {
+                for warp in 0..grid.warps_per_cta {
+                    instrs += workload.trace(cta, warp).len();
+                }
+            }
+            assert!(instrs > 0);
+        });
+    }
+    for (name, workload) in [
+        ("trace_stream/SpMM", &spmm as &dyn KernelWorkload),
+        ("trace_stream/sgemm", &sgemm as &dyn KernelWorkload),
+    ] {
+        let grid = workload.grid();
+        let ctas = grid.ctas.min(1_024);
+        let warps = (ctas * grid.warps_per_cta as u64) as f64;
+        let mut buf = gsuite_gpu::TraceBuf::new();
+        r.bench_units(name, 2.0, Some((warps, "warps")), || {
+            let mut instrs = 0usize;
+            for cta in 0..ctas {
+                for warp in 0..grid.warps_per_cta {
+                    buf.clear();
+                    workload.trace_into(&mut buf, cta, warp);
+                    instrs += buf.len();
+                }
+            }
+            assert!(instrs > 0);
+        });
+    }
+
+    r.finish_from_env();
+}

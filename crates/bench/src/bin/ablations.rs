@@ -112,14 +112,17 @@ fn ablation_edge_order(opts: &BenchOpts) {
     let at = graph.adjacency_csr_transposed();
     let mut sorted: Vec<u32> = Vec::with_capacity(at.nnz());
     for d in 0..at.rows() {
-        sorted.extend(std::iter::repeat(d as u32).take(at.row_nnz(d)));
+        sorted.extend(std::iter::repeat_n(d as u32, at.row_nnz(d)));
     }
     // Deterministic shuffle (LCG index permutation).
     let n = sorted.len() as u64;
     let mut shuffled = sorted.clone();
     if n > 1 {
         for i in 0..n {
-            let j = (i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(144_115_188)) % n;
+            let j = (i
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(144_115_188))
+                % n;
             shuffled.swap(i as usize, j as usize);
         }
     }

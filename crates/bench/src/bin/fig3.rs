@@ -4,10 +4,18 @@
 //! Expected shape (paper §V-D1): PyG slowest (initialization-dominated),
 //! gSuite variants fastest; times grow strongly on Reddit/LiveJournal.
 
-use gsuite_bench::{ms, profile_pipeline, sweep_config, BenchOpts};
+use gsuite_bench::{ms, par_sweep, profile_pipeline, sweep_config, BenchOpts};
 use gsuite_core::config::{CompModel, FrameworkKind, GnnModel};
 use gsuite_graph::datasets::Dataset;
 use gsuite_profile::TextTable;
+
+/// The four framework variants of the figure, in column order.
+const VARIANTS: [(FrameworkKind, CompModel); 4] = [
+    (FrameworkKind::PygLike, CompModel::Mp),
+    (FrameworkKind::DglLike, CompModel::Spmm),
+    (FrameworkKind::GSuite, CompModel::Mp),
+    (FrameworkKind::GSuite, CompModel::Spmm),
+];
 
 fn main() {
     let opts = BenchOpts::from_env();
@@ -17,44 +25,35 @@ fn main() {
     );
 
     for model in GnnModel::ALL {
-        let mut table = TextTable::new(&[
-            "Dataset", "PyG", "DGL", "gSuite-MP", "gSuite-SpMM",
-        ]);
-        let mut device_table = TextTable::new(&[
-            "Dataset", "PyG", "DGL", "gSuite-MP", "gSuite-SpMM",
-        ]);
-        for dataset in Dataset::ALL {
-            let hw = opts.hw();
-            let cell = |fw: FrameworkKind, comp: CompModel| -> (String, String) {
-                // gSuite has no SAGE-SpMM (paper §V-A).
-                if fw == FrameworkKind::GSuite
-                    && model == GnnModel::Sage
-                    && comp == CompModel::Spmm
-                {
-                    return ("n/a".to_string(), "n/a".to_string());
-                }
-                let cfg = sweep_config(&opts, fw, model, comp, dataset);
-                let p = profile_pipeline(&cfg, &hw);
-                (ms(p.total_time_ms()), ms(p.device_time_ms()))
-            };
-            let pyg = cell(FrameworkKind::PygLike, CompModel::Mp);
-            let dgl = cell(FrameworkKind::DglLike, CompModel::Spmm);
-            let gs_mp = cell(FrameworkKind::GSuite, CompModel::Mp);
-            let gs_sp = cell(FrameworkKind::GSuite, CompModel::Spmm);
-            table.row_owned(vec![
-                dataset.short().to_string(),
-                pyg.0,
-                dgl.0,
-                gs_mp.0,
-                gs_sp.0,
-            ]);
-            device_table.row_owned(vec![
-                dataset.short().to_string(),
-                pyg.1,
-                dgl.1,
-                gs_mp.1,
-                gs_sp.1,
-            ]);
+        // Every (dataset, framework) cell is an independent build+profile:
+        // fan the whole figure across cores and assemble rows in order.
+        let cells: Vec<(Dataset, FrameworkKind, CompModel)> = Dataset::ALL
+            .iter()
+            .flat_map(|&dataset| VARIANTS.iter().map(move |&(fw, comp)| (dataset, fw, comp)))
+            .collect();
+        let results = par_sweep(&cells, |&(dataset, fw, comp)| {
+            // gSuite has no SAGE-SpMM (paper §V-A).
+            if fw == FrameworkKind::GSuite && model == GnnModel::Sage && comp == CompModel::Spmm {
+                return ("n/a".to_string(), "n/a".to_string());
+            }
+            let cfg = sweep_config(&opts, fw, model, comp, dataset);
+            let p = profile_pipeline(&cfg, &opts.hw());
+            (ms(p.total_time_ms()), ms(p.device_time_ms()))
+        });
+
+        let mut table = TextTable::new(&["Dataset", "PyG", "DGL", "gSuite-MP", "gSuite-SpMM"]);
+        let mut device_table =
+            TextTable::new(&["Dataset", "PyG", "DGL", "gSuite-MP", "gSuite-SpMM"]);
+        for (row, dataset) in Dataset::ALL.iter().enumerate() {
+            let cells = &results[row * VARIANTS.len()..(row + 1) * VARIANTS.len()];
+            let mut total = vec![dataset.short().to_string()];
+            let mut device = vec![dataset.short().to_string()];
+            for (t, d) in cells {
+                total.push(t.clone());
+                device.push(d.clone());
+            }
+            table.row_owned(total);
+            device_table.row_owned(device);
         }
         opts.emit(
             &format!("fig3_{}", model.name().to_lowercase()),

@@ -5,7 +5,7 @@
 //! framework — is the main determinant of the distribution; sgemm's share
 //! grows with feature width, scatter/indexSelect's with edge count.
 
-use gsuite_bench::{pct, profile_pipeline, sweep_config, BenchOpts};
+use gsuite_bench::{par_sweep, pct, profile_pipeline, sweep_config, BenchOpts};
 use gsuite_core::config::{CompModel, FrameworkKind, GnnModel};
 use gsuite_graph::datasets::Dataset;
 use gsuite_profile::TextTable;
@@ -33,9 +33,16 @@ fn main() {
                 continue;
             }
             let mut table = TextTable::new(&[
-                "Dataset", "sgemm", "scatter", "indexSelect", "SpMM", "SpGEMM", "other",
+                "Dataset",
+                "sgemm",
+                "scatter",
+                "indexSelect",
+                "SpMM",
+                "SpGEMM",
+                "other",
             ]);
-            for dataset in Dataset::ALL {
+            // One independent build+profile per dataset: fan across cores.
+            let rows = par_sweep(&Dataset::ALL, |&dataset| {
                 let cfg = sweep_config(&opts, fw, model, comp, dataset);
                 let profile = profile_pipeline(&cfg, &opts.hw());
                 let shares = profile.kernel_time_shares();
@@ -48,6 +55,9 @@ fn main() {
                 };
                 let mut row = vec![dataset.short().to_string()];
                 row.extend(KERNEL_COLUMNS.iter().map(|k| share_of(k)));
+                row
+            });
+            for row in rows {
                 table.row_owned(row);
             }
             opts.emit(

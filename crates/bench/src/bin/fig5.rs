@@ -6,7 +6,7 @@
 //! integer (address-arithmetic) instructions, sgemm by FP32; the
 //! distribution is a *kernel* property, stable across models and datasets.
 
-use gsuite_bench::{pct, profile_pipeline, sweep_config, BenchOpts};
+use gsuite_bench::{par_sweep, pct, profile_pipeline, sweep_config, BenchOpts};
 use gsuite_core::config::{CompModel, FrameworkKind, GnnModel};
 use gsuite_graph::datasets::Dataset;
 use gsuite_profile::TextTable;
@@ -16,18 +16,47 @@ fn main() {
     opts.header("Fig. 5", "instruction breakdown (%) of the core kernels");
 
     let cases: [(&str, GnnModel, Dataset, CompModel, &[&str]); 4] = [
-        ("gSuite-MP GCN-CR", GnnModel::Gcn, Dataset::Cora, CompModel::Mp, &["sgemm", "scatter", "indexSelect"]),
-        ("gSuite-MP GIN-LJ", GnnModel::Gin, Dataset::LiveJournal, CompModel::Mp, &["sgemm", "scatter", "indexSelect"]),
-        ("gSuite-SpMM GCN-CR", GnnModel::Gcn, Dataset::Cora, CompModel::Spmm, &["SpMM", "SpGEMM", "sgemm"]),
-        ("gSuite-SpMM GIN-LJ", GnnModel::Gin, Dataset::LiveJournal, CompModel::Spmm, &["SpMM", "sgemm"]),
+        (
+            "gSuite-MP GCN-CR",
+            GnnModel::Gcn,
+            Dataset::Cora,
+            CompModel::Mp,
+            &["sgemm", "scatter", "indexSelect"],
+        ),
+        (
+            "gSuite-MP GIN-LJ",
+            GnnModel::Gin,
+            Dataset::LiveJournal,
+            CompModel::Mp,
+            &["sgemm", "scatter", "indexSelect"],
+        ),
+        (
+            "gSuite-SpMM GCN-CR",
+            GnnModel::Gcn,
+            Dataset::Cora,
+            CompModel::Spmm,
+            &["SpMM", "SpGEMM", "sgemm"],
+        ),
+        (
+            "gSuite-SpMM GIN-LJ",
+            GnnModel::Gin,
+            Dataset::LiveJournal,
+            CompModel::Spmm,
+            &["SpMM", "sgemm"],
+        ),
     ];
 
-    for (label, model, dataset, comp, kernels) in cases {
+    // The four cases are independent build+profiles: fan across cores.
+    let profiles = par_sweep(&cases, |&(_, model, dataset, comp, _)| {
         let cfg = sweep_config(&opts, FrameworkKind::GSuite, model, comp, dataset);
-        let profile = profile_pipeline(&cfg, &opts.hw());
+        profile_pipeline(&cfg, &opts.hw())
+    });
+
+    for ((label, _, _, _, kernels), profile) in cases.iter().zip(&profiles) {
         let merged = profile.merged_by_kernel();
-        let mut table = TextTable::new(&["Kernel", "FP32", "INT", "Load/Store", "Control", "other"]);
-        for kernel in kernels {
+        let mut table =
+            TextTable::new(&["Kernel", "FP32", "INT", "Load/Store", "Control", "other"]);
+        for kernel in *kernels {
             let Some(k) = merged.iter().find(|k| k.kernel == *kernel) else {
                 continue;
             };
@@ -42,10 +71,7 @@ fn main() {
             ]);
         }
         opts.emit(
-            &format!(
-                "fig5_{}",
-                label.to_lowercase().replace([' ', '-'], "_")
-            ),
+            &format!("fig5_{}", label.to_lowercase().replace([' ', '-'], "_")),
             &format!("Instruction breakdown — {label}"),
             &table,
         );

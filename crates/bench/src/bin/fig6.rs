@@ -6,11 +6,11 @@
 //! average in the paper), growing with dataset size for every kernel
 //! except sgemm.
 
-use gsuite_bench::{pct, profile_pipeline, sweep_config, BenchOpts};
+use gsuite_bench::{par_sweep, pct, profile_pipeline, sweep_config, BenchOpts};
 use gsuite_core::config::{CompModel, FrameworkKind, GnnModel};
+use gsuite_gpu::StallReason;
 use gsuite_graph::datasets::Dataset;
 use gsuite_profile::TextTable;
-use gsuite_gpu::StallReason;
 
 fn main() {
     let opts = BenchOpts::from_env();
@@ -43,10 +43,14 @@ fn main() {
                 "Sync",
                 "NotSelected",
             ]);
-            for dataset in Dataset::ALL {
+            // One independent cycle-simulated pipeline per dataset: fan the
+            // expensive simulations across cores, then render in order.
+            let profiles = par_sweep(&Dataset::ALL, |&dataset| {
                 let cfg = sweep_config(&opts, FrameworkKind::GSuite, model, comp, dataset);
                 let sim = opts.sim_for(dataset);
-                let profile = profile_pipeline(&cfg, &sim);
+                profile_pipeline(&cfg, &sim)
+            });
+            for (dataset, profile) in Dataset::ALL.iter().zip(&profiles) {
                 for kernel in kernels {
                     let merged = profile.merged_by_kernel();
                     let Some(k) = merged.iter().find(|k| k.kernel == *kernel) else {

@@ -6,7 +6,7 @@
 //! width) idle heavily on the small datasets, GIN/SAGE (input width) keep
 //! the machine busy; sgemm is immune to the model choice.
 
-use gsuite_bench::{pct, profile_pipeline, sweep_config, BenchOpts};
+use gsuite_bench::{par_sweep, pct, profile_pipeline, sweep_config, BenchOpts};
 use gsuite_core::config::{CompModel, FrameworkKind, GnnModel};
 use gsuite_graph::datasets::Dataset;
 use gsuite_profile::TextTable;
@@ -20,13 +20,14 @@ fn main() {
 
     let kernels = ["sgemm", "scatter", "indexSelect"];
     for model in GnnModel::ALL {
-        let mut table = TextTable::new(&[
-            "Dataset", "Kernel", "Stall", "Idle", "W8", "W20", "W32",
-        ]);
-        for dataset in Dataset::ALL {
+        let mut table = TextTable::new(&["Dataset", "Kernel", "Stall", "Idle", "W8", "W20", "W32"]);
+        // Independent cycle simulations per dataset: fan across cores.
+        let profiles = par_sweep(&Dataset::ALL, |&dataset| {
             let cfg = sweep_config(&opts, FrameworkKind::GSuite, model, CompModel::Mp, dataset);
             let sim = opts.sim_for(dataset);
-            let profile = profile_pipeline(&cfg, &sim);
+            profile_pipeline(&cfg, &sim)
+        });
+        for (dataset, profile) in Dataset::ALL.iter().zip(&profiles) {
             let merged = profile.merged_by_kernel();
             for kernel in kernels {
                 let Some(k) = merged.iter().find(|k| k.kernel == kernel) else {

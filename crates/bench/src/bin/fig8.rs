@@ -6,7 +6,7 @@
 //! better than L2 rates; the mismatch is worst for the small inputs
 //! (CR/CS); larger inputs drive both hit rates down.
 
-use gsuite_bench::{pct, profile_pipeline, sweep_config, BenchOpts};
+use gsuite_bench::{par_sweep, pct, profile_pipeline, sweep_config, BenchOpts};
 use gsuite_core::config::{CompModel, FrameworkKind, GnnModel};
 use gsuite_graph::datasets::Dataset;
 use gsuite_profile::{PipelineProfile, TextTable};
@@ -32,10 +32,17 @@ fn main() {
             "L2 (NVProf)",
             "L2 (Sim)",
         ]);
-        for dataset in Dataset::ALL {
-            let cfg = sweep_config(&opts, FrameworkKind::GSuite, model, CompModel::Mp, dataset);
-            let hw: PipelineProfile = profile_pipeline(&cfg, &opts.hw());
-            let sim: PipelineProfile = profile_pipeline(&cfg, &opts.sim_for(dataset));
+        // One task per dataset, each measuring both backends (hw then sim)
+        // so the per-dataset comparison pair stays together; the five
+        // tasks fan across cores.
+        let profiles: Vec<(PipelineProfile, PipelineProfile)> =
+            par_sweep(&Dataset::ALL, |&dataset| {
+                let cfg = sweep_config(&opts, FrameworkKind::GSuite, model, CompModel::Mp, dataset);
+                let hw = profile_pipeline(&cfg, &opts.hw());
+                let sim = profile_pipeline(&cfg, &opts.sim_for(dataset));
+                (hw, sim)
+            });
+        for (dataset, (hw, sim)) in Dataset::ALL.iter().zip(&profiles) {
             let hw_merged = hw.merged_by_kernel();
             let sim_merged = sim.merged_by_kernel();
             for kernel in kernels {

@@ -8,7 +8,12 @@ fn main() {
     let opts = BenchOpts::from_env();
     opts.header("Table II", "core MP and SpMM kernels");
 
-    let mut table = TextTable::new(&["Kernel Name", "Computational Model", "Short Form", "Description"]);
+    let mut table = TextTable::new(&[
+        "Kernel Name",
+        "Computational Model",
+        "Short Form",
+        "Description",
+    ]);
     table.row(&[
         "indexSelect",
         "MP",
@@ -33,7 +38,11 @@ fn main() {
         "sp",
         "Matrix multiplication of two sparse matrices.",
     ]);
-    opts.emit("table2", "Core MP and SpMM kernels (paper Table II)", &table);
+    opts.emit(
+        "table2",
+        "Core MP and SpMM kernels (paper Table II)",
+        &table,
+    );
 
     // Cross-check: the implemented kernel taxonomy uses the same names.
     use gsuite_core::kernels::KernelKind;

@@ -10,7 +10,8 @@ fn main() {
     let opts = BenchOpts::from_env();
     opts.header("Table IV", "included datasets");
 
-    let mut spec_table = TextTable::new(&["Dataset", "Nodes", "Feature Length", "Edges", "Short Form"]);
+    let mut spec_table =
+        TextTable::new(&["Dataset", "Nodes", "Feature Length", "Edges", "Short Form"]);
     for d in Dataset::ALL {
         let s = d.spec();
         spec_table.row_owned(vec![
@@ -21,10 +22,20 @@ fn main() {
             s.short.to_string(),
         ]);
     }
-    opts.emit("table4_spec", "Dataset specifications (paper Table IV)", &spec_table);
+    opts.emit(
+        "table4_spec",
+        "Dataset specifications (paper Table IV)",
+        &spec_table,
+    );
 
     let mut gen_table = TextTable::new(&[
-        "Dataset", "Scale", "Nodes", "Edges", "Feature Length", "Avg Degree", "Max Degree",
+        "Dataset",
+        "Scale",
+        "Nodes",
+        "Edges",
+        "Feature Length",
+        "Avg Degree",
+        "Max Degree",
     ]);
     for d in Dataset::ALL {
         let scale = opts.scale_for(d);

@@ -21,6 +21,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod microbench;
+
 use std::path::PathBuf;
 
 use gsuite_core::config::{CompModel, FrameworkKind, GnnModel, RunConfig};
@@ -195,6 +197,24 @@ pub fn profile_pipeline(config: &RunConfig, profiler: &dyn Profiler) -> Pipeline
     let run = PipelineRun::build(&graph, config)
         .unwrap_or_else(|e| panic!("cannot build {}: {e}", config.label()));
     run.profile(profiler)
+}
+
+/// Runs `f` over every sweep point in parallel, returning results in input
+/// order — the figure binaries' fan-out primitive.
+///
+/// Every `(framework, model, dataset)` cell of a paper figure is an
+/// independent build+profile, so the sweep is embarrassingly parallel;
+/// input-order results keep table rows deterministic regardless of core
+/// count (`GSUITE_THREADS=1` forces a serial sweep). Cells that would be
+/// invalid combinations should be encoded by `f` returning a placeholder,
+/// not by panicking.
+pub fn par_sweep<C, R, F>(points: &[C], f: F) -> Vec<R>
+where
+    C: Sync,
+    R: Send,
+    F: Fn(&C) -> R + Sync,
+{
+    gsuite_par::par_map(points, |_, point| f(point))
 }
 
 /// The `(model, comp)` pairs gSuite provides (paper §V-A: SAGE is MP-only).

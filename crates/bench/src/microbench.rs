@@ -1,0 +1,213 @@
+//! A tiny wall-clock micro-benchmark harness — the offline stand-in for
+//! criterion used by the `benches/` targets.
+//!
+//! Each measurement runs a closure for a warm-up phase and then a timed
+//! phase, reporting the mean per-iteration time and an optional domain
+//! throughput (e.g. *warps/s* for trace replay). Results render as an
+//! aligned table on stdout and, with `--json PATH`, as a machine-readable
+//! JSON document — `scripts/bench.sh` merges those into the repository's
+//! `BENCH_*.json` trajectory files.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id, e.g. `"sim_replay/SpMM"`.
+    pub name: String,
+    /// Timed iterations.
+    pub iters: u64,
+    /// Total timed seconds.
+    pub total_s: f64,
+    /// Work units per iteration and their unit label (e.g. warps), for
+    /// throughput reporting.
+    pub units_per_iter: Option<(f64, &'static str)>,
+}
+
+impl BenchResult {
+    /// Mean seconds per iteration.
+    pub fn per_iter_s(&self) -> f64 {
+        self.total_s / self.iters.max(1) as f64
+    }
+
+    /// Units per second, when a unit was declared.
+    pub fn throughput(&self) -> Option<(f64, &'static str)> {
+        self.units_per_iter
+            .map(|(units, label)| (units * self.iters as f64 / self.total_s.max(1e-12), label))
+    }
+}
+
+/// Collects measurements for one bench binary.
+#[derive(Debug, Default)]
+pub struct Runner {
+    /// Group label prefixed to result names.
+    group: String,
+    results: Vec<BenchResult>,
+}
+
+impl Runner {
+    /// A runner whose results are prefixed `group/`.
+    pub fn new(group: &str) -> Self {
+        Runner {
+            group: group.to_string(),
+            results: Vec::new(),
+        }
+    }
+
+    /// All measurements so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Times `f`, auto-scaling the iteration count so the timed phase runs
+    /// for roughly `target_s` seconds (one warm-up call is always made).
+    pub fn bench<F: FnMut()>(&mut self, name: &str, target_s: f64, f: F) -> &BenchResult {
+        self.bench_units(name, target_s, None, f)
+    }
+
+    /// Like [`Runner::bench`] with a work-unit count per iteration, so the
+    /// report includes a throughput column.
+    ///
+    /// The timed phase is split into several batches and the **fastest**
+    /// batch is reported — the standard protocol for noisy shared machines,
+    /// where the minimum is the best estimator of intrinsic cost.
+    pub fn bench_units<F: FnMut()>(
+        &mut self,
+        name: &str,
+        target_s: f64,
+        units_per_iter: Option<(f64, &'static str)>,
+        mut f: F,
+    ) -> &BenchResult {
+        const BATCHES: u64 = 5;
+        // Warm-up + calibration: run once, estimate the per-iter cost.
+        let t0 = Instant::now();
+        f();
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        let per_batch = ((target_s / BATCHES as f64 / once).ceil() as u64).clamp(1, 1_000_000);
+        let mut best_s = f64::INFINITY;
+        for _ in 0..BATCHES {
+            let t1 = Instant::now();
+            for _ in 0..per_batch {
+                f();
+            }
+            best_s = best_s.min(t1.elapsed().as_secs_f64());
+        }
+        let result = BenchResult {
+            name: format!("{}/{}", self.group, name),
+            iters: per_batch,
+            total_s: best_s,
+            units_per_iter,
+        };
+        println!("{}", render_line(&result));
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    /// Renders the result table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.results {
+            let _ = writeln!(out, "{}", render_line(r));
+        }
+        out
+    }
+
+    /// Serializes all results as a JSON array (hand-rolled; stable field
+    /// order, no external dependencies).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let sep = if i + 1 == self.results.len() { "" } else { "," };
+            let throughput = r
+                .throughput()
+                .map(|(v, u)| format!(",\"throughput\":{v:.3},\"unit\":\"{u}/s\""))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "  {{\"name\":\"{}\",\"iters\":{},\"total_s\":{:.6},\"per_iter_ms\":{:.6}{}}}{}",
+                r.name,
+                r.iters,
+                r.total_s,
+                r.per_iter_s() * 1e3,
+                throughput,
+                sep
+            );
+        }
+        out.push(']');
+        out
+    }
+
+    /// Handles the common bench-binary CLI: ignores harness flags cargo
+    /// passes (`--bench`), honors `--json PATH`, then writes the JSON.
+    pub fn finish_from_env(&self) {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut json_path: Option<String> = None;
+        let mut i = 0;
+        while i < args.len() {
+            if args[i] == "--json" {
+                json_path = args.get(i + 1).cloned();
+                i += 2;
+            } else {
+                i += 1; // tolerate --bench and filters from the cargo harness
+            }
+        }
+        if let Some(path) = json_path.or_else(|| std::env::var("GSUITE_BENCH_JSON").ok()) {
+            std::fs::write(&path, self.to_json()).expect("write bench json");
+            println!("[json] {path}");
+        }
+    }
+}
+
+fn render_line(r: &BenchResult) -> String {
+    let per = r.per_iter_s();
+    let time = if per >= 1.0 {
+        format!("{per:.3} s")
+    } else if per >= 1e-3 {
+        format!("{:.3} ms", per * 1e3)
+    } else {
+        format!("{:.3} us", per * 1e6)
+    };
+    match r.throughput() {
+        Some((tput, unit)) => format!(
+            "{:<44} {:>12}/iter  {:>14.0} {unit}/s  ({} iters)",
+            r.name, time, tput, r.iters
+        ),
+        None => format!("{:<44} {:>12}/iter  ({} iters)", r.name, time, r.iters),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_and_renders() {
+        let mut r = Runner::new("t");
+        let mut x = 0u64;
+        r.bench_units("spin", 0.01, Some((100.0, "ops")), || {
+            for i in 0..1000 {
+                x = x.wrapping_add(i);
+            }
+        });
+        assert_eq!(r.results().len(), 1);
+        let res = &r.results()[0];
+        assert!(res.iters >= 1);
+        assert!(res.total_s > 0.0);
+        let (tput, unit) = res.throughput().unwrap();
+        assert!(tput > 0.0);
+        assert_eq!(unit, "ops");
+        assert!(r.render().contains("t/spin"));
+    }
+
+    #[test]
+    fn json_shape_is_valid_enough() {
+        let mut r = Runner::new("g");
+        r.bench("noop", 0.001, || {});
+        let j = r.to_json();
+        assert!(j.starts_with('['));
+        assert!(j.ends_with(']'));
+        assert!(j.contains("\"name\":\"g/noop\""));
+        assert!(j.contains("per_iter_ms"));
+    }
+}

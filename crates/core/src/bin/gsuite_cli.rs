@@ -139,7 +139,14 @@ fn run(args: &[String]) -> Result<(), String> {
 
     if !quiet {
         let mut table = TextTable::new(&[
-            "#", "kernel", "time (ms)", "instr", "L1 hit", "L2 hit", "comp util", "mem util",
+            "#",
+            "kernel",
+            "time (ms)",
+            "instr",
+            "L1 hit",
+            "L2 hit",
+            "comp util",
+            "mem util",
         ]);
         for (i, k) in profile.kernels.iter().enumerate() {
             table.row_owned(vec![
@@ -176,9 +183,9 @@ fn run(args: &[String]) -> Result<(), String> {
 /// actually passed.
 fn merge(mut base: RunConfig, overrides: RunConfig, raw_flags: &[String]) -> RunConfig {
     let passed = |key: &str| {
-        raw_flags.iter().any(|a| {
-            a == &format!("--{key}") || a.starts_with(&format!("--{key}="))
-        })
+        raw_flags
+            .iter()
+            .any(|a| a == &format!("--{key}") || a.starts_with(&format!("--{key}=")))
     };
     if passed("model") {
         base.model = overrides.model;

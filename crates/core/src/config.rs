@@ -226,15 +226,13 @@ impl RunConfig {
             expected: expected.to_string(),
         };
         match key {
-            "model" => {
-                self.model = GnnModel::parse(value).ok_or_else(|| invalid("gcn|gin|sag"))?
-            }
+            "model" => self.model = GnnModel::parse(value).ok_or_else(|| invalid("gcn|gin|sag"))?,
             "comp" | "computational-model" => {
                 self.comp = CompModel::parse(value).ok_or_else(|| invalid("mp|spmm"))?
             }
             "dataset" => {
-                self.dataset =
-                    Dataset::parse(value).ok_or_else(|| invalid("cora|citeseer|pubmed|reddit|livejournal"))?
+                self.dataset = Dataset::parse(value)
+                    .ok_or_else(|| invalid("cora|citeseer|pubmed|reddit|livejournal"))?
             }
             "scale" => {
                 let v: f64 = value.parse().map_err(|_| invalid("float in (0,1]"))?;
@@ -378,10 +376,8 @@ mod tests {
     #[test]
     fn config_file_round_trip() {
         let mut c = RunConfig::default();
-        c.apply_file(
-            "# defaults\nmodel = sag\ncomp = mp\nhidden = 32 # wide\n\nscale = 0.5\n",
-        )
-        .unwrap();
+        c.apply_file("# defaults\nmodel = sag\ncomp = mp\nhidden = 32 # wide\n\nscale = 0.5\n")
+            .unwrap();
         assert_eq!(c.model, GnnModel::Sage);
         assert_eq!(c.hidden, 32);
         assert!((c.scale - 0.5).abs() < 1e-12);

@@ -19,9 +19,7 @@ pub const ALLOC_ALIGN: u64 = 256;
 impl AddressSpace {
     /// A fresh address space starting at a nonzero device-like offset.
     pub fn new() -> Self {
-        AddressSpace {
-            next: 0x7000_0000,
-        }
+        AddressSpace { next: 0x7000_0000 }
     }
 
     /// Allocates `bytes` and returns the base address (256-byte aligned).

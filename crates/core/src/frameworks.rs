@@ -87,7 +87,9 @@ pub fn build_pipeline(graph: &Graph, config: &RunConfig) -> Result<(Vec<Launch>,
     };
     let launches = match config.framework {
         FrameworkKind::GSuite => launches,
-        FrameworkKind::PygLike => insert_wrappers(launches, &[KernelKind::IndexSelect, KernelKind::Scatter]),
+        FrameworkKind::PygLike => {
+            insert_wrappers(launches, &[KernelKind::IndexSelect, KernelKind::Scatter])
+        }
         FrameworkKind::DglLike => insert_wrappers(launches, &[KernelKind::Spmm]),
     };
     Ok((launches, output))

@@ -3,7 +3,7 @@
 //! frameworks insert between the Table II primitives (reported as "other"
 //! in the paper's kernel-time figures).
 
-use gsuite_gpu::{Grid, Instr, KernelWorkload, TraceBuilder};
+use gsuite_gpu::{Grid, KernelWorkload, TraceBuf, TraceBuilder};
 
 use super::{warp_window, CTA_THREADS};
 
@@ -118,11 +118,11 @@ impl KernelWorkload for ElementwiseKernel {
         Grid::cover(self.elems, CTA_THREADS as u32)
     }
 
-    fn trace(&self, cta: u64, warp: u32) -> Vec<Instr> {
+    fn trace_into(&self, buf: &mut TraceBuf, cta: u64, warp: u32) {
         let Some((t0, active)) = warp_window(cta, warp, self.elems) else {
-            return Vec::new();
+            return;
         };
-        let mut tb = TraceBuilder::new(active);
+        let mut tb = TraceBuilder::on(buf, active);
         tb.int(&[]);
         let a = tb.load_lanes(self.a_base + t0 * 4, 4);
         let result = match self.op {
@@ -136,16 +136,12 @@ impl KernelWorkload for ElementwiseKernel {
             EwOp::RowScale => {
                 let f = self.feat as u64;
                 let s_base = self.s_base.expect("rowscale has s");
-                let s_addrs: Vec<u64> = (0..active as u64)
-                    .map(|l| s_base + ((t0 + l) / f) * 4)
-                    .collect();
-                let s = tb.load_gather(&s_addrs, 4, &[]);
+                let s = tb.load_gather_with(4, &[], |l| s_base + ((t0 + l) / f) * 4);
                 tb.fp32(&[a, s])
             }
         };
         tb.store_lanes(result, self.out_base + t0 * 4, 4);
         tb.control();
-        tb.finish()
     }
 }
 
@@ -179,13 +175,12 @@ mod tests {
     fn row_scale_gathers_per_row() {
         let k = ElementwiseKernel::row_scale(0x100, 0x9000, 0x300, 64, 8);
         let t = k.trace(0, 0);
-        let gather = t
-            .iter()
-            .filter(|i| i.class == InstrClass::LoadGlobal)
+        let gather_idx = (0..t.len())
+            .filter(|&i| t[i].class == InstrClass::LoadGlobal)
             .nth(1)
             .unwrap();
         let mut addrs = Vec::new();
-        gather.mem.as_ref().unwrap().lane_addrs(&mut addrs);
+        t.mem_at(gather_idx).unwrap().lane_addrs(&mut addrs);
         // 8-wide rows: lanes 0..7 share row 0's scale, lanes 8..15 row 1's.
         assert_eq!(addrs[0], 0x9000);
         assert_eq!(addrs[7], 0x9000);
@@ -214,10 +209,7 @@ mod tests {
 
     #[test]
     fn names_include_variant() {
-        assert_eq!(
-            ElementwiseKernel::relu(0, 0, 1).name(),
-            "elementwise-relu"
-        );
+        assert_eq!(ElementwiseKernel::relu(0, 0, 1).name(), "elementwise-relu");
         assert_eq!(EwOp::RowScale.label(), "rowscale");
     }
 }

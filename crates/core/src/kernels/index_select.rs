@@ -3,9 +3,9 @@
 
 use std::sync::Arc;
 
-use gsuite_gpu::{Grid, Instr, KernelWorkload, TraceBuilder};
+use gsuite_gpu::{Grid, KernelWorkload, Reg, TraceBuf, TraceBuilder};
 
-use super::{warp_window, CTA_THREADS};
+use super::CTA_THREADS;
 #[cfg(test)]
 use super::CTA_WARPS;
 
@@ -53,20 +53,10 @@ impl IndexSelectKernel {
         self.index.len() as u64 * self.feat as u64
     }
 
-    /// The 32-element windows warp `(cta, warp)` covers:
-    /// `(element0, active_lanes)` per group.
-    fn groups(&self, cta: u64, warp: u32) -> Vec<(u64, usize)> {
-        let total = self.total_elements();
-        let threads = total.div_ceil(IS_COARSEN);
-        let Some((thread0, _)) = warp_window(cta, warp, threads) else {
-            return Vec::new();
-        };
-        let e_base = thread0 * IS_COARSEN;
-        (0..IS_COARSEN)
-            .map(|g| e_base + g * 32)
-            .filter(|&start| start < total)
-            .map(|start| (start, ((total - start).min(32)) as usize))
-            .collect()
+    /// The 32-element windows warp `(cta, warp)` covers (at most
+    /// [`IS_COARSEN`] groups, in a fixed array — no allocation).
+    fn groups(&self, cta: u64, warp: u32) -> super::CoarsenedGroups<{ IS_COARSEN as usize }> {
+        super::coarsened_groups(cta, warp, self.total_elements())
     }
 }
 
@@ -82,63 +72,53 @@ impl KernelWorkload for IndexSelectKernel {
         )
     }
 
-    fn trace(&self, cta: u64, warp: u32) -> Vec<Instr> {
+    fn trace_into(&self, buf: &mut TraceBuf, cta: u64, warp: u32) {
         let f = self.feat as u64;
-        let groups = self.groups(cta, warp);
+        let (groups, ngroups) = self.groups(cta, warp);
+        let groups = &groups[..ngroups];
         if groups.is_empty() {
-            return Vec::new();
+            return;
         }
-        let mut tb = TraceBuilder::new(groups[0].1);
+        let mut tb = TraceBuilder::on(buf, groups[0].1);
         let e_reg = tb.int(&[]);
         tb.int(&[e_reg]);
         // Phase 1: endpoint loads for every group (all in flight at once).
         // Each access carries its SASS-level address arithmetic: an IMAD
         // for the element index and a 64-bit base+offset add.
-        let mut idx_regs = Vec::with_capacity(groups.len());
-        for &(t0, active) in &groups {
+        let mut idx_regs = [0 as Reg; IS_COARSEN as usize];
+        for (g, &(t0, active)) in groups.iter().enumerate() {
             tb.set_active(active);
             let ea = tb.int(&[e_reg]);
             tb.int(&[ea]);
-            let idx_addrs: Vec<u64> = (0..active as u64)
-                .map(|l| self.index_base + ((t0 + l) / f) * 4)
-                .collect();
-            idx_regs.push(tb.load_gather(&idx_addrs, 4, &[ea]));
+            idx_regs[g] = tb.load_gather_with(4, &[ea], |l| self.index_base + ((t0 + l) / f) * 4);
         }
         // Phase 2: row gathers from the source matrix (row*f IMAD + column
         // add + 64-bit address formation per access).
-        let mut values = Vec::with_capacity(groups.len());
-        for (&(t0, active), &idx_reg) in groups.iter().zip(&idx_regs) {
+        let mut values = [0 as Reg; IS_COARSEN as usize];
+        for (g, &(t0, active)) in groups.iter().enumerate() {
             tb.set_active(active);
-            let ra = tb.int(&[idx_reg]);
+            let ra = tb.int(&[idx_regs[g]]);
             let rb = tb.int(&[ra]);
             tb.int(&[rb]);
-            let src_addrs: Vec<u64> = (0..active as u64)
-                .map(|l| {
-                    let t = t0 + l;
-                    let row = self.index[(t / f) as usize] as u64;
-                    self.src_base + (row * f + t % f) * 4
-                })
-                .collect();
-            values.push(tb.load_gather(&src_addrs, 4, &[rb]));
+            values[g] = tb.load_gather_with(4, &[rb], |l| {
+                let t = t0 + l;
+                let row = self.index[(t / f) as usize] as u64;
+                self.src_base + (row * f + t % f) * 4
+            });
         }
         // Optional GCN normalization: degree gathers + rsqrt + scale.
         if let Some(scale) = &self.scale {
-            for (g, (&(t0, active), &idx_reg)) in groups.iter().zip(&idx_regs).enumerate() {
+            for (g, &(t0, active)) in groups.iter().enumerate() {
                 tb.set_active(active);
-                let dsrc_addrs: Vec<u64> = (0..active as u64)
-                    .map(|l| {
-                        let e = (t0 + l) / f;
-                        scale.deg_base + self.index[e as usize] as u64 * 4
-                    })
-                    .collect();
-                let ddst_addrs: Vec<u64> = (0..active as u64)
-                    .map(|l| {
-                        let e = (t0 + l) / f;
-                        scale.deg_base + scale.dst[e as usize] as u64 * 4
-                    })
-                    .collect();
-                let dsrc = tb.load_gather(&dsrc_addrs, 4, &[idx_reg]);
-                let ddst = tb.load_gather(&ddst_addrs, 4, &[idx_reg]);
+                let idx_reg = idx_regs[g];
+                let dsrc = tb.load_gather_with(4, &[idx_reg], |l| {
+                    let e = (t0 + l) / f;
+                    scale.deg_base + self.index[e as usize] as u64 * 4
+                });
+                let ddst = tb.load_gather_with(4, &[idx_reg], |l| {
+                    let e = (t0 + l) / f;
+                    scale.deg_base + scale.dst[e as usize] as u64 * 4
+                });
                 let r1 = tb.sfu(&[dsrc]);
                 let r2 = tb.sfu(&[ddst]);
                 let m1 = tb.fp32(&[values[g], r1]);
@@ -146,13 +126,12 @@ impl KernelWorkload for IndexSelectKernel {
             }
         }
         // Phase 3: coalesced stores (output address add per group).
-        for (&(t0, active), &value) in groups.iter().zip(&values) {
+        for (g, &(t0, active)) in groups.iter().enumerate() {
             tb.set_active(active);
             tb.int(&[]);
-            tb.store_lanes(value, self.out_base + t0 * 4, 4);
+            tb.store_lanes(values[g], self.out_base + t0 * 4, 4);
         }
         tb.control();
-        tb.finish()
     }
 }
 
@@ -179,7 +158,10 @@ mod tests {
         let grid = k.grid();
         // Each thread handles IS_COARSEN elements.
         assert!(grid.ctas * CTA_THREADS * IS_COARSEN >= 1600);
-        assert_eq!(grid.ctas, 1600u64.div_ceil(IS_COARSEN).div_ceil(CTA_THREADS));
+        assert_eq!(
+            grid.ctas,
+            1600u64.div_ceil(IS_COARSEN).div_ceil(CTA_THREADS)
+        );
         assert_eq!(grid.warps_per_cta, CTA_WARPS);
     }
 
@@ -207,9 +189,9 @@ mod tests {
         let narrow = kernel(2048, 1);
         let sector_count = |k: &IndexSelectKernel| {
             let t = k.trace(0, 0);
-            t.iter()
-                .filter(|i| i.class == InstrClass::LoadGlobal)
-                .map(|i| i.mem.as_ref().unwrap().sectors().len())
+            (0..t.len())
+                .filter(|&i| t[i].class == InstrClass::LoadGlobal)
+                .map(|i| t.mem_at(i).unwrap().sectors().len())
                 .max()
                 .unwrap()
         };
@@ -233,13 +215,12 @@ mod tests {
         // read row 5. Loads are phased: both groups' index loads first,
         // then the source gathers — take the first gather.
         let t = k.trace(0, 0);
-        let gather = t
-            .iter()
-            .filter(|i| i.class == InstrClass::LoadGlobal)
+        let gather_idx = (0..t.len())
+            .filter(|&i| t[i].class == InstrClass::LoadGlobal)
             .nth(2)
             .unwrap();
         let mut addrs = Vec::new();
-        gather.mem.as_ref().unwrap().lane_addrs(&mut addrs);
+        t.mem_at(gather_idx).unwrap().lane_addrs(&mut addrs);
         assert_eq!(addrs[0], 1000 + 5 * 32 * 4);
         assert_eq!(addrs[31], 1000 + (5 * 32 + 31) * 4);
     }

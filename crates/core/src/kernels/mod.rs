@@ -157,6 +157,37 @@ pub(crate) fn warp_window(cta: u64, warp: u32, total: u64) -> Option<(u64, usize
     Some((t0, ((total - t0).min(32)) as usize))
 }
 
+/// Fixed-size window list of a thread-coarsened warp: up to `COARSEN`
+/// `(element0, active_lanes)` batches plus the populated count.
+pub(crate) type CoarsenedGroups<const COARSEN: usize> = ([(u64, usize); COARSEN], usize);
+
+/// The 32-element batches warp `(cta, warp)` covers when every thread
+/// processes `COARSEN` grid-stride elements of a flat `total`-element
+/// iteration space — the shared group builder of the element-parallel
+/// gather/scatter kernels. Returns a fixed array (no allocation).
+#[inline]
+pub(crate) fn coarsened_groups<const COARSEN: usize>(
+    cta: u64,
+    warp: u32,
+    total: u64,
+) -> CoarsenedGroups<COARSEN> {
+    let mut out = [(0u64, 0usize); COARSEN];
+    let mut count = 0usize;
+    let threads = total.div_ceil(COARSEN as u64);
+    let Some((thread0, _)) = warp_window(cta, warp, threads) else {
+        return (out, 0);
+    };
+    let e_base = thread0 * COARSEN as u64;
+    for g in 0..COARSEN as u64 {
+        let start = e_base + g * 32;
+        if start < total {
+            out[count] = (start, ((total - start).min(32)) as usize);
+            count += 1;
+        }
+    }
+    (out, count)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,10 +205,7 @@ mod tests {
         // rows: 0 -> 3 entries, 1 -> 0 entries, 2 -> 5 entries, cap 2
         let row_ptr = [0u32, 3, 3, 8];
         let chunks = row_chunks(&row_ptr, 2);
-        assert_eq!(
-            chunks,
-            vec![(0, 0), (0, 2), (2, 3), (2, 5), (2, 7)]
-        );
+        assert_eq!(chunks, vec![(0, 0), (0, 2), (2, 3), (2, 5), (2, 7)]);
     }
 
     #[test]

@@ -3,10 +3,10 @@
 
 use std::sync::Arc;
 
-use gsuite_gpu::{Grid, Instr, KernelWorkload, TraceBuilder};
+use gsuite_gpu::{Grid, KernelWorkload, Reg, TraceBuf, TraceBuilder};
 use gsuite_tensor::ops::Reduce;
 
-use super::{warp_window, CTA_THREADS};
+use super::CTA_THREADS;
 
 /// Workload descriptor for one `scatter` launch.
 ///
@@ -45,12 +45,7 @@ pub const SC_COARSEN: u64 = 4;
 impl ScatterKernel {
     /// The degree-count variant: scatters the constant 1 per edge
     /// (`feat = 1`, no input load).
-    pub fn degrees(
-        index: Arc<Vec<u32>>,
-        index_base: u64,
-        out_base: u64,
-        out_rows: usize,
-    ) -> Self {
+    pub fn degrees(index: Arc<Vec<u32>>, index_base: u64, out_base: u64, out_rows: usize) -> Self {
         ScatterKernel {
             index,
             index_base,
@@ -67,18 +62,8 @@ impl ScatterKernel {
         self.index.len() as u64 * self.feat as u64
     }
 
-    fn groups(&self, cta: u64, warp: u32) -> Vec<(u64, usize)> {
-        let total = self.total_elements();
-        let threads = total.div_ceil(SC_COARSEN);
-        let Some((thread0, _)) = warp_window(cta, warp, threads) else {
-            return Vec::new();
-        };
-        let e_base = thread0 * SC_COARSEN;
-        (0..SC_COARSEN)
-            .map(|g| e_base + g * 32)
-            .filter(|&start| start < total)
-            .map(|start| (start, ((total - start).min(32)) as usize))
-            .collect()
+    fn groups(&self, cta: u64, warp: u32) -> super::CoarsenedGroups<{ SC_COARSEN as usize }> {
+        super::coarsened_groups(cta, warp, self.total_elements())
     }
 }
 
@@ -94,57 +79,49 @@ impl KernelWorkload for ScatterKernel {
         )
     }
 
-    fn trace(&self, cta: u64, warp: u32) -> Vec<Instr> {
+    fn trace_into(&self, buf: &mut TraceBuf, cta: u64, warp: u32) {
         let f = self.feat as u64;
-        let groups = self.groups(cta, warp);
+        let (groups, ngroups) = self.groups(cta, warp);
+        let groups = &groups[..ngroups];
         if groups.is_empty() {
-            return Vec::new();
+            return;
         }
-        let mut tb = TraceBuilder::new(groups[0].1);
+        let mut tb = TraceBuilder::on(buf, groups[0].1);
         let e_reg = tb.int(&[]);
         // Phase 1: destination-index loads for every group, each with its
         // SASS-level address arithmetic (element IMAD + base add).
-        let mut idx_regs = Vec::with_capacity(groups.len());
-        for &(t0, active) in &groups {
+        let mut idx_regs = [0 as Reg; SC_COARSEN as usize];
+        for (g, &(t0, active)) in groups.iter().enumerate() {
             tb.set_active(active);
             let ea = tb.int(&[e_reg]);
             tb.int(&[ea]);
-            let idx_addrs: Vec<u64> = (0..active as u64)
-                .map(|l| self.index_base + ((t0 + l) / f) * 4)
-                .collect();
-            idx_regs.push(tb.load_gather(&idx_addrs, 4, &[ea]));
+            idx_regs[g] = tb.load_gather_with(4, &[ea], |l| self.index_base + ((t0 + l) / f) * 4);
         }
         // Phase 2: message loads (coalesced), unless scattering a constant.
-        let mut values = Vec::with_capacity(groups.len());
-        for &(t0, active) in &groups {
+        let mut values = [0 as Reg; SC_COARSEN as usize];
+        for (g, &(t0, active)) in groups.iter().enumerate() {
             tb.set_active(active);
-            values.push(match self.in_base {
+            values[g] = match self.in_base {
                 Some(base) => {
                     tb.int(&[]);
                     tb.load_lanes(base + t0 * 4, 4)
                 }
                 None => tb.int(&[]),
-            });
+            };
         }
         // Phase 3: atomic reduces with the graph's true collision pattern
         // (row*f IMAD + column add per access).
-        for ((&(t0, active), &value), &idx_reg) in
-            groups.iter().zip(&values).zip(&idx_regs)
-        {
+        for (g, &(t0, active)) in groups.iter().enumerate() {
             tb.set_active(active);
-            let ra = tb.int(&[idx_reg]);
+            let ra = tb.int(&[idx_regs[g]]);
             tb.int(&[ra]);
-            let out_addrs: Vec<u64> = (0..active as u64)
-                .map(|l| {
-                    let t = t0 + l;
-                    let row = self.index[(t / f) as usize] as u64;
-                    self.out_base + (row * f + t % f) * 4
-                })
-                .collect();
-            tb.atomic_scatter(value, &out_addrs, 4);
+            tb.atomic_scatter_with(values[g], 4, |l| {
+                let t = t0 + l;
+                let row = self.index[(t / f) as usize] as u64;
+                self.out_base + (row * f + t % f) * 4
+            });
         }
         tb.control();
-        tb.finish()
     }
 }
 
@@ -186,12 +163,11 @@ mod tests {
             reduce: Reduce::Sum,
         };
         let t = k.trace(0, 0);
-        let atomic = t
-            .iter()
-            .find(|i| i.class == InstrClass::AtomicGlobal)
+        let atomic_idx = (0..t.len())
+            .find(|&i| t[i].class == InstrClass::AtomicGlobal)
             .unwrap();
         let mut lanes = Vec::new();
-        atomic.mem.as_ref().unwrap().lane_sectors_into(&mut lanes);
+        t.mem_at(atomic_idx).unwrap().lane_sectors_into(&mut lanes);
         assert_eq!(lanes.len(), 32);
         assert!(lanes.windows(2).all(|w| w[0] == w[1]), "all lanes collide");
     }

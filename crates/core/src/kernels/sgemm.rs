@@ -1,9 +1,7 @@
 //! The `sgemm` kernel: dense `C = A · B` — every model's linear/Θ step
 //! (paper Table II).
 
-use gsuite_gpu::{Grid, Instr, KernelWorkload, TraceBuilder};
-#[cfg(test)]
-use gsuite_gpu::MemAccess;
+use gsuite_gpu::{Grid, KernelWorkload, TraceBuf, TraceBuilder};
 
 /// Workload descriptor for one `sgemm` launch (`[m,k] x [k,n] -> [m,n]`).
 ///
@@ -85,14 +83,14 @@ impl KernelWorkload for SgemmKernel {
         Grid::new(self.output_tiles() * self.k_strips(), 4)
     }
 
-    fn trace(&self, cta: u64, warp: u32) -> Vec<Instr> {
+    fn trace_into(&self, buf: &mut TraceBuf, cta: u64, warp: u32) {
         let total_outs = (self.m * self.n) as u64;
         let tiles = self.output_tiles();
         let tile = cta % tiles;
         let strip = cta / tiles;
         let out0 = tile * OUTS_PER_CTA + warp as u64 * OUTS_PER_WARP;
         if out0 >= total_outs || self.k == 0 {
-            return Vec::new();
+            return;
         }
         let nouts = (total_outs - out0).min(OUTS_PER_WARP);
         let active = nouts.div_ceil(OUTS_PER_LANE).min(32) as usize;
@@ -103,7 +101,7 @@ impl KernelWorkload for SgemmKernel {
         let k0 = strip as usize * self.k_strip;
         let k1 = self.k.min(k0 + self.k_strip);
 
-        let mut tb = TraceBuilder::new(active);
+        let mut tb = TraceBuilder::on(buf, active);
         tb.int(&[]);
         tb.int(&[]);
         // Shared-memory tile staging, as library GEMMs do: every TILE_K
@@ -111,7 +109,8 @@ impl KernelWorkload for SgemmKernel {
         // through shared memory (this warp's share: 2 + `segments` global
         // loads guarded by a barrier), then runs TILE_K iterations of FMAs
         // against the staged data. Four rotating accumulators break the
-        // FMA dependency chain.
+        // FMA dependency chain. The stage-register window is a fixed array
+        // (at most 2 rows x 4 segments) — no per-tile allocation.
         const TILE_K: usize = 8;
         let mut accs = [tb.fp32(&[]), tb.fp32(&[]), tb.fp32(&[]), tb.fp32(&[])];
         let mut kk = k0;
@@ -124,18 +123,24 @@ impl KernelWorkload for SgemmKernel {
             let a2 = tb.load_strided(a_addr + 16, 4, 4);
             // Stage this warp's share of the B tile: two staged rows per
             // segment (the other rows are loaded by sibling warps).
-            let mut stage = Vec::with_capacity(segments * 2);
+            let mut stage = [0u8; 8];
+            let mut staged = 0usize;
             for krow in [kk, (kk + TILE_K / 2).min(tile_end - 1)] {
                 for seg in 0..segments {
                     let seg_cols = (nouts - seg as u64 * 32).min(32) as usize;
                     let base = self.b_base + (krow as u64 * n + col0 + seg as u64 * 32) * 4;
                     tb.set_active(seg_cols.max(1));
-                    stage.push(tb.load_strided(base, 4, 4));
+                    stage[staged % stage.len()] = tb.load_strided(base, 4, 4);
+                    staged += 1;
                     tb.set_active(active);
                 }
             }
             tb.sync(); // tile visible to the whole CTA
-            let b_reg = *stage.last().unwrap_or(&a2);
+            let b_reg = if staged > 0 {
+                stage[(staged - 1) % stage.len()]
+            } else {
+                a2
+            };
             for _ in kk..tile_end {
                 tb.int(&[]); // shared-memory pointer arithmetic
                 for seg in 0..segments {
@@ -160,22 +165,19 @@ impl KernelWorkload for SgemmKernel {
             let base = self.c_base + (row * n + col0 + seg as u64 * 32) * 4;
             tb.set_active(seg_cols.max(1));
             if self.is_split_k() {
-                let addrs: Vec<u64> =
-                    (0..seg_cols as u64).map(|l| base + l * 4).collect();
-                tb.atomic_scatter(acc, &addrs, 4);
+                tb.atomic_scatter_with(acc, 4, |l| base + l * 4);
             } else {
                 tb.store_lanes(acc, base, 4);
             }
         }
         tb.control();
-        tb.finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gsuite_gpu::InstrClass;
+    use gsuite_gpu::{InstrClass, MemRef};
 
     fn kernel(m: usize, k: usize, n: usize) -> SgemmKernel {
         SgemmKernel::new(m, k, n, 0x1000, 0x100_000, 0x800_000)
@@ -204,7 +206,11 @@ mod tests {
         assert_eq!(syncs, 8, "one barrier per staged tile");
         assert!(t.iter().any(|i| i.class == InstrClass::StoreGlobal));
         // The mix must be FP32-dominated (the paper's Fig. 5 shape).
-        assert!(fmas * 2 > t.len(), "sgemm should be >50% FP32: {fmas}/{}", t.len());
+        assert!(
+            fmas * 2 > t.len(),
+            "sgemm should be >50% FP32: {fmas}/{}",
+            t.len()
+        );
     }
 
     #[test]
@@ -248,8 +254,8 @@ mod tests {
             .filter(|i| i.class == InstrClass::LoadGlobal)
             .nth(2)
             .unwrap();
-        match b_load.mem.as_deref() {
-            Some(MemAccess::Strided { stride, .. }) => assert_eq!(*stride, 4),
+        match b_load.mem {
+            MemRef::Strided { stride, .. } => assert_eq!(stride, 4),
             other => panic!("expected strided B load, got {other:?}"),
         }
     }

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use gsuite_gpu::{Grid, Instr, KernelWorkload, TraceBuilder};
+use gsuite_gpu::{Grid, KernelWorkload, TraceBuf, TraceBuilder};
 
 use super::row_chunks;
 
@@ -76,10 +76,10 @@ impl KernelWorkload for SpgemmKernel {
         Grid::new(self.total_warps().div_ceil(4).max(1), 4)
     }
 
-    fn trace(&self, cta: u64, warp: u32) -> Vec<Instr> {
+    fn trace_into(&self, buf: &mut TraceBuf, cta: u64, warp: u32) {
         let widx = cta * 4 + warp as u64;
         if widx >= self.total_warps() {
-            return Vec::new();
+            return;
         }
         let (row, start) = self.chunks[widx as usize];
         let row_end = self.a_row_ptr[row as usize + 1];
@@ -87,7 +87,7 @@ impl KernelWorkload for SpgemmKernel {
         let (a_rp, a_ci, a_val) = self.a_bases;
         let (b_rp, b_ci, b_val) = self.b_bases;
 
-        let mut tb = TraceBuilder::new(32);
+        let mut tb = TraceBuilder::on(buf, 32);
         let rp = tb.load_strided(a_rp + row as u64 * 4, 0, 4);
         tb.load_strided(a_rp + (row as u64 + 1) * 4, 0, 4);
         tb.int(&[rp]);
@@ -104,7 +104,7 @@ impl KernelWorkload for SpgemmKernel {
             let b_end = self.b_row_ptr[c as usize + 1];
             let mut slab = b_start;
             while slab < b_end {
-                let lanes = ((b_end - slab).min(32)).max(1) as usize;
+                let lanes = (b_end - slab).clamp(1, 32) as usize;
                 tb.set_active(lanes);
                 let bc = tb.load_strided(b_ci + slab as u64 * 4, 4, 4);
                 let bv = tb.load_strided(b_val + slab as u64 * 4, 4, 4);
@@ -124,7 +124,7 @@ impl KernelWorkload for SpgemmKernel {
             let o_end = self.out_row_ptr[row as usize + 1];
             let mut slab = o_start;
             while slab < o_end {
-                let lanes = ((o_end - slab).min(32)).max(1) as usize;
+                let lanes = (o_end - slab).clamp(1, 32) as usize;
                 tb.set_active(lanes);
                 let v = tb.fp32(&[]);
                 tb.store_lanes(v, out_ci + slab as u64 * 4, 4);
@@ -133,7 +133,6 @@ impl KernelWorkload for SpgemmKernel {
             }
         }
         tb.control();
-        tb.finish()
     }
 }
 
@@ -184,7 +183,7 @@ mod tests {
         assert_eq!(k.total_warps(), 2, "A row split into two chunks");
         let first = k.trace(0, 0);
         let second = k.trace(0, 1);
-        let stores = |t: &[Instr]| {
+        let stores = |t: &gsuite_gpu::TraceBuf| {
             t.iter()
                 .filter(|i| i.class == InstrClass::StoreGlobal)
                 .count()

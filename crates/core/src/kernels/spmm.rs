@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use gsuite_gpu::{Grid, Instr, KernelWorkload, TraceBuilder};
+use gsuite_gpu::{Grid, KernelWorkload, TraceBuf, TraceBuilder};
 
 use super::row_chunks;
 
@@ -92,10 +92,10 @@ impl KernelWorkload for SpmmKernel {
         Grid::new(self.total_warps().div_ceil(4).max(1), 4)
     }
 
-    fn trace(&self, cta: u64, warp: u32) -> Vec<Instr> {
+    fn trace_into(&self, buf: &mut TraceBuf, cta: u64, warp: u32) {
         let widx = cta * 4 + warp as u64;
         if widx >= self.total_warps() {
-            return Vec::new();
+            return;
         }
         let strips = self.strips();
         let chunk = (widx / strips) as usize;
@@ -105,19 +105,20 @@ impl KernelWorkload for SpmmKernel {
         let end = row_end.min(start + SPMM_CHUNK);
         let f = self.feat as u64;
         let c0 = strip * 32;
-        let active = ((f - c0).min(32)).max(1) as usize;
+        let active = (f - c0).clamp(1, 32) as usize;
 
-        let mut tb = TraceBuilder::new(active);
+        let mut tb = TraceBuilder::on(buf, active);
         // Row bounds.
         let rp = tb.load_strided(self.rp_base + row as u64 * 4, 0, 4);
         tb.load_strided(self.rp_base + (row as u64 + 1) * 4, 0, 4);
         tb.int(&[rp]);
         // Two-deep software pipeline with rotating accumulators: the loads
         // of entry j+2 are in flight while entry j's FMA executes, as real
-        // SpMM kernels arrange.
+        // SpMM kernels arrange. The in-flight window is a tiny fixed ring —
+        // no heap allocation in the per-nnz loop.
         let mut accs = [tb.fp32(&[]), tb.fp32(&[]), tb.fp32(&[]), tb.fp32(&[])];
-        let mut pipeline: std::collections::VecDeque<(u8, Option<u8>)> =
-            std::collections::VecDeque::new();
+        let mut pipeline = [(0u8, None::<u8>); 3];
+        let (mut head, mut len) = (0usize, 0usize);
         let mut fma_step = 0usize;
         for (step, j) in (start..end).enumerate() {
             let col = self.col_idx[j as usize] as u64;
@@ -132,13 +133,13 @@ impl KernelWorkload for SpmmKernel {
             // depends on the loaded column index (row*f IMAD + base add).
             let addr_reg = tb.int(&[col_reg]);
             let x_base = self.x_base + (col * f + c0) * 4;
-            let x_reg = {
-                let addrs: Vec<u64> = (0..active as u64).map(|l| x_base + l * 4).collect();
-                tb.load_gather(&addrs, 4, &[addr_reg])
-            };
-            pipeline.push_back((x_reg, val_reg));
-            if pipeline.len() > 2 {
-                let (px, pv) = pipeline.pop_front().expect("len checked");
+            let x_reg = tb.load_gather_with(4, &[addr_reg], |l| x_base + l * 4);
+            pipeline[(head + len) % pipeline.len()] = (x_reg, val_reg);
+            len += 1;
+            if len > 2 {
+                let (px, pv) = pipeline[head];
+                head = (head + 1) % pipeline.len();
+                len -= 1;
                 let lane = fma_step % accs.len();
                 fma_step += 1;
                 accs[lane] = match pv {
@@ -151,7 +152,10 @@ impl KernelWorkload for SpmmKernel {
             }
         }
         // Drain the pipeline.
-        while let Some((px, pv)) = pipeline.pop_front() {
+        while len > 0 {
+            let (px, pv) = pipeline[head];
+            head = (head + 1) % pipeline.len();
+            len -= 1;
             let lane = fma_step % accs.len();
             fma_step += 1;
             accs[lane] = match pv {
@@ -166,13 +170,11 @@ impl KernelWorkload for SpmmKernel {
         let out = self.out_base + (row as u64 * f + c0) * 4;
         let chunked = start > self.row_ptr[row as usize] || end < row_end;
         if chunked {
-            let addrs: Vec<u64> = (0..active as u64).map(|l| out + l * 4).collect();
-            tb.atomic_scatter(acc, &addrs, 4);
+            tb.atomic_scatter_with(acc, 4, |l| out + l * 4);
         } else {
             tb.store_lanes(acc, out, 4);
         }
         tb.control();
-        tb.finish()
     }
 }
 
@@ -193,7 +195,9 @@ mod tests {
 
     fn kernel(row_lens: &[u32], feat: usize) -> SpmmKernel {
         let (rp, ci) = csr(row_lens, 7);
-        SpmmKernel::new(rp, ci, true, 0x100, 0x1000, 0x2000, 0x10_000, 0x80_000, feat)
+        SpmmKernel::new(
+            rp, ci, true, 0x100, 0x1000, 0x2000, 0x10_000, 0x80_000, feat,
+        )
     }
 
     #[test]
@@ -237,8 +241,16 @@ mod tests {
         let (rp, ci) = csr(&[4], 7);
         let w = SpmmKernel::new(rp.clone(), ci.clone(), true, 0, 0, 0, 0, 0, 32);
         let u = SpmmKernel::new(rp, ci, false, 0, 0, 0, 0, 0, 32);
-        let wl = w.trace(0, 0).iter().filter(|i| i.class == InstrClass::LoadGlobal).count();
-        let ul = u.trace(0, 0).iter().filter(|i| i.class == InstrClass::LoadGlobal).count();
+        let wl = w
+            .trace(0, 0)
+            .iter()
+            .filter(|i| i.class == InstrClass::LoadGlobal)
+            .count();
+        let ul = u
+            .trace(0, 0)
+            .iter()
+            .filter(|i| i.class == InstrClass::LoadGlobal)
+            .count();
         assert_eq!(wl, ul + 4, "one value load per nnz saved");
     }
 
@@ -248,13 +260,15 @@ mod tests {
         let ci = Arc::new(vec![9u32]);
         let k = SpmmKernel::new(rp, ci, false, 0, 0x50, 0x60, 0x1000, 0x2000, 32);
         let t = k.trace(0, 0);
-        let x_load = t
+        let x_load_idx = t
             .iter()
-            .filter(|i| i.class == InstrClass::LoadGlobal)
+            .enumerate()
+            .filter(|(_, i)| i.class == InstrClass::LoadGlobal)
+            .map(|(idx, _)| idx)
             .nth(3) // rp, rp+1, ci, then X
             .unwrap();
         let mut addrs = Vec::new();
-        x_load.mem.as_ref().unwrap().lane_addrs(&mut addrs);
+        t.mem_at(x_load_idx).unwrap().lane_addrs(&mut addrs);
         assert_eq!(addrs[0], 0x1000 + 9 * 32 * 4);
     }
 

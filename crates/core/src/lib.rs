@@ -21,7 +21,9 @@
 //!   surface, matching the paper).
 //! * **Pipelines** ([`pipeline`]) — an ordered list of kernel launches plus
 //!   the functional result, with profiling over any
-//!   [`gsuite_profile::Profiler`] backend.
+//!   [`gsuite_profile::Profiler`] backend — serially
+//!   ([`pipeline::PipelineRun::profile`]) or fanned across CPU cores with
+//!   bit-identical results ([`pipeline::PipelineRun::profile_par`]).
 //! * **Configuration** ([`config`]) — the paper's User Interface /
 //!   Abstraction Module: a pipeline is selected by a handful of parameters
 //!   (model, dataset, layers, computational model, framework), with a

@@ -143,7 +143,9 @@ impl<'g> Builder<'g> {
     /// The input feature tensor `X` (allocated on first call).
     pub fn input_features(&mut self) -> DTensor {
         let g = self.graph;
-        let base = self.space.alloc_f32(g.num_nodes() as u64 * g.feature_dim() as u64);
+        let base = self
+            .space
+            .alloc_f32(g.num_nodes() as u64 * g.feature_dim() as u64);
         DTensor {
             base,
             rows: g.num_nodes(),
@@ -161,9 +163,7 @@ impl<'g> Builder<'g> {
     /// (zeros of the right shape when functional math was off).
     pub fn finish(self) -> (Vec<Launch>, DenseMatrix) {
         let output = match self.output {
-            Some(DTensor {
-                data: Some(m), ..
-            }) => m,
+            Some(DTensor { data: Some(m), .. }) => m,
             Some(DTensor { rows, cols, .. }) => DenseMatrix::zeros(rows, cols),
             None => DenseMatrix::zeros(0, 0),
         };
@@ -267,8 +267,8 @@ impl<'g> Builder<'g> {
         let mut csr = with_loops;
         // Divide every row by its sum.
         let mut scaled: Vec<f32> = Vec::with_capacity(csr.nnz());
-        for r in 0..csr.rows() {
-            let s = sums[r].max(1.0);
+        for (r, row_sum) in sums.iter().enumerate() {
+            let s = row_sum.max(1.0);
             let (_, vals) = csr.row(r);
             scaled.extend(vals.iter().map(|v| v / s));
         }
@@ -370,8 +370,8 @@ impl<'g> Builder<'g> {
                 let mut msgs = ops::gather_rows(xd, &index.data)?;
                 if let Some((dst, _, deg)) = gcn_scale {
                     for i in 0..e {
-                        let s = 1.0
-                            / (deg[index.data[i] as usize] * deg[dst.data[i] as usize]).sqrt();
+                        let s =
+                            1.0 / (deg[index.data[i] as usize] * deg[dst.data[i] as usize]).sqrt();
                         for v in msgs.row_mut(i) {
                             *v *= s;
                         }
@@ -536,9 +536,10 @@ impl<'g> Builder<'g> {
             KernelKind::Elementwise,
             ElementwiseKernel::row_scale(x.base, s_base, out_base, x.elems(), x.cols),
         ));
-        let data = x.data.as_ref().map(|d| {
-            DenseMatrix::from_fn(x.rows, x.cols, |r, c| d.get(r, c) * s[r])
-        });
+        let data = x
+            .data
+            .as_ref()
+            .map(|d| DenseMatrix::from_fn(x.rows, x.cols, |r, c| d.get(r, c) * s[r]));
         DTensor {
             base: out_base,
             rows: x.rows,
@@ -609,8 +610,7 @@ fn endpoints_of(adj_t: &CsrMatrix, with_loops: bool) -> (Vec<u32>, Vec<u32>) {
 /// `m + value·I` with unit off-diagonal entries preserved.
 fn add_diag(m: &CsrMatrix, value: f32) -> CsrMatrix {
     let n = m.rows();
-    let mut triplets: Vec<(usize, usize, f32)> =
-        m.iter().filter(|&(r, c, _)| r != c).collect();
+    let mut triplets: Vec<(usize, usize, f32)> = m.iter().filter(|&(r, c, _)| r != c).collect();
     for i in 0..n {
         triplets.push((i, i, value));
     }

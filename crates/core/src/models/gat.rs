@@ -58,9 +58,7 @@ pub fn build_mp(b: &mut Builder<'_>, weights: &ModelWeights) -> Result<()> {
         if b.functional() {
             // row_scale's host math uses the freshly computed denominators.
             out.data = summed.data.as_ref().map(|s| {
-                DenseMatrix::from_fn(s.rows(), s.cols(), |r, c| {
-                    s.get(r, c) * inv_denom.1[r]
-                })
+                DenseMatrix::from_fn(s.rows(), s.cols(), |r, c| s.get(r, c) * inv_denom.1[r])
             });
         }
         if l + 1 < layers {
@@ -159,7 +157,10 @@ mod tests {
             ));
         }
         // Attention needs both gathers and the softmax scatters.
-        let scatters = launches.iter().filter(|l| l.kind == KernelKind::Scatter).count();
+        let scatters = launches
+            .iter()
+            .filter(|l| l.kind == KernelKind::Scatter)
+            .count();
         assert!(scatters >= 2, "softmax denominator + aggregation");
     }
 

@@ -142,6 +142,9 @@ mod tests {
         // grid covers E_dedup * 12 elements with 128-thread CTAs handling
         // 4 elements per thread
         let expect_elems = dedup_edges * 12;
-        assert_eq!(is.workload.grid().ctas, expect_elems.div_ceil(4).div_ceil(128));
+        assert_eq!(
+            is.workload.grid().ctas,
+            expect_elems.div_ceil(4).div_ceil(128)
+        );
     }
 }

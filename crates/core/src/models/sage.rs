@@ -99,9 +99,7 @@ mod tests {
         let at = gsuite_graph::add_self_loops(&g.adjacency_csr_transposed());
         let deg: Vec<f32> = at.row_sums();
         let summed = ops::spmm(&at, g.features()).unwrap();
-        let mean = gsuite_tensor::DenseMatrix::from_fn(10, 4, |r, c| {
-            summed.get(r, c) / deg[r]
-        });
+        let mean = gsuite_tensor::DenseMatrix::from_fn(10, 4, |r, c| summed.get(r, c) / deg[r]);
         let expected = ops::gemm(g.features(), &w.layers[0].w1)
             .unwrap()
             .add(&ops::gemm(&mean, w.layers[0].w2.as_ref().unwrap()).unwrap())

@@ -69,9 +69,15 @@ mod tests {
             let mut b = Builder::new(&g, true);
             build_mp(&mut b, &weights(6, 4, hops)).unwrap();
             let (launches, _) = b.finish();
-            let sgemms = launches.iter().filter(|l| l.kind == KernelKind::Sgemm).count();
+            let sgemms = launches
+                .iter()
+                .filter(|l| l.kind == KernelKind::Sgemm)
+                .count();
             assert_eq!(sgemms, 1, "SGC has exactly one linear layer");
-            let scatters = launches.iter().filter(|l| l.kind == KernelKind::Scatter).count();
+            let scatters = launches
+                .iter()
+                .filter(|l| l.kind == KernelKind::Scatter)
+                .count();
             assert_eq!(scatters, hops * 2, "degree + aggregation per hop");
         }
     }
@@ -99,9 +105,15 @@ mod tests {
         let mut b = Builder::new(&g, true);
         build_spmm(&mut b, &weights(6, 4, 3)).unwrap();
         let (launches, _) = b.finish();
-        let spgemms = launches.iter().filter(|l| l.kind == KernelKind::Spgemm).count();
+        let spgemms = launches
+            .iter()
+            .filter(|l| l.kind == KernelKind::Spgemm)
+            .count();
         assert_eq!(spgemms, 2, "normalization chain built once, reused per hop");
-        let spmms = launches.iter().filter(|l| l.kind == KernelKind::Spmm).count();
+        let spmms = launches
+            .iter()
+            .filter(|l| l.kind == KernelKind::Spmm)
+            .count();
         assert_eq!(spmms, 3);
     }
 }

@@ -69,8 +69,7 @@ impl PipelineRun {
     pub fn profile(&self, profiler: &dyn Profiler) -> PipelineProfile {
         let costs = self.config.framework.costs();
         let mut profile = PipelineProfile::new(self.label.clone());
-        profile.host_overhead_ms =
-            costs.init_ms + costs.per_launch_ms * self.launches.len() as f64;
+        profile.host_overhead_ms = costs.init_ms + costs.per_launch_ms * self.launches.len() as f64;
         for launch in &self.launches {
             let mut stats = profiler.profile(launch.workload.as_ref());
             // Group under the Table II taxonomy name (e.g. all elementwise
@@ -78,6 +77,27 @@ impl PipelineRun {
             stats.kernel = launch.kind.name().to_string();
             profile.kernels.push(stats);
         }
+        profile
+    }
+
+    /// [`PipelineRun::profile`] with the independent kernel launches fanned
+    /// across CPU cores.
+    ///
+    /// Each launch owns an independent simulation/model state (caches start
+    /// cold per kernel, as the paper's per-kernel profiling does), so
+    /// launches are embarrassingly parallel; results are merged back in
+    /// launch order, making the output **bit-identical** to the serial
+    /// [`PipelineRun::profile`] — a property the `determinism` test suite
+    /// locks in.
+    pub fn profile_par(&self, profiler: &(dyn Profiler + Sync)) -> PipelineProfile {
+        let costs = self.config.framework.costs();
+        let mut profile = PipelineProfile::new(self.label.clone());
+        profile.host_overhead_ms = costs.init_ms + costs.per_launch_ms * self.launches.len() as f64;
+        profile.kernels = gsuite_par::par_map(&self.launches, |_, launch| {
+            let mut stats = profiler.profile(launch.workload.as_ref());
+            stats.kernel = launch.kind.name().to_string();
+            stats
+        });
         profile
     }
 
@@ -135,11 +155,32 @@ mod tests {
             let p = run.profile(&HwProfiler::v100());
             times.push((fw, p.total_time_ms()));
         }
-        let pyg = times.iter().find(|(f, _)| *f == FrameworkKind::PygLike).unwrap().1;
-        let dgl = times.iter().find(|(f, _)| *f == FrameworkKind::DglLike).unwrap().1;
-        let gsuite = times.iter().find(|(f, _)| *f == FrameworkKind::GSuite).unwrap().1;
+        let pyg = times
+            .iter()
+            .find(|(f, _)| *f == FrameworkKind::PygLike)
+            .unwrap()
+            .1;
+        let dgl = times
+            .iter()
+            .find(|(f, _)| *f == FrameworkKind::DglLike)
+            .unwrap()
+            .1;
+        let gsuite = times
+            .iter()
+            .find(|(f, _)| *f == FrameworkKind::GSuite)
+            .unwrap()
+            .1;
         assert!(pyg > dgl, "PyG {pyg} should exceed DGL {dgl}");
         assert!(dgl > gsuite, "DGL {dgl} should exceed gSuite {gsuite}");
+    }
+
+    #[test]
+    fn profile_par_is_bit_identical_to_serial() {
+        let cfg = config();
+        let graph = cfg.load_graph();
+        let run = PipelineRun::build(&graph, &cfg).unwrap();
+        let hw = HwProfiler::v100();
+        assert_eq!(run.profile(&hw), run.profile_par(&hw));
     }
 
     #[test]

@@ -48,6 +48,40 @@ impl CacheConfig {
     }
 }
 
+/// Division-free `x % d` for a fixed divisor (Lemire's fastmod, 64-bit
+/// variant): three widening multiplies instead of a hardware divide. Set
+/// lookup runs once per simulated memory sector, and real geometries (the
+/// V100's 12288-set L2) are not powers of two.
+#[derive(Debug, Clone, Copy)]
+struct FastMod {
+    d: u64,
+    /// `floor(2^128 / d) + 1`.
+    m: u128,
+}
+
+impl FastMod {
+    fn new(d: u64) -> Self {
+        assert!(d > 0, "divisor must be nonzero");
+        // For d == 1 this wraps to m == 0, making every remainder 0 —
+        // which is exactly right.
+        FastMod {
+            d,
+            m: (u128::MAX / d as u128).wrapping_add(1),
+        }
+    }
+
+    #[inline]
+    fn rem(&self, x: u64) -> u64 {
+        let lowbits = self.m.wrapping_mul(x as u128);
+        let hi = (lowbits >> 64) as u64;
+        let lo = lowbits as u64;
+        // High 64 bits of (lowbits * d) >> 64, i.e. bits 128.. of
+        // lowbits * d — this is exactly x % d.
+        let t = (hi as u128) * (self.d as u128) + (((lo as u128) * (self.d as u128)) >> 64);
+        (t >> 64) as u64
+    }
+}
+
 /// LRU set-associative sector cache.
 ///
 /// Addresses are pre-divided by the sector size: the cache operates on
@@ -55,8 +89,12 @@ impl CacheConfig {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    sets: usize,
     ways: usize,
+    /// `sets - 1` when `sets` is a power of two (mask-based set lookup on
+    /// the hot path), else 0 and the [`FastMod`] path is taken.
+    set_mask: usize,
+    /// Division-free modulo for non-power-of-two set counts.
+    set_mod: FastMod,
     /// `tags[set * ways + way]`; `u64::MAX` = invalid.
     tags: Vec<u64>,
     /// Monotone per-access stamp for LRU.
@@ -73,8 +111,9 @@ impl SetAssocCache {
         let ways = config.associativity;
         SetAssocCache {
             config,
-            sets,
             ways,
+            set_mask: if sets.is_power_of_two() { sets - 1 } else { 0 },
+            set_mod: FastMod::new(sets as u64),
             tags: vec![u64::MAX; sets * ways],
             stamps: vec![0; sets * ways],
             clock: 0,
@@ -90,29 +129,42 @@ impl SetAssocCache {
 
     #[inline]
     fn set_of(&self, sector: u64) -> usize {
-        (sector as usize) % self.sets
+        // Every sector lookup lands here; the L1 geometries are powers of
+        // two (mask), and non-power-of-two L2 geometries use the
+        // division-free modulo. Both compute exactly `sector % sets`.
+        if self.set_mask != 0 {
+            (sector as usize) & self.set_mask
+        } else {
+            self.set_mod.rem(sector) as usize
+        }
     }
 
     /// Looks up `sector`; on miss, fills it (evicting LRU). Returns `true`
-    /// on hit. This is the common read path.
+    /// on hit. This is the common read path — every simulated memory
+    /// sector funnels through here, so the hit probe and the LRU victim
+    /// search share a single pass over the set.
     #[inline]
     pub fn access(&mut self, sector: u64) -> bool {
         self.clock += 1;
         self.accesses += 1;
         let set = self.set_of(sector);
         let base = set * self.ways;
-        let slots = &mut self.tags[base..base + self.ways];
-        if let Some(way) = slots.iter().position(|&t| t == sector) {
-            self.stamps[base + way] = self.clock;
-            self.hits += 1;
-            return true;
+        let mut lru = base;
+        let mut lru_stamp = u64::MAX;
+        for idx in base..base + self.ways {
+            if self.tags[idx] == sector {
+                self.stamps[idx] = self.clock;
+                self.hits += 1;
+                return true;
+            }
+            if self.stamps[idx] < lru_stamp {
+                lru_stamp = self.stamps[idx];
+                lru = idx;
+            }
         }
         // Miss: evict LRU way.
-        let lru = (0..self.ways)
-            .min_by_key(|&w| self.stamps[base + w])
-            .expect("associativity >= 1");
-        self.tags[base + lru] = sector;
-        self.stamps[base + lru] = self.clock;
+        self.tags[lru] = sector;
+        self.stamps[lru] = self.clock;
         false
     }
 
@@ -174,6 +226,25 @@ impl SetAssocCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fastmod_matches_hardware_modulo() {
+        // The actual set counts in play plus awkward divisors.
+        for d in [1u64, 3, 5, 600, 1024, 1023, 12288, 4095, 75] {
+            let fm = FastMod::new(d);
+            let mut x = 0x1234_5678_9ABC_DEF0u64;
+            for _ in 0..10_000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                assert_eq!(fm.rem(x), x % d, "x={x} d={d}");
+            }
+            for x in 0..2000u64 {
+                assert_eq!(fm.rem(x), x % d, "x={x} d={d}");
+            }
+            assert_eq!(fm.rem(u64::MAX), u64::MAX % d, "d={d}");
+        }
+    }
 
     fn tiny() -> SetAssocCache {
         // 4 sets x 2 ways x 32B = 256 B

@@ -126,7 +126,7 @@ impl GpuConfig {
     ///
     /// Panics if `num_sms` is zero or greater than 80.
     pub fn v100_scaled(num_sms: usize) -> Self {
-        assert!(num_sms >= 1 && num_sms <= 80, "num_sms must be in 1..=80");
+        assert!((1..=80).contains(&num_sms), "num_sms must be in 1..=80");
         let full = GpuConfig::v100();
         let frac = num_sms as f64 / full.num_sms as f64;
         // Round the scaled capacity down to a whole number of sets.

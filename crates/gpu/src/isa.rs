@@ -10,6 +10,16 @@
 //! through a small window of them (see [`REG_WINDOW`]) to express
 //! instruction-level parallelism: an unrolled loop uses several, a serial
 //! dependency chain reuses one.
+//!
+//! # Storage model
+//!
+//! Traces are stored in a [`TraceBuf`] arena: a flat `Vec<Instr>` plus one
+//! shared side-buffer of gather addresses that [`MemRef::Gather`] entries
+//! reference by `(start, len)`. [`Instr`] is therefore `Copy` and emitting
+//! an instruction — including an irregular gather — performs **zero heap
+//! allocations** once the arena has warmed up; buffers are reused across
+//! warps by the simulator and profilers. This is the difference between
+//! trace generation being an allocator benchmark and being a memcpy.
 
 use serde::{Deserialize, Serialize};
 
@@ -62,12 +72,63 @@ impl InstrClass {
     }
 }
 
-/// Per-lane global-memory addresses of one warp-level memory instruction.
+/// Compact, inline memory-address descriptor of one warp-level memory
+/// instruction.
 ///
-/// Coalesced accesses use the allocation-free [`MemAccess::Strided`] form;
-/// irregular kernels (gathers, scatters) carry explicit address vectors.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub enum MemAccess {
+/// Coalesced accesses use the self-contained [`MemRef::Strided`] form;
+/// irregular kernels (gathers, scatters) reference a `(start, len)` slice
+/// of their [`TraceBuf`]'s shared address arena. Resolve against the
+/// owning buffer with [`TraceBuf::resolve`] / [`TraceBuf::mem_at`] to get a
+/// [`MemAccess`] view with the address-math helpers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemRef {
+    /// Not a memory instruction.
+    None,
+    /// Lane `i` accesses `base + i * stride`, `lanes` lanes active.
+    Strided {
+        /// Byte address of lane 0.
+        base: u64,
+        /// Byte distance between consecutive lanes.
+        stride: u32,
+        /// Active lane count (1..=32).
+        lanes: u8,
+        /// Bytes accessed per lane.
+        bytes_per_lane: u32,
+    },
+    /// Explicit per-lane byte addresses stored in the owning
+    /// [`TraceBuf`]'s arena at `start..start + len`.
+    Gather {
+        /// Arena offset of lane 0's address.
+        start: u32,
+        /// Active lane count (1..=32).
+        len: u8,
+        /// Bytes accessed per lane.
+        bytes_per_lane: u32,
+    },
+}
+
+impl MemRef {
+    /// Whether this is a real memory descriptor.
+    #[inline]
+    pub fn is_some(self) -> bool {
+        self != MemRef::None
+    }
+
+    /// Number of active lanes (0 for [`MemRef::None`]).
+    #[inline]
+    pub fn lanes(self) -> u8 {
+        match self {
+            MemRef::None => 0,
+            MemRef::Strided { lanes, .. } => lanes,
+            MemRef::Gather { len, .. } => len,
+        }
+    }
+}
+
+/// Per-lane global-memory addresses of one warp-level memory instruction,
+/// resolved against the owning [`TraceBuf`]'s address arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemAccess<'a> {
     /// Lane `i` accesses `base + i * stride`, `lanes` lanes active.
     Strided {
         /// Byte address of lane 0.
@@ -82,14 +143,15 @@ pub enum MemAccess {
     /// Explicit per-lane byte addresses.
     Gather {
         /// One byte address per active lane.
-        addrs: Vec<u64>,
+        addrs: &'a [u64],
         /// Bytes accessed per lane.
         bytes_per_lane: u32,
     },
 }
 
-impl MemAccess {
+impl<'a> MemAccess<'a> {
     /// Number of active lanes.
+    #[inline]
     pub fn lanes(&self) -> u8 {
         match self {
             MemAccess::Strided { lanes, .. } => *lanes,
@@ -97,24 +159,31 @@ impl MemAccess {
         }
     }
 
-    /// Appends each lane's byte address to `out`.
+    /// Appends each lane's byte address to `out`. Callers in loops should
+    /// pass a cleared scratch buffer rather than a fresh `Vec`.
     pub fn lane_addrs(&self, out: &mut Vec<u64>) {
-        match self {
+        match *self {
             MemAccess::Strided {
                 base,
                 stride,
                 lanes,
                 ..
-            } => {
-                for lane in 0..*lanes as u64 {
-                    out.push(base + lane * *stride as u64);
-                }
-            }
+            } => Self::strided_lane_addrs(base, stride, lanes, out),
             MemAccess::Gather { addrs, .. } => out.extend_from_slice(addrs),
         }
     }
 
+    /// The allocation-free strided fast path of [`MemAccess::lane_addrs`].
+    #[inline]
+    fn strided_lane_addrs(base: u64, stride: u32, lanes: u8, out: &mut Vec<u64>) {
+        out.reserve(lanes as usize);
+        for lane in 0..lanes as u64 {
+            out.push(base + lane * stride as u64);
+        }
+    }
+
     /// Bytes accessed per lane.
+    #[inline]
     pub fn bytes_per_lane(&self) -> u32 {
         match self {
             MemAccess::Strided { bytes_per_lane, .. } => *bytes_per_lane,
@@ -124,42 +193,62 @@ impl MemAccess {
 
     /// The coalescer: unique 32-byte sector ids touched by this access,
     /// sorted and deduplicated, appended to `out`.
+    ///
+    /// Strided accesses with a non-negative stride produce monotonically
+    /// non-decreasing addresses, so their sectors are emitted pre-sorted
+    /// and deduplicated on the fly without the sort the gather path needs.
     pub fn sectors_into(&self, out: &mut Vec<u64>) {
         let start = out.len();
         let bytes = self.bytes_per_lane() as u64;
-        let mut push_range = |addr: u64| {
-            let first = addr / SECTOR_BYTES;
-            let last = (addr + bytes - 1) / SECTOR_BYTES;
-            for s in first..=last {
-                out.push(s);
-            }
-        };
-        match self {
+        match *self {
             MemAccess::Strided {
                 base,
                 stride,
                 lanes,
                 ..
             } => {
-                for lane in 0..*lanes as u64 {
-                    push_range(base + lane * *stride as u64);
+                // Monotone fast path: dedup against the last pushed sector.
+                for lane in 0..lanes as u64 {
+                    let addr = base + lane * stride as u64;
+                    let first = addr / SECTOR_BYTES;
+                    let last = (addr + bytes - 1) / SECTOR_BYTES;
+                    for s in first..=last {
+                        match out.last() {
+                            Some(&prev) if prev == s && out.len() > start => {}
+                            _ => out.push(s),
+                        }
+                    }
                 }
             }
             MemAccess::Gather { addrs, .. } => {
+                // Push expanded sectors, tracking sortedness on the fly:
+                // row-strip gathers (SpMM, wide indexSelect) emit ascending
+                // addresses and skip the sort entirely.
+                let mut sorted = true;
+                let mut prev = 0u64;
                 for &a in addrs {
-                    push_range(a);
+                    let first = a / SECTOR_BYTES;
+                    let last = (a + bytes - 1) / SECTOR_BYTES;
+                    sorted &= out.len() == start || first >= prev;
+                    prev = last;
+                    out.push(first);
+                    for s in first + 1..=last {
+                        out.push(s);
+                    }
                 }
+                if !sorted {
+                    out[start..].sort_unstable();
+                }
+                let mut w = start;
+                for i in start..out.len() {
+                    if w == start || out[w - 1] != out[i] {
+                        out[w] = out[i];
+                        w += 1;
+                    }
+                }
+                out.truncate(w);
             }
         }
-        out[start..].sort_unstable();
-        let mut w = start;
-        for i in start..out.len() {
-            if w == start || out[w - 1] != out[i] {
-                out[w] = out[i];
-                w += 1;
-            }
-        }
-        out.truncate(w);
     }
 
     /// Convenience wrapper returning the sectors as a fresh vector.
@@ -172,15 +261,15 @@ impl MemAccess {
     /// Per-lane sector ids *without* deduplication (atomics serialize on
     /// duplicates, so multiplicity matters), appended to `out`.
     pub fn lane_sectors_into(&self, out: &mut Vec<u64>) {
-        match self {
+        match *self {
             MemAccess::Strided {
                 base,
                 stride,
                 lanes,
                 ..
             } => {
-                for lane in 0..*lanes as u64 {
-                    out.push((base + lane * *stride as u64) / SECTOR_BYTES);
+                for lane in 0..lanes as u64 {
+                    out.push((base + lane * stride as u64) / SECTOR_BYTES);
                 }
             }
             MemAccess::Gather { addrs, .. } => {
@@ -190,8 +279,9 @@ impl MemAccess {
     }
 }
 
-/// One warp-level trace instruction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// One warp-level trace instruction. `Copy` — memory operands are inline
+/// [`MemRef`]s resolved against the owning [`TraceBuf`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Instr {
     /// Execution class.
     pub class: InstrClass,
@@ -202,10 +292,11 @@ pub struct Instr {
     /// Number of active lanes (1..=32); drives the occupancy W-buckets.
     pub active: u8,
     /// Memory addresses for memory-class instructions.
-    pub mem: Option<Box<MemAccess>>,
+    pub mem: MemRef,
 }
 
 impl Instr {
+    #[inline]
     fn pack_srcs(srcs: &[Reg]) -> [Reg; 3] {
         let mut out = [NO_REG; 3];
         for (slot, &reg) in out.iter_mut().zip(srcs.iter()) {
@@ -215,95 +306,100 @@ impl Instr {
     }
 
     /// An FP32 ALU instruction.
+    #[inline]
     pub fn fp32(dst: Reg, srcs: &[Reg], active: u8) -> Self {
         Instr {
             class: InstrClass::Fp32,
             dst,
             srcs: Self::pack_srcs(srcs),
             active,
-            mem: None,
+            mem: MemRef::None,
         }
     }
 
     /// An integer ALU instruction.
+    #[inline]
     pub fn int(dst: Reg, srcs: &[Reg], active: u8) -> Self {
         Instr {
             class: InstrClass::Int,
             dst,
             srcs: Self::pack_srcs(srcs),
             active,
-            mem: None,
+            mem: MemRef::None,
         }
     }
 
     /// A special-function-unit instruction.
+    #[inline]
     pub fn sfu(dst: Reg, srcs: &[Reg], active: u8) -> Self {
         Instr {
             class: InstrClass::Sfu,
             dst,
             srcs: Self::pack_srcs(srcs),
             active,
-            mem: None,
+            mem: MemRef::None,
         }
     }
 
     /// A global load of `mem` into `dst`, depending on `deps` (address
     /// registers).
-    pub fn load(dst: Reg, mem: MemAccess, deps: &[Reg]) -> Self {
-        let active = mem.lanes();
+    #[inline]
+    pub fn load(dst: Reg, mem: MemRef, deps: &[Reg]) -> Self {
         Instr {
             class: InstrClass::LoadGlobal,
             dst,
             srcs: Self::pack_srcs(deps),
-            active,
-            mem: Some(Box::new(mem)),
+            active: mem.lanes(),
+            mem,
         }
     }
 
     /// A global store of register `src` to `mem`.
-    pub fn store(src: Reg, mem: MemAccess) -> Self {
-        let active = mem.lanes();
+    #[inline]
+    pub fn store(src: Reg, mem: MemRef) -> Self {
         Instr {
             class: InstrClass::StoreGlobal,
             dst: NO_REG,
             srcs: Self::pack_srcs(&[src]),
-            active,
-            mem: Some(Box::new(mem)),
+            active: mem.lanes(),
+            mem,
         }
     }
 
     /// A global atomic RMW of register `src` onto `mem` (no return value,
     /// like the `atomicAdd` in a scatter reduction).
-    pub fn atomic(src: Reg, mem: MemAccess) -> Self {
-        let active = mem.lanes();
+    #[inline]
+    pub fn atomic(src: Reg, mem: MemRef) -> Self {
         Instr {
             class: InstrClass::AtomicGlobal,
             dst: NO_REG,
             srcs: Self::pack_srcs(&[src]),
-            active,
-            mem: Some(Box::new(mem)),
+            active: mem.lanes(),
+            mem,
         }
     }
 
     /// A control-flow instruction (branch / loop bookkeeping).
+    #[inline]
     pub fn control(active: u8) -> Self {
         Instr {
             class: InstrClass::Control,
             dst: NO_REG,
             srcs: [NO_REG; 3],
             active,
-            mem: None,
+            mem: MemRef::None,
         }
     }
 
     /// A CTA-wide barrier.
+    #[inline]
     pub fn sync(active: u8) -> Self {
         Instr {
             class: InstrClass::Sync,
             dst: NO_REG,
             srcs: [NO_REG; 3],
             active,
-            mem: None,
+            mem: MemRef::None,
         }
     }
 
@@ -313,41 +409,211 @@ impl Instr {
     }
 }
 
+/// A reusable warp-trace arena: a flat instruction vector plus one shared
+/// side-buffer of gather addresses referenced by [`MemRef::Gather`].
+///
+/// The simulator and profilers pool these buffers: a warp's trace is
+/// streamed into a recycled `TraceBuf` via
+/// [`KernelWorkload::trace_into`](crate::KernelWorkload::trace_into), so
+/// steady-state trace generation allocates nothing.
+///
+/// # Example
+///
+/// ```
+/// use gsuite_gpu::{InstrClass, TraceBuf, TraceBuilder};
+///
+/// let mut buf = TraceBuf::new();
+/// let mut tb = TraceBuilder::on(&mut buf, 4);
+/// let idx = tb.load_lanes(0x1000, 4);          // coalesced index load
+/// let val = tb.load_gather(&[0x2000, 0x9000, 0x4000, 0x100], 4, &[idx]);
+/// tb.fp32(&[val]);                             // consume
+/// tb.control();
+/// assert_eq!(buf.len(), 4);
+/// assert_eq!(buf[1].class, InstrClass::LoadGlobal);
+/// let mem = buf.mem_at(1).unwrap();
+/// assert_eq!(mem.lanes(), 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceBuf {
+    instrs: Vec<Instr>,
+    addrs: Vec<u64>,
+}
+
+impl TraceBuf {
+    /// An empty trace buffer.
+    pub fn new() -> Self {
+        TraceBuf::default()
+    }
+
+    /// An empty buffer with pre-reserved capacity.
+    pub fn with_capacity(instrs: usize, addrs: usize) -> Self {
+        TraceBuf {
+            instrs: Vec::with_capacity(instrs),
+            addrs: Vec::with_capacity(addrs),
+        }
+    }
+
+    /// Empties the buffer, keeping its allocations for reuse.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.instrs.clear();
+        self.addrs.clear();
+    }
+
+    /// Number of instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the trace is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The flat instruction slice.
+    #[inline]
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// The shared gather-address arena.
+    #[inline]
+    pub fn addrs(&self) -> &[u64] {
+        &self.addrs
+    }
+
+    /// Iterates over the instructions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instr> {
+        self.instrs.iter()
+    }
+
+    /// Resolves a [`MemRef`] against this buffer's arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gather reference points outside the arena (only possible
+    /// when resolving a `MemRef` from a *different* buffer).
+    #[inline]
+    pub fn resolve(&self, mem: MemRef) -> Option<MemAccess<'_>> {
+        match mem {
+            MemRef::None => None,
+            MemRef::Strided {
+                base,
+                stride,
+                lanes,
+                bytes_per_lane,
+            } => Some(MemAccess::Strided {
+                base,
+                stride,
+                lanes,
+                bytes_per_lane,
+            }),
+            MemRef::Gather {
+                start,
+                len,
+                bytes_per_lane,
+            } => Some(MemAccess::Gather {
+                addrs: &self.addrs[start as usize..start as usize + len as usize],
+                bytes_per_lane,
+            }),
+        }
+    }
+
+    /// The resolved memory access of instruction `idx`, if it has one.
+    #[inline]
+    pub fn mem_at(&self, idx: usize) -> Option<MemAccess<'_>> {
+        self.resolve(self.instrs[idx].mem)
+    }
+
+    /// Appends an already-built non-memory instruction.
+    #[inline]
+    pub fn push(&mut self, instr: Instr) {
+        debug_assert!(
+            !matches!(instr.mem, MemRef::Gather { .. }),
+            "gather instructions must be emitted through TraceBuilder so \
+             their addresses land in this buffer's arena"
+        );
+        self.instrs.push(instr);
+    }
+
+    /// Appends a gather-class instruction whose `lanes` addresses are
+    /// produced by `addr_of(lane)`, written straight into the arena.
+    /// Returns the [`MemRef`] now owned by this buffer.
+    #[inline]
+    pub fn push_gather_addrs(
+        &mut self,
+        lanes: usize,
+        bytes_per_lane: u32,
+        mut addr_of: impl FnMut(u64) -> u64,
+    ) -> MemRef {
+        debug_assert!((1..=32).contains(&lanes), "gather lanes must be 1..=32");
+        let start = self.addrs.len() as u32;
+        // `extend` over an exact-size range reserves once and skips the
+        // per-push growth check.
+        self.addrs.extend((0..lanes as u64).map(&mut addr_of));
+        MemRef::Gather {
+            start,
+            len: lanes as u8,
+            bytes_per_lane,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for TraceBuf {
+    type Output = Instr;
+    #[inline]
+    fn index(&self, idx: usize) -> &Instr {
+        &self.instrs[idx]
+    }
+}
+
+impl<'a> IntoIterator for &'a TraceBuf {
+    type Item = &'a Instr;
+    type IntoIter = std::slice::Iter<'a, Instr>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.instrs.iter()
+    }
+}
+
 /// Convenience builder that assembles a warp trace with rotating virtual
-/// registers.
+/// registers, streaming instructions (and gather addresses) into a
+/// [`TraceBuf`] without intermediate allocations.
 ///
 /// Kernels use it to express realistic dependency structure without
 /// hand-numbering registers:
 ///
 /// ```
-/// use gsuite_gpu::{TraceBuilder, InstrClass};
+/// use gsuite_gpu::{InstrClass, TraceBuf, TraceBuilder};
 ///
-/// let mut tb = TraceBuilder::new(32);
-/// let idx = tb.load_lanes(0x1000, 4);         // coalesced index load
-/// let val = tb.load_gather(&[0x2000, 0x9000, 0x4000], 4, &[idx]); // gather
-/// tb.fp32(&[val]);                             // consume
+/// let mut buf = TraceBuf::new();
+/// let mut tb = TraceBuilder::on(&mut buf, 32);
+/// let a = tb.load_lanes(0x1000, 4);
+/// let b = tb.fp32(&[a]);
+/// tb.store_lanes(b, 0x2000, 4);
 /// tb.control();
-/// let trace = tb.finish();
-/// assert_eq!(trace.len(), 4);
-/// assert_eq!(trace[1].class, InstrClass::LoadGlobal);
+/// assert_eq!(buf.len(), 4);
 /// ```
 #[derive(Debug)]
-pub struct TraceBuilder {
-    trace: Vec<Instr>,
+pub struct TraceBuilder<'a> {
+    buf: &'a mut TraceBuf,
     next_reg: Reg,
     active: u8,
 }
 
-impl TraceBuilder {
-    /// A builder for a warp with `active` live lanes.
+impl<'a> TraceBuilder<'a> {
+    /// A builder appending to `buf` for a warp with `active` live lanes.
+    /// Callers reusing a buffer across warps must [`TraceBuf::clear`] it
+    /// first; the builder appends.
     ///
     /// # Panics
     ///
     /// Panics if `active` is 0 or greater than 32.
-    pub fn new(active: usize) -> Self {
-        assert!(active >= 1 && active <= 32, "active lanes must be 1..=32");
+    pub fn on(buf: &'a mut TraceBuf, active: usize) -> Self {
+        assert!((1..=32).contains(&active), "active lanes must be 1..=32");
         TraceBuilder {
-            trace: Vec::new(),
+            buf,
             next_reg: 0,
             active: active as u8,
         }
@@ -358,11 +624,13 @@ impl TraceBuilder {
     /// # Panics
     ///
     /// Panics if `active` is 0 or greater than 32.
+    #[inline]
     pub fn set_active(&mut self, active: usize) {
-        assert!(active >= 1 && active <= 32, "active lanes must be 1..=32");
+        assert!((1..=32).contains(&active), "active lanes must be 1..=32");
         self.active = active as u8;
     }
 
+    #[inline]
     fn alloc(&mut self) -> Reg {
         let r = self.next_reg;
         // Rotate through the register window: old values naturally become
@@ -372,49 +640,43 @@ impl TraceBuilder {
     }
 
     /// Emits an FP32 op reading `srcs`, returns its destination register.
+    #[inline]
     pub fn fp32(&mut self, srcs: &[Reg]) -> Reg {
         let dst = self.alloc();
-        self.trace.push(Instr::fp32(dst, srcs, self.active));
+        self.buf.instrs.push(Instr::fp32(dst, srcs, self.active));
         dst
     }
 
     /// Emits an integer op reading `srcs`, returns its destination register.
+    #[inline]
     pub fn int(&mut self, srcs: &[Reg]) -> Reg {
         let dst = self.alloc();
-        self.trace.push(Instr::int(dst, srcs, self.active));
+        self.buf.instrs.push(Instr::int(dst, srcs, self.active));
         dst
     }
 
     /// Emits an SFU op reading `srcs`, returns its destination register.
+    #[inline]
     pub fn sfu(&mut self, srcs: &[Reg]) -> Reg {
         let dst = self.alloc();
-        self.trace.push(Instr::sfu(dst, srcs, self.active));
+        self.buf.instrs.push(Instr::sfu(dst, srcs, self.active));
         dst
     }
 
     /// Emits a unit-stride warp load: lane `i` reads
     /// `base + i * bytes_per_lane`. Returns the destination register.
+    #[inline]
     pub fn load_lanes(&mut self, base: u64, bytes_per_lane: u32) -> Reg {
-        let dst = self.alloc();
-        self.trace.push(Instr::load(
-            dst,
-            MemAccess::Strided {
-                base,
-                stride: bytes_per_lane,
-                lanes: self.active,
-                bytes_per_lane,
-            },
-            &[],
-        ));
-        dst
+        self.load_strided(base, bytes_per_lane, bytes_per_lane)
     }
 
     /// Emits a strided warp load with an explicit inter-lane stride.
+    #[inline]
     pub fn load_strided(&mut self, base: u64, stride: u32, bytes_per_lane: u32) -> Reg {
         let dst = self.alloc();
-        self.trace.push(Instr::load(
+        self.buf.instrs.push(Instr::load(
             dst,
-            MemAccess::Strided {
+            MemRef::Strided {
                 base,
                 stride,
                 lanes: self.active,
@@ -425,27 +687,58 @@ impl TraceBuilder {
         dst
     }
 
-    /// Emits a gather load from explicit per-lane addresses that depends on
-    /// `deps` (e.g. the register holding gathered indices). Returns the
+    /// Emits a gather load whose per-lane addresses are computed by
+    /// `addr_of(lane)` over the current active-lane count, depending on
+    /// `deps` (e.g. the register holding gathered indices). The addresses
+    /// stream directly into the arena — no intermediate `Vec`. Returns the
     /// destination register.
-    pub fn load_gather(&mut self, addrs: &[u64], bytes_per_lane: u32, deps: &[Reg]) -> Reg {
+    #[inline]
+    pub fn load_gather_with(
+        &mut self,
+        bytes_per_lane: u32,
+        deps: &[Reg],
+        addr_of: impl FnMut(u64) -> u64,
+    ) -> Reg {
         let dst = self.alloc();
-        self.trace.push(Instr::load(
-            dst,
-            MemAccess::Gather {
-                addrs: addrs.to_vec(),
-                bytes_per_lane,
-            },
-            deps,
-        ));
+        let mem = self
+            .buf
+            .push_gather_addrs(self.active as usize, bytes_per_lane, addr_of);
+        self.buf.instrs.push(Instr::load(dst, mem, deps));
         dst
     }
 
+    /// Emits a gather load from explicit per-lane addresses (slice
+    /// convenience over [`TraceBuilder::load_gather_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `addrs` holds 1..=32 addresses (one per active lane).
+    pub fn load_gather(&mut self, addrs: &[u64], bytes_per_lane: u32, deps: &[Reg]) -> Reg {
+        let lanes = Self::gather_lanes(addrs);
+        let dst = self.alloc();
+        let mem = self
+            .buf
+            .push_gather_addrs(lanes, bytes_per_lane, |lane| addrs[lane as usize]);
+        self.buf.instrs.push(Instr::load(dst, mem, deps));
+        dst
+    }
+
+    /// Validates a per-lane address slice (1..=32 entries).
+    fn gather_lanes(addrs: &[u64]) -> usize {
+        assert!(
+            !addrs.is_empty() && addrs.len() <= 32,
+            "gather/scatter needs 1..=32 per-lane addresses, got {}",
+            addrs.len()
+        );
+        addrs.len()
+    }
+
     /// Emits a unit-stride warp store of register `src`.
+    #[inline]
     pub fn store_lanes(&mut self, src: Reg, base: u64, bytes_per_lane: u32) {
-        self.trace.push(Instr::store(
+        self.buf.instrs.push(Instr::store(
             src,
-            MemAccess::Strided {
+            MemRef::Strided {
                 base,
                 stride: bytes_per_lane,
                 lanes: self.active,
@@ -454,51 +747,80 @@ impl TraceBuilder {
         ));
     }
 
+    /// Emits a scatter store of `src` with addresses from `addr_of(lane)`.
+    #[inline]
+    pub fn store_scatter_with(
+        &mut self,
+        src: Reg,
+        bytes_per_lane: u32,
+        addr_of: impl FnMut(u64) -> u64,
+    ) {
+        let mem = self
+            .buf
+            .push_gather_addrs(self.active as usize, bytes_per_lane, addr_of);
+        self.buf.instrs.push(Instr::store(src, mem));
+    }
+
     /// Emits a scatter store of `src` to explicit per-lane addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `addrs` holds 1..=32 addresses (one per active lane).
     pub fn store_scatter(&mut self, src: Reg, addrs: &[u64], bytes_per_lane: u32) {
-        self.trace.push(Instr::store(
-            src,
-            MemAccess::Gather {
-                addrs: addrs.to_vec(),
-                bytes_per_lane,
-            },
-        ));
+        let lanes = Self::gather_lanes(addrs);
+        let mem = self
+            .buf
+            .push_gather_addrs(lanes, bytes_per_lane, |lane| addrs[lane as usize]);
+        self.buf.instrs.push(Instr::store(src, mem));
+    }
+
+    /// Emits an atomic RMW of `src` with addresses from `addr_of(lane)`.
+    #[inline]
+    pub fn atomic_scatter_with(
+        &mut self,
+        src: Reg,
+        bytes_per_lane: u32,
+        addr_of: impl FnMut(u64) -> u64,
+    ) {
+        let mem = self
+            .buf
+            .push_gather_addrs(self.active as usize, bytes_per_lane, addr_of);
+        self.buf.instrs.push(Instr::atomic(src, mem));
     }
 
     /// Emits an atomic RMW of `src` onto explicit per-lane addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `addrs` holds 1..=32 addresses (one per active lane).
     pub fn atomic_scatter(&mut self, src: Reg, addrs: &[u64], bytes_per_lane: u32) {
-        self.trace.push(Instr::atomic(
-            src,
-            MemAccess::Gather {
-                addrs: addrs.to_vec(),
-                bytes_per_lane,
-            },
-        ));
+        let lanes = Self::gather_lanes(addrs);
+        let mem = self
+            .buf
+            .push_gather_addrs(lanes, bytes_per_lane, |lane| addrs[lane as usize]);
+        self.buf.instrs.push(Instr::atomic(src, mem));
     }
 
     /// Emits a control-flow instruction.
+    #[inline]
     pub fn control(&mut self) {
-        self.trace.push(Instr::control(self.active));
+        self.buf.instrs.push(Instr::control(self.active));
     }
 
     /// Emits a CTA barrier.
+    #[inline]
     pub fn sync(&mut self) {
-        self.trace.push(Instr::sync(self.active));
+        self.buf.instrs.push(Instr::sync(self.active));
     }
 
-    /// Number of instructions emitted so far.
+    /// Number of instructions emitted into the underlying buffer so far.
     pub fn len(&self) -> usize {
-        self.trace.len()
+        self.buf.instrs.len()
     }
 
     /// Whether no instructions have been emitted.
     pub fn is_empty(&self) -> bool {
-        self.trace.is_empty()
-    }
-
-    /// Finalizes and returns the trace.
-    pub fn finish(self) -> Vec<Instr> {
-        self.trace
+        self.buf.instrs.is_empty()
     }
 }
 
@@ -506,23 +828,27 @@ impl TraceBuilder {
 mod tests {
     use super::*;
 
+    fn gather(addrs: &[u64], bytes_per_lane: u32) -> (TraceBuf, usize) {
+        let mut buf = TraceBuf::new();
+        let mut tb = TraceBuilder::on(&mut buf, addrs.len().clamp(1, 32));
+        tb.load_gather(addrs, bytes_per_lane, &[]);
+        (buf, 0)
+    }
+
     #[test]
     fn sectors_dedup_and_split() {
-        let acc = MemAccess::Gather {
-            addrs: vec![0, 4, 8, 31, 32, 100],
-            bytes_per_lane: 4,
-        };
+        let (buf, idx) = gather(&[0, 4, 8, 31, 32, 100], 4);
         // 0..31 -> sector 0; addr 31 (4 bytes) spans sectors 0 and 1;
         // 32 -> sector 1; 100..104 -> sector 3.
-        assert_eq!(acc.sectors(), vec![0, 1, 3]);
+        assert_eq!(buf.mem_at(idx).unwrap().sectors(), vec![0, 1, 3]);
     }
 
     #[test]
     fn coalesced_warp_load_touches_four_sectors() {
-        let mut tb = TraceBuilder::new(32);
+        let mut buf = TraceBuf::new();
+        let mut tb = TraceBuilder::on(&mut buf, 32);
         tb.load_lanes(0, 4);
-        let trace = tb.finish();
-        let mem = trace[0].mem.as_ref().unwrap();
+        let mem = buf.mem_at(0).unwrap();
         assert_eq!(mem.sectors().len(), 4, "32 lanes x 4B = 128B = 4 sectors");
     }
 
@@ -534,8 +860,9 @@ mod tests {
             lanes: 16,
             bytes_per_lane: 4,
         };
+        let addrs: Vec<u64> = (0..16).map(|i| 64 + i * 8).collect();
         let gather = MemAccess::Gather {
-            addrs: (0..16).map(|i| 64 + i * 8).collect(),
+            addrs: &addrs,
             bytes_per_lane: 4,
         };
         assert_eq!(strided.sectors(), gather.sectors());
@@ -548,40 +875,90 @@ mod tests {
     }
 
     #[test]
+    fn strided_overlapping_sectors_dedup_without_sort() {
+        // 32-bit loads at stride 4 share sectors between lanes.
+        let acc = MemAccess::Strided {
+            base: 16,
+            stride: 4,
+            lanes: 32,
+            bytes_per_lane: 4,
+        };
+        let s = acc.sectors();
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+        // bytes 16..148 -> sectors 0..=4
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
     fn scattered_load_touches_many_sectors() {
         let addrs: Vec<u64> = (0..32).map(|i| i * 4096).collect();
-        let mut tb = TraceBuilder::new(32);
-        tb.load_gather(&addrs, 4, &[]);
-        let trace = tb.finish();
-        assert_eq!(trace[0].mem.as_ref().unwrap().sectors().len(), 32);
+        let (buf, idx) = gather(&addrs, 4);
+        assert_eq!(buf.mem_at(idx).unwrap().sectors().len(), 32);
     }
 
     #[test]
     fn lane_sectors_keep_duplicates() {
-        let acc = MemAccess::Gather {
-            addrs: vec![0, 4, 8, 64],
-            bytes_per_lane: 4,
-        };
+        let (buf, idx) = gather(&[0, 4, 8, 64], 4);
         let mut lanes = Vec::new();
-        acc.lane_sectors_into(&mut lanes);
+        buf.mem_at(idx).unwrap().lane_sectors_into(&mut lanes);
         assert_eq!(lanes, vec![0, 0, 0, 2]);
     }
 
     #[test]
     fn builder_tracks_dependencies() {
-        let mut tb = TraceBuilder::new(32);
+        let mut buf = TraceBuf::new();
+        let mut tb = TraceBuilder::on(&mut buf, 32);
         let a = tb.load_lanes(0, 4);
         let b = tb.fp32(&[a]);
         tb.store_lanes(b, 4096, 4);
-        let trace = tb.finish();
-        assert_eq!(trace[1].sources().collect::<Vec<_>>(), vec![a]);
-        assert_eq!(trace[2].sources().collect::<Vec<_>>(), vec![b]);
-        assert_eq!(trace[2].class, InstrClass::StoreGlobal);
+        assert_eq!(buf[1].sources().collect::<Vec<_>>(), vec![a]);
+        assert_eq!(buf[2].sources().collect::<Vec<_>>(), vec![b]);
+        assert_eq!(buf[2].class, InstrClass::StoreGlobal);
+    }
+
+    #[test]
+    fn gather_with_streams_addresses_into_arena() {
+        let mut buf = TraceBuf::new();
+        let mut tb = TraceBuilder::on(&mut buf, 8);
+        let idx = tb.int(&[]);
+        tb.load_gather_with(4, &[idx], |lane| 0x1000 + lane * 64);
+        tb.atomic_scatter_with(idx, 4, |lane| 0x8000 + lane * 4);
+        assert_eq!(buf.addrs().len(), 16, "8 gather + 8 scatter addresses");
+        let mut a = Vec::new();
+        buf.mem_at(1).unwrap().lane_addrs(&mut a);
+        assert_eq!(a[0], 0x1000);
+        assert_eq!(a[7], 0x1000 + 7 * 64);
+        let mem = buf.mem_at(2).unwrap();
+        assert_eq!(mem.lanes(), 8);
+    }
+
+    #[test]
+    fn cleared_buffer_reuses_capacity() {
+        let mut buf = TraceBuf::new();
+        {
+            let mut tb = TraceBuilder::on(&mut buf, 32);
+            for _ in 0..64 {
+                tb.load_gather_with(4, &[], |lane| lane * 4096);
+            }
+        }
+        let instr_cap = buf.instrs.capacity();
+        let addr_cap = buf.addrs.capacity();
+        buf.clear();
+        assert!(buf.is_empty());
+        {
+            let mut tb = TraceBuilder::on(&mut buf, 32);
+            for _ in 0..64 {
+                tb.load_gather_with(4, &[], |lane| lane * 4096);
+            }
+        }
+        assert_eq!(buf.instrs.capacity(), instr_cap, "no instr regrowth");
+        assert_eq!(buf.addrs.capacity(), addr_cap, "no addr regrowth");
     }
 
     #[test]
     fn register_window_rotates() {
-        let mut tb = TraceBuilder::new(1);
+        let mut buf = TraceBuf::new();
+        let mut tb = TraceBuilder::on(&mut buf, 1);
         let first = tb.fp32(&[]);
         for _ in 0..(REG_WINDOW as usize - 1) {
             tb.fp32(&[]);
@@ -592,16 +969,34 @@ mod tests {
 
     #[test]
     fn active_lane_bounds() {
-        let mut tb = TraceBuilder::new(7);
+        let mut buf = TraceBuf::new();
+        let mut tb = TraceBuilder::on(&mut buf, 7);
         tb.control();
-        let trace = tb.finish();
-        assert_eq!(trace[0].active, 7);
+        assert_eq!(buf[0].active, 7);
     }
 
     #[test]
     #[should_panic(expected = "active lanes")]
     fn zero_active_rejected() {
-        let _ = TraceBuilder::new(0);
+        let mut buf = TraceBuf::new();
+        let _ = TraceBuilder::on(&mut buf, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=32 per-lane addresses")]
+    fn empty_gather_slice_rejected() {
+        let mut buf = TraceBuf::new();
+        let mut tb = TraceBuilder::on(&mut buf, 32);
+        tb.load_gather(&[], 4, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=32 per-lane addresses")]
+    fn oversized_scatter_slice_rejected() {
+        let addrs = [0u64; 33];
+        let mut buf = TraceBuf::new();
+        let mut tb = TraceBuilder::on(&mut buf, 32);
+        tb.atomic_scatter(0, &addrs, 4);
     }
 
     #[test]
@@ -611,5 +1006,14 @@ mod tests {
         assert!(!InstrClass::Fp32.is_memory());
         assert!(InstrClass::Fp32.is_compute());
         assert!(!InstrClass::Sync.is_compute());
+    }
+
+    #[test]
+    fn instr_is_small_and_copy() {
+        // The flat trace vector's element size bounds replay bandwidth.
+        assert!(std::mem::size_of::<Instr>() <= 32);
+        let i = Instr::control(32);
+        let j = i; // Copy
+        assert_eq!(i, j);
     }
 }

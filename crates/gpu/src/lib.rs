@@ -23,7 +23,12 @@
 //! Kernels are *trace-driven*: anything implementing [`KernelWorkload`]
 //! exposes a grid of CTAs and per-warp instruction traces whose memory
 //! addresses come from live input data, so irregular-access behaviour (the
-//! heart of GNN inference) is genuine rather than synthesized.
+//! heart of GNN inference) is genuine rather than synthesized. Traces are
+//! *streamed* through reusable [`TraceBuf`] arenas
+//! ([`KernelWorkload::trace_into`]): instructions are `Copy`, gather
+//! addresses live in a shared side-buffer, and the simulator recycles
+//! buffers across warps, so steady-state trace generation and replay do
+//! not touch the allocator.
 //!
 //! The simulator is event-driven between issue cycles, which keeps
 //! multi-million-instruction kernels tractable on one host core, and
@@ -59,7 +64,7 @@ mod workload;
 
 pub use cache::{CacheConfig, SetAssocCache};
 pub use config::GpuConfig;
-pub use isa::{Instr, InstrClass, MemAccess, Reg, TraceBuilder, NO_REG};
+pub use isa::{Instr, InstrClass, MemAccess, MemRef, Reg, TraceBuf, TraceBuilder, NO_REG};
 pub use memsys::MemSubsystem;
 pub use sim::{SimOptions, Simulator};
 pub use stats::{CacheStats, InstrMix, OccupancyBuckets, SimStats, StallBreakdown, StallReason};

@@ -5,9 +5,9 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::config::GpuConfig;
-use crate::isa::{InstrClass, Reg, NO_REG};
+use crate::isa::{InstrClass, Reg, TraceBuf, NO_REG};
 use crate::memsys::MemSubsystem;
-use crate::sm::{reg_bit, BlockReason, CtaState, FuKind, SmState, WarpState};
+use crate::sm::{fu_code, reg_bit, BlockReason, CtaState, FuKind, SmState, WarpState, NO_FU};
 use crate::stats::{InstrMix, OccupancyBuckets, SimStats, StallBreakdown, StallReason};
 use crate::workload::KernelWorkload;
 
@@ -27,7 +27,9 @@ pub struct SimOptions {
 ///
 /// Create one per device configuration and call [`Simulator::run`] once per
 /// kernel launch; runs are independent (caches start cold each launch, as
-/// the paper's per-kernel profiling does).
+/// the paper's per-kernel profiling does). `run` takes `&self`, so one
+/// simulator can serve concurrent launches from multiple threads (see
+/// `gsuite_core::pipeline::PipelineRun::profile_par`).
 #[derive(Debug, Clone)]
 pub struct Simulator {
     config: GpuConfig,
@@ -124,12 +126,21 @@ struct Run<'a, W: KernelWorkload + ?Sized> {
     idle_acc: u64,
     /// Per `(sm, sched)` cycle at which the scheduler last became empty.
     idle_start: Vec<u64>,
-    /// Scheduler keys with (potentially) non-empty ready lists; the issue
-    /// phase iterates only these instead of every scheduler on the device.
-    active: Vec<usize>,
+    /// Count of scheduler keys flagged active; the issue phase walks the
+    /// `is_active` bitmap in key order (deterministic SM-major order) and
+    /// skips the walk entirely when nothing is flagged.
+    active_count: usize,
     is_active: Vec<bool>,
+    /// Precomputed `1.0 / fu_rate` per functional unit (avoids an f64
+    /// division on every issue).
+    inv_fu_rate: [f64; 4],
     // scratch buffers reused across instructions
     scratch_sectors: Vec<u64>,
+    /// Reusable barrier-release worklist (avoids cloning CTA slot lists).
+    barrier_scratch: Vec<usize>,
+    /// Retired warps' trace buffers, recycled into new placements so
+    /// steady-state trace streaming never touches the allocator.
+    trace_pool: Vec<TraceBuf>,
 }
 
 impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
@@ -147,7 +158,7 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
                 .map(|_| SmState::new(cfg.warps_per_sm, cfg.ctas_per_sm, cfg.schedulers_per_sm))
                 .collect(),
             gens: vec![vec![0; cfg.warps_per_sm]; cfg.num_sms],
-            events: BinaryHeap::new(),
+            events: BinaryHeap::with_capacity(cfg.num_sms * cfg.warps_per_sm * 2),
             seq: 0,
             now: 0,
             next_cta: 0,
@@ -159,15 +170,35 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
             occ: OccupancyBuckets::default(),
             idle_acc: 0,
             idle_start: vec![0; cfg.num_sms * cfg.schedulers_per_sm],
-            active: Vec::with_capacity(cfg.num_sms * cfg.schedulers_per_sm),
+            active_count: 0,
             is_active: vec![false; cfg.num_sms * cfg.schedulers_per_sm],
+            inv_fu_rate: [
+                1.0 / cfg.fp32_rate,
+                1.0 / cfg.int_rate,
+                1.0 / cfg.sfu_rate,
+                1.0 / cfg.ldst_rate,
+            ],
             scratch_sectors: Vec::with_capacity(128),
+            barrier_scratch: Vec::with_capacity(32),
+            trace_pool: Vec::new(),
         }
     }
 
     #[inline]
     fn sched_key(&self, sm: usize, sched: usize) -> usize {
         sm * self.cfg.schedulers_per_sm + sched
+    }
+
+    /// Refreshes the [`SmState::cur_fu`] shadow entry for `slot` from the
+    /// warp's current instruction. Must run whenever a live warp's PC
+    /// changes.
+    #[inline]
+    fn refresh_cur_fu(&mut self, sm: usize, slot: usize) {
+        let code = match self.sms[sm].warps[slot].as_ref() {
+            Some(w) if !w.done && w.pc < w.trace.len() => fu_code(w.current().class),
+            _ => NO_FU,
+        };
+        self.sms[sm].cur_fu[slot] = code;
     }
 
     /// Moves a warp into its scheduler's ready list and flags the scheduler
@@ -181,7 +212,7 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
         let key = self.sched_key(sm, sched);
         if !self.is_active[key] {
             self.is_active[key] = true;
-            self.active.push(key);
+            self.active_count += 1;
         }
     }
 
@@ -265,8 +296,13 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
         let mut warp_slots = Vec::with_capacity(warps_per_cta as usize);
         let mut live = 0usize;
         for w in 0..warps_per_cta {
-            let trace = self.workload.trace(cta, w);
+            // Stream the warp's trace into a recycled buffer; hand it back
+            // to the pool immediately if the warp turns out to be empty.
+            let mut trace = self.trace_pool.pop().unwrap_or_default();
+            trace.clear();
+            self.workload.trace_into(&mut trace, cta, w);
             if trace.is_empty() {
+                self.trace_pool.push(trace);
                 continue;
             }
             let slot = self.sms[sm_idx]
@@ -288,6 +324,7 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
                 self.idle_acc += self.now.saturating_sub(self.idle_start[key]);
             }
             self.sms[sm_idx].warps[slot] = Some(warp);
+            self.refresh_cur_fu(sm_idx, slot);
             warp_slots.push(slot);
             live += 1;
             self.push_event(
@@ -313,11 +350,7 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
     }
 
     fn process_due_events(&mut self) {
-        while self
-            .events
-            .peek()
-            .is_some_and(|event| event.at <= self.now)
-        {
+        while self.events.peek().is_some_and(|event| event.at <= self.now) {
             let event = self.events.pop().expect("peeked");
             match event.kind {
                 EventKind::LoadDone {
@@ -338,8 +371,9 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
                     self.wake_mem_waiters(sm);
                 }
                 EventKind::StoreDone { sm, sectors } => {
-                    self.sms[sm].inflight_stores =
-                        self.sms[sm].inflight_stores.saturating_sub(sectors as usize);
+                    self.sms[sm].inflight_stores = self.sms[sm]
+                        .inflight_stores
+                        .saturating_sub(sectors as usize);
                     self.wake_mem_waiters(sm);
                 }
                 EventKind::Wake { sm, slot, gen } => {
@@ -369,10 +403,9 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
             2
         };
         for _ in 0..budget {
-            if self.sms[sm].mem_waiters.is_empty() {
+            let Some(slot) = self.sms[sm].mem_waiters.pop_front() else {
                 break;
-            }
-            let slot = self.sms[sm].mem_waiters.remove(0);
+            };
             self.reevaluate(sm, slot);
         }
     }
@@ -394,9 +427,9 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
             if reason == BlockReason::Barrier {
                 return;
             }
-            let instr = &warp.trace[warp.pc];
-            let mem_mask = warp.mem_blocking(instr);
-            let alu_ready = warp.alu_ready_at(instr);
+            let instr = *warp.current();
+            let mem_mask = warp.mem_blocking(&instr);
+            let alu_ready = warp.alu_ready_at(&instr);
             let new_reason = if mem_mask != 0 {
                 Some(BlockReason::Memory)
             } else if alu_ready > now {
@@ -440,18 +473,22 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
     /// the residual at finalize, which keeps the per-cycle cost of empty
     /// schedulers at a single branch.
     fn issue_phase(&mut self) -> bool {
+        if self.active_count == 0 {
+            return false;
+        }
         let mut any_ready = false;
-        // Deterministic SM-major order also keeps memory access sequential.
-        self.active.sort_unstable();
-        let mut i = 0;
-        while i < self.active.len() {
-            let key = self.active[i];
+        // Walking the flags in key order keeps the deterministic SM-major
+        // order without sorting a worklist every cycle.
+        for key in 0..self.is_active.len() {
+            if !self.is_active[key] {
+                continue;
+            }
             let sm = key / self.cfg.schedulers_per_sm;
             let sched = key % self.cfg.schedulers_per_sm;
             if self.sms[sm].ready[sched].is_empty() {
                 // Stale entry: deactivate.
                 self.is_active[key] = false;
-                self.active.swap_remove(i);
+                self.active_count -= 1;
                 continue;
             }
             any_ready = true;
@@ -464,61 +501,97 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
             } else {
                 self.stalls.add(StallReason::NotSelected, remaining as u64);
             }
-            i += 1;
         }
         any_ready
     }
 
-    /// Greedy-then-oldest pick: last-issued warp first, then ascending age.
-    /// Tries up to four candidates (a realistic scheduler examines a small
-    /// window) until one issues. Returns whether an issue happened.
+    /// Greedy-then-oldest pick: last-issued warp first, then ascending
+    /// age — a single linear walk over the age-sorted ready list. A
+    /// realistic scheduler examines a small window, so the walk gives up
+    /// after four candidates whose functional unit has no issue slot this
+    /// cycle; those are rejected from the [`SmState::cur_fu`] shadow array
+    /// without touching their scattered `WarpState`s (FU-busy rejections
+    /// outnumber issues on compute-dense kernels). Returns whether an
+    /// issue happened.
     fn try_issue_for_scheduler(&mut self, sm: usize, sched: usize) -> bool {
-        let mut tried = [usize::MAX; 4];
-        let mut tried_len = 0usize;
-        while tried_len < tried.len() {
-            let candidate = {
-                let smst = &self.sms[sm];
-                let ready = &smst.ready[sched];
-                if ready.is_empty() {
-                    return false;
+        let now_f = self.now as f64;
+        let mut busy = 0usize;
+        // Greedy phase: retry the last-issued warp first, regardless of age.
+        let greedy = self.sms[sm].last_issued[sched]
+            .filter(|&g| self.sms[sm].ready[sched].iter().any(|&(slot, _)| slot == g));
+        if let Some(g) = greedy {
+            let fu = self.sms[sm].cur_fu[g];
+            if fu != NO_FU && self.sms[sm].fu_free[fu as usize] > now_f {
+                busy += 1;
+            } else {
+                match self.issue_warp(sm, sched, g) {
+                    IssueOutcome::Issued => {
+                        self.sms[sm].last_issued[sched] = Some(g);
+                        return true;
+                    }
+                    IssueOutcome::FuBusy => busy += 1,
+                    IssueOutcome::BecameBlocked => {}
                 }
-                let not_tried = |s: &usize| !tried[..tried_len].contains(s);
-                let greedy = smst.last_issued[sched].filter(|s| {
-                    not_tried(s)
-                        && smst.warps[*s].as_ref().is_some_and(|w| w.in_ready)
-                        && ready.contains(s)
-                });
-                match greedy {
-                    Some(slot) => Some(slot),
-                    None => ready
-                        .iter()
-                        .copied()
-                        .filter(not_tried)
-                        .min_by_key(|&s| smst.warps[s].as_ref().map_or(u64::MAX, |w| w.age)),
-                }
+            }
+        }
+        // Oldest-first walk. A candidate that blocks on MSHR/store-queue
+        // capacity leaves the list, so the index then already points at
+        // the next entry.
+        let mut i = 0usize;
+        while busy < 4 {
+            let Some(&(slot, _)) = self.sms[sm].ready[sched].get(i) else {
+                return false;
             };
-            let Some(slot) = candidate else { return false };
+            if Some(slot) == greedy {
+                i += 1;
+                continue;
+            }
+            let fu = self.sms[sm].cur_fu[slot];
+            if fu != NO_FU && self.sms[sm].fu_free[fu as usize] > now_f {
+                busy += 1;
+                i += 1;
+                continue;
+            }
             match self.issue_warp(sm, sched, slot) {
                 IssueOutcome::Issued => {
                     self.sms[sm].last_issued[sched] = Some(slot);
                     return true;
                 }
                 IssueOutcome::FuBusy => {
-                    tried[tried_len] = slot;
-                    tried_len += 1;
+                    busy += 1;
+                    i += 1;
                 }
-                IssueOutcome::BecameBlocked => {
-                    // Warp left the ready list (MSHR/queue full); try others.
-                }
+                IssueOutcome::BecameBlocked => {}
             }
         }
         false
     }
 
+    /// Expands the current instruction's coalesced sectors into
+    /// `scratch_sectors` (cleared first). `per_lane` keeps duplicates (the
+    /// atomic path).
+    fn expand_sectors(&mut self, sm: usize, slot: usize, per_lane: bool) {
+        self.scratch_sectors.clear();
+        let mut v = std::mem::take(&mut self.scratch_sectors);
+        {
+            let warp = self.sms[sm].warps[slot].as_ref().expect("ready warp");
+            let mem = warp
+                .trace
+                .mem_at(warp.pc)
+                .expect("memory instr carries addresses");
+            if per_lane {
+                mem.lane_sectors_into(&mut v);
+            } else {
+                mem.sectors_into(&mut v);
+            }
+        }
+        self.scratch_sectors = v;
+    }
+
     fn issue_warp(&mut self, sm: usize, sched: usize, slot: usize) -> IssueOutcome {
         let now = self.now;
-        // Snapshot what we need from the instruction without holding the
-        // borrow across SM mutation.
+        // Copy out what we need from the instruction (Instr is Copy) so no
+        // borrow is held across SM mutation.
         let (class, dst, active) = {
             let warp = self.sms[sm].warps[slot].as_ref().expect("ready warp");
             let instr = warp.current();
@@ -535,14 +608,7 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
 
         match class {
             InstrClass::LoadGlobal => {
-                self.scratch_sectors.clear();
-                {
-                    let warp = self.sms[sm].warps[slot].as_ref().expect("ready warp");
-                    let mem = warp.current().mem.as_ref().expect("load carries addresses");
-                    let mut v = std::mem::take(&mut self.scratch_sectors);
-                    mem.sectors_into(&mut v);
-                    self.scratch_sectors = v;
-                }
+                self.expand_sectors(sm, slot, false);
                 let needed = self.scratch_sectors.len();
                 if self.sms[sm].inflight_loads + needed > self.cfg.l1_mshrs {
                     self.block_on_mem_capacity(sm, sched, slot);
@@ -573,18 +639,7 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
             }
             InstrClass::StoreGlobal | InstrClass::AtomicGlobal => {
                 let is_atomic = class == InstrClass::AtomicGlobal;
-                self.scratch_sectors.clear();
-                {
-                    let warp = self.sms[sm].warps[slot].as_ref().expect("ready warp");
-                    let mem = warp.current().mem.as_ref().expect("store carries addresses");
-                    let mut v = std::mem::take(&mut self.scratch_sectors);
-                    if is_atomic {
-                        mem.lane_sectors_into(&mut v);
-                    } else {
-                        mem.sectors_into(&mut v);
-                    }
-                    self.scratch_sectors = v;
-                }
+                self.expand_sectors(sm, slot, is_atomic);
                 // Queue occupancy is in unique sectors.
                 let unique = if is_atomic {
                     let mut u = self.scratch_sectors.clone();
@@ -646,7 +701,7 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
                 // refill completes.
                 let gen = self.gens[sm][slot];
                 self.advance_pc(sm, sched, slot);
-                let retired = self.sms[sm].warps[slot].as_ref().map_or(true, |w| w.done);
+                let retired = self.sms[sm].warps[slot].as_ref().is_none_or(|w| w.done);
                 if !retired {
                     self.remove_from_ready_if_needed(sm, sched, slot);
                     let warp = self.sms[sm].warps[slot].as_mut().expect("live warp");
@@ -668,14 +723,9 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
     }
 
     fn consume_fu(&mut self, sm: usize, fu: FuKind) {
-        let rate = match fu {
-            FuKind::Fp32 => self.cfg.fp32_rate,
-            FuKind::Int => self.cfg.int_rate,
-            FuKind::Sfu => self.cfg.sfu_rate,
-            FuKind::Ldst => self.cfg.ldst_rate,
-        };
+        let interval = self.inv_fu_rate[fu as usize];
         let free = &mut self.sms[sm].fu_free[fu as usize];
-        *free = free.max(self.now as f64) + 1.0 / rate;
+        *free = free.max(self.now as f64) + interval;
     }
 
     fn record_issue(&mut self, active: u8) {
@@ -704,9 +754,9 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
             if warp.pc >= warp.trace.len() {
                 Next::Retire
             } else {
-                let instr = &warp.trace[warp.pc];
-                let mem_mask = warp.mem_blocking(instr);
-                let alu_ready = warp.alu_ready_at(instr);
+                let instr = *warp.current();
+                let mem_mask = warp.mem_blocking(&instr);
+                let alu_ready = warp.alu_ready_at(&instr);
                 if mem_mask != 0 {
                     Next::Block(BlockReason::Memory, None)
                 } else if alu_ready > now {
@@ -717,7 +767,10 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
             }
         };
         match next {
-            Next::Retire => self.retire_warp(sm, sched, slot),
+            Next::Retire => {
+                self.retire_warp(sm, sched, slot);
+                return;
+            }
             Next::Ready => { /* stays in (or returns to) the ready list */ }
             Next::Block(reason, wake_at) => {
                 self.remove_from_ready_if_needed(sm, sched, slot);
@@ -730,6 +783,7 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
                 }
             }
         }
+        self.refresh_cur_fu(sm, slot);
     }
 
     fn remove_from_ready_if_needed(&mut self, sm: usize, sched: usize, slot: usize) {
@@ -738,8 +792,9 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
             .is_some_and(|w| w.in_ready);
         if in_ready {
             let ready = &mut self.sms[sm].ready[sched];
-            if let Some(pos) = ready.iter().position(|&s| s == slot) {
-                ready.swap_remove(pos);
+            if let Some(pos) = ready.iter().position(|&(s, _)| s == slot) {
+                // Ordered remove keeps the list sorted by age.
+                ready.remove(pos);
             }
             if let Some(w) = self.sms[sm].warps[slot].as_mut() {
                 w.in_ready = false;
@@ -753,7 +808,7 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
         let warp = self.sms[sm].warps[slot].as_mut().expect("live warp");
         warp.blocked = Some(BlockReason::Memory);
         warp.block_start = now;
-        self.sms[sm].mem_waiters.push(slot);
+        self.sms[sm].mem_waiters.push_back(slot);
     }
 
     fn handle_barrier(&mut self, sm: usize, sched: usize, slot: usize, active: u8) {
@@ -769,13 +824,17 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
         };
         if arrived >= live {
             // Everyone is here: release all waiters, then advance self.
-            let waiters: Vec<usize> = {
+            // The slot list is copied into a reused scratch buffer (not a
+            // fresh Vec) because `post_barrier_eval` needs `&mut self`.
+            let mut waiters = std::mem::take(&mut self.barrier_scratch);
+            waiters.clear();
+            {
                 let cta = self.sms[sm].ctas[cta_slot].as_mut().expect("live CTA");
                 cta.arrived = 0;
-                cta.warp_slots.clone()
-            };
+                waiters.extend_from_slice(&cta.warp_slots);
+            }
             let now = self.now;
-            for w in waiters {
+            for &w in &waiters {
                 if w == slot {
                     continue;
                 }
@@ -794,10 +853,12 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
                         ws.blocked = None;
                         ws.pc += 1;
                     }
+                    self.refresh_cur_fu(sm, w);
                     // Evaluate the released warp's next instruction.
                     self.post_barrier_eval(sm, w);
                 }
             }
+            self.barrier_scratch = waiters;
             self.advance_pc(sm, sched, slot);
         } else {
             self.remove_from_ready_if_needed(sm, sched, slot);
@@ -823,9 +884,9 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
             if warp.pc >= warp.trace.len() {
                 Next::Retire(warp.sched)
             } else {
-                let instr = &warp.trace[warp.pc];
-                let mem_mask = warp.mem_blocking(instr);
-                let alu_ready = warp.alu_ready_at(instr);
+                let instr = *warp.current();
+                let mem_mask = warp.mem_blocking(&instr);
+                let alu_ready = warp.alu_ready_at(&instr);
                 if mem_mask != 0 {
                     Next::Block(BlockReason::Memory, None)
                 } else if alu_ready > now {
@@ -858,7 +919,11 @@ impl<'a, W: KernelWorkload + ?Sized> Run<'a, W> {
             warp.cta_slot
         };
         self.gens[sm][slot] += 1; // invalidate in-flight events for this slot
-        self.sms[sm].warps[slot] = None;
+        if let Some(warp) = self.sms[sm].warps[slot].take() {
+            // Recycle the trace buffer into the next placement.
+            self.trace_pool.push(warp.trace);
+        }
+        self.sms[sm].cur_fu[slot] = NO_FU;
         self.sms[sm].free_warp_slots.push(slot);
         self.sms[sm].resident[sched] = self.sms[sm].resident[sched].saturating_sub(1);
         if self.sms[sm].resident[sched] == 0 {
@@ -987,9 +1052,7 @@ mod tests {
                     warps_per_cta: 1,
                 }
             }
-            fn trace(&self, _: u64, _: u32) -> Vec<crate::Instr> {
-                Vec::new()
-            }
+            fn trace_into(&self, _buf: &mut crate::TraceBuf, _: u64, _: u32) {}
         }
         let stats = sim(2).run(&Empty);
         assert_eq!(stats.cycles, 0);
@@ -1077,7 +1140,7 @@ mod tests {
 
     #[test]
     fn barrier_synchronizes_cta() {
-        use crate::{Grid, Instr, KernelWorkload};
+        use crate::{Grid, KernelWorkload, TraceBuf, TraceBuilder};
         #[derive(Debug)]
         struct BarrierKernel;
         impl KernelWorkload for BarrierKernel {
@@ -1087,8 +1150,8 @@ mod tests {
             fn grid(&self) -> Grid {
                 Grid::new(1, 4)
             }
-            fn trace(&self, _cta: u64, warp: u32) -> Vec<Instr> {
-                let mut tb = crate::TraceBuilder::new(32);
+            fn trace_into(&self, buf: &mut TraceBuf, _cta: u64, warp: u32) {
+                let mut tb = TraceBuilder::on(buf, 32);
                 // Unequal pre-barrier work, equal post-barrier work.
                 for _ in 0..(warp + 1) * 20 {
                     tb.fp32(&[]);
@@ -1097,7 +1160,6 @@ mod tests {
                 for _ in 0..10 {
                     tb.int(&[]);
                 }
-                tb.finish()
             }
         }
         let stats = sim(1).run(&BarrierKernel);

@@ -2,7 +2,7 @@
 //! register scoreboard, per-class functional-unit availability and the
 //! greedy-then-oldest scheduler state.
 
-use crate::isa::{Instr, InstrClass, Reg, NO_REG, REG_WINDOW};
+use crate::isa::{Instr, InstrClass, Reg, TraceBuf, NO_REG, REG_WINDOW};
 use crate::stats::StallReason;
 
 /// Why a warp is not schedulable right now.
@@ -52,16 +52,31 @@ impl FuKind {
     }
 }
 
+/// Sentinel in [`SmState::cur_fu`] for instructions without an issue-rate
+/// limit (control flow, barriers).
+pub(crate) const NO_FU: u8 = u8::MAX;
+
+/// The [`SmState::cur_fu`] encoding of a class.
+pub(crate) fn fu_code(class: InstrClass) -> u8 {
+    FuKind::of(class).map_or(NO_FU, |fu| fu as u8)
+}
+
 /// One resident warp.
 ///
-/// Register dependencies are tracked two ways: loads set a bit in
+/// The trace lives in a pooled [`TraceBuf`] handed over at placement and
+/// reclaimed at retirement, so warp turnover allocates nothing in steady
+/// state. Register dependencies are tracked two ways: loads set a bit in
 /// [`WarpState::pending_mem`] (cleared by the load-completion event, since
 /// memory latency is not known at issue time), while ALU/SFU results record
 /// their fixed-latency ready cycle in [`WarpState::reg_ready_at`] — no event
 /// traffic for the common compute case.
+///
+/// `repr(C)` keeps the scheduler-hot header fields on the leading cache
+/// lines and the 512-byte scoreboard array at the tail; warp slots are
+/// scanned constantly by the issue loop.
 #[derive(Debug)]
+#[repr(C)]
 pub(crate) struct WarpState {
-    pub trace: Vec<Instr>,
     pub pc: usize,
     pub cta_slot: usize,
     pub sched: usize,
@@ -69,35 +84,37 @@ pub(crate) struct WarpState {
     pub age: u64,
     /// Bitmask of registers pending a load result.
     pub pending_mem: u64,
-    /// Cycle at which each ALU/SFU-written register becomes readable.
-    pub reg_ready_at: Vec<u64>,
     pub blocked: Option<BlockReason>,
     pub block_start: u64,
     pub done: bool,
     /// True while the warp sits in its scheduler's ready list.
     pub in_ready: bool,
+    pub trace: TraceBuf,
+    /// Cycle at which each ALU/SFU-written register becomes readable
+    /// (inline array — no per-warp heap allocation).
+    pub reg_ready_at: [u64; REG_WINDOW as usize],
 }
 
 impl WarpState {
-    pub(crate) fn new(trace: Vec<Instr>, cta_slot: usize, sched: usize, age: u64) -> Self {
+    pub(crate) fn new(trace: TraceBuf, cta_slot: usize, sched: usize, age: u64) -> Self {
         WarpState {
-            trace,
             pc: 0,
             cta_slot,
             sched,
             age,
             pending_mem: 0,
-            reg_ready_at: vec![0; REG_WINDOW as usize],
             blocked: None,
             block_start: 0,
             done: false,
             in_ready: false,
+            trace,
+            reg_ready_at: [0; REG_WINDOW as usize],
         }
     }
 
     #[inline]
     pub(crate) fn current(&self) -> &Instr {
-        &self.trace[self.pc]
+        &self.trace.instrs()[self.pc]
     }
 
     /// Pending-load registers blocking `instr` (sources plus WAW on the
@@ -150,20 +167,29 @@ pub(crate) struct SmState {
     pub free_warp_slots: Vec<usize>,
     pub ctas: Vec<Option<CtaState>>,
     pub free_cta_slots: Vec<usize>,
-    /// Ready warp slots per scheduler.
-    pub ready: Vec<Vec<usize>>,
+    /// Ready `(warp slot, age)` pairs per scheduler, kept **sorted by
+    /// ascending age**. Carrying the age in the list keeps the GTO
+    /// oldest-first pick a single linear walk over a compact array instead
+    /// of repeated min-scans dereferencing scattered [`WarpState`]s.
+    pub ready: Vec<Vec<(usize, u64)>>,
     /// Last warp each scheduler issued from (greedy part of GTO).
     pub last_issued: Vec<Option<usize>>,
     /// Live (not done) warps per scheduler — Idle/Stall classification.
     pub resident: Vec<usize>,
     /// Fractional next-free timestamps per functional unit.
     pub fu_free: [f64; 4],
+    /// Functional unit of each resident warp's *current* instruction
+    /// ([`FuKind`] as `u8`, or [`NO_FU`]). A compact shadow of the warps'
+    /// program counters: the scheduler skips FU-busy candidates by reading
+    /// this one dense array instead of dereferencing scattered
+    /// [`WarpState`]s — the dominant cost of the issue loop otherwise.
+    pub cur_fu: Vec<u8>,
     /// Outstanding load sectors (MSHR occupancy).
     pub inflight_loads: usize,
     /// Outstanding store/atomic sectors.
     pub inflight_stores: usize,
-    /// Warps blocked waiting for MSHR or store-queue space.
-    pub mem_waiters: Vec<usize>,
+    /// Warps blocked waiting for MSHR or store-queue space (FIFO).
+    pub mem_waiters: std::collections::VecDeque<usize>,
 }
 
 impl SmState {
@@ -177,9 +203,10 @@ impl SmState {
             last_issued: vec![None; schedulers],
             resident: vec![0; schedulers],
             fu_free: [0.0; 4],
+            cur_fu: vec![NO_FU; warps_per_sm],
             inflight_loads: 0,
             inflight_stores: 0,
-            mem_waiters: Vec::new(),
+            mem_waiters: std::collections::VecDeque::new(),
         }
     }
 
@@ -188,7 +215,8 @@ impl SmState {
         !self.free_cta_slots.is_empty() && self.free_warp_slots.len() >= warps_per_cta
     }
 
-    /// Moves `slot` into its scheduler's ready list (idempotent).
+    /// Moves `slot` into its scheduler's ready list (idempotent),
+    /// preserving the list's ascending-age order.
     pub(crate) fn push_ready(&mut self, slot: usize) {
         let warp = self.warps[slot].as_mut().expect("warp exists");
         if warp.done || warp.in_ready {
@@ -196,7 +224,16 @@ impl SmState {
         }
         warp.in_ready = true;
         let sched = warp.sched;
-        self.ready[sched].push(slot);
+        let age = warp.age;
+        let list = &mut self.ready[sched];
+        // Newly readied warps are usually the youngest: check the common
+        // append case before binary-searching.
+        if list.last().is_none_or(|&(_, a)| a < age) {
+            list.push((slot, age));
+        } else {
+            let pos = list.partition_point(|&(_, a)| a < age);
+            list.insert(pos, (slot, age));
+        }
     }
 }
 
@@ -205,53 +242,68 @@ mod tests {
     use super::*;
     use crate::isa::{Instr, TraceBuilder};
 
-    fn warp_with(trace: Vec<Instr>) -> WarpState {
+    fn trace_of(build: impl FnOnce(&mut TraceBuilder<'_>)) -> TraceBuf {
+        let mut buf = TraceBuf::new();
+        let mut tb = TraceBuilder::on(&mut buf, 32);
+        build(&mut tb);
+        buf
+    }
+
+    fn warp_with(trace: TraceBuf) -> WarpState {
         WarpState::new(trace, 0, 0, 0)
     }
 
     #[test]
     fn mem_blocking_tracks_pending_loads() {
-        let mut tb = TraceBuilder::new(32);
-        let a = tb.load_lanes(0, 4); // reg <- mem
-        let b = tb.fp32(&[a]);
-        let _c = tb.fp32(&[a, b]);
-        let trace = tb.finish();
+        let mut a_reg = 0;
+        let trace = trace_of(|tb| {
+            let a = tb.load_lanes(0, 4); // reg <- mem
+            let b = tb.fp32(&[a]);
+            let _c = tb.fp32(&[a, b]);
+            a_reg = a;
+        });
         let mut w = warp_with(trace);
-        w.pending_mem = reg_bit(a);
+        w.pending_mem = reg_bit(a_reg);
         w.pc = 2;
-        let instr = w.trace[2].clone();
-        assert_eq!(w.mem_blocking(&instr), reg_bit(a));
+        let instr = *w.current();
+        assert_eq!(w.mem_blocking(&instr), reg_bit(a_reg));
     }
 
     #[test]
     fn alu_ready_takes_max_over_sources() {
-        let mut tb = TraceBuilder::new(32);
-        let a = tb.fp32(&[]);
-        let b = tb.fp32(&[]);
-        let _c = tb.fp32(&[a, b]);
-        let trace = tb.finish();
+        let mut regs = (0, 0);
+        let trace = trace_of(|tb| {
+            let a = tb.fp32(&[]);
+            let b = tb.fp32(&[]);
+            let _c = tb.fp32(&[a, b]);
+            regs = (a, b);
+        });
         let mut w = warp_with(trace);
-        w.reg_ready_at[a as usize] = 10;
-        w.reg_ready_at[b as usize] = 25;
+        w.reg_ready_at[regs.0 as usize] = 10;
+        w.reg_ready_at[regs.1 as usize] = 25;
         w.pc = 2;
-        let instr = w.trace[2].clone();
+        let instr = *w.current();
         assert_eq!(w.alu_ready_at(&instr), 25);
         assert_eq!(w.mem_blocking(&instr), 0);
     }
 
     #[test]
     fn waw_blocks_via_dst() {
-        let mut w = warp_with(vec![Instr::fp32(3, &[], 32)]);
+        let mut buf = TraceBuf::new();
+        buf.push(Instr::fp32(3, &[], 32));
+        let mut w = warp_with(buf);
         w.pending_mem = reg_bit(3);
-        let instr = w.trace[0].clone();
+        let instr = *w.current();
         assert_eq!(w.mem_blocking(&instr), reg_bit(3));
     }
 
     #[test]
     fn no_reg_never_blocks() {
-        let mut w = warp_with(vec![Instr::control(32)]);
+        let mut buf = TraceBuf::new();
+        buf.push(Instr::control(32));
+        let mut w = warp_with(buf);
         w.pending_mem = u64::MAX;
-        let instr = w.trace[0].clone();
+        let instr = *w.current();
         assert_eq!(w.mem_blocking(&instr), 0);
         assert_eq!(w.alu_ready_at(&instr), 0);
     }
@@ -282,7 +334,9 @@ mod tests {
     #[test]
     fn push_ready_is_idempotent() {
         let mut sm = SmState::new(4, 1, 1);
-        sm.warps[0] = Some(warp_with(vec![Instr::control(32)]));
+        let mut buf = TraceBuf::new();
+        buf.push(Instr::control(32));
+        sm.warps[0] = Some(warp_with(buf));
         sm.push_ready(0);
         sm.push_ready(0);
         assert_eq!(sm.ready[0].len(), 1);

@@ -323,9 +323,11 @@ mod tests {
 
     #[test]
     fn occupancy_fractions_sum_to_one() {
-        let mut o = OccupancyBuckets::default();
-        o.stall = 10;
-        o.idle = 10;
+        let mut o = OccupancyBuckets {
+            stall: 10,
+            idle: 10,
+            ..OccupancyBuckets::default()
+        };
         o.record_issue(32);
         let sum: f64 = o.fractions().iter().map(|&(_, f)| f).sum();
         assert!((sum - 1.0).abs() < 1e-12);

@@ -6,7 +6,7 @@
 //! `gsuite-core` are the real workloads; these exist so the simulator can
 //! be validated in isolation.
 
-use crate::isa::{Instr, TraceBuilder};
+use crate::isa::{TraceBuf, TraceBuilder};
 use crate::workload::{Grid, KernelWorkload};
 
 /// Pure-ALU workload: every warp issues `ops` FP32 instructions and one
@@ -50,19 +50,17 @@ impl KernelWorkload for ComputeWorkload {
         Grid::new(self.ctas, self.warps_per_cta)
     }
 
-    fn trace(&self, _cta: u64, _warp: u32) -> Vec<Instr> {
+    fn trace_into(&self, buf: &mut TraceBuf, _cta: u64, _warp: u32) {
         let _ = self.seed;
-        let mut tb = TraceBuilder::new(32);
+        let mut tb = TraceBuilder::on(buf, 32);
         let mut prev = None;
         for _ in 0..self.ops {
-            let deps: Vec<u8> = match (self.serial, prev) {
-                (true, Some(p)) => vec![p],
-                _ => Vec::new(),
-            };
-            prev = Some(tb.fp32(&deps));
+            prev = Some(match (self.serial, prev) {
+                (true, Some(p)) => tb.fp32(&[p]),
+                _ => tb.fp32(&[]),
+            });
         }
         tb.control();
-        tb.finish()
     }
 }
 
@@ -96,10 +94,10 @@ impl KernelWorkload for StreamWorkload {
         Grid::new(self.ctas, self.warps_per_cta)
     }
 
-    fn trace(&self, cta: u64, warp: u32) -> Vec<Instr> {
+    fn trace_into(&self, buf: &mut TraceBuf, cta: u64, warp: u32) {
         let warp_id = cta * self.warps_per_cta as u64 + warp as u64;
         let base = warp_id * self.bytes_per_warp;
-        let mut tb = TraceBuilder::new(32);
+        let mut tb = TraceBuilder::on(buf, 32);
         let mut offset = 0u64;
         while offset < self.bytes_per_warp {
             let r = tb.load_lanes(base + offset, 4);
@@ -107,7 +105,6 @@ impl KernelWorkload for StreamWorkload {
             offset += 32 * 4;
         }
         tb.control();
-        tb.finish()
     }
 }
 
@@ -146,12 +143,12 @@ impl KernelWorkload for GatherWorkload {
         Grid::new(self.ctas, self.warps_per_cta)
     }
 
-    fn trace(&self, cta: u64, warp: u32) -> Vec<Instr> {
+    fn trace_into(&self, buf: &mut TraceBuf, cta: u64, warp: u32) {
         let mut state = self
             .seed
             .wrapping_add(cta.wrapping_mul(0x9E37_79B9_7F4A_7C15))
             .wrapping_add(warp as u64);
-        let mut next = || {
+        let mut next = move || {
             // xorshift64*
             state ^= state >> 12;
             state ^= state << 25;
@@ -159,15 +156,13 @@ impl KernelWorkload for GatherWorkload {
             state.wrapping_mul(0x2545_F491_4F6C_DD1D)
         };
         let slots = (self.table_bytes / 4).max(1);
-        let mut tb = TraceBuilder::new(32);
+        let mut tb = TraceBuilder::on(buf, 32);
         for _ in 0..self.gathers {
-            let addrs: Vec<u64> = (0..32).map(|_| (next() % slots) * 4).collect();
             let idx = tb.int(&[]);
-            let v = tb.load_gather(&addrs, 4, &[idx]);
+            let v = tb.load_gather_with(4, &[idx], |_| (next() % slots) * 4);
             tb.fp32(&[v]);
         }
         tb.control();
-        tb.finish()
     }
 }
 
@@ -204,20 +199,16 @@ impl KernelWorkload for AtomicWorkload {
         Grid::new(self.ctas, self.warps_per_cta)
     }
 
-    fn trace(&self, cta: u64, warp: u32) -> Vec<Instr> {
-        let mut tb = TraceBuilder::new(32);
+    fn trace_into(&self, buf: &mut TraceBuf, cta: u64, warp: u32) {
+        let mut tb = TraceBuilder::on(buf, 32);
         for i in 0..self.atomics {
             let v = tb.fp32(&[]);
-            let addrs: Vec<u64> = (0..32u64)
-                .map(|lane| {
-                    let word = (cta + warp as u64 + i as u64 + lane) % self.targets;
-                    word * 4
-                })
-                .collect();
-            tb.atomic_scatter(v, &addrs, 4);
+            tb.atomic_scatter_with(v, 4, |lane| {
+                let word = (cta + warp as u64 + i as u64 + lane) % self.targets;
+                word * 4
+            });
         }
         tb.control();
-        tb.finish()
     }
 }
 
@@ -278,5 +269,17 @@ mod tests {
             "stream should saturate DRAM, got {}",
             stats.memory_utilization
         );
+    }
+
+    #[test]
+    fn streamed_and_shimmed_traces_agree() {
+        // trace() (owned shim) and trace_into (streaming) must be identical.
+        let w = GatherWorkload::new(2, 2, 8, 1 << 16, 9);
+        let owned = w.trace(1, 1);
+        let mut streamed = crate::TraceBuf::new();
+        streamed.clear();
+        w.trace_into(&mut streamed, 1, 1);
+        assert_eq!(owned, streamed);
+        assert!(!owned.is_empty());
     }
 }

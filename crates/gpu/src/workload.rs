@@ -1,6 +1,6 @@
 //! The contract between kernels and the simulator.
 
-use crate::isa::Instr;
+use crate::isa::TraceBuf;
 
 /// Launch geometry of a kernel: a 1-D grid of CTAs, each with a fixed
 /// number of warps.
@@ -20,7 +20,10 @@ impl Grid {
     /// Panics if `warps_per_cta` is zero.
     pub fn new(ctas: u64, warps_per_cta: u32) -> Self {
         assert!(warps_per_cta > 0, "CTAs must contain at least one warp");
-        Grid { ctas, warps_per_cta }
+        Grid {
+            ctas,
+            warps_per_cta,
+        }
     }
 
     /// A grid sized to cover `work_items` threads with CTAs of
@@ -31,7 +34,7 @@ impl Grid {
     /// Panics if `threads_per_cta` is zero or not a multiple of 32.
     pub fn cover(work_items: u64, threads_per_cta: u32) -> Self {
         assert!(
-            threads_per_cta > 0 && threads_per_cta % 32 == 0,
+            threads_per_cta > 0 && threads_per_cta.is_multiple_of(32),
             "threads_per_cta must be a positive multiple of 32"
         );
         let ctas = work_items.div_ceil(threads_per_cta as u64).max(1);
@@ -49,10 +52,12 @@ impl Grid {
 
 /// A kernel the simulator can run: a grid plus a per-warp instruction trace.
 ///
-/// Implementations generate traces lazily — the simulator calls
-/// [`KernelWorkload::trace`] when (and only when) a CTA becomes resident on
-/// an SM, and drops the trace when the warp retires, so grids with millions
-/// of warps never materialize in memory at once.
+/// Traces are generated lazily and *streamed*: the simulator calls
+/// [`KernelWorkload::trace_into`] with a recycled [`TraceBuf`] when (and
+/// only when) a CTA becomes resident on an SM, and returns the buffer to a
+/// pool when the warp retires — so grids with millions of warps never
+/// materialize in memory at once, and steady-state trace generation
+/// performs no heap allocation at all.
 ///
 /// Memory addresses inside traces should be derived from the kernel's real
 /// input data (buffer base addresses plus live indices); this is what makes
@@ -64,9 +69,24 @@ pub trait KernelWorkload {
     /// Launch geometry.
     fn grid(&self) -> Grid;
 
-    /// Instruction trace of warp `warp` (within `0..grid().warps_per_cta`)
-    /// of CTA `cta`. May be empty for tail warps with no work.
-    fn trace(&self, cta: u64, warp: u32) -> Vec<Instr>;
+    /// Appends the instruction trace of warp `warp` (within
+    /// `0..grid().warps_per_cta`) of CTA `cta` into `buf`. May append
+    /// nothing for tail warps with no work.
+    ///
+    /// Callers reusing a buffer across warps must [`TraceBuf::clear`] it
+    /// between calls; implementations append (typically through
+    /// [`crate::TraceBuilder::on`]).
+    fn trace_into(&self, buf: &mut TraceBuf, cta: u64, warp: u32);
+
+    /// Convenience shim returning warp `(cta, warp)`'s trace as a fresh
+    /// owned buffer. External callers that don't manage a buffer pool can
+    /// keep using this; hot paths should prefer
+    /// [`KernelWorkload::trace_into`].
+    fn trace(&self, cta: u64, warp: u32) -> TraceBuf {
+        let mut buf = TraceBuf::new();
+        self.trace_into(&mut buf, cta, warp);
+        buf
+    }
 }
 
 impl<W: KernelWorkload + ?Sized> KernelWorkload for &W {
@@ -76,8 +96,8 @@ impl<W: KernelWorkload + ?Sized> KernelWorkload for &W {
     fn grid(&self) -> Grid {
         (**self).grid()
     }
-    fn trace(&self, cta: u64, warp: u32) -> Vec<Instr> {
-        (**self).trace(cta, warp)
+    fn trace_into(&self, buf: &mut TraceBuf, cta: u64, warp: u32) {
+        (**self).trace_into(buf, cta, warp)
     }
 }
 
@@ -88,14 +108,15 @@ impl<W: KernelWorkload + ?Sized> KernelWorkload for Box<W> {
     fn grid(&self) -> Grid {
         (**self).grid()
     }
-    fn trace(&self, cta: u64, warp: u32) -> Vec<Instr> {
-        (**self).trace(cta, warp)
+    fn trace_into(&self, buf: &mut TraceBuf, cta: u64, warp: u32) {
+        (**self).trace_into(buf, cta, warp)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::isa::TraceBuilder;
 
     #[test]
     fn cover_rounds_up() {
@@ -121,5 +142,28 @@ mod tests {
     #[should_panic(expected = "at least one warp")]
     fn grid_rejects_zero_warps() {
         let _ = Grid::new(1, 0);
+    }
+
+    #[test]
+    fn trace_shim_wraps_trace_into() {
+        struct OneOp;
+        impl KernelWorkload for OneOp {
+            fn name(&self) -> String {
+                "one".into()
+            }
+            fn grid(&self) -> Grid {
+                Grid::new(1, 1)
+            }
+            fn trace_into(&self, buf: &mut TraceBuf, _cta: u64, _warp: u32) {
+                let mut tb = TraceBuilder::on(buf, 32);
+                tb.control();
+            }
+        }
+        let t = OneOp.trace(0, 0);
+        assert_eq!(t.len(), 1);
+        // Blanket impls forward the streaming path.
+        let boxed: Box<dyn KernelWorkload> = Box::new(OneOp);
+        assert_eq!(boxed.trace(0, 0).len(), 1);
+        assert_eq!(OneOp.trace(0, 0).len(), 1);
     }
 }

@@ -1,7 +1,7 @@
 //! Property-based invariants of the cycle simulator.
 
 use gsuite_gpu::testkit::{AtomicWorkload, ComputeWorkload, GatherWorkload, StreamWorkload};
-use gsuite_gpu::{GpuConfig, KernelWorkload, SimOptions, Simulator};
+use gsuite_gpu::{GpuConfig, SimOptions, Simulator};
 use proptest::prelude::*;
 
 fn check_invariants(stats: &gsuite_gpu::SimStats, cfg: &GpuConfig) {

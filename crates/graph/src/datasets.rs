@@ -170,12 +170,8 @@ impl Dataset {
         } else {
             format!("{}@{:.3}", spec.name, scale)
         };
-        graph = Graph::with_name(
-            graph.edges().clone(),
-            graph.features().clone(),
-            name,
-        )
-        .expect("rebuild preserves validity");
+        graph = Graph::with_name(graph.edges().clone(), graph.features().clone(), name)
+            .expect("rebuild preserves validity");
         graph
     }
 }

@@ -25,11 +25,7 @@ impl EdgeList {
     pub fn new(num_nodes: usize, src: Vec<u32>, dst: Vec<u32>) -> Result<Self> {
         if src.len() != dst.len() {
             return Err(GraphError::InvalidGeneratorArgs {
-                reason: format!(
-                    "src has {} entries but dst has {}",
-                    src.len(),
-                    dst.len()
-                ),
+                reason: format!("src has {} entries but dst has {}", src.len(), dst.len()),
             });
         }
         for &endpoint in src.iter().chain(dst.iter()) {

@@ -34,7 +34,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfBounds { node, num_nodes } => {
-                write!(f, "node id {node} out of bounds for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node id {node} out of bounds for graph with {num_nodes} nodes"
+                )
             }
             GraphError::FeatureRowsMismatch {
                 feature_rows,

@@ -214,10 +214,7 @@ impl Graph {
     }
 }
 
-fn adjacency_from_pairs(
-    n: usize,
-    pairs: impl Iterator<Item = (u32, u32)>,
-) -> CsrMatrix {
+fn adjacency_from_pairs(n: usize, pairs: impl Iterator<Item = (u32, u32)>) -> CsrMatrix {
     let mut list: Vec<(u32, u32)> = pairs.collect();
     list.sort_unstable();
     list.dedup();

@@ -13,13 +13,11 @@ use gsuite_tensor::CsrMatrix;
 pub fn add_self_loops(a: &CsrMatrix) -> CsrMatrix {
     assert_eq!(a.rows(), a.cols(), "adjacency must be square");
     let n = a.rows();
-    let mut triplets: Vec<(usize, usize, f32)> =
-        a.iter().filter(|&(r, c, _)| r != c).collect();
+    let mut triplets: Vec<(usize, usize, f32)> = a.iter().filter(|&(r, c, _)| r != c).collect();
     for i in 0..n {
         triplets.push((i, i, 1.0));
     }
-    CsrMatrix::from_triplets(n, n, &triplets)
-        .expect("self-loop insertion preserves CSR invariants")
+    CsrMatrix::from_triplets(n, n, &triplets).expect("self-loop insertion preserves CSR invariants")
 }
 
 /// Symmetrizes the adjacency: `A ∪ A^T` with unit weights.
@@ -33,10 +31,8 @@ pub fn symmetrize(a: &CsrMatrix) -> CsrMatrix {
     pairs.extend(a.iter().map(|(r, c, _)| (c, r)));
     pairs.sort_unstable();
     pairs.dedup();
-    let triplets: Vec<(usize, usize, f32)> =
-        pairs.into_iter().map(|(r, c)| (r, c, 1.0)).collect();
-    CsrMatrix::from_triplets(n, n, &triplets)
-        .expect("symmetrization preserves CSR invariants")
+    let triplets: Vec<(usize, usize, f32)> = pairs.into_iter().map(|(r, c)| (r, c, 1.0)).collect();
+    CsrMatrix::from_triplets(n, n, &triplets).expect("symmetrization preserves CSR invariants")
 }
 
 /// `D^-1/2` of `a` as a diagonal CSR matrix, where `D_ii` is the row sum of

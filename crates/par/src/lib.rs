@@ -1,0 +1,172 @@
+//! # gsuite-par
+//!
+//! Minimal deterministic data-parallel helpers built on `std::thread` — the
+//! crates.io-free stand-in for rayon's `par_iter().map().collect()` in this
+//! offline-built workspace.
+//!
+//! The one primitive the simulator stack needs is an *order-preserving*
+//! parallel map: independent work items (kernel launches, sweep
+//! configurations) fanned across cores with results returned **in input
+//! order**, so parallel profiling is bit-identical to serial profiling.
+//! Work is distributed through an atomic cursor (work stealing degenerates
+//! to chunk-of-one self-scheduling), which load-balances the wildly uneven
+//! launch costs of GNN pipelines (an `sgemm` can be 100× an elementwise).
+//!
+//! # Example
+//!
+//! ```
+//! let squares = gsuite_par::par_map(&[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads used by [`par_map`]: the `GSUITE_THREADS`
+/// environment variable when set, otherwise `std::thread::available_parallelism`.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("GSUITE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` in parallel, returning results in input order.
+///
+/// `f` receives `(index, &item)`. Each worker pulls the next unclaimed
+/// index from a shared atomic cursor, so uneven item costs are balanced
+/// automatically. The output is deterministic: element `i` of the result
+/// is exactly `f(i, &items[i])` regardless of thread count or scheduling.
+///
+/// With one item (or one available core) this runs inline on the calling
+/// thread — no spawn overhead for trivial fan-outs.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` (remaining items may be
+/// skipped).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_threads(items, default_threads(), f)
+}
+
+/// [`par_map`] with an explicit worker count (`1` forces serial execution).
+pub fn par_map_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let slots = Mutex::new(slots);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                // Lock only to deposit the finished result; compute runs
+                // unlocked, so contention is one uncontended-in-practice
+                // lock per item.
+                slots.lock().expect("no poisoned writers")[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|r| r.expect("every index was claimed exactly once"))
+        .collect()
+}
+
+/// Runs two closures potentially in parallel and returns both results —
+/// rayon's `join` shape, used for two-way splits.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if default_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join closure panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = par_map(&items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 3
+        });
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = par_map_threads(&items, 1, |_, &x| x.wrapping_mul(0x9E3779B9) >> 7);
+        let parallel = par_map_threads(&items, 8, |_, &x| x.wrapping_mul(0x9E3779B9) >> 7);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn uneven_costs_balance() {
+        // Heavier items early; correctness must not depend on scheduling.
+        let items: Vec<usize> = (0..64).rev().collect();
+        let out = par_map_threads(&items, 4, |_, &n| {
+            let mut acc = 0u64;
+            for i in 0..(n * 1000) as u64 {
+                acc = acc.wrapping_add(i ^ acc.rotate_left(7));
+            }
+            (n, acc)
+        });
+        for (slot, &(n, _)) in out.iter().enumerate() {
+            assert_eq!(items[slot], n);
+        }
+    }
+}

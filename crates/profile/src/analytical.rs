@@ -89,8 +89,9 @@ impl Profiler for HwProfiler {
         let mut mix = InstrMix::default();
         // Hardware-flavoured hierarchy: per-SM L1s (same geometry as the
         // device), full-size L2 with 64B fill granularity.
-        let mut l1s: Vec<SetAssocCache> =
-            (0..cfg.num_sms).map(|_| SetAssocCache::new(cfg.l1)).collect();
+        let mut l1s: Vec<SetAssocCache> = (0..cfg.num_sms)
+            .map(|_| SetAssocCache::new(cfg.l1))
+            .collect();
         let mut l2 = SetAssocCache::new(CacheConfig::new(
             GpuConfig::v100().l2.capacity_bytes,
             GpuConfig::v100().l2.associativity,
@@ -102,13 +103,17 @@ impl Profiler for HwProfiler {
         let mut ldst_instrs = 0u64;
         let mut critical_path = 0u64; // per-warp latency estimate, max over warps
         let mut sectors: Vec<u64> = Vec::with_capacity(64);
+        // One reused trace arena for the whole walk: the streaming API
+        // keeps this single-pass model allocation-free per warp.
+        let mut trace = gsuite_gpu::TraceBuf::new();
 
         for cta in 0..sample_ctas {
             let sm = (cta % cfg.num_sms as u64) as usize;
             for warp in 0..grid.warps_per_cta {
-                let trace = workload.trace(cta, warp);
+                trace.clear();
+                workload.trace_into(&mut trace, cta, warp);
                 let mut warp_latency = cfg.ifetch_latency;
-                for instr in &trace {
+                for instr in trace.instrs() {
                     match instr.class {
                         gsuite_gpu::InstrClass::Fp32 => {
                             mix.fp32 += 1;
@@ -131,12 +136,13 @@ impl Profiler for HwProfiler {
                         | gsuite_gpu::InstrClass::AtomicGlobal => {
                             mix.load_store += 1;
                             ldst_instrs += 1;
-                            let mem = instr.mem.as_ref().expect("memory instr has addresses");
+                            let mem = trace
+                                .resolve(instr.mem)
+                                .expect("memory instr has addresses");
                             sectors.clear();
                             mem.sectors_into(&mut sectors);
                             l2_sectors += sectors.len() as u64;
-                            let is_store =
-                                instr.class != gsuite_gpu::InstrClass::LoadGlobal;
+                            let is_store = instr.class != gsuite_gpu::InstrClass::LoadGlobal;
                             let mut worst = cfg.l1_latency;
                             for &sector in sectors.iter() {
                                 let l1_hit = !is_store && l1s[sm].access(sector);

@@ -49,6 +49,12 @@ pub use stats::{Backend, KernelStats, PipelineProfile};
 use gsuite_gpu::KernelWorkload;
 
 /// A measurement backend: takes a kernel workload, returns its metrics.
+///
+/// `profile` takes `&self` and both shipped backends ([`HwProfiler`],
+/// [`SimProfiler`]) are stateless per call, so a single backend instance
+/// can serve concurrent launches — the contract
+/// `gsuite_core::pipeline::PipelineRun::profile_par` relies on (it requires
+/// `Profiler + Sync`).
 pub trait Profiler {
     /// Short backend label used in reports (e.g. `"nvprof-hw"`).
     fn backend(&self) -> Backend;

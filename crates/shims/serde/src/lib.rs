@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored shim keeps the workspace's `#[derive(Serialize, Deserialize)]`
+//! annotations compiling. The traits are empty markers and the derives are
+//! no-ops: nothing in the repository performs (de)serialization through
+//! serde yet — structured output is emitted by hand (see
+//! `gsuite_profile::report` and `gsuite_bench`). Swapping this shim for the
+//! real crates.io `serde` is a one-line change in the workspace manifest.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (lifetime elided — the real
+/// trait is `Deserialize<'de>`, but as a pure marker no lifetime is
+/// needed).
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

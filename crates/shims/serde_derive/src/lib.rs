@@ -1,0 +1,97 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io dependency is unavailable in the build environment,
+//! and nothing in this repository *calls* serialization methods yet — the
+//! derives exist so types stay annotated for a future swap to real serde.
+//! Each derive therefore expands to an empty marker `impl`.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the identifier the derive is attached to (the first identifier
+/// after the `struct`/`enum` keyword) plus its generics, and emits
+/// `impl Trait for Type` with those generics passed through unconstrained.
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+    let mut name: Option<String> = None;
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                if let Some(TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let Some(name) = name else {
+        return TokenStream::new();
+    };
+    // Collect generic parameter names (identifiers at depth 1 of a <...>
+    // group that directly follow `<` or `,`), ignoring bounds/defaults.
+    let mut generics: Vec<String> = Vec::new();
+    let mut lifetimes: Vec<String> = Vec::new();
+    {
+        let rest: Vec<TokenTree> = tokens.collect();
+        let mut depth = 0i32;
+        let mut expect_param = false;
+        let mut i = 0;
+        while i < rest.len() {
+            match &rest[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    expect_param = depth == 1;
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    expect_param = true;
+                }
+                TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && expect_param => {
+                    if let Some(TokenTree::Ident(id)) = rest.get(i + 1) {
+                        lifetimes.push(format!("'{id}"));
+                        expect_param = false;
+                        i += 1;
+                    }
+                }
+                TokenTree::Ident(id) if depth == 1 && expect_param => {
+                    let s = id.to_string();
+                    if s != "const" {
+                        generics.push(s);
+                        expect_param = false;
+                    }
+                }
+                TokenTree::Group(_) if depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    let params: Vec<String> = lifetimes.iter().cloned().chain(generics.clone()).collect();
+    let code = if params.is_empty() {
+        format!("impl {trait_path} for {name} {{}}")
+    } else {
+        let p = params.join(", ");
+        format!("impl<{p}> {trait_path} for {name}<{p}> {{}}")
+    };
+    code.parse().unwrap_or_default()
+}
+
+/// No-op `Serialize` derive: emits a marker `impl serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// No-op `Deserialize` derive: emits a marker `impl serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize")
+}

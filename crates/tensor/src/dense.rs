@@ -360,7 +360,7 @@ impl DenseMatrix {
     /// Shapes must match; mismatched shapes return `false` rather than an
     /// error so the method can be used directly in assertions.
     pub fn approx_eq(&self, other: &DenseMatrix, tol: f32) -> bool {
-        self.shape() == other.shape() && self.max_abs_diff(other).map_or(false, |d| d <= tol)
+        self.shape() == other.shape() && self.max_abs_diff(other).is_ok_and(|d| d <= tol)
     }
 }
 

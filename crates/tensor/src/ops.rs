@@ -20,7 +20,9 @@ use crate::{CsrMatrix, DenseMatrix, Result, TensorError};
 
 /// Reduction mode for [`scatter_rows`], matching the aggregator functions the
 /// paper lists for GNN aggregation (sum, mean, max).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum Reduce {
     /// Sum of contributions (GCN, GIN).
     #[default]
@@ -352,12 +354,9 @@ mod tests {
 
     #[test]
     fn spmm_matches_dense_gemm() {
-        let a = CsrMatrix::from_triplets(
-            3,
-            4,
-            &[(0, 1, 2.0), (1, 0, 1.0), (1, 3, -1.0), (2, 2, 0.5)],
-        )
-        .unwrap();
+        let a =
+            CsrMatrix::from_triplets(3, 4, &[(0, 1, 2.0), (1, 0, 1.0), (1, 3, -1.0), (2, 2, 0.5)])
+                .unwrap();
         let x = DenseMatrix::from_fn(4, 5, |r, c| (r + c) as f32);
         let sparse = spmm(&a, &x).unwrap();
         let dense = gemm(&a.to_dense(), &x).unwrap();
@@ -457,12 +456,8 @@ mod tests {
         let src = mat(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
         let index = [1u32, 1, 0];
         let scattered = scatter_rows(&src, &index, 2, Reduce::Sum).unwrap();
-        let one_hot = CsrMatrix::from_triplets(
-            2,
-            3,
-            &[(1, 0, 1.0), (1, 1, 1.0), (0, 2, 1.0)],
-        )
-        .unwrap();
+        let one_hot =
+            CsrMatrix::from_triplets(2, 3, &[(1, 0, 1.0), (1, 1, 1.0), (0, 2, 1.0)]).unwrap();
         let via_spmm = spmm(&one_hot, &src).unwrap();
         assert!(scattered.approx_eq(&via_spmm, 1e-6));
     }

@@ -171,7 +171,11 @@ impl CsrMatrix {
     ) -> Result<Self> {
         if row_ptr.len() != rows + 1 {
             return Err(TensorError::InvalidSparseStructure {
-                reason: format!("row_ptr has {} entries, expected {}", row_ptr.len(), rows + 1),
+                reason: format!(
+                    "row_ptr has {} entries, expected {}",
+                    row_ptr.len(),
+                    rows + 1
+                ),
             });
         }
         if row_ptr[0] != 0 {
@@ -352,7 +356,7 @@ impl CsrMatrix {
     pub fn to_coo(&self) -> CooMatrix {
         let mut row_indices = Vec::with_capacity(self.nnz());
         for r in 0..self.rows {
-            row_indices.extend(std::iter::repeat(r as u32).take(self.row_nnz(r)));
+            row_indices.extend(std::iter::repeat_n(r as u32, self.row_nnz(r)));
         }
         CooMatrix {
             rows: self.rows,
@@ -416,9 +420,7 @@ impl CsrMatrix {
 
     /// Row sums (out-degree weights for adjacency matrices).
     pub fn row_sums(&self) -> Vec<f32> {
-        (0..self.rows)
-            .map(|r| self.row(r).1.iter().sum())
-            .collect()
+        (0..self.rows).map(|r| self.row(r).1.iter().sum()).collect()
     }
 }
 
@@ -439,12 +441,7 @@ mod tests {
     use super::*;
 
     fn sample_triplets() -> Vec<Triplet> {
-        vec![
-            (0, 1, 1.0),
-            (1, 0, 2.0),
-            (1, 2, 3.0),
-            (2, 2, 4.0),
-        ]
+        vec![(0, 1, 1.0), (1, 0, 2.0), (1, 2, 3.0), (2, 2, 4.0)]
     }
 
     #[test]

@@ -5,11 +5,7 @@ use proptest::prelude::*;
 
 /// Strategy: a sorted, deduplicated list of triplets inside an `r x c` grid.
 fn triplets(rows: usize, cols: usize, max_nnz: usize) -> impl Strategy<Value = Vec<Triplet>> {
-    proptest::collection::vec(
-        (0..rows, 0..cols, -8i32..8),
-        0..max_nnz,
-    )
-    .prop_map(|v| {
+    proptest::collection::vec((0..rows, 0..cols, -8i32..8), 0..max_nnz).prop_map(|v| {
         let mut seen = std::collections::HashSet::new();
         v.into_iter()
             .filter(|&(r, c, _)| seen.insert((r, c)))

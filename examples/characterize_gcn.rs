@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Fig. 8-style comparison: cache hit rates, NVProf vs Sim.
     let mut cache = TextTable::new(&["kernel", "L1 NVProf", "L1 Sim", "L2 NVProf", "L2 Sim"]);
-    for (h, s) in hw.merged_by_kernel().iter().zip(sim.merged_by_kernel().iter()) {
+    for (h, s) in hw
+        .merged_by_kernel()
+        .iter()
+        .zip(sim.merged_by_kernel().iter())
+    {
         cache.row_owned(vec![
             h.kernel.clone(),
             format!("{:.1}%", h.l1.hit_rate() * 100.0),
@@ -42,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.1}%", s.l2.hit_rate() * 100.0),
         ]);
     }
-    println!("cache hit rates (NVProf-like vs cycle sim):\n{}", cache.render());
+    println!(
+        "cache hit rates (NVProf-like vs cycle sim):\n{}",
+        cache.render()
+    );
 
     // Fig. 6-style stall reasons (simulator only — nvprof cannot see them).
     let mut stalls = TextTable::new(&["kernel", "MemDep", "ExecDep", "Issued", "IFetch", "NotSel"]);

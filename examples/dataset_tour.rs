@@ -11,7 +11,14 @@ use gsuite::profile::TextTable;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Table IV at a glance.
-    let mut table = TextTable::new(&["dataset", "short", "nodes", "edges", "feat", "avg deg (gen)"]);
+    let mut table = TextTable::new(&[
+        "dataset",
+        "short",
+        "nodes",
+        "edges",
+        "feat",
+        "avg deg (gen)",
+    ]);
     for d in Dataset::ALL {
         let spec = d.spec();
         // Generate a 1% instance to inspect degree structure cheaply.

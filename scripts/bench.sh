@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the micro-benchmark suite and records a BENCH_<tag>.json trajectory
+# file at the repository root (default tag: the current PR marker).
+#
+# Usage: scripts/bench.sh [tag]
+#   tag   suffix for the output file, e.g. `pr1` -> BENCH_pr1.json
+#
+# Each bench binary measures best-of-5 batches (robust on noisy shared
+# machines) and emits machine-readable JSON via `--json`; this script
+# merges them with provenance (commit, date, host core count).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TAG="${1:-pr1}"
+OUT="BENCH_${TAG}.json"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+for bench in trace_replay kernels pipelines; do
+    echo "== cargo bench --bench $bench"
+    cargo bench --bench "$bench" -- --json "$TMP/$bench.json"
+done
+
+{
+    echo '{'
+    echo "  \"tag\": \"$TAG\","
+    echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+    echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"host_cores\": $(nproc),"
+    echo '  "results": {'
+    first=1
+    for bench in trace_replay kernels pipelines; do
+        [ $first -eq 1 ] || echo ','
+        first=0
+        printf '    "%s": ' "$bench"
+        sed 's/^/    /' "$TMP/$bench.json" | sed '1s/^    //'
+    done
+    echo ''
+    echo '  }'
+    echo '}'
+} > "$OUT"
+
+echo "wrote $OUT"

@@ -1,0 +1,96 @@
+//! Determinism guarantees of the profiling stack.
+//!
+//! Two properties every trajectory metric in this repository rests on:
+//!
+//! 1. **Parallel profiling is bit-identical to serial profiling** — the
+//!    launch fan-out of [`PipelineRun::profile_par`] merges results in
+//!    launch order, so core count (or `GSUITE_THREADS`) can never change a
+//!    reported number.
+//! 2. **Simulation is a pure function of (config, workload)** — two runs of
+//!    [`Simulator::run`] on the same workload produce identical `SimStats`,
+//!    including the trace-streaming buffer-pool path.
+
+use gsuite::core::config::{CompModel, GnnModel, RunConfig};
+use gsuite::core::pipeline::PipelineRun;
+use gsuite::gpu::{GpuConfig, SimOptions, Simulator};
+use gsuite::graph::datasets::Dataset;
+use gsuite::profile::{HwProfiler, SimProfiler};
+
+fn gcn_mp() -> RunConfig {
+    RunConfig {
+        model: GnnModel::Gcn,
+        comp: CompModel::Mp,
+        dataset: Dataset::Cora,
+        scale: 0.05,
+        layers: 2,
+        hidden: 8,
+        functional_math: false,
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+fn profile_par_bit_identical_to_serial_on_hw_backend() {
+    let cfg = gcn_mp();
+    let graph = cfg.load_graph();
+    let run = PipelineRun::build(&graph, &cfg).unwrap();
+    let hw = HwProfiler::v100();
+    let serial = run.profile(&hw);
+    let parallel = run.profile_par(&hw);
+    assert_eq!(
+        serial, parallel,
+        "parallel profiling must be bit-identical to serial"
+    );
+}
+
+#[test]
+fn profile_par_bit_identical_to_serial_on_sim_backend() {
+    let cfg = gcn_mp();
+    let graph = cfg.load_graph();
+    let run = PipelineRun::build(&graph, &cfg).unwrap();
+    let sim = SimProfiler::scaled(4).max_ctas(Some(128));
+    let serial = run.profile(&sim);
+    let parallel = run.profile_par(&sim);
+    assert_eq!(serial, parallel);
+    // And the parallel path is itself stable across invocations.
+    assert_eq!(parallel, run.profile_par(&sim));
+}
+
+#[test]
+fn simulator_runs_are_reproducible() {
+    let cfg = gcn_mp();
+    let graph = cfg.load_graph();
+    let run = PipelineRun::build(&graph, &cfg).unwrap();
+    let sim = Simulator::new(
+        GpuConfig::v100_scaled(4),
+        SimOptions {
+            max_ctas: Some(256),
+            max_cycles: None,
+        },
+    );
+    for launch in &run.launches {
+        let a = sim.run(launch.workload.as_ref());
+        let b = sim.run(launch.workload.as_ref());
+        assert_eq!(a, b, "{}: SimStats must be identical across runs", a.kernel);
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    // par_map with 1 worker vs many workers over real profiling work.
+    let cfg = gcn_mp();
+    let graph = cfg.load_graph();
+    let run = PipelineRun::build(&graph, &cfg).unwrap();
+    let hw = HwProfiler::v100();
+    let one = gsuite_par::par_map_threads(&run.launches, 1, |_, l| hw_profile(&hw, l));
+    let many = gsuite_par::par_map_threads(&run.launches, 8, |_, l| hw_profile(&hw, l));
+    assert_eq!(one, many);
+}
+
+fn hw_profile(
+    hw: &HwProfiler,
+    launch: &gsuite::core::kernels::Launch,
+) -> gsuite::profile::KernelStats {
+    use gsuite::profile::Profiler as _;
+    hw.profile(launch.workload.as_ref())
+}

@@ -30,8 +30,8 @@ fn every_gsuite_pair_runs_end_to_end() {
     for (model, comp) in pairs {
         let cfg = small(model, comp);
         let graph = cfg.load_graph();
-        let run = PipelineRun::build(&graph, &cfg)
-            .unwrap_or_else(|e| panic!("{model:?}/{comp:?}: {e}"));
+        let run =
+            PipelineRun::build(&graph, &cfg).unwrap_or_else(|e| panic!("{model:?}/{comp:?}: {e}"));
         assert!(run.launch_count() > 0, "{model:?}/{comp:?}");
         assert_eq!(run.output.shape(), (graph.num_nodes(), 8));
         assert!(
@@ -116,7 +116,11 @@ fn hw_and_sim_backends_agree_on_instruction_counts() {
             h.kernel
         );
         assert_eq!(h.instr_mix.fp32, s.instr_mix.fp32, "{}", h.kernel);
-        assert_eq!(h.instr_mix.load_store, s.instr_mix.load_store, "{}", h.kernel);
+        assert_eq!(
+            h.instr_mix.load_store, s.instr_mix.load_store,
+            "{}",
+            h.kernel
+        );
     }
 }
 

@@ -7,7 +7,7 @@ use gsuite::core::kernels::KernelKind;
 use gsuite::core::pipeline::PipelineRun;
 use gsuite::gpu::{GpuConfig, SimOptions, Simulator};
 use gsuite::graph::datasets::Dataset;
- 
+
 use gsuite::profile::{KernelStats, Profiler, SimProfiler};
 
 fn profile_kernels(cfg: &RunConfig, sim: &SimProfiler) -> Vec<(KernelKind, KernelStats)> {
@@ -80,8 +80,7 @@ fn hot_destination_scatter_slower_than_spread() {
     let sim = SimProfiler::scaled(4);
     let time_for = |pairs: Vec<(u32, u32)>| -> f64 {
         let edges = EdgeList::from_pairs(n, &pairs).unwrap();
-        let graph =
-            gsuite::graph::Graph::new(edges, DenseMatrix::zeros(n, 16)).unwrap();
+        let graph = gsuite::graph::Graph::new(edges, DenseMatrix::zeros(n, 16)).unwrap();
         let cfg = RunConfig {
             functional_math: false,
             layers: 1,
