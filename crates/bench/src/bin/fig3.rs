@@ -3,69 +3,11 @@
 //!
 //! Expected shape (paper §V-D1): PyG slowest (initialization-dominated),
 //! gSuite variants fastest; times grow strongly on Reddit/LiveJournal.
-
-use gsuite_bench::{ms, par_sweep, profile_pipeline, sweep_config, BenchOpts};
-use gsuite_core::config::{CompModel, FrameworkKind, GnnModel};
-use gsuite_graph::datasets::Dataset;
-use gsuite_profile::TextTable;
-
-/// The four framework variants of the figure, in column order.
-const VARIANTS: [(FrameworkKind, CompModel); 4] = [
-    (FrameworkKind::PygLike, CompModel::Mp),
-    (FrameworkKind::DglLike, CompModel::Spmm),
-    (FrameworkKind::GSuite, CompModel::Mp),
-    (FrameworkKind::GSuite, CompModel::Spmm),
-];
+//!
+//! The grid itself lives in the scenario registry
+//! (`gsuite_scenarios::registry`, entry `"fig3"`); this binary is a thin
+//! launcher, equivalent to `gsuite-cli run-scenario fig3`.
 
 fn main() {
-    let opts = BenchOpts::from_env();
-    opts.header(
-        "Fig. 3",
-        "end-to-end execution time (ms) per framework, model and dataset",
-    );
-
-    for model in GnnModel::ALL {
-        // Every (dataset, framework) cell is an independent build+profile:
-        // fan the whole figure across cores and assemble rows in order.
-        let cells: Vec<(Dataset, FrameworkKind, CompModel)> = Dataset::ALL
-            .iter()
-            .flat_map(|&dataset| VARIANTS.iter().map(move |&(fw, comp)| (dataset, fw, comp)))
-            .collect();
-        let results = par_sweep(&cells, |&(dataset, fw, comp)| {
-            // gSuite has no SAGE-SpMM (paper §V-A).
-            if fw == FrameworkKind::GSuite && model == GnnModel::Sage && comp == CompModel::Spmm {
-                return ("n/a".to_string(), "n/a".to_string());
-            }
-            let cfg = sweep_config(&opts, fw, model, comp, dataset);
-            let p = profile_pipeline(&cfg, &opts.hw());
-            (ms(p.total_time_ms()), ms(p.device_time_ms()))
-        });
-
-        let mut table = TextTable::new(&["Dataset", "PyG", "DGL", "gSuite-MP", "gSuite-SpMM"]);
-        let mut device_table =
-            TextTable::new(&["Dataset", "PyG", "DGL", "gSuite-MP", "gSuite-SpMM"]);
-        for (row, dataset) in Dataset::ALL.iter().enumerate() {
-            let cells = &results[row * VARIANTS.len()..(row + 1) * VARIANTS.len()];
-            let mut total = vec![dataset.short().to_string()];
-            let mut device = vec![dataset.short().to_string()];
-            for (t, d) in cells {
-                total.push(t.clone());
-                device.push(d.clone());
-            }
-            table.row_owned(total);
-            device_table.row_owned(device);
-        }
-        opts.emit(
-            &format!("fig3_{}", model.name().to_lowercase()),
-            &format!("End-to-end execution time (ms) — {model}"),
-            &table,
-        );
-        opts.emit(
-            &format!("fig3_{}_device", model.name().to_lowercase()),
-            &format!("Device-only time (ms) — {model} (kernel growth across datasets)"),
-            &device_table,
-        );
-    }
-    println!("shape check: PyG > DGL > gSuite on every row (init-dominated small datasets);");
-    println!("             all frameworks converge toward kernel time on RD/LJ.");
+    gsuite_scenarios::registry::run_main("fig3");
 }

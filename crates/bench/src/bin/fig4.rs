@@ -4,71 +4,9 @@
 //! Expected shape (paper §V-D1): the GNN model — not the dataset or
 //! framework — is the main determinant of the distribution; sgemm's share
 //! grows with feature width, scatter/indexSelect's with edge count.
-
-use gsuite_bench::{par_sweep, pct, profile_pipeline, sweep_config, BenchOpts};
-use gsuite_core::config::{CompModel, FrameworkKind, GnnModel};
-use gsuite_graph::datasets::Dataset;
-use gsuite_profile::TextTable;
-
-const KERNEL_COLUMNS: [&str; 6] = ["sgemm", "scatter", "indexSelect", "SpMM", "SpGEMM", "other"];
+//!
+//! Registry entry `"fig4"`; equivalent to `gsuite-cli run-scenario fig4`.
 
 fn main() {
-    let opts = BenchOpts::from_env();
-    opts.header(
-        "Fig. 4",
-        "kernel execution-time distribution (%) per framework / model / dataset",
-    );
-
-    let frameworks: [(&str, FrameworkKind, CompModel); 4] = [
-        ("PyG", FrameworkKind::PygLike, CompModel::Mp),
-        ("DGL", FrameworkKind::DglLike, CompModel::Spmm),
-        ("gSuite-MP", FrameworkKind::GSuite, CompModel::Mp),
-        ("gSuite-SpMM", FrameworkKind::GSuite, CompModel::Spmm),
-    ];
-
-    for (fw_label, fw, comp) in frameworks {
-        for model in GnnModel::ALL {
-            // gSuite-SpMM has no SAGE (paper §V-A).
-            if fw == FrameworkKind::GSuite && comp == CompModel::Spmm && model == GnnModel::Sage {
-                continue;
-            }
-            let mut table = TextTable::new(&[
-                "Dataset",
-                "sgemm",
-                "scatter",
-                "indexSelect",
-                "SpMM",
-                "SpGEMM",
-                "other",
-            ]);
-            // One independent build+profile per dataset: fan across cores.
-            let rows = par_sweep(&Dataset::ALL, |&dataset| {
-                let cfg = sweep_config(&opts, fw, model, comp, dataset);
-                let profile = profile_pipeline(&cfg, &opts.hw());
-                let shares = profile.kernel_time_shares();
-                let share_of = |name: &str| -> String {
-                    shares
-                        .iter()
-                        .find(|(k, _)| k == name)
-                        .map(|&(_, s)| pct(s))
-                        .unwrap_or_else(|| "-".to_string())
-                };
-                let mut row = vec![dataset.short().to_string()];
-                row.extend(KERNEL_COLUMNS.iter().map(|k| share_of(k)));
-                row
-            });
-            for row in rows {
-                table.row_owned(row);
-            }
-            opts.emit(
-                &format!(
-                    "fig4_{}_{}",
-                    fw_label.to_lowercase().replace('-', "_"),
-                    model.name().to_lowercase()
-                ),
-                &format!("Kernel time distribution — {fw_label}, {model}"),
-                &table,
-            );
-        }
-    }
+    gsuite_scenarios::registry::run_main("fig4");
 }

@@ -5,76 +5,9 @@
 //! Expected shape (paper §V-D2): scatter and indexSelect are dominated by
 //! integer (address-arithmetic) instructions, sgemm by FP32; the
 //! distribution is a *kernel* property, stable across models and datasets.
-
-use gsuite_bench::{par_sweep, pct, profile_pipeline, sweep_config, BenchOpts};
-use gsuite_core::config::{CompModel, FrameworkKind, GnnModel};
-use gsuite_graph::datasets::Dataset;
-use gsuite_profile::TextTable;
+//!
+//! Registry entry `"fig5"`; equivalent to `gsuite-cli run-scenario fig5`.
 
 fn main() {
-    let opts = BenchOpts::from_env();
-    opts.header("Fig. 5", "instruction breakdown (%) of the core kernels");
-
-    let cases: [(&str, GnnModel, Dataset, CompModel, &[&str]); 4] = [
-        (
-            "gSuite-MP GCN-CR",
-            GnnModel::Gcn,
-            Dataset::Cora,
-            CompModel::Mp,
-            &["sgemm", "scatter", "indexSelect"],
-        ),
-        (
-            "gSuite-MP GIN-LJ",
-            GnnModel::Gin,
-            Dataset::LiveJournal,
-            CompModel::Mp,
-            &["sgemm", "scatter", "indexSelect"],
-        ),
-        (
-            "gSuite-SpMM GCN-CR",
-            GnnModel::Gcn,
-            Dataset::Cora,
-            CompModel::Spmm,
-            &["SpMM", "SpGEMM", "sgemm"],
-        ),
-        (
-            "gSuite-SpMM GIN-LJ",
-            GnnModel::Gin,
-            Dataset::LiveJournal,
-            CompModel::Spmm,
-            &["SpMM", "sgemm"],
-        ),
-    ];
-
-    // The four cases are independent build+profiles: fan across cores.
-    let profiles = par_sweep(&cases, |&(_, model, dataset, comp, _)| {
-        let cfg = sweep_config(&opts, FrameworkKind::GSuite, model, comp, dataset);
-        profile_pipeline(&cfg, &opts.hw())
-    });
-
-    for ((label, _, _, _, kernels), profile) in cases.iter().zip(&profiles) {
-        let merged = profile.merged_by_kernel();
-        let mut table =
-            TextTable::new(&["Kernel", "FP32", "INT", "Load/Store", "Control", "other"]);
-        for kernel in *kernels {
-            let Some(k) = merged.iter().find(|k| k.kernel == *kernel) else {
-                continue;
-            };
-            let f = k.instr_mix.fractions();
-            table.row_owned(vec![
-                kernel.to_string(),
-                pct(f[0].1),
-                pct(f[1].1),
-                pct(f[2].1),
-                pct(f[3].1),
-                pct(f[4].1),
-            ]);
-        }
-        opts.emit(
-            &format!("fig5_{}", label.to_lowercase().replace([' ', '-'], "_")),
-            &format!("Instruction breakdown — {label}"),
-            &table,
-        );
-    }
-    println!("shape check: is/sc INT-heavy (address math), sgemm FP32-heavy, stable across cases.");
+    gsuite_scenarios::registry::run_main("fig5");
 }

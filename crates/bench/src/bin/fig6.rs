@@ -5,88 +5,9 @@
 //! Expected shape (paper §V-D3): MemoryDependency dominates (46.3% on
 //! average in the paper), growing with dataset size for every kernel
 //! except sgemm.
-
-use gsuite_bench::{par_sweep, pct, profile_pipeline, sweep_config, BenchOpts};
-use gsuite_core::config::{CompModel, FrameworkKind, GnnModel};
-use gsuite_gpu::StallReason;
-use gsuite_graph::datasets::Dataset;
-use gsuite_profile::TextTable;
+//!
+//! Registry entry `"fig6"`; equivalent to `gsuite-cli run-scenario fig6`.
 
 fn main() {
-    let opts = BenchOpts::from_env();
-    opts.header(
-        "Fig. 6",
-        "issue-stall distribution (%) of core kernels (cycle simulator)",
-    );
-
-    let mp_kernels = ["sgemm", "scatter", "indexSelect"];
-    let spmm_kernels = ["SpMM", "SpGEMM", "sgemm"];
-    let mut memdep_sum = 0.0;
-    let mut memdep_n = 0usize;
-
-    for (comp, kernels, models) in [
-        (CompModel::Mp, &mp_kernels[..], &GnnModel::ALL[..]),
-        (
-            CompModel::Spmm,
-            &spmm_kernels[..],
-            &[GnnModel::Gcn, GnnModel::Gin][..],
-        ),
-    ] {
-        for &model in models {
-            let mut table = TextTable::new(&[
-                "Dataset",
-                "Kernel",
-                "MemoryDep",
-                "ExecDep",
-                "InstrIssued",
-                "InstrFetch",
-                "Sync",
-                "NotSelected",
-            ]);
-            // One independent cycle-simulated pipeline per dataset: fan the
-            // expensive simulations across cores, then render in order.
-            let profiles = par_sweep(&Dataset::ALL, |&dataset| {
-                let cfg = sweep_config(&opts, FrameworkKind::GSuite, model, comp, dataset);
-                let sim = opts.sim_for(dataset);
-                profile_pipeline(&cfg, &sim)
-            });
-            for (dataset, profile) in Dataset::ALL.iter().zip(&profiles) {
-                for kernel in kernels {
-                    let merged = profile.merged_by_kernel();
-                    let Some(k) = merged.iter().find(|k| k.kernel == *kernel) else {
-                        continue;
-                    };
-                    let stalls = k.stalls.expect("sim backend reports stalls");
-                    let memdep = stalls.fraction(StallReason::MemoryDependency);
-                    memdep_sum += memdep;
-                    memdep_n += 1;
-                    table.row_owned(vec![
-                        dataset.short().to_string(),
-                        kernel.to_string(),
-                        pct(memdep),
-                        pct(stalls.fraction(StallReason::ExecutionDependency)),
-                        pct(stalls.fraction(StallReason::InstructionIssued)),
-                        pct(stalls.fraction(StallReason::InstructionFetch)),
-                        pct(stalls.fraction(StallReason::Synchronization)),
-                        pct(stalls.fraction(StallReason::NotSelected)),
-                    ]);
-                }
-            }
-            opts.emit(
-                &format!(
-                    "fig6_{}_{}",
-                    comp.name().to_lowercase(),
-                    model.name().to_lowercase()
-                ),
-                &format!("Issue-stall distribution — gSuite-{comp} {model}"),
-                &table,
-            );
-        }
-    }
-    if memdep_n > 0 {
-        println!(
-            "average MemoryDependency share: {} (paper: 46.3%)",
-            pct(memdep_sum / memdep_n as f64)
-        );
-    }
+    gsuite_scenarios::registry::run_main("fig6");
 }

@@ -5,51 +5,9 @@
 //! Expected shape (paper §V-D4): GCN's MP kernels (which run at hidden
 //! width) idle heavily on the small datasets, GIN/SAGE (input width) keep
 //! the machine busy; sgemm is immune to the model choice.
-
-use gsuite_bench::{par_sweep, pct, profile_pipeline, sweep_config, BenchOpts};
-use gsuite_core::config::{CompModel, FrameworkKind, GnnModel};
-use gsuite_graph::datasets::Dataset;
-use gsuite_profile::TextTable;
+//!
+//! Registry entry `"fig7"`; equivalent to `gsuite-cli run-scenario fig7`.
 
 fn main() {
-    let opts = BenchOpts::from_env();
-    opts.header(
-        "Fig. 7",
-        "warp occupancy distribution (%) of gSuite-MP kernels (cycle simulator)",
-    );
-
-    let kernels = ["sgemm", "scatter", "indexSelect"];
-    for model in GnnModel::ALL {
-        let mut table = TextTable::new(&["Dataset", "Kernel", "Stall", "Idle", "W8", "W20", "W32"]);
-        // Independent cycle simulations per dataset: fan across cores.
-        let profiles = par_sweep(&Dataset::ALL, |&dataset| {
-            let cfg = sweep_config(&opts, FrameworkKind::GSuite, model, CompModel::Mp, dataset);
-            let sim = opts.sim_for(dataset);
-            profile_pipeline(&cfg, &sim)
-        });
-        for (dataset, profile) in Dataset::ALL.iter().zip(&profiles) {
-            let merged = profile.merged_by_kernel();
-            for kernel in kernels {
-                let Some(k) = merged.iter().find(|k| k.kernel == kernel) else {
-                    continue;
-                };
-                let occ = k.occupancy.expect("sim backend reports occupancy");
-                let f = occ.fractions();
-                table.row_owned(vec![
-                    dataset.short().to_string(),
-                    kernel.to_string(),
-                    pct(f[0].1),
-                    pct(f[1].1),
-                    pct(f[2].1),
-                    pct(f[3].1),
-                    pct(f[4].1),
-                ]);
-            }
-        }
-        opts.emit(
-            &format!("fig7_{}", model.name().to_lowercase()),
-            &format!("Warp occupancy — gSuite-MP {model}"),
-            &table,
-        );
-    }
+    gsuite_scenarios::registry::run_main("fig7");
 }

@@ -5,77 +5,11 @@
 //! Expected shape (paper §V-D5): L1 rates from the two backends align much
 //! better than L2 rates; the mismatch is worst for the small inputs
 //! (CR/CS); larger inputs drive both hit rates down.
-
-use gsuite_bench::{par_sweep, pct, profile_pipeline, sweep_config, BenchOpts};
-use gsuite_core::config::{CompModel, FrameworkKind, GnnModel};
-use gsuite_graph::datasets::Dataset;
-use gsuite_profile::{PipelineProfile, TextTable};
+//!
+//! Registry entry `"fig8"` (a two-GPU-axis grid: the same pipeline builds
+//! measured by both backends); equivalent to
+//! `gsuite-cli run-scenario fig8`.
 
 fn main() {
-    let opts = BenchOpts::from_env();
-    opts.header(
-        "Fig. 8",
-        "L1/L2 hit rates of gSuite-MP kernels: NVProf-like vs cycle sim",
-    );
-
-    let kernels = ["sgemm", "indexSelect", "scatter"];
-    let mut l1_gap_sum = 0.0;
-    let mut l2_gap_sum = 0.0;
-    let mut n = 0usize;
-
-    for model in GnnModel::ALL {
-        let mut table = TextTable::new(&[
-            "Dataset",
-            "Kernel",
-            "L1 (NVProf)",
-            "L1 (Sim)",
-            "L2 (NVProf)",
-            "L2 (Sim)",
-        ]);
-        // One task per dataset, each measuring both backends (hw then sim)
-        // so the per-dataset comparison pair stays together; the five
-        // tasks fan across cores.
-        let profiles: Vec<(PipelineProfile, PipelineProfile)> =
-            par_sweep(&Dataset::ALL, |&dataset| {
-                let cfg = sweep_config(&opts, FrameworkKind::GSuite, model, CompModel::Mp, dataset);
-                let hw = profile_pipeline(&cfg, &opts.hw());
-                let sim = profile_pipeline(&cfg, &opts.sim_for(dataset));
-                (hw, sim)
-            });
-        for (dataset, (hw, sim)) in Dataset::ALL.iter().zip(&profiles) {
-            let hw_merged = hw.merged_by_kernel();
-            let sim_merged = sim.merged_by_kernel();
-            for kernel in kernels {
-                let (Some(h), Some(s)) = (
-                    hw_merged.iter().find(|k| k.kernel == kernel),
-                    sim_merged.iter().find(|k| k.kernel == kernel),
-                ) else {
-                    continue;
-                };
-                l1_gap_sum += (h.l1.hit_rate() - s.l1.hit_rate()).abs();
-                l2_gap_sum += (h.l2.hit_rate() - s.l2.hit_rate()).abs();
-                n += 1;
-                table.row_owned(vec![
-                    dataset.short().to_string(),
-                    kernel.to_string(),
-                    pct(h.l1.hit_rate()),
-                    pct(s.l1.hit_rate()),
-                    pct(h.l2.hit_rate()),
-                    pct(s.l2.hit_rate()),
-                ]);
-            }
-        }
-        opts.emit(
-            &format!("fig8_{}", model.name().to_lowercase()),
-            &format!("L1/L2 hit rates, NVProf vs Sim — gSuite-MP {model}"),
-            &table,
-        );
-    }
-    if n > 0 {
-        println!(
-            "mean |NVProf - Sim| gap: L1 {} vs L2 {} (paper: L1 aligns better than L2)",
-            pct(l1_gap_sum / n as f64),
-            pct(l2_gap_sum / n as f64)
-        );
-    }
+    gsuite_scenarios::registry::run_main("fig8");
 }

@@ -4,46 +4,9 @@
 //! Expected shape (paper §V-D6): scatter uses memory best (especially in
 //! GIN/SAGE, where it runs at input width); sgemm's compute *and* memory
 //! utilization scale up with workload size (LiveJournal highest).
-
-use gsuite_bench::{par_sweep, pct, profile_pipeline, sweep_config, BenchOpts};
-use gsuite_core::config::{CompModel, FrameworkKind, GnnModel};
-use gsuite_graph::datasets::Dataset;
-use gsuite_profile::TextTable;
+//!
+//! Registry entry `"fig9"`; equivalent to `gsuite-cli run-scenario fig9`.
 
 fn main() {
-    let opts = BenchOpts::from_env();
-    opts.header(
-        "Fig. 9",
-        "compute/memory utilization (%) of gSuite-MP kernels (cycle simulator)",
-    );
-
-    let kernels = ["sgemm", "indexSelect", "scatter"];
-    for model in GnnModel::ALL {
-        let mut table = TextTable::new(&["Dataset", "Kernel", "Compute", "Memory"]);
-        // Independent cycle simulations per dataset: fan across cores.
-        let profiles = par_sweep(&Dataset::ALL, |&dataset| {
-            let cfg = sweep_config(&opts, FrameworkKind::GSuite, model, CompModel::Mp, dataset);
-            let sim = opts.sim_for(dataset);
-            profile_pipeline(&cfg, &sim)
-        });
-        for (dataset, profile) in Dataset::ALL.iter().zip(&profiles) {
-            let merged = profile.merged_by_kernel();
-            for kernel in kernels {
-                let Some(k) = merged.iter().find(|k| k.kernel == kernel) else {
-                    continue;
-                };
-                table.row_owned(vec![
-                    dataset.short().to_string(),
-                    kernel.to_string(),
-                    pct(k.compute_utilization),
-                    pct(k.memory_utilization),
-                ]);
-            }
-        }
-        opts.emit(
-            &format!("fig9_{}", model.name().to_lowercase()),
-            &format!("Compute/memory utilization — gSuite-MP {model}"),
-            &table,
-        );
-    }
+    gsuite_scenarios::registry::run_main("fig9");
 }

@@ -1,60 +1,9 @@
 //! Regenerates **Table II** — the core MP and SpMM kernels — and verifies
 //! the inventory against the live kernel implementations.
-
-use gsuite_bench::BenchOpts;
-use gsuite_profile::TextTable;
+//!
+//! Registry entry `"table2"`; equivalent to
+//! `gsuite-cli run-scenario table2`.
 
 fn main() {
-    let opts = BenchOpts::from_env();
-    opts.header("Table II", "core MP and SpMM kernels");
-
-    let mut table = TextTable::new(&[
-        "Kernel Name",
-        "Computational Model",
-        "Short Form",
-        "Description",
-    ]);
-    table.row(&[
-        "indexSelect",
-        "MP",
-        "is",
-        "Indexes the input along specified dimension by using index entries.",
-    ]);
-    table.row(&[
-        "scatter",
-        "MP",
-        "sc",
-        "Reduces given input based-on index vector using entries.",
-    ]);
-    table.row(&[
-        "sgemm/GEMM",
-        "SpMM",
-        "sg",
-        "Generalized matrix multiplication of two given matrices.",
-    ]);
-    table.row(&[
-        "SpGEMM/GEMM",
-        "SpMM",
-        "sp",
-        "Matrix multiplication of two sparse matrices.",
-    ]);
-    opts.emit(
-        "table2",
-        "Core MP and SpMM kernels (paper Table II)",
-        &table,
-    );
-
-    // Cross-check: the implemented kernel taxonomy uses the same names.
-    use gsuite_core::kernels::KernelKind;
-    let implemented = [
-        KernelKind::IndexSelect,
-        KernelKind::Scatter,
-        KernelKind::Sgemm,
-        KernelKind::Spmm,
-        KernelKind::Spgemm,
-    ];
-    println!("implemented kernels:");
-    for k in implemented {
-        println!("  {:<12} (short: {})", k.name(), k.short());
-    }
+    gsuite_scenarios::registry::run_main("table2");
 }

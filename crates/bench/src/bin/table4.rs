@@ -1,59 +1,11 @@
 //! Regenerates **Table IV** — the evaluation datasets — and validates that
 //! the synthetic generators hit the paper's statistics at the configured
 //! scale.
-
-use gsuite_bench::BenchOpts;
-use gsuite_graph::datasets::Dataset;
-use gsuite_profile::TextTable;
+//!
+//! Registry entry `"table4"` (a dataset-census grid: graphs load through
+//! the scenario runner's memoized cache, no pipeline cells); equivalent to
+//! `gsuite-cli run-scenario table4`.
 
 fn main() {
-    let opts = BenchOpts::from_env();
-    opts.header("Table IV", "included datasets");
-
-    let mut spec_table =
-        TextTable::new(&["Dataset", "Nodes", "Feature Length", "Edges", "Short Form"]);
-    for d in Dataset::ALL {
-        let s = d.spec();
-        spec_table.row_owned(vec![
-            s.name.to_string(),
-            s.nodes.to_string(),
-            s.feature_len.to_string(),
-            s.edges.to_string(),
-            s.short.to_string(),
-        ]);
-    }
-    opts.emit(
-        "table4_spec",
-        "Dataset specifications (paper Table IV)",
-        &spec_table,
-    );
-
-    let mut gen_table = TextTable::new(&[
-        "Dataset",
-        "Scale",
-        "Nodes",
-        "Edges",
-        "Feature Length",
-        "Avg Degree",
-        "Max Degree",
-    ]);
-    for d in Dataset::ALL {
-        let scale = opts.scale_for(d);
-        let g = d.load_scaled(scale);
-        let st = g.stats();
-        gen_table.row_owned(vec![
-            d.name().to_string(),
-            format!("{scale}"),
-            st.nodes.to_string(),
-            st.edges.to_string(),
-            st.feature_len.to_string(),
-            format!("{:.2}", st.avg_degree),
-            st.max_degree.to_string(),
-        ]);
-    }
-    opts.emit(
-        "table4_generated",
-        "Generated instances at the configured scale",
-        &gen_table,
-    );
+    gsuite_scenarios::registry::run_main("table4");
 }

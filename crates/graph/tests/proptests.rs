@@ -93,6 +93,99 @@ proptest! {
     }
 
     #[test]
+    fn format_roundtrips_preserve_structure(
+        nodes in 2usize..40,
+        edges in 0usize..150,
+        topology in arb_topology(),
+        seed in 0u64..500,
+    ) {
+        // COO ↔ CSR ↔ dense agree entry-for-entry in every direction —
+        // the format-flexibility claim the scenario grid's `formats` axis
+        // rests on (paper §II-D).
+        let el = GraphGenerator::new(nodes, edges)
+            .topology(topology)
+            .seed(seed)
+            .build_edges()
+            .unwrap();
+        let g = Graph::new(el, DenseMatrix::zeros(nodes, 2)).unwrap();
+        let csr = g.adjacency_csr();
+        let coo = g.adjacency_coo();
+        prop_assert_eq!(&coo.to_csr(), &csr, "COO -> CSR roundtrip");
+        prop_assert_eq!(&csr.to_coo().to_csr(), &csr, "CSR -> COO -> CSR roundtrip");
+        prop_assert_eq!(coo.to_dense(), csr.to_dense(), "COO/CSR dense agreement");
+        prop_assert_eq!(&csr.transpose().transpose(), &csr, "double transpose");
+        prop_assert_eq!(
+            g.adjacency_dense(),
+            csr.to_dense(),
+            "dense view matches CSR"
+        );
+        prop_assert_eq!(csr.nnz(), coo.nnz());
+    }
+
+    #[test]
+    fn format_roundtrips_preserve_degrees(
+        nodes in 2usize..40,
+        edges in 0usize..150,
+        seed in 0u64..500,
+    ) {
+        // Row populations (out-degrees of the simple-graph view) survive
+        // every format conversion.
+        let el = GraphGenerator::new(nodes, edges).seed(seed).build_edges().unwrap();
+        let g = Graph::new(el, DenseMatrix::zeros(nodes, 1)).unwrap();
+        let csr = g.adjacency_csr();
+        let dense = csr.to_dense();
+        let coo = csr.to_coo();
+        for r in 0..nodes {
+            let csr_deg = csr.row_nnz(r);
+            let dense_deg = (0..nodes).filter(|&c| dense.get(r, c) != 0.0).count();
+            let coo_deg = coo.iter().filter(|&(row, _, _)| row == r).count();
+            prop_assert_eq!(csr_deg, dense_deg, "row {}", r);
+            prop_assert_eq!(csr_deg, coo_deg, "row {}", r);
+        }
+        // And the simple-graph degrees never exceed the raw multigraph
+        // out-degrees.
+        for (r, &raw) in g.out_degrees().iter().enumerate() {
+            prop_assert!(csr.row_nnz(r) <= raw as usize);
+        }
+    }
+
+    #[test]
+    fn normalization_row_sums_format_independent(
+        nodes in 2usize..25,
+        edges in 1usize..80,
+        seed in 0u64..500,
+    ) {
+        // The GCN normalization chain produces the same row sums whether
+        // read from CSR, COO or the dense view — scenario cells consuming
+        // different formats see one normalization.
+        let el = GraphGenerator::new(nodes, edges).seed(seed).build_edges().unwrap();
+        let g = Graph::new(el, DenseMatrix::zeros(nodes, 1)).unwrap();
+        let norm = gcn_norm_csr(&add_self_loops(&symmetrize(&g.adjacency_csr())));
+        let csr_sums = norm.row_sums();
+        let dense = norm.to_dense();
+        let mut coo_sums = vec![0.0f32; nodes];
+        for (r, _, v) in norm.to_coo().iter() {
+            coo_sums[r] += v;
+        }
+        for r in 0..nodes {
+            let dense_sum: f32 = dense.row(r).iter().sum();
+            prop_assert!(
+                (csr_sums[r] - dense_sum).abs() < 1e-5,
+                "row {} CSR {} vs dense {}",
+                r, csr_sums[r], dense_sum
+            );
+            prop_assert!(
+                (csr_sums[r] - coo_sums[r]).abs() < 1e-5,
+                "row {} CSR {} vs COO {}",
+                r, csr_sums[r], coo_sums[r]
+            );
+            // Self-loops make every row non-empty; D^-1/2 Â D^-1/2 rows
+            // sum to a positive value bounded by the row population.
+            prop_assert!(csr_sums[r] > 0.0);
+        }
+    }
+
+    #[test]
     fn edge_list_sort_preserves_multiset(
         nodes in 2usize..20,
         pairs in proptest::collection::vec((0u32..20, 0u32..20), 0..60),

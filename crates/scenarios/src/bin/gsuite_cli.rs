@@ -1,5 +1,5 @@
 //! The gSuite command-line interface — the paper's "pass a few parameters"
-//! user surface (Fig. 1).
+//! user surface (Fig. 1), plus the scenario registry.
 //!
 //! ```text
 //! gsuite-cli [--config FILE] [--model gcn|gin|sag] [--comp mp|spmm]
@@ -7,20 +7,35 @@
 //!            [--scale F] [--layers N] [--hidden N]
 //!            [--framework gsuite|pyg|dgl] [--seed N]
 //!            [--backend hw|sim] [--sim-sms N] [--max-ctas N] [--quiet]
+//!
+//! gsuite-cli run-scenario --list [--filter STR]
+//! gsuite-cli run-scenario NAME [--quick|--full] [--csv DIR]
 //! ```
 //!
-//! Builds the configured pipeline, runs it functionally, profiles every
-//! kernel launch on the selected backend and prints a characterization
-//! report.
+//! Without a subcommand: builds the configured pipeline, runs it
+//! functionally, profiles every kernel launch on the selected backend and
+//! prints a characterization report. With `run-scenario`: executes a named
+//! experiment grid from the scenario registry.
 
 use std::process::ExitCode;
 
 use gsuite_core::config::RunConfig;
 use gsuite_core::pipeline::PipelineRun;
 use gsuite_profile::{HwProfiler, Profiler, SimProfiler, TextTable};
+use gsuite_scenarios::{registry, BenchOpts};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("run-scenario") {
+        return match run_scenario_cmd(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("run with --help for usage");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.iter().any(|a| a == "--help" || a == "-h") {
         print_help();
         return ExitCode::SUCCESS;
@@ -55,8 +70,108 @@ fn print_help() {
            --backend hw|sim       analytical profiler or cycle simulator (hw)\n\
            --sim-sms N            simulated SM count for --backend sim (8)\n\
            --max-ctas N           CTA sampling cap for --backend sim (2048)\n\
-           --quiet                print only the summary line"
+           --quiet                print only the summary line\n\
+         \n\
+         scenario registry:\n\
+           run-scenario --list [--filter STR]   list registered scenarios\n\
+           run-scenario NAME [--quick|--full] [--csv DIR]\n\
+                                  run one named experiment grid (the paper's\n\
+                                  figures plus beyond-paper scenarios)"
     );
+}
+
+/// `gsuite-cli run-scenario ...`: list, filter or execute registry entries.
+fn run_scenario_cmd(args: &[String]) -> Result<(), String> {
+    let mut list = false;
+    let mut filter: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut opt_args: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                print_help();
+                return Ok(());
+            }
+            "--list" => {
+                list = true;
+                i += 1;
+            }
+            "--filter" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--filter needs a value".to_string())?;
+                filter = Some(v.clone());
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                // Mode flags are shared with the figure binaries.
+                opt_args.push(args[i].clone());
+                if flag == "--csv" {
+                    if let Some(v) = args.get(i + 1) {
+                        opt_args.push(v.clone());
+                        i += 1;
+                    }
+                }
+                i += 1;
+            }
+            other => {
+                if name.replace(other.to_string()).is_some() {
+                    return Err(format!("unexpected extra scenario name {other:?}"));
+                }
+                i += 1;
+            }
+        }
+    }
+    let opts = BenchOpts::from_args(&opt_args)?;
+
+    if let Some(n) = &name {
+        if list || filter.is_some() {
+            return Err(format!(
+                "scenario name {n:?} conflicts with --list/--filter (run one or list, not both)"
+            ));
+        }
+    }
+
+    if list || filter.is_some() {
+        let scenarios = match &filter {
+            Some(f) => registry::matching(f),
+            None => registry::all(),
+        };
+        if scenarios.is_empty() {
+            return Err(format!(
+                "no scenario matches filter {:?}",
+                filter.as_deref().unwrap_or("")
+            ));
+        }
+        println!(
+            "registered scenarios ({} mode grid sizes):\n",
+            mode_name(&opts)
+        );
+        println!("{}", registry::list_table(&scenarios, &opts).render());
+        return Ok(());
+    }
+
+    let Some(name) = name else {
+        return Err("run-scenario needs a scenario name (or --list)".to_string());
+    };
+    let scenario = registry::find(&name).ok_or_else(|| {
+        let known: Vec<&str> = registry::all().iter().map(|s| s.name).collect();
+        format!("unknown scenario {name:?} (registry: {})", known.join(", "))
+    })?;
+    let (_result, report) = scenario.run(&opts);
+    report.emit(&opts);
+    Ok(())
+}
+
+fn mode_name(opts: &BenchOpts) -> &'static str {
+    if opts.full {
+        "full"
+    } else if opts.quick {
+        "quick"
+    } else {
+        "default"
+    }
 }
 
 fn run(args: &[String]) -> Result<(), String> {

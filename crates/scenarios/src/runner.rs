@@ -1,0 +1,257 @@
+//! The scenario runner: expands a spec, builds every distinct graph and
+//! pipeline exactly once (memoized caches), and fans the profiling grid
+//! across CPU cores through the deterministic `gsuite-par` primitives.
+
+use std::sync::Arc;
+
+use gsuite_core::config::RunConfig;
+use gsuite_core::pipeline::PipelineRun;
+use gsuite_core::CoreError;
+use gsuite_graph::datasets::Dataset;
+use gsuite_graph::Graph;
+use gsuite_profile::PipelineProfile;
+
+use crate::opts::BenchOpts;
+use crate::spec::{ScenarioCell, ScenarioSpec};
+
+/// What happened to one grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// The cell ran; its profile.
+    Profiled(PipelineProfile),
+    /// The suite cannot build this combination (e.g. gSuite SAGE under
+    /// SpMM, paper §V-A); the build error message.
+    Unsupported(String),
+}
+
+impl CellOutcome {
+    /// The profile, if the cell ran.
+    pub fn profile(&self) -> Option<&PipelineProfile> {
+        match self {
+            CellOutcome::Profiled(p) => Some(p),
+            CellOutcome::Unsupported(_) => None,
+        }
+    }
+}
+
+/// A fully executed scenario: the ordered cells, one outcome per cell, and
+/// the shared graph cache (kept so dataset-census renderers like Table IV
+/// can report graph statistics without reloading).
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The spec that produced this run.
+    pub spec: ScenarioSpec,
+    /// Expanded cells, in expansion order.
+    pub cells: Vec<ScenarioCell>,
+    /// One outcome per cell, same order.
+    pub outcomes: Vec<CellOutcome>,
+    /// The memoized `(dataset, scale) -> graph` cache, in first-load order.
+    pub graphs: Vec<((Dataset, f64), Arc<Graph>)>,
+}
+
+impl ScenarioResult {
+    /// The cached graph of `dataset` (first matching scale), if loaded.
+    pub fn graph(&self, dataset: Dataset) -> Option<&Graph> {
+        self.graphs
+            .iter()
+            .find(|((d, _), _)| *d == dataset)
+            .map(|(_, g)| g.as_ref())
+    }
+
+    /// Looks up the outcome of the cell with the given coordinates on GPU
+    /// axis `gpu_index`.
+    pub fn outcome_at(
+        &self,
+        gpu_index: usize,
+        probe: impl Fn(&RunConfig) -> bool,
+    ) -> Option<&CellOutcome> {
+        self.cells
+            .iter()
+            .position(|c| c.gpu_index == gpu_index && probe(&c.config))
+            .map(|i| &self.outcomes[i])
+    }
+
+    /// The profile of the first cell matching `probe` on GPU axis
+    /// `gpu_index`, or `None` when absent or unsupported.
+    pub fn profile_at(
+        &self,
+        gpu_index: usize,
+        probe: impl Fn(&RunConfig) -> bool,
+    ) -> Option<&PipelineProfile> {
+        self.outcome_at(gpu_index, probe).and_then(|o| o.profile())
+    }
+
+    /// Iterates `(cell, outcome)` pairs in grid order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ScenarioCell, &CellOutcome)> {
+        self.cells.iter().zip(self.outcomes.iter())
+    }
+
+    /// Number of cells that actually profiled.
+    pub fn profiled_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.profile().is_some())
+            .count()
+    }
+}
+
+/// Runs a scenario with the default worker count (`GSUITE_THREADS`
+/// overrides; see [`gsuite_par::default_threads`]).
+pub fn run_scenario(spec: &ScenarioSpec, opts: &BenchOpts) -> ScenarioResult {
+    run_scenario_threads(spec, opts, gsuite_par::default_threads())
+}
+
+/// [`run_scenario`] with an explicit worker count (`1` forces a serial
+/// run). Output is **bit-identical** for every thread count — graph loads,
+/// pipeline builds and profiles all flow through order-preserving
+/// [`gsuite_par::par_map_threads`] — a property `tests/determinism.rs`
+/// locks in.
+pub fn run_scenario_threads(
+    spec: &ScenarioSpec,
+    opts: &BenchOpts,
+    threads: usize,
+) -> ScenarioResult {
+    let cells = spec.expand(opts);
+
+    // Phase 1 — graph cache: load each unique (dataset, scale) once, in
+    // parallel. Every cell of the grid shares these instances.
+    let graph_keys = spec.graph_keys(opts);
+    let graphs: Vec<((Dataset, f64), Arc<Graph>)> = graph_keys
+        .iter()
+        .zip(gsuite_par::par_map_threads(
+            &graph_keys,
+            threads,
+            |_, &(d, s)| Arc::new(d.load_scaled(s)),
+        ))
+        .map(|(&key, graph)| (key, graph))
+        .collect();
+    let graph_for = |cfg: &RunConfig| -> &Graph {
+        graphs
+            .iter()
+            .find(|((d, s), _)| *d == cfg.dataset && s.to_bits() == cfg.scale.to_bits())
+            .map(|(_, g)| g.as_ref())
+            .expect("expansion only references spec datasets")
+    };
+
+    // Phase 2 — pipeline cache: cells differing only in GPU config share
+    // one build. Key = the full RunConfig (everything the build consumes).
+    let mut pipe_keys: Vec<RunConfig> = Vec::new();
+    let cell_pipe: Vec<usize> = cells
+        .iter()
+        .map(
+            |cell| match pipe_keys.iter().position(|k| *k == cell.config) {
+                Some(i) => i,
+                None => {
+                    pipe_keys.push(cell.config.clone());
+                    pipe_keys.len() - 1
+                }
+            },
+        )
+        .collect();
+    let pipelines: Vec<Result<Arc<PipelineRun>, String>> =
+        gsuite_par::par_map_threads(&pipe_keys, threads, |_, cfg| {
+            match PipelineRun::build(graph_for(cfg), cfg) {
+                Ok(run) => Ok(Arc::new(run)),
+                // Known suite boundary (e.g. gSuite SAGE/GAT under SpMM):
+                // the cell stays in the grid and renders as `n/a`.
+                Err(e @ CoreError::UnsupportedCombination { .. }) => Err(e.to_string()),
+                // Anything else is a real regression — fail as loudly as
+                // the pre-refactor harness did.
+                Err(e) => panic!("cannot build {}: {e}", cfg.label()),
+            }
+        });
+
+    // Phase 3 — profile every cell in parallel, results in grid order.
+    let indexed: Vec<(usize, &ScenarioCell)> = cell_pipe.iter().copied().zip(&cells).collect();
+    let outcomes = gsuite_par::par_map_threads(&indexed, threads, |_, &(pipe, cell)| {
+        match &pipelines[pipe] {
+            Ok(run) => {
+                let profiler = cell.gpu.profiler(opts, cell.config.dataset);
+                CellOutcome::Profiled(run.profile(profiler.as_ref()))
+            }
+            Err(msg) => CellOutcome::Unsupported(msg.clone()),
+        }
+    });
+
+    ScenarioResult {
+        spec: spec.clone(),
+        cells,
+        outcomes,
+        graphs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::GpuSpec;
+    use gsuite_core::config::{CompModel, FrameworkKind, GnnModel};
+
+    fn tiny_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "tiny",
+            title: "runner unit grid",
+            models: vec![GnnModel::Gcn, GnnModel::Sage],
+            datasets: vec![Dataset::Cora],
+            ..ScenarioSpec::default()
+        }
+    }
+
+    #[test]
+    fn unsupported_cells_survive_as_outcomes() {
+        let result = run_scenario(&tiny_spec(), &BenchOpts::golden());
+        // GCN-MP, GCN-SpMM, SAGE-MP profiled; SAGE-SpMM unsupported.
+        assert_eq!(result.cells.len(), 4);
+        assert_eq!(result.profiled_count(), 3);
+        let sage_spmm = result
+            .outcome_at(0, |c| {
+                c.model == GnnModel::Sage && c.comp == CompModel::Spmm
+            })
+            .unwrap();
+        assert!(matches!(sage_spmm, CellOutcome::Unsupported(_)));
+    }
+
+    #[test]
+    fn graphs_are_loaded_once_per_key() {
+        let result = run_scenario(&tiny_spec(), &BenchOpts::golden());
+        assert_eq!(result.graphs.len(), 1);
+        assert!(result.graph(Dataset::Cora).is_some());
+        assert!(result.graph(Dataset::PubMed).is_none());
+    }
+
+    #[test]
+    fn gpu_axis_reuses_one_pipeline_build() {
+        // Same config on two GPU axes: outcomes must both profile, and
+        // the hw/sim backends disagree (different models) while the
+        // underlying launches agree (shared build).
+        let spec = ScenarioSpec {
+            gpus: vec![GpuSpec::HwV100, GpuSpec::SimSms(4)],
+            models: vec![GnnModel::Gcn],
+            comp_models: vec![CompModel::Mp],
+            ..tiny_spec()
+        };
+        let result = run_scenario(&spec, &BenchOpts::golden());
+        assert_eq!(result.cells.len(), 2);
+        let hw = result.profile_at(0, |_| true).unwrap();
+        let sim = result.profile_at(1, |_| true).unwrap();
+        assert_eq!(hw.kernels.len(), sim.kernels.len());
+        assert!(hw
+            .kernels
+            .iter()
+            .zip(&sim.kernels)
+            .all(|(a, b)| a.kernel == b.kernel));
+    }
+
+    #[test]
+    fn baseline_frameworks_profile() {
+        let spec = ScenarioSpec {
+            frameworks: vec![FrameworkKind::PygLike, FrameworkKind::GSuite],
+            models: vec![GnnModel::Gcn],
+            ..tiny_spec()
+        };
+        let result = run_scenario(&spec, &BenchOpts::golden());
+        // PyG contributes only its forced MP cell: 1 + 2 gSuite cells.
+        assert_eq!(result.cells.len(), 3);
+        assert_eq!(result.profiled_count(), 3);
+    }
+}

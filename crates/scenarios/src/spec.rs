@@ -1,0 +1,376 @@
+//! The declarative scenario grid: a [`ScenarioSpec`] names the axes of an
+//! experiment (models × datasets × formats × computational models × GPU
+//! configs × frameworks) and expands into the cross-product of concrete
+//! [`RunConfig`]s, applying the suite's validity rules in one place.
+
+use gsuite_core::config::{CompModel, FrameworkKind, GnnModel, RunConfig};
+use gsuite_graph::datasets::Dataset;
+use gsuite_graph::GraphFormat;
+use gsuite_profile::{Profiler, SimProfiler};
+
+use crate::opts::BenchOpts;
+
+/// The GPU/backend configuration axis of a scenario — which device model
+/// measures each cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuSpec {
+    /// The analytical V100 model (the `nvprof` stand-in), CTA cap from the
+    /// mode policy.
+    HwV100,
+    /// The cycle simulator under the per-dataset device policy
+    /// ([`BenchOpts::sim_for`]): full 80-SM V100 for the citation graphs,
+    /// a 16-SM proportional scale-down for Reddit/LiveJournal.
+    SimAuto,
+    /// The cycle simulator on a V100 proportionally scaled to a fixed SM
+    /// count — the GPU-config sweep axis.
+    SimSms(usize),
+}
+
+impl GpuSpec {
+    /// Short label used in reports (e.g. `"V100-hw"`, `"sim-8sm"`).
+    pub fn label(self) -> String {
+        match self {
+            GpuSpec::HwV100 => "V100-hw".to_string(),
+            GpuSpec::SimAuto => "sim-auto".to_string(),
+            GpuSpec::SimSms(sms) => format!("sim-{sms}sm"),
+        }
+    }
+
+    /// Instantiates the backend for one cell (the dataset steers the
+    /// [`GpuSpec::SimAuto`] device policy).
+    pub fn profiler(self, opts: &BenchOpts, dataset: Dataset) -> Box<dyn Profiler + Send + Sync> {
+        match self {
+            GpuSpec::HwV100 => Box::new(opts.hw()),
+            GpuSpec::SimAuto => Box::new(opts.sim_for(dataset)),
+            GpuSpec::SimSms(sms) => {
+                let max_ctas = opts.cap_ctas(if opts.quick { 256 } else { 4096 });
+                Box::new(SimProfiler::scaled(sms.clamp(1, 80)).max_ctas(Some(max_ctas)))
+            }
+        }
+    }
+}
+
+/// How a scenario picks per-dataset scales.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScalePolicy {
+    /// The mode-dependent policy of [`BenchOpts::scale_for`] (the paper's
+    /// methodology: citation graphs full-size, Reddit/LiveJournal sampled).
+    Paper,
+    /// One fixed scale for every dataset.
+    Fixed(f64),
+}
+
+/// An optional cell filter: scenarios whose figures run a *subset* of the
+/// cross-product (e.g. Fig. 5's two showcase corners) restrict expansion
+/// with a plain predicate over the cell coordinates.
+pub type CellFilter = fn(FrameworkKind, GnnModel, CompModel, Dataset) -> bool;
+
+/// A declarative experiment grid.
+///
+/// Expansion walks the axes in a fixed nested order — GPU config, model,
+/// framework, computational model (with its graph formats), dataset — so
+/// cell order is deterministic and independent of how the spec was built.
+/// Two validity rules apply during expansion:
+///
+/// * a framework with a forced computational model (PyG → MP, DGL → SpMM)
+///   contributes cells only under that model;
+/// * a computational model only pairs with graph formats it can consume
+///   (MP reads the COO edge index; SpMM reads CSR/CSC adjacency).
+///
+/// Combinations the suite cannot build (gSuite SAGE/GAT under SpMM) stay
+/// in the grid and surface as [`crate::runner::CellOutcome::Unsupported`],
+/// so renderers can print `n/a` exactly where the paper's figures do.
+///
+/// # Example
+///
+/// ```
+/// use gsuite_core::config::{CompModel, FrameworkKind, GnnModel};
+/// use gsuite_graph::datasets::Dataset;
+/// use gsuite_scenarios::{BenchOpts, GpuSpec, ScenarioSpec};
+///
+/// // Two models × two datasets × both computational models on the
+/// // analytical V100 — 8 coordinate tuples, 8 cells (gSuite supports
+/// // every pair here).
+/// let spec = ScenarioSpec {
+///     name: "example",
+///     title: "doc example",
+///     models: vec![GnnModel::Gcn, GnnModel::Gin],
+///     datasets: vec![Dataset::Cora, Dataset::PubMed],
+///     ..ScenarioSpec::default()
+/// };
+/// let cells = spec.expand(&BenchOpts::quick());
+/// assert_eq!(cells.len(), 8);
+/// assert!(cells.iter().all(|c| c.config.framework == FrameworkKind::GSuite));
+/// // MP cells carry the COO edge-index format, SpMM cells CSR.
+/// assert!(cells.iter().any(|c| c.config.comp == CompModel::Spmm));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Registry name (`"fig3"`, `"xmodels"`, ...).
+    pub name: &'static str,
+    /// Human title used in the report header.
+    pub title: &'static str,
+    /// GNN model axis.
+    pub models: Vec<GnnModel>,
+    /// Dataset axis (Table IV).
+    pub datasets: Vec<Dataset>,
+    /// Graph-format axis; each computational model pairs only with the
+    /// formats it consumes (MP ↔ COO, SpMM ↔ CSR/CSC).
+    pub formats: Vec<GraphFormat>,
+    /// Computational-model axis (paper §II-A).
+    pub comp_models: Vec<CompModel>,
+    /// GPU/backend axis.
+    pub gpus: Vec<GpuSpec>,
+    /// Dataset scale policy.
+    pub scale: ScalePolicy,
+    /// Hidden width of every layer.
+    pub hidden: usize,
+    /// GNN layer count.
+    pub layers: usize,
+    /// Executing-framework axis.
+    pub frameworks: Vec<FrameworkKind>,
+    /// Weight seed shared by every cell.
+    pub seed: u64,
+    /// Optional restriction to a subset of the cross-product.
+    pub restrict: Option<CellFilter>,
+}
+
+impl Default for ScenarioSpec {
+    /// A single-axis default: gSuite on the analytical V100, both
+    /// computational models with their canonical formats, paper scale
+    /// policy, 2×16 layers — mirroring [`crate::opts::sweep_config`].
+    fn default() -> Self {
+        ScenarioSpec {
+            name: "unnamed",
+            title: "unnamed scenario",
+            models: vec![GnnModel::Gcn],
+            datasets: vec![Dataset::Cora],
+            formats: vec![GraphFormat::Coo, GraphFormat::Csr],
+            comp_models: vec![CompModel::Mp, CompModel::Spmm],
+            gpus: vec![GpuSpec::HwV100],
+            scale: ScalePolicy::Paper,
+            hidden: 16,
+            layers: 2,
+            frameworks: vec![FrameworkKind::GSuite],
+            seed: 42,
+            restrict: None,
+        }
+    }
+}
+
+/// One expanded grid cell: the coordinates plus the concrete [`RunConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioCell {
+    /// Index into [`ScenarioSpec::gpus`].
+    pub gpu_index: usize,
+    /// The GPU/backend coordinate.
+    pub gpu: GpuSpec,
+    /// The graph format this cell's pipeline consumes.
+    pub format: GraphFormat,
+    /// The fully resolved run configuration.
+    pub config: RunConfig,
+}
+
+impl ScenarioCell {
+    /// A compact cell label for generic reports, e.g.
+    /// `"GCN SpMM/CSR on Cora [V100-hw]"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{} {}/{} on {} [{}]",
+            self.config.model,
+            self.config.comp.name(),
+            self.format,
+            self.config.dataset,
+            self.gpu.label()
+        )
+    }
+}
+
+/// Whether a computational model can consume a graph format (paper §II-D:
+/// MP reads the COO edge index, SpMM reads compressed sparse adjacency).
+pub fn format_feeds_comp(format: GraphFormat, comp: CompModel) -> bool {
+    match comp {
+        CompModel::Mp => format == GraphFormat::Coo,
+        CompModel::Spmm => matches!(format, GraphFormat::Csr | GraphFormat::Csc),
+    }
+}
+
+impl ScenarioSpec {
+    /// Expands the spec into its ordered cell grid (see the type-level
+    /// docs for the walk order and validity rules).
+    pub fn expand(&self, opts: &BenchOpts) -> Vec<ScenarioCell> {
+        let mut cells = Vec::new();
+        for (gpu_index, &gpu) in self.gpus.iter().enumerate() {
+            for &model in &self.models {
+                for &framework in &self.frameworks {
+                    for &comp in &self.comp_models {
+                        if let Some(forced) = framework.forced_comp() {
+                            if comp != forced {
+                                continue;
+                            }
+                        }
+                        for &format in &self.formats {
+                            if !format_feeds_comp(format, comp) {
+                                continue;
+                            }
+                            for &dataset in &self.datasets {
+                                if let Some(keep) = self.restrict {
+                                    if !keep(framework, model, comp, dataset) {
+                                        continue;
+                                    }
+                                }
+                                let scale = match self.scale {
+                                    ScalePolicy::Paper => opts.scale_for(dataset),
+                                    ScalePolicy::Fixed(s) => s,
+                                };
+                                cells.push(ScenarioCell {
+                                    gpu_index,
+                                    gpu,
+                                    format,
+                                    config: RunConfig {
+                                        model,
+                                        comp,
+                                        dataset,
+                                        scale,
+                                        layers: self.layers,
+                                        hidden: self.hidden,
+                                        framework,
+                                        seed: self.seed,
+                                        functional_math: false,
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// The unique `(dataset, scale)` pairs the grid touches, in first-seen
+    /// order — the keys of the runner's memoized graph cache. Includes
+    /// every spec dataset even when the model axis is empty (the
+    /// dataset-census scenarios, e.g. Table IV, have no pipeline cells but
+    /// still need their graphs).
+    pub fn graph_keys(&self, opts: &BenchOpts) -> Vec<(Dataset, f64)> {
+        let mut keys: Vec<(Dataset, f64)> = Vec::new();
+        for &dataset in &self.datasets {
+            let scale = match self.scale {
+                ScalePolicy::Paper => opts.scale_for(dataset),
+                ScalePolicy::Fixed(s) => s,
+            };
+            if !keys
+                .iter()
+                .any(|&(d, s)| d == dataset && s.to_bits() == scale.to_bits())
+            {
+                keys.push((dataset, scale));
+            }
+        }
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            models: vec![GnnModel::Gcn, GnnModel::Sage],
+            datasets: vec![Dataset::Cora, Dataset::PubMed],
+            frameworks: vec![
+                FrameworkKind::PygLike,
+                FrameworkKind::DglLike,
+                FrameworkKind::GSuite,
+            ],
+            ..ScenarioSpec::default()
+        }
+    }
+
+    #[test]
+    fn forced_comp_prunes_baseline_cells() {
+        let cells = grid_spec().expand(&BenchOpts::quick());
+        // Per model/dataset: PyG-MP, DGL-SpMM, gSuite-MP, gSuite-SpMM = 4.
+        assert_eq!(cells.len(), 2 * 2 * 4);
+        assert!(!cells.iter().any(|c| {
+            c.config.framework == FrameworkKind::PygLike && c.config.comp == CompModel::Spmm
+        }));
+        assert!(!cells.iter().any(|c| {
+            c.config.framework == FrameworkKind::DglLike && c.config.comp == CompModel::Mp
+        }));
+    }
+
+    #[test]
+    fn formats_pair_with_their_comp_model() {
+        let cells = grid_spec().expand(&BenchOpts::quick());
+        for c in &cells {
+            assert!(format_feeds_comp(c.format, c.config.comp), "{}", c.label());
+        }
+        // Restricting the format axis restricts the comp axis with it.
+        let csr_only = ScenarioSpec {
+            formats: vec![GraphFormat::Csr],
+            ..grid_spec()
+        };
+        let cells = csr_only.expand(&BenchOpts::quick());
+        assert!(cells.iter().all(|c| c.config.comp == CompModel::Spmm));
+    }
+
+    #[test]
+    fn expansion_order_is_deterministic() {
+        let opts = BenchOpts::quick();
+        assert_eq!(grid_spec().expand(&opts), grid_spec().expand(&opts));
+    }
+
+    #[test]
+    fn scale_policies_resolve() {
+        let opts = BenchOpts::quick();
+        let paper = grid_spec().expand(&opts);
+        assert!(paper
+            .iter()
+            .all(|c| c.config.scale == opts.scale_for(c.config.dataset)));
+        let fixed = ScenarioSpec {
+            scale: ScalePolicy::Fixed(0.25),
+            ..grid_spec()
+        }
+        .expand(&opts);
+        assert!(fixed.iter().all(|c| c.config.scale == 0.25));
+    }
+
+    #[test]
+    fn restrict_filters_the_cross_product() {
+        let spec = ScenarioSpec {
+            restrict: Some(|_, model, _, dataset| {
+                (model, dataset) == (GnnModel::Gcn, Dataset::Cora)
+            }),
+            ..grid_spec()
+        };
+        let cells = spec.expand(&BenchOpts::quick());
+        assert!(!cells.is_empty());
+        assert!(cells
+            .iter()
+            .all(|c| c.config.model == GnnModel::Gcn && c.config.dataset == Dataset::Cora));
+    }
+
+    #[test]
+    fn graph_keys_dedup_and_cover_empty_grids() {
+        let opts = BenchOpts::quick();
+        let keys = grid_spec().graph_keys(&opts);
+        assert_eq!(keys.len(), 2);
+        // A census spec (no models) still lists its graphs.
+        let census = ScenarioSpec {
+            models: vec![],
+            datasets: Dataset::ALL.to_vec(),
+            ..ScenarioSpec::default()
+        };
+        assert!(census.expand(&opts).is_empty());
+        assert_eq!(census.graph_keys(&opts).len(), 5);
+    }
+
+    #[test]
+    fn gpu_labels() {
+        assert_eq!(GpuSpec::HwV100.label(), "V100-hw");
+        assert_eq!(GpuSpec::SimSms(8).label(), "sim-8sm");
+        assert_eq!(GpuSpec::SimAuto.label(), "sim-auto");
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`gpu`]    | the cycle-level SIMT GPU simulator (GPGPU-Sim stand-in) |
 //! | [`profile`]| kernel metrics, analytical profiler (nvprof stand-in), reports |
 //! | [`core`]   | the gSuite core kernels, GNN models, pipelines, config, baselines |
+//! | [`scenarios`] | the scenario engine: declarative experiment grids, the figure registry |
 //!
 //! # Quickstart
 //!
@@ -43,4 +44,5 @@ pub use gsuite_core as core;
 pub use gsuite_gpu as gpu;
 pub use gsuite_graph as graph;
 pub use gsuite_profile as profile;
+pub use gsuite_scenarios as scenarios;
 pub use gsuite_tensor as tensor;

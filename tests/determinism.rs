@@ -9,12 +9,16 @@
 //! 2. **Simulation is a pure function of (config, workload)** — two runs of
 //!    [`Simulator::run`] on the same workload produce identical `SimStats`,
 //!    including the trace-streaming buffer-pool path.
+//! 3. **The scenario runner inherits both** — a scenario grid executed
+//!    serially is bit-identical to the same grid fanned across cores, and
+//!    repeated runs with the same spec match exactly.
 
 use gsuite::core::config::{CompModel, GnnModel, RunConfig};
 use gsuite::core::pipeline::PipelineRun;
 use gsuite::gpu::{GpuConfig, SimOptions, Simulator};
 use gsuite::graph::datasets::Dataset;
 use gsuite::profile::{HwProfiler, SimProfiler};
+use gsuite::scenarios::{registry, run_scenario_threads, BenchOpts, GpuSpec, ScenarioSpec};
 
 fn gcn_mp() -> RunConfig {
     RunConfig {
@@ -93,4 +97,60 @@ fn hw_profile(
 ) -> gsuite::profile::KernelStats {
     use gsuite::profile::Profiler as _;
     hw.profile(launch.workload.as_ref())
+}
+
+/// A small mixed-backend grid: two models × both comps on the analytical
+/// V100 plus a scaled cycle sim — every phase of the runner (graph cache,
+/// pipeline cache, profiling fan-out) under both backend kinds.
+fn scenario_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "determinism-grid",
+        title: "determinism test grid",
+        models: vec![GnnModel::Gcn, GnnModel::Sage],
+        datasets: vec![Dataset::Cora],
+        gpus: vec![GpuSpec::HwV100, GpuSpec::SimSms(4)],
+        ..ScenarioSpec::default()
+    }
+}
+
+#[test]
+fn run_scenario_serial_vs_parallel_bit_identical() {
+    let opts = BenchOpts::golden();
+    let spec = scenario_spec();
+    let serial = run_scenario_threads(&spec, &opts, 1);
+    let parallel = run_scenario_threads(&spec, &opts, 8);
+    assert_eq!(
+        serial.cells, parallel.cells,
+        "expansion must not depend on threads"
+    );
+    assert_eq!(
+        serial.outcomes, parallel.outcomes,
+        "scenario outcomes must be bit-identical across worker counts"
+    );
+}
+
+#[test]
+fn run_scenario_repeated_runs_identical() {
+    let opts = BenchOpts::golden();
+    let spec = scenario_spec();
+    let a = run_scenario_threads(&spec, &opts, 4);
+    let b = run_scenario_threads(&spec, &opts, 4);
+    assert_eq!(a.cells, b.cells);
+    assert_eq!(
+        a.outcomes, b.outcomes,
+        "same spec + same seed => same numbers"
+    );
+}
+
+#[test]
+fn registry_scenario_render_is_thread_independent() {
+    // End-to-end through a real registry entry: the rendered report (the
+    // text the golden suite snapshots) must not depend on the worker
+    // count either.
+    let opts = BenchOpts::golden();
+    let scenario = registry::find("fig5").expect("fig5 registered");
+    let spec = scenario.spec();
+    let serial = scenario.render(&run_scenario_threads(&spec, &opts, 1), &opts);
+    let parallel = scenario.render(&run_scenario_threads(&spec, &opts, 8), &opts);
+    assert_eq!(serial.render(&opts), parallel.render(&opts));
 }

@@ -1,9 +1,12 @@
 //! Property-based integration tests: the MP ≡ SpMM equivalence (the
 //! paper's Eqs. 1–4) over random graphs, shapes and seeds, through the
-//! full public pipeline API.
+//! full public pipeline API — plus trace parity between the streaming
+//! `trace_into` path and the legacy `trace()` shim for all six kernels.
 
 use gsuite::core::config::{CompModel, GnnModel, RunConfig};
+use gsuite::core::kernels::KernelKind;
 use gsuite::core::models::build_model;
+use gsuite::gpu::TraceBuf;
 use gsuite::graph::{Graph, GraphGenerator, GraphTopology};
 use proptest::prelude::*;
 
@@ -86,6 +89,75 @@ proptest! {
         for (a, b) in fl.iter().zip(&pl) {
             prop_assert_eq!(a.kind, b.kind);
             prop_assert_eq!(a.workload.grid(), b.workload.grid());
+        }
+    }
+
+    #[test]
+    fn streaming_and_legacy_traces_are_identical(graph in arb_graph(), seed in 0u64..50) {
+        // For every kernel of every gSuite pipeline, the zero-allocation
+        // streaming path (`trace_into` into a recycled arena) and the
+        // legacy owned-buffer shim (`trace()`) must emit the same
+        // instruction stream — including the gather side-buffer contents
+        // that `MemRef::Gather` references by `(start, len)`.
+        let mut seen: Vec<KernelKind> = Vec::new();
+        // One dirty, repeatedly reused buffer across *all* kernels and
+        // warps, as the simulator's buffer pool does.
+        let mut reused = TraceBuf::new();
+        for (model, comp) in gsuite::scenarios::gsuite_pairs() {
+            let cfg = config(model, comp, 2, 4, seed);
+            let (launches, _) = build_model(&graph, &cfg).unwrap();
+            for launch in &launches {
+                if !seen.contains(&launch.kind) {
+                    seen.push(launch.kind);
+                }
+                let grid = launch.workload.grid();
+                let cta_samples = [0, grid.ctas / 2, grid.ctas - 1];
+                let warp_samples = [0, grid.warps_per_cta - 1];
+                for &cta in &cta_samples {
+                    for &warp in &warp_samples {
+                        let legacy = launch.workload.trace(cta, warp);
+                        reused.clear();
+                        launch.workload.trace_into(&mut reused, cta, warp);
+                        prop_assert_eq!(
+                            &reused,
+                            &legacy,
+                            "{} cta {} warp {}: streamed != legacy",
+                            launch.workload.name(), cta, warp
+                        );
+                    }
+                }
+            }
+        }
+        // The five gSuite pipelines exercise every Table II kernel kind.
+        for kind in [
+            KernelKind::IndexSelect,
+            KernelKind::Scatter,
+            KernelKind::Sgemm,
+            KernelKind::Spmm,
+            KernelKind::Spgemm,
+            KernelKind::Elementwise,
+        ] {
+            prop_assert!(seen.contains(&kind), "kernel kind {kind:?} untested");
+        }
+    }
+
+    #[test]
+    fn trace_is_a_pure_function_of_warp_coordinates(graph in arb_graph(), seed in 0u64..50) {
+        // Repeated streaming of one warp appends identical instructions —
+        // trace generation holds no hidden state (the property that lets
+        // the simulator regenerate traces on CTA residency churn).
+        let cfg = config(GnnModel::Gcn, CompModel::Spmm, 1, 4, seed);
+        let (launches, _) = build_model(&graph, &cfg).unwrap();
+        let mut buf = TraceBuf::new();
+        for launch in &launches {
+            let grid = launch.workload.grid();
+            let cta = grid.ctas - 1;
+            let first = launch.workload.trace(cta, 0);
+            for _ in 0..3 {
+                buf.clear();
+                launch.workload.trace_into(&mut buf, cta, 0);
+                prop_assert_eq!(&buf, &first, "{}", launch.workload.name());
+            }
         }
     }
 }

@@ -1,0 +1,119 @@
+//! Golden-profile regression tests: every scenario in the registry runs at
+//! a fixed small mode ([`BenchOpts::golden`]: quick scales, 32-CTA
+//! sampling cap) and its rendered report is diffed byte-for-byte against a
+//! committed snapshot under `tests/golden/`.
+//!
+//! These snapshots are what locks the reproduction's numbers — Fig. 3–9,
+//! Table II/IV and the beyond-paper scenarios — against silent drift: any
+//! change to the kernels, trace generation, cache models, simulator,
+//! profilers, graph generators or report formatting that moves a single
+//! digit fails here.
+//!
+//! Regenerating after an *intentional* change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! git diff tests/golden/   # review every number that moved
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use gsuite::scenarios::{registry, BenchOpts};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn update_mode() -> bool {
+    std::env::var("UPDATE_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Runs one registry scenario in golden mode and checks (or regenerates)
+/// its snapshot.
+fn check_scenario(name: &str) {
+    let scenario = registry::find(name).unwrap_or_else(|| panic!("{name} not in registry"));
+    let opts = BenchOpts::golden();
+    let (_result, report) = scenario.run(&opts);
+    let rendered = report.render(&opts);
+    let path = golden_dir().join(format!("{name}.txt"));
+
+    if update_mode() {
+        fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        fs::write(&path, &rendered).expect("write golden file");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate with UPDATE_GOLDEN=1 cargo test --test golden",
+            path.display()
+        )
+    });
+    if rendered != expected {
+        let diff_at = expected
+            .lines()
+            .zip(rendered.lines())
+            .position(|(a, b)| a != b);
+        let context = match diff_at {
+            Some(i) => format!(
+                "first difference at line {}:\n  golden: {:?}\n  actual: {:?}",
+                i + 1,
+                expected.lines().nth(i).unwrap_or(""),
+                rendered.lines().nth(i).unwrap_or("")
+            ),
+            None => format!(
+                "line counts differ (golden {} vs actual {})",
+                expected.lines().count(),
+                rendered.lines().count()
+            ),
+        };
+        panic!(
+            "golden mismatch for scenario {name} ({}).\n{context}\n\
+             If the change is intentional, regenerate with:\n  \
+             UPDATE_GOLDEN=1 cargo test --test golden\nand review the diff.",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn golden_covers_every_registry_scenario() {
+    // A snapshot test per scenario exists below; this guard fails when a
+    // new registry entry is added without golden coverage.
+    let tested = [
+        "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "table4", "xmodels",
+        "gpusweep",
+    ];
+    let registered: Vec<&str> = registry::all().iter().map(|s| s.name).collect();
+    assert_eq!(
+        registered, tested,
+        "registry and golden suite out of sync — add a golden_<name> test and snapshot"
+    );
+}
+
+macro_rules! golden_test {
+    ($($name:ident),* $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                check_scenario(&stringify!($name)["golden_".len()..]);
+            }
+        )*
+    };
+}
+
+golden_test!(
+    golden_fig3,
+    golden_fig4,
+    golden_fig5,
+    golden_fig6,
+    golden_fig7,
+    golden_fig8,
+    golden_fig9,
+    golden_table2,
+    golden_table4,
+    golden_xmodels,
+    golden_gpusweep,
+);
