@@ -40,6 +40,14 @@ impl Scenario {
         (result, report)
     }
 
+    /// [`Scenario::run`] with an explicit worker count (`1` forces a
+    /// serial run); output is bit-identical for every thread count.
+    pub fn run_threads(&self, opts: &BenchOpts, threads: usize) -> (ScenarioResult, Report) {
+        let result = crate::runner::run_scenario_threads(&self.spec(), opts, threads);
+        let report = (self.render_fn)(&result, opts);
+        (result, report)
+    }
+
     /// Renders a report from an already executed result.
     pub fn render(&self, result: &ScenarioResult, opts: &BenchOpts) -> Report {
         (self.render_fn)(result, opts)
@@ -115,6 +123,12 @@ pub fn all() -> Vec<Scenario> {
             about: "beyond-paper: GCN-MP scaling across simulated GPU sizes (4..32 SMs)",
             spec_fn: spec_gpusweep,
             render_fn: render_gpusweep,
+        },
+        Scenario {
+            name: "serve-mix",
+            about: "beyond-paper: the serving workload mix driven by gsuite-cli loadgen",
+            spec_fn: spec_servemix,
+            render_fn: render_servemix,
         },
     ]
 }
@@ -980,6 +994,64 @@ fn render_gpusweep(result: &ScenarioResult, _opts: &BenchOpts) -> Report {
         table,
     );
     report.note("shape check: device time shrinks with SM count until the small grids stop filling the machine.");
+    report
+}
+
+// ---------------------------------------------------------------------------
+// serve-mix — beyond-paper: the serving-layer workload universe.
+// ---------------------------------------------------------------------------
+
+fn spec_servemix() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "serve-mix",
+        title: "serving workload mix: paper models x citation datasets x both comp models (V100)",
+        models: GnnModel::ALL.to_vec(),
+        datasets: vec![Dataset::Cora, Dataset::CiteSeer, Dataset::PubMed],
+        ..ScenarioSpec::default()
+    }
+}
+
+fn render_servemix(result: &ScenarioResult, _opts: &BenchOpts) -> Report {
+    let mut report = Report::new();
+    report.header(
+        "Scenario serve-mix",
+        "serving workload mix: paper models x citation datasets x both comp models (V100)",
+    );
+    let mut table = TextTable::new(&[
+        "Model",
+        "Comp",
+        "Dataset",
+        "device (ms)",
+        "end-to-end (ms)",
+        "launches",
+    ]);
+    for (cell, outcome) in result.iter() {
+        let mut row = vec![
+            cell.config.model.to_string(),
+            cell.config.comp.to_string(),
+            cell.config.dataset.short().to_string(),
+        ];
+        match outcome {
+            CellOutcome::Profiled(p) => row.extend([
+                ms(p.device_time_ms()),
+                ms(p.total_time_ms()),
+                p.kernels.len().to_string(),
+            ]),
+            CellOutcome::Unsupported(_) => row.extend([na(), na(), na()]),
+        }
+        table.row_owned(row);
+    }
+    report.table(
+        "serve_mix",
+        "Serving workload mix — per-configuration batch profile",
+        table,
+    );
+    report.note(format!(
+        "grid: {} configs, {} buildable — the default request universe of `gsuite-cli loadgen`",
+        result.cells.len(),
+        result.profiled_count()
+    ));
+    report.note("(serve-mode profiles are bit-identical to these cells; see gsuite-serve)");
     report
 }
 

@@ -36,6 +36,34 @@ impl GpuSpec {
         }
     }
 
+    /// Wire-format name used by the serving protocol (`"hw"`, `"sim"`,
+    /// `"sim:8"`) — the inverse of [`GpuSpec::parse`].
+    pub fn proto_name(self) -> String {
+        match self {
+            GpuSpec::HwV100 => "hw".to_string(),
+            GpuSpec::SimAuto => "sim".to_string(),
+            GpuSpec::SimSms(sms) => format!("sim:{sms}"),
+        }
+    }
+
+    /// Parses a backend name: `hw`/`v100` → the analytical V100,
+    /// `sim`/`auto` → the per-dataset simulator policy, `sim:<sms>` (or
+    /// the report label `sim-<sms>sm`) → a fixed-size simulated device.
+    pub fn parse(s: &str) -> Option<GpuSpec> {
+        match s.to_ascii_lowercase().as_str() {
+            "hw" | "v100" | "v100-hw" => Some(GpuSpec::HwV100),
+            "sim" | "auto" | "sim-auto" => Some(GpuSpec::SimAuto),
+            other => {
+                let sms = other.strip_prefix("sim:").or_else(|| {
+                    other
+                        .strip_prefix("sim-")
+                        .and_then(|r| r.strip_suffix("sm"))
+                })?;
+                sms.parse().ok().filter(|&n| n > 0).map(GpuSpec::SimSms)
+            }
+        }
+    }
+
     /// Instantiates the backend for one cell (the dataset steers the
     /// [`GpuSpec::SimAuto`] device policy).
     pub fn profiler(self, opts: &BenchOpts, dataset: Dataset) -> Box<dyn Profiler + Send + Sync> {
@@ -372,5 +400,18 @@ mod tests {
         assert_eq!(GpuSpec::HwV100.label(), "V100-hw");
         assert_eq!(GpuSpec::SimSms(8).label(), "sim-8sm");
         assert_eq!(GpuSpec::SimAuto.label(), "sim-auto");
+    }
+
+    #[test]
+    fn gpu_parse_round_trips() {
+        for gpu in [GpuSpec::HwV100, GpuSpec::SimAuto, GpuSpec::SimSms(8)] {
+            assert_eq!(GpuSpec::parse(&gpu.proto_name()), Some(gpu));
+            assert_eq!(GpuSpec::parse(&gpu.label()), Some(gpu));
+        }
+        assert_eq!(GpuSpec::parse("V100"), Some(GpuSpec::HwV100));
+        assert_eq!(GpuSpec::parse("sim:16"), Some(GpuSpec::SimSms(16)));
+        assert_eq!(GpuSpec::parse("sim:0"), None);
+        assert_eq!(GpuSpec::parse("tpu"), None);
+        assert_eq!(GpuSpec::parse("sim:x"), None);
     }
 }

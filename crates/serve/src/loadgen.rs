@@ -1,0 +1,734 @@
+//! The load generator: a seeded request stream over a scenario-registry
+//! workload mix, driven through the serving layer in one of two clock
+//! modes, with a throughput + latency-percentile + SLO report.
+//!
+//! * **Simulated clock** ([`ClockMode::Sim`], the default): profiles every
+//!   distinct configuration once (order-preserving parallel fan-out, so
+//!   results are thread-count independent) and replays the stream through
+//!   the deterministic queueing model of [`crate::sim`]. The report —
+//!   every per-request latency, every counter — is a pure function of
+//!   `(scenario, seed, parameters)`: a *reproducible benchmark*.
+//! * **Wall clock** ([`ClockMode::Wall`]): drives a real in-process
+//!   [`Server`] with live threads and reports measured wall times — a
+//!   *measurement* of the host.
+//!
+//! Closed-loop mode models a fixed client population (each client submits
+//! its next request when the previous completes); open-loop mode models
+//! seeded Poisson arrivals at a fixed rate that do not slow down under
+//! server pressure — the regime where the bounded queue sheds load.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use gsuite_scenarios::{registry, BenchOpts};
+
+use crate::cache::LruStats;
+use crate::request::ServeRequest;
+use crate::server::{entry_bytes, ServeConfig, Server, SubmitError};
+use crate::sim::{simulate_closed, simulate_open, SimCosts, SimDisposition, SimParams};
+
+/// How the stream's submission times are produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalMode {
+    /// A fixed client population with zero think time.
+    Closed {
+        /// Concurrent clients.
+        clients: usize,
+    },
+    /// Seeded Poisson arrivals at a fixed rate, independent of completions.
+    Open {
+        /// Mean arrival rate in requests per second.
+        rate_rps: f64,
+    },
+}
+
+impl std::fmt::Display for ArrivalMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArrivalMode::Closed { clients } => write!(f, "closed(clients={clients})"),
+            ArrivalMode::Open { rate_rps } => write!(f, "open(rate={rate_rps}/s)"),
+        }
+    }
+}
+
+/// Which clock the run is measured on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockMode {
+    /// Deterministic queueing simulation over modeled service times.
+    Sim,
+    /// A live in-process server measured in wall time.
+    Wall,
+}
+
+impl ClockMode {
+    /// Report name (`sim` / `wall`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ClockMode::Sim => "sim",
+            ClockMode::Wall => "wall",
+        }
+    }
+}
+
+/// A full load-generation specification.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Scenario-registry entry whose expanded grid is the workload mix.
+    pub scenario: String,
+    /// Stream seed: drives configuration sampling and open-loop arrivals.
+    pub seed: u64,
+    /// Total requests in the stream.
+    pub requests: usize,
+    /// Closed- or open-loop arrivals.
+    pub arrival: ArrivalMode,
+    /// Simulated or wall clock.
+    pub clock: ClockMode,
+    /// Service worker-pool size.
+    pub workers: usize,
+    /// Bounded queue depth.
+    pub queue_cap: usize,
+    /// LRU cache capacity in bytes.
+    pub cache_bytes: u64,
+    /// Threads for the distinct-configuration profiling pass (and the
+    /// wall-mode worker pool); `0` uses [`gsuite_par::default_threads`].
+    pub threads: usize,
+    /// Optional latency SLO in milliseconds (report attainment against a
+    /// 99% target).
+    pub slo_ms: Option<f64>,
+    /// Measurement options (scale policy, CTA caps).
+    pub opts: BenchOpts,
+}
+
+impl Default for LoadSpec {
+    /// The acceptance-criteria default: `serve-mix`, seed 42, 128 requests
+    /// from 8 closed-loop clients on the simulated clock, quick scales.
+    fn default() -> Self {
+        LoadSpec {
+            scenario: "serve-mix".to_string(),
+            seed: 42,
+            requests: 128,
+            arrival: ArrivalMode::Closed { clients: 8 },
+            clock: ClockMode::Sim,
+            workers: 4,
+            queue_cap: 64,
+            cache_bytes: 64 << 20,
+            threads: 0,
+            slo_ms: None,
+            opts: BenchOpts::quick(),
+        }
+    }
+}
+
+impl LoadSpec {
+    /// The workload-mix universe: the expanded cells of the named
+    /// scenario, as serving requests.
+    ///
+    /// # Errors
+    ///
+    /// Unknown scenario names and scenarios with empty grids (the static
+    /// table scenarios) are rejected.
+    pub fn universe(&self) -> Result<Vec<ServeRequest>, String> {
+        let scenario = registry::find(&self.scenario).ok_or_else(|| {
+            let known: Vec<&str> = registry::all().iter().map(|s| s.name).collect();
+            format!(
+                "unknown scenario {:?} (registry: {})",
+                self.scenario,
+                known.join(", ")
+            )
+        })?;
+        let cells = scenario.spec().expand(&self.opts);
+        if cells.is_empty() {
+            return Err(format!(
+                "scenario {:?} expands to an empty grid (nothing to serve)",
+                self.scenario
+            ));
+        }
+        Ok(cells.iter().map(ServeRequest::from_cell).collect())
+    }
+
+    /// The seeded request stream: `requests` indices into a universe of
+    /// `universe_len` configurations, sampled uniformly with replacement.
+    pub fn sample_keys(&self, universe_len: usize) -> Vec<usize> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        (0..self.requests)
+            .map(|_| rng.gen_range(0..universe_len))
+            .collect()
+    }
+
+    /// Seeded open-loop arrival times (ms, nondecreasing): exponential
+    /// inter-arrivals at `rate_rps`. Decoupled from the sampling stream so
+    /// the same seed yields the same mix under both arrival modes.
+    pub fn arrivals(&self, rate_rps: f64) -> Vec<f64> {
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xA5A5_5A5A_1234_5678);
+        let mut t = 0.0;
+        (0..self.requests)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                t += -(1.0 - u).ln() / rate_rps.max(1e-9) * 1e3;
+                t
+            })
+            .collect()
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            gsuite_par::default_threads()
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// Latency percentile summary in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Median.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Maximum.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a latency sample (empty samples summarize to zeros).
+    pub fn of(latencies: &[f64]) -> LatencySummary {
+        if latencies.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let pick = |q: f64| {
+            let rank = (q * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        LatencySummary {
+            mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_ms: pick(0.50),
+            p95_ms: pick(0.95),
+            p99_ms: pick(0.99),
+            max_ms: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// SLO attainment against a 99%-of-requests target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloReport {
+    /// Latency objective in milliseconds.
+    pub target_ms: f64,
+    /// Fraction of completed requests at or under the objective.
+    pub attainment: f64,
+}
+
+impl SloReport {
+    /// The attainment fraction the SLO is judged against.
+    pub const TARGET_FRACTION: f64 = 0.99;
+
+    /// Whether the run met the objective.
+    pub fn met(&self) -> bool {
+        self.attainment >= Self::TARGET_FRACTION
+    }
+}
+
+/// The load generator's result: counters, cache stats, throughput and the
+/// latency distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Workload-mix scenario name.
+    pub scenario: String,
+    /// Stream seed.
+    pub seed: u64,
+    /// Clock the run was measured on (`sim` / `wall` / `tcp`).
+    pub clock: String,
+    /// Arrival-mode description.
+    pub arrival: String,
+    /// Distinct configurations in the mix universe.
+    pub universe: usize,
+    /// Requests in the stream.
+    pub requests: usize,
+    /// Delivered completions (successful profiles + error responses).
+    pub completed: u64,
+    /// Completions that were error responses (unbuildable configs).
+    pub errors: u64,
+    /// Requests shed by the bounded queue.
+    pub rejected: u64,
+    /// Requests that shared an in-flight identical execution.
+    pub coalesced: u64,
+    /// Cache counters after the run.
+    pub cache: LruStats,
+    /// Completed requests per second over the makespan.
+    pub throughput_rps: f64,
+    /// First-submission-to-last-completion milliseconds.
+    pub makespan_ms: f64,
+    /// Latency distribution of completed requests.
+    pub latency: LatencySummary,
+    /// SLO attainment, when an objective was set.
+    pub slo: Option<SloReport>,
+    /// Per-completed-request latencies in stream order — the
+    /// reproducibility surface the determinism tests compare.
+    pub latencies_ms: Vec<f64>,
+}
+
+impl LoadReport {
+    /// Renders the human-readable report. In sim-clock mode the output is
+    /// byte-stable across runs, hosts and thread counts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("=== gsuite-serve :: loadgen report\n");
+        out.push_str(&format!(
+            "scenario={} seed={} clock={} arrival={}\n",
+            self.scenario, self.seed, self.clock, self.arrival
+        ));
+        out.push_str(&format!(
+            "universe={} configs | requests={} | completed={} (errors={}) | rejected={} | coalesced={}\n",
+            self.universe, self.requests, self.completed, self.errors, self.rejected, self.coalesced
+        ));
+        out.push_str(&format!(
+            "throughput: {:.1} req/s | makespan: {:.4} ms\n",
+            self.throughput_rps, self.makespan_ms
+        ));
+        out.push_str(&format!(
+            "latency (ms): mean={:.4} p50={:.4} p95={:.4} p99={:.4} max={:.4}\n",
+            self.latency.mean_ms,
+            self.latency.p50_ms,
+            self.latency.p95_ms,
+            self.latency.p99_ms,
+            self.latency.max_ms
+        ));
+        out.push_str(&format!(
+            "cache: hits={} misses={} hit-rate={:.1}% evictions={} rejected={} bytes={}/{} entries={}\n",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0,
+            self.cache.evictions,
+            self.cache.rejected,
+            self.cache.bytes_in_use,
+            self.cache.capacity_bytes,
+            self.cache.entries
+        ));
+        if let Some(slo) = &self.slo {
+            out.push_str(&format!(
+                "SLO: {:.1}% of requests <= {:.2} ms (target {:.1}%) -> {}\n",
+                slo.attainment * 100.0,
+                slo.target_ms,
+                SloReport::TARGET_FRACTION * 100.0,
+                if slo.met() { "MET" } else { "VIOLATED" }
+            ));
+        }
+        out
+    }
+
+    /// Renders the report as one JSON object (hand-rolled: the workspace
+    /// builds offline, without serde_json).
+    pub fn to_json(&self) -> String {
+        let slo = match &self.slo {
+            Some(s) => format!(
+                ",\n  \"slo\": {{\"target_ms\": {}, \"attainment\": {:.6}, \"met\": {}}}",
+                s.target_ms,
+                s.attainment,
+                s.met()
+            ),
+            None => String::new(),
+        };
+        format!(
+            "{{\n  \"scenario\": {:?},\n  \"seed\": {},\n  \"clock\": {:?},\n  \"arrival\": {:?},\n  \
+             \"universe\": {},\n  \"requests\": {},\n  \"completed\": {},\n  \"errors\": {},\n  \
+             \"rejected\": {},\n  \"coalesced\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
+             \"cache_hit_rate\": {:.6},\n  \"cache_evictions\": {},\n  \"throughput_rps\": {:.3},\n  \
+             \"makespan_ms\": {:.4},\n  \"latency_ms\": {{\"mean\": {:.4}, \"p50\": {:.4}, \"p95\": {:.4}, \
+             \"p99\": {:.4}, \"max\": {:.4}}}{}\n}}",
+            self.scenario,
+            self.seed,
+            self.clock,
+            self.arrival,
+            self.universe,
+            self.requests,
+            self.completed,
+            self.errors,
+            self.rejected,
+            self.coalesced,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate(),
+            self.cache.evictions,
+            self.throughput_rps,
+            self.makespan_ms,
+            self.latency.mean_ms,
+            self.latency.p50_ms,
+            self.latency.p95_ms,
+            self.latency.p99_ms,
+            self.latency.max_ms,
+            slo
+        )
+    }
+
+    /// Assembles a report from raw counters and a latency sample.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        spec: &LoadSpec,
+        clock: &str,
+        universe: usize,
+        completed: u64,
+        errors: u64,
+        rejected: u64,
+        coalesced: u64,
+        cache: LruStats,
+        makespan_ms: f64,
+        latencies_ms: Vec<f64>,
+    ) -> LoadReport {
+        let latency = LatencySummary::of(&latencies_ms);
+        let slo = spec.slo_ms.map(|target_ms| {
+            let within = latencies_ms.iter().filter(|&&l| l <= target_ms).count();
+            SloReport {
+                target_ms,
+                attainment: if latencies_ms.is_empty() {
+                    0.0
+                } else {
+                    within as f64 / latencies_ms.len() as f64
+                },
+            }
+        });
+        LoadReport {
+            scenario: spec.scenario.clone(),
+            seed: spec.seed,
+            clock: clock.to_string(),
+            arrival: spec.arrival.to_string(),
+            universe,
+            requests: spec.requests,
+            completed,
+            errors,
+            rejected,
+            coalesced,
+            cache,
+            throughput_rps: if makespan_ms > 0.0 {
+                completed as f64 / makespan_ms * 1e3
+            } else {
+                0.0
+            },
+            makespan_ms,
+            latency,
+            slo,
+            latencies_ms,
+        }
+    }
+}
+
+/// The modeled graph-load + pipeline-build cost charged on a cache miss in
+/// sim-clock mode: a flat dispatch term plus ~2 ms per accounted MiB.
+pub fn build_cost_ms(bytes: u64) -> f64 {
+    0.2 + bytes as f64 / (512.0 * 1024.0)
+}
+
+/// Profiles the distinct configurations of a stream (order-preserving
+/// parallel fan-out) into sim-mode cost records. Unreferenced universe
+/// entries get zero-cost placeholders that the simulation never touches.
+fn sim_costs(
+    universe: &[ServeRequest],
+    keys: &[usize],
+    opts: &BenchOpts,
+    threads: usize,
+) -> Vec<SimCosts> {
+    let mut referenced: Vec<usize> = Vec::new();
+    for &k in keys {
+        if !referenced.contains(&k) {
+            referenced.push(k);
+        }
+    }
+    let profiled = gsuite_par::par_map_threads(&referenced, threads, |_, &k| {
+        let req = &universe[k];
+        let graph = req.config.load_graph();
+        match gsuite_core::pipeline::PipelineRun::build(&graph, &req.config) {
+            Ok(run) => {
+                let profiler = req.gpu.profiler(opts, req.config.dataset);
+                let profile = run.profile(profiler.as_ref());
+                let bytes = entry_bytes(&graph, &run);
+                SimCosts {
+                    service_ms: profile.total_time_ms(),
+                    build_ms: build_cost_ms(bytes),
+                    bytes,
+                    error: None,
+                }
+            }
+            Err(e) => SimCosts {
+                service_ms: 0.0,
+                build_ms: build_cost_ms(0),
+                bytes: 0,
+                error: Some(e.to_string()),
+            },
+        }
+    });
+    let mut costs = vec![
+        SimCosts {
+            service_ms: 0.0,
+            build_ms: 0.0,
+            bytes: 0,
+            error: None,
+        };
+        universe.len()
+    ];
+    for (&k, cost) in referenced.iter().zip(profiled) {
+        costs[k] = cost;
+    }
+    costs
+}
+
+/// Runs the load generator in-process (sim or wall clock) and returns its
+/// report.
+///
+/// # Errors
+///
+/// Propagates workload-mix resolution failures (unknown scenario, empty
+/// grid).
+pub fn run_loadgen(spec: &LoadSpec) -> Result<LoadReport, String> {
+    let universe = spec.universe()?;
+    let keys = spec.sample_keys(universe.len());
+    match spec.clock {
+        ClockMode::Sim => Ok(run_sim(spec, &universe, &keys)),
+        ClockMode::Wall => Ok(run_wall(spec, &universe, &keys)),
+    }
+}
+
+fn run_sim(spec: &LoadSpec, universe: &[ServeRequest], keys: &[usize]) -> LoadReport {
+    let costs = sim_costs(universe, keys, &spec.opts, spec.effective_threads());
+    let params = SimParams {
+        workers: spec.workers,
+        queue_cap: spec.queue_cap,
+        cache_bytes: spec.cache_bytes,
+    };
+    let outcome = match spec.arrival {
+        ArrivalMode::Closed { clients } => simulate_closed(keys, clients, &costs, params),
+        ArrivalMode::Open { rate_rps } => {
+            simulate_open(keys, &spec.arrivals(rate_rps), &costs, params)
+        }
+    };
+    let mut latencies = Vec::with_capacity(outcome.records.len());
+    let (mut completed, mut errors) = (0u64, 0u64);
+    for r in &outcome.records {
+        match r.disposition {
+            SimDisposition::Rejected => {}
+            SimDisposition::Error => {
+                completed += 1;
+                errors += 1;
+                latencies.push(r.latency_ms);
+            }
+            SimDisposition::Done(_) => {
+                completed += 1;
+                latencies.push(r.latency_ms);
+            }
+        }
+    }
+    LoadReport::assemble(
+        spec,
+        "sim",
+        universe.len(),
+        completed,
+        errors,
+        outcome.rejected,
+        outcome.coalesced,
+        outcome.cache,
+        outcome.makespan_ms,
+        latencies,
+    )
+}
+
+/// The shared closed-loop driver: `clients` workers pull stream indices
+/// `0..n` from one shared cursor; each worker gets its own state from
+/// `setup` (e.g. a TCP connection) and runs `step` per index. `step`
+/// returns `Ok(Some((latency_ms, is_err)))` for a delivered completion,
+/// `Ok(None)` to retire the worker quietly (e.g. server shutting down),
+/// or `Err` to fail the whole run (first failure wins). Results come back
+/// sorted by stream index.
+///
+/// Both the in-process wall-clock loadgen and the TCP loadgen ride on
+/// this, so their work-distribution and accounting cannot drift apart.
+pub(crate) fn drive_closed_loop<S>(
+    clients: usize,
+    n: usize,
+    setup: impl Fn() -> Result<S, String> + Sync,
+    step: impl Fn(&mut S, usize) -> Result<Option<(f64, bool)>, String> + Sync,
+) -> Result<Vec<(usize, f64, bool)>, String> {
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let collected: std::sync::Mutex<Vec<(usize, f64, bool)>> = std::sync::Mutex::new(Vec::new());
+    let failure: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..clients.max(1) {
+            scope.spawn(|| {
+                let mut state = match setup() {
+                    Ok(s) => s,
+                    Err(msg) => {
+                        failure
+                            .lock()
+                            .expect("failure slot poisoned")
+                            .get_or_insert(msg);
+                        return;
+                    }
+                };
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    match step(&mut state, i) {
+                        Ok(Some((latency_ms, is_err))) => {
+                            collected
+                                .lock()
+                                .expect("collector poisoned")
+                                .push((i, latency_ms, is_err));
+                        }
+                        Ok(None) => break,
+                        Err(msg) => {
+                            failure
+                                .lock()
+                                .expect("failure slot poisoned")
+                                .get_or_insert(msg);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if let Some(msg) = failure.into_inner().expect("failure slot poisoned") {
+        return Err(msg);
+    }
+    let mut results = collected.into_inner().expect("collector poisoned");
+    results.sort_by_key(|&(i, _, _)| i);
+    Ok(results)
+}
+
+fn run_wall(spec: &LoadSpec, universe: &[ServeRequest], keys: &[usize]) -> LoadReport {
+    let threads = spec.effective_threads();
+    let server = Server::start(ServeConfig {
+        workers: if spec.workers == 0 {
+            threads
+        } else {
+            spec.workers
+        },
+        queue_cap: spec.queue_cap,
+        cache_bytes: spec.cache_bytes,
+        opts: spec.opts.clone(),
+    });
+    let t0 = std::time::Instant::now();
+    // (stream index, latency_ms, was_error) per delivered completion.
+    let mut results: Vec<(usize, f64, bool)> = Vec::new();
+    match spec.arrival {
+        ArrivalMode::Closed { clients } => {
+            results = drive_closed_loop(
+                clients,
+                keys.len(),
+                || Ok(()),
+                |(), i| {
+                    // Submit/recv failures mean the server is stopping:
+                    // retire the worker rather than failing the run.
+                    let Ok(rx) = server.submit(universe[keys[i]].clone()) else {
+                        return Ok(None);
+                    };
+                    let Ok(done) = rx.recv() else { return Ok(None) };
+                    Ok(Some((done.latency_ms, done.outcome.is_err())))
+                },
+            )
+            .expect("in-process setup is infallible");
+        }
+        ArrivalMode::Open { rate_rps } => {
+            // One dispatcher pacing seeded arrivals; a full queue sheds.
+            let arrivals = spec.arrivals(rate_rps);
+            let mut pending = Vec::new();
+            for i in 0..keys.len() {
+                let due = std::time::Duration::from_secs_f64(arrivals[i] / 1e3);
+                if let Some(sleep) = due.checked_sub(t0.elapsed()) {
+                    std::thread::sleep(sleep);
+                }
+                match server.try_submit(universe[keys[i]].clone()) {
+                    Ok(rx) => pending.push((i, rx)),
+                    Err(SubmitError::Busy) => {} // counted by the server
+                    Err(SubmitError::ShuttingDown) => break,
+                }
+            }
+            for (i, rx) in pending {
+                if let Ok(done) = rx.recv() {
+                    results.push((i, done.latency_ms, done.outcome.is_err()));
+                }
+            }
+        }
+    }
+    let makespan_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let stats = server.stats();
+    server.shutdown();
+
+    results.sort_by_key(|&(i, _, _)| i);
+    let errors = results.iter().filter(|&&(_, _, e)| e).count() as u64;
+    let latencies: Vec<f64> = results.iter().map(|&(_, l, _)| l).collect();
+    LoadReport::assemble(
+        spec,
+        "wall",
+        universe.len(),
+        results.len() as u64,
+        errors,
+        stats.rejected,
+        stats.coalesced,
+        stats.cache,
+        makespan_ms,
+        latencies,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let l: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencySummary::of(&l);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p95_ms, 95.0);
+        assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert!((s.mean_ms - 50.5).abs() < 1e-12);
+        assert_eq!(LatencySummary::of(&[]), LatencySummary::default());
+        let one = LatencySummary::of(&[7.0]);
+        assert_eq!((one.p50_ms, one.p99_ms, one.max_ms), (7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn sampled_streams_are_seed_deterministic() {
+        let spec = LoadSpec::default();
+        assert_eq!(spec.sample_keys(18), spec.sample_keys(18));
+        let other = LoadSpec {
+            seed: 7,
+            ..LoadSpec::default()
+        };
+        assert_ne!(spec.sample_keys(18), other.sample_keys(18));
+        let arr = spec.arrivals(500.0);
+        assert_eq!(arr.len(), spec.requests);
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(arr, spec.arrivals(500.0));
+    }
+
+    #[test]
+    fn unknown_scenarios_are_rejected() {
+        let spec = LoadSpec {
+            scenario: "no-such-mix".to_string(),
+            ..LoadSpec::default()
+        };
+        let err = spec.universe().unwrap_err();
+        assert!(err.contains("unknown scenario"), "{err}");
+        // Static table scenarios have no cells to serve.
+        let spec = LoadSpec {
+            scenario: "table2".to_string(),
+            ..LoadSpec::default()
+        };
+        assert!(spec.universe().unwrap_err().contains("empty grid"));
+    }
+
+    #[test]
+    fn build_cost_is_monotone_in_bytes() {
+        assert!(build_cost_ms(0) > 0.0);
+        assert!(build_cost_ms(1 << 20) > build_cost_ms(1 << 10));
+    }
+}

@@ -1,0 +1,368 @@
+//! The minimal TCP surface of the serving layer: a newline-delimited
+//! request/response protocol over `std::net` (the workspace builds
+//! offline — no async runtime, no HTTP stack).
+//!
+//! One connection carries any number of request lines; every line gets
+//! exactly one response line, in order:
+//!
+//! ```text
+//! -> model=gcn dataset=cora scale=0.05 backend=hw
+//! <- ok id=0 cache=miss queue_ms=0.0components... latency_ms=3.1415 device_ms=...
+//! -> stats
+//! <- stats workers=4 queue=0 submitted=1 completed=1 ... cache_hits=0 ...
+//! -> quit            # closes this connection
+//! -> shutdown        # stops the whole server (drains first)
+//! ```
+//!
+//! Malformed request lines answer `err id=- msg="..."` and keep the
+//! connection open.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use crate::loadgen::{ArrivalMode, LoadReport, LoadSpec};
+use crate::request::ServeRequest;
+use crate::server::{ServeConfig, Server};
+
+/// Binds `host:port` (port `0` picks an ephemeral port), announces
+/// `gsuite-serve listening on <addr>` on stdout and serves connections
+/// until a client sends `shutdown`. Blocks for the server's lifetime.
+///
+/// # Errors
+///
+/// Propagates bind failures; per-connection I/O errors only end that
+/// connection.
+pub fn serve_blocking(host: &str, port: u16, cfg: ServeConfig) -> std::io::Result<()> {
+    let listener = TcpListener::bind((host, port))?;
+    println!("gsuite-serve listening on {}", listener.local_addr()?);
+    std::io::stdout().flush()?;
+    serve_on(listener, cfg)
+}
+
+/// [`serve_blocking`] over an already bound listener — the hook tests use
+/// to learn the ephemeral address before the accept loop starts.
+///
+/// # Errors
+///
+/// Propagates `local_addr` failures; per-connection I/O errors only end
+/// that connection.
+pub fn serve_on(listener: TcpListener, cfg: ServeConfig) -> std::io::Result<()> {
+    let addr = listener.local_addr()?;
+    // The post-shutdown wake-up connect must target a concrete address: a
+    // wildcard bind records 0.0.0.0/[::], where self-connect is not
+    // portable (fails on Windows).
+    let wake_addr = std::net::SocketAddr::new(
+        if addr.ip().is_unspecified() {
+            match addr {
+                std::net::SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            }
+        } else {
+            addr.ip()
+        },
+        addr.port(),
+    );
+    let server = Server::start(cfg);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let server = &server;
+            let stop = &stop;
+            scope.spawn(move || {
+                if handle_connection(stream, server, stop) {
+                    stop.store(true, Ordering::SeqCst);
+                    // Unblock the accept loop so it can observe the flag.
+                    let _ = TcpStream::connect(wake_addr);
+                }
+            });
+        }
+    });
+    server.shutdown();
+    println!("gsuite-serve stopped");
+    Ok(())
+}
+
+// The doc'd behavior of `serve_blocking` is exercised end-to-end by the
+// workspace `tests/serve.rs` suite through `serve_on`.
+
+/// Serves one connection; returns `true` when the client requested a
+/// server shutdown. Reads poll with a timeout so idle connections notice
+/// a shutdown triggered elsewhere instead of pinning the accept scope
+/// (whose join would otherwise wait on them forever).
+fn handle_connection(stream: TcpStream, server: &Server, stop: &AtomicBool) -> bool {
+    let Ok(reader_stream) = stream.try_clone() else {
+        return false;
+    };
+    if reader_stream
+        .set_read_timeout(Some(std::time::Duration::from_millis(200)))
+        .is_err()
+    {
+        return false;
+    }
+    let mut writer = stream;
+    let mut reader = BufReader::new(reader_stream);
+    // Partial line bytes survive timeout wake-ups: `read_line` appends
+    // whatever it consumed before the timeout error.
+    let mut pending = String::new();
+    loop {
+        // Checked on every iteration — not just timeouts — so a client
+        // pipelining requests back-to-back cannot delay a shutdown
+        // another connection triggered.
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.read_line(&mut pending) {
+            Ok(0) => break, // client closed
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        }
+        let line = std::mem::take(&mut pending);
+        let line = line.trim();
+        let response = match line {
+            "" => continue,
+            "quit" => break,
+            "shutdown" => {
+                let _ = writeln!(writer, "ok bye");
+                return true;
+            }
+            "stats" => server.stats().to_line(),
+            request => match ServeRequest::parse_line(request) {
+                Ok(req) => match server.submit(req) {
+                    Ok(rx) => match rx.recv() {
+                        Ok(done) => done.to_line(),
+                        Err(_) => "err id=- msg=\"server stopped\"".to_string(),
+                    },
+                    Err(e) => format!("err id=- msg={:?}", e.to_string()),
+                },
+                Err(msg) => format!("err id=- msg={msg:?}"),
+            },
+        };
+        if writeln!(writer, "{response}").is_err() {
+            break;
+        }
+    }
+    false
+}
+
+/// A line-oriented protocol client over one TCP connection.
+pub struct ProtocolClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ProtocolClient {
+    /// Connects to a running `gsuite-serve` endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: &str) -> std::io::Result<ProtocolClient> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ProtocolClient {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one line and reads the single response line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; a closed connection reads as
+    /// `UnexpectedEof`.
+    pub fn round_trip(&mut self, line: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+}
+
+/// Parses a `key=value` integer field out of a response/stats line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key)?.strip_prefix('=')?.parse().ok())
+}
+
+/// The server counters a `stats` line carries, as sampled at one instant.
+struct StatsSample {
+    cache: crate::cache::LruStats,
+    coalesced: u64,
+    rejected: u64,
+}
+
+impl StatsSample {
+    fn parse(line: &str) -> StatsSample {
+        StatsSample {
+            cache: crate::cache::LruStats {
+                hits: field_u64(line, "cache_hits").unwrap_or(0),
+                misses: field_u64(line, "cache_misses").unwrap_or(0),
+                insertions: field_u64(line, "cache_insertions").unwrap_or(0),
+                evictions: field_u64(line, "cache_evictions").unwrap_or(0),
+                rejected: field_u64(line, "cache_rejected").unwrap_or(0),
+                bytes_in_use: field_u64(line, "cache_bytes").unwrap_or(0),
+                capacity_bytes: field_u64(line, "cache_capacity").unwrap_or(0),
+                entries: field_u64(line, "cache_entries").unwrap_or(0) as usize,
+            },
+            coalesced: field_u64(line, "coalesced").unwrap_or(0),
+            rejected: field_u64(line, "rejected").unwrap_or(0),
+        }
+    }
+
+    /// The counter deltas accrued between `before` and `self`, keeping
+    /// point-in-time values (bytes, capacity, entries) from `self` — the
+    /// per-run view against a possibly long-running server.
+    fn since(&self, before: &StatsSample) -> StatsSample {
+        StatsSample {
+            cache: crate::cache::LruStats {
+                hits: self.cache.hits.saturating_sub(before.cache.hits),
+                misses: self.cache.misses.saturating_sub(before.cache.misses),
+                insertions: self
+                    .cache
+                    .insertions
+                    .saturating_sub(before.cache.insertions),
+                evictions: self.cache.evictions.saturating_sub(before.cache.evictions),
+                rejected: self.cache.rejected.saturating_sub(before.cache.rejected),
+                bytes_in_use: self.cache.bytes_in_use,
+                capacity_bytes: self.cache.capacity_bytes,
+                entries: self.cache.entries,
+            },
+            coalesced: self.coalesced.saturating_sub(before.coalesced),
+            rejected: self.rejected.saturating_sub(before.rejected),
+        }
+    }
+}
+
+/// Drives a remote `gsuite-serve` endpoint with the spec's request stream
+/// (closed-loop only: each client connection submits its next request when
+/// the previous response arrives) and reports client-side wall latencies
+/// plus the server's own cache/coalescing counters.
+///
+/// With `stop_server`, sends `shutdown` after the run — the CI smoke path.
+///
+/// # Errors
+///
+/// Workload-mix resolution failures, connection failures, and open-loop
+/// arrival modes (unsupported over TCP) are reported as messages.
+pub fn loadgen_tcp(addr: &str, spec: &LoadSpec, stop_server: bool) -> Result<LoadReport, String> {
+    let ArrivalMode::Closed { clients } = spec.arrival else {
+        return Err("open-loop arrivals are not supported over TCP (use --clients)".to_string());
+    };
+    let universe = spec.universe()?;
+    let keys = spec.sample_keys(universe.len());
+    let lines: Vec<String> = universe.iter().map(ServeRequest::to_line).collect();
+
+    // Sample the server's counters before the burst: against a
+    // long-running server, the report must reflect *this run's* traffic,
+    // not the server's lifetime.
+    let mut stats_client =
+        ProtocolClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let before = StatsSample::parse(
+        &stats_client
+            .round_trip("stats")
+            .map_err(|e| format!("stats round-trip failed: {e}"))?,
+    );
+
+    let t0 = Instant::now();
+    let results = crate::loadgen::drive_closed_loop(
+        clients,
+        keys.len(),
+        || ProtocolClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}")),
+        |client, i| {
+            let sent = Instant::now();
+            let response = client
+                .round_trip(&lines[keys[i]])
+                .map_err(|e| format!("connection to {addr} failed: {e}"))?;
+            let latency_ms = sent.elapsed().as_secs_f64() * 1e3;
+            Ok(Some((latency_ms, !response.starts_with("ok "))))
+        },
+    )?;
+    let makespan_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Re-sample and diff: this run's counters, then optionally stop it.
+    let after = StatsSample::parse(
+        &stats_client
+            .round_trip("stats")
+            .map_err(|e| format!("stats round-trip failed: {e}"))?,
+    );
+    let run_stats = after.since(&before);
+    if stop_server {
+        let _ = stats_client.round_trip("shutdown");
+    }
+
+    let errors = results.iter().filter(|&&(_, _, e)| e).count() as u64;
+    let latencies: Vec<f64> = results.iter().map(|&(_, l, _)| l).collect();
+    Ok(LoadReport::assemble(
+        spec,
+        "tcp",
+        universe.len(),
+        results.len() as u64,
+        errors,
+        run_stats.rejected,
+        run_stats.coalesced,
+        run_stats.cache,
+        makespan_ms,
+        latencies,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_parsing_handles_missing_keys() {
+        let line = "stats workers=4 cache_hits=17 cache_misses=3";
+        assert_eq!(field_u64(line, "cache_hits"), Some(17));
+        assert_eq!(field_u64(line, "workers"), Some(4));
+        assert_eq!(field_u64(line, "cache"), None);
+        assert_eq!(field_u64(line, "nope"), None);
+    }
+
+    #[test]
+    fn stats_diff_is_per_run() {
+        let before = StatsSample::parse(
+            "stats coalesced=5 rejected=1 cache_hits=100 cache_misses=20 cache_insertions=20 \
+             cache_evictions=3 cache_rejected=0 cache_bytes=500 cache_capacity=1000 cache_entries=4",
+        );
+        let after = StatsSample::parse(
+            "stats coalesced=9 rejected=1 cache_hits=130 cache_misses=25 cache_insertions=24 \
+             cache_evictions=3 cache_rejected=1 cache_bytes=700 cache_capacity=1000 cache_entries=6",
+        );
+        let run = after.since(&before);
+        assert_eq!(run.cache.hits, 30);
+        assert_eq!(run.cache.misses, 5);
+        assert_eq!(run.cache.insertions, 4);
+        assert_eq!(run.cache.evictions, 0);
+        assert_eq!(run.cache.rejected, 1);
+        assert_eq!(run.coalesced, 4);
+        assert_eq!(run.rejected, 0);
+        // Point-in-time values come from the end sample.
+        assert_eq!(run.cache.bytes_in_use, 700);
+        assert_eq!(run.cache.capacity_bytes, 1000);
+        assert_eq!(run.cache.entries, 6);
+    }
+}

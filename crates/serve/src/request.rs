@@ -1,0 +1,177 @@
+//! The serving request type and its newline-delimited wire format.
+//!
+//! One request = one inference-benchmark configuration: a [`RunConfig`]
+//! (model × dataset × scale × layers × …) plus the [`GpuSpec`] backend
+//! that measures it. On the wire a request is a single line of
+//! whitespace-separated `key=value` pairs — the same keys the CLI and the
+//! `key = value` defaults files accept, plus `backend` for the GPU axis:
+//!
+//! ```text
+//! model=gcn comp=mp dataset=cora scale=0.05 hidden=16 backend=hw
+//! model=gin comp=spmm dataset=pubmed backend=sim:8
+//! ```
+//!
+//! Unspecified keys take the [`RunConfig`] defaults, except
+//! `functional_math`, which defaults to `false` for serving (a profiling
+//! service has no use for host-side output math). Requests are compared
+//! structurally — two lines that resolve to the same configuration are
+//! the *same* request for caching and coalescing purposes.
+
+use gsuite_core::config::RunConfig;
+use gsuite_scenarios::{GpuSpec, ScenarioCell};
+
+/// One inference-benchmark request: what to run and which backend
+/// measures it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRequest {
+    /// The pipeline configuration (the cache/coalescing key together with
+    /// [`ServeRequest::gpu`]).
+    pub config: RunConfig,
+    /// The GPU/backend axis measuring this request.
+    pub gpu: GpuSpec,
+}
+
+impl ServeRequest {
+    /// A request over `config` measured by `gpu`.
+    pub fn new(config: RunConfig, gpu: GpuSpec) -> Self {
+        ServeRequest { config, gpu }
+    }
+
+    /// The request corresponding to one expanded scenario cell — the
+    /// bridge from the scenario registry to a serving workload mix.
+    pub fn from_cell(cell: &ScenarioCell) -> Self {
+        ServeRequest {
+            config: cell.config.clone(),
+            gpu: cell.gpu,
+        }
+    }
+
+    /// Parses one protocol line (see the module docs for the format).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending token for malformed pairs,
+    /// unknown keys or unparsable values.
+    pub fn parse_line(line: &str) -> Result<Self, String> {
+        let mut config = RunConfig {
+            functional_math: false,
+            ..RunConfig::default()
+        };
+        let mut gpu = GpuSpec::HwV100;
+        for token in line.split_whitespace() {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("malformed token {token:?} (expected key=value)"))?;
+            match key {
+                "backend" | "gpu" => {
+                    gpu = GpuSpec::parse(value).ok_or_else(|| {
+                        format!("invalid backend {value:?} (expected hw | sim | sim:<sms>)")
+                    })?;
+                }
+                _ => config.apply(key, value).map_err(|e| e.to_string())?,
+            }
+        }
+        Ok(ServeRequest { config, gpu })
+    }
+
+    /// Renders the request as one protocol line. `parse_line` of the
+    /// result round-trips to an equal request.
+    pub fn to_line(&self) -> String {
+        format!(
+            "model={} comp={} dataset={} scale={} layers={} hidden={} framework={} seed={} functional={} backend={}",
+            self.config.model.name().to_ascii_lowercase(),
+            self.config.comp.name().to_ascii_lowercase(),
+            self.config.dataset.name().to_ascii_lowercase(),
+            self.config.scale,
+            self.config.layers,
+            self.config.hidden,
+            self.config.framework.name().to_ascii_lowercase(),
+            self.config.seed,
+            self.config.functional_math,
+            self.gpu.proto_name(),
+        )
+    }
+
+    /// A compact display label, e.g. `"gSuite-MP GCN on Cora [V100-hw]"`.
+    pub fn label(&self) -> String {
+        format!("{} [{}]", self.config.label(), self.gpu.label())
+    }
+}
+
+/// How the serving layer satisfied a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheDisposition {
+    /// Graph + pipeline came from the LRU cache.
+    Hit,
+    /// Graph + pipeline were built for this request (and cached).
+    Miss,
+    /// The request attached to an identical in-flight execution and
+    /// shared its profile run.
+    Coalesced,
+}
+
+impl CacheDisposition {
+    /// Wire-format name (`hit`, `miss`, `coalesced`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheDisposition::Hit => "hit",
+            CacheDisposition::Miss => "miss",
+            CacheDisposition::Coalesced => "coalesced",
+        }
+    }
+}
+
+impl std::fmt::Display for CacheDisposition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsuite_core::config::{CompModel, GnnModel};
+    use gsuite_graph::datasets::Dataset;
+
+    #[test]
+    fn parse_line_applies_keys_and_defaults() {
+        let r = ServeRequest::parse_line("model=gin comp=spmm dataset=pubmed backend=sim:8")
+            .expect("valid line");
+        assert_eq!(r.config.model, GnnModel::Gin);
+        assert_eq!(r.config.comp, CompModel::Spmm);
+        assert_eq!(r.config.dataset, Dataset::PubMed);
+        assert_eq!(r.gpu, GpuSpec::SimSms(8));
+        // Serving defaults: profiling only, no host math.
+        assert!(!r.config.functional_math);
+        assert_eq!(r.config.layers, 2);
+    }
+
+    #[test]
+    fn parse_line_rejects_garbage() {
+        assert!(ServeRequest::parse_line("model").is_err());
+        assert!(ServeRequest::parse_line("model=transformer").is_err());
+        assert!(ServeRequest::parse_line("backend=tpu").is_err());
+        assert!(ServeRequest::parse_line("nonsense=1").is_err());
+        assert!(ServeRequest::parse_line("scale=2.0").is_err());
+    }
+
+    #[test]
+    fn to_line_round_trips() {
+        for line in [
+            "model=gcn backend=hw",
+            "model=sage comp=mp dataset=citeseer scale=0.05 backend=sim",
+            "model=gat dataset=reddit scale=0.001 layers=3 hidden=8 seed=7 backend=sim:4",
+        ] {
+            let r = ServeRequest::parse_line(line).expect("valid");
+            let back = ServeRequest::parse_line(&r.to_line()).expect("round-trip parses");
+            assert_eq!(r, back, "round-trip of {line:?}");
+        }
+    }
+
+    #[test]
+    fn empty_line_is_the_default_request() {
+        let r = ServeRequest::parse_line("").expect("empty = defaults");
+        assert_eq!(r.config.model, GnnModel::Gcn);
+        assert_eq!(r.gpu, GpuSpec::HwV100);
+    }
+}

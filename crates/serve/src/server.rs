@@ -1,0 +1,594 @@
+//! The long-running inference-benchmark service: a worker pool draining a
+//! bounded FIFO request queue, a shared byte-accounted LRU cache of built
+//! graphs + pipelines, and request coalescing (identical in-flight
+//! configurations share one profile run).
+//!
+//! Execution of one request mirrors the batch scenario runner exactly —
+//! `Dataset::load_scaled`, `PipelineRun::build`, then
+//! `GpuSpec::profiler(opts, dataset)` and `PipelineRun::profile` — so a
+//! served profile is **bit-identical** to the same configuration's cell in
+//! [`gsuite_scenarios::run_scenario`] (a property the workspace
+//! determinism suite locks in). What serving adds around that execution is
+//! the traffic layer: queueing, backpressure, caching and per-request
+//! timing.
+//!
+//! # Example
+//!
+//! ```
+//! use gsuite_serve::{ServeConfig, ServeRequest, Server};
+//!
+//! let server = Server::start(ServeConfig::golden());
+//! let rx = server.submit(ServeRequest::parse_line("model=gcn scale=0.05").unwrap()).unwrap();
+//! let done = rx.recv().unwrap();
+//! assert!(done.outcome.unwrap().total_time_ms() > 0.0);
+//! server.shutdown();
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use gsuite_core::pipeline::PipelineRun;
+use gsuite_core::CoreError;
+use gsuite_graph::Graph;
+use gsuite_profile::PipelineProfile;
+use gsuite_scenarios::BenchOpts;
+
+use crate::cache::{ByteLru, LruStats};
+use crate::request::{CacheDisposition, ServeRequest};
+
+/// A cached execution unit: the loaded graph and the built pipeline.
+pub type CachedPipeline = (Arc<Graph>, Arc<PipelineRun>);
+
+/// The cost model of one cache entry: feature matrix + COO topology + CSR
+/// index of the graph, plus the pipeline's output buffer and a fixed
+/// per-launch overhead for workload descriptors. Deliberately a *model*
+/// (exact heap sizes are an implementation detail of the substrate
+/// crates), but a deterministic, monotone one: bigger graphs and deeper
+/// pipelines account more bytes.
+pub fn entry_bytes(graph: &Graph, run: &PipelineRun) -> u64 {
+    let s = graph.stats();
+    let graph_bytes = s.nodes * (s.feature_len * 4 + 8) + s.edges * 8;
+    let pipeline_bytes = run.output.len() * 4 + run.launches.len() * 512;
+    (graph_bytes + pipeline_bytes) as u64
+}
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bounded queue depth; a full queue blocks [`Server::submit`] and
+    /// rejects [`Server::try_submit`].
+    pub queue_cap: usize,
+    /// LRU cache capacity in bytes.
+    pub cache_bytes: u64,
+    /// Measurement options shared by every request (scale policy, CTA
+    /// caps) — the same knobs the batch scenario runner takes.
+    pub opts: BenchOpts,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_cap: 64,
+            cache_bytes: 256 << 20,
+            opts: BenchOpts::quick(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A test-sized config: golden measurement mode (quick scales, 32-CTA
+    /// cap) with a small worker pool.
+    pub fn golden() -> Self {
+        ServeConfig {
+            workers: 2,
+            opts: BenchOpts::golden(),
+            ..ServeConfig::default()
+        }
+    }
+}
+
+/// One finished request as delivered to its submitter.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// Submission id (monotone per server).
+    pub id: u64,
+    /// The request this answers.
+    pub request: ServeRequest,
+    /// The profile, or the build error (e.g. an unsupported
+    /// model/computational-model combination).
+    pub outcome: Result<Arc<PipelineProfile>, String>,
+    /// How the cache satisfied the request.
+    pub cache: CacheDisposition,
+    /// Wall milliseconds spent queued before dispatch.
+    pub queue_ms: f64,
+    /// Wall milliseconds of (possibly shared) build + profile work.
+    pub service_ms: f64,
+    /// Wall milliseconds from submission to completion.
+    pub latency_ms: f64,
+}
+
+impl Completion {
+    /// Renders the wire-format response line.
+    pub fn to_line(&self) -> String {
+        match &self.outcome {
+            Ok(profile) => format!(
+                "ok id={} cache={} queue_ms={:.4} service_ms={:.4} latency_ms={:.4} device_ms={:.4} e2e_ms={:.4} kernels={}",
+                self.id,
+                self.cache,
+                self.queue_ms,
+                self.service_ms,
+                self.latency_ms,
+                profile.device_time_ms(),
+                profile.total_time_ms(),
+                profile.kernels.len(),
+            ),
+            Err(msg) => format!(
+                "err id={} cache={} latency_ms={:.4} msg={:?}",
+                self.id, self.cache, self.latency_ms, msg
+            ),
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is full ([`Server::try_submit`] only; counted as shed
+    /// load in [`ServerStats::rejected`]).
+    Busy,
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SubmitError::Busy => "queue full",
+            SubmitError::ShuttingDown => "server shutting down",
+        })
+    }
+}
+
+/// A counter snapshot of the running service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerStats {
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Requests currently queued (excluding executing ones).
+    pub queue_depth: usize,
+    /// Accepted submissions (including coalesced ones).
+    pub submitted: u64,
+    /// Delivered completions.
+    pub completed: u64,
+    /// Submissions that attached to an in-flight identical request.
+    pub coalesced: u64,
+    /// `try_submit` calls shed due to a full queue.
+    pub rejected: u64,
+    /// Cache counters.
+    pub cache: LruStats,
+}
+
+impl ServerStats {
+    /// Renders the wire-format `stats` response line.
+    pub fn to_line(&self) -> String {
+        format!(
+            "stats workers={} queue={} submitted={} completed={} coalesced={} rejected={} \
+             cache_hits={} cache_misses={} cache_insertions={} cache_evictions={} \
+             cache_rejected={} cache_bytes={} cache_capacity={} cache_entries={}",
+            self.workers,
+            self.queue_depth,
+            self.submitted,
+            self.completed,
+            self.coalesced,
+            self.rejected,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.insertions,
+            self.cache.evictions,
+            self.cache.rejected,
+            self.cache.bytes_in_use,
+            self.cache.capacity_bytes,
+            self.cache.entries,
+        )
+    }
+}
+
+struct Waiter {
+    id: u64,
+    submitted: Instant,
+    tx: mpsc::Sender<Completion>,
+}
+
+struct Job {
+    key: ServeRequest,
+    /// The original submitter plus any identical submissions coalesced
+    /// while this job sat in the queue.
+    waiters: Vec<Waiter>,
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    /// Keys currently executing on a worker; identical submissions attach
+    /// their waiter here.
+    executing: Vec<(ServeRequest, Vec<Waiter>)>,
+    cache: ByteLru<ServeRequest, CachedPipeline>,
+    next_id: u64,
+    submitted: u64,
+    completed: u64,
+    coalesced: u64,
+    rejected: u64,
+    shutdown: bool,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    state: Mutex<State>,
+    work_avail: Condvar,
+    space_avail: Condvar,
+}
+
+/// The running service. Dropping the handle is equivalent to
+/// [`Server::shutdown`]: the queue drains (pending submitters still get
+/// their completions) and the workers are joined.
+pub struct Server {
+    inner: Arc<Inner>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the worker pool and returns the service handle.
+    pub fn start(cfg: ServeConfig) -> Server {
+        let workers = cfg.workers.max(1);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                executing: Vec::new(),
+                cache: ByteLru::new(cfg.cache_bytes),
+                next_id: 0,
+                submitted: 0,
+                completed: 0,
+                coalesced: 0,
+                rejected: 0,
+                shutdown: false,
+            }),
+            work_avail: Condvar::new(),
+            space_avail: Condvar::new(),
+            cfg,
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Server { inner, handles }
+    }
+
+    /// The configuration the server was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.inner.cfg
+    }
+
+    /// Submits a request, **blocking** while the queue is full — the
+    /// backpressure path closed-loop clients ride on. Returns the channel
+    /// the [`Completion`] arrives on.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ShuttingDown`] after [`Server::shutdown`] began.
+    pub fn submit(&self, req: ServeRequest) -> Result<mpsc::Receiver<Completion>, SubmitError> {
+        self.submit_inner(req, true)
+    }
+
+    /// Non-blocking submission: a full queue sheds the request instead of
+    /// waiting — the open-loop overload path.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Busy`] when the queue is full,
+    /// [`SubmitError::ShuttingDown`] during shutdown.
+    pub fn try_submit(&self, req: ServeRequest) -> Result<mpsc::Receiver<Completion>, SubmitError> {
+        self.submit_inner(req, false)
+    }
+
+    fn submit_inner(
+        &self,
+        req: ServeRequest,
+        block: bool,
+    ) -> Result<mpsc::Receiver<Completion>, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        let mut state = self.inner.state.lock().expect("server state poisoned");
+        if state.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        let waiter = Waiter {
+            id,
+            submitted: Instant::now(),
+            tx,
+        };
+
+        loop {
+            // Coalesce onto an identical executing or queued request: the
+            // waiter shares that execution's profile run. Re-checked after
+            // every full-queue wait — while this submitter was blocked,
+            // another may have enqueued the same key, and pushing a second
+            // job would break the one-execution-per-key invariant the
+            // cache-build path relies on.
+            if let Some((_, waiters)) = state.executing.iter_mut().find(|(k, _)| *k == req) {
+                waiters.push(waiter);
+                state.submitted += 1;
+                state.coalesced += 1;
+                return Ok(rx);
+            }
+            if let Some(job) = state.queue.iter_mut().find(|j| j.key == req) {
+                job.waiters.push(waiter);
+                state.submitted += 1;
+                state.coalesced += 1;
+                return Ok(rx);
+            }
+            if state.queue.len() < self.inner.cfg.queue_cap.max(1) {
+                break;
+            }
+            if !block {
+                state.rejected += 1;
+                return Err(SubmitError::Busy);
+            }
+            state = self
+                .inner
+                .space_avail
+                .wait(state)
+                .expect("server state poisoned");
+            if state.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+        }
+        state.submitted += 1;
+        state.queue.push_back(Job {
+            key: req,
+            waiters: vec![waiter],
+        });
+        drop(state);
+        self.inner.work_avail.notify_one();
+        Ok(rx)
+    }
+
+    /// The current counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        let state = self.inner.state.lock().expect("server state poisoned");
+        ServerStats {
+            workers: self.handles.len(),
+            queue_depth: state.queue.len(),
+            submitted: state.submitted,
+            completed: state.completed,
+            coalesced: state.coalesced,
+            rejected: state.rejected,
+            cache: state.cache.stats(),
+        }
+    }
+
+    /// Stops accepting work, drains the queue and joins the workers.
+    /// Queued requests still receive their completions.
+    pub fn shutdown(self) {
+        // Drop does the work; the method exists to make the stop explicit.
+    }
+
+    fn stop_and_join(&mut self) {
+        {
+            let mut state = self.inner.state.lock().expect("server state poisoned");
+            state.shutdown = true;
+        }
+        self.inner.work_avail.notify_all();
+        self.inner.space_avail.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    /// Dropping the handle stops the service: without this, workers whose
+    /// queue has drained would park in `work_avail.wait()` forever,
+    /// leaking the threads and the shared state.
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Builds graph + pipeline for `req` — the expensive miss path, run
+/// outside the state lock.
+fn build_pipeline(req: &ServeRequest) -> Result<CachedPipeline, String> {
+    let graph = Arc::new(req.config.load_graph());
+    match PipelineRun::build(&graph, &req.config) {
+        Ok(run) => Ok((graph, Arc::new(run))),
+        // The suite's known boundary (e.g. gSuite SAGE under SpMM) and any
+        // other build failure both surface as error responses; a serving
+        // process must not crash on a bad request.
+        Err(e @ CoreError::UnsupportedCombination { .. }) => Err(e.to_string()),
+        Err(e) => Err(format!("cannot build {}: {e}", req.config.label())),
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        // Wait for a job (or drain-and-exit on shutdown).
+        let job = {
+            let mut state = inner.state.lock().expect("server state poisoned");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    state.executing.push((job.key.clone(), Vec::new()));
+                    inner.space_avail.notify_one();
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = inner.work_avail.wait(state).expect("server state poisoned");
+            }
+        };
+        let dispatched = Instant::now();
+
+        // Cache lookup under the lock; the expensive build outside it.
+        // Coalescing guarantees one execution per key at a time, so two
+        // workers never race to build the same entry.
+        let cached = {
+            let mut state = inner.state.lock().expect("server state poisoned");
+            state.cache.get(&job.key).cloned()
+        };
+        let (disposition, built) = match cached {
+            Some(hit) => (CacheDisposition::Hit, Ok(hit)),
+            None => {
+                let built = build_pipeline(&job.key);
+                if let Ok((graph, run)) = &built {
+                    let bytes = entry_bytes(graph, run);
+                    let mut state = inner.state.lock().expect("server state poisoned");
+                    state.cache.insert(
+                        job.key.clone(),
+                        (Arc::clone(graph), Arc::clone(run)),
+                        bytes,
+                    );
+                }
+                (CacheDisposition::Miss, built)
+            }
+        };
+
+        let outcome: Result<Arc<PipelineProfile>, String> = built.map(|(_, run)| {
+            let profiler = job
+                .key
+                .gpu
+                .profiler(&inner.cfg.opts, job.key.config.dataset);
+            Arc::new(run.profile(profiler.as_ref()))
+        });
+        let finished = Instant::now();
+        let service_ms = ms_between(dispatched, finished);
+
+        // Collect the waiters that coalesced during execution and deliver.
+        let late_waiters = {
+            let mut state = inner.state.lock().expect("server state poisoned");
+            let i = state
+                .executing
+                .iter()
+                .position(|(k, _)| *k == job.key)
+                .expect("executing entry registered at dispatch");
+            let (_, waiters) = state.executing.swap_remove(i);
+            state.completed += (job.waiters.len() + waiters.len()) as u64;
+            waiters
+        };
+        for (n, waiter) in job.waiters.into_iter().chain(late_waiters).enumerate() {
+            let disposition = if n == 0 {
+                disposition
+            } else {
+                CacheDisposition::Coalesced
+            };
+            let completion = Completion {
+                id: waiter.id,
+                request: job.key.clone(),
+                outcome: outcome.clone(),
+                cache: disposition,
+                queue_ms: ms_between(waiter.submitted, dispatched).max(0.0),
+                service_ms,
+                latency_ms: ms_between(waiter.submitted, finished).max(0.0),
+            };
+            // A submitter that dropped its receiver simply misses the
+            // delivery; the server keeps running.
+            let _ = waiter.tx.send(completion);
+        }
+    }
+}
+
+fn ms_between(from: Instant, to: Instant) -> f64 {
+    to.saturating_duration_since(from).as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsuite_core::config::{CompModel, GnnModel};
+
+    fn golden_request(line: &str) -> ServeRequest {
+        ServeRequest::parse_line(line).expect("valid request line")
+    }
+
+    #[test]
+    fn serves_a_request_end_to_end() {
+        let server = Server::start(ServeConfig::golden());
+        let rx = server
+            .submit(golden_request("model=gcn dataset=cora scale=0.05"))
+            .unwrap();
+        let done = rx.recv().expect("completion arrives");
+        let profile = done.outcome.expect("gcn-mp builds");
+        assert!(!profile.kernels.is_empty());
+        assert_eq!(done.cache, CacheDisposition::Miss);
+        assert!(done.latency_ms >= done.service_ms);
+        let stats = server.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.cache.misses, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_cache() {
+        let server = Server::start(ServeConfig::golden());
+        let req = golden_request("model=gin dataset=cora scale=0.05");
+        let first = server.submit(req.clone()).unwrap().recv().unwrap();
+        let second = server.submit(req).unwrap().recv().unwrap();
+        assert_eq!(first.cache, CacheDisposition::Miss);
+        assert_eq!(second.cache, CacheDisposition::Hit);
+        // Bit-identical profiles: same pipeline, same profiler.
+        assert_eq!(first.outcome.unwrap(), second.outcome.unwrap());
+        assert!(server.stats().cache.hit_rate() > 0.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unsupported_combination_is_an_error_response() {
+        let server = Server::start(ServeConfig::golden());
+        let req = ServeRequest::parse_line("model=sage comp=spmm dataset=cora scale=0.05").unwrap();
+        assert_eq!(req.config.model, GnnModel::Sage);
+        assert_eq!(req.config.comp, CompModel::Spmm);
+        let done = server.submit(req).unwrap().recv().unwrap();
+        assert!(done.outcome.is_err());
+        assert!(done.to_line().starts_with("err id=0"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work() {
+        let server = Server::start(ServeConfig::golden());
+        {
+            let mut state = server.inner.state.lock().unwrap();
+            state.shutdown = true;
+        }
+        let err = server
+            .submit(golden_request("model=gcn scale=0.05"))
+            .unwrap_err();
+        assert_eq!(err, SubmitError::ShuttingDown);
+    }
+
+    #[test]
+    fn response_lines_are_wire_parsable() {
+        let server = Server::start(ServeConfig::golden());
+        let rx = server
+            .submit(golden_request("model=gcn dataset=cora scale=0.05"))
+            .unwrap();
+        let line = rx.recv().unwrap().to_line();
+        assert!(line.starts_with("ok id=0 cache=miss "));
+        for field in [
+            "queue_ms=",
+            "service_ms=",
+            "latency_ms=",
+            "device_ms=",
+            "e2e_ms=",
+            "kernels=",
+        ] {
+            assert!(line.contains(field), "{line}");
+        }
+        server.shutdown();
+    }
+}

@@ -1,0 +1,397 @@
+//! The simulated-clock execution model of the load generator: a
+//! deterministic discrete-event simulation of the serving layer — FIFO
+//! bounded queue, `W` workers, the byte-accounted LRU cache and request
+//! coalescing — over *modeled* service times (the profiled pipeline's own
+//! end-to-end milliseconds plus a modeled build cost on cache misses).
+//!
+//! Everything here is pure `f64` arithmetic over a fixed iteration order:
+//! the same request stream always yields the same per-request latencies,
+//! the same hit/miss counters and the same eviction sequence, regardless
+//! of host, core count or wall time — the property that makes
+//! `gsuite-cli loadgen --clock sim` a *reproducible* benchmark rather
+//! than a measurement of the load generator's machine.
+
+use crate::cache::{ByteLru, LruStats};
+use crate::request::CacheDisposition;
+
+/// The modeled execution costs of one distinct request configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimCosts {
+    /// Modeled inference milliseconds (the profile's end-to-end time).
+    pub service_ms: f64,
+    /// Modeled graph-load + pipeline-build milliseconds paid on a cache
+    /// miss.
+    pub build_ms: f64,
+    /// Cache accounting bytes of the built entry.
+    pub bytes: u64,
+    /// `Some(msg)` when the configuration cannot build (the request
+    /// completes as an error after paying the build cost).
+    pub error: Option<String>,
+}
+
+/// Queue/worker/cache parameters of the simulated service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimParams {
+    /// Simulated worker count.
+    pub workers: usize,
+    /// Bounded queue depth; arrivals beyond it are shed (open loop only).
+    pub queue_cap: usize,
+    /// LRU capacity in bytes.
+    pub cache_bytes: u64,
+}
+
+/// What happened to one simulated request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimDisposition {
+    /// Completed; how the cache satisfied it.
+    Done(CacheDisposition),
+    /// Completed as an error response (unbuildable configuration).
+    Error,
+    /// Shed at arrival: queue full.
+    Rejected,
+}
+
+/// One simulated request's timing record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimRecord {
+    /// Index into the distinct-configuration table.
+    pub key: usize,
+    /// Simulated submission time (ms since sim start).
+    pub submit_ms: f64,
+    /// Milliseconds waited for a worker.
+    pub queue_ms: f64,
+    /// Milliseconds of (possibly shared) build + inference work.
+    pub service_ms: f64,
+    /// Submission-to-completion milliseconds (`0` for rejected requests).
+    pub latency_ms: f64,
+    /// Outcome.
+    pub disposition: SimDisposition,
+}
+
+/// The full outcome of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// One record per request, in stream order.
+    pub records: Vec<SimRecord>,
+    /// Cache counters after the run.
+    pub cache: LruStats,
+    /// Requests that shared an in-flight execution.
+    pub coalesced: u64,
+    /// Requests shed by the bounded queue.
+    pub rejected: u64,
+    /// Last completion time (ms since sim start).
+    pub makespan_ms: f64,
+}
+
+/// An execution in flight: submitted (at or before the current clock,
+/// since requests are fed in nondecreasing submission order), possibly
+/// not yet dispatched to a worker.
+struct InFlight {
+    key: usize,
+    start_ms: f64,
+    finish_ms: f64,
+    /// Whether this execution completes as an error response (coalesced
+    /// requests share the outcome, error or not — exactly like the live
+    /// server's shared `Completion`).
+    error: bool,
+}
+
+/// The simulation core: workers, queue accounting, cache and the
+/// coalescing window. Requests are fed one at a time in nondecreasing
+/// submission order.
+struct ServiceSim<'a> {
+    costs: &'a [SimCosts],
+    params: SimParams,
+    /// Per-worker next-free time.
+    worker_free: Vec<f64>,
+    /// Executions whose finish time is still ahead of the clock.
+    in_flight: Vec<InFlight>,
+    cache: ByteLru<usize, ()>,
+    coalesced: u64,
+    rejected: u64,
+    makespan_ms: f64,
+}
+
+impl<'a> ServiceSim<'a> {
+    fn new(costs: &'a [SimCosts], params: SimParams) -> Self {
+        ServiceSim {
+            costs,
+            worker_free: vec![0.0; params.workers.max(1)],
+            in_flight: Vec::new(),
+            cache: ByteLru::new(params.cache_bytes),
+            coalesced: 0,
+            rejected: 0,
+            makespan_ms: 0.0,
+            params,
+        }
+    }
+
+    /// Feeds one request submitted at `t`; returns its record. `reject`
+    /// enables the bounded-queue shed path (open loop).
+    fn offer(&mut self, key: usize, t: f64, reject: bool) -> SimRecord {
+        // Retire executions that finished before `t`.
+        self.in_flight.retain(|e| e.finish_ms > t);
+
+        // Coalescing window: an identical configuration is in flight.
+        if let Some(e) = self.in_flight.iter().find(|e| e.key == key) {
+            self.coalesced += 1;
+            let finish = e.finish_ms;
+            let start = e.start_ms;
+            let disposition = if e.error {
+                SimDisposition::Error
+            } else {
+                SimDisposition::Done(CacheDisposition::Coalesced)
+            };
+            self.makespan_ms = self.makespan_ms.max(finish);
+            return SimRecord {
+                key,
+                submit_ms: t,
+                queue_ms: (start - t).max(0.0),
+                service_ms: finish - start.max(t),
+                latency_ms: finish - t,
+                disposition,
+            };
+        }
+
+        // Backpressure: executions not yet started at `t` are the queue.
+        if reject {
+            let waiting = self.in_flight.iter().filter(|e| e.start_ms > t).count();
+            if waiting >= self.params.queue_cap.max(1) {
+                self.rejected += 1;
+                return SimRecord {
+                    key,
+                    submit_ms: t,
+                    queue_ms: 0.0,
+                    service_ms: 0.0,
+                    latency_ms: 0.0,
+                    disposition: SimDisposition::Rejected,
+                };
+            }
+        }
+
+        // Dispatch to the earliest-free worker (FIFO; ties to the lowest
+        // index keep the schedule deterministic).
+        let w = min_index(&self.worker_free);
+        let start = t.max(self.worker_free[w]);
+        let cost = &self.costs[key];
+        let (service, disposition) = if cost.error.is_some() {
+            // Unbuildable configurations pay the build (discovery) cost and
+            // complete as errors; nothing enters the cache.
+            self.cache.get(&key);
+            (cost.build_ms, SimDisposition::Error)
+        } else if self.cache.get(&key).is_some() {
+            (cost.service_ms, SimDisposition::Done(CacheDisposition::Hit))
+        } else {
+            self.cache.insert(key, (), cost.bytes);
+            (
+                cost.build_ms + cost.service_ms,
+                SimDisposition::Done(CacheDisposition::Miss),
+            )
+        };
+        let finish = start + service;
+        self.worker_free[w] = finish;
+        self.in_flight.push(InFlight {
+            key,
+            start_ms: start,
+            finish_ms: finish,
+            error: disposition == SimDisposition::Error,
+        });
+        self.makespan_ms = self.makespan_ms.max(finish);
+        SimRecord {
+            key,
+            submit_ms: t,
+            queue_ms: start - t,
+            service_ms: service,
+            latency_ms: finish - t,
+            disposition,
+        }
+    }
+
+    fn into_outcome(self, records: Vec<SimRecord>) -> SimOutcome {
+        SimOutcome {
+            records,
+            cache: self.cache.stats(),
+            coalesced: self.coalesced,
+            rejected: self.rejected,
+            makespan_ms: self.makespan_ms,
+        }
+    }
+}
+
+/// Simulates an **open-loop** run: request `i` (a distinct-configuration
+/// index in `keys`) is submitted at `arrivals[i]` milliseconds regardless
+/// of completions; a full queue sheds arrivals.
+///
+/// # Panics
+///
+/// Panics if `keys` and `arrivals` differ in length or arrivals are not
+/// nondecreasing.
+pub fn simulate_open(
+    keys: &[usize],
+    arrivals: &[f64],
+    costs: &[SimCosts],
+    params: SimParams,
+) -> SimOutcome {
+    assert_eq!(keys.len(), arrivals.len(), "one arrival per request");
+    assert!(
+        arrivals.windows(2).all(|w| w[0] <= w[1]),
+        "arrivals must be nondecreasing"
+    );
+    let mut sim = ServiceSim::new(costs, params);
+    let records = keys
+        .iter()
+        .zip(arrivals)
+        .map(|(&key, &t)| sim.offer(key, t, true))
+        .collect();
+    sim.into_outcome(records)
+}
+
+/// Simulates a **closed-loop** run: `clients` clients share the request
+/// stream; each submits its next request the moment its previous one
+/// completes (zero think time). The queue never exceeds the client count,
+/// so nothing is shed.
+pub fn simulate_closed(
+    keys: &[usize],
+    clients: usize,
+    costs: &[SimCosts],
+    params: SimParams,
+) -> SimOutcome {
+    let clients = clients.max(1);
+    let mut sim = ServiceSim::new(costs, params);
+    let mut available: Vec<f64> = vec![0.0; clients];
+    let mut records = Vec::with_capacity(keys.len());
+    for &key in keys {
+        let c = min_index(&available);
+        let record = sim.offer(key, available[c], false);
+        available[c] += record.latency_ms;
+        records.push(record);
+    }
+    sim.into_outcome(records)
+}
+
+/// Index of the minimum element (first on ties) — worker/client election.
+fn min_index(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x < xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs(n: usize, service: f64, build: f64, bytes: u64) -> Vec<SimCosts> {
+        (0..n)
+            .map(|_| SimCosts {
+                service_ms: service,
+                build_ms: build,
+                bytes,
+                error: None,
+            })
+            .collect()
+    }
+
+    fn params(workers: usize, queue: usize, cache: u64) -> SimParams {
+        SimParams {
+            workers,
+            queue_cap: queue,
+            cache_bytes: cache,
+        }
+    }
+
+    #[test]
+    fn single_worker_serializes_and_caches() {
+        let costs = costs(1, 10.0, 5.0, 100);
+        // Same key three times, back-to-back arrivals after completion.
+        let out = simulate_open(&[0, 0, 0], &[0.0, 20.0, 40.0], &costs, params(1, 4, 1000));
+        // First: miss (build + service = 15), later: hits (10 each).
+        assert_eq!(out.records[0].latency_ms, 15.0);
+        assert_eq!(out.records[1].latency_ms, 10.0);
+        assert_eq!(out.records[2].latency_ms, 10.0);
+        assert_eq!(out.cache.hits, 2);
+        assert_eq!(out.cache.misses, 1);
+        assert_eq!(out.coalesced, 0);
+    }
+
+    #[test]
+    fn overlapping_identical_requests_coalesce() {
+        let costs = costs(1, 10.0, 5.0, 100);
+        // Second arrives while the first is still executing.
+        let out = simulate_open(&[0, 0], &[0.0, 3.0], &costs, params(2, 4, 1000));
+        assert_eq!(out.coalesced, 1);
+        assert_eq!(out.records[1].latency_ms, 12.0); // finishes at 15, arrived at 3
+        assert_eq!(
+            out.records[1].disposition,
+            SimDisposition::Done(CacheDisposition::Coalesced)
+        );
+        // Only one real execution touched the cache.
+        assert_eq!(out.cache.misses, 1);
+        assert_eq!(out.cache.hits, 0);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_bursts() {
+        let costs = costs(3, 100.0, 0.0, 1);
+        // Three distinct configs at t=0 on one worker with queue depth 1:
+        // first executes, second waits, third is shed.
+        let out = simulate_open(&[0, 1, 2], &[0.0, 0.0, 0.0], &costs, params(1, 1, 1000));
+        assert_eq!(out.rejected, 1);
+        assert_eq!(out.records[2].disposition, SimDisposition::Rejected);
+        assert_eq!(out.records[1].queue_ms, 100.0);
+    }
+
+    #[test]
+    fn eviction_follows_lru_under_pressure() {
+        // Cache fits two of three equally sized entries.
+        let costs = costs(3, 1.0, 1.0, 100);
+        let keys = [0, 1, 2, 0]; // 0 evicted by 2's insertion, so the last 0 misses again
+        let arrivals = [0.0, 10.0, 20.0, 30.0];
+        let out = simulate_open(&keys, &arrivals, &costs, params(1, 4, 200));
+        assert_eq!(out.cache.misses, 4);
+        assert_eq!(out.cache.evictions, 2);
+        assert_eq!(out.cache.hits, 0);
+    }
+
+    #[test]
+    fn closed_loop_keeps_clients_busy() {
+        let costs = costs(2, 10.0, 0.0, 1);
+        let keys = [0, 1, 0, 1, 0, 1];
+        let out = simulate_closed(&keys, 2, &costs, params(2, 8, 1000));
+        assert_eq!(out.rejected, 0);
+        // Two clients, two workers, 10 ms each, 6 requests => 30 ms.
+        assert_eq!(out.makespan_ms, 30.0);
+        assert!(out.records.iter().all(|r| r.queue_ms == 0.0));
+    }
+
+    #[test]
+    fn error_configs_complete_as_errors() {
+        let mut c = costs(2, 10.0, 5.0, 100);
+        c[1].error = Some("unsupported".to_string());
+        let out = simulate_open(&[1, 1], &[0.0, 100.0], &c, params(1, 4, 1000));
+        assert!(out
+            .records
+            .iter()
+            .all(|r| r.disposition == SimDisposition::Error));
+        // Errors never enter the cache: both pay the build cost.
+        assert_eq!(out.records[0].latency_ms, 5.0);
+        assert_eq!(out.records[1].latency_ms, 5.0);
+        assert_eq!(out.cache.entries, 0);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let costs = costs(4, 3.0, 1.5, 64);
+        let keys: Vec<usize> = (0..40).map(|i| i % 4).collect();
+        let arrivals: Vec<f64> = (0..40).map(|i| i as f64 * 0.75).collect();
+        let a = simulate_open(&keys, &arrivals, &costs, params(3, 8, 128));
+        let b = simulate_open(&keys, &arrivals, &costs, params(3, 8, 128));
+        assert_eq!(a, b);
+        let c = simulate_closed(&keys, 5, &costs, params(3, 8, 128));
+        let d = simulate_closed(&keys, 5, &costs, params(3, 8, 128));
+        assert_eq!(c, d);
+    }
+}

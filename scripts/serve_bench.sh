@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Records the serving-layer trajectory numbers to BENCH_<tag>.json: the
+# deterministic sim-clock benchmark (reproducible across hosts) plus a
+# wall-clock measurement of the live threaded server on this machine.
+#
+# Usage: scripts/serve_bench.sh [tag]
+#   tag   suffix for the output file, e.g. `pr3` -> BENCH_pr3.json
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TAG="${1:-pr3}"
+OUT="BENCH_${TAG}.json"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+cargo build --release --bin gsuite-cli
+BIN=target/release/gsuite-cli
+
+echo "== loadgen (sim clock, closed loop)"
+"$BIN" loadgen --scenario serve-mix --seed 42 --requests 256 --clients 8 \
+    --json "$TMP/sim_closed.json"
+echo "== loadgen (sim clock, open loop with shedding)"
+"$BIN" loadgen --scenario serve-mix --seed 42 --requests 256 --rate 200 \
+    --workers 2 --queue 8 --slo-ms 250 --json "$TMP/sim_open.json"
+echo "== loadgen (wall clock, closed loop)"
+"$BIN" loadgen --scenario serve-mix --seed 42 --requests 256 --clients 8 \
+    --clock wall --json "$TMP/wall_closed.json"
+
+{
+    echo '{'
+    echo "  \"tag\": \"$TAG\","
+    echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+    echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"host_cores\": $(nproc),"
+    echo '  "results": {'
+    first=1
+    for run in sim_closed sim_open wall_closed; do
+        [ $first -eq 1 ] || echo ','
+        first=0
+        printf '    "%s": ' "$run"
+        sed 's/^/    /' "$TMP/$run.json" | sed '1s/^    //'
+    done
+    echo ''
+    echo '  }'
+    echo '}'
+} > "$OUT"
+
+echo "wrote $OUT"

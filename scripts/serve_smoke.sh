@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Serving-layer smoke: (1) the sim-clock load generator is byte-identical
+# across runs and profiling thread counts and emits a well-formed latency
+# report; (2) a live server on an ephemeral port answers a seeded TCP
+# burst and shuts down cleanly.
+#
+# Usage: scripts/serve_smoke.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --bin gsuite-cli
+BIN=target/release/gsuite-cli
+TMP="$(mktemp -d)"
+SERVE_PID=""
+# A failed assertion must not leave the background server listening.
+trap 'if [ -n "$SERVE_PID" ]; then kill "$SERVE_PID" 2>/dev/null || true; fi; rm -rf "$TMP"' EXIT
+
+echo "== sim-clock loadgen: reproducibility across thread counts"
+"$BIN" loadgen --scenario serve-mix --seed 42 --requests 64 --threads 1 > "$TMP/lg1.txt"
+"$BIN" loadgen --scenario serve-mix --seed 42 --requests 64 --threads 4 > "$TMP/lg2.txt"
+cmp "$TMP/lg1.txt" "$TMP/lg2.txt"
+grep -q "p99=" "$TMP/lg1.txt"
+grep -q "hit-rate=" "$TMP/lg1.txt"
+# Repeated configs in the mix must actually hit the cache.
+if grep -q "hit-rate=0.0%" "$TMP/lg1.txt"; then
+    echo "error: expected a non-zero cache hit rate" >&2
+    exit 1
+fi
+cat "$TMP/lg1.txt"
+
+echo "== live server + TCP loadgen on an ephemeral port"
+"$BIN" serve --port 0 --threads 2 > "$TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$TMP/serve.log" && break
+    sleep 0.1
+done
+ADDR="$(sed -n 's/.*listening on //p' "$TMP/serve.log" | head -1)"
+if [ -z "$ADDR" ]; then
+    echo "error: server never announced its address" >&2
+    cat "$TMP/serve.log" >&2
+    exit 1
+fi
+"$BIN" loadgen --connect "$ADDR" --scenario serve-mix --seed 7 \
+    --requests 32 --clients 4 --slo-ms 5000 --stop-server | tee "$TMP/lgtcp.txt"
+grep -q "clock=tcp" "$TMP/lgtcp.txt"
+grep -q "p99=" "$TMP/lgtcp.txt"
+grep -q "SLO:" "$TMP/lgtcp.txt"
+wait "$SERVE_PID"
+grep -q "gsuite-serve stopped" "$TMP/serve.log"
+
+echo "serve smoke OK"

@@ -1,0 +1,583 @@
+//! The gSuite command-line interface — the paper's "pass a few parameters"
+//! user surface (Fig. 1), the scenario registry, and the serving layer.
+//!
+//! ```text
+//! gsuite-cli [--config FILE] [--model gcn|gin|sag] [--comp mp|spmm]
+//!            [--dataset cora|citeseer|pubmed|reddit|livejournal]
+//!            [--scale F] [--layers N] [--hidden N]
+//!            [--framework gsuite|pyg|dgl] [--seed N]
+//!            [--backend hw|sim] [--sim-sms N] [--max-ctas N] [--quiet]
+//!
+//! gsuite-cli run-scenario --list [--filter STR]
+//! gsuite-cli run-scenario NAME [--quick|--full] [--csv DIR] [--threads N]
+//!
+//! gsuite-cli serve   [--host H] [--port N] [--threads N] [--queue N]
+//!                    [--cache-mb N] [--quick|--full]
+//! gsuite-cli loadgen [--scenario NAME] [--seed N] [--requests N]
+//!                    [--clients N | --rate RPS] [--clock sim|wall]
+//!                    [--workers N] [--threads N] [--queue N] [--cache-mb N]
+//!                    [--slo-ms F] [--connect ADDR [--stop-server]]
+//!                    [--json FILE] [--full]
+//! ```
+//!
+//! Without a subcommand: builds the configured pipeline, runs it
+//! functionally, profiles every kernel launch on the selected backend and
+//! prints a characterization report. `run-scenario` executes a named
+//! experiment grid from the registry; `serve` runs the benchmark service
+//! over TCP; `loadgen` drives a workload mix through the service (or a
+//! deterministic simulation of it) and reports throughput, latency
+//! percentiles and SLO attainment.
+
+use std::process::ExitCode;
+
+use gsuite_core::config::RunConfig;
+use gsuite_core::pipeline::PipelineRun;
+use gsuite_profile::{HwProfiler, Profiler, SimProfiler, TextTable};
+use gsuite_scenarios::{registry, BenchOpts};
+use gsuite_serve::{
+    loadgen_tcp, run_loadgen, serve_blocking, ArrivalMode, ClockMode, LoadSpec, ServeConfig,
+};
+
+/// A subcommand handler over its argument tail.
+type Subcommand = fn(&[String]) -> Result<(), String>;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dispatch: Option<Subcommand> = match args.first().map(String::as_str) {
+        Some("run-scenario") => Some(run_scenario_cmd),
+        Some("serve") => Some(serve_cmd),
+        Some("loadgen") => Some(loadgen_cmd),
+        _ => None,
+    };
+    if let Some(cmd) = dispatch {
+        return match cmd(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("run with --help for usage");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run with --help for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "gsuite-cli: framework-independent GNN inference benchmark\n\
+         \n\
+         pipeline flags (defaults in parentheses):\n\
+           --config FILE          apply a key=value defaults file first\n\
+           --model gcn|gin|sag    GNN model (gcn)\n\
+           --comp mp|spmm         computational model (mp)\n\
+           --dataset NAME         cora|citeseer|pubmed|reddit|livejournal (cora)\n\
+           --scale F              dataset scale in (0,1] (1.0)\n\
+           --layers N             GNN layers (2)\n\
+           --hidden N             hidden width (16)\n\
+           --framework NAME       gsuite|pyg|dgl (gsuite)\n\
+           --seed N               weight seed (42)\n\
+           --functional BOOL      compute real outputs host-side (true)\n\
+         \n\
+         measurement flags:\n\
+           --backend hw|sim       analytical profiler or cycle simulator (hw)\n\
+           --sim-sms N            simulated SM count for --backend sim (8)\n\
+           --max-ctas N           CTA sampling cap for --backend sim (2048)\n\
+           --quiet                print only the summary line\n\
+         \n\
+         scenario registry:\n\
+           run-scenario --list [--filter STR]   list registered scenarios\n\
+           run-scenario NAME [--quick|--full] [--csv DIR] [--threads N]\n\
+                                  run one named experiment grid (the paper's\n\
+                                  figures plus beyond-paper scenarios)\n\
+         \n\
+         serving layer (gsuite-serve):\n\
+           serve [--host H] [--port N] [--threads N] [--queue N]\n\
+                 [--cache-mb N] [--quick|--full]\n\
+                                  run the benchmark service over TCP\n\
+                                  (port 0 picks an ephemeral port)\n\
+           loadgen [--scenario NAME] [--seed N] [--requests N]\n\
+                   [--clients N | --rate RPS] [--clock sim|wall]\n\
+                   [--workers N] [--threads N] [--queue N] [--cache-mb N]\n\
+                   [--slo-ms F] [--connect ADDR [--stop-server]]\n\
+                   [--json FILE] [--full]\n\
+                                  drive a seeded workload mix and report\n\
+                                  throughput + p50/p95/p99 latency + SLO\n\
+                                  (--clock sim, the default, is exactly\n\
+                                  reproducible for a given seed)"
+    );
+}
+
+/// Parses the value following flag `i`, or errors naming the flag.
+fn take_value(args: &[String], i: usize) -> Result<&str, String> {
+    args.get(i + 1)
+        .map(String::as_str)
+        .ok_or_else(|| format!("flag {} needs a value", args[i]))
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str, expected: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag} expects {expected} (got {value:?})"))
+}
+
+fn parse_positive(args: &[String], i: usize) -> Result<usize, String> {
+    let n: usize = parse_num(take_value(args, i)?, args[i].as_str(), "a positive integer")?;
+    if n == 0 {
+        return Err(format!("{} expects a positive integer", args[i]));
+    }
+    Ok(n)
+}
+
+/// `gsuite-cli run-scenario ...`: list, filter or execute registry
+/// entries. Every flag is matched explicitly — unknown flags are an
+/// error, not something to forward and misreport.
+fn run_scenario_cmd(args: &[String]) -> Result<(), String> {
+    let mut opts = BenchOpts::default();
+    let mut list = false;
+    let mut filter: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                print_help();
+                return Ok(());
+            }
+            "--list" => {
+                list = true;
+                i += 1;
+            }
+            "--filter" => {
+                filter = Some(take_value(args, i)?.to_string());
+                i += 2;
+            }
+            "--quick" => {
+                opts.quick = true;
+                i += 1;
+            }
+            "--full" => {
+                opts.full = true;
+                i += 1;
+            }
+            "--csv" => {
+                opts.csv_dir = Some(take_value(args, i)?.into());
+                i += 2;
+            }
+            "--threads" => {
+                threads = Some(parse_positive(args, i)?);
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!(
+                    "unknown run-scenario flag {flag:?} (expected --list | --filter STR | \
+                     --quick | --full | --csv DIR | --threads N)"
+                ));
+            }
+            other => {
+                if name.replace(other.to_string()).is_some() {
+                    return Err(format!("unexpected extra scenario name {other:?}"));
+                }
+                i += 1;
+            }
+        }
+    }
+
+    if let Some(n) = &name {
+        if list || filter.is_some() {
+            return Err(format!(
+                "scenario name {n:?} conflicts with --list/--filter (run one or list, not both)"
+            ));
+        }
+    }
+
+    if list || filter.is_some() {
+        let scenarios = match &filter {
+            Some(f) => registry::matching(f),
+            None => registry::all(),
+        };
+        if scenarios.is_empty() {
+            return Err(format!(
+                "no scenario matches filter {:?}",
+                filter.as_deref().unwrap_or("")
+            ));
+        }
+        println!(
+            "registered scenarios ({} mode grid sizes):\n",
+            mode_name(&opts)
+        );
+        println!("{}", registry::list_table(&scenarios, &opts).render());
+        return Ok(());
+    }
+
+    let Some(name) = name else {
+        return Err("run-scenario needs a scenario name (or --list)".to_string());
+    };
+    let scenario = registry::find(&name).ok_or_else(|| {
+        let known: Vec<&str> = registry::all().iter().map(|s| s.name).collect();
+        format!("unknown scenario {name:?} (registry: {})", known.join(", "))
+    })?;
+    let (_result, report) = match threads {
+        Some(t) => scenario.run_threads(&opts, t),
+        None => scenario.run(&opts),
+    };
+    report.emit(&opts);
+    Ok(())
+}
+
+/// `gsuite-cli serve ...`: the benchmark service over TCP.
+fn serve_cmd(args: &[String]) -> Result<(), String> {
+    let mut host = "127.0.0.1".to_string();
+    let mut port: u16 = 4816;
+    let mut cfg = ServeConfig {
+        workers: gsuite_par::default_threads(),
+        ..ServeConfig::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                print_help();
+                return Ok(());
+            }
+            "--host" => {
+                host = take_value(args, i)?.to_string();
+                i += 2;
+            }
+            "--port" => {
+                port = parse_num(take_value(args, i)?, "--port", "a port number")?;
+                i += 2;
+            }
+            "--threads" | "--workers" => {
+                cfg.workers = parse_positive(args, i)?;
+                i += 2;
+            }
+            "--queue" => {
+                cfg.queue_cap = parse_positive(args, i)?;
+                i += 2;
+            }
+            "--cache-mb" => {
+                let mb: u64 = parse_num(take_value(args, i)?, "--cache-mb", "an integer")?;
+                cfg.cache_bytes = mb << 20;
+                i += 2;
+            }
+            "--quick" => {
+                cfg.opts.quick = true;
+                cfg.opts.full = false;
+                i += 1;
+            }
+            "--full" => {
+                cfg.opts.full = true;
+                cfg.opts.quick = false;
+                i += 1;
+            }
+            other => {
+                return Err(format!(
+                    "unknown serve flag {other:?} (expected --host H | --port N | --threads N | \
+                     --queue N | --cache-mb N | --quick | --full)"
+                ));
+            }
+        }
+    }
+    println!(
+        "gsuite-serve: {} workers, queue depth {}, cache {} MiB, {} scales",
+        cfg.workers,
+        cfg.queue_cap,
+        cfg.cache_bytes >> 20,
+        mode_name(&cfg.opts)
+    );
+    serve_blocking(&host, port, cfg).map_err(|e| format!("serve failed: {e}"))
+}
+
+/// `gsuite-cli loadgen ...`: drive a workload mix, in-process (simulated
+/// or wall clock) or against a remote server.
+fn loadgen_cmd(args: &[String]) -> Result<(), String> {
+    let mut spec = LoadSpec::default();
+    let mut connect: Option<String> = None;
+    let mut stop_server = false;
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                print_help();
+                return Ok(());
+            }
+            "--scenario" => {
+                spec.scenario = take_value(args, i)?.to_string();
+                i += 2;
+            }
+            "--seed" => {
+                spec.seed = parse_num(take_value(args, i)?, "--seed", "an integer")?;
+                i += 2;
+            }
+            "--requests" => {
+                spec.requests = parse_positive(args, i)?;
+                i += 2;
+            }
+            "--clients" => {
+                spec.arrival = ArrivalMode::Closed {
+                    clients: parse_positive(args, i)?,
+                };
+                i += 2;
+            }
+            "--rate" => {
+                let r: f64 = parse_num(take_value(args, i)?, "--rate", "requests per second")?;
+                if r <= 0.0 {
+                    return Err("--rate expects a positive requests-per-second value".to_string());
+                }
+                spec.arrival = ArrivalMode::Open { rate_rps: r };
+                i += 2;
+            }
+            "--clock" => {
+                spec.clock = match take_value(args, i)? {
+                    "sim" => ClockMode::Sim,
+                    "wall" => ClockMode::Wall,
+                    other => return Err(format!("unknown clock {other:?} (expected sim|wall)")),
+                };
+                i += 2;
+            }
+            // --threads parallelizes the profiling pass only; the modeled
+            // service's worker pool is --workers. Keeping them separate is
+            // what makes sim-clock reports thread-count independent.
+            "--threads" => {
+                spec.threads = parse_positive(args, i)?;
+                i += 2;
+            }
+            "--workers" => {
+                spec.workers = parse_positive(args, i)?;
+                i += 2;
+            }
+            "--queue" => {
+                spec.queue_cap = parse_positive(args, i)?;
+                i += 2;
+            }
+            "--cache-mb" => {
+                let mb: u64 = parse_num(take_value(args, i)?, "--cache-mb", "an integer")?;
+                spec.cache_bytes = mb << 20;
+                i += 2;
+            }
+            "--slo-ms" => {
+                spec.slo_ms = Some(parse_num(take_value(args, i)?, "--slo-ms", "milliseconds")?);
+                i += 2;
+            }
+            "--connect" => {
+                connect = Some(take_value(args, i)?.to_string());
+                i += 2;
+            }
+            "--stop-server" => {
+                stop_server = true;
+                i += 1;
+            }
+            "--json" => {
+                json_path = Some(take_value(args, i)?.to_string());
+                i += 2;
+            }
+            // The loadgen defaults to quick scales (a traffic benchmark
+            // wants cheap per-request work); --full opts into Table IV
+            // scales, --quick is accepted for symmetry.
+            "--quick" => {
+                spec.opts = BenchOpts::quick();
+                i += 1;
+            }
+            "--full" => {
+                spec.opts = BenchOpts {
+                    full: true,
+                    ..BenchOpts::default()
+                };
+                i += 1;
+            }
+            other => {
+                return Err(format!(
+                    "unknown loadgen flag {other:?} (expected --scenario NAME | --seed N | \
+                     --requests N | --clients N | --rate RPS | --clock sim|wall | --workers N | \
+                     --threads N | --queue N | --cache-mb N | --slo-ms F | --connect ADDR | \
+                     --stop-server | --json FILE | --quick | --full)"
+                ));
+            }
+        }
+    }
+    if stop_server && connect.is_none() {
+        return Err("--stop-server only applies with --connect ADDR".to_string());
+    }
+    let report = match &connect {
+        Some(addr) => loadgen_tcp(addr, &spec, stop_server)?,
+        None => run_loadgen(&spec)?,
+    };
+    print!("{}", report.render());
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("[json] {path}");
+    }
+    Ok(())
+}
+
+fn mode_name(opts: &BenchOpts) -> &'static str {
+    if opts.full {
+        "full"
+    } else if opts.quick {
+        "quick"
+    } else {
+        "default"
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    // Split measurement flags (handled here) from pipeline flags
+    // (handled by RunConfig).
+    let mut backend = "hw".to_string();
+    let mut sim_sms: usize = 8;
+    let mut max_ctas: u64 = 2048;
+    let mut quiet = false;
+    let mut config_file: Option<String> = None;
+    let mut pipeline_args: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--backend" => {
+                backend = take_value(args, i)?.to_string();
+                i += 2;
+            }
+            "--sim-sms" => {
+                sim_sms = parse_num(take_value(args, i)?, "--sim-sms", "an integer")?;
+                i += 2;
+            }
+            "--max-ctas" => {
+                max_ctas = parse_num(take_value(args, i)?, "--max-ctas", "an integer")?;
+                i += 2;
+            }
+            "--config" => {
+                config_file = Some(take_value(args, i)?.to_string());
+                i += 2;
+            }
+            "--quiet" => {
+                quiet = true;
+                i += 1;
+            }
+            _ => {
+                pipeline_args.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+
+    let mut config = RunConfig::default();
+    if let Some(path) = config_file {
+        let content = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read config file {path}: {e}"))?;
+        config.apply_file(&content).map_err(|e| e.to_string())?;
+    }
+    let overrides = RunConfig::from_args(&pipeline_args).map_err(|e| e.to_string())?;
+    // CLI flags win over file defaults: re-apply them on top.
+    if !pipeline_args.is_empty() {
+        config = merge(config, overrides, &pipeline_args);
+    }
+
+    let profiler: Box<dyn Profiler> = match backend.as_str() {
+        "hw" => Box::new(HwProfiler::v100()),
+        "sim" => Box::new(SimProfiler::scaled(sim_sms.clamp(1, 80)).max_ctas(Some(max_ctas))),
+        other => return Err(format!("unknown backend {other:?} (expected hw|sim)")),
+    };
+
+    let graph = config.load_graph();
+    if !quiet {
+        println!("gSuite-rs | {}", config.label());
+        let stats = graph.stats();
+        println!(
+            "graph: {} nodes, {} edges, {} features | layers={} hidden={}\n",
+            stats.nodes, stats.edges, stats.feature_len, config.layers, config.hidden
+        );
+    }
+    let run = PipelineRun::build(&graph, &config).map_err(|e| e.to_string())?;
+    let profile = run.profile(profiler.as_ref());
+
+    if !quiet {
+        let mut table = TextTable::new(&[
+            "#",
+            "kernel",
+            "time (ms)",
+            "instr",
+            "L1 hit",
+            "L2 hit",
+            "comp util",
+            "mem util",
+        ]);
+        for (i, k) in profile.kernels.iter().enumerate() {
+            table.row_owned(vec![
+                (i + 1).to_string(),
+                k.kernel.clone(),
+                format!("{:.4}", k.time_ms),
+                k.instr_mix.total().to_string(),
+                format!("{:.1}%", k.l1.hit_rate() * 100.0),
+                format!("{:.1}%", k.l2.hit_rate() * 100.0),
+                format!("{:.1}%", k.compute_utilization * 100.0),
+                format!("{:.1}%", k.memory_utilization * 100.0),
+            ]);
+        }
+        println!("{}", table.render());
+        println!(
+            "host overhead: {:.2} ms ({} launches)",
+            profile.host_overhead_ms,
+            profile.kernels.len()
+        );
+    }
+    println!(
+        "{} | backend={} | device {:.3} ms | end-to-end {:.3} ms | output checksum {:.6}",
+        config.label(),
+        profiler.backend(),
+        profile.device_time_ms(),
+        profile.total_time_ms(),
+        run.output.sum()
+    );
+    Ok(())
+}
+
+/// Re-applies CLI overrides on top of file defaults. `RunConfig::from_args`
+/// already validated `overrides`; we only need to know which keys the user
+/// actually passed.
+fn merge(mut base: RunConfig, overrides: RunConfig, raw_flags: &[String]) -> RunConfig {
+    let passed = |key: &str| {
+        raw_flags
+            .iter()
+            .any(|a| a == &format!("--{key}") || a.starts_with(&format!("--{key}=")))
+    };
+    if passed("model") {
+        base.model = overrides.model;
+    }
+    if passed("comp") || passed("computational-model") {
+        base.comp = overrides.comp;
+    }
+    if passed("dataset") {
+        base.dataset = overrides.dataset;
+    }
+    if passed("scale") {
+        base.scale = overrides.scale;
+    }
+    if passed("layers") {
+        base.layers = overrides.layers;
+    }
+    if passed("hidden") {
+        base.hidden = overrides.hidden;
+    }
+    if passed("framework") {
+        base.framework = overrides.framework;
+    }
+    if passed("seed") {
+        base.seed = overrides.seed;
+    }
+    if passed("functional") || passed("functional-math") {
+        base.functional_math = overrides.functional_math;
+    }
+    base
+}

@@ -17,6 +17,7 @@
 //! | [`profile`]| kernel metrics, analytical profiler (nvprof stand-in), reports |
 //! | [`core`]   | the gSuite core kernels, GNN models, pipelines, config, baselines |
 //! | [`scenarios`] | the scenario engine: declarative experiment grids, the figure registry |
+//! | [`serve`]  | the serving layer: benchmark service, LRU pipeline cache, load generator |
 //!
 //! # Quickstart
 //!
@@ -45,4 +46,5 @@ pub use gsuite_gpu as gpu;
 pub use gsuite_graph as graph;
 pub use gsuite_profile as profile;
 pub use gsuite_scenarios as scenarios;
+pub use gsuite_serve as serve;
 pub use gsuite_tensor as tensor;

@@ -83,8 +83,18 @@ fn golden_covers_every_registry_scenario() {
     // A snapshot test per scenario exists below; this guard fails when a
     // new registry entry is added without golden coverage.
     let tested = [
-        "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "table4", "xmodels",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "table2",
+        "table4",
+        "xmodels",
         "gpusweep",
+        "serve-mix",
     ];
     let registered: Vec<&str> = registry::all().iter().map(|s| s.name).collect();
     assert_eq!(
@@ -117,3 +127,9 @@ golden_test!(
     golden_xmodels,
     golden_gpusweep,
 );
+
+// Hyphenated registry names don't fit the identifier-derived macro above.
+#[test]
+fn golden_serve_mix() {
+    check_scenario("serve-mix");
+}
