@@ -6,6 +6,7 @@ use gsuite_graph::datasets::Dataset;
 use gsuite_graph::Graph;
 use serde::{Deserialize, Serialize};
 
+use crate::plan::OptLevel;
 use crate::{CoreError, Result};
 
 /// The GNN models gSuite ships.
@@ -178,6 +179,9 @@ pub struct RunConfig {
     pub seed: u64,
     /// Compute real outputs host-side (disable for huge profile-only runs).
     pub functional_math: bool,
+    /// Plan optimization level (O0 = golden-compatible launch stream, O2
+    /// = fusion/hoist/memory-planning passes).
+    pub opt: OptLevel,
 }
 
 impl Default for RunConfig {
@@ -192,6 +196,7 @@ impl Default for RunConfig {
             framework: FrameworkKind::GSuite,
             seed: 42,
             functional_math: true,
+            opt: OptLevel::O0,
         }
     }
 }
@@ -262,6 +267,9 @@ impl RunConfig {
             "seed" => self.seed = value.parse().map_err(|_| invalid("integer"))?,
             "functional" | "functional-math" => {
                 self.functional_math = value.parse().map_err(|_| invalid("true|false"))?
+            }
+            "opt" | "opt-level" => {
+                self.opt = OptLevel::parse(value).ok_or_else(|| invalid("0|2"))?
             }
             _ => {
                 return Err(CoreError::UnknownKey {
@@ -371,6 +379,17 @@ mod tests {
         assert!(RunConfig::from_args(&["--nonsense", "1"]).is_err());
         assert!(RunConfig::from_args(&["bare"]).is_err());
         assert!(RunConfig::from_args(&["--model"]).is_err());
+        assert!(RunConfig::from_args(&["--opt", "1"]).is_err());
+    }
+
+    #[test]
+    fn opt_level_is_configurable_and_defaults_to_o0() {
+        assert_eq!(RunConfig::default().opt, OptLevel::O0);
+        let c = RunConfig::from_args(&["--opt", "2"]).unwrap();
+        assert_eq!(c.opt, OptLevel::O2);
+        let mut c = RunConfig::default();
+        c.apply_file("opt = 2\n").unwrap();
+        assert_eq!(c.opt, OptLevel::O2);
     }
 
     #[test]

@@ -1,33 +1,110 @@
 //! A fake device address space.
 //!
 //! Kernel workloads describe memory behaviour with *byte addresses*; this
-//! bump allocator hands each logical buffer (feature matrix, edge index,
+//! allocator hands each logical buffer (feature matrix, edge index,
 //! weights, intermediates) a non-overlapping base address, mimicking
 //! `cudaMalloc` layout so cache-set interactions between buffers are
 //! realistic. No data lives behind these addresses — functional values are
 //! computed host-side by `gsuite-tensor`.
+//!
+//! Two modes exist:
+//!
+//! * **bump** ([`AddressSpace::new`]) — monotone allocation in call order,
+//!   the historical O0 layout; nothing is ever reused, so live bytes only
+//!   grow.
+//! * **reuse** ([`AddressSpace::with_reuse`]) — [`AddressSpace::release`]
+//!   returns ranges to a best-fit free list and subsequent allocations
+//!   may reuse them — the liveness-based memory planner's substrate.
+//!
+//! Both modes account allocation totals: [`AddressSpace::live_bytes`]
+//! (currently allocated), [`AddressSpace::peak_bytes`] (high-water mark,
+//! surfaced as peak device bytes in pipeline profiles and the serve
+//! `stats` response) and [`AddressSpace::total_bytes`] (sum of all
+//! allocations ever made).
 
-/// Bump allocator over a simulated device address range.
+/// Allocator over a simulated device address range, with live/peak byte
+/// accounting and optional free-range reuse.
 #[derive(Debug, Clone)]
 pub struct AddressSpace {
+    base: u64,
     next: u64,
+    reuse: bool,
+    /// Free ranges `(base, padded size)`, sorted by base, coalesced.
+    free: Vec<(u64, u64)>,
+    live: u64,
+    peak: u64,
+    total: u64,
 }
 
 /// Alignment of every allocation (matches CUDA's 256-byte guarantee).
 pub const ALLOC_ALIGN: u64 = 256;
 
+/// Base address of the device heap.
+const HEAP_BASE: u64 = 0x7000_0000;
+
+/// Padded allocator footprint of a request (minimum one alignment unit).
+fn pad(bytes: u64) -> u64 {
+    (bytes.div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN).max(ALLOC_ALIGN)
+}
+
 impl AddressSpace {
-    /// A fresh address space starting at a nonzero device-like offset.
+    /// A fresh bump-mode address space starting at a nonzero device-like
+    /// offset; allocations are monotone and never reused.
     pub fn new() -> Self {
-        AddressSpace { next: 0x7000_0000 }
+        AddressSpace {
+            base: HEAP_BASE,
+            next: HEAP_BASE,
+            reuse: false,
+            free: Vec::new(),
+            live: 0,
+            peak: 0,
+            total: 0,
+        }
+    }
+
+    /// A reuse-mode address space: released ranges go to a best-fit free
+    /// list and may back later allocations.
+    pub fn with_reuse() -> Self {
+        AddressSpace {
+            reuse: true,
+            ..AddressSpace::new()
+        }
     }
 
     /// Allocates `bytes` and returns the base address (256-byte aligned).
     pub fn alloc(&mut self, bytes: u64) -> u64 {
+        self.alloc_traced(bytes).0
+    }
+
+    /// [`AddressSpace::alloc`], additionally reporting whether the range
+    /// was reused from the free list.
+    pub fn alloc_traced(&mut self, bytes: u64) -> (u64, bool) {
+        let padded = pad(bytes);
+        self.live += padded;
+        self.peak = self.peak.max(self.live);
+        self.total += padded;
+        if self.reuse {
+            // Best fit: smallest free block that holds the request; ties
+            // go to the lowest base (the list is base-sorted).
+            let mut best: Option<usize> = None;
+            for (i, &(_, size)) in self.free.iter().enumerate() {
+                if size >= padded && best.is_none_or(|b| size < self.free[b].1) {
+                    best = Some(i);
+                }
+            }
+            if let Some(i) = best {
+                let (block_base, block_size) = self.free[i];
+                if block_size > padded {
+                    self.free[i] = (block_base + padded, block_size - padded);
+                } else {
+                    self.free.remove(i);
+                }
+                return (block_base, true);
+            }
+        }
         let base = self.next;
-        let padded = bytes.div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
-        self.next += padded.max(ALLOC_ALIGN);
-        base
+        self.next += padded;
+        (base, false)
     }
 
     /// Allocates room for `elems` 4-byte elements.
@@ -35,9 +112,49 @@ impl AddressSpace {
         self.alloc(elems * 4)
     }
 
-    /// Total bytes allocated so far.
+    /// Returns a previously allocated range to the allocator. In reuse
+    /// mode the range becomes available for later allocations; in bump
+    /// mode only the live-byte accounting changes.
+    pub fn release(&mut self, base: u64, bytes: u64) {
+        let padded = pad(bytes);
+        self.live = self.live.saturating_sub(padded);
+        if !self.reuse {
+            return;
+        }
+        // Insert sorted by base, then coalesce with both neighbours.
+        let i = self.free.partition_point(|&(b, _)| b < base);
+        self.free.insert(i, (base, padded));
+        if i + 1 < self.free.len() && self.free[i].0 + self.free[i].1 == self.free[i + 1].0 {
+            self.free[i].1 += self.free[i + 1].1;
+            self.free.remove(i + 1);
+        }
+        if i > 0 && self.free[i - 1].0 + self.free[i - 1].1 == self.free[i].0 {
+            self.free[i - 1].1 += self.free[i].1;
+            self.free.remove(i);
+        }
+    }
+
+    /// Arena extent: bytes between the heap base and the high-water bump
+    /// pointer (the historical "total allocated" of the bump mode).
     pub fn allocated(&self) -> u64 {
-        self.next - 0x7000_0000
+        self.next - self.base
+    }
+
+    /// Currently live (allocated, not yet released) bytes.
+    pub fn live_bytes(&self) -> u64 {
+        self.live
+    }
+
+    /// High-water mark of [`AddressSpace::live_bytes`] — the peak device
+    /// footprint of the allocation schedule.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak
+    }
+
+    /// Sum of every allocation ever made (monotone; unaffected by
+    /// releases).
+    pub fn total_bytes(&self) -> u64 {
+        self.total
     }
 }
 
@@ -84,5 +201,64 @@ mod tests {
         let x = a.alloc_f32(64); // 256 bytes
         let y = a.alloc_f32(1);
         assert_eq!(y - x, 256);
+    }
+
+    #[test]
+    fn bump_mode_accounts_peak_and_never_reuses() {
+        let mut a = AddressSpace::new();
+        let x = a.alloc(256);
+        let _ = a.alloc(256);
+        assert_eq!(a.peak_bytes(), 512);
+        assert_eq!(a.live_bytes(), 512);
+        a.release(x, 256);
+        assert_eq!(a.live_bytes(), 256);
+        assert_eq!(a.peak_bytes(), 512, "peak is a high-water mark");
+        let z = a.alloc(256);
+        assert!(z >= x + 512, "no reuse in bump mode");
+    }
+
+    #[test]
+    fn reuse_mode_recycles_released_ranges() {
+        let mut a = AddressSpace::with_reuse();
+        let x = a.alloc(512);
+        let y = a.alloc(256);
+        a.release(x, 512);
+        let (z, reused) = a.alloc_traced(256);
+        assert!(reused);
+        assert_eq!(z, x, "best fit lands in the freed block");
+        let (w, reused2) = a.alloc_traced(256);
+        assert!(reused2);
+        assert_eq!(w, x + 256, "remainder of the split block");
+        assert_eq!(a.peak_bytes(), 768);
+        assert!(y > x);
+    }
+
+    #[test]
+    fn reuse_mode_coalesces_neighbours() {
+        let mut a = AddressSpace::with_reuse();
+        let x = a.alloc(256);
+        let y = a.alloc(256);
+        let z = a.alloc(256);
+        a.release(x, 256);
+        a.release(z, 256);
+        a.release(y, 256); // merges with both neighbours
+        let (w, reused) = a.alloc_traced(768);
+        assert!(reused, "coalesced block satisfies a large request");
+        assert_eq!(w, x);
+        assert_eq!(a.live_bytes(), 768);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_block() {
+        let mut a = AddressSpace::with_reuse();
+        let big = a.alloc(1024);
+        let gap = a.alloc(256); // prevents coalescing
+        let small = a.alloc(256);
+        a.release(big, 1024);
+        a.release(small, 256);
+        let (z, reused) = a.alloc_traced(256);
+        assert!(reused);
+        assert_eq!(z, small, "picks the tighter fit, not the first block");
+        let _ = gap;
     }
 }

@@ -3,7 +3,7 @@
 //! The original evaluation compares gSuite against PyTorch Geometric and
 //! DGL. Neither Python framework can run here, so each adapter reproduces
 //! the *sources* of their measured overheads (substitution documented in
-//! `DESIGN.md` §2):
+//! `DESIGN.md`):
 //!
 //! * **host initialization** — the dependency chain the paper blames for
 //!   PyG's long end-to-end times (interpreter + torch + CUDA context vs. a
@@ -16,10 +16,17 @@
 //!
 //! The mathematical kernels themselves are identical across frameworks —
 //! as in the paper, where all implementations compute the same inference.
+//!
+//! Since the kernel-dataflow IR refactor, an adapter is a **plan
+//! decorator** ([`decorate`]): it wraps ops of its characteristic kinds
+//! with synthetic copy ops in the wrapper address region, instead of
+//! splicing raw launches into a launch list. [`lower`] dispatches the
+//! model lowering honoring each framework's forced computational model.
 
 use crate::config::{CompModel, FrameworkKind, GnnModel, RunConfig};
-use crate::kernels::{ElementwiseKernel, KernelKind, Launch};
+use crate::kernels::{EwOp, KernelKind};
 use crate::models;
+use crate::plan::{AddrClass, BufClass, OpSpec, Plan};
 use crate::Result;
 use gsuite_graph::Graph;
 use gsuite_tensor::DenseMatrix;
@@ -62,68 +69,82 @@ impl FrameworkKind {
             FrameworkKind::DglLike => Some(CompModel::Spmm),
         }
     }
+
+    /// The op kinds this framework wraps with a synthetic copy launch.
+    fn wrapped_kinds(self) -> &'static [KernelKind] {
+        match self {
+            FrameworkKind::GSuite => &[],
+            FrameworkKind::PygLike => &[KernelKind::IndexSelect, KernelKind::Scatter],
+            FrameworkKind::DglLike => &[KernelKind::Spmm],
+        }
+    }
 }
 
-/// Builds the kernel launch list for `config`, honoring the framework
-/// choice: gSuite runs the bare pipelines, the baselines force their
-/// computational model and interleave wrapper kernels.
+/// Lowers the model plan for `config`, honoring the framework choice's
+/// forced computational model (PyG → MP, DGL → SpMM; DGL reaches SAGE
+/// through its SpMM mean-aggregation variant).
 ///
 /// # Errors
 ///
 /// Propagates [`crate::CoreError::UnsupportedCombination`] (gSuite +
 /// SAGE + SpMM).
-pub fn build_pipeline(graph: &Graph, config: &RunConfig) -> Result<(Vec<Launch>, DenseMatrix)> {
+pub fn lower(graph: &Graph, config: &RunConfig) -> Result<(Plan, DenseMatrix)> {
     let mut effective = config.clone();
     if let Some(comp) = config.framework.forced_comp() {
         effective.comp = comp;
     }
-    let (launches, output) = match (config.framework, effective.model, effective.comp) {
+    match (config.framework, effective.model, effective.comp) {
         // DGL's SAGE: mean-aggregation SpMM variant (not part of the
         // gSuite surface).
         (FrameworkKind::DglLike, GnnModel::Sage, CompModel::Spmm) => {
-            models::build_sage_spmm(graph, &effective)?
+            models::build_sage_spmm(graph, &effective)
         }
-        _ => models::build_model(graph, &effective)?,
-    };
-    let launches = match config.framework {
-        FrameworkKind::GSuite => launches,
-        FrameworkKind::PygLike => {
-            insert_wrappers(launches, &[KernelKind::IndexSelect, KernelKind::Scatter])
-        }
-        FrameworkKind::DglLike => insert_wrappers(launches, &[KernelKind::Spmm]),
-    };
-    Ok((launches, output))
+        _ => models::build_model(graph, &effective),
+    }
 }
 
-/// Inserts a wrapper copy launch after every launch of the given kinds,
-/// sized to the same element count (approximated from the grid).
-fn insert_wrappers(launches: Vec<Launch>, after: &[KernelKind]) -> Vec<Launch> {
-    let mut out = Vec::with_capacity(launches.len() * 2);
-    // Wrapper buffers live in their own address range so they never alias
-    // pipeline buffers.
-    let mut wrapper_base = 0xF_0000_0000u64;
-    for launch in launches {
-        let add_wrapper = after.contains(&launch.kind);
-        let grid = launch.workload.grid();
-        out.push(launch);
-        if add_wrapper {
+/// Decorates a plan with the framework's wrapper ops: after every op of
+/// the framework's characteristic kinds, a copy op over synthetic
+/// buffers in the wrapper address region, sized to the wrapped op's grid
+/// (approximating the dtype/layout fixups PyG and DGL launch).
+///
+/// Runs *after* optimization: a baseline wraps the kernels it actually
+/// dispatches, so an O2 plan with fewer ops also carries fewer wrappers.
+pub fn decorate(plan: &mut Plan, framework: FrameworkKind) {
+    let after = framework.wrapped_kinds();
+    if after.is_empty() {
+        return;
+    }
+    let ops = std::mem::take(&mut plan.ops);
+    let mut decorated = Vec::with_capacity(ops.len() * 2);
+    for op in ops {
+        let grid = after.contains(&op.kind).then(|| op.grid());
+        decorated.push(op);
+        if let Some(grid) = grid {
             let elems = grid.ctas * grid.warps_per_cta as u64 * 32;
-            let src = wrapper_base;
-            wrapper_base += elems * 4 + 256;
-            let dst = wrapper_base;
-            wrapper_base += elems * 4 + 256;
-            out.push(Launch::new(
-                KernelKind::Elementwise,
-                ElementwiseKernel::copy(src, dst, elems),
-            ));
+            let src = plan.add_buf("wrap.src", elems, BufClass::Dense, AddrClass::Wrapper, None);
+            let dst = plan.add_buf("wrap.dst", elems, BufClass::Dense, AddrClass::Wrapper, None);
+            decorated.push(crate::plan::PlanOp {
+                kind: KernelKind::Elementwise,
+                spec: OpSpec::Elementwise {
+                    op: EwOp::Copy,
+                    elems,
+                    feat: 1,
+                    a: src,
+                    b: None,
+                    s: None,
+                    out: dst,
+                },
+            });
         }
     }
-    out
+    plan.ops = decorated;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::PipelineRun;
     use gsuite_graph::datasets::Dataset;
 
     fn config(framework: FrameworkKind, model: GnnModel) -> RunConfig {
@@ -152,42 +173,50 @@ mod tests {
     fn pyg_forces_mp_and_adds_wrappers() {
         let cfg = config(FrameworkKind::PygLike, GnnModel::Gcn);
         let graph = cfg.load_graph();
-        let (launches, _) = build_pipeline(&graph, &cfg).unwrap();
-        let wrappers = launches
+        let run = PipelineRun::build(&graph, &cfg).unwrap();
+        let wrappers = run
+            .launches
             .iter()
             .filter(|l| l.kind == KernelKind::Elementwise)
             .count();
         assert!(wrappers >= 2, "copies after indexSelect and scatter");
-        assert!(launches.iter().any(|l| l.kind == KernelKind::IndexSelect));
-        assert!(!launches.iter().any(|l| l.kind == KernelKind::Spmm));
+        assert!(run
+            .launches
+            .iter()
+            .any(|l| l.kind == KernelKind::IndexSelect));
+        assert!(!run.launches.iter().any(|l| l.kind == KernelKind::Spmm));
     }
 
     #[test]
     fn dgl_forces_spmm() {
         let cfg = config(FrameworkKind::DglLike, GnnModel::Gcn);
         let graph = cfg.load_graph();
-        let (launches, _) = build_pipeline(&graph, &cfg).unwrap();
-        assert!(launches.iter().any(|l| l.kind == KernelKind::Spmm));
-        assert!(!launches.iter().any(|l| l.kind == KernelKind::IndexSelect));
+        let run = PipelineRun::build(&graph, &cfg).unwrap();
+        assert!(run.launches.iter().any(|l| l.kind == KernelKind::Spmm));
+        assert!(!run
+            .launches
+            .iter()
+            .any(|l| l.kind == KernelKind::IndexSelect));
     }
 
     #[test]
     fn dgl_runs_sage_via_spmm_variant() {
         let cfg = config(FrameworkKind::DglLike, GnnModel::Sage);
         let graph = cfg.load_graph();
-        let (launches, out) = build_pipeline(&graph, &cfg).unwrap();
-        assert!(launches.iter().any(|l| l.kind == KernelKind::Spmm));
-        assert_eq!(out.rows(), graph.num_nodes());
+        let run = PipelineRun::build(&graph, &cfg).unwrap();
+        assert!(run.launches.iter().any(|l| l.kind == KernelKind::Spmm));
+        assert_eq!(run.output.rows(), graph.num_nodes());
     }
 
     #[test]
     fn gsuite_adds_no_wrappers() {
         let cfg = config(FrameworkKind::GSuite, GnnModel::Gin);
         let graph = cfg.load_graph();
-        let (launches, _) = build_pipeline(&graph, &cfg).unwrap();
+        let run = PipelineRun::build(&graph, &cfg).unwrap();
         // GIN-MP has exactly 2 legitimate elementwise launches per layer
         // (combine + MLP ReLU); no extras.
-        let ew = launches
+        let ew = run
+            .launches
             .iter()
             .filter(|l| l.kind == KernelKind::Elementwise)
             .count();
@@ -199,9 +228,23 @@ mod tests {
         // Baselines add overhead, never change results.
         let base = config(FrameworkKind::GSuite, GnnModel::Gcn);
         let graph = base.load_graph();
-        let (_, gsuite_out) = build_pipeline(&graph, &base).unwrap();
-        let (_, pyg_out) =
-            build_pipeline(&graph, &config(FrameworkKind::PygLike, GnnModel::Gcn)).unwrap();
+        let gsuite_out = PipelineRun::build(&graph, &base).unwrap().output;
+        let pyg_out = PipelineRun::build(&graph, &config(FrameworkKind::PygLike, GnnModel::Gcn))
+            .unwrap()
+            .output;
         assert!(gsuite_out.approx_eq(&pyg_out, 1e-4));
+    }
+
+    #[test]
+    fn wrapper_buffers_live_in_their_own_region() {
+        let cfg = config(FrameworkKind::PygLike, GnnModel::Gcn);
+        let graph = cfg.load_graph();
+        let run = PipelineRun::build(&graph, &cfg).unwrap();
+        use crate::plan::AddrClass;
+        assert!(run
+            .plan
+            .bufs()
+            .iter()
+            .any(|b| b.space == AddrClass::Wrapper));
     }
 }

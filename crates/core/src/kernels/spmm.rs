@@ -44,7 +44,7 @@ pub struct SpmmKernel {
 }
 
 impl SpmmKernel {
-    /// Builds the kernel, pre-splitting rows into [`SPMM_CHUNK`]-entry
+    /// Builds the kernel, pre-splitting rows into `SPMM_CHUNK`-entry
     /// chunks.
     #[allow(clippy::too_many_arguments)]
     pub fn new(

@@ -19,9 +19,15 @@
 //!   core kernels under both computational models (message passing and
 //!   sparse matrix multiplication; GraphSAGE is MP-only in the gSuite
 //!   surface, matching the paper).
-//! * **Pipelines** ([`pipeline`]) — an ordered list of kernel launches plus
-//!   the functional result, with profiling over any
-//!   [`gsuite_profile::Profiler`] backend — serially
+//! * **Plan IR** ([`plan`]) — models lower to an optimizable kernel
+//!   dataflow ([`Plan`]): typed logical buffers, a pass pipeline
+//!   (elementwise fusion, hoist/CSE of layer-invariant subgraphs,
+//!   dead-buffer elimination) and a scheduler that assigns device
+//!   addresses (byte-identical to the historical layout at
+//!   [`OptLevel::O0`]; liveness-planned with range reuse at O2).
+//! * **Pipelines** ([`pipeline`]) — lower → optimize → schedule into an
+//!   ordered list of kernel launches plus the functional result, with
+//!   profiling over any [`gsuite_profile::Profiler`] backend — serially
 //!   ([`pipeline::PipelineRun::profile`]) or fanned across CPU cores with
 //!   bit-identical results ([`pipeline::PipelineRun::profile_par`]).
 //! * **Configuration** ([`config`]) — the paper's User Interface /
@@ -68,9 +74,11 @@ pub mod frameworks;
 pub mod kernels;
 pub mod models;
 pub mod pipeline;
+pub mod plan;
 
 pub use device::AddressSpace;
 pub use error::CoreError;
+pub use plan::{OptLevel, Plan};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,10 +1,15 @@
-//! The pipeline builder: couples functional math with launch emission.
+//! The pipeline builder: couples functional math with **plan lowering**.
 //!
-//! Every method emits the kernel launch(es) a CUDA implementation of the
-//! same step would make and — when functional math is enabled — computes
-//! the true result with [`gsuite_tensor::ops`]. Device buffers are fake
-//! addresses from an [`AddressSpace`]; index and sparse-structure arrays
-//! are shared `Arc`s so launches stay cheap to clone.
+//! Every method records the kernel op(s) a CUDA implementation of the
+//! same step would launch — as [`crate::plan::PlanOp`]s over logical
+//! [`crate::plan::BufId`] buffers — and, when functional math is enabled,
+//! computes the true result with [`gsuite_tensor::ops`]. Device addresses
+//! are *not* assigned here: the plan's scheduler
+//! ([`crate::plan::Plan::schedule`]) does that after the optimization
+//! passes have run, which is what makes fusion, hoisting and memory
+//! planning possible. Buffers are registered in the exact order the
+//! historical direct-emission builder allocated them, so an O0 schedule
+//! reproduces the pre-IR address layout byte for byte.
 
 use std::sync::Arc;
 
@@ -12,19 +17,16 @@ use gsuite_graph::Graph;
 use gsuite_tensor::ops::{self, Reduce};
 use gsuite_tensor::{CsrMatrix, DenseMatrix};
 
-use crate::device::AddressSpace;
-use crate::kernels::{
-    ElementwiseKernel, GcnEdgeScale, IndexSelectKernel, KernelKind, Launch, ScatterKernel,
-    SgemmKernel, SpgemmKernel, SpmmKernel,
-};
+use crate::kernels::{EwOp, KernelKind, SgemmKernel};
+use crate::plan::{AddrClass, BufClass, BufId, Fnv, OpSpec, Plan, ScaleSpec};
 use crate::Result;
 
-/// A dense device tensor: an address plus shape, with the host-side value
-/// present only in functional mode.
+/// A dense device tensor: a logical buffer plus shape, with the host-side
+/// value present only in functional mode.
 #[derive(Debug, Clone)]
 pub struct DTensor {
-    /// Device base address.
-    pub base: u64,
+    /// Logical plan buffer.
+    pub buf: BufId,
     /// Rows.
     pub rows: usize,
     /// Columns.
@@ -43,8 +45,8 @@ impl DTensor {
 /// An index (endpoint) array on the device.
 #[derive(Debug, Clone)]
 pub struct DIndex {
-    /// Device base address.
-    pub base: u64,
+    /// Logical plan buffer.
+    pub buf: BufId,
     /// The endpoint values.
     pub data: Arc<Vec<u32>>,
 }
@@ -65,8 +67,8 @@ pub struct DSparse {
     pub values: Option<Arc<Vec<f32>>>,
     /// Whether device kernels load the value array.
     pub has_values: bool,
-    /// Base addresses: row pointer, column indices, values.
-    pub bases: (u64, u64, u64),
+    /// Logical buffers: row pointer, column indices, values.
+    pub bufs: (BufId, BufId, BufId),
 }
 
 impl DSparse {
@@ -92,12 +94,17 @@ impl DSparse {
     }
 }
 
-/// Pipeline builder over one graph.
+/// Pipeline builder over one graph: lowers model steps into a
+/// [`Plan`] while (optionally) computing functional results.
 pub struct Builder<'g> {
     graph: &'g Graph,
     functional: bool,
-    space: AddressSpace,
-    launches: Vec<Launch>,
+    /// Whether uploads get content identities/fingerprints. Only the O2
+    /// hoist pass consumes them, and computing them is O(E)/O(nnz) per
+    /// upload — pure waste on the default O0 hot path, so lowering for
+    /// O0 turns it off ([`Builder::track_uploads`]).
+    track_content: bool,
+    plan: Plan,
     output: Option<DTensor>,
     /// Transposed, deduplicated adjacency (rows = destinations) — the
     /// canonical aggregation structure both computational models share.
@@ -105,8 +112,8 @@ pub struct Builder<'g> {
     /// Cached edge endpoint arrays (without and with self-loops).
     edges_raw: Option<(DIndex, DIndex)>,
     edges_loop: Option<(DIndex, DIndex)>,
-    /// Cached degree vector (`in-degree + 1`) and its device address.
-    deg: Option<(u64, Arc<Vec<f32>>)>,
+    /// Cached degree vector (`in-degree + 1`) and its device buffer.
+    deg: Option<(BufId, Arc<Vec<f32>>)>,
 }
 
 impl<'g> Builder<'g> {
@@ -115,14 +122,22 @@ impl<'g> Builder<'g> {
         Builder {
             graph,
             functional,
-            space: AddressSpace::new(),
-            launches: Vec::new(),
+            track_content: true,
+            plan: Plan::new(),
             output: None,
             adj_t: graph.adjacency_csr_transposed(),
             edges_raw: None,
             edges_loop: None,
             deg: None,
         }
+    }
+
+    /// Enables/disables upload content identities (default on). The
+    /// identities feed only the O2 hoist/CSE pass; lowering destined for
+    /// O0 disables them to keep the hot path free of O(E) hashing.
+    pub fn track_uploads(mut self, track: bool) -> Self {
+        self.track_content = track;
+        self
     }
 
     /// Whether functional math is enabled.
@@ -135,19 +150,27 @@ impl<'g> Builder<'g> {
         self.graph
     }
 
-    /// Number of launches emitted so far.
+    /// Number of ops lowered so far (one kernel launch each).
     pub fn launch_count(&self) -> usize {
-        self.launches.len()
+        self.plan.launch_count()
     }
 
-    /// The input feature tensor `X` (allocated on first call).
+    /// Registers a device buffer.
+    fn buf(&mut self, name: impl Into<String>, elems: u64, class: BufClass) -> BufId {
+        self.plan
+            .add_buf(name, elems, class, AddrClass::Device, None)
+    }
+
+    /// The input feature tensor `X` (registered on first call).
     pub fn input_features(&mut self) -> DTensor {
         let g = self.graph;
-        let base = self
-            .space
-            .alloc_f32(g.num_nodes() as u64 * g.feature_dim() as u64);
+        let buf = self.buf(
+            "X",
+            g.num_nodes() as u64 * g.feature_dim() as u64,
+            BufClass::Dense,
+        );
         DTensor {
-            base,
+            buf,
             rows: g.num_nodes(),
             cols: g.feature_dim(),
             data: self.functional.then(|| g.features().clone()),
@@ -156,39 +179,62 @@ impl<'g> Builder<'g> {
 
     /// Marks `out` as the pipeline's final output.
     pub fn set_output(&mut self, out: DTensor) {
+        self.plan.output = Some(out.buf);
         self.output = Some(out);
     }
 
-    /// Consumes the builder, returning launches and the output matrix
-    /// (zeros of the right shape when functional math was off).
-    pub fn finish(self) -> (Vec<Launch>, DenseMatrix) {
+    /// Consumes the builder, returning the lowered plan and the output
+    /// matrix (zeros of the right shape when functional math was off).
+    pub fn finish(self) -> (Plan, DenseMatrix) {
         let output = match self.output {
             Some(DTensor { data: Some(m), .. }) => m,
             Some(DTensor { rows, cols, .. }) => DenseMatrix::zeros(rows, cols),
             None => DenseMatrix::zeros(0, 0),
         };
-        (self.launches, output)
+        (self.plan, output)
     }
 
     // ----- graph-derived operands -------------------------------------
+
+    fn endpoint_pair(&mut self, with_loops: bool) -> (DIndex, DIndex) {
+        let tag = if with_loops { "edgesL" } else { "edges" };
+        let (src, dst) = endpoints_of(&self.adj_t, with_loops);
+        let sig = self.track_content.then(|| {
+            let mut h = Fnv::new();
+            h.str(tag).u32s(&src).u32s(&dst);
+            h.finish()
+        });
+        let src_buf = self.plan.add_buf(
+            format!("{tag}.src"),
+            src.len() as u64,
+            BufClass::Index,
+            AddrClass::Device,
+            sig.map(|s| crate::plan::mix(s, 1)),
+        );
+        let dst_buf = self.plan.add_buf(
+            format!("{tag}.dst"),
+            dst.len() as u64,
+            BufClass::Index,
+            AddrClass::Device,
+            sig.map(|s| crate::plan::mix(s, 2)),
+        );
+        (
+            DIndex {
+                buf: src_buf,
+                data: Arc::new(src),
+            },
+            DIndex {
+                buf: dst_buf,
+                data: Arc::new(dst),
+            },
+        )
+    }
 
     /// Deduplicated `(src, dst)` endpoint arrays, sorted by destination —
     /// the canonical MP edge index.
     pub fn edges(&mut self) -> (DIndex, DIndex) {
         if self.edges_raw.is_none() {
-            let (src, dst) = endpoints_of(&self.adj_t, false);
-            let src_base = self.space.alloc_f32(src.len() as u64);
-            let dst_base = self.space.alloc_f32(dst.len() as u64);
-            self.edges_raw = Some((
-                DIndex {
-                    base: src_base,
-                    data: Arc::new(src),
-                },
-                DIndex {
-                    base: dst_base,
-                    data: Arc::new(dst),
-                },
-            ));
+            self.edges_raw = Some(self.endpoint_pair(false));
         }
         self.edges_raw.clone().expect("just cached")
     }
@@ -196,68 +242,65 @@ impl<'g> Builder<'g> {
     /// Endpoint arrays with self-loops appended (`Â`'s edge set).
     pub fn edges_with_loops(&mut self) -> (DIndex, DIndex) {
         if self.edges_loop.is_none() {
-            let (src, dst) = endpoints_of(&self.adj_t, true);
-            let src_base = self.space.alloc_f32(src.len() as u64);
-            let dst_base = self.space.alloc_f32(dst.len() as u64);
-            self.edges_loop = Some((
-                DIndex {
-                    base: src_base,
-                    data: Arc::new(src),
-                },
-                DIndex {
-                    base: dst_base,
-                    data: Arc::new(dst),
-                },
-            ));
+            self.edges_loop = Some(self.endpoint_pair(true));
         }
         self.edges_loop.clone().expect("just cached")
     }
 
     /// The `deg = in-degree + 1` vector (`Â`'s row sums), emitting the
-    /// degree-count scatter launch the GCN pipeline starts with (Fig. 2).
+    /// degree-count scatter op the GCN pipeline starts with (Fig. 2).
     ///
-    /// The launch is emitted on *every* call: like PyG's `cached=False`
+    /// The op is lowered on *every* call: like PyG's `cached=False`
     /// default, frameworks recompute the normalization each layer, and the
-    /// paper's kernel-share figures include that recurring scatter. The
-    /// host-side vector itself is cached.
-    pub fn degree_vector(&mut self) -> (u64, Arc<Vec<f32>>) {
+    /// paper's kernel-share figures include that recurring scatter (the O2
+    /// hoist pass recognizes the repeats as layer-invariant and keeps only
+    /// the first). The host-side vector itself is cached.
+    pub fn degree_vector(&mut self) -> (BufId, Arc<Vec<f32>>) {
         let n = self.graph.num_nodes();
         let (_, dst_loop) = self.edges_with_loops();
         let entry = match &self.deg {
             Some(cached) => cached.clone(),
             None => {
-                let deg_base = self.space.alloc_f32(n as u64);
+                let deg_buf = self.buf("deg", n as u64, BufClass::Dense);
                 let mut deg = vec![1.0f32; n];
                 for (r, d) in deg.iter_mut().enumerate() {
                     *d += self.adj_t.row_nnz(r) as f32;
                 }
-                let entry = (deg_base, Arc::new(deg));
+                let entry = (deg_buf, Arc::new(deg));
                 self.deg = Some(entry.clone());
                 entry
             }
         };
-        self.launches.push(Launch::new(
+        self.plan.push(
             KernelKind::Scatter,
-            ScatterKernel::degrees(dst_loop.data.clone(), dst_loop.base, entry.0, n),
-        ));
+            OpSpec::Scatter {
+                index: dst_loop.data.clone(),
+                feat: 1,
+                index_buf: dst_loop.buf,
+                input: None,
+                out: entry.0,
+                out_rows: n,
+                reduce: Reduce::Sum,
+            },
+        );
         entry
     }
 
     /// The unit-valued transposed adjacency `Â^T` (optionally with
     /// self-loops) as a device CSR.
     pub fn adj_t_sparse(&mut self, with_loops: bool) -> DSparse {
-        let csr = if with_loops {
-            add_diag(&self.adj_t, 1.0)
+        let (csr, tag) = if with_loops {
+            (add_diag(&self.adj_t, 1.0), "adjT+I")
         } else {
-            self.adj_t.clone()
+            (self.adj_t.clone(), "adjT")
         };
-        self.upload_sparse(&csr, false)
+        self.upload_sparse(&csr, false, tag)
     }
 
     /// GIN's aggregation matrix `Â^T + (1 + eps)·I` with numeric values.
     pub fn gin_matrix(&mut self, eps: f32) -> DSparse {
         let csr = add_diag(&self.adj_t, 1.0 + eps);
-        self.upload_sparse(&csr, true)
+        self.upload_sparse(&csr, true, &format!("gin[{:08x}]", eps.to_bits()))
     }
 
     /// GraphSAGE's mean matrix: row-normalized `Â^T` with self-loops.
@@ -280,7 +323,7 @@ impl<'g> Builder<'g> {
             scaled,
         )
         .expect("same structure");
-        self.upload_sparse(&csr, true)
+        self.upload_sparse(&csr, true, "sageMean")
     }
 
     /// The diagonal `D^-1/2` of `Â` as a device CSR (GCN's normalizer).
@@ -291,13 +334,54 @@ impl<'g> Builder<'g> {
             *d = 1.0 / ((self.adj_t.row_nnz(r) as f32 + 1.0).sqrt());
         }
         let csr = CsrMatrix::from_diagonal(&diag);
-        self.upload_sparse(&csr, true)
+        self.upload_sparse(&csr, true, "Dinv2")
     }
 
-    fn upload_sparse(&mut self, csr: &CsrMatrix, has_values: bool) -> DSparse {
-        let rp_base = self.space.alloc_f32(csr.row_ptr().len() as u64);
-        let ci_base = self.space.alloc_f32(csr.nnz() as u64);
-        let val_base = self.space.alloc_f32(csr.nnz() as u64);
+    /// Uploads a CSR: three buffers (row pointer, column indices, values)
+    /// with a shared semantic identity derived from `tag` and the
+    /// structure, so re-uploads of the same matrix are recognizable as
+    /// layer-invariant by the hoist pass.
+    fn upload_sparse(&mut self, csr: &CsrMatrix, has_values: bool, tag: &str) -> DSparse {
+        let sig = self.track_content.then(|| {
+            let mut h = Fnv::new();
+            h.str(tag)
+                .u64(csr.rows() as u64)
+                .u64(csr.cols() as u64)
+                .u64(has_values as u64)
+                .u32s(csr.row_ptr())
+                .u32s(csr.col_indices());
+            h.finish()
+        });
+        let rp = self.plan.add_buf(
+            format!("{tag}.rp"),
+            csr.row_ptr().len() as u64,
+            BufClass::Sparse,
+            AddrClass::Device,
+            sig.map(|s| crate::plan::mix(s, 1)),
+        );
+        let ci = self.plan.add_buf(
+            format!("{tag}.ci"),
+            csr.nnz() as u64,
+            BufClass::Sparse,
+            AddrClass::Device,
+            sig.map(|s| crate::plan::mix(s, 2)),
+        );
+        let val = self.plan.add_buf(
+            format!("{tag}.val"),
+            csr.nnz() as u64,
+            BufClass::Sparse,
+            AddrClass::Device,
+            sig.map(|s| crate::plan::mix(s, 3)),
+        );
+        // The content identity above is tag+structure; fingerprint the
+        // actual stored values too (available in both modes), so the
+        // hoist pass can verify — not just assume — that content-equal
+        // value buffers hold the same bytes.
+        if self.track_content {
+            let mut vh = Fnv::new();
+            vh.f32s(csr.values());
+            self.plan.set_content_check(val, vh.finish());
+        }
         DSparse {
             rows: csr.rows(),
             cols: csr.cols(),
@@ -305,7 +389,7 @@ impl<'g> Builder<'g> {
             col_idx: Arc::new(csr.col_indices().to_vec()),
             values: self.functional.then(|| Arc::new(csr.values().to_vec())),
             has_values,
-            bases: (rp_base, ci_base, val_base),
+            bufs: (rp, ci, val),
         }
     }
 
@@ -314,13 +398,26 @@ impl<'g> Builder<'g> {
     /// `sgemm`: `out = x · w` with optional fused ReLU.
     pub fn linear(&mut self, x: &DTensor, w: &DenseMatrix, relu: bool) -> Result<DTensor> {
         let (k, n) = w.shape();
-        let w_base = self.space.alloc_f32((k * n) as u64);
-        let out_base = self.space.alloc_f32(x.rows as u64 * n as u64);
-        let kernel = SgemmKernel::new(x.rows, k, n, x.base, w_base, out_base).with_relu(relu);
-        let needs_separate_relu = relu && kernel.is_split_k();
-        self.launches.push(Launch::new(KernelKind::Sgemm, kernel));
+        let w_buf = self.buf("W", (k * n) as u64, BufClass::Weight);
+        let out_buf = self.buf("sgemm.out", x.rows as u64 * n as u64, BufClass::Dense);
+        // Mirror the kernel's split-K policy: a split-K sgemm accumulates
+        // with atomics and cannot fuse the activation, so the historical
+        // emission keeps `relu` on the kernel and adds a separate launch.
+        let needs_separate_relu = relu && SgemmKernel::new(x.rows, k, n, 0, 0, 0).is_split_k();
+        self.plan.push(
+            KernelKind::Sgemm,
+            OpSpec::Sgemm {
+                m: x.rows,
+                k,
+                n,
+                relu,
+                a: x.buf,
+                b: w_buf,
+                c: out_buf,
+            },
+        );
         let mut out = DTensor {
-            base: out_base,
+            buf: out_buf,
             rows: x.rows,
             cols: n,
             data: match &x.data {
@@ -346,25 +443,25 @@ impl<'g> Builder<'g> {
         &mut self,
         x: &DTensor,
         index: &DIndex,
-        gcn_scale: Option<(&DIndex, u64, &Arc<Vec<f32>>)>,
+        gcn_scale: Option<(&DIndex, BufId, &Arc<Vec<f32>>)>,
     ) -> Result<DTensor> {
         let e = index.data.len();
-        let out_base = self.space.alloc_f32(e as u64 * x.cols as u64);
-        let scale = gcn_scale.map(|(dst, deg_base, _)| GcnEdgeScale {
+        let out_buf = self.buf("gather.out", e as u64 * x.cols as u64, BufClass::Dense);
+        let scale = gcn_scale.map(|(dst, deg_buf, _)| ScaleSpec {
             dst: dst.data.clone(),
-            deg_base,
+            deg: deg_buf,
         });
-        self.launches.push(Launch::new(
+        self.plan.push(
             KernelKind::IndexSelect,
-            IndexSelectKernel {
+            OpSpec::IndexSelect {
                 index: index.data.clone(),
-                index_base: index.base,
-                src_base: x.base,
                 feat: x.cols,
-                out_base,
+                index_buf: index.buf,
+                src: x.buf,
+                out: out_buf,
                 scale,
             },
-        ));
+        );
         let data = match &x.data {
             Some(xd) => {
                 let mut msgs = ops::gather_rows(xd, &index.data)?;
@@ -382,7 +479,7 @@ impl<'g> Builder<'g> {
             None => None,
         };
         Ok(DTensor {
-            base: out_base,
+            buf: out_buf,
             rows: e,
             cols: x.cols,
             data,
@@ -397,25 +494,29 @@ impl<'g> Builder<'g> {
         out_rows: usize,
         reduce: Reduce,
     ) -> Result<DTensor> {
-        let out_base = self.space.alloc_f32(out_rows as u64 * msgs.cols as u64);
-        self.launches.push(Launch::new(
+        let out_buf = self.buf(
+            "scatter.out",
+            out_rows as u64 * msgs.cols as u64,
+            BufClass::Dense,
+        );
+        self.plan.push(
             KernelKind::Scatter,
-            ScatterKernel {
+            OpSpec::Scatter {
                 index: index.data.clone(),
-                index_base: index.base,
-                in_base: Some(msgs.base),
                 feat: msgs.cols,
-                out_base,
+                index_buf: index.buf,
+                input: Some(msgs.buf),
+                out: out_buf,
                 out_rows,
                 reduce,
             },
-        ));
+        );
         let data = match &msgs.data {
             Some(md) => Some(ops::scatter_rows(md, &index.data, out_rows, reduce)?),
             None => None,
         };
         Ok(DTensor {
-            base: out_base,
+            buf: out_buf,
             rows: out_rows,
             cols: msgs.cols,
             data,
@@ -424,27 +525,27 @@ impl<'g> Builder<'g> {
 
     /// `SpMM`: `out = a · x`.
     pub fn spmm(&mut self, a: &DSparse, x: &DTensor) -> Result<DTensor> {
-        let out_base = self.space.alloc_f32(a.rows as u64 * x.cols as u64);
-        self.launches.push(Launch::new(
+        let out_buf = self.buf("spmm.out", a.rows as u64 * x.cols as u64, BufClass::Dense);
+        self.plan.push(
             KernelKind::Spmm,
-            SpmmKernel::new(
-                a.row_ptr.clone(),
-                a.col_idx.clone(),
-                a.has_values,
-                a.bases.0,
-                a.bases.1,
-                a.bases.2,
-                x.base,
-                out_base,
-                x.cols,
-            ),
-        ));
+            OpSpec::Spmm {
+                row_ptr: a.row_ptr.clone(),
+                col_idx: a.col_idx.clone(),
+                has_values: a.has_values,
+                rp: a.bufs.0,
+                ci: a.bufs.1,
+                val: a.bufs.2,
+                x: x.buf,
+                out: out_buf,
+                feat: x.cols,
+            },
+        );
         let data = match &x.data {
             Some(xd) => Some(ops::spmm(&a.to_csr(), xd)?),
             None => None,
         };
         Ok(DTensor {
-            base: out_base,
+            buf: out_buf,
             rows: a.rows,
             cols: x.cols,
             data,
@@ -456,20 +557,21 @@ impl<'g> Builder<'g> {
     /// general and general × diagonal products preserve the general
     /// operand's pattern).
     pub fn spgemm(&mut self, a: &DSparse, b: &DSparse, pattern_like: &DSparse) -> Result<DSparse> {
-        let out_ci = self.space.alloc_f32(pattern_like.nnz() as u64);
-        let out_val = self.space.alloc_f32(pattern_like.nnz() as u64);
-        self.launches.push(Launch::new(
+        let out_ci = self.buf("spgemm.ci", pattern_like.nnz() as u64, BufClass::Sparse);
+        let out_val = self.buf("spgemm.val", pattern_like.nnz() as u64, BufClass::Sparse);
+        self.plan.push(
             KernelKind::Spgemm,
-            SpgemmKernel::new(
-                a.row_ptr.clone(),
-                a.col_idx.clone(),
-                b.row_ptr.clone(),
-                pattern_like.row_ptr.clone(),
-                a.bases,
-                b.bases,
-                (out_ci, out_val),
-            ),
-        ));
+            OpSpec::Spgemm {
+                a_row_ptr: a.row_ptr.clone(),
+                a_col_idx: a.col_idx.clone(),
+                b_row_ptr: b.row_ptr.clone(),
+                out_row_ptr: pattern_like.row_ptr.clone(),
+                a: a.bufs,
+                b: b.bufs,
+                out_ci,
+                out_val,
+            },
+        );
         let values = if self.functional {
             let product = ops::spgemm(&a.to_csr(), &b.to_csr())?;
             debug_assert_eq!(product.col_indices(), pattern_like.col_idx.as_slice());
@@ -477,7 +579,20 @@ impl<'g> Builder<'g> {
         } else {
             None
         };
-        let rp_base = self.space.alloc_f32(pattern_like.row_ptr.len() as u64);
+        // The output row pointer is the pattern's, copied host-side — a
+        // content-tagged upload so re-built chains hoist cleanly.
+        let rp_sig = self.track_content.then(|| {
+            let mut h = Fnv::new();
+            h.str("spgemm.rp").u32s(&pattern_like.row_ptr);
+            h.finish()
+        });
+        let rp = self.plan.add_buf(
+            "spgemm.rp",
+            pattern_like.row_ptr.len() as u64,
+            BufClass::Sparse,
+            AddrClass::Device,
+            rp_sig,
+        );
         Ok(DSparse {
             rows: a.rows,
             cols: b.cols,
@@ -485,25 +600,34 @@ impl<'g> Builder<'g> {
             col_idx: pattern_like.col_idx.clone(),
             values,
             has_values: true,
-            bases: (rp_base, out_ci, out_val),
+            bufs: (rp, out_ci, out_val),
         })
     }
 
     // ----- elementwise glue --------------------------------------------
 
-    /// ReLU over a tensor (a separate elementwise launch).
+    /// ReLU over a tensor (a separate elementwise op; the O2 fusion pass
+    /// folds it into a producing `sgemm` where possible).
     pub fn relu(&mut self, x: &DTensor) -> DTensor {
         self.relu_inner(x.clone())
     }
 
     fn relu_inner(&mut self, x: DTensor) -> DTensor {
-        let out_base = self.space.alloc_f32(x.elems());
-        self.launches.push(Launch::new(
+        let out_buf = self.buf("relu.out", x.elems(), BufClass::Dense);
+        self.plan.push(
             KernelKind::Elementwise,
-            ElementwiseKernel::relu(x.base, out_base, x.elems()),
-        ));
+            OpSpec::Elementwise {
+                op: EwOp::Relu,
+                elems: x.elems(),
+                feat: 1,
+                a: x.buf,
+                b: None,
+                s: None,
+                out: out_buf,
+            },
+        );
         DTensor {
-            base: out_base,
+            buf: out_buf,
             rows: x.rows,
             cols: x.cols,
             data: x.data.map(|d| d.relu()),
@@ -512,17 +636,25 @@ impl<'g> Builder<'g> {
 
     /// `out = alpha·a + b` (GIN combine, SAGE merge).
     pub fn axpy(&mut self, alpha: f32, a: &DTensor, b: &DTensor) -> Result<DTensor> {
-        let out_base = self.space.alloc_f32(a.elems());
-        self.launches.push(Launch::new(
+        let out_buf = self.buf("axpy.out", a.elems(), BufClass::Dense);
+        self.plan.push(
             KernelKind::Elementwise,
-            ElementwiseKernel::axpy(a.base, b.base, out_base, a.elems()),
-        ));
+            OpSpec::Elementwise {
+                op: EwOp::Axpy,
+                elems: a.elems(),
+                feat: 1,
+                a: a.buf,
+                b: Some(b.buf),
+                s: None,
+                out: out_buf,
+            },
+        );
         let data = match (&a.data, &b.data) {
             (Some(ad), Some(bd)) => Some(ad.scale(alpha).add(bd)?),
             _ => None,
         };
         Ok(DTensor {
-            base: out_base,
+            buf: out_buf,
             rows: a.rows,
             cols: a.cols,
             data,
@@ -530,34 +662,49 @@ impl<'g> Builder<'g> {
     }
 
     /// `out[v][:] = x[v][:] * s[v]` (mean-divide).
-    pub fn row_scale(&mut self, x: &DTensor, s: &Arc<Vec<f32>>, s_base: u64) -> DTensor {
-        let out_base = self.space.alloc_f32(x.elems());
-        self.launches.push(Launch::new(
+    pub fn row_scale(&mut self, x: &DTensor, s: &Arc<Vec<f32>>, s_buf: BufId) -> DTensor {
+        let out_buf = self.buf("rowscale.out", x.elems(), BufClass::Dense);
+        self.plan.push(
             KernelKind::Elementwise,
-            ElementwiseKernel::row_scale(x.base, s_base, out_base, x.elems(), x.cols),
-        ));
+            OpSpec::Elementwise {
+                op: EwOp::RowScale,
+                elems: x.elems(),
+                feat: x.cols,
+                a: x.buf,
+                b: None,
+                s: Some(s_buf),
+                out: out_buf,
+            },
+        );
         let data = x
             .data
             .as_ref()
             .map(|d| DenseMatrix::from_fn(x.rows, x.cols, |r, c| d.get(r, c) * s[r]));
         DTensor {
-            base: out_base,
+            buf: out_buf,
             rows: x.rows,
             cols: x.cols,
             data,
         }
     }
 
-    /// A bare copy launch (framework wrapper overhead; used by the
-    /// PyG-/DGL-like adapters).
+    /// A bare copy op (framework wrapper overhead).
     pub fn wrapper_copy(&mut self, x: &DTensor) -> DTensor {
-        let out_base = self.space.alloc_f32(x.elems());
-        self.launches.push(Launch::new(
+        let out_buf = self.buf("copy.out", x.elems(), BufClass::Dense);
+        self.plan.push(
             KernelKind::Elementwise,
-            ElementwiseKernel::copy(x.base, out_base, x.elems()),
-        ));
+            OpSpec::Elementwise {
+                op: EwOp::Copy,
+                elems: x.elems(),
+                feat: 1,
+                a: x.buf,
+                b: None,
+                s: None,
+                out: out_buf,
+            },
+        );
         DTensor {
-            base: out_base,
+            buf: out_buf,
             rows: x.rows,
             cols: x.cols,
             data: x.data.clone(),
@@ -620,6 +767,7 @@ fn add_diag(m: &CsrMatrix, value: f32) -> CsrMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::OptLevel;
     use gsuite_graph::{EdgeList, Graph};
 
     fn tiny_graph() -> Graph {
@@ -646,7 +794,7 @@ mod tests {
         let (_, deg) = b.degree_vector();
         // in-degrees: 0, 1, 2 (after dedup); +1 self loop each.
         assert_eq!(deg.as_slice(), &[1.0, 2.0, 3.0]);
-        assert_eq!(b.launch_count(), 1, "degree scatter emitted");
+        assert_eq!(b.launch_count(), 1, "degree scatter lowered");
     }
 
     #[test]
@@ -662,7 +810,7 @@ mod tests {
     }
 
     #[test]
-    fn profile_mode_emits_launches_without_data() {
+    fn profile_mode_lowers_ops_without_data() {
         let g = tiny_graph();
         let mut b = Builder::new(&g, false);
         let x = b.input_features();
@@ -723,7 +871,51 @@ mod tests {
         assert!(doubled.data.as_ref().unwrap().approx_eq(&expected, 1e-6));
 
         let halves = Arc::new(vec![0.5f32; 3]);
-        let halved = b.row_scale(&doubled, &halves, 0x9999);
+        let halved = b.row_scale(&doubled, &halves, x.buf);
         assert!(halved.data.unwrap().approx_eq(g.features(), 1e-6));
+    }
+
+    #[test]
+    fn o0_schedule_reproduces_the_historical_address_layout() {
+        // The historical direct-emission builder bump-allocated in method
+        // call order from 0x7000_0000 with 256-byte padding: X first,
+        // then the sgemm's weight and output. The plan's O0 schedule must
+        // reproduce exactly that layout.
+        let g = tiny_graph();
+        let mut b = Builder::new(&g, true);
+        let x = b.input_features(); // 3x4 f32 = 48 B -> 256-padded
+        let w = DenseMatrix::from_fn(4, 2, |r, c| (r + c) as f32);
+        let out = b.linear(&x, &w, false).unwrap();
+        b.set_output(out);
+        let (plan, _) = b.finish();
+        let sched = plan.schedule(OptLevel::O0);
+        assert_eq!(sched.addrs[x.buf.index()], Some(0x7000_0000));
+        assert_eq!(sched.addrs[x.buf.index() + 1], Some(0x7000_0100), "W");
+        assert_eq!(sched.addrs[x.buf.index() + 2], Some(0x7000_0200), "out");
+        assert_eq!(sched.peak_device_bytes, 768);
+    }
+
+    #[test]
+    fn repeated_uploads_share_content_identity() {
+        let g = tiny_graph();
+        let mut b = Builder::new(&g, false);
+        let a1 = b.adj_t_sparse(true);
+        let a2 = b.adj_t_sparse(true);
+        let (plan, _) = b.finish();
+        let bufs = plan.bufs();
+        for (x, y) in [
+            (a1.bufs.0, a2.bufs.0),
+            (a1.bufs.1, a2.bufs.1),
+            (a1.bufs.2, a2.bufs.2),
+        ] {
+            assert_ne!(x, y, "distinct logical buffers");
+            assert_eq!(
+                bufs[x.index()].content,
+                bufs[y.index()].content,
+                "same semantic content"
+            );
+        }
+        let gin = Builder::new(&g, false).gin_matrix(0.0);
+        let _ = gin;
     }
 }

@@ -100,7 +100,7 @@ fn scale_messages(b: &mut Builder<'_>, msgs: &DTensor, alpha: &DTensor) -> Resul
         Some(a) => (0..a.rows()).map(|e| a.get(e, 0)).collect(),
         None => vec![1.0; msgs.rows],
     });
-    let mut out = b.row_scale(msgs, &scales, alpha.base);
+    let mut out = b.row_scale(msgs, &scales, alpha.buf);
     if !b.functional() {
         out.data = None;
     }
@@ -108,8 +108,8 @@ fn scale_messages(b: &mut Builder<'_>, msgs: &DTensor, alpha: &DTensor) -> Resul
 }
 
 /// Host-side reciprocal of a `[n, 1]` column (the softmax divide), with the
-/// device-side base reused from the denominator buffer.
-fn invert_column(b: &Builder<'_>, denom: &DTensor) -> (u64, Arc<Vec<f32>>) {
+/// device-side buffer reused from the denominator.
+fn invert_column(b: &Builder<'_>, denom: &DTensor) -> (crate::plan::BufId, Arc<Vec<f32>>) {
     let inv: Vec<f32> = match &denom.data {
         Some(d) => (0..d.rows())
             .map(|r| {
@@ -124,7 +124,7 @@ fn invert_column(b: &Builder<'_>, denom: &DTensor) -> (u64, Arc<Vec<f32>>) {
         None => vec![1.0; denom.rows],
     };
     let _ = b;
-    (denom.base, Arc::new(inv))
+    (denom.buf, Arc::new(inv))
 }
 
 #[cfg(test)]
@@ -144,12 +144,13 @@ mod tests {
         let g = GraphGenerator::new(20, 60).seed(2).build_graph(6).unwrap();
         let mut b = Builder::new(&g, true);
         build_mp(&mut b, &weights(6, 4, 1)).unwrap();
-        let (launches, out) = b.finish();
+        let (plan, out) = b.finish();
         assert_eq!(out.shape(), (20, 4));
         // Extendability claim: no kernel outside the Table II set + glue.
-        for l in &launches {
+        let kinds = plan.kinds();
+        for k in &kinds {
             assert!(matches!(
-                l.kind,
+                k,
                 KernelKind::Sgemm
                     | KernelKind::IndexSelect
                     | KernelKind::Scatter
@@ -157,10 +158,7 @@ mod tests {
             ));
         }
         // Attention needs both gathers and the softmax scatters.
-        let scatters = launches
-            .iter()
-            .filter(|l| l.kind == KernelKind::Scatter)
-            .count();
+        let scatters = kinds.iter().filter(|&&k| k == KernelKind::Scatter).count();
         assert!(scatters >= 2, "softmax denominator + aggregation");
     }
 

@@ -72,8 +72,8 @@ mod tests {
         let g = GraphGenerator::new(20, 60).seed(1).build_graph(8).unwrap();
         let mut b = Builder::new(&g, true);
         build_mp(&mut b, &weights(8, 4, 1)).unwrap();
-        let (launches, out) = b.finish();
-        let kinds: Vec<KernelKind> = launches.iter().map(|l| l.kind).collect();
+        let (plan, out) = b.finish();
+        let kinds = plan.kinds();
         assert_eq!(
             kinds,
             vec![
@@ -91,8 +91,8 @@ mod tests {
         let g = GraphGenerator::new(20, 60).seed(1).build_graph(8).unwrap();
         let mut b = Builder::new(&g, true);
         build_spmm(&mut b, &weights(8, 4, 1)).unwrap();
-        let (launches, out) = b.finish();
-        let kinds: Vec<KernelKind> = launches.iter().map(|l| l.kind).collect();
+        let (plan, out) = b.finish();
+        let kinds = plan.kinds();
         assert_eq!(
             kinds,
             vec![
@@ -129,8 +129,8 @@ mod tests {
         let g = GraphGenerator::new(12, 30).seed(2).build_graph(4).unwrap();
         let mut b = Builder::new(&g, true);
         build_mp(&mut b, &weights(4, 4, 3)).unwrap();
-        let (launches, _) = b.finish();
+        let (plan, _) = b.finish();
         // 4 kernels per layer + relu between layers (2 of them).
-        assert_eq!(launches.len(), 3 * 4 + 2);
+        assert_eq!(plan.launch_count(), 3 * 4 + 2);
     }
 }

@@ -77,8 +77,8 @@ mod tests {
         let g = GraphGenerator::new(16, 40).seed(4).build_graph(6).unwrap();
         let mut b = Builder::new(&g, true);
         build_mp(&mut b, &weights(6, 4, 1)).unwrap();
-        let (launches, out) = b.finish();
-        let kinds: Vec<KernelKind> = launches.iter().map(|l| l.kind).collect();
+        let (plan, out) = b.finish();
+        let kinds = plan.kinds();
         assert_eq!(
             kinds,
             vec![
@@ -98,8 +98,8 @@ mod tests {
         let g = GraphGenerator::new(16, 40).seed(4).build_graph(6).unwrap();
         let mut b = Builder::new(&g, true);
         build_spmm(&mut b, &weights(6, 4, 1)).unwrap();
-        let (launches, _) = b.finish();
-        let kinds: Vec<KernelKind> = launches.iter().map(|l| l.kind).collect();
+        let (plan, _) = b.finish();
+        let kinds = plan.kinds();
         assert_eq!(
             kinds,
             vec![
@@ -136,7 +136,8 @@ mod tests {
         let dedup_edges = g.adjacency_csr_transposed().nnz() as u64;
         let mut b = Builder::new(&g, false);
         build_mp(&mut b, &weights(12, 2, 1)).unwrap();
-        let (launches, _) = b.finish();
+        let (plan, _) = b.finish();
+        let launches = plan.schedule(crate::plan::OptLevel::O0).launches;
         let is = &launches[0];
         assert_eq!(is.kind, KernelKind::IndexSelect);
         // grid covers E_dedup * 12 elements with 128-thread CTAs handling

@@ -7,10 +7,11 @@
 //! * **functionally** — computing the real inference result with
 //!   [`gsuite_tensor::ops`] (skippable for profile-only runs on huge
 //!   inputs), and
-//! * **architecturally** — emitting one [`crate::kernels::Launch`] per
-//!   kernel the corresponding CUDA pipeline would launch, with buffer
-//!   addresses from a shared [`crate::AddressSpace`] and index/structure
-//!   arrays taken from the live graph.
+//! * **architecturally** — lowering one [`crate::plan::PlanOp`] per
+//!   kernel the corresponding CUDA pipeline would launch, over logical
+//!   buffers whose device addresses the plan scheduler
+//!   ([`crate::plan::Plan::schedule`]) assigns after optimization, with
+//!   index/structure arrays taken from the live graph.
 //!
 //! The central correctness property (tested in `tests/`): for GCN and GIN,
 //! the MP pipeline and the SpMM pipeline produce the same output up to
@@ -31,7 +32,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::{CompModel, GnnModel, RunConfig};
-use crate::kernels::Launch;
+use crate::plan::Plan;
 use crate::{CoreError, Result};
 use gsuite_graph::Graph;
 
@@ -83,12 +84,12 @@ impl ModelWeights {
     }
 }
 
-/// Builds the kernel pipeline (and, in functional mode, the inference
+/// Lowers the kernel pipeline (and, in functional mode, the inference
 /// result) for `config` over `graph`.
 ///
 /// This is the entry point [`crate::pipeline::PipelineRun`] uses; it
-/// dispatches on `(model, comp)` and returns the launches plus the output
-/// feature matrix (zeros when functional math is disabled).
+/// dispatches on `(model, comp)` and returns the lowered [`Plan`] plus
+/// the output feature matrix (zeros when functional math is disabled).
 ///
 /// # Errors
 ///
@@ -96,7 +97,7 @@ impl ModelWeights {
 /// the combination the paper's gSuite surface does not provide (§V-A). The
 /// DGL-like baseline adapter reaches SAGE-SpMM through
 /// [`builder::Builder::sage_spmm_layer`] directly instead.
-pub fn build_model(graph: &Graph, config: &RunConfig) -> Result<(Vec<Launch>, DenseMatrix)> {
+pub fn build_model(graph: &Graph, config: &RunConfig) -> Result<(Plan, DenseMatrix)> {
     let weights = ModelWeights::init(
         config.model,
         graph.feature_dim(),
@@ -104,7 +105,10 @@ pub fn build_model(graph: &Graph, config: &RunConfig) -> Result<(Vec<Launch>, De
         config.layers,
         config.seed,
     );
-    let mut builder = Builder::new(graph, config.functional_math);
+    // Upload content identities feed only the O2 hoist pass; skip the
+    // O(E)/O(nnz) hashing on the O0 hot path.
+    let mut builder = Builder::new(graph, config.functional_math)
+        .track_uploads(config.opt == crate::plan::OptLevel::O2);
     match (config.model, config.comp) {
         (GnnModel::Gcn, CompModel::Mp) => gcn::build_mp(&mut builder, &weights)?,
         (GnnModel::Gcn, CompModel::Spmm) => gcn::build_spmm(&mut builder, &weights)?,
@@ -124,10 +128,10 @@ pub fn build_model(graph: &Graph, config: &RunConfig) -> Result<(Vec<Launch>, De
     Ok(builder.finish())
 }
 
-/// Builds the DGL-style SAGE-SpMM pipeline (mean aggregation as a
+/// Lowers the DGL-style SAGE-SpMM pipeline (mean aggregation as a
 /// row-normalized SpMM). Not part of the gSuite surface — used by the
 /// DGL-like baseline adapter.
-pub fn build_sage_spmm(graph: &Graph, config: &RunConfig) -> Result<(Vec<Launch>, DenseMatrix)> {
+pub fn build_sage_spmm(graph: &Graph, config: &RunConfig) -> Result<(Plan, DenseMatrix)> {
     let weights = ModelWeights::init(
         GnnModel::Sage,
         graph.feature_dim(),
@@ -135,7 +139,8 @@ pub fn build_sage_spmm(graph: &Graph, config: &RunConfig) -> Result<(Vec<Launch>
         config.layers,
         config.seed,
     );
-    let mut builder = Builder::new(graph, config.functional_math);
+    let mut builder = Builder::new(graph, config.functional_math)
+        .track_uploads(config.opt == crate::plan::OptLevel::O2);
     sage::build_spmm(&mut builder, &weights)?;
     Ok(builder.finish())
 }

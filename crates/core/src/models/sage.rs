@@ -69,8 +69,8 @@ mod tests {
         let g = GraphGenerator::new(14, 30).seed(6).build_graph(5).unwrap();
         let mut b = Builder::new(&g, true);
         build_mp(&mut b, &weights(5, 3, 1)).unwrap();
-        let (launches, out) = b.finish();
-        let kinds: Vec<KernelKind> = launches.iter().map(|l| l.kind).collect();
+        let (plan, out) = b.finish();
+        let kinds = plan.kinds();
         assert_eq!(
             kinds,
             vec![

@@ -68,16 +68,11 @@ mod tests {
         for hops in [1usize, 3] {
             let mut b = Builder::new(&g, true);
             build_mp(&mut b, &weights(6, 4, hops)).unwrap();
-            let (launches, _) = b.finish();
-            let sgemms = launches
-                .iter()
-                .filter(|l| l.kind == KernelKind::Sgemm)
-                .count();
+            let (plan, _) = b.finish();
+            let kinds = plan.kinds();
+            let sgemms = kinds.iter().filter(|&&k| k == KernelKind::Sgemm).count();
             assert_eq!(sgemms, 1, "SGC has exactly one linear layer");
-            let scatters = launches
-                .iter()
-                .filter(|l| l.kind == KernelKind::Scatter)
-                .count();
+            let scatters = kinds.iter().filter(|&&k| k == KernelKind::Scatter).count();
             assert_eq!(scatters, hops * 2, "degree + aggregation per hop");
         }
     }
@@ -104,16 +99,11 @@ mod tests {
         let g = GraphGenerator::new(18, 50).seed(1).build_graph(6).unwrap();
         let mut b = Builder::new(&g, true);
         build_spmm(&mut b, &weights(6, 4, 3)).unwrap();
-        let (launches, _) = b.finish();
-        let spgemms = launches
-            .iter()
-            .filter(|l| l.kind == KernelKind::Spgemm)
-            .count();
+        let (plan, _) = b.finish();
+        let kinds = plan.kinds();
+        let spgemms = kinds.iter().filter(|&&k| k == KernelKind::Spgemm).count();
         assert_eq!(spgemms, 2, "normalization chain built once, reused per hop");
-        let spmms = launches
-            .iter()
-            .filter(|l| l.kind == KernelKind::Spmm)
-            .count();
+        let spmms = kinds.iter().filter(|&&k| k == KernelKind::Spmm).count();
         assert_eq!(spmms, 3);
     }
 }

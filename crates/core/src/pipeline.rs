@@ -1,5 +1,13 @@
 //! Pipeline assembly and profiling: the executable form of one configured
 //! GNN inference run.
+//!
+//! Since the kernel-dataflow IR refactor, [`PipelineRun::build`] is a
+//! three-stage compile: **lower** the model to a [`Plan`]
+//! ([`crate::frameworks::lower`]), **optimize** it at the configured
+//! [`crate::plan::OptLevel`] (fusion / hoist-CSE / dead-buffer
+//! elimination; a no-op at O0), then **schedule** it — assigning device
+//! addresses (bump layout at O0, liveness-planned reuse at O2) and
+//! materializing the launch stream.
 
 use gsuite_profile::{PipelineProfile, Profiler};
 use gsuite_tensor::DenseMatrix;
@@ -7,11 +15,13 @@ use gsuite_tensor::DenseMatrix;
 use crate::config::RunConfig;
 use crate::frameworks;
 use crate::kernels::Launch;
+use crate::plan::Plan;
 use crate::Result;
 use gsuite_graph::Graph;
 
-/// A fully built pipeline: the ordered kernel launches, the functional
-/// output, and the run description.
+/// A fully built pipeline: the optimized plan, the ordered kernel
+/// launches it scheduled to, the functional output, and the run
+/// description.
 ///
 /// # Example
 ///
@@ -31,6 +41,7 @@ use gsuite_graph::Graph;
 /// let profile = run.profile(&HwProfiler::v100());
 /// assert_eq!(profile.kernels.len(), run.launches.len());
 /// assert!(profile.total_time_ms() > 0.0);
+/// assert!(profile.peak_device_bytes > 0);
 /// # Ok(())
 /// # }
 /// ```
@@ -40,36 +51,50 @@ pub struct PipelineRun {
     pub label: String,
     /// The configuration that produced this run.
     pub config: RunConfig,
+    /// The optimized plan (one op per launch, in order).
+    pub plan: Plan,
     /// Kernel launches in execution order.
     pub launches: Vec<Launch>,
+    /// Peak simultaneously-live device bytes of the schedule (at O0 this
+    /// is the full bump arena; at O2 the memory planner's high-water
+    /// mark).
+    pub peak_device_bytes: u64,
     /// Functional inference output (zeros when functional math disabled).
     pub output: DenseMatrix,
 }
 
 impl PipelineRun {
-    /// Builds the pipeline for `config` over `graph`, honoring the
-    /// configured framework (gSuite or a baseline adapter).
+    /// Builds the pipeline for `config` over `graph`: lower → optimize
+    /// (at `config.opt`) → decorate with the configured framework's
+    /// wrapper ops → schedule.
     ///
     /// # Errors
     ///
     /// Propagates [`crate::CoreError::UnsupportedCombination`] for
     /// gSuite + GraphSAGE + SpMM.
     pub fn build(graph: &Graph, config: &RunConfig) -> Result<Self> {
-        let (launches, output) = frameworks::build_pipeline(graph, config)?;
+        let (mut plan, output) = frameworks::lower(graph, config)?;
+        plan.optimize(config.opt);
+        frameworks::decorate(&mut plan, config.framework);
+        let schedule = plan.schedule(config.opt);
         Ok(PipelineRun {
             label: config.label(),
             config: config.clone(),
-            launches,
+            plan,
+            launches: schedule.launches,
+            peak_device_bytes: schedule.peak_device_bytes,
             output,
         })
     }
 
     /// Profiles every launch with `profiler` and attaches the framework's
-    /// modeled host overheads (init + per-launch dispatch).
+    /// modeled host overheads (init + per-launch dispatch) plus the
+    /// schedule's peak device bytes.
     pub fn profile(&self, profiler: &dyn Profiler) -> PipelineProfile {
         let costs = self.config.framework.costs();
         let mut profile = PipelineProfile::new(self.label.clone());
         profile.host_overhead_ms = costs.init_ms + costs.per_launch_ms * self.launches.len() as f64;
+        profile.peak_device_bytes = self.peak_device_bytes;
         for launch in &self.launches {
             let mut stats = profiler.profile(launch.workload.as_ref());
             // Group under the Table II taxonomy name (e.g. all elementwise
@@ -93,6 +118,7 @@ impl PipelineRun {
         let costs = self.config.framework.costs();
         let mut profile = PipelineProfile::new(self.label.clone());
         profile.host_overhead_ms = costs.init_ms + costs.per_launch_ms * self.launches.len() as f64;
+        profile.peak_device_bytes = self.peak_device_bytes;
         profile.kernels = gsuite_par::par_map(&self.launches, |_, launch| {
             let mut stats = profiler.profile(launch.workload.as_ref());
             stats.kernel = launch.kind.name().to_string();
@@ -111,6 +137,7 @@ impl PipelineRun {
 mod tests {
     use super::*;
     use crate::config::{CompModel, FrameworkKind, GnnModel};
+    use crate::plan::OptLevel;
     use gsuite_graph::datasets::Dataset;
     use gsuite_profile::HwProfiler;
 
@@ -137,6 +164,7 @@ mod tests {
         assert_eq!(profile.kernels.len(), 9);
         assert!(profile.device_time_ms() > 0.0);
         assert!(profile.host_overhead_ms > 0.0);
+        assert_eq!(profile.peak_device_bytes, run.peak_device_bytes);
         // Kernel records grouped under Table II names.
         assert!(profile.kernels.iter().any(|k| k.kernel == "indexSelect"));
         assert!(profile.kernels.iter().any(|k| k.kernel == "sgemm"));
@@ -193,5 +221,22 @@ mod tests {
         let run = PipelineRun::build(&graph, &cfg).unwrap();
         assert_eq!(run.output.sum(), 0.0, "profile-only output is zeros");
         assert_eq!(run.launch_count(), 9);
+    }
+
+    #[test]
+    fn o2_shrinks_launches_and_peak_without_changing_output() {
+        let cfg_o0 = config();
+        let cfg_o2 = RunConfig {
+            opt: OptLevel::O2,
+            ..config()
+        };
+        let graph = cfg_o0.load_graph();
+        let o0 = PipelineRun::build(&graph, &cfg_o0).unwrap();
+        let o2 = PipelineRun::build(&graph, &cfg_o2).unwrap();
+        // GCN-MP at O2: the layer-2 degree scatter is hoisted.
+        assert!(o2.launch_count() < o0.launch_count());
+        assert!(o2.peak_device_bytes < o0.peak_device_bytes);
+        assert_eq!(o2.output, o0.output, "functional output is bit-identical");
+        assert!(!o2.plan.decisions().is_empty());
     }
 }

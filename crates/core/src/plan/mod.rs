@@ -1,0 +1,1037 @@
+//! The kernel-dataflow **Plan IR** — the explicit contract between model
+//! definition and execution.
+//!
+//! Models no longer emit concrete [`Launch`]es directly. Instead the
+//! [`crate::models::Builder`] *lowers* a model into a [`Plan`]: a DAG of
+//! kernel ops ([`PlanOp`]) over explicit, typed logical buffers
+//! ([`PlanBuf`]). Device addresses are assigned at **schedule** time
+//! ([`Plan::schedule`]), not at emission time, which is what makes the
+//! plan optimizable:
+//!
+//! * a pass pipeline ([`Plan::optimize`], see [`passes`]) can fuse
+//!   elementwise ops into producing kernels, hoist/CSE layer-invariant
+//!   subgraphs (the GCN-SpMM normalization chain, repeated degree
+//!   scatters, re-uploaded aggregation matrices) and eliminate dead
+//!   buffers;
+//! * the scheduler can plan memory from buffer liveness, reusing device
+//!   address ranges and reporting peak device bytes.
+//!
+//! Two optimization levels exist ([`OptLevel`]):
+//!
+//! * **O0** — the golden-compatibility mode: no passes run and scheduling
+//!   bump-allocates every buffer in creation order, reproducing the
+//!   pre-IR launch stream *byte for byte* (addresses included). The
+//!   golden-profile suite locks this.
+//! * **O2** — all passes plus liveness-based memory planning. The
+//!   functional output is byte-identical to O0 (host math happens at
+//!   lowering, before any pass), but the launch stream is smaller and
+//!   peak device memory lower.
+//!
+//! [`explain`] renders a plan — ops, buffers, liveness, addresses and the
+//! pass decision log — as a human-readable report (`gsuite-cli explain`).
+
+pub mod explain;
+pub mod passes;
+
+pub use passes::{pass_pipeline, DeadBufferElim, FuseElementwise, HoistCse, Pass};
+
+use std::sync::Arc;
+
+use gsuite_tensor::ops::Reduce;
+use serde::{Deserialize, Serialize};
+
+use crate::device::AddressSpace;
+use crate::kernels::{
+    ElementwiseKernel, EwOp, GcnEdgeScale, IndexSelectKernel, KernelKind, Launch, ScatterKernel,
+    SgemmKernel, SpgemmKernel, SpmmKernel,
+};
+
+/// Plan optimization level, plumbed through `RunConfig`, scenario specs,
+/// the serve cache key and the CLI (`--opt 0|2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum OptLevel {
+    /// No passes; bump allocation in buffer-creation order. Launch
+    /// streams (addresses included) and functional outputs are
+    /// byte-identical to the historical direct-emission path — the mode
+    /// every golden snapshot is recorded at.
+    #[default]
+    O0,
+    /// Full pass pipeline (fusion, hoist/CSE, dead-buffer elimination)
+    /// plus liveness-based memory planning with address-range reuse.
+    O2,
+}
+
+impl OptLevel {
+    /// Display name (`"O0"` / `"O2"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            OptLevel::O0 => "O0",
+            OptLevel::O2 => "O2",
+        }
+    }
+
+    /// Parses `0`/`o0`/`O0` and `2`/`o2`/`O2`.
+    pub fn parse(s: &str) -> Option<OptLevel> {
+        match s.to_ascii_lowercase().as_str() {
+            "0" | "o0" => Some(OptLevel::O0),
+            "2" | "o2" => Some(OptLevel::O2),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Handle to one logical buffer of a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufId(pub(crate) usize);
+
+impl BufId {
+    /// The buffer's index into [`Plan::bufs`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for BufId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// What a buffer holds — the IR's buffer typing, used by the passes and
+/// the explain report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufClass {
+    /// A dense `[rows, cols]` f32 tensor (features, intermediates).
+    Dense,
+    /// An edge-endpoint index array.
+    Index,
+    /// Sparse-matrix structure or values (CSR row pointer / column
+    /// indices / stored values).
+    Sparse,
+    /// Dense model weights.
+    Weight,
+}
+
+impl BufClass {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            BufClass::Dense => "dense",
+            BufClass::Index => "index",
+            BufClass::Sparse => "sparse",
+            BufClass::Weight => "weight",
+        }
+    }
+}
+
+/// Which address region a buffer is assigned from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrClass {
+    /// The simulated device heap (planned / bump-allocated).
+    Device,
+    /// The framework-wrapper scratch region (the PyG-/DGL-like adapters'
+    /// synthetic copy buffers; legacy fixed-stride layout in a disjoint
+    /// address range).
+    Wrapper,
+}
+
+/// One logical buffer: a shape (element count), a type, an address
+/// region, and — for host-uploaded content — a semantic identity used by
+/// the hoist/CSE pass to recognize layer-invariant re-uploads.
+#[derive(Debug, Clone)]
+pub struct PlanBuf {
+    /// Debug/report label (e.g. `"X"`, `"adjT+I.ci"`, `"sgemm.out"`).
+    pub name: String,
+    /// Element count (4-byte elements, matching `cudaMalloc` of f32/u32).
+    pub elems: u64,
+    /// Buffer typing.
+    pub class: BufClass,
+    /// Address region.
+    pub space: AddrClass,
+    /// Semantic content identity for uploads (`None` = opaque: weights,
+    /// features, intermediates). Two upload buffers with equal identity,
+    /// size and class hold the same bytes by construction.
+    pub(crate) content: Option<u64>,
+    /// Enforcement fingerprint for the "same bytes by construction"
+    /// contract: a hash of the actual uploaded payload (e.g. CSR values),
+    /// where the content identity is derived from tag + structure. The
+    /// hoist pass asserts that content-equal buffers agree on this.
+    pub(crate) check: Option<u64>,
+    /// Marked by dead-buffer elimination; dead buffers are never
+    /// scheduled.
+    pub(crate) dead: bool,
+}
+
+impl PlanBuf {
+    /// Size in bytes (before allocator padding).
+    pub fn bytes(&self) -> u64 {
+        self.elems * 4
+    }
+
+    /// Whether dead-buffer elimination removed this buffer.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+}
+
+/// GCN's folded symmetric normalization on an `indexSelect` op: the
+/// destination endpoints plus the degree-vector buffer.
+#[derive(Clone)]
+pub struct ScaleSpec {
+    /// Destination endpoint per edge.
+    pub dst: Arc<Vec<u32>>,
+    /// Degree-vector buffer.
+    pub deg: BufId,
+}
+
+/// The kernel-specific payload of one plan op: every parameter of the
+/// corresponding launch *except* device addresses, which are represented
+/// as [`BufId`]s and resolved at schedule time.
+#[derive(Clone)]
+pub enum OpSpec {
+    /// Dense `c = a · b` (`[m,k] x [k,n]`), optionally with a fused ReLU.
+    Sgemm {
+        /// Rows of `a`/`c`.
+        m: usize,
+        /// Reduction dimension.
+        k: usize,
+        /// Columns of `b`/`c`.
+        n: usize,
+        /// Fused ReLU at the store.
+        relu: bool,
+        /// Input tensor.
+        a: BufId,
+        /// Weight tensor.
+        b: BufId,
+        /// Output tensor.
+        c: BufId,
+    },
+    /// Gathers `src` rows along `index`.
+    IndexSelect {
+        /// Gathered endpoint per edge.
+        index: Arc<Vec<u32>>,
+        /// Feature width of `src`.
+        feat: usize,
+        /// Endpoint-array buffer.
+        index_buf: BufId,
+        /// Gathered matrix.
+        src: BufId,
+        /// `[E, feat]` output.
+        out: BufId,
+        /// Optional folded GCN normalization.
+        scale: Option<ScaleSpec>,
+    },
+    /// Reduces `[E, feat]` rows into `out_rows` destinations (or scatters
+    /// the constant 1 when `input` is `None` — the degree count).
+    Scatter {
+        /// Destination endpoint per edge.
+        index: Arc<Vec<u32>>,
+        /// Feature width.
+        feat: usize,
+        /// Endpoint-array buffer.
+        index_buf: BufId,
+        /// Input rows; `None` scatters a constant.
+        input: Option<BufId>,
+        /// Output tensor.
+        out: BufId,
+        /// Output rows.
+        out_rows: usize,
+        /// Reduction mode.
+        reduce: Reduce,
+    },
+    /// CSR × dense multiply.
+    Spmm {
+        /// CSR row pointer (live structure).
+        row_ptr: Arc<Vec<u32>>,
+        /// CSR column indices (live structure).
+        col_idx: Arc<Vec<u32>>,
+        /// Whether stored values are loaded.
+        has_values: bool,
+        /// Row-pointer buffer.
+        rp: BufId,
+        /// Column-index buffer.
+        ci: BufId,
+        /// Values buffer.
+        val: BufId,
+        /// Dense operand.
+        x: BufId,
+        /// Output tensor.
+        out: BufId,
+        /// Feature width.
+        feat: usize,
+    },
+    /// CSR × CSR multiply with a known output pattern.
+    Spgemm {
+        /// A's row pointer (live structure).
+        a_row_ptr: Arc<Vec<u32>>,
+        /// A's column indices (live structure).
+        a_col_idx: Arc<Vec<u32>>,
+        /// B's row pointer (live structure).
+        b_row_ptr: Arc<Vec<u32>>,
+        /// Output-pattern row pointer (live structure).
+        out_row_ptr: Arc<Vec<u32>>,
+        /// A's (row pointer, column index, values) buffers.
+        a: (BufId, BufId, BufId),
+        /// B's (row pointer, column index, values) buffers.
+        b: (BufId, BufId, BufId),
+        /// Output column-index buffer.
+        out_ci: BufId,
+        /// Output values buffer.
+        out_val: BufId,
+    },
+    /// Elementwise glue (activation / combine / row scale / copy).
+    Elementwise {
+        /// Operation variant.
+        op: EwOp,
+        /// Total elements.
+        elems: u64,
+        /// Row length (RowScale only; 1 otherwise).
+        feat: usize,
+        /// Input `a`.
+        a: BufId,
+        /// Input `b` (Axpy only).
+        b: Option<BufId>,
+        /// Per-row scale vector (RowScale only).
+        s: Option<BufId>,
+        /// Output.
+        out: BufId,
+    },
+}
+
+/// One node of the plan DAG: a kernel-taxonomy tag plus the op payload.
+#[derive(Clone)]
+pub struct PlanOp {
+    /// Kernel taxonomy (paper Table II names) used for report grouping.
+    pub kind: KernelKind,
+    /// The address-free kernel description.
+    pub spec: OpSpec,
+}
+
+impl PlanOp {
+    /// The buffers this op reads, in a fixed order.
+    pub fn reads(&self) -> Vec<BufId> {
+        match &self.spec {
+            OpSpec::Sgemm { a, b, .. } => vec![*a, *b],
+            OpSpec::IndexSelect {
+                index_buf,
+                src,
+                scale,
+                ..
+            } => {
+                let mut r = vec![*src, *index_buf];
+                if let Some(s) = scale {
+                    r.push(s.deg);
+                }
+                r
+            }
+            OpSpec::Scatter {
+                index_buf, input, ..
+            } => {
+                let mut r = vec![*index_buf];
+                if let Some(i) = input {
+                    r.push(*i);
+                }
+                r
+            }
+            OpSpec::Spmm { rp, ci, val, x, .. } => vec![*rp, *ci, *val, *x],
+            OpSpec::Spgemm { a, b, .. } => vec![a.0, a.1, a.2, b.0, b.1, b.2],
+            OpSpec::Elementwise { a, b, s, .. } => {
+                let mut r = vec![*a];
+                if let Some(b) = b {
+                    r.push(*b);
+                }
+                if let Some(s) = s {
+                    r.push(*s);
+                }
+                r
+            }
+        }
+    }
+
+    /// The buffers this op writes.
+    pub fn writes(&self) -> Vec<BufId> {
+        match &self.spec {
+            OpSpec::Sgemm { c, .. } => vec![*c],
+            OpSpec::IndexSelect { out, .. } => vec![*out],
+            OpSpec::Scatter { out, .. } => vec![*out],
+            OpSpec::Spmm { out, .. } => vec![*out],
+            OpSpec::Spgemm {
+                out_ci, out_val, ..
+            } => vec![*out_ci, *out_val],
+            OpSpec::Elementwise { out, .. } => vec![*out],
+        }
+    }
+
+    /// Rewrites every buffer reference through `f` (pass plumbing).
+    pub(crate) fn remap(&mut self, f: &impl Fn(BufId) -> BufId) {
+        match &mut self.spec {
+            OpSpec::Sgemm { a, b, c, .. } => {
+                *a = f(*a);
+                *b = f(*b);
+                *c = f(*c);
+            }
+            OpSpec::IndexSelect {
+                index_buf,
+                src,
+                out,
+                scale,
+                ..
+            } => {
+                *index_buf = f(*index_buf);
+                *src = f(*src);
+                *out = f(*out);
+                if let Some(s) = scale {
+                    s.deg = f(s.deg);
+                }
+            }
+            OpSpec::Scatter {
+                index_buf,
+                input,
+                out,
+                ..
+            } => {
+                *index_buf = f(*index_buf);
+                if let Some(i) = input {
+                    *i = f(*i);
+                }
+                *out = f(*out);
+            }
+            OpSpec::Spmm {
+                rp,
+                ci,
+                val,
+                x,
+                out,
+                ..
+            } => {
+                *rp = f(*rp);
+                *ci = f(*ci);
+                *val = f(*val);
+                *x = f(*x);
+                *out = f(*out);
+            }
+            OpSpec::Spgemm {
+                a,
+                b,
+                out_ci,
+                out_val,
+                ..
+            } => {
+                *a = (f(a.0), f(a.1), f(a.2));
+                *b = (f(b.0), f(b.1), f(b.2));
+                *out_ci = f(*out_ci);
+                *out_val = f(*out_val);
+            }
+            OpSpec::Elementwise { a, b, s, out, .. } => {
+                *a = f(*a);
+                if let Some(b) = b {
+                    *b = f(*b);
+                }
+                if let Some(s) = s {
+                    *s = f(*s);
+                }
+                *out = f(*out);
+            }
+        }
+    }
+
+    /// Materializes the concrete launch once buffer addresses are known.
+    pub fn to_launch(&self, addr: &impl Fn(BufId) -> u64) -> Launch {
+        match &self.spec {
+            OpSpec::Sgemm {
+                m,
+                k,
+                n,
+                relu,
+                a,
+                b,
+                c,
+            } => Launch::new(
+                self.kind,
+                SgemmKernel::new(*m, *k, *n, addr(*a), addr(*b), addr(*c)).with_relu(*relu),
+            ),
+            OpSpec::IndexSelect {
+                index,
+                feat,
+                index_buf,
+                src,
+                out,
+                scale,
+            } => Launch::new(
+                self.kind,
+                IndexSelectKernel {
+                    index: index.clone(),
+                    index_base: addr(*index_buf),
+                    src_base: addr(*src),
+                    feat: *feat,
+                    out_base: addr(*out),
+                    scale: scale.as_ref().map(|s| GcnEdgeScale {
+                        dst: s.dst.clone(),
+                        deg_base: addr(s.deg),
+                    }),
+                },
+            ),
+            OpSpec::Scatter {
+                index,
+                feat,
+                index_buf,
+                input,
+                out,
+                out_rows,
+                reduce,
+            } => Launch::new(
+                self.kind,
+                ScatterKernel {
+                    index: index.clone(),
+                    index_base: addr(*index_buf),
+                    in_base: input.map(addr),
+                    feat: *feat,
+                    out_base: addr(*out),
+                    out_rows: *out_rows,
+                    reduce: *reduce,
+                },
+            ),
+            OpSpec::Spmm {
+                row_ptr,
+                col_idx,
+                has_values,
+                rp,
+                ci,
+                val,
+                x,
+                out,
+                feat,
+            } => Launch::new(
+                self.kind,
+                SpmmKernel::new(
+                    row_ptr.clone(),
+                    col_idx.clone(),
+                    *has_values,
+                    addr(*rp),
+                    addr(*ci),
+                    addr(*val),
+                    addr(*x),
+                    addr(*out),
+                    *feat,
+                ),
+            ),
+            OpSpec::Spgemm {
+                a_row_ptr,
+                a_col_idx,
+                b_row_ptr,
+                out_row_ptr,
+                a,
+                b,
+                out_ci,
+                out_val,
+            } => Launch::new(
+                self.kind,
+                SpgemmKernel::new(
+                    a_row_ptr.clone(),
+                    a_col_idx.clone(),
+                    b_row_ptr.clone(),
+                    out_row_ptr.clone(),
+                    (addr(a.0), addr(a.1), addr(a.2)),
+                    (addr(b.0), addr(b.1), addr(b.2)),
+                    (addr(*out_ci), addr(*out_val)),
+                ),
+            ),
+            OpSpec::Elementwise {
+                op,
+                elems,
+                feat,
+                a,
+                b,
+                s,
+                out,
+            } => {
+                let kernel = match op {
+                    EwOp::Relu => ElementwiseKernel::relu(addr(*a), addr(*out), *elems),
+                    EwOp::Copy => ElementwiseKernel::copy(addr(*a), addr(*out), *elems),
+                    EwOp::Axpy => ElementwiseKernel::axpy(
+                        addr(*a),
+                        addr(b.expect("axpy has b")),
+                        addr(*out),
+                        *elems,
+                    ),
+                    EwOp::RowScale => ElementwiseKernel::row_scale(
+                        addr(*a),
+                        addr(s.expect("rowscale has s")),
+                        addr(*out),
+                        *elems,
+                        *feat,
+                    ),
+                };
+                Launch::new(self.kind, kernel)
+            }
+        }
+    }
+
+    /// The launch grid — a pure function of shapes and index structures,
+    /// so it can be computed before addresses are assigned.
+    pub fn grid(&self) -> gsuite_gpu::Grid {
+        self.to_launch(&|_| 0).workload.grid()
+    }
+
+    /// A compact per-op label (e.g. `"sgemm 128x16x8+relu"`).
+    pub fn label(&self) -> String {
+        match &self.spec {
+            OpSpec::Sgemm { m, k, n, relu, .. } => {
+                format!("sgemm {m}x{k}x{n}{}", if *relu { "+relu" } else { "" })
+            }
+            OpSpec::IndexSelect {
+                index, feat, scale, ..
+            } => format!(
+                "indexSelect e={} f={feat}{}",
+                index.len(),
+                if scale.is_some() { "+gcnNorm" } else { "" }
+            ),
+            OpSpec::Scatter {
+                index,
+                feat,
+                input,
+                reduce,
+                ..
+            } => format!(
+                "scatter{} e={} f={feat} {}",
+                if input.is_none() { "-deg" } else { "" },
+                index.len(),
+                reduce.name()
+            ),
+            OpSpec::Spmm { col_idx, feat, .. } => {
+                format!("SpMM nnz={} f={feat}", col_idx.len())
+            }
+            OpSpec::Spgemm { a_col_idx, .. } => format!("SpGEMM nnzA={}", a_col_idx.len()),
+            OpSpec::Elementwise { op, elems, .. } => {
+                format!("ew-{} n={elems}", op.label())
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for PlanOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanOp")
+            .field("kind", &self.kind)
+            .field("op", &self.label())
+            .finish()
+    }
+}
+
+/// A lowered (and possibly optimized) kernel-dataflow program: buffers in
+/// creation order, ops in emission order, the designated output buffer,
+/// and the pass decision log.
+#[derive(Clone, Default)]
+pub struct Plan {
+    pub(crate) bufs: Vec<PlanBuf>,
+    pub(crate) ops: Vec<PlanOp>,
+    pub(crate) output: Option<BufId>,
+    pub(crate) decisions: Vec<String>,
+}
+
+impl Plan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Plan::default()
+    }
+
+    /// Registers a logical buffer; creation order is the O0 allocation
+    /// order.
+    pub(crate) fn add_buf(
+        &mut self,
+        name: impl Into<String>,
+        elems: u64,
+        class: BufClass,
+        space: AddrClass,
+        content: Option<u64>,
+    ) -> BufId {
+        let id = BufId(self.bufs.len());
+        self.bufs.push(PlanBuf {
+            name: name.into(),
+            elems,
+            class,
+            space,
+            content,
+            check: None,
+            dead: false,
+        });
+        id
+    }
+
+    /// Attaches the payload fingerprint the hoist pass verifies when it
+    /// merges content-equal uploads.
+    pub(crate) fn set_content_check(&mut self, b: BufId, check: u64) {
+        self.bufs[b.0].check = Some(check);
+    }
+
+    /// Appends an op.
+    pub(crate) fn push(&mut self, kind: KernelKind, spec: OpSpec) {
+        self.ops.push(PlanOp { kind, spec });
+    }
+
+    /// The ops, in execution order.
+    pub fn ops(&self) -> &[PlanOp] {
+        &self.ops
+    }
+
+    /// The logical buffers, in creation order.
+    pub fn bufs(&self) -> &[PlanBuf] {
+        &self.bufs
+    }
+
+    /// The designated output buffer.
+    pub fn output(&self) -> Option<BufId> {
+        self.output
+    }
+
+    /// The pass decision log (empty until [`Plan::optimize`] runs at O2).
+    pub fn decisions(&self) -> &[String] {
+        &self.decisions
+    }
+
+    /// Kernel kinds in execution order (one launch per op).
+    pub fn kinds(&self) -> Vec<KernelKind> {
+        self.ops.iter().map(|o| o.kind).collect()
+    }
+
+    /// Number of launches this plan schedules to.
+    pub fn launch_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Runs the pass pipeline for `level` (a no-op at O0), recording each
+    /// decision in [`Plan::decisions`].
+    pub fn optimize(&mut self, level: OptLevel) {
+        for pass in pass_pipeline(level) {
+            pass.run(self);
+        }
+    }
+
+    /// Per-buffer liveness: `(def, last)` op indices, where `def == -1`
+    /// means host-uploaded before execution and `last == ops.len()` marks
+    /// the plan output (live to the end). `None` for buffers no op
+    /// references.
+    pub fn liveness(&self) -> Vec<Option<(isize, isize)>> {
+        let mut live: Vec<Option<(isize, isize)>> = vec![None; self.bufs.len()];
+        let end = self.ops.len() as isize;
+        let mut touch = |b: BufId, t: isize, writes: bool| {
+            let entry = live[b.0].get_or_insert((isize::MAX, isize::MIN));
+            if writes {
+                entry.0 = entry.0.min(t);
+            }
+            entry.1 = entry.1.max(t);
+        };
+        for (i, op) in self.ops.iter().enumerate() {
+            for b in op.reads() {
+                touch(b, i as isize, false);
+            }
+            for b in op.writes() {
+                touch(b, i as isize, true);
+            }
+        }
+        for entry in live.iter_mut().flatten() {
+            if entry.0 == isize::MAX {
+                entry.0 = -1; // read-only: uploaded before execution
+            }
+        }
+        if let Some(out) = self.output {
+            if let Some(entry) = live[out.0].as_mut() {
+                entry.1 = end;
+            }
+        }
+        live
+    }
+
+    /// Schedules the plan: assigns device addresses and materializes the
+    /// launch stream.
+    ///
+    /// * At [`OptLevel::O0`] every buffer is bump-allocated in creation
+    ///   order — byte-identical to the historical direct-emission path.
+    /// * At [`OptLevel::O2`] device buffers are planned from liveness
+    ///   with address-range reuse; dead buffers are skipped.
+    ///
+    /// Wrapper-region buffers always use the legacy fixed-stride layout in
+    /// their disjoint address range.
+    pub fn schedule(&self, level: OptLevel) -> Schedule {
+        let live = self.liveness();
+        let mut addrs: Vec<Option<u64>> = vec![None; self.bufs.len()];
+        let mut reused: Vec<bool> = vec![false; self.bufs.len()];
+        let mut wrapper_cursor = WRAPPER_BASE;
+        let mut space = match level {
+            OptLevel::O0 => AddressSpace::new(),
+            OptLevel::O2 => AddressSpace::with_reuse(),
+        };
+
+        // Wrapper buffers: legacy stride layout in creation order.
+        for (i, buf) in self.bufs.iter().enumerate() {
+            if buf.space == AddrClass::Wrapper && !buf.dead {
+                addrs[i] = Some(wrapper_cursor);
+                wrapper_cursor += buf.elems * 4 + 256;
+            }
+        }
+
+        match level {
+            OptLevel::O0 => {
+                for (i, buf) in self.bufs.iter().enumerate() {
+                    if buf.space == AddrClass::Device && !buf.dead {
+                        addrs[i] = Some(space.alloc_f32(buf.elems));
+                    }
+                }
+            }
+            OptLevel::O2 => {
+                // Liveness-planned allocation: uploads (def -1) first,
+                // then per-op defs; frees after each op's last use.
+                // Buffers are bucketed by timestep up front (creation
+                // order within a bucket), keeping the walk linear.
+                let nts = self.ops.len() + 1; // slot 0 = pre-execution
+                let mut defs_at: Vec<Vec<usize>> = vec![Vec::new(); nts];
+                let mut frees_at: Vec<Vec<usize>> = vec![Vec::new(); nts];
+                for (i, buf) in self.bufs.iter().enumerate() {
+                    if buf.space != AddrClass::Device || buf.dead {
+                        continue;
+                    }
+                    let Some((def, last)) = live[i] else {
+                        continue;
+                    };
+                    defs_at[(def + 1) as usize].push(i);
+                    if let Some(slot) = frees_at.get_mut((last + 1) as usize) {
+                        // Buffers live past the final op (the plan
+                        // output) have no free slot and stay resident.
+                        slot.push(i);
+                    }
+                }
+                for t in 0..nts {
+                    for &i in &defs_at[t] {
+                        let (base, from_free) = space.alloc_traced(self.bufs[i].elems * 4);
+                        addrs[i] = Some(base);
+                        reused[i] = from_free;
+                    }
+                    for &i in &frees_at[t] {
+                        if let Some(base) = addrs[i] {
+                            space.release(base, self.bufs[i].elems * 4);
+                        }
+                    }
+                }
+            }
+        }
+
+        let addr_of =
+            |b: BufId| addrs[b.0].unwrap_or_else(|| panic!("op references unscheduled buffer {b}"));
+        let launches: Vec<Launch> = self.ops.iter().map(|op| op.to_launch(&addr_of)).collect();
+        Schedule {
+            launches,
+            addrs,
+            reused,
+            live,
+            peak_device_bytes: space.peak_bytes(),
+            arena_bytes: space.allocated(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Plan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Plan")
+            .field("ops", &self.ops.len())
+            .field("bufs", &self.bufs.len())
+            .field("output", &self.output)
+            .finish()
+    }
+}
+
+/// Base address of the wrapper scratch region (disjoint from the device
+/// heap so framework wrapper buffers never alias pipeline buffers).
+pub const WRAPPER_BASE: u64 = 0xF_0000_0000;
+
+/// A scheduled plan: the concrete launch stream plus the address map and
+/// memory accounting.
+pub struct Schedule {
+    /// Kernel launches in execution order (one per plan op).
+    pub launches: Vec<Launch>,
+    /// Per-buffer assigned base address (`None` = dead / unreferenced).
+    pub addrs: Vec<Option<u64>>,
+    /// Per-buffer flag: the address range was reused from a freed block.
+    pub reused: Vec<bool>,
+    /// Per-buffer `(def, last)` liveness (see [`Plan::liveness`]).
+    pub live: Vec<Option<(isize, isize)>>,
+    /// Peak simultaneously-live device bytes (the high-water mark the
+    /// memory planner achieved; at O0 this equals the full arena).
+    pub peak_device_bytes: u64,
+    /// Total device arena extent in bytes.
+    pub arena_bytes: u64,
+}
+
+/// A deterministic 64-bit FNV-1a content hasher used for upload identity
+/// and CSE value numbering.
+#[derive(Clone)]
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) -> &mut Self {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+        self
+    }
+
+    pub(crate) fn str(&mut self, s: &str) -> &mut Self {
+        for b in s.as_bytes() {
+            self.byte(*b);
+        }
+        self.byte(0xff);
+        self
+    }
+
+    pub(crate) fn u32s(&mut self, vs: &[u32]) -> &mut Self {
+        self.u64(vs.len() as u64);
+        for v in vs {
+            for b in v.to_le_bytes() {
+                self.byte(b);
+            }
+        }
+        self
+    }
+
+    pub(crate) fn f32s(&mut self, vs: &[f32]) -> &mut Self {
+        self.u64(vs.len() as u64);
+        for v in vs {
+            for b in v.to_bits().to_le_bytes() {
+                self.byte(b);
+            }
+        }
+        self
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Hashes a tagged u64 pair — the "derive a sub-identity" helper.
+pub(crate) fn mix(seed: u64, salt: u64) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(seed).u64(salt);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt_level_parses() {
+        assert_eq!(OptLevel::parse("0"), Some(OptLevel::O0));
+        assert_eq!(OptLevel::parse("O2"), Some(OptLevel::O2));
+        assert_eq!(OptLevel::parse("o0"), Some(OptLevel::O0));
+        assert_eq!(OptLevel::parse("1"), None);
+        assert_eq!(OptLevel::default(), OptLevel::O0);
+        assert_eq!(OptLevel::O2.to_string(), "O2");
+    }
+
+    #[test]
+    fn o0_schedule_bump_allocates_in_creation_order() {
+        let mut p = Plan::new();
+        let a = p.add_buf("a", 64, BufClass::Dense, AddrClass::Device, None);
+        let b = p.add_buf("b", 1, BufClass::Dense, AddrClass::Device, None);
+        p.push(
+            KernelKind::Elementwise,
+            OpSpec::Elementwise {
+                op: EwOp::Copy,
+                elems: 64,
+                feat: 1,
+                a,
+                b: None,
+                s: None,
+                out: b,
+            },
+        );
+        let s = p.schedule(OptLevel::O0);
+        assert_eq!(s.addrs[a.0], Some(0x7000_0000));
+        assert_eq!(s.addrs[b.0], Some(0x7000_0100));
+        assert_eq!(s.launches.len(), 1);
+        assert_eq!(s.peak_device_bytes, 512);
+    }
+
+    #[test]
+    fn o2_schedule_reuses_dead_ranges() {
+        // a -> t1 -> t2 -> out: t1 dies after op 1, so t2's range can
+        // reuse it.
+        let mut p = Plan::new();
+        let a = p.add_buf("a", 64, BufClass::Dense, AddrClass::Device, None);
+        let t1 = p.add_buf("t1", 64, BufClass::Dense, AddrClass::Device, None);
+        let t2 = p.add_buf("t2", 64, BufClass::Dense, AddrClass::Device, None);
+        let out = p.add_buf("out", 64, BufClass::Dense, AddrClass::Device, None);
+        let copy = |a, out| OpSpec::Elementwise {
+            op: EwOp::Copy,
+            elems: 64,
+            feat: 1,
+            a,
+            b: None,
+            s: None,
+            out,
+        };
+        p.push(KernelKind::Elementwise, copy(a, t1));
+        p.push(KernelKind::Elementwise, copy(t1, t2));
+        p.push(KernelKind::Elementwise, copy(t2, out));
+        p.output = Some(out);
+        let o0 = p.schedule(OptLevel::O0);
+        let o2 = p.schedule(OptLevel::O2);
+        assert_eq!(o0.peak_device_bytes, 4 * 256);
+        assert!(o2.peak_device_bytes < o0.peak_device_bytes);
+        assert!(o2.reused.iter().any(|&r| r), "some range was reused");
+        // Output buffer stays live to the end.
+        assert_eq!(o2.live[out.0], Some((2, 3)));
+        assert_eq!(o2.live[a.0], Some((-1, 0)));
+    }
+
+    #[test]
+    fn wrapper_buffers_use_the_legacy_stride() {
+        let mut p = Plan::new();
+        let src = p.add_buf("w.src", 100, BufClass::Dense, AddrClass::Wrapper, None);
+        let dst = p.add_buf("w.dst", 100, BufClass::Dense, AddrClass::Wrapper, None);
+        p.push(
+            KernelKind::Elementwise,
+            OpSpec::Elementwise {
+                op: EwOp::Copy,
+                elems: 100,
+                feat: 1,
+                a: src,
+                b: None,
+                s: None,
+                out: dst,
+            },
+        );
+        let s = p.schedule(OptLevel::O0);
+        assert_eq!(s.addrs[src.0], Some(WRAPPER_BASE));
+        assert_eq!(s.addrs[dst.0], Some(WRAPPER_BASE + 100 * 4 + 256));
+        assert_eq!(s.peak_device_bytes, 0, "wrapper region is not device heap");
+    }
+
+    #[test]
+    fn fnv_is_stable_and_content_sensitive() {
+        let mut a = Fnv::new();
+        a.str("tag").u32s(&[1, 2, 3]);
+        let mut b = Fnv::new();
+        b.str("tag").u32s(&[1, 2, 3]);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv::new();
+        c.str("tag").u32s(&[1, 2, 4]);
+        assert_ne!(a.finish(), c.finish());
+        assert_ne!(mix(1, 2), mix(2, 1));
+    }
+}

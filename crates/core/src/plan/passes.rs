@@ -1,0 +1,601 @@
+//! The plan optimization passes ([`Pass`]): elementwise fusion,
+//! hoist/CSE of layer-invariant subgraphs, and dead-buffer elimination.
+//!
+//! Passes run only at [`OptLevel::O2`] ([`pass_pipeline`]); O0 is the
+//! golden-compatibility mode and leaves the lowered plan untouched. All
+//! passes preserve the plan's functional semantics exactly: ops are
+//! fused or deduplicated, never renumerated, so the O2 launch stream
+//! computes the same mathematics as O0 (a property the equivalence suite
+//! locks in).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::kernels::{EwOp, SgemmKernel};
+
+use super::{mix, AddrClass, BufId, Fnv, OpSpec, OptLevel, Plan};
+
+/// One plan-to-plan transformation of the optimization pipeline.
+///
+/// A pass mutates the plan in place and appends a human-readable record
+/// of every decision it takes to [`Plan::decisions`] — the log the
+/// `gsuite-cli explain` report prints.
+pub trait Pass {
+    /// Short pass name (used as the decision-log prefix).
+    fn name(&self) -> &'static str;
+
+    /// Applies the pass.
+    fn run(&self, plan: &mut Plan);
+}
+
+/// The pass pipeline for an optimization level: empty at O0 (golden
+/// compatibility), fusion → hoist/CSE → dead-buffer elimination at O2.
+pub fn pass_pipeline(level: OptLevel) -> Vec<Box<dyn Pass>> {
+    match level {
+        OptLevel::O0 => Vec::new(),
+        OptLevel::O2 => vec![
+            Box::new(FuseElementwise),
+            Box::new(HoistCse),
+            Box::new(DeadBufferElim),
+        ],
+    }
+}
+
+/// Folds elementwise activations into the kernel that produces their
+/// input. The producing kernel must support the fusion natively — today
+/// that is `sgemm`'s fused-ReLU store (split-K sgemms accumulate with
+/// atomics and cannot apply an activation at the store, so they are
+/// skipped) — and the intermediate must have no other reader.
+pub struct FuseElementwise;
+
+impl Pass for FuseElementwise {
+    fn name(&self) -> &'static str {
+        "fuse"
+    }
+
+    fn run(&self, plan: &mut Plan) {
+        // Reader counts and unique-writer map over the current ops.
+        let mut readers = vec![0usize; plan.bufs.len()];
+        let mut writer: Vec<Option<usize>> = vec![None; plan.bufs.len()];
+        for (i, op) in plan.ops.iter().enumerate() {
+            for b in op.reads() {
+                readers[b.0] += 1;
+            }
+            for b in op.writes() {
+                writer[b.0] = match writer[b.0] {
+                    None => Some(i),
+                    // Multiple writers (repeated degree scatters): the
+                    // buffer's producer is ambiguous here — never fuse.
+                    Some(_) => Some(usize::MAX),
+                };
+            }
+        }
+
+        let mut removed = vec![false; plan.ops.len()];
+        for i in 0..plan.ops.len() {
+            let OpSpec::Elementwise {
+                op: EwOp::Relu,
+                a,
+                out,
+                ..
+            } = plan.ops[i].spec
+            else {
+                continue;
+            };
+            if plan.output == Some(a) || readers[a.0] != 1 {
+                continue;
+            }
+            let Some(j) = writer[a.0].filter(|&j| j != usize::MAX && j < i) else {
+                continue;
+            };
+            if removed[j] {
+                continue;
+            }
+            let producer_label = plan.ops[j].label();
+            let OpSpec::Sgemm {
+                m, k, n, relu, c, ..
+            } = &mut plan.ops[j].spec
+            else {
+                continue;
+            };
+            if *relu || *c != a || SgemmKernel::new(*m, *k, *n, 0, 0, 0).is_split_k() {
+                continue;
+            }
+            *relu = true;
+            *c = out;
+            removed[i] = true;
+            // Decisions name ops by label, not index: op indices shift
+            // when removed ops are retained out, so a numeric
+            // cross-reference would go stale in the explain report.
+            plan.decisions.push(format!(
+                "fuse: relu folded into {producer_label} (intermediate {} left dead)",
+                plan.bufs[a.0].name
+            ));
+        }
+        let mut keep = removed.iter().map(|r| !r);
+        plan.ops.retain(|_| keep.next().unwrap());
+    }
+}
+
+/// Hoists layer-invariant subgraphs by value-numbering CSE:
+///
+/// 1. **upload dedup** — two host-uploaded buffers with the same semantic
+///    content identity (e.g. the `Â^T + I` structure re-uploaded every
+///    GCN-SpMM layer) collapse to the first upload;
+/// 2. **op CSE** — an op whose kind, parameters and input *values* match
+///    an earlier op is dropped, and its outputs are remapped to the
+///    earlier op's outputs (the GCN-SpMM `D^-1/2·Â^T·D^-1/2` SpGEMM
+///    chain is rebuilt every layer and hoists to one instance; repeated
+///    per-layer degree scatters deduplicate the same way).
+pub struct HoistCse;
+
+impl Pass for HoistCse {
+    fn name(&self) -> &'static str {
+        "hoist"
+    }
+
+    fn run(&self, plan: &mut Plan) {
+        let nbufs = plan.bufs.len();
+        let mut remap: Vec<BufId> = (0..nbufs).map(BufId).collect();
+        fn resolve(remap: &[BufId], mut b: BufId) -> BufId {
+            while remap[b.0] != b {
+                b = remap[b.0];
+            }
+            b
+        }
+
+        // Phase 1: upload dedup by (content identity, size, class).
+        let mut seen_uploads: HashMap<(u64, u64, u8), BufId> = HashMap::new();
+        let mut hoisted_uploads = 0usize;
+        let mut hoisted_bytes = 0u64;
+        for (i, buf) in plan.bufs.iter().enumerate() {
+            let Some(content) = buf.content else {
+                continue;
+            };
+            if buf.space != AddrClass::Device {
+                continue;
+            }
+            let key = (content, buf.elems, buf.class.label().as_bytes()[0]);
+            match seen_uploads.entry(key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(BufId(i));
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let canonical = *e.get();
+                    debug_assert_eq!(
+                        plan.bufs[canonical.0].check, buf.check,
+                        "content-identity collision: uploads '{}' and '{}' share an \
+                         identity but carry different payloads (tag is not specific enough)",
+                        plan.bufs[canonical.0].name, buf.name
+                    );
+                    remap[i] = canonical;
+                    hoisted_uploads += 1;
+                    hoisted_bytes += buf.bytes();
+                }
+            }
+        }
+        if hoisted_uploads > 0 {
+            plan.decisions.push(format!(
+                "hoist: {hoisted_uploads} re-uploaded buffer(s) ({hoisted_bytes} bytes) \
+                 collapsed to their first upload"
+            ));
+        }
+
+        // Phase 2: value-numbering CSE over ops, applying the remap as we
+        // walk so later keys see canonical inputs.
+        let mut arc_memo: HashMap<usize, u64> = HashMap::new();
+        let mut value: Vec<u64> = plan
+            .bufs
+            .iter()
+            .enumerate()
+            .map(|(i, b)| match b.content {
+                Some(c) => c,
+                None => mix(0x0fa9_ce0a, i as u64),
+            })
+            .collect();
+        // Map: op key -> the defining op's output buffers.
+        let mut seen_ops: HashMap<u64, Vec<BufId>> = HashMap::new();
+        let mut removed = vec![false; plan.ops.len()];
+        let mut decisions: Vec<String> = Vec::new();
+        for (i, op) in plan.ops.iter_mut().enumerate() {
+            op.remap(&|b| resolve(&remap, b));
+            let key = op_key(op, &value, &mut arc_memo);
+            match seen_ops.entry(key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let outs = op.writes();
+                    for (slot, o) in outs.iter().enumerate() {
+                        value[o.0] = mix(key, slot as u64 + 1);
+                    }
+                    e.insert(outs);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    // Reuse is sound only while the earlier instance's
+                    // outputs still hold its values: an intervening
+                    // *different* write to a shared output buffer (not
+                    // lowered by any current model, but possible through
+                    // this substrate) resets the buffer's value number,
+                    // and this check catches it — the op then counts as
+                    // a fresh definition instead of being dropped.
+                    let clobbered = e
+                        .get()
+                        .iter()
+                        .enumerate()
+                        .any(|(slot, o)| value[o.0] != mix(key, slot as u64 + 1));
+                    if clobbered {
+                        let outs = op.writes();
+                        for (slot, o) in outs.iter().enumerate() {
+                            value[o.0] = mix(key, slot as u64 + 1);
+                        }
+                        *e.get_mut() = outs;
+                        continue;
+                    }
+                    for (o, n) in op.writes().iter().zip(e.get()) {
+                        if o != n {
+                            remap[o.0] = *n;
+                        }
+                    }
+                    removed[i] = true;
+                    decisions.push(format!(
+                        "hoist: repeated {} is layer-invariant — reusing the first \
+                         instance's result",
+                        op.label()
+                    ));
+                }
+            }
+        }
+        plan.decisions.append(&mut decisions);
+        if let Some(out) = plan.output {
+            plan.output = Some(resolve(&remap, out));
+        }
+        let mut keep = removed.iter().map(|r| !r);
+        plan.ops.retain(|_| keep.next().unwrap());
+    }
+}
+
+/// Content hash of an index/structure array, memoized by `Arc` pointer
+/// (plans share structure arrays heavily).
+fn arc_hash(memo: &mut HashMap<usize, u64>, arc: &Arc<Vec<u32>>) -> u64 {
+    let ptr = Arc::as_ptr(arc) as usize;
+    *memo.entry(ptr).or_insert_with(|| {
+        let mut h = Fnv::new();
+        h.u32s(arc);
+        h.finish()
+    })
+}
+
+/// The CSE key of an op: kind, shape/structure parameters, and the value
+/// numbers of every input buffer — everything that determines the op's
+/// result, and nothing address-dependent.
+fn op_key(op: &super::PlanOp, value: &[u64], memo: &mut HashMap<usize, u64>) -> u64 {
+    let mut h = Fnv::new();
+    h.str(op.kind.name());
+    match &op.spec {
+        OpSpec::Sgemm {
+            m,
+            k,
+            n,
+            relu,
+            a,
+            b,
+            ..
+        } => {
+            h.str("sg")
+                .u64(*m as u64)
+                .u64(*k as u64)
+                .u64(*n as u64)
+                .u64(*relu as u64)
+                .u64(value[a.0])
+                .u64(value[b.0]);
+        }
+        OpSpec::IndexSelect {
+            index,
+            feat,
+            index_buf,
+            src,
+            scale,
+            ..
+        } => {
+            h.str("is")
+                .u64(*feat as u64)
+                .u64(arc_hash(memo, index))
+                .u64(value[index_buf.0])
+                .u64(value[src.0]);
+            if let Some(s) = scale {
+                h.str("gcn").u64(arc_hash(memo, &s.dst)).u64(value[s.deg.0]);
+            }
+        }
+        OpSpec::Scatter {
+            index,
+            feat,
+            index_buf,
+            input,
+            out_rows,
+            reduce,
+            ..
+        } => {
+            h.str("sc")
+                .u64(*feat as u64)
+                .u64(*out_rows as u64)
+                .str(reduce.name())
+                .u64(arc_hash(memo, index))
+                .u64(value[index_buf.0]);
+            match input {
+                Some(i) => h.u64(value[i.0]),
+                None => h.str("deg"),
+            };
+        }
+        OpSpec::Spmm {
+            row_ptr,
+            col_idx,
+            has_values,
+            rp,
+            ci,
+            val,
+            x,
+            feat,
+            ..
+        } => {
+            h.str("sp")
+                .u64(*feat as u64)
+                .u64(*has_values as u64)
+                .u64(arc_hash(memo, row_ptr))
+                .u64(arc_hash(memo, col_idx))
+                .u64(value[rp.0])
+                .u64(value[ci.0])
+                .u64(value[val.0])
+                .u64(value[x.0]);
+        }
+        OpSpec::Spgemm {
+            a_row_ptr,
+            a_col_idx,
+            b_row_ptr,
+            out_row_ptr,
+            a,
+            b,
+            ..
+        } => {
+            h.str("spg")
+                .u64(arc_hash(memo, a_row_ptr))
+                .u64(arc_hash(memo, a_col_idx))
+                .u64(arc_hash(memo, b_row_ptr))
+                .u64(arc_hash(memo, out_row_ptr))
+                .u64(value[a.0 .0])
+                .u64(value[a.1 .0])
+                .u64(value[a.2 .0])
+                .u64(value[b.0 .0])
+                .u64(value[b.1 .0])
+                .u64(value[b.2 .0]);
+        }
+        OpSpec::Elementwise {
+            op: ew,
+            elems,
+            feat,
+            a,
+            b,
+            s,
+            ..
+        } => {
+            h.str("ew")
+                .str(ew.label())
+                .u64(*elems)
+                .u64(*feat as u64)
+                .u64(value[a.0]);
+            if let Some(b) = b {
+                h.u64(value[b.0]);
+            }
+            if let Some(s) = s {
+                h.u64(value[s.0]);
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Marks buffers no remaining op (and not the plan output) references as
+/// dead, so the scheduler never allocates them — the re-uploaded
+/// structures and fused-away intermediates the earlier passes orphaned.
+pub struct DeadBufferElim;
+
+impl Pass for DeadBufferElim {
+    fn name(&self) -> &'static str {
+        "dbe"
+    }
+
+    fn run(&self, plan: &mut Plan) {
+        let mut referenced = vec![false; plan.bufs.len()];
+        for op in &plan.ops {
+            for b in op.reads().into_iter().chain(op.writes()) {
+                referenced[b.0] = true;
+            }
+        }
+        if let Some(out) = plan.output {
+            referenced[out.0] = true;
+        }
+        let mut count = 0usize;
+        let mut bytes = 0u64;
+        for (i, buf) in plan.bufs.iter_mut().enumerate() {
+            if !referenced[i] && !buf.dead {
+                buf.dead = true;
+                count += 1;
+                bytes += buf.bytes();
+            }
+        }
+        if count > 0 {
+            plan.decisions.push(format!(
+                "dbe: dropped {count} dead buffer(s) ({bytes} bytes)"
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::KernelKind;
+    use crate::plan::BufClass;
+
+    fn dense_buf(p: &mut Plan, name: &str, elems: u64) -> BufId {
+        p.add_buf(name, elems, BufClass::Dense, AddrClass::Device, None)
+    }
+
+    #[test]
+    fn relu_fuses_into_small_sgemm_only() {
+        let mut p = Plan::new();
+        let x = dense_buf(&mut p, "x", 64);
+        let w = dense_buf(&mut p, "w", 32);
+        let h = dense_buf(&mut p, "h", 32);
+        let r = dense_buf(&mut p, "r", 32);
+        p.push(
+            KernelKind::Sgemm,
+            OpSpec::Sgemm {
+                m: 8,
+                k: 8,
+                n: 4,
+                relu: false,
+                a: x,
+                b: w,
+                c: h,
+            },
+        );
+        p.push(
+            KernelKind::Elementwise,
+            OpSpec::Elementwise {
+                op: EwOp::Relu,
+                elems: 32,
+                feat: 1,
+                a: h,
+                b: None,
+                s: None,
+                out: r,
+            },
+        );
+        p.output = Some(r);
+        FuseElementwise.run(&mut p);
+        assert_eq!(p.ops.len(), 1);
+        let OpSpec::Sgemm { relu, c, .. } = p.ops[0].spec else {
+            panic!("sgemm survives");
+        };
+        assert!(relu);
+        assert_eq!(c, r, "sgemm now writes the relu's output");
+        assert_eq!(p.decisions.len(), 1);
+    }
+
+    #[test]
+    fn split_k_sgemm_keeps_its_separate_relu() {
+        let mut p = Plan::new();
+        let x = dense_buf(&mut p, "x", 8 * 2048);
+        let w = dense_buf(&mut p, "w", 2048 * 4);
+        let h = dense_buf(&mut p, "h", 32);
+        let r = dense_buf(&mut p, "r", 32);
+        p.push(
+            KernelKind::Sgemm,
+            OpSpec::Sgemm {
+                m: 8,
+                k: 2048,
+                n: 4,
+                relu: true, // the builder's split-K emission keeps relu set
+                a: x,
+                b: w,
+                c: h,
+            },
+        );
+        p.push(
+            KernelKind::Elementwise,
+            OpSpec::Elementwise {
+                op: EwOp::Relu,
+                elems: 32,
+                feat: 1,
+                a: h,
+                b: None,
+                s: None,
+                out: r,
+            },
+        );
+        p.output = Some(r);
+        FuseElementwise.run(&mut p);
+        assert_eq!(p.ops.len(), 2, "split-K relu must stay separate");
+    }
+
+    #[test]
+    fn cse_drops_repeated_identical_ops_and_dbe_kills_orphans() {
+        let mut p = Plan::new();
+        let idx = std::sync::Arc::new(vec![0u32, 1, 1]);
+        let e1 = p.add_buf("edges", 3, BufClass::Index, AddrClass::Device, Some(77));
+        let e2 = p.add_buf("edges'", 3, BufClass::Index, AddrClass::Device, Some(77));
+        let deg = dense_buf(&mut p, "deg", 2);
+        let scatter = |index_buf, out| OpSpec::Scatter {
+            index: idx.clone(),
+            feat: 1,
+            index_buf,
+            input: None,
+            out,
+            out_rows: 2,
+            reduce: gsuite_tensor::ops::Reduce::Sum,
+        };
+        p.push(KernelKind::Scatter, scatter(e1, deg));
+        p.push(KernelKind::Scatter, scatter(e2, deg)); // re-upload + repeat
+        p.output = Some(deg);
+        HoistCse.run(&mut p);
+        assert_eq!(p.ops.len(), 1, "repeated degree scatter deduplicated");
+        DeadBufferElim.run(&mut p);
+        assert!(p.bufs[e2.0].dead, "duplicate upload is dead");
+        assert!(!p.bufs[e1.0].dead);
+        assert!(p.decisions.iter().any(|d| d.starts_with("hoist:")));
+        assert!(p.decisions.iter().any(|d| d.starts_with("dbe:")));
+    }
+
+    #[test]
+    fn cse_refuses_to_reuse_a_clobbered_shared_buffer() {
+        // S1 (key A) writes deg; S2 (key B) overwrites deg; S3 repeats
+        // S1's key — but deg no longer holds S1's value, so S3 must stay.
+        let mut p = Plan::new();
+        let idx_a = std::sync::Arc::new(vec![0u32, 1]);
+        let idx_b = std::sync::Arc::new(vec![1u32, 1]);
+        let ea = p.add_buf("ea", 2, BufClass::Index, AddrClass::Device, Some(1));
+        let eb = p.add_buf("eb", 2, BufClass::Index, AddrClass::Device, Some(2));
+        let deg = dense_buf(&mut p, "deg", 2);
+        let scatter = |index: &std::sync::Arc<Vec<u32>>, index_buf| OpSpec::Scatter {
+            index: index.clone(),
+            feat: 1,
+            index_buf,
+            input: None,
+            out: deg,
+            out_rows: 2,
+            reduce: gsuite_tensor::ops::Reduce::Sum,
+        };
+        p.push(KernelKind::Scatter, scatter(&idx_a, ea));
+        p.push(KernelKind::Scatter, scatter(&idx_b, eb));
+        p.push(KernelKind::Scatter, scatter(&idx_a, ea));
+        p.output = Some(deg);
+        HoistCse.run(&mut p);
+        assert_eq!(
+            p.ops.len(),
+            3,
+            "a repeat whose shared output was overwritten in between must not be dropped"
+        );
+        // Sanity: without the intervening different write, the repeat IS dropped.
+        let mut q = Plan::new();
+        let ea2 = q.add_buf("ea", 2, BufClass::Index, AddrClass::Device, Some(1));
+        let deg2 = dense_buf(&mut q, "deg", 2);
+        let scatter2 = || OpSpec::Scatter {
+            index: idx_a.clone(),
+            feat: 1,
+            index_buf: ea2,
+            input: None,
+            out: deg2,
+            out_rows: 2,
+            reduce: gsuite_tensor::ops::Reduce::Sum,
+        };
+        q.push(KernelKind::Scatter, scatter2());
+        q.push(KernelKind::Scatter, scatter2());
+        q.output = Some(deg2);
+        HoistCse.run(&mut q);
+        assert_eq!(q.ops.len(), 1);
+    }
+
+    #[test]
+    fn pipeline_is_empty_at_o0() {
+        assert!(pass_pipeline(OptLevel::O0).is_empty());
+        assert_eq!(pass_pipeline(OptLevel::O2).len(), 3);
+    }
+}

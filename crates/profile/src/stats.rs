@@ -86,6 +86,10 @@ pub struct PipelineProfile {
     pub label: String,
     /// Host-side overhead in milliseconds (framework init, dispatch).
     pub host_overhead_ms: f64,
+    /// Peak simultaneously-live device bytes of the pipeline's memory
+    /// schedule (the bump-arena size at O0; the memory planner's
+    /// high-water mark at O2).
+    pub peak_device_bytes: u64,
     /// Per-launch kernel records in execution order.
     pub kernels: Vec<KernelStats>,
 }
@@ -96,6 +100,7 @@ impl PipelineProfile {
         PipelineProfile {
             label: label.into(),
             host_overhead_ms: 0.0,
+            peak_device_bytes: 0,
             kernels: Vec::new(),
         }
     }

@@ -25,6 +25,9 @@ pub struct BenchOpts {
     /// scenario — cycle simulator included — stays affordable under
     /// `cargo test` in debug builds.
     pub max_ctas_cap: Option<u64>,
+    /// Forces one plan-optimization level on every expanded cell,
+    /// replacing the spec's `opt_levels` axis (`run-scenario --opt 0|2`).
+    pub opt_override: Option<gsuite_core::OptLevel>,
 }
 
 impl BenchOpts {
@@ -221,6 +224,7 @@ pub fn sweep_config(
         framework,
         seed: 42,
         functional_math: false, // profiling sweeps never need host math
+        opt: gsuite_core::OptLevel::O0,
     }
 }
 

@@ -4,6 +4,7 @@
 //! [`RunConfig`]s, applying the suite's validity rules in one place.
 
 use gsuite_core::config::{CompModel, FrameworkKind, GnnModel, RunConfig};
+use gsuite_core::OptLevel;
 use gsuite_graph::datasets::Dataset;
 use gsuite_graph::GraphFormat;
 use gsuite_profile::{Profiler, SimProfiler};
@@ -159,6 +160,11 @@ pub struct ScenarioSpec {
     pub frameworks: Vec<FrameworkKind>,
     /// Weight seed shared by every cell.
     pub seed: u64,
+    /// Plan-optimization-level axis (default `[O0]`, the
+    /// golden-compatible mode; the `planopt` scenario sweeps O0 vs O2).
+    /// [`crate::BenchOpts::opt_override`] (the CLI's `--opt`) replaces
+    /// the whole axis.
+    pub opt_levels: Vec<OptLevel>,
     /// Optional restriction to a subset of the cross-product.
     pub restrict: Option<CellFilter>,
 }
@@ -181,6 +187,7 @@ impl Default for ScenarioSpec {
             layers: 2,
             frameworks: vec![FrameworkKind::GSuite],
             seed: 42,
+            opt_levels: vec![OptLevel::O0],
             restrict: None,
         }
     }
@@ -224,49 +231,61 @@ pub fn format_feeds_comp(format: GraphFormat, comp: CompModel) -> bool {
 }
 
 impl ScenarioSpec {
+    /// The optimization levels this expansion walks: the CLI's `--opt`
+    /// override when present, the spec's axis otherwise.
+    fn opt_axis(&self, opts: &BenchOpts) -> Vec<OptLevel> {
+        match opts.opt_override {
+            Some(level) => vec![level],
+            None => self.opt_levels.clone(),
+        }
+    }
+
     /// Expands the spec into its ordered cell grid (see the type-level
     /// docs for the walk order and validity rules).
     pub fn expand(&self, opts: &BenchOpts) -> Vec<ScenarioCell> {
         let mut cells = Vec::new();
         for (gpu_index, &gpu) in self.gpus.iter().enumerate() {
-            for &model in &self.models {
-                for &framework in &self.frameworks {
-                    for &comp in &self.comp_models {
-                        if let Some(forced) = framework.forced_comp() {
-                            if comp != forced {
-                                continue;
-                            }
-                        }
-                        for &format in &self.formats {
-                            if !format_feeds_comp(format, comp) {
-                                continue;
-                            }
-                            for &dataset in &self.datasets {
-                                if let Some(keep) = self.restrict {
-                                    if !keep(framework, model, comp, dataset) {
-                                        continue;
-                                    }
+            for &opt in &self.opt_axis(opts) {
+                for &model in &self.models {
+                    for &framework in &self.frameworks {
+                        for &comp in &self.comp_models {
+                            if let Some(forced) = framework.forced_comp() {
+                                if comp != forced {
+                                    continue;
                                 }
-                                let scale = match self.scale {
-                                    ScalePolicy::Paper => opts.scale_for(dataset),
-                                    ScalePolicy::Fixed(s) => s,
-                                };
-                                cells.push(ScenarioCell {
-                                    gpu_index,
-                                    gpu,
-                                    format,
-                                    config: RunConfig {
-                                        model,
-                                        comp,
-                                        dataset,
-                                        scale,
-                                        layers: self.layers,
-                                        hidden: self.hidden,
-                                        framework,
-                                        seed: self.seed,
-                                        functional_math: false,
-                                    },
-                                });
+                            }
+                            for &format in &self.formats {
+                                if !format_feeds_comp(format, comp) {
+                                    continue;
+                                }
+                                for &dataset in &self.datasets {
+                                    if let Some(keep) = self.restrict {
+                                        if !keep(framework, model, comp, dataset) {
+                                            continue;
+                                        }
+                                    }
+                                    let scale = match self.scale {
+                                        ScalePolicy::Paper => opts.scale_for(dataset),
+                                        ScalePolicy::Fixed(s) => s,
+                                    };
+                                    cells.push(ScenarioCell {
+                                        gpu_index,
+                                        gpu,
+                                        format,
+                                        config: RunConfig {
+                                            model,
+                                            comp,
+                                            dataset,
+                                            scale,
+                                            layers: self.layers,
+                                            hidden: self.hidden,
+                                            framework,
+                                            seed: self.seed,
+                                            functional_math: false,
+                                            opt,
+                                        },
+                                    });
+                                }
                             }
                         }
                     }

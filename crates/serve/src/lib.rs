@@ -27,7 +27,7 @@
 //!   reports for a `(scenario, seed, parameters)` triple on any host, any
 //!   thread count: a reproducible benchmark.
 //! * `--clock wall` drives a live threaded [`Server`] and reports measured
-//!   wall time; [`net`] exposes the same service over a newline-delimited
+//!   wall time; the `net` module exposes the same service over a newline-delimited
 //!   `std::net` TCP protocol.
 //!
 //! ```text

@@ -78,7 +78,7 @@ impl ServeRequest {
     /// result round-trips to an equal request.
     pub fn to_line(&self) -> String {
         format!(
-            "model={} comp={} dataset={} scale={} layers={} hidden={} framework={} seed={} functional={} backend={}",
+            "model={} comp={} dataset={} scale={} layers={} hidden={} framework={} seed={} functional={} opt={} backend={}",
             self.config.model.name().to_ascii_lowercase(),
             self.config.comp.name().to_ascii_lowercase(),
             self.config.dataset.name().to_ascii_lowercase(),
@@ -88,6 +88,7 @@ impl ServeRequest {
             self.config.framework.name().to_ascii_lowercase(),
             self.config.seed,
             self.config.functional_math,
+            self.config.opt.name().to_ascii_lowercase(),
             self.gpu.proto_name(),
         )
     }
@@ -161,6 +162,7 @@ mod tests {
             "model=gcn backend=hw",
             "model=sage comp=mp dataset=citeseer scale=0.05 backend=sim",
             "model=gat dataset=reddit scale=0.001 layers=3 hidden=8 seed=7 backend=sim:4",
+            "model=gin comp=spmm dataset=cora opt=2 backend=hw",
         ] {
             let r = ServeRequest::parse_line(line).expect("valid");
             let back = ServeRequest::parse_line(&r.to_line()).expect("round-trip parses");

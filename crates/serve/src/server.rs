@@ -169,6 +169,10 @@ pub struct ServerStats {
     pub coalesced: u64,
     /// `try_submit` calls shed due to a full queue.
     pub rejected: u64,
+    /// Largest peak-device-bytes footprint of any pipeline served so far
+    /// (each pipeline's memory schedule reports its own peak; see
+    /// `gsuite_profile::PipelineProfile::peak_device_bytes`).
+    pub peak_device_bytes: u64,
     /// Cache counters.
     pub cache: LruStats,
 }
@@ -179,7 +183,8 @@ impl ServerStats {
         format!(
             "stats workers={} queue={} submitted={} completed={} coalesced={} rejected={} \
              cache_hits={} cache_misses={} cache_insertions={} cache_evictions={} \
-             cache_rejected={} cache_bytes={} cache_capacity={} cache_entries={}",
+             cache_rejected={} cache_bytes={} cache_capacity={} cache_entries={} \
+             peak_device_bytes={}",
             self.workers,
             self.queue_depth,
             self.submitted,
@@ -194,6 +199,7 @@ impl ServerStats {
             self.cache.bytes_in_use,
             self.cache.capacity_bytes,
             self.cache.entries,
+            self.peak_device_bytes,
         )
     }
 }
@@ -222,6 +228,7 @@ struct State {
     completed: u64,
     coalesced: u64,
     rejected: u64,
+    peak_device_bytes: u64,
     shutdown: bool,
 }
 
@@ -254,6 +261,7 @@ impl Server {
                 completed: 0,
                 coalesced: 0,
                 rejected: 0,
+                peak_device_bytes: 0,
                 shutdown: false,
             }),
             work_avail: Condvar::new(),
@@ -369,6 +377,7 @@ impl Server {
             completed: state.completed,
             coalesced: state.coalesced,
             rejected: state.rejected,
+            peak_device_bytes: state.peak_device_bytes,
             cache: state.cache.stats(),
         }
     }
@@ -458,6 +467,11 @@ fn worker_loop(inner: &Inner) {
             }
         };
 
+        let peak_device_bytes = built
+            .as_ref()
+            .ok()
+            .map(|(_, run)| run.peak_device_bytes)
+            .unwrap_or(0);
         let outcome: Result<Arc<PipelineProfile>, String> = built.map(|(_, run)| {
             let profiler = job
                 .key
@@ -478,6 +492,7 @@ fn worker_loop(inner: &Inner) {
                 .expect("executing entry registered at dispatch");
             let (_, waiters) = state.executing.swap_remove(i);
             state.completed += (job.waiters.len() + waiters.len()) as u64;
+            state.peak_device_bytes = state.peak_device_bytes.max(peak_device_bytes);
             waiters
         };
         for (n, waiter) in job.waiters.into_iter().chain(late_waiters).enumerate() {
@@ -529,6 +544,11 @@ mod tests {
         let stats = server.stats();
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.cache.misses, 1);
+        assert!(
+            stats.peak_device_bytes > 0,
+            "served pipeline reports its memory-schedule peak"
+        );
+        assert!(stats.to_line().contains("peak_device_bytes="));
         server.shutdown();
     }
 

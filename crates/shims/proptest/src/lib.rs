@@ -210,7 +210,7 @@ pub mod collection {
         }
     }
 
-    /// The [`vec`] strategy type.
+    /// The `vec` strategy type.
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -52,18 +52,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = b.linear(&combined, &w, true)?;
     b.set_output(out);
 
-    let (launches, output) = b.finish();
+    // The builder lowers to a Plan; scheduling at O0 reproduces the
+    // classic launch stream, O2 runs the optimization passes (the final
+    // linear's fused ReLU already comes from the builder here, but
+    // layer-invariant re-uploads and dead buffers would be cleaned up).
+    let (mut plan, output) = b.finish();
+    let o0 = plan.schedule(gsuite::core::OptLevel::O0);
+    plan.optimize(gsuite::core::OptLevel::O2);
+    let o2 = plan.schedule(gsuite::core::OptLevel::O2);
     println!(
-        "pipeline: {} launches, output shape {:?}, checksum {:.6}\n",
-        launches.len(),
+        "pipeline: {} launches, output shape {:?}, checksum {:.6}",
+        o0.launches.len(),
         output.shape(),
         output.sum()
+    );
+    println!(
+        "plan @O2: {} launches, peak device bytes {} (O0: {})\n",
+        o2.launches.len(),
+        o2.peak_device_bytes,
+        o0.peak_device_bytes
     );
 
     // Characterize the custom pipeline exactly like a built-in one.
     let profiler = HwProfiler::v100();
     println!("kernel            time (ms)   instr");
-    for launch in &launches {
+    for launch in &o0.launches {
         let stats = profiler.profile(launch.workload.as_ref());
         println!(
             "{:<16}  {:>9.4}   {}",

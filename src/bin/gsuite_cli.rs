@@ -10,6 +10,9 @@
 //!
 //! gsuite-cli run-scenario --list [--filter STR]
 //! gsuite-cli run-scenario NAME [--quick|--full] [--csv DIR] [--threads N]
+//!                              [--opt 0|2]
+//!
+//! gsuite-cli explain [MODEL] [pipeline flags ...]
 //!
 //! gsuite-cli serve   [--host H] [--port N] [--threads N] [--queue N]
 //!                    [--cache-mb N] [--quick|--full]
@@ -45,6 +48,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let dispatch: Option<Subcommand> = match args.first().map(String::as_str) {
         Some("run-scenario") => Some(run_scenario_cmd),
+        Some("explain") => Some(explain_cmd),
         Some("serve") => Some(serve_cmd),
         Some("loadgen") => Some(loadgen_cmd),
         _ => None,
@@ -88,6 +92,8 @@ fn print_help() {
            --framework NAME       gsuite|pyg|dgl (gsuite)\n\
            --seed N               weight seed (42)\n\
            --functional BOOL      compute real outputs host-side (true)\n\
+           --opt 0|2              plan optimization level (0 = golden-compatible\n\
+                                  launch stream, 2 = fusion/hoist/memory planning)\n\
          \n\
          measurement flags:\n\
            --backend hw|sim       analytical profiler or cycle simulator (hw)\n\
@@ -98,8 +104,18 @@ fn print_help() {
          scenario registry:\n\
            run-scenario --list [--filter STR]   list registered scenarios\n\
            run-scenario NAME [--quick|--full] [--csv DIR] [--threads N]\n\
+                        [--opt 0|2]\n\
                                   run one named experiment grid (the paper's\n\
-                                  figures plus beyond-paper scenarios)\n\
+                                  figures plus beyond-paper scenarios); --opt\n\
+                                  forces one plan-optimization level on every\n\
+                                  cell (see the planopt scenario for O0 vs O2)\n\
+         \n\
+         plan IR:\n\
+           explain [MODEL] [pipeline flags ...]\n\
+                                  dump the configuration's kernel-dataflow plan\n\
+                                  at O0 and O2: ops, pass decisions (fusion,\n\
+                                  hoisting, dead buffers), per-buffer liveness,\n\
+                                  planned addresses and peak device bytes\n\
          \n\
          serving layer (gsuite-serve):\n\
            serve [--host H] [--port N] [--threads N] [--queue N]\n\
@@ -179,10 +195,18 @@ fn run_scenario_cmd(args: &[String]) -> Result<(), String> {
                 threads = Some(parse_positive(args, i)?);
                 i += 2;
             }
+            "--opt" => {
+                let value = take_value(args, i)?;
+                opts.opt_override = Some(
+                    gsuite_core::OptLevel::parse(value)
+                        .ok_or_else(|| format!("--opt expects 0|2 (got {value:?})"))?,
+                );
+                i += 2;
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!(
                     "unknown run-scenario flag {flag:?} (expected --list | --filter STR | \
-                     --quick | --full | --csv DIR | --threads N)"
+                     --quick | --full | --csv DIR | --threads N | --opt 0|2)"
                 ));
             }
             other => {
@@ -233,6 +257,49 @@ fn run_scenario_cmd(args: &[String]) -> Result<(), String> {
         None => scenario.run(&opts),
     };
     report.emit(&opts);
+    Ok(())
+}
+
+/// `gsuite-cli explain [MODEL] [pipeline flags ...]`: dump the
+/// configuration's kernel-dataflow plan at O0 and O2 — ops, pass
+/// decisions, buffer liveness, planned addresses and peak device bytes.
+fn explain_cmd(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return Ok(());
+    }
+    // The report always shows both optimization levels side by side, so
+    // `--opt` would have no effect here — reject it rather than silently
+    // ignoring it.
+    if args
+        .iter()
+        .any(|a| a == "--opt" || a.starts_with("--opt=") || a.starts_with("--opt-level"))
+    {
+        return Err(
+            "explain always renders both O0 and O2; drop --opt (use `run-scenario --opt` or \
+             the top-level `--opt` flag to run at one level)"
+                .to_string(),
+        );
+    }
+    // An optional leading positional names the model; everything else is
+    // standard `--key value` pipeline flags.
+    let mut rest = args;
+    let mut model: Option<gsuite_core::config::GnnModel> = None;
+    if let Some(first) = args.first() {
+        if !first.starts_with("--") {
+            model = Some(gsuite_core::config::GnnModel::parse(first).ok_or_else(|| {
+                format!("unknown model {first:?} (expected gcn|gin|sag|gat|sgc)")
+            })?);
+            rest = &args[1..];
+        }
+    }
+    let mut config = RunConfig::from_args(rest).map_err(|e| e.to_string())?;
+    if let Some(m) = model {
+        config.model = m;
+    }
+    let graph = config.load_graph();
+    let text = gsuite_core::plan::explain::explain(&graph, &config).map_err(|e| e.to_string())?;
+    print!("{text}");
     Ok(())
 }
 
@@ -506,6 +573,7 @@ fn run(args: &[String]) -> Result<(), String> {
         let mut table = TextTable::new(&[
             "#",
             "kernel",
+            "op",
             "time (ms)",
             "instr",
             "L1 hit",
@@ -513,10 +581,13 @@ fn run(args: &[String]) -> Result<(), String> {
             "comp util",
             "mem util",
         ]);
-        for (i, k) in profile.kernels.iter().enumerate() {
+        // Per-op attribution: each profiled launch corresponds 1:1 to a
+        // plan op, so the semantic op label rides along the Table II name.
+        for (i, (k, op)) in profile.kernels.iter().zip(run.plan.ops()).enumerate() {
             table.row_owned(vec![
                 (i + 1).to_string(),
                 k.kernel.clone(),
+                op.label(),
                 format!("{:.4}", k.time_ms),
                 k.instr_mix.total().to_string(),
                 format!("{:.1}%", k.l1.hit_rate() * 100.0),
@@ -527,9 +598,11 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         println!("{}", table.render());
         println!(
-            "host overhead: {:.2} ms ({} launches)",
+            "host overhead: {:.2} ms ({} launches, plan {}) | peak device bytes: {}",
             profile.host_overhead_ms,
-            profile.kernels.len()
+            profile.kernels.len(),
+            config.opt,
+            profile.peak_device_bytes
         );
     }
     println!(
@@ -578,6 +651,9 @@ fn merge(mut base: RunConfig, overrides: RunConfig, raw_flags: &[String]) -> Run
     }
     if passed("functional") || passed("functional-math") {
         base.functional_math = overrides.functional_math;
+    }
+    if passed("opt") || passed("opt-level") {
+        base.opt = overrides.opt;
     }
     base
 }

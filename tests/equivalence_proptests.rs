@@ -6,6 +6,7 @@
 use gsuite::core::config::{CompModel, GnnModel, RunConfig};
 use gsuite::core::kernels::KernelKind;
 use gsuite::core::models::build_model;
+use gsuite::core::OptLevel;
 use gsuite::gpu::TraceBuf;
 use gsuite::graph::{Graph, GraphGenerator, GraphTopology};
 use proptest::prelude::*;
@@ -70,9 +71,9 @@ proptest! {
         // The kernel *sequence* depends only on (model, comp, layers) —
         // never on the topology or features.
         let cfg = config(GnnModel::Gcn, CompModel::Mp, 2, 4, seed);
-        let (launches, _) = build_model(&graph, &cfg).unwrap();
-        prop_assert_eq!(launches.len(), 9);
-        let kinds: Vec<String> = launches.iter().map(|l| l.kind.to_string()).collect();
+        let (plan, _) = build_model(&graph, &cfg).unwrap();
+        prop_assert_eq!(plan.launch_count(), 9);
+        let kinds: Vec<String> = plan.kinds().iter().map(|k| k.to_string()).collect();
         prop_assert_eq!(
             kinds[..4].join(","),
             "scatter,sgemm,indexSelect,scatter"
@@ -83,8 +84,10 @@ proptest! {
     fn profile_mode_matches_functional_launches(graph in arb_graph(), seed in 0u64..50) {
         let functional = config(GnnModel::Gin, CompModel::Mp, 1, 4, seed);
         let profile_only = RunConfig { functional_math: false, ..functional.clone() };
-        let (fl, _) = build_model(&graph, &functional).unwrap();
-        let (pl, _) = build_model(&graph, &profile_only).unwrap();
+        let (fp, _) = build_model(&graph, &functional).unwrap();
+        let (pp, _) = build_model(&graph, &profile_only).unwrap();
+        let fl = fp.schedule(OptLevel::O0).launches;
+        let pl = pp.schedule(OptLevel::O0).launches;
         prop_assert_eq!(fl.len(), pl.len());
         for (a, b) in fl.iter().zip(&pl) {
             prop_assert_eq!(a.kind, b.kind);
@@ -105,7 +108,8 @@ proptest! {
         let mut reused = TraceBuf::new();
         for (model, comp) in gsuite::scenarios::gsuite_pairs() {
             let cfg = config(model, comp, 2, 4, seed);
-            let (launches, _) = build_model(&graph, &cfg).unwrap();
+            let (plan, _) = build_model(&graph, &cfg).unwrap();
+            let launches = plan.schedule(OptLevel::O0).launches;
             for launch in &launches {
                 if !seen.contains(&launch.kind) {
                     seen.push(launch.kind);
@@ -147,7 +151,8 @@ proptest! {
         // trace generation holds no hidden state (the property that lets
         // the simulator regenerate traces on CTA residency churn).
         let cfg = config(GnnModel::Gcn, CompModel::Spmm, 1, 4, seed);
-        let (launches, _) = build_model(&graph, &cfg).unwrap();
+        let (plan, _) = build_model(&graph, &cfg).unwrap();
+        let launches = plan.schedule(OptLevel::O0).launches;
         let mut buf = TraceBuf::new();
         for launch in &launches {
             let grid = launch.workload.grid();

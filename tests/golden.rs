@@ -95,6 +95,7 @@ fn golden_covers_every_registry_scenario() {
         "xmodels",
         "gpusweep",
         "serve-mix",
+        "planopt",
     ];
     let registered: Vec<&str> = registry::all().iter().map(|s| s.name).collect();
     assert_eq!(
@@ -126,6 +127,7 @@ golden_test!(
     golden_table4,
     golden_xmodels,
     golden_gpusweep,
+    golden_planopt,
 );
 
 // Hyphenated registry names don't fit the identifier-derived macro above.

@@ -1,0 +1,237 @@
+//! Plan-IR equivalence suite (the kernel-dataflow refactor's lock):
+//!
+//! * **O0 is the golden-compatibility mode** — for every model × dataset
+//!   × format, building at O0 twice yields byte-identical launch
+//!   sequences (kinds, grids and full sampled instruction/address
+//!   traces — addresses included, so the bump layout itself is locked).
+//!   Together with the golden-profile suite (whose snapshots predate the
+//!   refactor and must pass unchanged) this pins the O0 path to the
+//!   historical direct-emission behaviour.
+//! * **O2 is a pure launch-stream optimization** — functional output is
+//!   *exactly* equal to O0 (ops are fused/hoisted, never renumerated:
+//!   host math happens at lowering, before any pass), launch counts and
+//!   peak device bytes never increase, and per-kind counts only shrink
+//!   (fusion removes elementwise ops, hoisting removes duplicated
+//!   scatters/SpGEMMs; sgemm count is invariant).
+
+use gsuite::core::config::{CompModel, GnnModel, RunConfig};
+use gsuite::core::kernels::KernelKind;
+use gsuite::core::pipeline::PipelineRun;
+use gsuite::core::OptLevel;
+use gsuite::gpu::TraceBuf;
+use gsuite::graph::datasets::Dataset;
+use gsuite::graph::{Graph, GraphGenerator, GraphTopology};
+use gsuite::scenarios::BenchOpts;
+use proptest::prelude::*;
+
+/// Every `(model, comp)` pair the suite can build, extension models
+/// included. The format axis is implied: MP consumes the COO edge index,
+/// SpMM the CSR adjacency (`gsuite_scenarios::format_feeds_comp`), so
+/// covering both computational models covers every format.
+fn buildable_pairs() -> Vec<(GnnModel, CompModel)> {
+    let mut pairs = Vec::new();
+    for model in GnnModel::EXTENDED {
+        for comp in CompModel::ALL {
+            if comp == CompModel::Spmm && matches!(model, GnnModel::Sage | GnnModel::Gat) {
+                continue; // no SpMM lowering (paper §V-A)
+            }
+            pairs.push((model, comp));
+        }
+    }
+    pairs
+}
+
+/// A complete behavioural fingerprint of a launch stream: kind, workload
+/// name, grid, and the full traces of a deterministic warp sample
+/// (traces embed every operand address, so two equal fingerprints mean
+/// byte-identical scheduled kernels).
+fn fingerprint(run: &PipelineRun) -> Vec<(KernelKind, String, gsuite::gpu::Grid, Vec<TraceBuf>)> {
+    run.launches
+        .iter()
+        .map(|l| {
+            let grid = l.workload.grid();
+            let mut traces = Vec::new();
+            for cta in [0, grid.ctas / 2, grid.ctas - 1] {
+                for warp in [0, grid.warps_per_cta - 1] {
+                    traces.push(l.workload.trace(cta, warp));
+                }
+            }
+            (l.kind, l.workload.name(), grid, traces)
+        })
+        .collect()
+}
+
+fn kind_counts(run: &PipelineRun) -> Vec<(KernelKind, usize)> {
+    let mut counts: Vec<(KernelKind, usize)> = Vec::new();
+    for l in &run.launches {
+        match counts.iter_mut().find(|(k, _)| *k == l.kind) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((l.kind, 1)),
+        }
+    }
+    counts
+}
+
+fn count_of(counts: &[(KernelKind, usize)], kind: KernelKind) -> usize {
+    counts
+        .iter()
+        .find(|(k, _)| *k == kind)
+        .map(|&(_, c)| c)
+        .unwrap_or(0)
+}
+
+/// Checks one `(graph, config)` point: O0 rebuild determinism, O2 exact
+/// functional equality, and the monotone O2 structural guarantees.
+fn check_point(graph: &Graph, config: &RunConfig, ctx: &str) {
+    let o0_a = PipelineRun::build(graph, config).expect("O0 builds");
+    let o0_b = PipelineRun::build(graph, config).expect("O0 rebuilds");
+    assert_eq!(
+        fingerprint(&o0_a),
+        fingerprint(&o0_b),
+        "{ctx}: O0 launch stream must be byte-identical across builds"
+    );
+
+    let cfg_o2 = RunConfig {
+        opt: OptLevel::O2,
+        ..config.clone()
+    };
+    let o2_a = PipelineRun::build(graph, &cfg_o2).expect("O2 builds");
+    let o2_b = PipelineRun::build(graph, &cfg_o2).expect("O2 rebuilds");
+    assert_eq!(
+        fingerprint(&o2_a),
+        fingerprint(&o2_b),
+        "{ctx}: O2 schedule must be deterministic"
+    );
+
+    // Functional output: exact equality, not approximate — the passes
+    // must not renumerate anything.
+    assert_eq!(
+        o0_a.output, o2_a.output,
+        "{ctx}: O2 functional output must equal O0 exactly"
+    );
+
+    // Structure: O2 only removes work.
+    assert!(
+        o2_a.launch_count() <= o0_a.launch_count(),
+        "{ctx}: O2 must not add launches"
+    );
+    assert!(
+        o2_a.peak_device_bytes <= o0_a.peak_device_bytes,
+        "{ctx}: O2 peak {} exceeds O0 {}",
+        o2_a.peak_device_bytes,
+        o0_a.peak_device_bytes
+    );
+    let (c0, c2) = (kind_counts(&o0_a), kind_counts(&o2_a));
+    for &(kind, n2) in &c2 {
+        assert!(n2 <= count_of(&c0, kind), "{ctx}: O2 grew {kind} launches");
+    }
+    assert_eq!(
+        count_of(&c0, KernelKind::Sgemm),
+        count_of(&c2, KernelKind::Sgemm),
+        "{ctx}: fusion folds relus into sgemms, never removes sgemms"
+    );
+}
+
+#[test]
+fn o0_locked_and_o2_equivalent_for_every_model_dataset_format() {
+    let opts = BenchOpts::golden();
+    for dataset in Dataset::ALL {
+        let graph = dataset.load_scaled(opts.scale_for(dataset));
+        for (model, comp) in buildable_pairs() {
+            let config = RunConfig {
+                model,
+                comp,
+                dataset,
+                scale: opts.scale_for(dataset),
+                layers: 2,
+                hidden: 8,
+                functional_math: true,
+                ..RunConfig::default()
+            };
+            check_point(&graph, &config, &format!("{model}-{comp} on {dataset}"));
+        }
+    }
+}
+
+#[test]
+fn o2_strictly_improves_the_hoistable_pipelines() {
+    // The acceptance bar, at the pipeline level: GCN-SpMM rebuilds its
+    // SpGEMM normalization chain per layer and GIN re-uploads its
+    // aggregation matrix / re-launches activations — at O2 both must
+    // strictly shrink in launches *and* peak bytes on multiple datasets.
+    let opts = BenchOpts::golden();
+    for dataset in [Dataset::Cora, Dataset::PubMed] {
+        let graph = dataset.load_scaled(opts.scale_for(dataset));
+        for (model, comp) in [
+            (GnnModel::Gcn, CompModel::Spmm),
+            (GnnModel::Gin, CompModel::Mp),
+            (GnnModel::Gin, CompModel::Spmm),
+        ] {
+            let config = RunConfig {
+                model,
+                comp,
+                dataset,
+                scale: opts.scale_for(dataset),
+                functional_math: false,
+                ..RunConfig::default()
+            };
+            let o0 = PipelineRun::build(&graph, &config).unwrap();
+            let o2 = PipelineRun::build(
+                &graph,
+                &RunConfig {
+                    opt: OptLevel::O2,
+                    ..config
+                },
+            )
+            .unwrap();
+            assert!(
+                o2.launch_count() < o0.launch_count(),
+                "{model}-{comp} on {dataset}: expected strictly fewer launches"
+            );
+            assert!(
+                o2.peak_device_bytes < o0.peak_device_bytes,
+                "{model}-{comp} on {dataset}: expected strictly lower peak"
+            );
+            assert!(!o2.plan.decisions().is_empty());
+        }
+    }
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (5usize..40, 1usize..6, 0u64..200, 1usize..12).prop_map(|(nodes, deg, seed, feat)| {
+        let edges = (nodes * deg).min(nodes * (nodes - 1) / 2);
+        GraphGenerator::new(nodes, edges)
+            .topology(GraphTopology::PowerLaw { exponent: 0.8 })
+            .seed(seed)
+            .build_graph(feat)
+            .expect("valid generator args")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn o2_equals_o0_on_random_graphs(graph in arb_graph(), layers in 1usize..4,
+                                     hidden in 1usize..8, seed in 0u64..100) {
+        for (model, comp) in buildable_pairs() {
+            let config = RunConfig {
+                model,
+                comp,
+                layers,
+                hidden,
+                seed,
+                functional_math: true,
+                ..RunConfig::default()
+            };
+            let o0 = PipelineRun::build(&graph, &config).unwrap();
+            let o2 = PipelineRun::build(&graph, &RunConfig {
+                opt: OptLevel::O2,
+                ..config
+            }).unwrap();
+            prop_assert_eq!(&o0.output, &o2.output, "{}-{} output drifted", model, comp);
+            prop_assert!(o2.launch_count() <= o0.launch_count());
+            prop_assert!(o2.peak_device_bytes <= o0.peak_device_bytes);
+        }
+    }
+}

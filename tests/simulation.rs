@@ -88,8 +88,9 @@ fn hot_destination_scatter_slower_than_spread() {
             ..RunConfig::default()
         };
         use gsuite::core::models::build_model;
-        let (launches, _) = build_model(&graph, &cfg).unwrap();
-        launches
+        let (plan, _) = build_model(&graph, &cfg).unwrap();
+        plan.schedule(gsuite::core::OptLevel::O0)
+            .launches
             .iter()
             .filter(|l| l.kind == KernelKind::Scatter)
             .map(|l| sim.profile(l.workload.as_ref()).time_ms)
