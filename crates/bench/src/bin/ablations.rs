@@ -1,4 +1,4 @@
-//! Ablation studies for the design points DESIGN.md calls out and the
+//! Ablation studies for the design points ARCHITECTURE.md calls out and the
 //! architectural suggestions the paper closes with (§V-D5/D6):
 //!
 //! 1. **L1 bypassing** — the paper: "using L1 cache bypassing techniques

@@ -3,7 +3,7 @@
 //! flags or read from a `key = value` defaults file.
 
 use gsuite_graph::datasets::Dataset;
-use gsuite_graph::Graph;
+use gsuite_graph::{Graph, PartitionStrategy};
 use serde::{Deserialize, Serialize};
 
 use crate::plan::OptLevel;
@@ -182,6 +182,16 @@ pub struct RunConfig {
     /// Plan optimization level (O0 = golden-compatible launch stream, O2
     /// = fusion/hoist/memory-planning passes).
     pub opt: OptLevel,
+    /// Modeled devices executing this run. `1` (the default) is the
+    /// paper's single-GPU pipeline — the golden-compatible path, bit
+    /// exact to every historical snapshot. `N > 1` partitions the graph
+    /// into `N` shards with [`RunConfig::partitioner`] and compiles one
+    /// op DAG per shard plus halo-exchange transfers
+    /// ([`crate::plan::shard`]).
+    pub gpus_per_run: usize,
+    /// Graph-partition strategy for sharded runs (ignored at
+    /// `gpus_per_run == 1`).
+    pub partitioner: PartitionStrategy,
 }
 
 impl Default for RunConfig {
@@ -197,6 +207,8 @@ impl Default for RunConfig {
             seed: 42,
             functional_math: true,
             opt: OptLevel::O0,
+            gpus_per_run: 1,
+            partitioner: PartitionStrategy::Hash,
         }
     }
 }
@@ -270,6 +282,17 @@ impl RunConfig {
             }
             "opt" | "opt-level" => {
                 self.opt = OptLevel::parse(value).ok_or_else(|| invalid("0|2"))?
+            }
+            "shards" | "gpus" | "gpus-per-run" => {
+                let v: usize = value.parse().map_err(|_| invalid("positive integer"))?;
+                if v == 0 {
+                    return Err(invalid("positive integer"));
+                }
+                self.gpus_per_run = v;
+            }
+            "partitioner" => {
+                self.partitioner =
+                    PartitionStrategy::parse(value).ok_or_else(|| invalid("hash|range|edgecut"))?
             }
             _ => {
                 return Err(CoreError::UnknownKey {
@@ -390,6 +413,23 @@ mod tests {
         let mut c = RunConfig::default();
         c.apply_file("opt = 2\n").unwrap();
         assert_eq!(c.opt, OptLevel::O2);
+    }
+
+    #[test]
+    fn sharding_keys_are_configurable_and_default_single_gpu() {
+        let c = RunConfig::default();
+        assert_eq!(c.gpus_per_run, 1);
+        assert_eq!(c.partitioner, PartitionStrategy::Hash);
+        let c = RunConfig::from_args(&["--shards", "4", "--partitioner", "edgecut"]).unwrap();
+        assert_eq!(c.gpus_per_run, 4);
+        assert_eq!(c.partitioner, PartitionStrategy::EdgeCut);
+        let mut c = RunConfig::default();
+        c.apply_file("gpus-per-run = 2\npartitioner = range\n")
+            .unwrap();
+        assert_eq!(c.gpus_per_run, 2);
+        assert_eq!(c.partitioner, PartitionStrategy::Range);
+        assert!(RunConfig::from_args(&["--shards", "0"]).is_err());
+        assert!(RunConfig::from_args(&["--partitioner", "metis"]).is_err());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! The original evaluation compares gSuite against PyTorch Geometric and
 //! DGL. Neither Python framework can run here, so each adapter reproduces
 //! the *sources* of their measured overheads (substitution documented in
-//! `DESIGN.md`):
+//! `ARCHITECTURE.md`, "Design notes" §2):
 //!
 //! * **host initialization** — the dependency chain the paper blames for
 //!   PyG's long end-to-end times (interpreter + torch + CUDA context vs. a

@@ -1,0 +1,78 @@
+//! The halo-exchange workload of sharded multi-GPU runs.
+//!
+//! An exchange lands `rows × feat` foreign feature rows in this device's
+//! staging buffer before an aggregation layer. On-device it behaves like
+//! a copy-engine stream (store-only traffic into the staging region); the
+//! *link* cost is not modeled here — the pipeline layer prices every
+//! exchange launch with [`gsuite_profile::Interconnect`] (`α + β·bytes`)
+//! instead of the kernel profiler, since transfer time is dominated by
+//! the interconnect, not by device-side stores.
+
+use gsuite_gpu::{Grid, KernelWorkload, TraceBuf, TraceBuilder};
+
+use super::{warp_window, CTA_THREADS};
+
+/// Workload descriptor of one halo-feature transfer into a device.
+#[derive(Debug, Clone)]
+pub struct ExchangeKernel {
+    /// Elements (f32 feature values) transferred.
+    pub elems: u64,
+    /// Base address of the staging buffer receiving the rows.
+    pub dst_base: u64,
+}
+
+impl ExchangeKernel {
+    /// A transfer of `elems` feature values into `dst_base`.
+    pub fn new(elems: u64, dst_base: u64) -> Self {
+        ExchangeKernel { elems, dst_base }
+    }
+
+    /// Bytes moved over the link.
+    pub fn bytes(&self) -> u64 {
+        self.elems * 4
+    }
+}
+
+impl KernelWorkload for ExchangeKernel {
+    fn name(&self) -> String {
+        "exchange".to_string()
+    }
+
+    fn grid(&self) -> Grid {
+        Grid::cover(self.elems, CTA_THREADS as u32)
+    }
+
+    fn trace_into(&self, buf: &mut TraceBuf, cta: u64, warp: u32) {
+        let Some((t0, active)) = warp_window(cta, warp, self.elems) else {
+            return;
+        };
+        // Store-only stream: the copy engine lands incoming rows.
+        let mut tb = TraceBuilder::on(buf, active);
+        let incoming = tb.int(&[]);
+        tb.store_lanes(incoming, self.dst_base + t0 * 4, 4);
+        tb.control();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsuite_gpu::InstrClass;
+
+    #[test]
+    fn exchange_is_a_store_only_stream() {
+        let k = ExchangeKernel::new(64, 0x9000);
+        let t = k.trace(0, 0);
+        assert!(t.iter().any(|i| i.class == InstrClass::StoreGlobal));
+        assert!(!t.iter().any(|i| i.class == InstrClass::LoadGlobal));
+        assert_eq!(k.bytes(), 256);
+        assert_eq!(k.name(), "exchange");
+    }
+
+    #[test]
+    fn grid_covers_the_transfer() {
+        let k = ExchangeKernel::new(300, 0);
+        assert_eq!(k.grid().ctas, 3);
+        assert!(k.trace(2, 3).is_empty(), "tail warp past the end is idle");
+    }
+}

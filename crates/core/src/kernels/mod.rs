@@ -26,6 +26,7 @@
 //! with split-K for deep reductions.
 
 mod elementwise;
+mod exchange;
 mod index_select;
 mod scatter;
 mod sgemm;
@@ -33,6 +34,7 @@ mod spgemm;
 mod spmm;
 
 pub use elementwise::{ElementwiseKernel, EwOp};
+pub use exchange::ExchangeKernel;
 pub use index_select::{GcnEdgeScale, IndexSelectKernel};
 pub use scatter::ScatterKernel;
 pub use sgemm::SgemmKernel;
@@ -64,6 +66,10 @@ pub enum KernelKind {
     Spgemm,
     /// Elementwise glue (activations, combines) — the figures' "other".
     Elementwise,
+    /// Halo-feature transfer between modeled devices (sharded multi-GPU
+    /// runs only; priced by the interconnect model, never emitted on
+    /// single-device pipelines).
+    Exchange,
 }
 
 impl KernelKind {
@@ -76,6 +82,7 @@ impl KernelKind {
             KernelKind::Spmm => "SpMM",
             KernelKind::Spgemm => "SpGEMM",
             KernelKind::Elementwise => "other",
+            KernelKind::Exchange => "exchange",
         }
     }
 
@@ -88,6 +95,7 @@ impl KernelKind {
             KernelKind::Spmm => "sp",
             KernelKind::Spgemm => "sp",
             KernelKind::Elementwise => "ew",
+            KernelKind::Exchange => "ex",
         }
     }
 }

@@ -9,13 +9,16 @@
 //! addresses (bump layout at O0, liveness-planned reuse at O2) and
 //! materializing the launch stream.
 
-use gsuite_profile::{PipelineProfile, Profiler};
+use gsuite_profile::{
+    Interconnect, KernelStats, PipelineProfile, Profiler, ShardStats, ShardingProfile,
+};
 use gsuite_tensor::DenseMatrix;
 
 use crate::config::RunConfig;
 use crate::frameworks;
 use crate::kernels::Launch;
-use crate::plan::Plan;
+use crate::plan::shard::{self, ShardedExec};
+use crate::plan::{OpSpec, Plan};
 use crate::Result;
 use gsuite_graph::Graph;
 
@@ -57,10 +60,16 @@ pub struct PipelineRun {
     pub launches: Vec<Launch>,
     /// Peak simultaneously-live device bytes of the schedule (at O0 this
     /// is the full bump arena; at O2 the memory planner's high-water
-    /// mark).
+    /// mark). For sharded runs: the largest single-device peak.
     pub peak_device_bytes: u64,
-    /// Functional inference output (zeros when functional math disabled).
+    /// Functional inference output (zeros when functional math disabled;
+    /// sharded runs are always profile-only and report zeros).
     pub output: DenseMatrix,
+    /// The multi-GPU execution — `Some` only when
+    /// `config.gpus_per_run > 1`, in which case [`PipelineRun::plan`] is
+    /// empty and [`PipelineRun::launches`] concatenates every shard's
+    /// stream (see [`crate::plan::shard`]).
+    pub sharding: Option<ShardedExec>,
 }
 
 impl PipelineRun {
@@ -73,6 +82,21 @@ impl PipelineRun {
     /// Propagates [`crate::CoreError::UnsupportedCombination`] for
     /// gSuite + GraphSAGE + SpMM.
     pub fn build(graph: &Graph, config: &RunConfig) -> Result<Self> {
+        if config.gpus_per_run > 1 {
+            // Sharded multi-GPU path: one plan per shard plus halo
+            // exchanges; profile-only by design (output reports zeros,
+            // exactly like `functional_math: false`).
+            let sharded = shard::build_sharded(graph, config)?;
+            return Ok(PipelineRun {
+                label: config.label(),
+                config: config.clone(),
+                plan: Plan::new(),
+                launches: sharded.flat_launches(),
+                peak_device_bytes: sharded.max_shard_peak_bytes(),
+                output: DenseMatrix::zeros(graph.num_nodes(), config.hidden),
+                sharding: Some(sharded),
+            });
+        }
         let (mut plan, output) = frameworks::lower(graph, config)?;
         plan.optimize(config.opt);
         frameworks::decorate(&mut plan, config.framework);
@@ -84,25 +108,23 @@ impl PipelineRun {
             launches: schedule.launches,
             peak_device_bytes: schedule.peak_device_bytes,
             output,
+            sharding: None,
         })
     }
 
     /// Profiles every launch with `profiler` and attaches the framework's
     /// modeled host overheads (init + per-launch dispatch) plus the
-    /// schedule's peak device bytes.
+    /// schedule's peak device bytes. On sharded runs, exchange launches
+    /// are priced by the [`Interconnect`] model (`α + β·bytes`) instead of
+    /// the kernel profiler, and the per-shard split lands in
+    /// [`PipelineProfile::sharding`].
     pub fn profile(&self, profiler: &dyn Profiler) -> PipelineProfile {
-        let costs = self.config.framework.costs();
-        let mut profile = PipelineProfile::new(self.label.clone());
-        profile.host_overhead_ms = costs.init_ms + costs.per_launch_ms * self.launches.len() as f64;
-        profile.peak_device_bytes = self.peak_device_bytes;
-        for launch in &self.launches {
-            let mut stats = profiler.profile(launch.workload.as_ref());
-            // Group under the Table II taxonomy name (e.g. all elementwise
-            // variants report as "other").
-            stats.kernel = launch.kind.name().to_string();
-            profile.kernels.push(stats);
-        }
-        profile
+        let kernels = self
+            .launches
+            .iter()
+            .map(|launch| profile_launch(profiler, launch))
+            .collect();
+        self.finish_profile(kernels)
     }
 
     /// [`PipelineRun::profile`] with the independent kernel launches fanned
@@ -115,15 +137,72 @@ impl PipelineRun {
     /// [`PipelineRun::profile`] — a property the `determinism` test suite
     /// locks in.
     pub fn profile_par(&self, profiler: &(dyn Profiler + Sync)) -> PipelineProfile {
+        let kernels =
+            gsuite_par::par_map(&self.launches, |_, launch| profile_launch(profiler, launch));
+        self.finish_profile(kernels)
+    }
+
+    /// Shared tail of the serial and parallel profile paths: attaches
+    /// host overheads and, on sharded runs, replaces exchange records
+    /// with interconnect-priced transfers and builds the
+    /// [`ShardingProfile`].
+    fn finish_profile(&self, kernels: Vec<KernelStats>) -> PipelineProfile {
         let costs = self.config.framework.costs();
         let mut profile = PipelineProfile::new(self.label.clone());
         profile.host_overhead_ms = costs.init_ms + costs.per_launch_ms * self.launches.len() as f64;
         profile.peak_device_bytes = self.peak_device_bytes;
-        profile.kernels = gsuite_par::par_map(&self.launches, |_, launch| {
-            let mut stats = profiler.profile(launch.workload.as_ref());
-            stats.kernel = launch.kind.name().to_string();
-            stats
-        });
+        profile.kernels = kernels;
+
+        if let Some(sharded) = &self.sharding {
+            let link = Interconnect::nvlink();
+            let mut shard_stats = Vec::with_capacity(sharded.shards.len());
+            let mut cursor = 0usize;
+            for shard in &sharded.shards {
+                let slice = &mut profile.kernels[cursor..cursor + shard.launches.len()];
+                let (mut kernel_ms, mut exchange_ms) = (0.0f64, 0.0f64);
+                for (op, stats) in shard.plan.ops().iter().zip(slice.iter_mut()) {
+                    if let OpSpec::Exchange { rows, feat, .. } = &op.spec {
+                        let bytes = rows * *feat as u64 * 4;
+                        let time_ms = link.transfer_ms(bytes);
+                        // The transfer is link-bound: overwrite the
+                        // device-side record with the interconnect cost
+                        // (keeping the backend tag for report grouping).
+                        *stats = KernelStats {
+                            kernel: "exchange".to_string(),
+                            backend: stats.backend,
+                            time_ms,
+                            instr_mix: Default::default(),
+                            stalls: None,
+                            occupancy: None,
+                            l1: Default::default(),
+                            l2: Default::default(),
+                            dram_bytes: bytes,
+                            compute_utilization: 0.0,
+                            memory_utilization: (time_ms - link.latency_ms) / time_ms,
+                        };
+                        exchange_ms += time_ms;
+                    } else {
+                        kernel_ms += stats.time_ms;
+                    }
+                }
+                cursor += shard.launches.len();
+                shard_stats.push(ShardStats {
+                    device: shard.device,
+                    owned_nodes: shard.owned_nodes,
+                    halo_nodes: shard.halo_nodes,
+                    kernel_ms,
+                    exchange_ms,
+                    halo_in_bytes: shard.halo_in_bytes,
+                    peak_device_bytes: shard.peak_device_bytes,
+                });
+            }
+            profile.sharding = Some(ShardingProfile {
+                strategy: sharded.strategy.name().to_string(),
+                cut_edges: sharded.cut_edges,
+                total_edges: sharded.total_edges,
+                shards: shard_stats,
+            });
+        }
         profile
     }
 
@@ -131,6 +210,33 @@ impl PipelineRun {
     pub fn launch_count(&self) -> usize {
         self.launches.len()
     }
+}
+
+/// Measures one launch, grouping it under the Table II taxonomy name
+/// (e.g. all elementwise variants report as "other"). Exchange launches
+/// skip the kernel profiler entirely — `finish_profile` replaces their
+/// records with interconnect-priced transfers, so cycle-simulating the
+/// staging stores would be pure waste; only the backend tag survives into
+/// the final record.
+fn profile_launch(profiler: &dyn Profiler, launch: &Launch) -> KernelStats {
+    if launch.kind == crate::kernels::KernelKind::Exchange {
+        return KernelStats {
+            kernel: launch.kind.name().to_string(),
+            backend: profiler.backend(),
+            time_ms: 0.0,
+            instr_mix: Default::default(),
+            stalls: None,
+            occupancy: None,
+            l1: Default::default(),
+            l2: Default::default(),
+            dram_bytes: 0,
+            compute_utilization: 0.0,
+            memory_utilization: 0.0,
+        };
+    }
+    let mut stats = profiler.profile(launch.workload.as_ref());
+    stats.kernel = launch.kind.name().to_string();
+    stats
 }
 
 #[cfg(test)]
@@ -221,6 +327,45 @@ mod tests {
         let run = PipelineRun::build(&graph, &cfg).unwrap();
         assert_eq!(run.output.sum(), 0.0, "profile-only output is zeros");
         assert_eq!(run.launch_count(), 9);
+    }
+
+    #[test]
+    fn sharded_runs_profile_per_shard_with_interconnect_pricing() {
+        let cfg = RunConfig {
+            gpus_per_run: 2,
+            functional_math: false,
+            ..config()
+        };
+        let graph = cfg.load_graph();
+        let run = PipelineRun::build(&graph, &cfg).unwrap();
+        assert!(run.sharding.is_some());
+        let profile = run.profile(&HwProfiler::v100());
+        let sharding = profile.sharding.as_ref().expect("sharded profile");
+        assert_eq!(sharding.shards.len(), 2);
+        assert_eq!(
+            sharding.shards.iter().map(|s| s.owned_nodes).sum::<u64>(),
+            graph.num_nodes() as u64
+        );
+        assert!(sharding.cut_edges > 0);
+        assert!(sharding.halo_bytes() > 0);
+        // Exchange records are link-priced, never profiler output.
+        let exchanges: Vec<_> = profile
+            .kernels
+            .iter()
+            .filter(|k| k.kernel == "exchange")
+            .collect();
+        assert!(!exchanges.is_empty());
+        for x in &exchanges {
+            assert!(x.time_ms >= 0.005, "latency floor applies: {}", x.time_ms);
+            assert!(x.dram_bytes > 0);
+        }
+        // The makespan (slowest shard) is bounded by the summed work.
+        assert!(profile.parallel_time_ms() <= profile.device_time_ms());
+        assert!(profile.parallel_time_ms() >= sharding.shards[0].exchange_ms);
+        // Single-device memory is the max shard peak.
+        assert_eq!(profile.peak_device_bytes, sharding.max_shard_peak_bytes());
+        // Parallel profiling is bit-identical on sharded runs too.
+        assert_eq!(profile, run.profile_par(&HwProfiler::v100()));
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 pub mod explain;
 pub mod passes;
+pub mod shard;
 
 pub use passes::{pass_pipeline, DeadBufferElim, FuseElementwise, HoistCse, Pass};
 
@@ -42,8 +43,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::device::AddressSpace;
 use crate::kernels::{
-    ElementwiseKernel, EwOp, GcnEdgeScale, IndexSelectKernel, KernelKind, Launch, ScatterKernel,
-    SgemmKernel, SpgemmKernel, SpmmKernel,
+    ElementwiseKernel, EwOp, ExchangeKernel, GcnEdgeScale, IndexSelectKernel, KernelKind, Launch,
+    ScatterKernel, SgemmKernel, SpgemmKernel, SpmmKernel,
 };
 
 /// Plan optimization level, plumbed through `RunConfig`, scenario specs,
@@ -302,6 +303,20 @@ pub enum OpSpec {
         /// Output.
         out: BufId,
     },
+    /// Halo-feature transfer from a peer device into this shard's staging
+    /// buffer (sharded multi-GPU plans only; see [`crate::plan::shard`]).
+    Exchange {
+        /// Peer shard the rows come from.
+        peer: usize,
+        /// GNN layer this transfer precedes.
+        layer: usize,
+        /// Halo rows transferred.
+        rows: u64,
+        /// Feature width of the transferred rows.
+        feat: usize,
+        /// Staging buffer receiving the rows.
+        out: BufId,
+    },
 }
 
 /// One node of the plan DAG: a kernel-taxonomy tag plus the op payload.
@@ -351,6 +366,9 @@ impl PlanOp {
                 }
                 r
             }
+            // The source rows live on the peer device; locally an
+            // exchange only defines its staging buffer.
+            OpSpec::Exchange { .. } => Vec::new(),
         }
     }
 
@@ -365,6 +383,7 @@ impl PlanOp {
                 out_ci, out_val, ..
             } => vec![*out_ci, *out_val],
             OpSpec::Elementwise { out, .. } => vec![*out],
+            OpSpec::Exchange { out, .. } => vec![*out],
         }
     }
 
@@ -436,6 +455,9 @@ impl PlanOp {
                 if let Some(s) = s {
                     *s = f(*s);
                 }
+                *out = f(*out);
+            }
+            OpSpec::Exchange { out, .. } => {
                 *out = f(*out);
             }
         }
@@ -570,6 +592,12 @@ impl PlanOp {
                 };
                 Launch::new(self.kind, kernel)
             }
+            OpSpec::Exchange {
+                rows, feat, out, ..
+            } => Launch::new(
+                self.kind,
+                ExchangeKernel::new(*rows * *feat as u64, addr(*out)),
+            ),
         }
     }
 
@@ -611,6 +639,13 @@ impl PlanOp {
             OpSpec::Elementwise { op, elems, .. } => {
                 format!("ew-{} n={elems}", op.label())
             }
+            OpSpec::Exchange {
+                peer,
+                layer,
+                rows,
+                feat,
+                ..
+            } => format!("exchange l{layer} from=s{peer} rows={rows} f={feat}"),
         }
     }
 }

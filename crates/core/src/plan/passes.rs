@@ -387,6 +387,22 @@ fn op_key(op: &super::PlanOp, value: &[u64], memo: &mut HashMap<usize, u64>) -> 
                 h.u64(value[s.0]);
             }
         }
+        OpSpec::Exchange {
+            peer,
+            layer,
+            rows,
+            feat,
+            ..
+        } => {
+            // A transfer delivers fresh remote data every layer: the
+            // (layer, peer) coordinates are part of its identity, so two
+            // exchanges never CSE even when their shapes coincide.
+            h.str("xch")
+                .u64(*peer as u64)
+                .u64(*layer as u64)
+                .u64(*rows)
+                .u64(*feat as u64);
+        }
     }
     h.finish()
 }

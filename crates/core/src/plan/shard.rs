@@ -1,0 +1,291 @@
+//! Sharded (multi-GPU) lowering over the Plan IR.
+//!
+//! A sharded run partitions the input graph with
+//! [`gsuite_graph::Partitioner`] and lowers **one op DAG per shard**: each
+//! shard's subgraph (owned nodes + halo ghosts, edges whose destination
+//! the shard owns) goes through the exact single-device compile —
+//! lower → optimize → decorate → schedule — and is prefixed with one
+//! [`OpSpec::Exchange`] op per `(layer, peer)` pair that contributes halo
+//! rows. Each shard executes on its own modeled device (`device ==
+//! shard`; the effective shard count *is* the modeled GPU count).
+//!
+//! The execution model is **bulk-synchronous**: before every aggregation
+//! layer each shard receives the halo feature rows it does not own (layer
+//! 0 at input width, later layers at hidden width), then all shards run
+//! their layer kernels concurrently, one shard per device. Exchange ops
+//! are priced by [`gsuite_profile::Interconnect`] at profile time — the
+//! communication term single-GPU GNN benchmarks never expose.
+//!
+//! Sharded runs are a *performance* model: host-side functional math is
+//! disabled (boundary-exact multi-device numerics would require
+//! cross-shard reassembly the benchmark does not need), exactly like the
+//! profile-only mode the sweeps already run in. Single-shard configs
+//! (`gpus_per_run == 1`) never enter this module — they take the
+//! unmodified single-device path, byte-identical to every golden
+//! snapshot.
+
+use gsuite_graph::{Graph, PartitionStrategy, Partitioner};
+
+use crate::config::{GnnModel, RunConfig};
+use crate::frameworks;
+use crate::kernels::{KernelKind, Launch};
+use crate::Result;
+
+use super::{AddrClass, BufClass, OpSpec, Plan, PlanOp};
+
+/// One shard's compiled execution: its plan, launches and accounting.
+#[derive(Debug)]
+pub struct ShardExec {
+    /// Shard index (== partition part index).
+    pub shard: usize,
+    /// Modeled device executing this shard (one device per shard, so
+    /// `device == shard`).
+    pub device: usize,
+    /// The shard's optimized, decorated plan (exchange ops included).
+    pub plan: Plan,
+    /// The shard's scheduled launch stream (1:1 with plan ops).
+    pub launches: Vec<Launch>,
+    /// Peak device bytes of the shard's memory schedule.
+    pub peak_device_bytes: u64,
+    /// Nodes this shard owns.
+    pub owned_nodes: u64,
+    /// Halo (ghost) nodes replicated onto this shard.
+    pub halo_nodes: u64,
+    /// Halo feature bytes received per inference (all layers, all peers).
+    pub halo_in_bytes: u64,
+}
+
+/// A complete sharded build: per-shard executions plus partition-level
+/// statistics.
+#[derive(Debug)]
+pub struct ShardedExec {
+    /// The partitioner strategy that produced the shards.
+    pub strategy: PartitionStrategy,
+    /// Edges whose endpoints live on different shards.
+    pub cut_edges: u64,
+    /// Total edges of the partitioned graph.
+    pub total_edges: u64,
+    /// Per-shard executions, in shard order.
+    pub shards: Vec<ShardExec>,
+}
+
+impl ShardedExec {
+    /// Total launches across shards.
+    pub fn launch_count(&self) -> usize {
+        self.shards.iter().map(|s| s.launches.len()).sum()
+    }
+
+    /// The flattened launch stream (shard 0's launches, then shard 1's,
+    /// …) — what [`crate::pipeline::PipelineRun::launches`] carries for a
+    /// sharded run.
+    pub fn flat_launches(&self) -> Vec<Launch> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.launches.iter().cloned())
+            .collect()
+    }
+
+    /// Largest single-device memory footprint across shards.
+    pub fn max_shard_peak_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.peak_device_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Feature width exchanged before layer `layer`: input width before the
+/// first layer (and for every SGC hop, which propagates at input width),
+/// hidden width afterwards — mirroring
+/// [`crate::models::ModelWeights::init`].
+fn layer_width(config: &RunConfig, in_dim: usize, layer: usize) -> usize {
+    if layer == 0 || config.model == GnnModel::Sgc {
+        in_dim
+    } else {
+        config.hidden
+    }
+}
+
+/// Builds the sharded execution for `config` (requires
+/// `config.gpus_per_run > 1`): partition → per-shard lower → optimize →
+/// splice exchanges → decorate → schedule.
+///
+/// # Errors
+///
+/// Propagates lowering errors
+/// ([`crate::CoreError::UnsupportedCombination`] for combinations the
+/// suite cannot build, e.g. gSuite SAGE under SpMM).
+pub fn build_sharded(graph: &Graph, config: &RunConfig) -> Result<ShardedExec> {
+    let partition = Partitioner::new(config.gpus_per_run)
+        .strategy(config.partitioner)
+        .seed(config.seed)
+        .partition(graph);
+
+    let mut shards = Vec::with_capacity(partition.shards);
+    for part in &partition.parts {
+        let (sub, _local_to_global) = partition
+            .subgraph(graph, part.shard)
+            .expect("partition maps are in-bounds by construction");
+
+        // Per-shard compile mirrors the single-device path exactly, minus
+        // host math (sharded runs are profile-only by design).
+        let mut shard_cfg = config.clone();
+        shard_cfg.functional_math = false;
+        shard_cfg.gpus_per_run = 1;
+        let (mut plan, _) = frameworks::lower(&sub, &shard_cfg)?;
+        plan.optimize(config.opt);
+
+        // Halo transfers, one per (layer, contributing peer), spliced
+        // ahead of the shard's kernel stream. Position never affects the
+        // bulk-synchronous cost model (transfer times sum either way);
+        // the front keeps the explain/report op order readable.
+        let mut exchanges: Vec<PlanOp> = Vec::new();
+        let mut halo_in_bytes = 0u64;
+        for layer in 0..config.layers {
+            let feat = layer_width(config, graph.feature_dim(), layer);
+            for (peer, &count) in part.halo_from.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                let rows = count as u64;
+                let elems = rows * feat as u64;
+                let out = plan.add_buf(
+                    format!("xch.l{layer}.s{peer}"),
+                    elems,
+                    BufClass::Dense,
+                    AddrClass::Device,
+                    None,
+                );
+                exchanges.push(PlanOp {
+                    kind: KernelKind::Exchange,
+                    spec: OpSpec::Exchange {
+                        peer,
+                        layer,
+                        rows,
+                        feat,
+                        out,
+                    },
+                });
+                halo_in_bytes += elems * 4;
+            }
+        }
+        plan.ops.splice(0..0, exchanges);
+
+        frameworks::decorate(&mut plan, config.framework);
+        let schedule = plan.schedule(config.opt);
+        shards.push(ShardExec {
+            shard: part.shard,
+            device: part.shard,
+            launches: schedule.launches,
+            peak_device_bytes: schedule.peak_device_bytes,
+            owned_nodes: part.owned.len() as u64,
+            halo_nodes: part.halo.len() as u64,
+            halo_in_bytes,
+            plan,
+        });
+    }
+
+    Ok(ShardedExec {
+        strategy: partition.strategy,
+        cut_edges: partition.cut_edges as u64,
+        total_edges: partition.total_edges as u64,
+        shards,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CompModel;
+    use gsuite_graph::datasets::Dataset;
+
+    fn config(shards: usize) -> RunConfig {
+        RunConfig {
+            model: GnnModel::Gcn,
+            comp: CompModel::Mp,
+            dataset: Dataset::Cora,
+            scale: 0.05,
+            layers: 2,
+            hidden: 8,
+            gpus_per_run: shards,
+            functional_math: false,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn sharded_build_emits_per_shard_dags_with_exchanges() {
+        let cfg = config(2);
+        let graph = cfg.load_graph();
+        let sharded = build_sharded(&graph, &cfg).unwrap();
+        assert_eq!(sharded.shards.len(), 2);
+        assert_eq!(
+            sharded.shards.iter().map(|s| s.owned_nodes).sum::<u64>(),
+            graph.num_nodes() as u64
+        );
+        for shard in &sharded.shards {
+            // 2 layers × 1 peer = 2 exchanges, ahead of the kernel stream.
+            let exchanges = shard
+                .plan
+                .ops()
+                .iter()
+                .filter(|o| o.kind == KernelKind::Exchange)
+                .count();
+            assert_eq!(exchanges, 2, "shard {}", shard.shard);
+            assert!(matches!(
+                shard.plan.ops()[0].spec,
+                OpSpec::Exchange { layer: 0, .. }
+            ));
+            assert_eq!(shard.launches.len(), shard.plan.ops().len());
+            assert!(shard.halo_in_bytes > 0);
+            assert!(shard.peak_device_bytes > 0);
+        }
+        assert!(sharded.cut_edges > 0);
+        assert_eq!(sharded.total_edges, graph.num_edges() as u64);
+    }
+
+    #[test]
+    fn exchange_widths_follow_the_layer_schedule() {
+        let cfg = config(4);
+        let graph = cfg.load_graph();
+        let sharded = build_sharded(&graph, &cfg).unwrap();
+        let shard = &sharded.shards[0];
+        for op in shard.plan.ops() {
+            if let OpSpec::Exchange { layer, feat, .. } = op.spec {
+                let expected = if layer == 0 {
+                    graph.feature_dim()
+                } else {
+                    cfg.hidden
+                };
+                assert_eq!(feat, expected, "layer {layer}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_build_is_deterministic() {
+        let cfg = config(4);
+        let graph = cfg.load_graph();
+        let a = build_sharded(&graph, &cfg).unwrap();
+        let b = build_sharded(&graph, &cfg).unwrap();
+        assert_eq!(a.cut_edges, b.cut_edges);
+        for (x, y) in a.shards.iter().zip(&b.shards) {
+            assert_eq!(x.peak_device_bytes, y.peak_device_bytes);
+            assert_eq!(x.halo_in_bytes, y.halo_in_bytes);
+            assert_eq!(x.launches.len(), y.launches.len());
+            assert_eq!(x.plan.kinds(), y.plan.kinds());
+        }
+    }
+
+    #[test]
+    fn unsupported_combinations_propagate() {
+        let cfg = RunConfig {
+            model: GnnModel::Sage,
+            comp: CompModel::Spmm,
+            ..config(2)
+        };
+        let graph = cfg.load_graph();
+        assert!(build_sharded(&graph, &cfg).is_err());
+    }
+}

@@ -11,9 +11,10 @@
 //!
 //! Loading a dataset at scale 1.0 reproduces these statistics exactly; the
 //! substitution (real downloads → synthetic topology with matching shape and
-//! a heavy-tailed degree distribution) is argued in `DESIGN.md` §2. Scaled
-//! loads shrink nodes and edges by the same factor while keeping the feature
-//! length, preserving per-edge/per-node workload intensity.
+//! a heavy-tailed degree distribution) is argued in `ARCHITECTURE.md`
+//! ("Design notes" §3). Scaled loads shrink nodes and edges by the same
+//! factor while keeping the feature length, preserving per-edge/per-node
+//! workload intensity.
 
 use serde::{Deserialize, Serialize};
 

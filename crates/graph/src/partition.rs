@@ -1,0 +1,609 @@
+//! Graph partitioning for sharded multi-device execution.
+//!
+//! A [`Partitioner`] splits a [`Graph`] into `N` shards for modeled
+//! multi-GPU inference. Ownership follows the **aggregation** direction:
+//! every edge `(src, dst)` belongs to the shard that owns `dst` (messages
+//! flow `src -> dst`, so the owner of the destination performs the
+//! reduction). The `src` endpoints a shard needs but does not own form its
+//! **halo** (ghost-node) set — the rows whose features must be transferred
+//! from their owner before each aggregation layer, and the quantity the
+//! multi-GPU scenarios report as halo bytes.
+//!
+//! Three strategies are provided ([`PartitionStrategy`]), all **fully
+//! deterministic in the seed** — the same `(graph, strategy, shards,
+//! seed)` tuple produces the same partition on every host, every run and
+//! every thread count:
+//!
+//! * [`PartitionStrategy::Hash`] — seeded-hash node assignment, the
+//!   baseline random partition with the highest expected edge cut;
+//! * [`PartitionStrategy::Range`] — contiguous node ranges (balanced to
+//!   within one node), the locality-preserving layout for generators that
+//!   emit correlated ids;
+//! * [`PartitionStrategy::EdgeCut`] — greedy edge-cut minimization: nodes
+//!   placed in descending-degree order onto the shard holding most of
+//!   their already-placed neighbours, under a hard balance cap.
+//!
+//! # Example
+//!
+//! ```
+//! use gsuite_graph::{GraphGenerator, Partitioner, PartitionStrategy};
+//!
+//! # fn main() -> Result<(), gsuite_graph::GraphError> {
+//! let g = GraphGenerator::new(100, 400).seed(7).build_graph(8)?;
+//! let p = Partitioner::new(4)
+//!     .strategy(PartitionStrategy::EdgeCut)
+//!     .seed(42)
+//!     .partition(&g);
+//! assert_eq!(p.parts.len(), 4);
+//! // Shards cover the node set exactly.
+//! let owned: usize = p.parts.iter().map(|s| s.owned.len()).sum();
+//! assert_eq!(owned, g.num_nodes());
+//! // Every cross-shard edge contributes its src to a halo set.
+//! assert!(p.edge_cut_fraction() >= 0.0 && p.edge_cut_fraction() <= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use gsuite_tensor::DenseMatrix;
+
+use crate::{EdgeList, Graph, Result};
+
+/// Node-assignment strategy of the [`Partitioner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PartitionStrategy {
+    /// Seeded-hash assignment: node `v` goes to `fnv(seed, v) % shards`.
+    #[default]
+    Hash,
+    /// Contiguous node ranges, balanced to within one node.
+    Range,
+    /// Greedy edge-cut minimization under a hard balance cap.
+    EdgeCut,
+}
+
+impl PartitionStrategy {
+    /// Every strategy, in registry order.
+    pub const ALL: [PartitionStrategy; 3] = [
+        PartitionStrategy::Hash,
+        PartitionStrategy::Range,
+        PartitionStrategy::EdgeCut,
+    ];
+
+    /// Lowercase name (`"hash"`, `"range"`, `"edgecut"`) — the CLI and
+    /// wire-format token.
+    pub fn name(self) -> &'static str {
+        match self {
+            PartitionStrategy::Hash => "hash",
+            PartitionStrategy::Range => "range",
+            PartitionStrategy::EdgeCut => "edgecut",
+        }
+    }
+
+    /// Parses a strategy name (case-insensitive; accepts `edge-cut`).
+    pub fn parse(s: &str) -> Option<PartitionStrategy> {
+        match s.to_ascii_lowercase().as_str() {
+            "hash" => Some(PartitionStrategy::Hash),
+            "range" | "contiguous" => Some(PartitionStrategy::Range),
+            "edgecut" | "edge-cut" | "greedy" => Some(PartitionStrategy::EdgeCut),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PartitionStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Deterministic graph partitioner (see the module docs).
+#[derive(Debug, Clone)]
+pub struct Partitioner {
+    shards: usize,
+    strategy: PartitionStrategy,
+    seed: u64,
+}
+
+impl Partitioner {
+    /// A partitioner producing `shards` shards (clamped to at least 1).
+    pub fn new(shards: usize) -> Self {
+        Partitioner {
+            shards: shards.max(1),
+            strategy: PartitionStrategy::default(),
+            seed: 0x5eed,
+        }
+    }
+
+    /// Selects the assignment strategy (default: [`PartitionStrategy::Hash`]).
+    pub fn strategy(mut self, strategy: PartitionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the assignment seed (default `0x5eed`). Only the hash strategy
+    /// consumes randomness, but the seed is part of every partition's
+    /// identity so sweeps stay reproducible across strategies.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Partitions `graph`. The effective shard count is
+    /// `min(shards, num_nodes)` (never more shards than nodes), and every
+    /// effective shard owns at least one node.
+    pub fn partition(&self, graph: &Graph) -> GraphPartition {
+        let n = graph.num_nodes();
+        let shards = self.shards.min(n).max(1);
+        let mut assignment = match self.strategy {
+            PartitionStrategy::Hash => assign_hash(n, shards, self.seed),
+            PartitionStrategy::Range => assign_range(n, shards),
+            PartitionStrategy::EdgeCut => assign_edgecut(graph, shards),
+        };
+        fix_empty_shards(&mut assignment, shards);
+
+        // Per-shard owned node lists (global ids, ascending).
+        let mut owned: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        for (v, &p) in assignment.iter().enumerate() {
+            owned[p as usize].push(v as u32);
+        }
+
+        // Edge ownership + halo discovery: edge (s, d) belongs to
+        // owner(d); a foreign src becomes a halo node of that shard.
+        let mut edges_per_shard = vec![0usize; shards];
+        let mut halo_seen: Vec<Vec<bool>> = vec![vec![false; n]; shards];
+        let mut halo: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        let mut cut_edges = 0usize;
+        for (s, d) in graph.edges().iter() {
+            let p = assignment[d as usize] as usize;
+            edges_per_shard[p] += 1;
+            if assignment[s as usize] as usize != p {
+                cut_edges += 1;
+                if !halo_seen[p][s as usize] {
+                    halo_seen[p][s as usize] = true;
+                    halo[p].push(s);
+                }
+            }
+        }
+        for h in &mut halo {
+            h.sort_unstable();
+        }
+
+        let parts: Vec<ShardPart> = (0..shards)
+            .map(|p| {
+                let mut halo_from = vec![0usize; shards];
+                for &h in &halo[p] {
+                    halo_from[assignment[h as usize] as usize] += 1;
+                }
+                ShardPart {
+                    shard: p,
+                    owned: std::mem::take(&mut owned[p]),
+                    halo: std::mem::take(&mut halo[p]),
+                    halo_from,
+                    edges: edges_per_shard[p],
+                }
+            })
+            .collect();
+
+        GraphPartition {
+            shards,
+            strategy: self.strategy,
+            seed: self.seed,
+            assignment,
+            parts,
+            cut_edges,
+            total_edges: graph.num_edges(),
+        }
+    }
+}
+
+/// One shard of a partition: its owned nodes, halo (ghost) nodes, and the
+/// per-peer origin of the halo.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPart {
+    /// Shard index.
+    pub shard: usize,
+    /// Owned global node ids, ascending.
+    pub owned: Vec<u32>,
+    /// Halo global node ids (owned by other shards), ascending — exactly
+    /// the set of cross-shard `src` endpoints of this shard's edges.
+    pub halo: Vec<u32>,
+    /// Halo node count grouped by owning shard (`halo_from[p]` nodes come
+    /// from shard `p`; `halo_from[self.shard] == 0`).
+    pub halo_from: Vec<usize>,
+    /// Edges this shard aggregates (edges whose destination it owns).
+    pub edges: usize,
+}
+
+/// A complete partition of a graph (see [`Partitioner::partition`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphPartition {
+    /// Effective shard count.
+    pub shards: usize,
+    /// The strategy that produced this partition.
+    pub strategy: PartitionStrategy,
+    /// The seed that produced this partition.
+    pub seed: u64,
+    /// Per-node owning shard.
+    pub assignment: Vec<u32>,
+    /// Per-shard node/halo/edge sets.
+    pub parts: Vec<ShardPart>,
+    /// Edges whose endpoints live on different shards.
+    pub cut_edges: usize,
+    /// Total edges of the partitioned graph.
+    pub total_edges: usize,
+}
+
+impl GraphPartition {
+    /// Fraction of edges cut by the partition, in `[0, 1]`.
+    pub fn edge_cut_fraction(&self) -> f64 {
+        if self.total_edges == 0 {
+            0.0
+        } else {
+            self.cut_edges as f64 / self.total_edges as f64
+        }
+    }
+
+    /// Total halo nodes across shards (a node replicated onto two foreign
+    /// shards counts twice — it is transferred twice).
+    pub fn halo_nodes(&self) -> usize {
+        self.parts.iter().map(|p| p.halo.len()).sum()
+    }
+
+    /// Extracts shard `shard`'s executable subgraph plus the
+    /// local-to-global node map.
+    ///
+    /// Local node ids are `owned` (ascending) followed by `halo`
+    /// (ascending); the subgraph carries every edge whose destination the
+    /// shard owns, re-indexed to local ids, and the feature rows of all
+    /// local nodes gathered from the parent graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from the substrate types (cannot
+    /// occur for maps produced by [`Partitioner::partition`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shards` or the partition does not belong
+    /// to `graph` (node-count mismatch).
+    pub fn subgraph(&self, graph: &Graph, shard: usize) -> Result<(Graph, Vec<u32>)> {
+        assert_eq!(
+            self.assignment.len(),
+            graph.num_nodes(),
+            "partition does not match graph"
+        );
+        let part = &self.parts[shard];
+        let local_to_global: Vec<u32> =
+            part.owned.iter().chain(part.halo.iter()).copied().collect();
+        let mut global_to_local = vec![u32::MAX; graph.num_nodes()];
+        for (l, &g) in local_to_global.iter().enumerate() {
+            global_to_local[g as usize] = l as u32;
+        }
+
+        let mut src = Vec::with_capacity(part.edges);
+        let mut dst = Vec::with_capacity(part.edges);
+        for (s, d) in graph.edges().iter() {
+            if self.assignment[d as usize] as usize == shard {
+                src.push(global_to_local[s as usize]);
+                dst.push(global_to_local[d as usize]);
+            }
+        }
+        let edges = EdgeList::new(local_to_global.len(), src, dst)?;
+
+        let feat = graph.feature_dim();
+        let mut data = Vec::with_capacity(local_to_global.len() * feat);
+        for &g in &local_to_global {
+            data.extend_from_slice(graph.features().row(g as usize));
+        }
+        let features = DenseMatrix::from_vec(local_to_global.len(), feat, data)
+            .expect("gathered rows are rectangular");
+        let name = format!("{}/shard{}of{}", graph.name(), shard, self.shards);
+        let sub = Graph::with_name(edges, features, name)?;
+        Ok((sub, local_to_global))
+    }
+}
+
+/// Seeded FNV-1a over `(seed, v)` — the hash strategy's assignment
+/// function, stable across platforms.
+fn node_hash(seed: u64, v: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in seed.to_le_bytes().into_iter().chain(v.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn assign_hash(n: usize, shards: usize, seed: u64) -> Vec<u32> {
+    (0..n)
+        .map(|v| (node_hash(seed, v as u64) % shards as u64) as u32)
+        .collect()
+}
+
+fn assign_range(n: usize, shards: usize) -> Vec<u32> {
+    // First `n % shards` shards take one extra node, so sizes differ by at
+    // most one and every shard is non-empty for n >= shards.
+    let base = n / shards;
+    let extra = n % shards;
+    let mut assignment = Vec::with_capacity(n);
+    for p in 0..shards {
+        let size = base + usize::from(p < extra);
+        assignment.extend(std::iter::repeat_n(p as u32, size));
+    }
+    assignment
+}
+
+fn assign_edgecut(graph: &Graph, shards: usize) -> Vec<u32> {
+    let n = graph.num_nodes();
+    let cap = n.div_ceil(shards);
+
+    // Undirected neighbour lists (CSR layout over both edge directions).
+    let mut degree = vec![0u32; n];
+    for (s, d) in graph.edges().iter() {
+        degree[s as usize] += 1;
+        degree[d as usize] += 1;
+    }
+    let mut offsets = vec![0usize; n + 1];
+    for v in 0..n {
+        offsets[v + 1] = offsets[v] + degree[v] as usize;
+    }
+    let mut neighbours = vec![0u32; offsets[n]];
+    let mut cursor = offsets.clone();
+    for (s, d) in graph.edges().iter() {
+        neighbours[cursor[s as usize]] = d;
+        cursor[s as usize] += 1;
+        neighbours[cursor[d as usize]] = s;
+        cursor[d as usize] += 1;
+    }
+
+    // Place nodes hottest-first: each goes to the shard holding most of
+    // its already-placed neighbours, among shards below the balance cap;
+    // ties break to the lighter shard, then the lower index — a total
+    // order, so the result is deterministic.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&v| (std::cmp::Reverse(degree[v as usize]), v));
+    let mut assignment = vec![u32::MAX; n];
+    let mut load = vec![0usize; shards];
+    let mut score = vec![0usize; shards];
+    for &v in &order {
+        score.fill(0);
+        for &u in &neighbours[offsets[v as usize]..offsets[v as usize + 1]] {
+            let p = assignment[u as usize];
+            if p != u32::MAX {
+                score[p as usize] += 1;
+            }
+        }
+        let mut best: Option<usize> = None;
+        for p in 0..shards {
+            if load[p] >= cap {
+                continue;
+            }
+            best = match best {
+                None => Some(p),
+                Some(b) => {
+                    if (score[p], std::cmp::Reverse(load[p]))
+                        > (score[b], std::cmp::Reverse(load[b]))
+                    {
+                        Some(p)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        let p = best.expect("cap * shards >= n leaves an open shard");
+        assignment[v as usize] = p as u32;
+        load[p] += 1;
+    }
+    assignment
+}
+
+/// Guarantees every shard owns at least one node (when `n >= shards`) by
+/// moving the lowest-id node out of the heaviest shard into each empty
+/// one — a deterministic post-pass the hash and greedy strategies need on
+/// small graphs.
+fn fix_empty_shards(assignment: &mut [u32], shards: usize) {
+    if assignment.len() < shards {
+        return;
+    }
+    let mut load = vec![0usize; shards];
+    for &p in assignment.iter() {
+        load[p as usize] += 1;
+    }
+    for empty in 0..shards {
+        if load[empty] > 0 {
+            continue;
+        }
+        let donor = (0..shards)
+            .max_by_key(|&p| (load[p], std::cmp::Reverse(p)))
+            .expect("shards >= 1");
+        let moved = assignment
+            .iter()
+            .position(|&p| p as usize == donor)
+            .expect("heaviest shard is non-empty");
+        assignment[moved] = empty as u32;
+        load[donor] -= 1;
+        load[empty] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphGenerator;
+
+    fn graph(nodes: usize, edges: usize, seed: u64) -> Graph {
+        GraphGenerator::new(nodes, edges)
+            .seed(seed)
+            .build_graph(4)
+            .unwrap()
+    }
+
+    #[test]
+    fn strategies_cover_the_node_set_exactly() {
+        let g = graph(50, 200, 3);
+        for strategy in PartitionStrategy::ALL {
+            let p = Partitioner::new(4).strategy(strategy).partition(&g);
+            let mut seen = [false; 50];
+            for part in &p.parts {
+                for &v in &part.owned {
+                    assert!(!seen[v as usize], "{strategy}: node {v} owned twice");
+                    seen[v as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "{strategy}: node unowned");
+            assert!(p.parts.iter().all(|part| !part.owned.is_empty()));
+        }
+    }
+
+    #[test]
+    fn halo_is_exactly_the_cross_shard_src_set() {
+        let g = graph(40, 160, 9);
+        let p = Partitioner::new(3)
+            .strategy(PartitionStrategy::Hash)
+            .partition(&g);
+        for part in &p.parts {
+            let mut expected: Vec<u32> = g
+                .edges()
+                .iter()
+                .filter(|&(s, d)| {
+                    p.assignment[d as usize] as usize == part.shard
+                        && p.assignment[s as usize] as usize != part.shard
+                })
+                .map(|(s, _)| s)
+                .collect();
+            expected.sort_unstable();
+            expected.dedup();
+            assert_eq!(part.halo, expected, "shard {}", part.shard);
+            assert_eq!(
+                part.halo_from.iter().sum::<usize>(),
+                part.halo.len(),
+                "halo_from partitions the halo set"
+            );
+            assert_eq!(part.halo_from[part.shard], 0, "no self-halo");
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic_per_seed() {
+        let g = graph(60, 240, 1);
+        for strategy in PartitionStrategy::ALL {
+            let a = Partitioner::new(4).strategy(strategy).seed(7).partition(&g);
+            let b = Partitioner::new(4).strategy(strategy).seed(7).partition(&g);
+            assert_eq!(a, b, "{strategy}");
+        }
+        let a = Partitioner::new(4).seed(7).partition(&g);
+        let c = Partitioner::new(4).seed(8).partition(&g);
+        assert_ne!(a.assignment, c.assignment, "hash assignment follows seed");
+    }
+
+    #[test]
+    fn range_is_contiguous_and_balanced() {
+        let g = graph(10, 20, 2);
+        let p = Partitioner::new(4)
+            .strategy(PartitionStrategy::Range)
+            .partition(&g);
+        // 10 nodes over 4 shards: 3, 3, 2, 2.
+        let sizes: Vec<usize> = p.parts.iter().map(|s| s.owned.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        for part in &p.parts {
+            for w in part.owned.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "range shards are contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn edgecut_beats_hash_on_a_clustered_graph() {
+        // A ring has perfect locality: greedy placement should cut far
+        // fewer edges than hash placement.
+        let g = GraphGenerator::new(64, 128)
+            .topology(crate::GraphTopology::Ring)
+            .build_graph(2)
+            .unwrap();
+        let hash = Partitioner::new(4)
+            .strategy(PartitionStrategy::Hash)
+            .partition(&g);
+        let greedy = Partitioner::new(4)
+            .strategy(PartitionStrategy::EdgeCut)
+            .partition(&g);
+        assert!(
+            greedy.cut_edges < hash.cut_edges,
+            "greedy {} !< hash {}",
+            greedy.cut_edges,
+            hash.cut_edges
+        );
+    }
+
+    #[test]
+    fn edgecut_respects_the_balance_cap() {
+        let g = graph(40, 400, 5);
+        let p = Partitioner::new(4)
+            .strategy(PartitionStrategy::EdgeCut)
+            .partition(&g);
+        for part in &p.parts {
+            assert!(part.owned.len() <= 10, "cap ceil(40/4) = 10");
+        }
+    }
+
+    #[test]
+    fn subgraph_reindexes_and_covers_shard_edges() {
+        let g = graph(30, 120, 11);
+        let p = Partitioner::new(3).partition(&g);
+        let mut total_edges = 0;
+        for shard in 0..3 {
+            let (sub, l2g) = p.subgraph(&g, shard).unwrap();
+            assert_eq!(sub.num_nodes(), l2g.len());
+            assert_eq!(
+                sub.num_nodes(),
+                p.parts[shard].owned.len() + p.parts[shard].halo.len()
+            );
+            assert_eq!(sub.num_edges(), p.parts[shard].edges);
+            assert_eq!(sub.feature_dim(), g.feature_dim());
+            total_edges += sub.num_edges();
+            // Every local edge maps back to a global edge the shard owns.
+            for (s, d) in sub.edges().iter() {
+                let (gs, gd) = (l2g[s as usize], l2g[d as usize]);
+                assert_eq!(p.assignment[gd as usize] as usize, shard);
+                assert!(g.edges().iter().any(|e| e == (gs, gd)));
+            }
+            // Feature rows are gathered, not copied wholesale.
+            for (l, &gv) in l2g.iter().enumerate() {
+                assert_eq!(sub.features().row(l), g.features().row(gv as usize));
+            }
+        }
+        assert_eq!(total_edges, g.num_edges(), "edges partition exactly");
+    }
+
+    #[test]
+    fn shards_clamp_to_node_count() {
+        let g = graph(3, 4, 1);
+        let p = Partitioner::new(8).partition(&g);
+        assert_eq!(p.shards, 3);
+        assert!(p.parts.iter().all(|part| part.owned.len() == 1));
+    }
+
+    #[test]
+    fn single_shard_has_no_halo_or_cut() {
+        let g = graph(20, 80, 4);
+        let p = Partitioner::new(1).partition(&g);
+        assert_eq!(p.cut_edges, 0);
+        assert_eq!(p.halo_nodes(), 0);
+        assert_eq!(p.parts[0].owned.len(), 20);
+        assert_eq!(p.edge_cut_fraction(), 0.0);
+    }
+
+    #[test]
+    fn strategy_parse_round_trips() {
+        for s in PartitionStrategy::ALL {
+            assert_eq!(PartitionStrategy::parse(s.name()), Some(s));
+        }
+        assert_eq!(
+            PartitionStrategy::parse("edge-cut"),
+            Some(PartitionStrategy::EdgeCut)
+        );
+        assert_eq!(PartitionStrategy::parse("metis"), None);
+        assert_eq!(PartitionStrategy::default(), PartitionStrategy::Hash);
+    }
+}

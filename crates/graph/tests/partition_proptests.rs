@@ -1,0 +1,169 @@
+//! Property-based tests for the graph partitioner: exact node coverage,
+//! halo-set correctness, seed determinism and subgraph consistency across
+//! every strategy.
+
+use gsuite_graph::{Graph, GraphGenerator, GraphTopology, PartitionStrategy, Partitioner};
+use proptest::prelude::*;
+
+fn arb_strategy() -> impl Strategy<Value = PartitionStrategy> {
+    prop_oneof![
+        Just(PartitionStrategy::Hash),
+        Just(PartitionStrategy::Range),
+        Just(PartitionStrategy::EdgeCut),
+    ]
+}
+
+fn arb_topology() -> impl Strategy<Value = GraphTopology> {
+    prop_oneof![
+        (0.1f64..1.2).prop_map(|exponent| GraphTopology::PowerLaw { exponent }),
+        Just(GraphTopology::ErdosRenyi),
+        Just(GraphTopology::Ring),
+    ]
+}
+
+fn build(nodes: usize, edges: usize, topology: GraphTopology, seed: u64) -> Graph {
+    GraphGenerator::new(nodes, edges)
+        .topology(topology)
+        .seed(seed)
+        .build_graph(3)
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn shards_cover_the_node_set_exactly(
+        nodes in 2usize..150,
+        edges in 0usize..500,
+        shards in 1usize..10,
+        strategy in arb_strategy(),
+        topology in arb_topology(),
+        seed in 0u64..1000,
+    ) {
+        let g = build(nodes, edges, topology, seed);
+        let p = Partitioner::new(shards).strategy(strategy).seed(seed).partition(&g);
+        // Effective shard count never exceeds the node count, and every
+        // effective shard owns at least one node.
+        prop_assert_eq!(p.shards, shards.min(nodes));
+        prop_assert!(p.parts.iter().all(|part| !part.owned.is_empty()));
+        // Disjoint exact cover: each node owned exactly once, and the
+        // assignment vector agrees with the owned lists.
+        let mut owner = vec![usize::MAX; nodes];
+        for part in &p.parts {
+            for &v in &part.owned {
+                prop_assert_eq!(owner[v as usize], usize::MAX, "node owned twice");
+                owner[v as usize] = part.shard;
+            }
+        }
+        for (v, &o) in owner.iter().enumerate() {
+            prop_assert_ne!(o, usize::MAX, "node {} unowned", v);
+            prop_assert_eq!(o, p.assignment[v] as usize);
+        }
+    }
+
+    #[test]
+    fn halo_sets_equal_cross_shard_edge_endpoints(
+        nodes in 2usize..100,
+        edges in 0usize..400,
+        shards in 1usize..8,
+        strategy in arb_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let g = build(nodes, edges, GraphTopology::ErdosRenyi, seed);
+        let p = Partitioner::new(shards).strategy(strategy).seed(seed).partition(&g);
+        let mut cut = 0usize;
+        let mut edge_sum = 0usize;
+        for part in &p.parts {
+            // The halo is exactly the deduplicated set of foreign src
+            // endpoints of edges whose dst this shard owns.
+            let mut expected: Vec<u32> = g
+                .edges()
+                .iter()
+                .filter(|&(s, d)| {
+                    p.assignment[d as usize] as usize == part.shard
+                        && p.assignment[s as usize] as usize != part.shard
+                })
+                .map(|(s, _)| s)
+                .collect();
+            expected.sort_unstable();
+            expected.dedup();
+            prop_assert_eq!(&part.halo, &expected, "shard {}", part.shard);
+            // Halo nodes are never owned locally, and halo_from groups
+            // them by their true owner.
+            let mut from = vec![0usize; p.shards];
+            for &h in &part.halo {
+                let o = p.assignment[h as usize] as usize;
+                prop_assert_ne!(o, part.shard, "self-halo");
+                from[o] += 1;
+            }
+            prop_assert_eq!(&part.halo_from, &from);
+            edge_sum += part.edges;
+            cut += g
+                .edges()
+                .iter()
+                .filter(|&(s, d)| {
+                    p.assignment[d as usize] as usize == part.shard
+                        && p.assignment[s as usize] as usize != part.shard
+                })
+                .count();
+        }
+        prop_assert_eq!(edge_sum, g.num_edges(), "edges partition exactly");
+        prop_assert_eq!(cut, p.cut_edges);
+    }
+
+    #[test]
+    fn partitioning_is_deterministic_per_seed(
+        nodes in 2usize..80,
+        edges in 0usize..300,
+        shards in 1usize..6,
+        strategy in arb_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let g = build(nodes, edges, GraphTopology::ErdosRenyi, seed ^ 0xabc);
+        let mk = || Partitioner::new(shards).strategy(strategy).seed(seed).partition(&g);
+        let a = mk();
+        let b = mk();
+        prop_assert_eq!(&a, &b, "repeat partition differs");
+        // Subgraph extraction is deterministic too, shard by shard.
+        for shard in 0..a.shards {
+            let (ga, la) = a.subgraph(&g, shard).unwrap();
+            let (gb, lb) = b.subgraph(&g, shard).unwrap();
+            prop_assert_eq!(la, lb);
+            prop_assert_eq!(ga.edges(), gb.edges());
+            prop_assert_eq!(ga.features(), gb.features());
+        }
+    }
+
+    #[test]
+    fn subgraphs_are_consistent_views(
+        nodes in 2usize..60,
+        edges in 0usize..250,
+        shards in 1usize..5,
+        strategy in arb_strategy(),
+        seed in 0u64..500,
+    ) {
+        let g = build(nodes, edges, GraphTopology::ErdosRenyi, seed);
+        let p = Partitioner::new(shards).strategy(strategy).seed(seed).partition(&g);
+        for part in &p.parts {
+            let (sub, l2g) = p.subgraph(&g, part.shard).unwrap();
+            prop_assert_eq!(sub.num_nodes(), part.owned.len() + part.halo.len());
+            prop_assert_eq!(sub.num_edges(), part.edges);
+            prop_assert_eq!(sub.feature_dim(), g.feature_dim());
+            // The local->global map is injective and feature rows match.
+            let mut sorted = l2g.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), l2g.len(), "l2g not injective");
+            for (l, &gv) in l2g.iter().enumerate() {
+                prop_assert_eq!(sub.features().row(l), g.features().row(gv as usize));
+            }
+            // Every local edge maps to a global edge with an owned dst.
+            for (s, d) in sub.edges().iter() {
+                let gd = l2g[d as usize];
+                prop_assert_eq!(p.assignment[gd as usize] as usize, part.shard);
+                prop_assert!((s as usize) < sub.num_nodes());
+            }
+        }
+    }
+}

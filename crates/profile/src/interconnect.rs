@@ -1,0 +1,74 @@
+//! The inter-device transfer cost model for sharded multi-GPU runs.
+//!
+//! Graph-partitioned inference moves halo (ghost-node) feature rows
+//! between devices before every aggregation layer. Kernel profilers model
+//! on-device behaviour; this model prices the *link*: each transfer costs
+//! a fixed per-transfer latency (launch + synchronization of the copy
+//! engine) plus a bandwidth term — the standard `α + β·bytes` model of
+//! collective-communication analysis. The multi-GPU scenarios use it to
+//! expose the communication bottleneck that single-device GNN benchmarks
+//! hide.
+
+use serde::{Deserialize, Serialize};
+
+/// An `α + β·bytes` inter-device link model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interconnect {
+    /// Fixed per-transfer latency in milliseconds (α).
+    pub latency_ms: f64,
+    /// Link bandwidth in GB/s (1 GB = 1e9 bytes) (1/β).
+    pub gb_per_s: f64,
+}
+
+impl Interconnect {
+    /// An NVLink-class link: 5 µs per-transfer latency, 50 GB/s effective
+    /// peer-to-peer bandwidth — the modeled fabric of the multi-GPU
+    /// scenarios.
+    pub fn nvlink() -> Self {
+        Interconnect {
+            latency_ms: 0.005,
+            gb_per_s: 50.0,
+        }
+    }
+
+    /// A PCIe-class link: 10 µs latency, 12 GB/s effective bandwidth.
+    pub fn pcie() -> Self {
+        Interconnect {
+            latency_ms: 0.010,
+            gb_per_s: 12.0,
+        }
+    }
+
+    /// Modeled wall time of one `bytes`-sized transfer, in milliseconds.
+    pub fn transfer_ms(&self, bytes: u64) -> f64 {
+        self.latency_ms + bytes as f64 / (self.gb_per_s * 1e6)
+    }
+}
+
+impl Default for Interconnect {
+    /// [`Interconnect::nvlink`].
+    fn default() -> Self {
+        Interconnect::nvlink()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_floors_small_transfers() {
+        let link = Interconnect::nvlink();
+        assert!((link.transfer_ms(0) - 0.005).abs() < 1e-12);
+        assert!(link.transfer_ms(4) < link.transfer_ms(4 << 20));
+    }
+
+    #[test]
+    fn bandwidth_term_scales_linearly() {
+        let link = Interconnect::nvlink();
+        // 50 MB at 50 GB/s = 1 ms plus latency.
+        let t = link.transfer_ms(50_000_000);
+        assert!((t - 1.005).abs() < 1e-9, "{t}");
+        assert!(Interconnect::pcie().transfer_ms(50_000_000) > t);
+    }
+}

@@ -37,14 +37,16 @@
 #![forbid(unsafe_code)]
 
 mod analytical;
+mod interconnect;
 mod report;
 mod simbackend;
 mod stats;
 
 pub use analytical::HwProfiler;
+pub use interconnect::Interconnect;
 pub use report::{write_csv, TextTable};
 pub use simbackend::SimProfiler;
-pub use stats::{Backend, KernelStats, PipelineProfile};
+pub use stats::{Backend, KernelStats, PipelineProfile, ShardStats, ShardingProfile};
 
 use gsuite_gpu::KernelWorkload;
 

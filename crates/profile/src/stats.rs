@@ -78,6 +78,84 @@ impl KernelStats {
     }
 }
 
+/// Per-shard execution summary of a sharded (multi-GPU) run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Modeled device index executing this shard.
+    pub device: usize,
+    /// Nodes this shard owns.
+    pub owned_nodes: u64,
+    /// Halo (ghost) nodes replicated onto this shard.
+    pub halo_nodes: u64,
+    /// Summed kernel time of this shard's launches (exchanges excluded),
+    /// in milliseconds.
+    pub kernel_ms: f64,
+    /// Summed halo-transfer time into this shard (interconnect-priced),
+    /// in milliseconds.
+    pub exchange_ms: f64,
+    /// Halo feature bytes received per inference (all layers).
+    pub halo_in_bytes: u64,
+    /// Peak device bytes of this shard's memory schedule.
+    pub peak_device_bytes: u64,
+}
+
+impl ShardStats {
+    /// The shard's modeled wall time: kernels plus incoming transfers.
+    pub fn device_time_ms(&self) -> f64 {
+        self.kernel_ms + self.exchange_ms
+    }
+}
+
+/// The multi-GPU summary of a sharded run, attached to
+/// [`PipelineProfile::sharding`] when a pipeline executed over more than
+/// one modeled device.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardingProfile {
+    /// Partitioner strategy name (`"hash"`, `"range"`, `"edgecut"`).
+    pub strategy: String,
+    /// Edges whose endpoints live on different shards.
+    pub cut_edges: u64,
+    /// Total edges of the partitioned graph.
+    pub total_edges: u64,
+    /// Per-shard records, in shard order.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ShardingProfile {
+    /// Fraction of edges cut by the partition, in `[0, 1]`.
+    pub fn edge_cut_fraction(&self) -> f64 {
+        if self.total_edges == 0 {
+            0.0
+        } else {
+            self.cut_edges as f64 / self.total_edges as f64
+        }
+    }
+
+    /// Total halo bytes transferred per inference (all shards, all layers).
+    pub fn halo_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.halo_in_bytes).sum()
+    }
+
+    /// The bulk-synchronous makespan: the slowest shard's kernels plus
+    /// transfers (shards execute concurrently, one per device).
+    pub fn makespan_ms(&self) -> f64 {
+        self.shards
+            .iter()
+            .map(ShardStats::device_time_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// Largest per-shard peak-device-bytes footprint — the memory a
+    /// single device must actually provision.
+    pub fn max_shard_peak_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.peak_device_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 /// A profiled pipeline: one record per kernel launch, in launch order, plus
 /// host-side overhead (framework initialization, launch gaps).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -88,8 +166,14 @@ pub struct PipelineProfile {
     pub host_overhead_ms: f64,
     /// Peak simultaneously-live device bytes of the pipeline's memory
     /// schedule (the bump-arena size at O0; the memory planner's
-    /// high-water mark at O2).
+    /// high-water mark at O2). For sharded runs this is the largest
+    /// single-device peak (see [`PipelineProfile::sharding`]).
     pub peak_device_bytes: u64,
+    /// Multi-GPU summary — `Some` only for sharded runs, where
+    /// [`PipelineProfile::kernels`] concatenates every shard's launches
+    /// and this field carries the per-shard split, the edge cut and the
+    /// halo traffic.
+    pub sharding: Option<ShardingProfile>,
     /// Per-launch kernel records in execution order.
     pub kernels: Vec<KernelStats>,
 }
@@ -101,18 +185,33 @@ impl PipelineProfile {
             label: label.into(),
             host_overhead_ms: 0.0,
             peak_device_bytes: 0,
+            sharding: None,
             kernels: Vec::new(),
         }
     }
 
-    /// Total device time (sum over kernel launches) in milliseconds.
+    /// Total device time (sum over kernel launches) in milliseconds. For
+    /// sharded runs this sums *every* shard's launches — the total work,
+    /// not the wall time; see [`PipelineProfile::parallel_time_ms`].
     pub fn device_time_ms(&self) -> f64 {
         self.kernels.iter().map(|k| k.time_ms).sum()
     }
 
+    /// The modeled device-side wall time: equal to
+    /// [`PipelineProfile::device_time_ms`] for single-device runs, the
+    /// bulk-synchronous makespan (slowest shard, kernels + halo
+    /// transfers) for sharded runs.
+    pub fn parallel_time_ms(&self) -> f64 {
+        match &self.sharding {
+            Some(s) => s.makespan_ms(),
+            None => self.device_time_ms(),
+        }
+    }
+
     /// End-to-end time: host overhead plus device time, in milliseconds.
+    /// Sharded runs charge the parallel makespan, not the summed work.
     pub fn total_time_ms(&self) -> f64 {
-        self.host_overhead_ms + self.device_time_ms()
+        self.host_overhead_ms + self.parallel_time_ms()
     }
 
     /// Fraction of device time spent in each distinct kernel name, sorted

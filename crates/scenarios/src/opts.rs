@@ -28,6 +28,12 @@ pub struct BenchOpts {
     /// Forces one plan-optimization level on every expanded cell,
     /// replacing the spec's `opt_levels` axis (`run-scenario --opt 0|2`).
     pub opt_override: Option<gsuite_core::OptLevel>,
+    /// Forces one modeled-device (shard) count on every expanded cell,
+    /// replacing the spec's `gpus_per_run` axis (`run-scenario --shards N`).
+    pub shards_override: Option<usize>,
+    /// Forces one graph-partition strategy on every sharded cell
+    /// (`run-scenario --partitioner hash|range|edgecut`).
+    pub partitioner_override: Option<gsuite_graph::PartitionStrategy>,
 }
 
 impl BenchOpts {
@@ -225,6 +231,8 @@ pub fn sweep_config(
         seed: 42,
         functional_math: false, // profiling sweeps never need host math
         opt: gsuite_core::OptLevel::O0,
+        gpus_per_run: 1,
+        partitioner: gsuite_graph::PartitionStrategy::Hash,
     }
 }
 

@@ -10,6 +10,7 @@ use gsuite_core::config::{CompModel, FrameworkKind, GnnModel};
 use gsuite_core::OptLevel;
 use gsuite_gpu::StallReason;
 use gsuite_graph::datasets::Dataset;
+use gsuite_graph::GraphFormat;
 use gsuite_profile::{PipelineProfile, TextTable};
 
 use crate::opts::{ms, pct, BenchOpts};
@@ -137,6 +138,13 @@ pub fn all() -> Vec<Scenario> {
             spec_fn: spec_planopt,
             render_fn: render_planopt,
         },
+        Scenario {
+            name: "multigpu",
+            about:
+                "beyond-paper: graph-partitioned multi-GPU scaling (1/2/4/8 shards, halo exchange)",
+            spec_fn: spec_multigpu,
+            render_fn: render_multigpu,
+        },
     ]
 }
 
@@ -170,6 +178,96 @@ pub fn list_table(scenarios: &[Scenario], opts: &BenchOpts) -> TextTable {
         ]);
     }
     table
+}
+
+/// Renders the generated scenario reference (`docs/SCENARIOS.md`): one
+/// markdown table row per registry entry — name, axes, expanded cell
+/// count at the default mode, golden snapshot path and description.
+///
+/// `gsuite-cli docs-scenarios` prints this; `--write` commits it to
+/// `docs/SCENARIOS.md` and CI's `--check` fails when the committed file
+/// drifts from the registry.
+pub fn scenario_docs(opts: &BenchOpts) -> String {
+    let mut out = String::new();
+    out.push_str("# Scenario reference\n\n");
+    out.push_str(
+        "<!-- GENERATED by `gsuite-cli docs-scenarios --write` — do not edit by hand.\n     \
+         CI runs `gsuite-cli docs-scenarios --check` and fails when this file\n     \
+         drifts from the registry in crates/scenarios/src/registry.rs. -->\n\n",
+    );
+    out.push_str(
+        "Every entry is runnable as `gsuite-cli run-scenario <name> [--quick|--full]`\n\
+         and locked by a byte-exact golden snapshot (see `tests/golden.rs`).\n\
+         Cell counts are the default-mode grid size; axes with a single value\n\
+         are collapsed.\n\n",
+    );
+    out.push_str("| scenario | cells | axes | golden snapshot | description |\n");
+    out.push_str("|---|---|---|---|---|\n");
+    for s in all() {
+        let spec = s.spec();
+        let cells = spec.expand(opts).len();
+        let mut axes: Vec<String> = Vec::new();
+        let join = |items: Vec<String>| items.join("/");
+        if !spec.models.is_empty() {
+            axes.push(format!(
+                "models: {}",
+                join(spec.models.iter().map(|m| m.to_string()).collect())
+            ));
+        }
+        if !spec.datasets.is_empty() {
+            axes.push(format!(
+                "datasets: {}",
+                join(
+                    spec.datasets
+                        .iter()
+                        .map(|d| d.short().to_string())
+                        .collect()
+                )
+            ));
+        }
+        if spec.frameworks.len() > 1 {
+            axes.push(format!(
+                "frameworks: {}",
+                join(spec.frameworks.iter().map(|f| f.to_string()).collect())
+            ));
+        }
+        if !spec.comp_models.is_empty() {
+            axes.push(format!(
+                "comp: {}",
+                join(spec.comp_models.iter().map(|c| c.to_string()).collect())
+            ));
+        }
+        axes.push(format!(
+            "gpus: {}",
+            join(spec.gpus.iter().map(|g| g.label()).collect())
+        ));
+        if spec.gpus_per_run != vec![1] {
+            axes.push(format!(
+                "shards: {} ({})",
+                join(spec.gpus_per_run.iter().map(|n| n.to_string()).collect()),
+                spec.partitioner.name()
+            ));
+        }
+        if spec.opt_levels != vec![OptLevel::O0] {
+            axes.push(format!(
+                "opt: {}",
+                join(spec.opt_levels.iter().map(|o| o.to_string()).collect())
+            ));
+        }
+        if spec.restrict.is_some() {
+            axes.push("restricted subset".to_string());
+        }
+        out.push_str(&format!(
+            "| `{}` | {} | {} | `tests/golden/{}.txt` | {} |\n",
+            s.name,
+            cells,
+            axes.join("; "),
+            s.name,
+            s.about
+        ));
+    }
+    out.push_str("\nRegenerate with:\n\n```bash\ncargo run --release --bin gsuite-cli -- docs-scenarios --write\n```\n");
+    out
 }
 
 /// Entry point of the figure binaries: parse the standard flags, run the
@@ -1167,9 +1265,148 @@ fn render_planopt(result: &ScenarioResult, _opts: &BenchOpts) -> Report {
     report
 }
 
+// ---------------------------------------------------------------------------
+// multigpu — beyond-paper: graph-partitioned multi-GPU scaling.
+// ---------------------------------------------------------------------------
+
+/// The shard counts of the multi-GPU scaling sweep.
+const MULTIGPU_SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+fn spec_multigpu() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "multigpu",
+        title: "graph-partitioned multi-GPU scaling: paper models across 1/2/4/8 shards",
+        models: GnnModel::ALL.to_vec(),
+        datasets: vec![Dataset::Cora, Dataset::PubMed],
+        comp_models: vec![CompModel::Mp],
+        formats: vec![GraphFormat::Coo],
+        gpus_per_run: MULTIGPU_SHARDS.to_vec(),
+        ..ScenarioSpec::default()
+    }
+}
+
+fn render_multigpu(result: &ScenarioResult, _opts: &BenchOpts) -> Report {
+    let mut report = Report::new();
+    report.header(
+        "Scenario multigpu",
+        "graph-partitioned multi-GPU scaling: paper models across 1/2/4/8 shards",
+    );
+    let partitioner = result
+        .cells
+        .first()
+        .map(|c| c.config.partitioner.name())
+        .unwrap_or("hash");
+    let kib = |bytes: u64| format!("{:.1}", bytes as f64 / 1024.0);
+    let mut table = TextTable::new(&[
+        "Model",
+        "Dataset",
+        "Shards",
+        "edge-cut",
+        "halo (KiB)",
+        "device (ms)",
+        "speedup",
+        "efficiency",
+        "shard peak (KiB)",
+    ]);
+    // Walk the shard counts that actually executed (the spec's axis, or
+    // the single value a `--shards` override collapsed it to), so forced
+    // axes still render their results; the scaling baseline is the
+    // smallest executed shard count (1 in the registry grid).
+    let mut shard_axis: Vec<usize> = Vec::new();
+    for cell in &result.cells {
+        if !shard_axis.contains(&cell.config.gpus_per_run) {
+            shard_axis.push(cell.config.gpus_per_run);
+        }
+    }
+    let base_shards = shard_axis.iter().copied().min().unwrap_or(1);
+    // Walk the executed spec's model/dataset axes so the renderer can
+    // never drift from the grid.
+    for &model in &result.spec.models {
+        for &dataset in &result.spec.datasets {
+            let probe = |shards: usize| {
+                result.profile_at(0, |c| {
+                    c.model == model && c.dataset == dataset && c.gpus_per_run == shards
+                })
+            };
+            let t1 = probe(base_shards).map(|p| p.parallel_time_ms());
+            for &shards in &shard_axis {
+                let mut row = vec![
+                    model.to_string(),
+                    dataset.short().to_string(),
+                    shards.to_string(),
+                ];
+                match (probe(shards), t1) {
+                    (Some(p), Some(t1)) => {
+                        let tn = p.parallel_time_ms();
+                        let speedup = if tn > 0.0 { t1 / tn } else { 0.0 };
+                        let (cut, halo, peak) = match &p.sharding {
+                            Some(s) => (
+                                s.edge_cut_fraction(),
+                                s.halo_bytes(),
+                                s.max_shard_peak_bytes(),
+                            ),
+                            None => (0.0, 0, p.peak_device_bytes),
+                        };
+                        row.extend([
+                            pct(cut),
+                            kib(halo),
+                            ms(tn),
+                            format!("{speedup:.2}x"),
+                            // Efficiency relative to the baseline shard
+                            // count (speedup/shards when the base is 1).
+                            pct(speedup * base_shards as f64 / shards as f64),
+                            kib(peak),
+                        ]);
+                    }
+                    _ => row.extend([na(), na(), na(), na(), na(), na()]),
+                }
+                table.row_owned(row);
+            }
+        }
+    }
+    report.table(
+        "multigpu",
+        format!("Strong scaling under graph partitioning — gSuite-MP, {partitioner} partitioner, NVLink-class interconnect"),
+        table,
+    );
+    report.note("device (ms) is the bulk-synchronous makespan: the slowest shard's kernels");
+    report.note("plus its halo transfers (alpha + bytes/beta per transfer); efficiency is");
+    report.note("speedup/shards. 1-shard rows take the unsharded single-GPU path and");
+    report.note("reproduce the golden launch stream byte-for-byte.");
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn multigpu_reports_scaling_for_every_shard_count() {
+        let (result, report) = find("multigpu").unwrap().run(&BenchOpts::golden());
+        // 3 models x 2 datasets x 4 shard counts.
+        assert_eq!(result.cells.len(), 24);
+        assert_eq!(result.profiled_count(), 24);
+        for &shards in &MULTIGPU_SHARDS {
+            let p = result
+                .profile_at(0, |c| {
+                    c.model == GnnModel::Gcn
+                        && c.dataset == Dataset::Cora
+                        && c.gpus_per_run == shards
+                })
+                .expect("every shard count profiles");
+            if shards == 1 {
+                assert!(p.sharding.is_none(), "1-shard cells are unsharded");
+            } else {
+                let s = p.sharding.as_ref().expect("sharded profile");
+                assert_eq!(s.shards.len(), shards);
+                assert!(s.cut_edges > 0);
+            }
+        }
+        let text = report.render(&BenchOpts::golden());
+        assert!(text.contains("speedup"));
+        assert!(text.contains("efficiency"));
+        assert!(text.contains("edge-cut"));
+    }
 
     #[test]
     fn planopt_o2_strictly_improves_gcn_spmm_and_gin() {
@@ -1240,6 +1477,20 @@ mod tests {
         assert_eq!(matching("fig").len(), 7);
         assert!(matching("cycle simulator").len() >= 3);
         assert!(matching("no-such-scenario").is_empty());
+    }
+
+    #[test]
+    fn scenario_docs_cover_every_registry_entry() {
+        let docs = scenario_docs(&BenchOpts::default());
+        for s in all() {
+            assert!(docs.contains(&format!("| `{}` |", s.name)), "{}", s.name);
+            assert!(docs.contains(&format!("tests/golden/{}.txt", s.name)));
+        }
+        assert!(docs.contains("GENERATED"));
+        // The multigpu entry names its shard axis and partitioner.
+        assert!(docs.contains("shards: 1/2/4/8 (hash)"));
+        // Deterministic: the CI drift check depends on it.
+        assert_eq!(docs, scenario_docs(&BenchOpts::default()));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use gsuite_core::config::{CompModel, FrameworkKind, GnnModel, RunConfig};
 use gsuite_core::OptLevel;
 use gsuite_graph::datasets::Dataset;
-use gsuite_graph::GraphFormat;
+use gsuite_graph::{GraphFormat, PartitionStrategy};
 use gsuite_profile::{Profiler, SimProfiler};
 
 use crate::opts::BenchOpts;
@@ -165,6 +165,15 @@ pub struct ScenarioSpec {
     /// [`crate::BenchOpts::opt_override`] (the CLI's `--opt`) replaces
     /// the whole axis.
     pub opt_levels: Vec<OptLevel>,
+    /// Modeled-device (shard) count axis (default `[1]`, the single-GPU
+    /// golden-compatible path; the `multigpu` scenario sweeps 1/2/4/8).
+    /// [`crate::BenchOpts::shards_override`] (the CLI's `--shards`)
+    /// replaces the whole axis.
+    pub gpus_per_run: Vec<usize>,
+    /// Graph-partition strategy for sharded cells (default hash;
+    /// [`crate::BenchOpts::partitioner_override`], the CLI's
+    /// `--partitioner`, overrides it).
+    pub partitioner: PartitionStrategy,
     /// Optional restriction to a subset of the cross-product.
     pub restrict: Option<CellFilter>,
 }
@@ -188,6 +197,8 @@ impl Default for ScenarioSpec {
             frameworks: vec![FrameworkKind::GSuite],
             seed: 42,
             opt_levels: vec![OptLevel::O0],
+            gpus_per_run: vec![1],
+            partitioner: PartitionStrategy::Hash,
             restrict: None,
         }
     }
@@ -240,51 +251,65 @@ impl ScenarioSpec {
         }
     }
 
+    /// The shard counts this expansion walks: the CLI's `--shards`
+    /// override when present, the spec's axis otherwise.
+    fn shards_axis(&self, opts: &BenchOpts) -> Vec<usize> {
+        match opts.shards_override {
+            Some(shards) => vec![shards],
+            None => self.gpus_per_run.clone(),
+        }
+    }
+
     /// Expands the spec into its ordered cell grid (see the type-level
     /// docs for the walk order and validity rules).
     pub fn expand(&self, opts: &BenchOpts) -> Vec<ScenarioCell> {
+        let partitioner = opts.partitioner_override.unwrap_or(self.partitioner);
         let mut cells = Vec::new();
         for (gpu_index, &gpu) in self.gpus.iter().enumerate() {
             for &opt in &self.opt_axis(opts) {
-                for &model in &self.models {
-                    for &framework in &self.frameworks {
-                        for &comp in &self.comp_models {
-                            if let Some(forced) = framework.forced_comp() {
-                                if comp != forced {
-                                    continue;
-                                }
-                            }
-                            for &format in &self.formats {
-                                if !format_feeds_comp(format, comp) {
-                                    continue;
-                                }
-                                for &dataset in &self.datasets {
-                                    if let Some(keep) = self.restrict {
-                                        if !keep(framework, model, comp, dataset) {
-                                            continue;
-                                        }
+                for &shards in &self.shards_axis(opts) {
+                    for &model in &self.models {
+                        for &framework in &self.frameworks {
+                            for &comp in &self.comp_models {
+                                if let Some(forced) = framework.forced_comp() {
+                                    if comp != forced {
+                                        continue;
                                     }
-                                    let scale = match self.scale {
-                                        ScalePolicy::Paper => opts.scale_for(dataset),
-                                        ScalePolicy::Fixed(s) => s,
-                                    };
-                                    cells.push(ScenarioCell {
-                                        gpu_index,
-                                        gpu,
-                                        format,
-                                        config: RunConfig {
-                                            model,
-                                            comp,
-                                            dataset,
-                                            scale,
-                                            layers: self.layers,
-                                            hidden: self.hidden,
-                                            framework,
-                                            seed: self.seed,
-                                            functional_math: false,
-                                            opt,
-                                        },
-                                    });
+                                }
+                                for &format in &self.formats {
+                                    if !format_feeds_comp(format, comp) {
+                                        continue;
+                                    }
+                                    for &dataset in &self.datasets {
+                                        if let Some(keep) = self.restrict {
+                                            if !keep(framework, model, comp, dataset) {
+                                                continue;
+                                            }
+                                        }
+                                        let scale = match self.scale {
+                                            ScalePolicy::Paper => opts.scale_for(dataset),
+                                            ScalePolicy::Fixed(s) => s,
+                                        };
+                                        cells.push(ScenarioCell {
+                                            gpu_index,
+                                            gpu,
+                                            format,
+                                            config: RunConfig {
+                                                model,
+                                                comp,
+                                                dataset,
+                                                scale,
+                                                layers: self.layers,
+                                                hidden: self.hidden,
+                                                framework,
+                                                seed: self.seed,
+                                                functional_math: false,
+                                                opt,
+                                                gpus_per_run: shards.max(1),
+                                                partitioner,
+                                            },
+                                        });
+                                    }
                                 }
                             }
                         }

@@ -75,9 +75,11 @@ impl ServeRequest {
     }
 
     /// Renders the request as one protocol line. `parse_line` of the
-    /// result round-trips to an equal request.
+    /// result round-trips to an equal request. The sharding keys
+    /// (`shards`, `partitioner`) are emitted only for multi-GPU requests,
+    /// keeping single-device lines identical to the historical format.
     pub fn to_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "model={} comp={} dataset={} scale={} layers={} hidden={} framework={} seed={} functional={} opt={} backend={}",
             self.config.model.name().to_ascii_lowercase(),
             self.config.comp.name().to_ascii_lowercase(),
@@ -90,7 +92,15 @@ impl ServeRequest {
             self.config.functional_math,
             self.config.opt.name().to_ascii_lowercase(),
             self.gpu.proto_name(),
-        )
+        );
+        if self.config.gpus_per_run > 1 {
+            line.push_str(&format!(
+                " shards={} partitioner={}",
+                self.config.gpus_per_run,
+                self.config.partitioner.name()
+            ));
+        }
+        line
     }
 
     /// A compact display label, e.g. `"gSuite-MP GCN on Cora [V100-hw]"`.
@@ -163,6 +173,7 @@ mod tests {
             "model=sage comp=mp dataset=citeseer scale=0.05 backend=sim",
             "model=gat dataset=reddit scale=0.001 layers=3 hidden=8 seed=7 backend=sim:4",
             "model=gin comp=spmm dataset=cora opt=2 backend=hw",
+            "model=gcn dataset=cora scale=0.05 shards=4 partitioner=edgecut backend=hw",
         ] {
             let r = ServeRequest::parse_line(line).expect("valid");
             let back = ServeRequest::parse_line(&r.to_line()).expect("round-trip parses");

@@ -173,6 +173,10 @@ pub struct ServerStats {
     /// (each pipeline's memory schedule reports its own peak; see
     /// `gsuite_profile::PipelineProfile::peak_device_bytes`).
     pub peak_device_bytes: u64,
+    /// Largest *per-shard* device-bytes peak among sharded (multi-GPU)
+    /// pipelines served so far — the memory one device of the modeled
+    /// cluster must provision. `0` until a `shards>1` request runs.
+    pub shard_peak_device_bytes: u64,
     /// Cache counters.
     pub cache: LruStats,
 }
@@ -184,7 +188,7 @@ impl ServerStats {
             "stats workers={} queue={} submitted={} completed={} coalesced={} rejected={} \
              cache_hits={} cache_misses={} cache_insertions={} cache_evictions={} \
              cache_rejected={} cache_bytes={} cache_capacity={} cache_entries={} \
-             peak_device_bytes={}",
+             peak_device_bytes={} shard_peak_device_bytes={}",
             self.workers,
             self.queue_depth,
             self.submitted,
@@ -200,6 +204,7 @@ impl ServerStats {
             self.cache.capacity_bytes,
             self.cache.entries,
             self.peak_device_bytes,
+            self.shard_peak_device_bytes,
         )
     }
 }
@@ -229,6 +234,7 @@ struct State {
     coalesced: u64,
     rejected: u64,
     peak_device_bytes: u64,
+    shard_peak_device_bytes: u64,
     shutdown: bool,
 }
 
@@ -262,6 +268,7 @@ impl Server {
                 coalesced: 0,
                 rejected: 0,
                 peak_device_bytes: 0,
+                shard_peak_device_bytes: 0,
                 shutdown: false,
             }),
             work_avail: Condvar::new(),
@@ -378,6 +385,7 @@ impl Server {
             coalesced: state.coalesced,
             rejected: state.rejected,
             peak_device_bytes: state.peak_device_bytes,
+            shard_peak_device_bytes: state.shard_peak_device_bytes,
             cache: state.cache.stats(),
         }
     }
@@ -472,6 +480,14 @@ fn worker_loop(inner: &Inner) {
             .ok()
             .map(|(_, run)| run.peak_device_bytes)
             .unwrap_or(0);
+        // For sharded pipelines, the per-shard high-water mark (what one
+        // device of the modeled cluster provisions) feeds its own stat.
+        let shard_peak_device_bytes = built
+            .as_ref()
+            .ok()
+            .and_then(|(_, run)| run.sharding.as_ref())
+            .map(|s| s.max_shard_peak_bytes())
+            .unwrap_or(0);
         let outcome: Result<Arc<PipelineProfile>, String> = built.map(|(_, run)| {
             let profiler = job
                 .key
@@ -493,6 +509,8 @@ fn worker_loop(inner: &Inner) {
             let (_, waiters) = state.executing.swap_remove(i);
             state.completed += (job.waiters.len() + waiters.len()) as u64;
             state.peak_device_bytes = state.peak_device_bytes.max(peak_device_bytes);
+            state.shard_peak_device_bytes =
+                state.shard_peak_device_bytes.max(shard_peak_device_bytes);
             waiters
         };
         for (n, waiter) in job.waiters.into_iter().chain(late_waiters).enumerate() {
@@ -563,6 +581,29 @@ mod tests {
         // Bit-identical profiles: same pipeline, same profiler.
         assert_eq!(first.outcome.unwrap(), second.outcome.unwrap());
         assert!(server.stats().cache.hit_rate() > 0.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn sharded_requests_report_their_per_shard_peak() {
+        let server = Server::start(ServeConfig::golden());
+        let done = server
+            .submit(golden_request(
+                "model=gcn dataset=cora scale=0.05 shards=2 partitioner=range",
+            ))
+            .unwrap()
+            .recv()
+            .unwrap();
+        let profile = done.outcome.expect("sharded gcn-mp builds");
+        let sharding = profile.sharding.as_ref().expect("sharded profile");
+        assert_eq!(sharding.shards.len(), 2);
+        let stats = server.stats();
+        assert!(stats.shard_peak_device_bytes > 0);
+        assert_eq!(
+            stats.shard_peak_device_bytes,
+            sharding.max_shard_peak_bytes()
+        );
+        assert!(stats.to_line().contains("shard_peak_device_bytes="));
         server.shutdown();
     }
 

@@ -10,7 +10,9 @@
 //!
 //! gsuite-cli run-scenario --list [--filter STR]
 //! gsuite-cli run-scenario NAME [--quick|--full] [--csv DIR] [--threads N]
-//!                              [--opt 0|2]
+//!                              [--opt 0|2] [--shards N] [--partitioner NAME]
+//!
+//! gsuite-cli docs-scenarios [--check|--write]
 //!
 //! gsuite-cli explain [MODEL] [pipeline flags ...]
 //!
@@ -51,6 +53,7 @@ fn main() -> ExitCode {
         Some("explain") => Some(explain_cmd),
         Some("serve") => Some(serve_cmd),
         Some("loadgen") => Some(loadgen_cmd),
+        Some("docs-scenarios") => Some(docs_scenarios_cmd),
         _ => None,
     };
     if let Some(cmd) = dispatch {
@@ -94,6 +97,9 @@ fn print_help() {
            --functional BOOL      compute real outputs host-side (true)\n\
            --opt 0|2              plan optimization level (0 = golden-compatible\n\
                                   launch stream, 2 = fusion/hoist/memory planning)\n\
+           --shards N             modeled devices; N > 1 partitions the graph and\n\
+                                  compiles one op DAG per shard + halo exchanges (1)\n\
+           --partitioner NAME     hash|range|edgecut shard assignment (hash)\n\
          \n\
          measurement flags:\n\
            --backend hw|sim       analytical profiler or cycle simulator (hw)\n\
@@ -104,11 +110,16 @@ fn print_help() {
          scenario registry:\n\
            run-scenario --list [--filter STR]   list registered scenarios\n\
            run-scenario NAME [--quick|--full] [--csv DIR] [--threads N]\n\
-                        [--opt 0|2]\n\
+                        [--opt 0|2] [--shards N] [--partitioner NAME]\n\
                                   run one named experiment grid (the paper's\n\
                                   figures plus beyond-paper scenarios); --opt\n\
                                   forces one plan-optimization level on every\n\
-                                  cell (see the planopt scenario for O0 vs O2)\n\
+                                  cell (see the planopt scenario for O0 vs O2),\n\
+                                  --shards/--partitioner force the multi-GPU\n\
+                                  axis (see the multigpu scenario)\n\
+           docs-scenarios [--check|--write]\n\
+                                  the generated markdown scenario reference\n\
+                                  (docs/SCENARIOS.md); --check fails on drift\n\
          \n\
          plan IR:\n\
            explain [MODEL] [pipeline flags ...]\n\
@@ -203,10 +214,24 @@ fn run_scenario_cmd(args: &[String]) -> Result<(), String> {
                 );
                 i += 2;
             }
+            "--shards" => {
+                opts.shards_override = Some(parse_positive(args, i)?);
+                i += 2;
+            }
+            "--partitioner" => {
+                let value = take_value(args, i)?;
+                opts.partitioner_override = Some(
+                    gsuite_graph::PartitionStrategy::parse(value).ok_or_else(|| {
+                        format!("--partitioner expects hash|range|edgecut (got {value:?})")
+                    })?,
+                );
+                i += 2;
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!(
                     "unknown run-scenario flag {flag:?} (expected --list | --filter STR | \
-                     --quick | --full | --csv DIR | --threads N | --opt 0|2)"
+                     --quick | --full | --csv DIR | --threads N | --opt 0|2 | --shards N | \
+                     --partitioner hash|range|edgecut)"
                 ));
             }
             other => {
@@ -257,6 +282,63 @@ fn run_scenario_cmd(args: &[String]) -> Result<(), String> {
         None => scenario.run(&opts),
     };
     report.emit(&opts);
+    Ok(())
+}
+
+/// `gsuite-cli docs-scenarios [--check|--write]`: the generated markdown
+/// scenario reference. Prints to stdout by default; `--write` updates
+/// `docs/SCENARIOS.md`, `--check` (CI) fails when the committed file has
+/// drifted from the registry.
+fn docs_scenarios_cmd(args: &[String]) -> Result<(), String> {
+    let mut check = false;
+    let mut write = false;
+    for arg in args {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print_help();
+                return Ok(());
+            }
+            "--check" => check = true,
+            "--write" => write = true,
+            other => {
+                return Err(format!(
+                    "unknown docs-scenarios flag {other:?} (expected --check | --write)"
+                ))
+            }
+        }
+    }
+    if check && write {
+        return Err("--check and --write are mutually exclusive".to_string());
+    }
+    let docs = registry::scenario_docs(&BenchOpts::default());
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("docs/SCENARIOS.md");
+    if write {
+        std::fs::create_dir_all(path.parent().expect("docs/ has a parent"))
+            .map_err(|e| format!("cannot create docs/: {e}"))?;
+        std::fs::write(&path, &docs)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+        return Ok(());
+    }
+    if check {
+        let committed = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        if committed != docs {
+            let drift = committed
+                .lines()
+                .zip(docs.lines())
+                .position(|(a, b)| a != b)
+                .map(|i| format!("first drift at line {}", i + 1))
+                .unwrap_or_else(|| "line counts differ".to_string());
+            return Err(format!(
+                "docs/SCENARIOS.md is out of sync with the scenario registry ({drift}); \
+                 regenerate with `gsuite-cli docs-scenarios --write` and commit the diff"
+            ));
+        }
+        println!("docs/SCENARIOS.md is in sync with the registry");
+        return Ok(());
+    }
+    print!("{docs}");
     Ok(())
 }
 
@@ -570,33 +652,72 @@ fn run(args: &[String]) -> Result<(), String> {
     let profile = run.profile(profiler.as_ref());
 
     if !quiet {
-        let mut table = TextTable::new(&[
-            "#",
-            "kernel",
-            "op",
-            "time (ms)",
-            "instr",
-            "L1 hit",
-            "L2 hit",
-            "comp util",
-            "mem util",
-        ]);
-        // Per-op attribution: each profiled launch corresponds 1:1 to a
-        // plan op, so the semantic op label rides along the Table II name.
-        for (i, (k, op)) in profile.kernels.iter().zip(run.plan.ops()).enumerate() {
-            table.row_owned(vec![
-                (i + 1).to_string(),
-                k.kernel.clone(),
-                op.label(),
-                format!("{:.4}", k.time_ms),
-                k.instr_mix.total().to_string(),
-                format!("{:.1}%", k.l1.hit_rate() * 100.0),
-                format!("{:.1}%", k.l2.hit_rate() * 100.0),
-                format!("{:.1}%", k.compute_utilization * 100.0),
-                format!("{:.1}%", k.memory_utilization * 100.0),
+        if let Some(sharding) = &profile.sharding {
+            // Sharded run: per-shard summary instead of per-op rows (the
+            // flat launch stream spans every shard's plan).
+            let mut table = TextTable::new(&[
+                "shard",
+                "device",
+                "owned",
+                "halo",
+                "kernels (ms)",
+                "exchange (ms)",
+                "halo in (KiB)",
+                "peak (KiB)",
             ]);
+            for (i, s) in sharding.shards.iter().enumerate() {
+                table.row_owned(vec![
+                    i.to_string(),
+                    format!("gpu{}", s.device),
+                    s.owned_nodes.to_string(),
+                    s.halo_nodes.to_string(),
+                    format!("{:.4}", s.kernel_ms),
+                    format!("{:.4}", s.exchange_ms),
+                    format!("{:.1}", s.halo_in_bytes as f64 / 1024.0),
+                    format!("{:.1}", s.peak_device_bytes as f64 / 1024.0),
+                ]);
+            }
+            println!("{}", table.render());
+            println!(
+                "partition: {} x{} | edge cut {:.1}% ({}/{} edges) | halo {} KiB/inference | \
+                 makespan {:.4} ms (slowest shard incl. exchanges)",
+                sharding.strategy,
+                sharding.shards.len(),
+                sharding.edge_cut_fraction() * 100.0,
+                sharding.cut_edges,
+                sharding.total_edges,
+                sharding.halo_bytes() / 1024,
+                sharding.makespan_ms(),
+            );
+        } else {
+            let mut table = TextTable::new(&[
+                "#",
+                "kernel",
+                "op",
+                "time (ms)",
+                "instr",
+                "L1 hit",
+                "L2 hit",
+                "comp util",
+                "mem util",
+            ]);
+            // Per-op attribution: each profiled launch corresponds 1:1 to a
+            // plan op, so the semantic op label rides along the Table II name.
+            for (i, (k, op)) in profile.kernels.iter().zip(run.plan.ops()).enumerate() {
+                table.row_owned(vec![
+                    (i + 1).to_string(),
+                    k.kernel.clone(),
+                    op.label(),
+                    format!("{:.4}", k.time_ms),
+                    k.instr_mix.total().to_string(),
+                    format!("{:.1}%", k.l1.hit_rate() * 100.0),
+                    format!("{:.1}%", k.l2.hit_rate() * 100.0),
+                    format!("{:.1}%", k.compute_utilization * 100.0),
+                    format!("{:.1}%", k.memory_utilization * 100.0),
+                ]);
+            }
+            println!("{}", table.render());
         }
-        println!("{}", table.render());
         println!(
             "host overhead: {:.2} ms ({} launches, plan {}) | peak device bytes: {}",
             profile.host_overhead_ms,
@@ -609,7 +730,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "{} | backend={} | device {:.3} ms | end-to-end {:.3} ms | output checksum {:.6}",
         config.label(),
         profiler.backend(),
-        profile.device_time_ms(),
+        profile.parallel_time_ms(),
         profile.total_time_ms(),
         run.output.sum()
     );
@@ -654,6 +775,12 @@ fn merge(mut base: RunConfig, overrides: RunConfig, raw_flags: &[String]) -> Run
     }
     if passed("opt") || passed("opt-level") {
         base.opt = overrides.opt;
+    }
+    if passed("shards") || passed("gpus") || passed("gpus-per-run") {
+        base.gpus_per_run = overrides.gpus_per_run;
+    }
+    if passed("partitioner") {
+        base.partitioner = overrides.partitioner;
     }
     base
 }

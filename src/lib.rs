@@ -21,24 +21,27 @@
 //!
 //! # Quickstart
 //!
+//! The README's library quickstart, verbatim — `cargo test --doc` runs
+//! it, so the README can never drift from the API:
+//!
 //! ```
 //! use gsuite::core::config::RunConfig;
 //! use gsuite::core::pipeline::PipelineRun;
 //! use gsuite::profile::HwProfiler;
 //!
-//! # fn main() -> Result<(), gsuite::core::CoreError> {
-//! // Configure a 2-layer GCN on (a scaled) Cora, message-passing model.
-//! let config = RunConfig {
-//!     scale: 0.05,
-//!     hidden: 8,
-//!     ..RunConfig::default()
-//! };
-//! let graph = config.load_graph();
-//! let run = PipelineRun::build(&graph, &config)?;
-//! let profile = run.profile(&HwProfiler::v100());
-//! println!("{}: {:.3} ms end-to-end", run.label, profile.total_time_ms());
-//! # Ok(())
-//! # }
+//! fn main() -> Result<(), gsuite::core::CoreError> {
+//!     // Configure a 2-layer GCN on (a scaled) Cora, message-passing model.
+//!     let config = RunConfig {
+//!         scale: 0.05,
+//!         hidden: 8,
+//!         ..RunConfig::default()
+//!     };
+//!     let graph = config.load_graph();
+//!     let run = PipelineRun::build(&graph, &config)?;
+//!     let profile = run.profile(&HwProfiler::v100());
+//!     println!("{}: {:.3} ms end-to-end", run.label, profile.total_time_ms());
+//!     Ok(())
+//! }
 //! ```
 
 pub use gsuite_core as core;

@@ -96,6 +96,7 @@ fn golden_covers_every_registry_scenario() {
         "gpusweep",
         "serve-mix",
         "planopt",
+        "multigpu",
     ];
     let registered: Vec<&str> = registry::all().iter().map(|s| s.name).collect();
     assert_eq!(
@@ -128,6 +129,7 @@ golden_test!(
     golden_xmodels,
     golden_gpusweep,
     golden_planopt,
+    golden_multigpu,
 );
 
 // Hyphenated registry names don't fit the identifier-derived macro above.
