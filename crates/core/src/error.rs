@@ -29,6 +29,10 @@ pub enum CoreError {
         /// The offending key.
         key: String,
     },
+    /// A cooperative cancellation checkpoint fired mid-build — the
+    /// caller's deadline expired between compile phases
+    /// (see `PipelineRun::build_cancellable` in the pipeline module).
+    Cancelled,
     /// An underlying tensor operation failed.
     Tensor(TensorError),
     /// An underlying graph operation failed.
@@ -47,6 +51,7 @@ impl fmt::Display for CoreError {
                 expected,
             } => write!(f, "invalid value {value:?} for {key}: expected {expected}"),
             CoreError::UnknownKey { key } => write!(f, "unknown configuration key {key:?}"),
+            CoreError::Cancelled => write!(f, "build cancelled: deadline exceeded"),
             CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
         }

@@ -82,11 +82,42 @@ impl PipelineRun {
     /// Propagates [`crate::CoreError::UnsupportedCombination`] for
     /// gSuite + GraphSAGE + SpMM.
     pub fn build(graph: &Graph, config: &RunConfig) -> Result<Self> {
+        Self::build_cancellable(graph, config, &mut || false)
+    }
+
+    /// [`PipelineRun::build`] with cooperative cancellation: `cancelled`
+    /// is polled at a checkpoint between each compile phase (before
+    /// lowering, after lowering, after optimization, and after
+    /// decoration — and around the sharded build), and a `true` return
+    /// aborts the build with [`crate::CoreError::Cancelled`]. This is
+    /// how the serving layer propagates a request's deadline budget into
+    /// the build stage without preempting a phase mid-flight. A closure
+    /// that never fires takes the exact same code path as `build`, so
+    /// the fault-free output is identical.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CoreError::Cancelled`] when a checkpoint fires;
+    /// otherwise everything [`PipelineRun::build`] can return.
+    pub fn build_cancellable(
+        graph: &Graph,
+        config: &RunConfig,
+        cancelled: &mut dyn FnMut() -> bool,
+    ) -> Result<Self> {
+        let checkpoint = |cancelled: &mut dyn FnMut() -> bool| {
+            if cancelled() {
+                Err(crate::CoreError::Cancelled)
+            } else {
+                Ok(())
+            }
+        };
+        checkpoint(cancelled)?;
         if config.gpus_per_run > 1 {
             // Sharded multi-GPU path: one plan per shard plus halo
             // exchanges; profile-only by design (output reports zeros,
             // exactly like `functional_math: false`).
             let sharded = shard::build_sharded(graph, config)?;
+            checkpoint(cancelled)?;
             return Ok(PipelineRun {
                 label: config.label(),
                 config: config.clone(),
@@ -98,8 +129,11 @@ impl PipelineRun {
             });
         }
         let (mut plan, output) = frameworks::lower(graph, config)?;
+        checkpoint(cancelled)?;
         plan.optimize(config.opt);
+        checkpoint(cancelled)?;
         frameworks::decorate(&mut plan, config.framework);
+        checkpoint(cancelled)?;
         let schedule = plan.schedule(config.opt);
         Ok(PipelineRun {
             label: config.label(),
@@ -119,12 +153,24 @@ impl PipelineRun {
     /// the kernel profiler, and the per-shard split lands in
     /// [`PipelineProfile::sharding`].
     pub fn profile(&self, profiler: &dyn Profiler) -> PipelineProfile {
+        self.profile_with_link(profiler, Interconnect::nvlink())
+    }
+
+    /// [`PipelineRun::profile`] with an explicit [`Interconnect`] pricing
+    /// the halo exchanges of sharded runs — the hook the fault injector
+    /// uses to model a degraded fabric
+    /// ([`Interconnect::degraded`]). Single-device runs ignore the link.
+    pub fn profile_with_link(
+        &self,
+        profiler: &dyn Profiler,
+        link: Interconnect,
+    ) -> PipelineProfile {
         let kernels = self
             .launches
             .iter()
             .map(|launch| profile_launch(profiler, launch))
             .collect();
-        self.finish_profile(kernels)
+        self.finish_profile(kernels, link)
     }
 
     /// [`PipelineRun::profile`] with the independent kernel launches fanned
@@ -139,14 +185,13 @@ impl PipelineRun {
     pub fn profile_par(&self, profiler: &(dyn Profiler + Sync)) -> PipelineProfile {
         let kernels =
             gsuite_par::par_map(&self.launches, |_, launch| profile_launch(profiler, launch));
-        self.finish_profile(kernels)
+        self.finish_profile(kernels, Interconnect::nvlink())
     }
 
     /// Shared tail of the serial and parallel profile paths: attaches
     /// host overheads and, on sharded runs, replaces exchange records
-    /// with interconnect-priced transfers and builds the
-    /// [`ShardingProfile`].
-    fn finish_profile(&self, kernels: Vec<KernelStats>) -> PipelineProfile {
+    /// with `link`-priced transfers and builds the [`ShardingProfile`].
+    fn finish_profile(&self, kernels: Vec<KernelStats>, link: Interconnect) -> PipelineProfile {
         let costs = self.config.framework.costs();
         let mut profile = PipelineProfile::new(self.label.clone());
         profile.host_overhead_ms = costs.init_ms + costs.per_launch_ms * self.launches.len() as f64;
@@ -154,7 +199,6 @@ impl PipelineRun {
         profile.kernels = kernels;
 
         if let Some(sharded) = &self.sharding {
-            let link = Interconnect::nvlink();
             let mut shard_stats = Vec::with_capacity(sharded.shards.len());
             let mut cursor = 0usize;
             for shard in &sharded.shards {
@@ -366,6 +410,71 @@ mod tests {
         assert_eq!(profile.peak_device_bytes, sharding.max_shard_peak_bytes());
         // Parallel profiling is bit-identical on sharded runs too.
         assert_eq!(profile, run.profile_par(&HwProfiler::v100()));
+    }
+
+    #[test]
+    fn cancellable_build_matches_build_and_cancels_at_checkpoints() {
+        let cfg = config();
+        let graph = cfg.load_graph();
+        let plain = PipelineRun::build(&graph, &cfg).unwrap();
+        let free = PipelineRun::build_cancellable(&graph, &cfg, &mut || false).unwrap();
+        assert_eq!(plain.launch_count(), free.launch_count());
+        assert_eq!(plain.peak_device_bytes, free.peak_device_bytes);
+        assert_eq!(
+            plain.profile(&HwProfiler::v100()),
+            free.profile(&HwProfiler::v100()),
+            "never-firing cancellation is the plain build path"
+        );
+        assert_eq!(plain.output, free.output);
+        // A budget that expires after N polls aborts with Cancelled at
+        // every checkpoint depth (four on the single-device path) —
+        // never a panic, never a partial run.
+        for expire_after in 0..4usize {
+            let mut polls = 0usize;
+            let result = PipelineRun::build_cancellable(&graph, &cfg, &mut || {
+                polls += 1;
+                polls > expire_after
+            });
+            assert!(
+                matches!(result, Err(crate::CoreError::Cancelled)),
+                "expire_after={expire_after}"
+            );
+        }
+        // Sharded builds hit their own checkpoints too.
+        let sharded_cfg = RunConfig {
+            gpus_per_run: 2,
+            functional_math: false,
+            ..config()
+        };
+        let result = PipelineRun::build_cancellable(&graph, &sharded_cfg, &mut || true);
+        assert!(matches!(result, Err(crate::CoreError::Cancelled)));
+    }
+
+    #[test]
+    fn degraded_links_inflate_only_the_exchange_share() {
+        let cfg = RunConfig {
+            gpus_per_run: 2,
+            functional_math: false,
+            ..config()
+        };
+        let graph = cfg.load_graph();
+        let run = PipelineRun::build(&graph, &cfg).unwrap();
+        let hw = HwProfiler::v100();
+        let clean = run.profile(&hw);
+        assert_eq!(
+            clean,
+            run.profile_with_link(&hw, Interconnect::nvlink()),
+            "profile() is profile_with_link(nvlink)"
+        );
+        let slow = run.profile_with_link(&hw, Interconnect::nvlink().degraded(8.0));
+        let (c, s) = (
+            clean.sharding.as_ref().unwrap(),
+            slow.sharding.as_ref().unwrap(),
+        );
+        for (cs, ss) in c.shards.iter().zip(&s.shards) {
+            assert!(ss.exchange_ms > cs.exchange_ms, "exchange inflates");
+            assert_eq!(ss.kernel_ms, cs.kernel_ms, "kernel time untouched");
+        }
     }
 
     #[test]

@@ -43,6 +43,20 @@ impl Interconnect {
     pub fn transfer_ms(&self, bytes: u64) -> f64 {
         self.latency_ms + bytes as f64 / (self.gb_per_s * 1e6)
     }
+
+    /// This link degraded by `factor` (≥ 1): per-transfer latency grows
+    /// `factor`×, bandwidth shrinks `factor`× — the fault injector's
+    /// congested/flaky-fabric model. `factor <= 1` returns the link
+    /// unchanged.
+    pub fn degraded(self, factor: f64) -> Self {
+        if factor <= 1.0 {
+            return self;
+        }
+        Interconnect {
+            latency_ms: self.latency_ms * factor,
+            gb_per_s: self.gb_per_s / factor,
+        }
+    }
 }
 
 impl Default for Interconnect {
@@ -61,6 +75,15 @@ mod tests {
         let link = Interconnect::nvlink();
         assert!((link.transfer_ms(0) - 0.005).abs() < 1e-12);
         assert!(link.transfer_ms(4) < link.transfer_ms(4 << 20));
+    }
+
+    #[test]
+    fn degraded_links_slow_both_terms() {
+        let link = Interconnect::nvlink().degraded(4.0);
+        assert!((link.latency_ms - 0.020).abs() < 1e-12);
+        assert!((link.gb_per_s - 12.5).abs() < 1e-12);
+        // Sub-unity factors never *improve* the link.
+        assert_eq!(Interconnect::nvlink().degraded(0.5), Interconnect::nvlink());
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! serving layer's graph + pipeline cache.
 //!
 //! Capacity is expressed in *bytes*, not entries: every insertion carries
-//! an explicit byte cost (see [`crate::server::entry_bytes`] for the cost
-//! model of cached pipelines) and eviction walks entries from
+//! an explicit byte cost (the serving layer's `entry_bytes` models the
+//! cost of cached pipelines) and eviction walks entries from
 //! least-recently-used to most-recently-used until the new entry fits.
 //! Entries larger than the whole capacity are rejected (and counted)
 //! rather than thrashing the cache.
@@ -52,7 +52,7 @@ impl LruStats {
 /// # Example
 ///
 /// ```
-/// use gsuite_serve::ByteLru;
+/// use gsuite_scenarios::ByteLru;
 ///
 /// let mut cache: ByteLru<&str, u32> = ByteLru::new(100);
 /// cache.insert("a", 1, 60);
@@ -134,6 +134,20 @@ impl<K: PartialEq, V> ByteLru<K, V> {
         self.insertions += 1;
         self.entries.push((key, value, bytes));
         true
+    }
+
+    /// Drops up to `n` entries from the LRU end regardless of byte
+    /// pressure, counting each as an eviction — the fault injector's
+    /// "eviction storm" (cache poisoning) primitive. Returns how many
+    /// entries were actually dropped.
+    pub fn evict_lru(&mut self, n: usize) -> usize {
+        let drop = n.min(self.entries.len());
+        for _ in 0..drop {
+            let (_, _, evicted) = self.entries.remove(0);
+            self.used -= evicted;
+            self.evictions += 1;
+        }
+        drop
     }
 
     /// Live entry count.
@@ -219,6 +233,20 @@ mod tests {
         c.get(&1);
         c.get(&2);
         assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_storms_drop_from_the_lru_end() {
+        let mut c: ByteLru<u32, ()> = ByteLru::new(100);
+        c.insert(1, (), 10);
+        c.insert(2, (), 10);
+        c.insert(3, (), 10);
+        assert_eq!(c.evict_lru(2), 2);
+        assert_eq!(c.keys().copied().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(c.bytes_in_use(), 10);
+        assert_eq!(c.stats().evictions, 2);
+        assert_eq!(c.evict_lru(5), 1, "bounded by live entries");
+        assert!(c.is_empty());
     }
 
     #[test]

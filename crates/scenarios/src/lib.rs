@@ -46,13 +46,19 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod cache;
+mod chaos;
 mod opts;
 pub mod registry;
 mod report;
+pub mod resilience;
 mod runner;
+pub mod sim;
 mod spec;
 
+pub use cache::{ByteLru, LruStats};
 pub use opts::{gsuite_pairs, ms, par_sweep, pct, profile_pipeline, sweep_config, BenchOpts};
 pub use report::{Report, ReportItem};
 pub use runner::{run_scenario, run_scenario_threads, CellOutcome, ScenarioResult};
+pub use sim::CacheDisposition;
 pub use spec::{format_feeds_comp, CellFilter, GpuSpec, ScalePolicy, ScenarioCell, ScenarioSpec};

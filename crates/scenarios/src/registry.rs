@@ -145,6 +145,12 @@ pub fn all() -> Vec<Scenario> {
             spec_fn: spec_multigpu,
             render_fn: render_multigpu,
         },
+        Scenario {
+            name: "chaos",
+            about: "beyond-paper: seeded fault injection vs resilience policy (deadlines, retries, breaker) over the serving simulation",
+            spec_fn: crate::chaos::spec_chaos,
+            render_fn: crate::chaos::render_chaos,
+        },
     ]
 }
 

@@ -1,0 +1,976 @@
+//! The simulated-clock execution model of the serving layer: a
+//! deterministic discrete-event simulation — FIFO bounded queue, `W`
+//! workers, the byte-accounted LRU cache and request coalescing — over
+//! *modeled* service times (the profiled pipeline's own end-to-end
+//! milliseconds plus a modeled build cost on cache misses).
+//!
+//! Everything here is pure `f64` arithmetic over a fixed iteration order:
+//! the same request stream always yields the same per-request latencies,
+//! the same hit/miss counters and the same eviction sequence, regardless
+//! of host, core count or wall time — the property that makes
+//! `gsuite-cli loadgen --clock sim` a *reproducible* benchmark rather
+//! than a measurement of the load generator's machine.
+//!
+//! # Fault injection and resilience
+//!
+//! The simulation optionally executes under a seeded
+//! [`FaultPlan`] and a
+//! [`ResilienceConfig`]: per-attempt
+//! slowdowns, transient failures, worker crashes, eviction storms and
+//! degraded-interconnect inflation of the Exchange share, against
+//! deadlines (with cooperative cancellation that reclaims the worker at
+//! the deadline), bounded retries with seeded jittered backoff, a
+//! per-config circuit breaker and graceful degradation (O0 compile
+//! fallback, stale-but-valid serves past the soft TTL). Fault draws are
+//! keyed on `(seed, request index, attempt)` only, so a faulted run is
+//! exactly as replayable as a healthy one. With no plan and an inert
+//! config, every code path below is numerically identical to the
+//! fault-free model.
+
+use crate::cache::{ByteLru, LruStats};
+use crate::resilience::{CircuitBreaker, FaultDraw, FaultPlan, ResilienceConfig};
+
+/// How the serving layer satisfied a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheDisposition {
+    /// Graph + pipeline came from the LRU cache.
+    Hit,
+    /// Graph + pipeline were built for this request (and cached).
+    Miss,
+    /// The request attached to an identical in-flight execution and
+    /// shared its profile run.
+    Coalesced,
+}
+
+impl CacheDisposition {
+    /// Wire-format name (`hit`, `miss`, `coalesced`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheDisposition::Hit => "hit",
+            CacheDisposition::Miss => "miss",
+            CacheDisposition::Coalesced => "coalesced",
+        }
+    }
+}
+
+impl std::fmt::Display for CacheDisposition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The modeled execution costs of one distinct request configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimCosts {
+    /// Modeled inference milliseconds (the profile's end-to-end time).
+    pub service_ms: f64,
+    /// Modeled graph-load + pipeline-build milliseconds paid on a cache
+    /// miss.
+    pub build_ms: f64,
+    /// The interconnect-attributable share of
+    /// [`SimCosts::service_ms`] (Exchange transfers on sharded runs;
+    /// zero for single-device configs). A degraded-link fault with
+    /// factor `f` inflates the attempt by `exchange_ms · (f − 1)`.
+    pub exchange_ms: f64,
+    /// Cache accounting bytes of the built entry.
+    pub bytes: u64,
+    /// `Some(msg)` when the configuration cannot build (the request
+    /// completes as an error after paying the build cost).
+    pub error: Option<String>,
+}
+
+/// The modeled graph-load + pipeline-build cost charged on a cache miss in
+/// sim-clock mode: a flat dispatch term plus ~2 ms per accounted MiB.
+pub fn build_cost_ms(bytes: u64) -> f64 {
+    0.2 + bytes as f64 / (512.0 * 1024.0)
+}
+
+/// Queue/worker/cache parameters of the simulated service, plus the
+/// optional fault plan and resilience policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimParams {
+    /// Simulated worker count.
+    pub workers: usize,
+    /// Bounded queue depth; arrivals beyond it are shed (open loop only).
+    pub queue_cap: usize,
+    /// LRU capacity in bytes.
+    pub cache_bytes: u64,
+    /// Seeded fault injection; `None` runs fault-free.
+    pub fault: Option<FaultPlan>,
+    /// Deadline/retry/breaker/degradation policy (inert by default).
+    pub resilience: ResilienceConfig,
+}
+
+impl SimParams {
+    /// Fault-free parameters with an inert resilience policy — the
+    /// historical simulation model.
+    pub fn new(workers: usize, queue_cap: usize, cache_bytes: u64) -> Self {
+        SimParams {
+            workers,
+            queue_cap,
+            cache_bytes,
+            fault: None,
+            resilience: ResilienceConfig::default(),
+        }
+    }
+}
+
+/// What happened to one simulated request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimDisposition {
+    /// Completed; how the cache satisfied it.
+    Done(CacheDisposition),
+    /// Completed as an error response (unbuildable configuration, or an
+    /// injected transient failure that exhausted its retries).
+    Error,
+    /// Shed at arrival: queue full.
+    Rejected,
+    /// The per-request deadline expired (queued past it, or cancelled
+    /// cooperatively mid-attempt).
+    TimedOut,
+    /// Shed at arrival: the config's circuit breaker was open.
+    CircuitOpen,
+    /// The executing worker crashed and retries (if any) were exhausted.
+    Crashed,
+}
+
+/// One simulated request's timing record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimRecord {
+    /// Index into the distinct-configuration table.
+    pub key: usize,
+    /// Simulated submission time (ms since sim start).
+    pub submit_ms: f64,
+    /// Milliseconds waited for a worker.
+    pub queue_ms: f64,
+    /// Milliseconds of (possibly shared) build + inference work.
+    pub service_ms: f64,
+    /// Submission-to-completion milliseconds (`0` for rejected requests).
+    pub latency_ms: f64,
+    /// Outcome.
+    pub disposition: SimDisposition,
+}
+
+/// The full outcome of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// One record per request, in stream order.
+    pub records: Vec<SimRecord>,
+    /// Cache counters after the run.
+    pub cache: LruStats,
+    /// Requests that shared an in-flight execution.
+    pub coalesced: u64,
+    /// Requests shed by the bounded queue.
+    pub rejected: u64,
+    /// Requests whose deadline expired.
+    pub timeouts: u64,
+    /// Requests shed by an open circuit breaker.
+    pub circuit_open: u64,
+    /// Injected worker crashes observed (each crashed attempt counts,
+    /// retried or not).
+    pub crashed: u64,
+    /// Retry attempts performed.
+    pub retries: u64,
+    /// Circuit-breaker trips (closed/half-open → open transitions).
+    pub breaker_trips: u64,
+    /// Requests served degraded (O0 compile fallback).
+    pub degraded: u64,
+    /// Stale-but-valid cache entries served past the soft TTL under
+    /// deadline pressure.
+    pub stale_serves: u64,
+    /// Last completion time (ms since sim start).
+    pub makespan_ms: f64,
+}
+
+/// An execution in flight: submitted (at or before the current clock,
+/// since requests are fed in nondecreasing submission order), possibly
+/// not yet dispatched to a worker.
+struct InFlight {
+    key: usize,
+    start_ms: f64,
+    finish_ms: f64,
+    /// Whether this execution completes as an error response (coalesced
+    /// requests share the outcome, error or not — exactly like the live
+    /// server's shared `Completion`).
+    error: bool,
+}
+
+/// How one attempt's cache interaction resolved.
+#[derive(PartialEq, Clone, Copy)]
+enum AttemptKind {
+    Hit,
+    /// Hit past the soft TTL, served stale under deadline pressure.
+    HitStale,
+    /// Hit past the soft TTL, rebuilt in line (pays the build cost).
+    Refresh,
+    Miss,
+    /// Miss built with the O0 fallback under deadline pressure (cheaper,
+    /// not cached).
+    MissDegraded,
+}
+
+/// The simulation core: workers, queue accounting, cache, the coalescing
+/// window, and the fault/resilience machinery. Requests are fed one at a
+/// time in nondecreasing submission order.
+struct ServiceSim<'a> {
+    costs: &'a [SimCosts],
+    params: SimParams,
+    /// Per-worker next-free time.
+    worker_free: Vec<f64>,
+    /// Executions whose finish time is still ahead of the clock.
+    in_flight: Vec<InFlight>,
+    /// Cached entries map to their build-completion time (the soft-TTL
+    /// clock).
+    cache: ByteLru<usize, f64>,
+    /// Per-config breakers, present only when the policy enables them.
+    breakers: Option<Vec<CircuitBreaker>>,
+    coalesced: u64,
+    rejected: u64,
+    timeouts: u64,
+    circuit_open: u64,
+    crashed: u64,
+    retries: u64,
+    degraded: u64,
+    stale_serves: u64,
+    makespan_ms: f64,
+}
+
+impl<'a> ServiceSim<'a> {
+    fn new(costs: &'a [SimCosts], params: SimParams) -> Self {
+        let breakers = params
+            .resilience
+            .breaker
+            .map(|cfg| (0..costs.len()).map(|_| CircuitBreaker::new(cfg)).collect());
+        ServiceSim {
+            costs,
+            worker_free: vec![0.0; params.workers.max(1)],
+            in_flight: Vec::new(),
+            cache: ByteLru::new(params.cache_bytes),
+            breakers,
+            coalesced: 0,
+            rejected: 0,
+            timeouts: 0,
+            circuit_open: 0,
+            crashed: 0,
+            retries: 0,
+            degraded: 0,
+            stale_serves: 0,
+            makespan_ms: 0.0,
+            params,
+        }
+    }
+
+    fn record_breaker(&mut self, key: usize, now_ms: f64, success: bool) {
+        if let Some(breakers) = &mut self.breakers {
+            breakers[key].record(now_ms, success);
+        }
+    }
+
+    fn finish(&mut self, record: SimRecord) -> SimRecord {
+        self.makespan_ms = self.makespan_ms.max(record.submit_ms + record.latency_ms);
+        record
+    }
+
+    /// Feeds request number `req` (the fault-draw key) for config `key`
+    /// submitted at `t`; returns its record. `reject` enables the
+    /// bounded-queue shed path (open loop).
+    fn offer(&mut self, req: u64, key: usize, t: f64, reject: bool) -> SimRecord {
+        // Retire executions that finished before `t`.
+        self.in_flight.retain(|e| e.finish_ms > t);
+
+        let shed = |key, t, disposition| SimRecord {
+            key,
+            submit_ms: t,
+            queue_ms: 0.0,
+            service_ms: 0.0,
+            latency_ms: 0.0,
+            disposition,
+        };
+
+        // Known-bad-config shed: the breaker is consulted before queueing
+        // or coalescing, exactly like the live server's submit path.
+        if let Some(breakers) = &mut self.breakers {
+            if !breakers[key].admit(t) {
+                self.circuit_open += 1;
+                return shed(key, t, SimDisposition::CircuitOpen);
+            }
+        }
+
+        // Coalescing window: an identical configuration is in flight.
+        if let Some(e) = self.in_flight.iter().find(|e| e.key == key) {
+            self.coalesced += 1;
+            let finish = e.finish_ms;
+            let start = e.start_ms;
+            let disposition = if e.error {
+                SimDisposition::Error
+            } else {
+                SimDisposition::Done(CacheDisposition::Coalesced)
+            };
+            return self.finish(SimRecord {
+                key,
+                submit_ms: t,
+                queue_ms: (start - t).max(0.0),
+                service_ms: finish - start.max(t),
+                latency_ms: finish - t,
+                disposition,
+            });
+        }
+
+        // Backpressure: executions not yet started at `t` are the queue.
+        if reject {
+            let waiting = self.in_flight.iter().filter(|e| e.start_ms > t).count();
+            if waiting >= self.params.queue_cap.max(1) {
+                self.rejected += 1;
+                return shed(key, t, SimDisposition::Rejected);
+            }
+        }
+
+        // Dispatch to the earliest-free worker (FIFO; ties to the lowest
+        // index keep the schedule deterministic).
+        let w = min_index(&self.worker_free);
+        let start = t.max(self.worker_free[w]);
+        let deadline = self.params.resilience.deadline_ms.map(|d| t + d);
+
+        // Cooperative cancellation while queued: a request whose worker
+        // only frees past the deadline is abandoned before any work runs
+        // (the worker is untouched).
+        if let Some(dl) = deadline {
+            if start >= dl {
+                self.timeouts += 1;
+                return self.finish(SimRecord {
+                    key,
+                    submit_ms: t,
+                    queue_ms: dl - t,
+                    service_ms: 0.0,
+                    latency_ms: dl - t,
+                    disposition: SimDisposition::TimedOut,
+                });
+            }
+        }
+
+        let cost = &self.costs[key];
+        let mut clock = start;
+        let mut attempt: u32 = 0;
+        let mut retries_used: u32 = 0;
+        let mut any_crash = false;
+        loop {
+            let draw = match &self.params.fault {
+                Some(plan) => plan.draw(req, attempt),
+                None => FaultDraw::healthy(),
+            };
+            if draw.evict > 0 {
+                self.cache.evict_lru(draw.evict);
+            }
+
+            // Unbuildable configurations pay the build (discovery) cost
+            // and complete as errors; nothing enters the cache and
+            // retries cannot help.
+            if cost.error.is_some() {
+                self.cache.get(&key);
+                let service = cost.build_ms * draw.slow_factor;
+                if let Some(dl) = deadline {
+                    if clock + service > dl {
+                        return self.cancel_at(key, t, start, w, dl);
+                    }
+                }
+                clock += service;
+                self.worker_free[w] = clock;
+                self.in_flight.push(InFlight {
+                    key,
+                    start_ms: start,
+                    finish_ms: clock,
+                    error: true,
+                });
+                self.record_breaker(key, clock, false);
+                return self.finish(SimRecord {
+                    key,
+                    submit_ms: t,
+                    queue_ms: start - t,
+                    service_ms: clock - start,
+                    latency_ms: clock - t,
+                    disposition: SimDisposition::Error,
+                });
+            }
+
+            // The attempt's cache interaction and base cost. Degraded
+            // interconnect inflates the Exchange share of the service
+            // time.
+            let service_base = cost.service_ms + cost.exchange_ms * (draw.link_factor - 1.0);
+            let (mut attempt_ms, mut kind) = match self.cache.get(&key).copied() {
+                Some(built_at) => match self.params.resilience.stale_ttl_ms {
+                    Some(ttl) if clock - built_at > ttl => {
+                        (cost.build_ms + service_base, AttemptKind::Refresh)
+                    }
+                    _ => (service_base, AttemptKind::Hit),
+                },
+                None => (cost.build_ms + service_base, AttemptKind::Miss),
+            };
+            attempt_ms *= draw.slow_factor;
+
+            // Graceful degradation under deadline pressure: serve the
+            // stale entry instead of refreshing, or fall back to the O0
+            // compile (skip optimize passes — modeled at half the build
+            // cost; degraded builds are not cached).
+            if let Some(dl) = deadline {
+                if clock + attempt_ms > dl && self.params.resilience.degrade {
+                    match kind {
+                        AttemptKind::Refresh => {
+                            attempt_ms = service_base * draw.slow_factor;
+                            kind = AttemptKind::HitStale;
+                        }
+                        AttemptKind::Miss => {
+                            attempt_ms = (0.5 * cost.build_ms + service_base) * draw.slow_factor;
+                            kind = AttemptKind::MissDegraded;
+                        }
+                        _ => {}
+                    }
+                }
+                if clock + attempt_ms > dl {
+                    return self.cancel_at(key, t, start, w, dl);
+                }
+            }
+            clock += attempt_ms;
+            match kind {
+                AttemptKind::Miss | AttemptKind::Refresh => {
+                    self.cache.insert(key, clock, cost.bytes);
+                }
+                AttemptKind::MissDegraded => self.degraded += 1,
+                AttemptKind::HitStale => self.stale_serves += 1,
+                AttemptKind::Hit => {}
+            }
+
+            // Injected failures: the attempt's work is lost; retry with
+            // seeded jittered backoff while the policy allows.
+            if draw.crash || draw.transient {
+                if draw.crash {
+                    self.crashed += 1;
+                    any_crash = true;
+                }
+                if retries_used < self.params.resilience.retry.max_retries {
+                    retries_used += 1;
+                    self.retries += 1;
+                    let jitter = self
+                        .params
+                        .fault
+                        .as_ref()
+                        .map_or(0.0, |plan| plan.jitter(req, attempt));
+                    clock += self
+                        .params
+                        .resilience
+                        .retry
+                        .backoff_ms(retries_used, jitter);
+                    attempt += 1;
+                    continue;
+                }
+                self.worker_free[w] = clock;
+                self.in_flight.push(InFlight {
+                    key,
+                    start_ms: start,
+                    finish_ms: clock,
+                    error: true,
+                });
+                self.record_breaker(key, clock, false);
+                let disposition = if any_crash {
+                    SimDisposition::Crashed
+                } else {
+                    SimDisposition::Error
+                };
+                return self.finish(SimRecord {
+                    key,
+                    submit_ms: t,
+                    queue_ms: start - t,
+                    service_ms: clock - start,
+                    latency_ms: clock - t,
+                    disposition,
+                });
+            }
+
+            // Success.
+            self.worker_free[w] = clock;
+            self.in_flight.push(InFlight {
+                key,
+                start_ms: start,
+                finish_ms: clock,
+                error: false,
+            });
+            self.record_breaker(key, clock, true);
+            let cached = match kind {
+                AttemptKind::Hit | AttemptKind::HitStale | AttemptKind::Refresh => {
+                    CacheDisposition::Hit
+                }
+                AttemptKind::Miss | AttemptKind::MissDegraded => CacheDisposition::Miss,
+            };
+            return self.finish(SimRecord {
+                key,
+                submit_ms: t,
+                queue_ms: start - t,
+                service_ms: clock - start,
+                latency_ms: clock - t,
+                disposition: SimDisposition::Done(cached),
+            });
+        }
+    }
+
+    /// Cooperative mid-attempt cancellation: the worker is reclaimed at
+    /// the deadline (the next plan-phase checkpoint observes the expired
+    /// budget) and the config's breaker records a failure.
+    fn cancel_at(&mut self, key: usize, t: f64, start: f64, w: usize, dl: f64) -> SimRecord {
+        self.worker_free[w] = dl;
+        self.timeouts += 1;
+        self.record_breaker(key, dl, false);
+        self.finish(SimRecord {
+            key,
+            submit_ms: t,
+            queue_ms: start - t,
+            service_ms: dl - start,
+            latency_ms: dl - t,
+            disposition: SimDisposition::TimedOut,
+        })
+    }
+
+    fn into_outcome(self, records: Vec<SimRecord>) -> SimOutcome {
+        SimOutcome {
+            records,
+            cache: self.cache.stats(),
+            coalesced: self.coalesced,
+            rejected: self.rejected,
+            timeouts: self.timeouts,
+            circuit_open: self.circuit_open,
+            crashed: self.crashed,
+            retries: self.retries,
+            breaker_trips: self
+                .breakers
+                .as_ref()
+                .map_or(0, |bs| bs.iter().map(CircuitBreaker::trips).sum()),
+            degraded: self.degraded,
+            stale_serves: self.stale_serves,
+            makespan_ms: self.makespan_ms,
+        }
+    }
+}
+
+/// Simulates an **open-loop** run: request `i` (a distinct-configuration
+/// index in `keys`) is submitted at `arrivals[i]` milliseconds regardless
+/// of completions; a full queue sheds arrivals.
+///
+/// # Panics
+///
+/// Panics if `keys` and `arrivals` differ in length or arrivals are not
+/// nondecreasing.
+pub fn simulate_open(
+    keys: &[usize],
+    arrivals: &[f64],
+    costs: &[SimCosts],
+    params: SimParams,
+) -> SimOutcome {
+    assert_eq!(keys.len(), arrivals.len(), "one arrival per request");
+    assert!(
+        arrivals.windows(2).all(|w| w[0] <= w[1]),
+        "arrivals must be nondecreasing"
+    );
+    let mut sim = ServiceSim::new(costs, params);
+    let records = keys
+        .iter()
+        .zip(arrivals)
+        .enumerate()
+        .map(|(i, (&key, &t))| sim.offer(i as u64, key, t, true))
+        .collect();
+    sim.into_outcome(records)
+}
+
+/// Simulates a **closed-loop** run: `clients` clients share the request
+/// stream; each submits its next request the moment its previous one
+/// completes (zero think time). The queue never exceeds the client count,
+/// so nothing is shed.
+pub fn simulate_closed(
+    keys: &[usize],
+    clients: usize,
+    costs: &[SimCosts],
+    params: SimParams,
+) -> SimOutcome {
+    let clients = clients.max(1);
+    let mut sim = ServiceSim::new(costs, params);
+    let mut available: Vec<f64> = vec![0.0; clients];
+    let mut records = Vec::with_capacity(keys.len());
+    for (i, &key) in keys.iter().enumerate() {
+        let c = min_index(&available);
+        let record = sim.offer(i as u64, key, available[c], false);
+        available[c] += record.latency_ms.max(0.0);
+        records.push(record);
+    }
+    sim.into_outcome(records)
+}
+
+/// Index of the minimum element (first on ties) — worker/client election.
+fn min_index(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x < xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resilience::{BreakerConfig, FaultSpec, RetryPolicy};
+
+    fn costs(n: usize, service: f64, build: f64, bytes: u64) -> Vec<SimCosts> {
+        (0..n)
+            .map(|_| SimCosts {
+                service_ms: service,
+                build_ms: build,
+                exchange_ms: 0.0,
+                bytes,
+                error: None,
+            })
+            .collect()
+    }
+
+    fn params(workers: usize, queue: usize, cache: u64) -> SimParams {
+        SimParams::new(workers, queue, cache)
+    }
+
+    #[test]
+    fn single_worker_serializes_and_caches() {
+        let costs = costs(1, 10.0, 5.0, 100);
+        // Same key three times, back-to-back arrivals after completion.
+        let out = simulate_open(&[0, 0, 0], &[0.0, 20.0, 40.0], &costs, params(1, 4, 1000));
+        // First: miss (build + service = 15), later: hits (10 each).
+        assert_eq!(out.records[0].latency_ms, 15.0);
+        assert_eq!(out.records[1].latency_ms, 10.0);
+        assert_eq!(out.records[2].latency_ms, 10.0);
+        assert_eq!(out.cache.hits, 2);
+        assert_eq!(out.cache.misses, 1);
+        assert_eq!(out.coalesced, 0);
+    }
+
+    #[test]
+    fn overlapping_identical_requests_coalesce() {
+        let costs = costs(1, 10.0, 5.0, 100);
+        // Second arrives while the first is still executing.
+        let out = simulate_open(&[0, 0], &[0.0, 3.0], &costs, params(2, 4, 1000));
+        assert_eq!(out.coalesced, 1);
+        assert_eq!(out.records[1].latency_ms, 12.0); // finishes at 15, arrived at 3
+        assert_eq!(
+            out.records[1].disposition,
+            SimDisposition::Done(CacheDisposition::Coalesced)
+        );
+        // Only one real execution touched the cache.
+        assert_eq!(out.cache.misses, 1);
+        assert_eq!(out.cache.hits, 0);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_bursts() {
+        let costs = costs(3, 100.0, 0.0, 1);
+        // Three distinct configs at t=0 on one worker with queue depth 1:
+        // first executes, second waits, third is shed.
+        let out = simulate_open(&[0, 1, 2], &[0.0, 0.0, 0.0], &costs, params(1, 1, 1000));
+        assert_eq!(out.rejected, 1);
+        assert_eq!(out.records[2].disposition, SimDisposition::Rejected);
+        assert_eq!(out.records[1].queue_ms, 100.0);
+    }
+
+    #[test]
+    fn eviction_follows_lru_under_pressure() {
+        // Cache fits two of three equally sized entries.
+        let costs = costs(3, 1.0, 1.0, 100);
+        let keys = [0, 1, 2, 0]; // 0 evicted by 2's insertion, so the last 0 misses again
+        let arrivals = [0.0, 10.0, 20.0, 30.0];
+        let out = simulate_open(&keys, &arrivals, &costs, params(1, 4, 200));
+        assert_eq!(out.cache.misses, 4);
+        assert_eq!(out.cache.evictions, 2);
+        assert_eq!(out.cache.hits, 0);
+    }
+
+    #[test]
+    fn closed_loop_keeps_clients_busy() {
+        let costs = costs(2, 10.0, 0.0, 1);
+        let keys = [0, 1, 0, 1, 0, 1];
+        let out = simulate_closed(&keys, 2, &costs, params(2, 8, 1000));
+        assert_eq!(out.rejected, 0);
+        // Two clients, two workers, 10 ms each, 6 requests => 30 ms.
+        assert_eq!(out.makespan_ms, 30.0);
+        assert!(out.records.iter().all(|r| r.queue_ms == 0.0));
+    }
+
+    #[test]
+    fn error_configs_complete_as_errors() {
+        let mut c = costs(2, 10.0, 5.0, 100);
+        c[1].error = Some("unsupported".to_string());
+        let out = simulate_open(&[1, 1], &[0.0, 100.0], &c, params(1, 4, 1000));
+        assert!(out
+            .records
+            .iter()
+            .all(|r| r.disposition == SimDisposition::Error));
+        // Errors never enter the cache: both pay the build cost.
+        assert_eq!(out.records[0].latency_ms, 5.0);
+        assert_eq!(out.records[1].latency_ms, 5.0);
+        assert_eq!(out.cache.entries, 0);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let costs = costs(4, 3.0, 1.5, 64);
+        let keys: Vec<usize> = (0..40).map(|i| i % 4).collect();
+        let arrivals: Vec<f64> = (0..40).map(|i| i as f64 * 0.75).collect();
+        let a = simulate_open(&keys, &arrivals, &costs, params(3, 8, 128));
+        let b = simulate_open(&keys, &arrivals, &costs, params(3, 8, 128));
+        assert_eq!(a, b);
+        let c = simulate_closed(&keys, 5, &costs, params(3, 8, 128));
+        let d = simulate_closed(&keys, 5, &costs, params(3, 8, 128));
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn faulted_runs_replay_byte_identically() {
+        let costs = costs(4, 3.0, 1.5, 64);
+        let keys: Vec<usize> = (0..60).map(|i| i % 4).collect();
+        let arrivals: Vec<f64> = (0..60).map(|i| i as f64 * 1.25).collect();
+        let p = SimParams {
+            fault: Some(FaultPlan::mixed(9, 0.3)),
+            resilience: ResilienceConfig {
+                deadline_ms: Some(40.0),
+                retry: RetryPolicy::retries(2),
+                breaker: Some(BreakerConfig::default()),
+                degrade: true,
+                stale_ttl_ms: Some(20.0),
+            },
+            ..params(2, 8, 256)
+        };
+        let a = simulate_open(&keys, &arrivals, &costs, p);
+        let b = simulate_open(&keys, &arrivals, &costs, p);
+        assert_eq!(a, b);
+        // The fault mix actually fired something.
+        assert!(a.retries + a.timeouts + a.crashed > 0);
+    }
+
+    #[test]
+    fn transient_faults_retry_then_fail() {
+        let costs = costs(1, 10.0, 0.0, 1);
+        let always_transient = FaultPlan {
+            seed: 1,
+            spec: FaultSpec {
+                transient_rate: 1.0,
+                ..FaultSpec::none()
+            },
+        };
+        let p = SimParams {
+            fault: Some(always_transient),
+            resilience: ResilienceConfig {
+                retry: RetryPolicy {
+                    max_retries: 2,
+                    base_ms: 4.0,
+                    cap_ms: 50.0,
+                },
+                ..ResilienceConfig::default()
+            },
+            ..params(1, 4, 100)
+        };
+        let out = simulate_open(&[0], &[0.0], &costs, p);
+        assert_eq!(out.records[0].disposition, SimDisposition::Error);
+        assert_eq!(out.retries, 2, "both retries spent");
+        // 3 attempts x 10 ms plus two jittered backoffs in [2, 4) + [4, 8).
+        assert!(out.records[0].latency_ms > 30.0);
+        assert!(out.records[0].latency_ms < 42.0);
+    }
+
+    #[test]
+    fn crashes_surface_as_crashed_and_are_retryable() {
+        let costs = costs(1, 10.0, 0.0, 1);
+        let always_crash = FaultPlan {
+            seed: 5,
+            spec: FaultSpec {
+                crash_rate: 1.0,
+                ..FaultSpec::none()
+            },
+        };
+        let no_retry = SimParams {
+            fault: Some(always_crash),
+            ..params(1, 4, 100)
+        };
+        let out = simulate_open(&[0], &[0.0], &costs, no_retry);
+        assert_eq!(out.records[0].disposition, SimDisposition::Crashed);
+        assert_eq!(out.crashed, 1);
+        let with_retry = SimParams {
+            resilience: ResilienceConfig {
+                retry: RetryPolicy::retries(3),
+                ..ResilienceConfig::default()
+            },
+            ..no_retry
+        };
+        let out = simulate_open(&[0], &[0.0], &costs, with_retry);
+        assert_eq!(out.crashed, 4, "initial attempt + 3 retries all crash");
+        assert_eq!(out.records[0].disposition, SimDisposition::Crashed);
+    }
+
+    #[test]
+    fn deadlines_cancel_cooperatively_and_free_the_worker() {
+        let costs = costs(2, 100.0, 0.0, 1);
+        let p = SimParams {
+            resilience: ResilienceConfig {
+                deadline_ms: Some(50.0),
+                ..ResilienceConfig::default()
+            },
+            ..params(1, 4, 100)
+        };
+        let out = simulate_open(&[0, 1], &[0.0, 10.0], &costs, p);
+        assert_eq!(out.records[0].disposition, SimDisposition::TimedOut);
+        assert_eq!(out.records[0].latency_ms, 50.0);
+        assert_eq!(out.timeouts, 2);
+        // The worker was reclaimed at t=50, so the second request starts
+        // there — and times out at its own deadline (10 + 50).
+        assert_eq!(out.records[1].queue_ms, 40.0);
+        assert_eq!(out.records[1].latency_ms, 50.0);
+    }
+
+    #[test]
+    fn breaker_sheds_known_bad_configs() {
+        let mut c = costs(1, 1.0, 1.0, 1);
+        c[0].error = Some("always fails".to_string());
+        let p = SimParams {
+            resilience: ResilienceConfig {
+                breaker: Some(BreakerConfig {
+                    window: 4,
+                    min_samples: 4,
+                    fail_threshold: 0.5,
+                    cooldown_ms: 1000.0,
+                    half_open_probes: 1,
+                }),
+                ..ResilienceConfig::default()
+            },
+            ..params(1, 8, 100)
+        };
+        let keys = vec![0usize; 8];
+        let arrivals: Vec<f64> = (0..8).map(|i| i as f64 * 10.0).collect();
+        let out = simulate_open(&keys, &arrivals, &c, p);
+        assert_eq!(out.breaker_trips, 1);
+        assert_eq!(out.circuit_open, 4, "after 4 failures the rest are shed");
+        assert!(out.records[7].disposition == SimDisposition::CircuitOpen);
+    }
+
+    #[test]
+    fn degradation_falls_back_to_o0_when_the_build_misses_the_deadline() {
+        // build 20 + service 10 = 30 > deadline 25, but the O0 fallback
+        // (10 + 10 = 20) fits.
+        let costs = costs(1, 10.0, 20.0, 5);
+        let degrade = SimParams {
+            resilience: ResilienceConfig {
+                deadline_ms: Some(25.0),
+                degrade: true,
+                ..ResilienceConfig::default()
+            },
+            ..params(1, 4, 100)
+        };
+        let out = simulate_open(&[0, 0], &[0.0, 100.0], &costs, degrade);
+        assert_eq!(
+            out.records[0].disposition,
+            SimDisposition::Done(CacheDisposition::Miss)
+        );
+        assert_eq!(out.records[0].latency_ms, 20.0);
+        // Degraded builds are not cached: the second request degrades too.
+        assert_eq!(out.cache.entries, 0);
+        assert_eq!(out.degraded, 2);
+        assert_eq!(out.timeouts, 0);
+
+        // Refresh past the soft TTL happens in line when the budget
+        // allows it.
+        let warm = SimParams {
+            resilience: ResilienceConfig {
+                deadline_ms: Some(200.0),
+                degrade: true,
+                stale_ttl_ms: Some(50.0),
+                ..ResilienceConfig::default()
+            },
+            ..params(1, 4, 100)
+        };
+        let out = simulate_open(&[0, 0], &[0.0, 100.0], &costs, warm);
+        // Entry built at t=30; at t=100 it is 70 ms old (> 50 TTL) and the
+        // refresh (30 ms) fits the 200 ms deadline: refreshed in line.
+        assert_eq!(out.stale_serves, 0);
+        assert_eq!(out.records[1].latency_ms, 30.0);
+        assert_eq!(out.cache.hits, 1);
+        assert_eq!(out.cache.insertions, 2, "the refresh re-inserts");
+    }
+
+    #[test]
+    fn stale_entries_serve_under_pressure() {
+        // Occupy the worker with a second config so the refresh budget
+        // runs out while the stale serve still fits.
+        let mut c = costs(1, 10.0, 20.0, 5);
+        c.push(SimCosts {
+            service_ms: 25.0,
+            build_ms: 0.0,
+            exchange_ms: 0.0,
+            bytes: 1,
+            error: None,
+        });
+        let p = SimParams {
+            resilience: ResilienceConfig {
+                deadline_ms: Some(35.0),
+                degrade: true,
+                stale_ttl_ms: Some(50.0),
+                ..ResilienceConfig::default()
+            },
+            ..params(1, 4, 100)
+        };
+        // t=0: build+serve config 0 (finish 30). t=90: config 1 occupies
+        // the worker until 115. t=100: config 0 again — dispatches at
+        // 115, budget left is 20 ms (deadline 135): the 30 ms refresh
+        // does not fit, the 10 ms stale serve does.
+        let out = simulate_open(&[0, 1, 0], &[0.0, 90.0, 100.0], &c, p);
+        assert_eq!(out.stale_serves, 1);
+        assert_eq!(
+            out.records[2].disposition,
+            SimDisposition::Done(CacheDisposition::Hit)
+        );
+        assert_eq!(out.records[2].latency_ms, 25.0); // 15 queued + 10 served
+        assert_eq!(out.timeouts, 0);
+    }
+
+    #[test]
+    fn degraded_links_inflate_the_exchange_share_only() {
+        let mut c = costs(1, 10.0, 0.0, 1);
+        c[0].exchange_ms = 2.0;
+        let always_link = FaultPlan {
+            seed: 2,
+            spec: FaultSpec {
+                link_rate: 1.0,
+                link_factor: 4.0,
+                ..FaultSpec::none()
+            },
+        };
+        let p = SimParams {
+            fault: Some(always_link),
+            ..params(1, 4, 100)
+        };
+        let out = simulate_open(&[0], &[0.0], &c, p);
+        // service 10 + exchange 2 x (4 - 1) = 16.
+        assert_eq!(out.records[0].latency_ms, 16.0);
+    }
+
+    #[test]
+    fn eviction_storms_drop_cached_entries() {
+        let costs = costs(2, 1.0, 1.0, 10);
+        let always_evict = FaultPlan {
+            seed: 3,
+            spec: FaultSpec {
+                evict_rate: 1.0,
+                evict_n: 8,
+                ..FaultSpec::none()
+            },
+        };
+        let p = SimParams {
+            fault: Some(always_evict),
+            ..params(1, 4, 1000)
+        };
+        // Every attempt's storm clears the cache first: all misses.
+        let out = simulate_open(&[0, 0, 0], &[0.0, 10.0, 20.0], &costs, p);
+        assert_eq!(out.cache.hits, 0);
+        assert_eq!(out.cache.misses, 3);
+        assert_eq!(out.cache.evictions, 2, "two cached entries were stormed");
+    }
+}

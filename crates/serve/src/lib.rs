@@ -58,17 +58,24 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-mod cache;
+pub mod fault;
 mod loadgen;
 mod net;
 mod request;
 mod server;
-pub mod sim;
 
-pub use cache::{ByteLru, LruStats};
+/// The deterministic discrete-event execution model behind `--clock sim`
+/// — re-exported from [`gsuite_scenarios::sim`], where it lives so the
+/// scenario registry's `chaos` sweep can drive the same model without a
+/// dependency cycle.
+pub mod sim {
+    pub use gsuite_scenarios::sim::*;
+}
+
+pub use gsuite_scenarios::{ByteLru, LruStats};
 pub use loadgen::{
     build_cost_ms, run_loadgen, ArrivalMode, ClockMode, LatencySummary, LoadReport, LoadSpec,
-    SloReport,
+    ResilienceSummary, SloReport,
 };
 pub use net::{loadgen_tcp, serve_blocking, serve_on, ProtocolClient};
 pub use request::{CacheDisposition, ServeRequest};

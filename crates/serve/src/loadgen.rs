@@ -20,9 +20,9 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use gsuite_scenarios::{registry, BenchOpts};
+use gsuite_scenarios::{registry, BenchOpts, LruStats};
 
-use crate::cache::LruStats;
+use crate::fault::{FaultPlan, ResilienceConfig};
 use crate::request::ServeRequest;
 use crate::server::{entry_bytes, ServeConfig, Server, SubmitError};
 use crate::sim::{simulate_closed, simulate_open, SimCosts, SimDisposition, SimParams};
@@ -95,6 +95,12 @@ pub struct LoadSpec {
     /// Optional latency SLO in milliseconds (report attainment against a
     /// 99% target).
     pub slo_ms: Option<f64>,
+    /// Seeded fault injection plan; `None` (the default) injects nothing
+    /// and leaves every report byte-identical to the pre-fault format.
+    pub fault: Option<FaultPlan>,
+    /// Resilience policy applied by the service (sim and wall clocks
+    /// share the same policy engine). Default: fully inert.
+    pub resilience: ResilienceConfig,
     /// Measurement options (scale policy, CTA caps).
     pub opts: BenchOpts,
 }
@@ -114,6 +120,8 @@ impl Default for LoadSpec {
             cache_bytes: 64 << 20,
             threads: 0,
             slo_ms: None,
+            fault: None,
+            resilience: ResilienceConfig::default(),
             opts: BenchOpts::quick(),
         }
     }
@@ -235,6 +243,26 @@ impl SloReport {
     }
 }
 
+/// Resilience-layer counters of one load-generation run, all zero on a
+/// fault-free run with an inert policy.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResilienceSummary {
+    /// Retry attempts performed.
+    pub retries: u64,
+    /// Requests failed on an expired deadline.
+    pub timeouts: u64,
+    /// Requests failed by worker crashes (retries exhausted).
+    pub crashed: u64,
+    /// Circuit-breaker trips.
+    pub breaker_trips: u64,
+    /// Requests shed at admission by an open circuit breaker.
+    pub circuit_open: u64,
+    /// Requests served by the O0 compile fallback.
+    pub degraded: u64,
+    /// Stale-but-valid cache serves past the soft TTL.
+    pub stale_serves: u64,
+}
+
 /// The load generator's result: counters, cache stats, throughput and the
 /// latency distribution.
 #[derive(Debug, Clone, PartialEq)]
@@ -269,6 +297,13 @@ pub struct LoadReport {
     pub latency: LatencySummary,
     /// SLO attainment, when an objective was set.
     pub slo: Option<SloReport>,
+    /// True when the run injected faults or ran a non-inert resilience
+    /// policy — gates the `outcome:` / `resilience:` report lines so
+    /// fault-free reports keep the historical format byte-for-byte.
+    pub fault_mode: bool,
+    /// Resilience counters (all zero when [`LoadReport::fault_mode`] is
+    /// false).
+    pub resilience: ResilienceSummary,
     /// Per-completed-request latencies in stream order — the
     /// reproducibility surface the determinism tests compare.
     pub latencies_ms: Vec<f64>,
@@ -311,6 +346,26 @@ impl LoadReport {
             self.cache.capacity_bytes,
             self.cache.entries
         ));
+        if self.fault_mode {
+            let ok = self.completed.saturating_sub(self.errors);
+            let shed = self.rejected + self.resilience.circuit_open;
+            let total = self.requests.max(1) as f64;
+            out.push_str(&format!(
+                "outcome: ok={} ({:.1}%) failed={} ({:.1}%) shed={} ({:.1}%) | availability={:.1}%\n",
+                ok,
+                ok as f64 / total * 100.0,
+                self.errors,
+                self.errors as f64 / total * 100.0,
+                shed,
+                shed as f64 / total * 100.0,
+                self.availability() * 100.0,
+            ));
+            let r = &self.resilience;
+            out.push_str(&format!(
+                "resilience: retries={} timeouts={} crashed={} breaker-trips={} circuit-shed={} degraded={} stale={}\n",
+                r.retries, r.timeouts, r.crashed, r.breaker_trips, r.circuit_open, r.degraded, r.stale_serves
+            ));
+        }
         if let Some(slo) = &self.slo {
             out.push_str(&format!(
                 "SLO: {:.1}% of requests <= {:.2} ms (target {:.1}%) -> {}\n",
@@ -321,6 +376,12 @@ impl LoadReport {
             ));
         }
         out
+    }
+
+    /// Successful (non-error, non-shed) completions over the whole
+    /// request stream — the chaos sweeps' headline availability metric.
+    pub fn availability(&self) -> f64 {
+        self.completed.saturating_sub(self.errors) as f64 / self.requests.max(1) as f64
     }
 
     /// Renders the report as one JSON object (hand-rolled: the workspace
@@ -335,13 +396,31 @@ impl LoadReport {
             ),
             None => String::new(),
         };
+        let fault = if self.fault_mode {
+            let r = &self.resilience;
+            format!(
+                ",\n  \"availability\": {:.6},\n  \"resilience\": {{\"retries\": {}, \"timeouts\": {}, \
+                 \"crashed\": {}, \"breaker_trips\": {}, \"circuit_open\": {}, \"degraded\": {}, \
+                 \"stale_serves\": {}}}",
+                self.availability(),
+                r.retries,
+                r.timeouts,
+                r.crashed,
+                r.breaker_trips,
+                r.circuit_open,
+                r.degraded,
+                r.stale_serves
+            )
+        } else {
+            String::new()
+        };
         format!(
             "{{\n  \"scenario\": {:?},\n  \"seed\": {},\n  \"clock\": {:?},\n  \"arrival\": {:?},\n  \
              \"universe\": {},\n  \"requests\": {},\n  \"completed\": {},\n  \"errors\": {},\n  \
              \"rejected\": {},\n  \"coalesced\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
              \"cache_hit_rate\": {:.6},\n  \"cache_evictions\": {},\n  \"throughput_rps\": {:.3},\n  \
              \"makespan_ms\": {:.4},\n  \"latency_ms\": {{\"mean\": {:.4}, \"p50\": {:.4}, \"p95\": {:.4}, \
-             \"p99\": {:.4}, \"max\": {:.4}}}{}\n}}",
+             \"p99\": {:.4}, \"max\": {:.4}}}{}{}\n}}",
             self.scenario,
             self.seed,
             self.clock,
@@ -363,7 +442,8 @@ impl LoadReport {
             self.latency.p95_ms,
             self.latency.p99_ms,
             self.latency.max_ms,
-            slo
+            slo,
+            fault
         )
     }
 
@@ -413,6 +493,8 @@ impl LoadReport {
             makespan_ms,
             latency,
             slo,
+            fault_mode: spec.fault.is_some() || !spec.resilience.is_inert(),
+            resilience: ResilienceSummary::default(),
             latencies_ms,
         }
     }
@@ -447,9 +529,18 @@ fn sim_costs(
                 let profiler = req.gpu.profiler(opts, req.config.dataset);
                 let profile = run.profile(profiler.as_ref());
                 let bytes = entry_bytes(&graph, &run);
+                // The slowest shard's halo-exchange share: what a
+                // degraded-link fault gets to inflate (0 single-device).
+                let exchange_ms = profile.sharding.as_ref().map_or(0.0, |sh| {
+                    sh.shards
+                        .iter()
+                        .map(|shard| shard.exchange_ms)
+                        .fold(0.0, f64::max)
+                });
                 SimCosts {
                     service_ms: profile.total_time_ms(),
                     build_ms: build_cost_ms(bytes),
+                    exchange_ms,
                     bytes,
                     error: None,
                 }
@@ -457,6 +548,7 @@ fn sim_costs(
             Err(e) => SimCosts {
                 service_ms: 0.0,
                 build_ms: build_cost_ms(0),
+                exchange_ms: 0.0,
                 bytes: 0,
                 error: Some(e.to_string()),
             },
@@ -466,6 +558,7 @@ fn sim_costs(
         SimCosts {
             service_ms: 0.0,
             build_ms: 0.0,
+            exchange_ms: 0.0,
             bytes: 0,
             error: None,
         };
@@ -499,6 +592,8 @@ fn run_sim(spec: &LoadSpec, universe: &[ServeRequest], keys: &[usize]) -> LoadRe
         workers: spec.workers,
         queue_cap: spec.queue_cap,
         cache_bytes: spec.cache_bytes,
+        fault: spec.fault,
+        resilience: spec.resilience,
     };
     let outcome = match spec.arrival {
         ArrivalMode::Closed { clients } => simulate_closed(keys, clients, &costs, params),
@@ -510,8 +605,11 @@ fn run_sim(spec: &LoadSpec, universe: &[ServeRequest], keys: &[usize]) -> LoadRe
     let (mut completed, mut errors) = (0u64, 0u64);
     for r in &outcome.records {
         match r.disposition {
-            SimDisposition::Rejected => {}
-            SimDisposition::Error => {
+            // Shed before execution: no completion, no latency sample.
+            SimDisposition::Rejected | SimDisposition::CircuitOpen => {}
+            // Delivered as an error response — mirroring the wall server,
+            // where timeouts and crashes complete with `err` lines.
+            SimDisposition::Error | SimDisposition::TimedOut | SimDisposition::Crashed => {
                 completed += 1;
                 errors += 1;
                 latencies.push(r.latency_ms);
@@ -522,7 +620,7 @@ fn run_sim(spec: &LoadSpec, universe: &[ServeRequest], keys: &[usize]) -> LoadRe
             }
         }
     }
-    LoadReport::assemble(
+    let mut report = LoadReport::assemble(
         spec,
         "sim",
         universe.len(),
@@ -533,16 +631,36 @@ fn run_sim(spec: &LoadSpec, universe: &[ServeRequest], keys: &[usize]) -> LoadRe
         outcome.cache,
         outcome.makespan_ms,
         latencies,
-    )
+    );
+    report.resilience = ResilienceSummary {
+        retries: outcome.retries,
+        timeouts: outcome.timeouts,
+        crashed: outcome.crashed,
+        breaker_trips: outcome.breaker_trips,
+        circuit_open: outcome.circuit_open,
+        degraded: outcome.degraded,
+        stale_serves: outcome.stale_serves,
+    };
+    report
+}
+
+/// One closed-loop step's result (see [`drive_closed_loop`]).
+pub(crate) enum Step {
+    /// A completion was delivered: `(latency_ms, was_error)`.
+    Done(f64, bool),
+    /// The request was shed before execution (open breaker / full
+    /// queue) — counted by the server, no latency sample.
+    Shed,
+    /// The server is stopping; retire this worker quietly.
+    Retire,
 }
 
 /// The shared closed-loop driver: `clients` workers pull stream indices
 /// `0..n` from one shared cursor; each worker gets its own state from
 /// `setup` (e.g. a TCP connection) and runs `step` per index. `step`
-/// returns `Ok(Some((latency_ms, is_err)))` for a delivered completion,
-/// `Ok(None)` to retire the worker quietly (e.g. server shutting down),
-/// or `Err` to fail the whole run (first failure wins). Results come back
-/// sorted by stream index.
+/// returns a [`Step`] describing what happened, or `Err` to fail the
+/// whole run (first failure wins). Results come back sorted by stream
+/// index.
 ///
 /// Both the in-process wall-clock loadgen and the TCP loadgen ride on
 /// this, so their work-distribution and accounting cannot drift apart.
@@ -550,7 +668,7 @@ pub(crate) fn drive_closed_loop<S>(
     clients: usize,
     n: usize,
     setup: impl Fn() -> Result<S, String> + Sync,
-    step: impl Fn(&mut S, usize) -> Result<Option<(f64, bool)>, String> + Sync,
+    step: impl Fn(&mut S, usize) -> Result<Step, String> + Sync,
 ) -> Result<Vec<(usize, f64, bool)>, String> {
     let next = std::sync::atomic::AtomicUsize::new(0);
     let collected: std::sync::Mutex<Vec<(usize, f64, bool)>> = std::sync::Mutex::new(Vec::new());
@@ -574,13 +692,14 @@ pub(crate) fn drive_closed_loop<S>(
                         break;
                     }
                     match step(&mut state, i) {
-                        Ok(Some((latency_ms, is_err))) => {
+                        Ok(Step::Done(latency_ms, is_err)) => {
                             collected
                                 .lock()
                                 .expect("collector poisoned")
                                 .push((i, latency_ms, is_err));
                         }
-                        Ok(None) => break,
+                        Ok(Step::Shed) => {}
+                        Ok(Step::Retire) => break,
                         Err(msg) => {
                             failure
                                 .lock()
@@ -612,6 +731,8 @@ fn run_wall(spec: &LoadSpec, universe: &[ServeRequest], keys: &[usize]) -> LoadR
         queue_cap: spec.queue_cap,
         cache_bytes: spec.cache_bytes,
         opts: spec.opts.clone(),
+        fault: spec.fault,
+        resilience: spec.resilience,
     });
     let t0 = std::time::Instant::now();
     // (stream index, latency_ms, was_error) per delivered completion.
@@ -623,13 +744,19 @@ fn run_wall(spec: &LoadSpec, universe: &[ServeRequest], keys: &[usize]) -> LoadR
                 keys.len(),
                 || Ok(()),
                 |(), i| {
-                    // Submit/recv failures mean the server is stopping:
-                    // retire the worker rather than failing the run.
-                    let Ok(rx) = server.submit(universe[keys[i]].clone()) else {
-                        return Ok(None);
+                    let rx = match server.submit(universe[keys[i]].clone()) {
+                        Ok(rx) => rx,
+                        // An open breaker sheds this request; the stream
+                        // moves on (the server counts the shed).
+                        Err(SubmitError::CircuitOpen) => return Ok(Step::Shed),
+                        // Submit failures mean the server is stopping:
+                        // retire the worker rather than failing the run.
+                        Err(_) => return Ok(Step::Retire),
                     };
-                    let Ok(done) = rx.recv() else { return Ok(None) };
-                    Ok(Some((done.latency_ms, done.outcome.is_err())))
+                    let Ok(done) = rx.recv() else {
+                        return Ok(Step::Retire);
+                    };
+                    Ok(Step::Done(done.latency_ms, done.outcome.is_err()))
                 },
             )
             .expect("in-process setup is infallible");
@@ -645,7 +772,8 @@ fn run_wall(spec: &LoadSpec, universe: &[ServeRequest], keys: &[usize]) -> LoadR
                 }
                 match server.try_submit(universe[keys[i]].clone()) {
                     Ok(rx) => pending.push((i, rx)),
-                    Err(SubmitError::Busy) => {} // counted by the server
+                    // Queue and breaker sheds are counted by the server.
+                    Err(SubmitError::Busy | SubmitError::CircuitOpen) => {}
                     Err(SubmitError::ShuttingDown) => break,
                 }
             }
@@ -663,7 +791,7 @@ fn run_wall(spec: &LoadSpec, universe: &[ServeRequest], keys: &[usize]) -> LoadR
     results.sort_by_key(|&(i, _, _)| i);
     let errors = results.iter().filter(|&&(_, _, e)| e).count() as u64;
     let latencies: Vec<f64> = results.iter().map(|&(_, l, _)| l).collect();
-    LoadReport::assemble(
+    let mut report = LoadReport::assemble(
         spec,
         "wall",
         universe.len(),
@@ -674,7 +802,17 @@ fn run_wall(spec: &LoadSpec, universe: &[ServeRequest], keys: &[usize]) -> LoadR
         stats.cache,
         makespan_ms,
         latencies,
-    )
+    );
+    report.resilience = ResilienceSummary {
+        retries: stats.retries,
+        timeouts: stats.timeouts,
+        crashed: stats.crashed,
+        breaker_trips: stats.breaker_trips,
+        circuit_open: stats.breaker_shed,
+        degraded: stats.degraded,
+        stale_serves: stats.stale_serves,
+    };
+    report
 }
 
 #[cfg(test)]

@@ -22,7 +22,9 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
-use crate::loadgen::{ArrivalMode, LoadReport, LoadSpec};
+use gsuite_scenarios::LruStats;
+
+use crate::loadgen::{ArrivalMode, LoadReport, LoadSpec, ResilienceSummary, Step};
 use crate::request::ServeRequest;
 use crate::server::{ServeConfig, Server};
 
@@ -149,7 +151,12 @@ fn handle_connection(stream: TcpStream, server: &Server, stop: &AtomicBool) -> b
                         Ok(done) => done.to_line(),
                         Err(_) => "err id=- msg=\"server stopped\"".to_string(),
                     },
-                    Err(e) => format!("err id=- msg={:?}", e.to_string()),
+                    // Typed rejects (queue-full, circuit-open) carry
+                    // their wire code; shutdown stays connection-level.
+                    Err(e) => match e.reject_reason() {
+                        Some(r) => format!("err id=- msg={:?} code={}", e.to_string(), r.code()),
+                        None => format!("err id=- msg={:?}", e.to_string()),
+                    },
                 },
                 Err(msg) => format!("err id=- msg={msg:?}"),
             },
@@ -209,15 +216,16 @@ fn field_u64(line: &str, key: &str) -> Option<u64> {
 
 /// The server counters a `stats` line carries, as sampled at one instant.
 struct StatsSample {
-    cache: crate::cache::LruStats,
+    cache: LruStats,
     coalesced: u64,
     rejected: u64,
+    resilience: ResilienceSummary,
 }
 
 impl StatsSample {
     fn parse(line: &str) -> StatsSample {
         StatsSample {
-            cache: crate::cache::LruStats {
+            cache: LruStats {
                 hits: field_u64(line, "cache_hits").unwrap_or(0),
                 misses: field_u64(line, "cache_misses").unwrap_or(0),
                 insertions: field_u64(line, "cache_insertions").unwrap_or(0),
@@ -229,6 +237,15 @@ impl StatsSample {
             },
             coalesced: field_u64(line, "coalesced").unwrap_or(0),
             rejected: field_u64(line, "rejected").unwrap_or(0),
+            resilience: ResilienceSummary {
+                retries: field_u64(line, "retries").unwrap_or(0),
+                timeouts: field_u64(line, "timeouts").unwrap_or(0),
+                crashed: field_u64(line, "crashed").unwrap_or(0),
+                breaker_trips: field_u64(line, "breaker_trips").unwrap_or(0),
+                circuit_open: field_u64(line, "breaker_shed").unwrap_or(0),
+                degraded: field_u64(line, "degraded").unwrap_or(0),
+                stale_serves: field_u64(line, "stale_serves").unwrap_or(0),
+            },
         }
     }
 
@@ -237,7 +254,7 @@ impl StatsSample {
     /// per-run view against a possibly long-running server.
     fn since(&self, before: &StatsSample) -> StatsSample {
         StatsSample {
-            cache: crate::cache::LruStats {
+            cache: LruStats {
                 hits: self.cache.hits.saturating_sub(before.cache.hits),
                 misses: self.cache.misses.saturating_sub(before.cache.misses),
                 insertions: self
@@ -252,6 +269,36 @@ impl StatsSample {
             },
             coalesced: self.coalesced.saturating_sub(before.coalesced),
             rejected: self.rejected.saturating_sub(before.rejected),
+            resilience: ResilienceSummary {
+                retries: self
+                    .resilience
+                    .retries
+                    .saturating_sub(before.resilience.retries),
+                timeouts: self
+                    .resilience
+                    .timeouts
+                    .saturating_sub(before.resilience.timeouts),
+                crashed: self
+                    .resilience
+                    .crashed
+                    .saturating_sub(before.resilience.crashed),
+                breaker_trips: self
+                    .resilience
+                    .breaker_trips
+                    .saturating_sub(before.resilience.breaker_trips),
+                circuit_open: self
+                    .resilience
+                    .circuit_open
+                    .saturating_sub(before.resilience.circuit_open),
+                degraded: self
+                    .resilience
+                    .degraded
+                    .saturating_sub(before.resilience.degraded),
+                stale_serves: self
+                    .resilience
+                    .stale_serves
+                    .saturating_sub(before.resilience.stale_serves),
+            },
         }
     }
 }
@@ -297,7 +344,7 @@ pub fn loadgen_tcp(addr: &str, spec: &LoadSpec, stop_server: bool) -> Result<Loa
                 .round_trip(&lines[keys[i]])
                 .map_err(|e| format!("connection to {addr} failed: {e}"))?;
             let latency_ms = sent.elapsed().as_secs_f64() * 1e3;
-            Ok(Some((latency_ms, !response.starts_with("ok "))))
+            Ok(Step::Done(latency_ms, !response.starts_with("ok ")))
         },
     )?;
     let makespan_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -315,7 +362,7 @@ pub fn loadgen_tcp(addr: &str, spec: &LoadSpec, stop_server: bool) -> Result<Loa
 
     let errors = results.iter().filter(|&&(_, _, e)| e).count() as u64;
     let latencies: Vec<f64> = results.iter().map(|&(_, l, _)| l).collect();
-    Ok(LoadReport::assemble(
+    let mut report = LoadReport::assemble(
         spec,
         "tcp",
         universe.len(),
@@ -326,7 +373,9 @@ pub fn loadgen_tcp(addr: &str, spec: &LoadSpec, stop_server: bool) -> Result<Loa
         run_stats.cache,
         makespan_ms,
         latencies,
-    ))
+    );
+    report.resilience = run_stats.resilience;
+    Ok(report)
 }
 
 #[cfg(test)]

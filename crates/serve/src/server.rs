@@ -12,6 +12,20 @@
 //! the traffic layer: queueing, backpressure, caching and per-request
 //! timing.
 //!
+//! # Failure semantics
+//!
+//! With a [`FaultPlan`] configured, the server injects seeded faults —
+//! slowdowns, transient failures, worker crashes (real panic-unwinds,
+//! caught and counted by the supervisor), cache eviction storms, degraded
+//! interconnects — and the [`ResilienceConfig`] decides what happens
+//! next: per-request deadlines propagate as a cooperative-cancellation
+//! budget into the build phases, transient failures and crashes retry
+//! with seeded jittered backoff, per-config circuit breakers shed
+//! known-bad configurations at submission, and deadline pressure degrades
+//! gracefully (O0 compile fallback, stale-but-valid cache serves past the
+//! soft TTL). Every knob defaults to **inert**: a fault-free server takes
+//! exactly the historical code path.
+//!
 //! # Example
 //!
 //! ```
@@ -25,21 +39,45 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Once};
 use std::time::Instant;
 
+use gsuite_core::config::RunConfig;
 use gsuite_core::pipeline::PipelineRun;
+use gsuite_core::plan::OptLevel;
 use gsuite_core::CoreError;
 use gsuite_graph::Graph;
-use gsuite_profile::PipelineProfile;
+use gsuite_profile::{Interconnect, PipelineProfile};
 use gsuite_scenarios::BenchOpts;
+use gsuite_scenarios::{ByteLru, LruStats};
 
-use crate::cache::{ByteLru, LruStats};
+use crate::fault::{CircuitBreaker, FaultDraw, FaultPlan, RejectReason, ResilienceConfig};
 use crate::request::{CacheDisposition, ServeRequest};
 
 /// A cached execution unit: the loaded graph and the built pipeline.
 pub type CachedPipeline = (Arc<Graph>, Arc<PipelineRun>);
+
+/// The payload of an injected worker crash: `panic_any(InjectedCrash)`
+/// unwinds the attempt, the supervisor catches it, and the filtering
+/// panic hook keeps it off stderr (real panics still print).
+struct InjectedCrash;
+
+/// Installs (once, process-wide) a panic hook that silences
+/// [`InjectedCrash`] payloads and forwards everything else to the
+/// previous hook.
+fn install_quiet_crash_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedCrash>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
 
 /// The cost model of one cache entry: feature matrix + COO topology + CSR
 /// index of the graph, plus the pipeline's output buffer and a fixed
@@ -52,6 +90,14 @@ pub fn entry_bytes(graph: &Graph, run: &PipelineRun) -> u64 {
     let graph_bytes = s.nodes * (s.feature_len * 4 + 8) + s.edges * 8;
     let pipeline_bytes = run.output.len() * 4 + run.launches.len() * 512;
     (graph_bytes + pipeline_bytes) as u64
+}
+
+/// One cache slot: the execution unit plus its build instant, which the
+/// stale-TTL policy ages against.
+#[derive(Clone)]
+struct CacheEntry {
+    value: CachedPipeline,
+    built_at: Instant,
 }
 
 /// Serving-layer configuration.
@@ -67,6 +113,11 @@ pub struct ServeConfig {
     /// Measurement options shared by every request (scale policy, CTA
     /// caps) — the same knobs the batch scenario runner takes.
     pub opts: BenchOpts,
+    /// Seeded fault injection plan; `None` (the default) injects nothing.
+    pub fault: Option<FaultPlan>,
+    /// Resilience policy (deadlines, retries, breaker, degradation). The
+    /// default is fully inert — see [`ResilienceConfig::is_inert`].
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +127,8 @@ impl Default for ServeConfig {
             queue_cap: 64,
             cache_bytes: 256 << 20,
             opts: BenchOpts::quick(),
+            fault: None,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -104,6 +157,14 @@ pub struct Completion {
     pub outcome: Result<Arc<PipelineProfile>, String>,
     /// How the cache satisfied the request.
     pub cache: CacheDisposition,
+    /// Typed reject reason when the resilience layer failed the request
+    /// (deadline, crash, …); `None` for successes and plain build errors.
+    pub reject: Option<RejectReason>,
+    /// Served degraded: an O0 compile fallback or a stale-but-valid cache
+    /// entry past its soft TTL, taken under deadline pressure.
+    pub degraded: bool,
+    /// Retries consumed before this completion was produced.
+    pub retries: u32,
     /// Wall milliseconds spent queued before dispatch.
     pub queue_ms: f64,
     /// Wall milliseconds of (possibly shared) build + profile work.
@@ -113,9 +174,11 @@ pub struct Completion {
 }
 
 impl Completion {
-    /// Renders the wire-format response line.
+    /// Renders the wire-format response line. The resilience keys
+    /// (`code=`, `degraded=`, `retries=`) are appended only when set, so
+    /// fault-free responses keep the historical format byte-for-byte.
     pub fn to_line(&self) -> String {
-        match &self.outcome {
+        let mut line = match &self.outcome {
             Ok(profile) => format!(
                 "ok id={} cache={} queue_ms={:.4} service_ms={:.4} latency_ms={:.4} device_ms={:.4} e2e_ms={:.4} kernels={}",
                 self.id,
@@ -131,7 +194,17 @@ impl Completion {
                 "err id={} cache={} latency_ms={:.4} msg={:?}",
                 self.id, self.cache, self.latency_ms, msg
             ),
+        };
+        if let Some(reason) = self.reject {
+            line.push_str(&format!(" code={}", reason.code()));
         }
+        if self.degraded {
+            line.push_str(" degraded=true");
+        }
+        if self.retries > 0 {
+            line.push_str(&format!(" retries={}", self.retries));
+        }
+        line
     }
 }
 
@@ -141,14 +214,31 @@ pub enum SubmitError {
     /// The queue is full ([`Server::try_submit`] only; counted as shed
     /// load in [`ServerStats::rejected`]).
     Busy,
+    /// The request's per-config circuit breaker is open: the
+    /// configuration failed recently enough, often enough, that the
+    /// server fast-fails it instead of queueing it.
+    CircuitOpen,
     /// The server is shutting down.
     ShuttingDown,
+}
+
+impl SubmitError {
+    /// The typed reject this submission failure maps to on the wire
+    /// (`None` for shutdown, which is connection-level).
+    pub fn reject_reason(&self) -> Option<RejectReason> {
+        match self {
+            SubmitError::Busy => Some(RejectReason::QueueFull),
+            SubmitError::CircuitOpen => Some(RejectReason::CircuitOpen),
+            SubmitError::ShuttingDown => None,
+        }
+    }
 }
 
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
             SubmitError::Busy => "queue full",
+            SubmitError::CircuitOpen => "circuit open",
             SubmitError::ShuttingDown => "server shutting down",
         })
     }
@@ -177,18 +267,41 @@ pub struct ServerStats {
     /// pipelines served so far — the memory one device of the modeled
     /// cluster must provision. `0` until a `shards>1` request runs.
     pub shard_peak_device_bytes: u64,
+    /// Retry attempts consumed across all requests.
+    pub retries: u64,
+    /// Requests failed on an expired deadline (queued or mid-build).
+    pub timeouts: u64,
+    /// Circuit-breaker trips (closed/half-open → open transitions).
+    pub breaker_trips: u64,
+    /// Submissions shed at admission by an open circuit breaker.
+    pub breaker_shed: u64,
+    /// Requests served by the O0 compile fallback under deadline
+    /// pressure.
+    pub degraded: u64,
+    /// Requests served from a stale-but-valid cache entry past its soft
+    /// TTL.
+    pub stale_serves: u64,
+    /// Injected worker crashes caught by the supervisor.
+    pub crashed: u64,
+    /// Worker respawns after caught crashes (one per crash — no crash
+    /// loses its worker slot).
+    pub respawns: u64,
     /// Cache counters.
     pub cache: LruStats,
 }
 
 impl ServerStats {
-    /// Renders the wire-format `stats` response line.
+    /// Renders the wire-format `stats` response line. The resilience
+    /// counters are appended after the historical fields, so existing
+    /// parsers keep working.
     pub fn to_line(&self) -> String {
         format!(
             "stats workers={} queue={} submitted={} completed={} coalesced={} rejected={} \
              cache_hits={} cache_misses={} cache_insertions={} cache_evictions={} \
              cache_rejected={} cache_bytes={} cache_capacity={} cache_entries={} \
-             peak_device_bytes={} shard_peak_device_bytes={}",
+             peak_device_bytes={} shard_peak_device_bytes={} \
+             retries={} timeouts={} breaker_trips={} breaker_shed={} degraded={} \
+             stale_serves={} crashed={} respawns={}",
             self.workers,
             self.queue_depth,
             self.submitted,
@@ -205,6 +318,14 @@ impl ServerStats {
             self.cache.entries,
             self.peak_device_bytes,
             self.shard_peak_device_bytes,
+            self.retries,
+            self.timeouts,
+            self.breaker_trips,
+            self.breaker_shed,
+            self.degraded,
+            self.stale_serves,
+            self.crashed,
+            self.respawns,
         )
     }
 }
@@ -227,12 +348,22 @@ struct State {
     /// Keys currently executing on a worker; identical submissions attach
     /// their waiter here.
     executing: Vec<(ServeRequest, Vec<Waiter>)>,
-    cache: ByteLru<ServeRequest, CachedPipeline>,
+    cache: ByteLru<ServeRequest, CacheEntry>,
+    /// Per-config circuit breakers (linear scan: the config universe a
+    /// service sees is small).
+    breakers: Vec<(ServeRequest, CircuitBreaker)>,
     next_id: u64,
     submitted: u64,
     completed: u64,
     coalesced: u64,
     rejected: u64,
+    retries: u64,
+    timeouts: u64,
+    breaker_shed: u64,
+    degraded: u64,
+    stale_serves: u64,
+    crashed: u64,
+    respawns: u64,
     peak_device_bytes: u64,
     shard_peak_device_bytes: u64,
     shutdown: bool,
@@ -240,6 +371,9 @@ struct State {
 
 struct Inner {
     cfg: ServeConfig,
+    /// The server's time origin: breaker transitions run on milliseconds
+    /// since this instant, mirroring the sim clock's absolute time.
+    epoch: Instant,
     state: Mutex<State>,
     work_avail: Condvar,
     space_avail: Condvar,
@@ -257,20 +391,32 @@ impl Server {
     /// Starts the worker pool and returns the service handle.
     pub fn start(cfg: ServeConfig) -> Server {
         let workers = cfg.workers.max(1);
+        if cfg.fault.is_some_and(|f| f.spec.crash_rate > 0.0) {
+            install_quiet_crash_hook();
+        }
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 executing: Vec::new(),
                 cache: ByteLru::new(cfg.cache_bytes),
+                breakers: Vec::new(),
                 next_id: 0,
                 submitted: 0,
                 completed: 0,
                 coalesced: 0,
                 rejected: 0,
+                retries: 0,
+                timeouts: 0,
+                breaker_shed: 0,
+                degraded: 0,
+                stale_serves: 0,
+                crashed: 0,
+                respawns: 0,
                 peak_device_bytes: 0,
                 shard_peak_device_bytes: 0,
                 shutdown: false,
             }),
+            epoch: Instant::now(),
             work_avail: Condvar::new(),
             space_avail: Condvar::new(),
             cfg,
@@ -295,7 +441,8 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// [`SubmitError::ShuttingDown`] after [`Server::shutdown`] began.
+    /// [`SubmitError::ShuttingDown`] after [`Server::shutdown`] began;
+    /// [`SubmitError::CircuitOpen`] when the config's breaker is open.
     pub fn submit(&self, req: ServeRequest) -> Result<mpsc::Receiver<Completion>, SubmitError> {
         self.submit_inner(req, true)
     }
@@ -306,6 +453,7 @@ impl Server {
     /// # Errors
     ///
     /// [`SubmitError::Busy`] when the queue is full,
+    /// [`SubmitError::CircuitOpen`] when the config's breaker is open,
     /// [`SubmitError::ShuttingDown`] during shutdown.
     pub fn try_submit(&self, req: ServeRequest) -> Result<mpsc::Receiver<Completion>, SubmitError> {
         self.submit_inner(req, false)
@@ -320,6 +468,25 @@ impl Server {
         let mut state = self.inner.state.lock().expect("server state poisoned");
         if state.shutdown {
             return Err(SubmitError::ShuttingDown);
+        }
+        // Circuit-breaker admission runs before coalescing: an open
+        // breaker means the config is known-bad, and attaching to an
+        // in-flight execution of it would defeat the fast-fail.
+        if let Some(bcfg) = self.inner.cfg.resilience.breaker {
+            let now_ms = ms_between(self.inner.epoch, Instant::now());
+            let breaker = match state.breakers.iter_mut().position(|(k, _)| *k == req) {
+                Some(i) => &mut state.breakers[i].1,
+                None => {
+                    state
+                        .breakers
+                        .push((req.clone(), CircuitBreaker::new(bcfg)));
+                    &mut state.breakers.last_mut().expect("just pushed").1
+                }
+            };
+            if !breaker.admit(now_ms) {
+                state.breaker_shed += 1;
+                return Err(SubmitError::CircuitOpen);
+            }
         }
         let id = state.next_id;
         state.next_id += 1;
@@ -386,6 +553,14 @@ impl Server {
             rejected: state.rejected,
             peak_device_bytes: state.peak_device_bytes,
             shard_peak_device_bytes: state.shard_peak_device_bytes,
+            retries: state.retries,
+            timeouts: state.timeouts,
+            breaker_trips: state.breakers.iter().map(|(_, b)| b.trips()).sum(),
+            breaker_shed: state.breaker_shed,
+            degraded: state.degraded,
+            stale_serves: state.stale_serves,
+            crashed: state.crashed,
+            respawns: state.respawns,
             cache: state.cache.stats(),
         }
     }
@@ -418,18 +593,163 @@ impl Drop for Server {
     }
 }
 
-/// Builds graph + pipeline for `req` — the expensive miss path, run
-/// outside the state lock.
-fn build_pipeline(req: &ServeRequest) -> Result<CachedPipeline, String> {
-    let graph = Arc::new(req.config.load_graph());
-    match PipelineRun::build(&graph, &req.config) {
+/// How one execution attempt failed.
+enum AttemptError {
+    /// Not retryable: a bad configuration (e.g. an unsupported
+    /// model/computational-model pair).
+    Permanent(String),
+    /// Retryable: an injected transient fault.
+    Transient(String),
+    /// The worker crashed mid-attempt (caught panic); retryable.
+    Crash,
+    /// The deadline budget expired at a build checkpoint.
+    Cancelled,
+}
+
+/// What one successful attempt produced.
+struct AttemptSuccess {
+    profile: Arc<PipelineProfile>,
+    cache: CacheDisposition,
+    /// Served by the O0 compile fallback.
+    degraded: bool,
+    /// Served from a stale cache entry past its soft TTL.
+    stale: bool,
+    peak_device_bytes: u64,
+    shard_peak_device_bytes: u64,
+}
+
+/// Builds graph + pipeline for `config` — the expensive miss path, run
+/// outside the state lock. `cancelled` is the deadline budget's
+/// cooperative-cancellation checkpoint.
+fn build_pipeline(
+    config: &RunConfig,
+    cancelled: &mut dyn FnMut() -> bool,
+) -> Result<CachedPipeline, AttemptError> {
+    let graph = Arc::new(config.load_graph());
+    match PipelineRun::build_cancellable(&graph, config, cancelled) {
         Ok(run) => Ok((graph, Arc::new(run))),
+        Err(CoreError::Cancelled) => Err(AttemptError::Cancelled),
         // The suite's known boundary (e.g. gSuite SAGE under SpMM) and any
         // other build failure both surface as error responses; a serving
         // process must not crash on a bad request.
-        Err(e @ CoreError::UnsupportedCombination { .. }) => Err(e.to_string()),
-        Err(e) => Err(format!("cannot build {}: {e}", req.config.label())),
+        Err(e @ CoreError::UnsupportedCombination { .. }) => {
+            Err(AttemptError::Permanent(e.to_string()))
+        }
+        Err(e) => Err(AttemptError::Permanent(format!(
+            "cannot build {}: {e}",
+            config.label()
+        ))),
     }
+}
+
+/// One execution attempt of `key`: cache lookup (with stale-TTL aging),
+/// build on miss (O0 fallback under deadline pressure), profile (link
+/// faults price the halo exchanges), then the injected slowdown and
+/// transient-failure effects. Runs under the supervisor's `catch_unwind`.
+fn run_attempt(
+    inner: &Inner,
+    key: &ServeRequest,
+    draw: &FaultDraw,
+    pressured: bool,
+    cancelled: &mut dyn FnMut() -> bool,
+) -> Result<AttemptSuccess, AttemptError> {
+    let started = Instant::now();
+    if draw.crash {
+        // An injected worker crash: a real panic-unwind through the
+        // execution path, caught by the supervisor in `worker_loop`.
+        std::panic::panic_any(InjectedCrash);
+    }
+    let res = &inner.cfg.resilience;
+
+    // Cache lookup under the lock; the expensive build outside it.
+    // Coalescing guarantees one execution per key at a time, so two
+    // workers never race to build the same entry.
+    let cached = {
+        let mut state = inner.state.lock().expect("server state poisoned");
+        state.cache.get(key).cloned()
+    };
+    let (disposition, value, degraded, stale) = match cached {
+        Some(entry) => {
+            let age_ms = ms_between(entry.built_at, Instant::now());
+            match res.stale_ttl_ms {
+                Some(ttl) if age_ms > ttl && pressured => {
+                    // Stale-but-valid: past the soft TTL, but the deadline
+                    // budget cannot cover a refresh — serve it anyway.
+                    (CacheDisposition::Hit, entry.value, false, true)
+                }
+                Some(ttl) if age_ms > ttl => {
+                    // Refresh: rebuild and re-insert with a fresh age.
+                    let built = build_pipeline(&key.config, cancelled)?;
+                    let bytes = entry_bytes(&built.0, &built.1);
+                    let mut state = inner.state.lock().expect("server state poisoned");
+                    state.cache.insert(
+                        key.clone(),
+                        CacheEntry {
+                            value: built.clone(),
+                            built_at: Instant::now(),
+                        },
+                        bytes,
+                    );
+                    (CacheDisposition::Miss, built, false, false)
+                }
+                _ => (CacheDisposition::Hit, entry.value, false, false),
+            }
+        }
+        None if res.degrade && pressured => {
+            // Graceful degradation: more than half the budget is gone, so
+            // skip the optimizer (O0 compile). Degraded builds are *not*
+            // cached — the next unpressured request builds the real thing.
+            let o0 = RunConfig {
+                opt: OptLevel::O0,
+                ..key.config.clone()
+            };
+            let built = build_pipeline(&o0, cancelled)?;
+            (CacheDisposition::Miss, built, true, false)
+        }
+        None => {
+            let built = build_pipeline(&key.config, cancelled)?;
+            let bytes = entry_bytes(&built.0, &built.1);
+            let mut state = inner.state.lock().expect("server state poisoned");
+            state.cache.insert(
+                key.clone(),
+                CacheEntry {
+                    value: built.clone(),
+                    built_at: Instant::now(),
+                },
+                bytes,
+            );
+            (CacheDisposition::Miss, built, false, false)
+        }
+    };
+
+    let (_, run) = &value;
+    let profiler = key.gpu.profiler(&inner.cfg.opts, key.config.dataset);
+    let link = Interconnect::nvlink().degraded(draw.link_factor);
+    let profile = Arc::new(run.profile_with_link(profiler.as_ref(), link));
+
+    // Injected slowdown: stretch the attempt's wall time by the factor.
+    if draw.slow_factor > 1.0 {
+        std::thread::sleep(started.elapsed().mul_f64(draw.slow_factor - 1.0));
+    }
+    // Injected transient failure: the work happened, the result is lost.
+    if draw.transient {
+        return Err(AttemptError::Transient(
+            "injected transient fault".to_string(),
+        ));
+    }
+
+    Ok(AttemptSuccess {
+        peak_device_bytes: run.peak_device_bytes,
+        shard_peak_device_bytes: run
+            .sharding
+            .as_ref()
+            .map(|s| s.max_shard_peak_bytes())
+            .unwrap_or(0),
+        profile,
+        cache: disposition,
+        degraded,
+        stale,
+    })
 }
 
 fn worker_loop(inner: &Inner) {
@@ -450,53 +770,125 @@ fn worker_loop(inner: &Inner) {
             }
         };
         let dispatched = Instant::now();
+        let res = &inner.cfg.resilience;
+        // The deadline budget and fault stream anchor on the *first*
+        // submitter: coalesced waiters share its execution wholesale.
+        let anchor = job.waiters[0].submitted;
+        let request_index = job.waiters[0].id;
+        let deadline_ms = job.key.deadline_ms.or(res.deadline_ms);
+        let plan = crate::fault::plan_for(inner.cfg.fault, job.key.fault_seed);
+        let expired = |at: Instant| deadline_ms.is_some_and(|d| ms_between(anchor, at) >= d);
 
-        // Cache lookup under the lock; the expensive build outside it.
-        // Coalescing guarantees one execution per key at a time, so two
-        // workers never race to build the same entry.
-        let cached = {
-            let mut state = inner.state.lock().expect("server state poisoned");
-            state.cache.get(&job.key).cloned()
-        };
-        let (disposition, built) = match cached {
-            Some(hit) => (CacheDisposition::Hit, Ok(hit)),
-            None => {
-                let built = build_pipeline(&job.key);
-                if let Ok((graph, run)) = &built {
-                    let bytes = entry_bytes(graph, run);
-                    let mut state = inner.state.lock().expect("server state poisoned");
-                    state.cache.insert(
-                        job.key.clone(),
-                        (Arc::clone(graph), Arc::clone(run)),
-                        bytes,
-                    );
-                }
-                (CacheDisposition::Miss, built)
+        let mut attempt: u32 = 0;
+        let mut retries_used: u32 = 0;
+        let mut reject: Option<RejectReason> = None;
+        let mut success: Option<AttemptSuccess> = None;
+        let mut error_msg: Option<String> = None;
+
+        loop {
+            // Deadline checkpoint before (each) dispatch: a request that
+            // aged out in the queue, or between retries, fails without
+            // doing the work.
+            if expired(Instant::now()) {
+                reject = Some(RejectReason::DeadlineExceeded);
+                error_msg = Some("deadline exceeded".to_string());
+                break;
             }
-        };
+            let draw = plan.map_or_else(FaultDraw::healthy, |p| p.draw(request_index, attempt));
+            if draw.evict > 0 {
+                // Injected eviction storm: poison the LRU tail before the
+                // attempt's cache lookup.
+                let mut state = inner.state.lock().expect("server state poisoned");
+                state.cache.evict_lru(draw.evict);
+            }
+            let pressured =
+                deadline_ms.is_some_and(|d| ms_between(anchor, Instant::now()) > 0.5 * d);
 
-        let peak_device_bytes = built
-            .as_ref()
-            .ok()
-            .map(|(_, run)| run.peak_device_bytes)
-            .unwrap_or(0);
-        // For sharded pipelines, the per-shard high-water mark (what one
-        // device of the modeled cluster provisions) feeds its own stat.
-        let shard_peak_device_bytes = built
-            .as_ref()
-            .ok()
-            .and_then(|(_, run)| run.sharding.as_ref())
-            .map(|s| s.max_shard_peak_bytes())
-            .unwrap_or(0);
-        let outcome: Result<Arc<PipelineProfile>, String> = built.map(|(_, run)| {
-            let profiler = job
-                .key
-                .gpu
-                .profiler(&inner.cfg.opts, job.key.config.dataset);
-            Arc::new(run.profile(profiler.as_ref()))
-        });
+            // The supervisor: one attempt, crash-isolated. A panic (an
+            // injected crash or a real bug) unwinds to here; the worker
+            // thread survives and is logically respawned.
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                run_attempt(inner, &job.key, &draw, pressured, &mut || {
+                    expired(Instant::now())
+                })
+            }));
+            let result = match caught {
+                Ok(r) => r,
+                Err(_payload) => {
+                    let mut state = inner.state.lock().expect("server state poisoned");
+                    state.crashed += 1;
+                    state.respawns += 1;
+                    Err(AttemptError::Crash)
+                }
+            };
+
+            // Feed the breaker every definitive attempt outcome (a
+            // cancelled build says nothing about the config's health).
+            if res.breaker.is_some() && !matches!(result, Err(AttemptError::Cancelled)) {
+                let now_ms = ms_between(inner.epoch, Instant::now());
+                let ok = result.is_ok();
+                let mut state = inner.state.lock().expect("server state poisoned");
+                if let Some((_, b)) = state.breakers.iter_mut().find(|(k, _)| *k == job.key) {
+                    b.record(now_ms, ok);
+                }
+            }
+
+            match result {
+                Ok(s) => {
+                    if expired(Instant::now()) {
+                        // The work finished after the budget (e.g. an
+                        // injected slowdown): the result is cached, but
+                        // this request already missed its deadline.
+                        reject = Some(RejectReason::DeadlineExceeded);
+                        error_msg = Some("deadline exceeded".to_string());
+                    } else {
+                        success = Some(s);
+                    }
+                    break;
+                }
+                Err(AttemptError::Cancelled) => {
+                    reject = Some(RejectReason::DeadlineExceeded);
+                    error_msg = Some("deadline exceeded during build".to_string());
+                    break;
+                }
+                Err(AttemptError::Permanent(msg)) => {
+                    error_msg = Some(msg);
+                    break;
+                }
+                Err(retryable) => {
+                    if retries_used < res.retry.max_retries {
+                        retries_used += 1;
+                        {
+                            let mut state = inner.state.lock().expect("server state poisoned");
+                            state.retries += 1;
+                        }
+                        let jitter = plan.map_or(0.5, |p| p.jitter(request_index, attempt + 1));
+                        let backoff_ms = res.retry.backoff_ms(retries_used, jitter);
+                        std::thread::sleep(std::time::Duration::from_secs_f64(backoff_ms / 1e3));
+                        attempt += 1;
+                        continue;
+                    }
+                    match retryable {
+                        AttemptError::Transient(msg) => error_msg = Some(msg),
+                        AttemptError::Crash => {
+                            reject = Some(RejectReason::Crashed);
+                            error_msg = Some("worker crashed (injected fault)".to_string());
+                        }
+                        _ => unreachable!("permanent/cancelled handled above"),
+                    }
+                    break;
+                }
+            }
+        }
+
         let finished = Instant::now();
         let service_ms = ms_between(dispatched, finished);
+        let (outcome, disposition, degraded): (Result<Arc<PipelineProfile>, String>, _, bool) =
+            match (&success, &error_msg) {
+                (Some(s), _) => (Ok(Arc::clone(&s.profile)), s.cache, s.degraded || s.stale),
+                (None, Some(msg)) => (Err(msg.clone()), CacheDisposition::Miss, false),
+                (None, None) => unreachable!("every exit sets success or error"),
+            };
 
         // Collect the waiters that coalesced during execution and deliver.
         let late_waiters = {
@@ -508,9 +900,20 @@ fn worker_loop(inner: &Inner) {
                 .expect("executing entry registered at dispatch");
             let (_, waiters) = state.executing.swap_remove(i);
             state.completed += (job.waiters.len() + waiters.len()) as u64;
-            state.peak_device_bytes = state.peak_device_bytes.max(peak_device_bytes);
-            state.shard_peak_device_bytes =
-                state.shard_peak_device_bytes.max(shard_peak_device_bytes);
+            if let Some(s) = &success {
+                state.peak_device_bytes = state.peak_device_bytes.max(s.peak_device_bytes);
+                state.shard_peak_device_bytes =
+                    state.shard_peak_device_bytes.max(s.shard_peak_device_bytes);
+                if s.degraded {
+                    state.degraded += 1;
+                }
+                if s.stale {
+                    state.stale_serves += 1;
+                }
+            }
+            if reject == Some(RejectReason::DeadlineExceeded) {
+                state.timeouts += 1;
+            }
             waiters
         };
         for (n, waiter) in job.waiters.into_iter().chain(late_waiters).enumerate() {
@@ -524,6 +927,9 @@ fn worker_loop(inner: &Inner) {
                 request: job.key.clone(),
                 outcome: outcome.clone(),
                 cache: disposition,
+                reject,
+                degraded,
+                retries: retries_used,
                 queue_ms: ms_between(waiter.submitted, dispatched).max(0.0),
                 service_ms,
                 latency_ms: ms_between(waiter.submitted, finished).max(0.0),
@@ -542,6 +948,7 @@ fn ms_between(from: Instant, to: Instant) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultSpec;
     use gsuite_core::config::{CompModel, GnnModel};
 
     fn golden_request(line: &str) -> ServeRequest {
@@ -559,6 +966,9 @@ mod tests {
         assert!(!profile.kernels.is_empty());
         assert_eq!(done.cache, CacheDisposition::Miss);
         assert!(done.latency_ms >= done.service_ms);
+        assert_eq!(done.reject, None);
+        assert!(!done.degraded);
+        assert_eq!(done.retries, 0);
         let stats = server.stats();
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.cache.misses, 1);
@@ -567,6 +977,7 @@ mod tests {
             "served pipeline reports its memory-schedule peak"
         );
         assert!(stats.to_line().contains("peak_device_bytes="));
+        assert!(stats.to_line().ends_with("crashed=0 respawns=0"));
         server.shutdown();
     }
 
@@ -616,6 +1027,7 @@ mod tests {
         let done = server.submit(req).unwrap().recv().unwrap();
         assert!(done.outcome.is_err());
         assert!(done.to_line().starts_with("err id=0"));
+        assert_eq!(done.reject, None, "a build error is not a typed reject");
         server.shutdown();
     }
 
@@ -650,6 +1062,134 @@ mod tests {
         ] {
             assert!(line.contains(field), "{line}");
         }
+        // Fault-free lines never grow resilience keys.
+        for absent in ["code=", "degraded=", "retries="] {
+            assert!(!line.contains(absent), "{line}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_times_out_without_executing() {
+        let server = Server::start(ServeConfig::golden());
+        let done = server
+            .submit(golden_request(
+                "model=gcn dataset=cora scale=0.05 deadline_ms=0.000001",
+            ))
+            .unwrap()
+            .recv()
+            .unwrap();
+        assert_eq!(done.reject, Some(RejectReason::DeadlineExceeded));
+        assert!(done.outcome.is_err());
+        assert!(done.to_line().contains("code=deadline-exceeded"));
+        let stats = server.stats();
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.cache.misses, 0, "timed-out request never built");
+        server.shutdown();
+    }
+
+    #[test]
+    fn injected_crashes_are_supervised_and_respawned() {
+        let crash_plan = FaultPlan {
+            seed: 1,
+            spec: FaultSpec {
+                crash_rate: 1.0,
+                ..FaultSpec::none()
+            },
+        };
+        // No retries: every request crashes once and fails typed.
+        let server = Server::start(ServeConfig {
+            fault: Some(crash_plan),
+            ..ServeConfig::golden()
+        });
+        let n = 3;
+        // Distinct scales so the requests never coalesce: one panic each.
+        let rxs: Vec<_> = (0..n)
+            .map(|i| {
+                let line = format!("model=gcn dataset=cora scale=0.0{}", 5 + i);
+                server.submit(golden_request(&line)).unwrap()
+            })
+            .collect();
+        for rx in rxs {
+            let done = rx.recv().expect("crashed requests still complete");
+            assert_eq!(done.reject, Some(RejectReason::Crashed));
+            assert!(done.to_line().contains("code=crashed"));
+        }
+        let stats = server.stats();
+        assert_eq!(stats.crashed, n as u64, "every injected panic is counted");
+        assert_eq!(stats.respawns, n as u64, "one respawn per crash");
+        assert_eq!(stats.completed, n as u64, "no request lost or hung");
+        // The worker pool survived: a fault-free request still... would
+        // crash under this plan, but submission and delivery both work.
+        server.shutdown();
+    }
+
+    #[test]
+    fn transient_faults_exhaust_retries_with_backoff() {
+        let plan = FaultPlan {
+            seed: 2,
+            spec: FaultSpec {
+                transient_rate: 1.0,
+                ..FaultSpec::none()
+            },
+        };
+        let server = Server::start(ServeConfig {
+            fault: Some(plan),
+            resilience: ResilienceConfig {
+                retry: crate::fault::RetryPolicy {
+                    max_retries: 2,
+                    base_ms: 0.1,
+                    cap_ms: 0.5,
+                },
+                ..ResilienceConfig::default()
+            },
+            ..ServeConfig::golden()
+        });
+        let done = server
+            .submit(golden_request("model=gcn dataset=cora scale=0.05"))
+            .unwrap()
+            .recv()
+            .unwrap();
+        assert!(done.outcome.is_err());
+        assert_eq!(done.retries, 2, "both retries consumed");
+        assert!(done.to_line().contains("retries=2"));
+        assert_eq!(server.stats().retries, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn breaker_opens_on_persistent_errors_and_sheds_submissions() {
+        let server = Server::start(ServeConfig {
+            resilience: ResilienceConfig {
+                breaker: Some(crate::fault::BreakerConfig {
+                    window: 2,
+                    min_samples: 2,
+                    fail_threshold: 0.5,
+                    cooldown_ms: 60_000.0,
+                    half_open_probes: 1,
+                }),
+                ..ResilienceConfig::default()
+            },
+            ..ServeConfig::golden()
+        });
+        let bad = "model=sage comp=spmm dataset=cora scale=0.05";
+        for _ in 0..2 {
+            let done = server.submit(golden_request(bad)).unwrap().recv().unwrap();
+            assert!(done.outcome.is_err());
+        }
+        let err = server.submit(golden_request(bad)).unwrap_err();
+        assert_eq!(err, SubmitError::CircuitOpen);
+        assert_eq!(err.reject_reason(), Some(RejectReason::CircuitOpen));
+        let stats = server.stats();
+        assert_eq!(stats.breaker_trips, 1);
+        assert_eq!(stats.breaker_shed, 1);
+        // A healthy config is unaffected: breakers are per-config.
+        let ok = server
+            .submit(golden_request("model=gcn dataset=cora scale=0.05"))
+            .unwrap()
+            .recv()
+            .unwrap();
+        assert!(ok.outcome.is_ok());
         server.shutdown();
     }
 }

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Chaos smoke: the seeded fault-injection path is exactly replayable.
+# (1) A fault-injected sim-clock loadgen run is byte-identical across
+# repeated runs and across profiling thread counts; (2) the report
+# carries the availability/resilience columns; (3) the `chaos` registry
+# scenario renders its fault-rate x policy table in quick mode.
+#
+# Usage: scripts/chaos_smoke.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --bin gsuite-cli
+BIN=target/release/gsuite-cli
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+CHAOS_FLAGS=(--scenario serve-mix --seed 42 --requests 96
+    --fault-seed 7 --fault-rate 0.25
+    --deadline-ms 900 --retries 2 --breaker)
+
+echo "== fault-injected loadgen: byte-identity across runs"
+"$BIN" loadgen "${CHAOS_FLAGS[@]}" > "$TMP/run1.txt"
+"$BIN" loadgen "${CHAOS_FLAGS[@]}" > "$TMP/run2.txt"
+cmp "$TMP/run1.txt" "$TMP/run2.txt"
+
+echo "== fault-injected loadgen: byte-identity across thread counts"
+"$BIN" loadgen "${CHAOS_FLAGS[@]}" --threads 1 > "$TMP/t1.txt"
+"$BIN" loadgen "${CHAOS_FLAGS[@]}" --threads 4 > "$TMP/t4.txt"
+cmp "$TMP/t1.txt" "$TMP/t4.txt"
+cmp "$TMP/run1.txt" "$TMP/t1.txt"
+
+grep -q "availability=" "$TMP/run1.txt"
+grep -q "resilience:" "$TMP/run1.txt"
+cat "$TMP/run1.txt"
+
+echo "== chaos scenario (quick)"
+"$BIN" run-scenario chaos --quick
+
+echo "chaos smoke OK"

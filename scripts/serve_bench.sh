@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Records the serving-layer trajectory numbers to BENCH_<tag>.json: the
-# deterministic sim-clock benchmark (reproducible across hosts) plus a
-# wall-clock measurement of the live threaded server on this machine.
+# deterministic sim-clock benchmark (reproducible across hosts), a
+# chaos-mode run (seeded fault injection under the resilience policy,
+# with its availability figure), plus a wall-clock measurement of the
+# live threaded server on this machine.
 #
 # Usage: scripts/serve_bench.sh [tag]
 #   tag   suffix for the output file, e.g. `pr3` -> BENCH_pr3.json
@@ -23,6 +25,10 @@ echo "== loadgen (sim clock, closed loop)"
 echo "== loadgen (sim clock, open loop with shedding)"
 "$BIN" loadgen --scenario serve-mix --seed 42 --requests 256 --rate 200 \
     --workers 2 --queue 8 --slo-ms 250 --json "$TMP/sim_open.json"
+echo "== loadgen (sim clock, chaos: seeded faults + resilience policy)"
+"$BIN" loadgen --scenario serve-mix --seed 42 --requests 256 --clients 8 \
+    --fault-seed 7 --fault-rate 0.25 --deadline-ms 900 --retries 2 --breaker \
+    --json "$TMP/sim_chaos.json"
 echo "== loadgen (wall clock, closed loop)"
 "$BIN" loadgen --scenario serve-mix --seed 42 --requests 256 --clients 8 \
     --clock wall --json "$TMP/wall_closed.json"
@@ -35,7 +41,7 @@ echo "== loadgen (wall clock, closed loop)"
     echo "  \"host_cores\": $(nproc),"
     echo '  "results": {'
     first=1
-    for run in sim_closed sim_open wall_closed; do
+    for run in sim_closed sim_open sim_chaos wall_closed; do
         [ $first -eq 1 ] || echo ','
         first=0
         printf '    "%s": ' "$run"

@@ -17,11 +17,14 @@
 //! gsuite-cli explain [MODEL] [pipeline flags ...]
 //!
 //! gsuite-cli serve   [--host H] [--port N] [--threads N] [--queue N]
-//!                    [--cache-mb N] [--quick|--full]
+//!                    [--cache-mb N] [--fault-seed N [--fault-rate F]]
+//!                    [--quick|--full]
 //! gsuite-cli loadgen [--scenario NAME] [--seed N] [--requests N]
 //!                    [--clients N | --rate RPS] [--clock sim|wall]
 //!                    [--workers N] [--threads N] [--queue N] [--cache-mb N]
-//!                    [--slo-ms F] [--connect ADDR [--stop-server]]
+//!                    [--slo-ms F] [--fault-seed N [--fault-rate F]]
+//!                    [--deadline-ms F] [--retries N] [--breaker]
+//!                    [--connect ADDR [--stop-server]]
 //!                    [--json FILE] [--full]
 //! ```
 //!
@@ -39,6 +42,7 @@ use gsuite_core::config::RunConfig;
 use gsuite_core::pipeline::PipelineRun;
 use gsuite_profile::{HwProfiler, Profiler, SimProfiler, TextTable};
 use gsuite_scenarios::{registry, BenchOpts};
+use gsuite_serve::fault::{BreakerConfig, FaultPlan, RetryPolicy};
 use gsuite_serve::{
     loadgen_tcp, run_loadgen, serve_blocking, ArrivalMode, ClockMode, LoadSpec, ServeConfig,
 };
@@ -130,18 +134,26 @@ fn print_help() {
          \n\
          serving layer (gsuite-serve):\n\
            serve [--host H] [--port N] [--threads N] [--queue N]\n\
-                 [--cache-mb N] [--quick|--full]\n\
+                 [--cache-mb N] [--fault-seed N [--fault-rate F]]\n\
+                 [--quick|--full]\n\
                                   run the benchmark service over TCP\n\
-                                  (port 0 picks an ephemeral port)\n\
+                                  (port 0 picks an ephemeral port);\n\
+                                  --fault-seed injects a seeded mixed\n\
+                                  fault plan at --fault-rate (0.1)\n\
            loadgen [--scenario NAME] [--seed N] [--requests N]\n\
                    [--clients N | --rate RPS] [--clock sim|wall]\n\
                    [--workers N] [--threads N] [--queue N] [--cache-mb N]\n\
-                   [--slo-ms F] [--connect ADDR [--stop-server]]\n\
+                   [--slo-ms F] [--fault-seed N [--fault-rate F]]\n\
+                   [--deadline-ms F] [--retries N] [--breaker]\n\
+                   [--connect ADDR [--stop-server]]\n\
                    [--json FILE] [--full]\n\
                                   drive a seeded workload mix and report\n\
                                   throughput + p50/p95/p99 latency + SLO\n\
                                   (--clock sim, the default, is exactly\n\
-                                  reproducible for a given seed)"
+                                  reproducible for a given seed — also\n\
+                                  under --fault-seed chaos injection);\n\
+                                  --deadline-ms / --retries / --breaker\n\
+                                  enable the resilience policy"
     );
 }
 
@@ -164,6 +176,25 @@ fn parse_positive(args: &[String], i: usize) -> Result<usize, String> {
         return Err(format!("{} expects a positive integer", args[i]));
     }
     Ok(n)
+}
+
+/// Parses `--fault-rate`'s value: a probability scale in (0, 1].
+fn parse_fault_rate(args: &[String], i: usize) -> Result<f64, String> {
+    let r: f64 = parse_num(take_value(args, i)?, "--fault-rate", "a rate in (0, 1]")?;
+    if !(r > 0.0 && r <= 1.0) {
+        return Err("--fault-rate expects a rate in (0, 1]".to_string());
+    }
+    Ok(r)
+}
+
+/// Resolves `--fault-seed` / `--fault-rate` into a mixed fault plan.
+/// The seed is the opt-in; a rate without one is a mistake, not a plan.
+fn resolve_fault(seed: Option<u64>, rate: Option<f64>) -> Result<Option<FaultPlan>, String> {
+    match (seed, rate) {
+        (Some(seed), rate) => Ok(Some(FaultPlan::mixed(seed, rate.unwrap_or(0.1)))),
+        (None, Some(_)) => Err("--fault-rate only applies with --fault-seed N".to_string()),
+        (None, None) => Ok(None),
+    }
 }
 
 /// `gsuite-cli run-scenario ...`: list, filter or execute registry
@@ -393,6 +424,8 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         workers: gsuite_par::default_threads(),
         ..ServeConfig::default()
     };
+    let mut fault_seed: Option<u64> = None;
+    let mut fault_rate: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -421,6 +454,18 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
                 cfg.cache_bytes = mb << 20;
                 i += 2;
             }
+            "--fault-seed" => {
+                fault_seed = Some(parse_num(
+                    take_value(args, i)?,
+                    "--fault-seed",
+                    "an integer",
+                )?);
+                i += 2;
+            }
+            "--fault-rate" => {
+                fault_rate = Some(parse_fault_rate(args, i)?);
+                i += 2;
+            }
             "--quick" => {
                 cfg.opts.quick = true;
                 cfg.opts.full = false;
@@ -434,17 +479,23 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
             other => {
                 return Err(format!(
                     "unknown serve flag {other:?} (expected --host H | --port N | --threads N | \
-                     --queue N | --cache-mb N | --quick | --full)"
+                     --queue N | --cache-mb N | --fault-seed N | --fault-rate F | \
+                     --quick | --full)"
                 ));
             }
         }
     }
+    cfg.fault = resolve_fault(fault_seed, fault_rate)?;
     println!(
-        "gsuite-serve: {} workers, queue depth {}, cache {} MiB, {} scales",
+        "gsuite-serve: {} workers, queue depth {}, cache {} MiB, {} scales{}",
         cfg.workers,
         cfg.queue_cap,
         cfg.cache_bytes >> 20,
-        mode_name(&cfg.opts)
+        mode_name(&cfg.opts),
+        match cfg.fault {
+            Some(plan) => format!(", fault seed {}", plan.seed),
+            None => String::new(),
+        }
     );
     serve_blocking(&host, port, cfg).map_err(|e| format!("serve failed: {e}"))
 }
@@ -456,6 +507,8 @@ fn loadgen_cmd(args: &[String]) -> Result<(), String> {
     let mut connect: Option<String> = None;
     let mut stop_server = false;
     let mut json_path: Option<String> = None;
+    let mut fault_seed: Option<u64> = None;
+    let mut fault_rate: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -521,6 +574,35 @@ fn loadgen_cmd(args: &[String]) -> Result<(), String> {
                 spec.slo_ms = Some(parse_num(take_value(args, i)?, "--slo-ms", "milliseconds")?);
                 i += 2;
             }
+            "--fault-seed" => {
+                fault_seed = Some(parse_num(
+                    take_value(args, i)?,
+                    "--fault-seed",
+                    "an integer",
+                )?);
+                i += 2;
+            }
+            "--fault-rate" => {
+                fault_rate = Some(parse_fault_rate(args, i)?);
+                i += 2;
+            }
+            "--deadline-ms" => {
+                let d: f64 = parse_num(take_value(args, i)?, "--deadline-ms", "milliseconds")?;
+                if d <= 0.0 {
+                    return Err("--deadline-ms expects a positive budget".to_string());
+                }
+                spec.resilience.deadline_ms = Some(d);
+                i += 2;
+            }
+            "--retries" => {
+                let n: u32 = parse_num(take_value(args, i)?, "--retries", "an integer")?;
+                spec.resilience.retry = RetryPolicy::retries(n);
+                i += 2;
+            }
+            "--breaker" => {
+                spec.resilience.breaker = Some(BreakerConfig::default());
+                i += 1;
+            }
             "--connect" => {
                 connect = Some(take_value(args, i)?.to_string());
                 i += 2;
@@ -551,8 +633,9 @@ fn loadgen_cmd(args: &[String]) -> Result<(), String> {
                 return Err(format!(
                     "unknown loadgen flag {other:?} (expected --scenario NAME | --seed N | \
                      --requests N | --clients N | --rate RPS | --clock sim|wall | --workers N | \
-                     --threads N | --queue N | --cache-mb N | --slo-ms F | --connect ADDR | \
-                     --stop-server | --json FILE | --quick | --full)"
+                     --threads N | --queue N | --cache-mb N | --slo-ms F | --fault-seed N | \
+                     --fault-rate F | --deadline-ms F | --retries N | --breaker | \
+                     --connect ADDR | --stop-server | --json FILE | --quick | --full)"
                 ));
             }
         }
@@ -560,6 +643,7 @@ fn loadgen_cmd(args: &[String]) -> Result<(), String> {
     if stop_server && connect.is_none() {
         return Err("--stop-server only applies with --connect ADDR".to_string());
     }
+    spec.fault = resolve_fault(fault_seed, fault_rate)?;
     let report = match &connect {
         Some(addr) => loadgen_tcp(addr, &spec, stop_server)?,
         None => run_loadgen(&spec)?,

@@ -97,6 +97,7 @@ fn golden_covers_every_registry_scenario() {
         "serve-mix",
         "planopt",
         "multigpu",
+        "chaos",
     ];
     let registered: Vec<&str> = registry::all().iter().map(|s| s.name).collect();
     assert_eq!(
@@ -130,6 +131,7 @@ golden_test!(
     golden_gpusweep,
     golden_planopt,
     golden_multigpu,
+    golden_chaos,
 );
 
 // Hyphenated registry names don't fit the identifier-derived macro above.

@@ -331,6 +331,50 @@ fn tcp_protocol_round_trips_and_shuts_down() {
 }
 
 #[test]
+fn qos_keys_round_trip_and_reject_codes_are_typed() {
+    // deadline_ms= / fault_seed= survive a parse → render → parse loop…
+    let req = ServeRequest::parse_line(
+        "model=gin dataset=citeseer scale=0.05 deadline_ms=250 fault_seed=9",
+    )
+    .expect("QoS keys parse");
+    assert_eq!(req.deadline_ms, Some(250.0));
+    assert_eq!(req.fault_seed, Some(9));
+    let reparsed = ServeRequest::parse_line(&req.to_line()).expect("round-trips");
+    assert_eq!(reparsed.deadline_ms, Some(250.0));
+    assert_eq!(reparsed.fault_seed, Some(9));
+
+    // …but never fragment the cache identity: two requests differing
+    // only in QoS keys are the same work.
+    let plain = ServeRequest::parse_line("model=gin dataset=citeseer scale=0.05").expect("parses");
+    assert_eq!(req, plain, "QoS keys are excluded from request identity");
+
+    // Over the wire: an expired deadline answers a typed reject code and
+    // leaves the server healthy for the same configuration afterwards.
+    let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind ephemeral");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let serve_thread =
+        std::thread::spawn(move || serve_on(listener, ServeConfig::golden()).expect("serves"));
+    let mut client = ProtocolClient::connect(&addr).expect("connect");
+    let timed_out = client
+        .round_trip("model=gcn dataset=cora scale=0.05 deadline_ms=0.000001")
+        .expect("reject round-trips");
+    assert!(timed_out.starts_with("err "), "{timed_out}");
+    assert!(timed_out.contains("code=deadline-exceeded"), "{timed_out}");
+
+    let ok = client
+        .round_trip("model=gcn dataset=cora scale=0.05")
+        .expect("clean request round-trips");
+    assert!(ok.starts_with("ok "), "{ok}");
+    assert!(ok.contains("cache=miss"), "{ok}");
+
+    let stats = client.round_trip("stats").expect("stats line");
+    assert!(stats.contains("timeouts=1"), "{stats}");
+
+    assert_eq!(client.round_trip("shutdown").expect("bye"), "ok bye");
+    serve_thread.join().expect("server exits cleanly");
+}
+
+#[test]
 fn idle_connections_do_not_block_shutdown() {
     let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind ephemeral");
     let addr = listener.local_addr().expect("local addr").to_string();
