@@ -29,6 +29,11 @@ pub enum GnnModel {
     /// Simple Graph Convolution (K-hop propagation then one linear;
     /// extension model).
     Sgc,
+    /// Relational GCN (one aggregation chain per typed edge relation;
+    /// hetero extension model, MP only). Outside both [`GnnModel::ALL`]
+    /// and [`GnnModel::EXTENDED`] — it runs on heterogeneous shapes and
+    /// is exercised by its own registry scenario, not the paper sweeps.
+    Rgcn,
 }
 
 impl GnnModel {
@@ -52,6 +57,7 @@ impl GnnModel {
             GnnModel::Sage => "SAG",
             GnnModel::Gat => "GAT",
             GnnModel::Sgc => "SGC",
+            GnnModel::Rgcn => "RGC",
         }
     }
 
@@ -63,6 +69,7 @@ impl GnnModel {
             "sag" | "sage" | "graphsage" => Some(GnnModel::Sage),
             "gat" => Some(GnnModel::Gat),
             "sgc" => Some(GnnModel::Sgc),
+            "rgc" | "rgcn" => Some(GnnModel::Rgcn),
             _ => None,
         }
     }
@@ -192,6 +199,23 @@ pub struct RunConfig {
     /// Graph-partition strategy for sharded runs (ignored at
     /// `gpus_per_run == 1`).
     pub partitioner: PartitionStrategy,
+    /// Mini-batch size for neighbor-sampled inference. `0` (the default)
+    /// is full-graph inference — the golden-compatible path. `N > 0`
+    /// partitions the node set into seed batches of `N` with
+    /// [`gsuite_graph::batch_schedule`], samples each batch's ego-net
+    /// with [`RunConfig::fanout`] and compiles every sampled subgraph
+    /// into one combined plan (weights shared across batches via
+    /// content-identity CSE).
+    pub batch_size: usize,
+    /// Per-layer neighbor fanouts for sampled inference, outermost hop
+    /// first (CLI/protocol form `10x5`). Empty (the default) means
+    /// "10 per hop for every layer"; ignored on full-graph runs.
+    pub fanout: Vec<usize>,
+    /// Single seed node for ego-net inference (the serving shape: one
+    /// request = one sampled neighborhood). Overrides
+    /// [`RunConfig::batch_size`] scheduling — the run has exactly one
+    /// batch containing this node.
+    pub seed_node: Option<u32>,
 }
 
 impl Default for RunConfig {
@@ -209,6 +233,9 @@ impl Default for RunConfig {
             opt: OptLevel::O0,
             gpus_per_run: 1,
             partitioner: PartitionStrategy::Hash,
+            batch_size: 0,
+            fanout: Vec::new(),
+            seed_node: None,
         }
     }
 }
@@ -228,6 +255,23 @@ impl RunConfig {
             self.model,
             self.dataset
         )
+    }
+
+    /// Whether this run takes the neighbor-sampled mini-batch path
+    /// (either a batch schedule or a single-ego-net request) instead of
+    /// full-graph inference.
+    pub fn is_minibatch(&self) -> bool {
+        self.batch_size > 0 || self.seed_node.is_some()
+    }
+
+    /// The per-layer fanouts a sampled run uses: [`RunConfig::fanout`]
+    /// when set, else 10 neighbors per hop for every layer.
+    pub fn effective_fanouts(&self) -> Vec<usize> {
+        if self.fanout.is_empty() {
+            vec![10; self.layers]
+        } else {
+            self.fanout.clone()
+        }
     }
 
     /// Applies one `key = value` setting.
@@ -293,6 +337,18 @@ impl RunConfig {
             "partitioner" => {
                 self.partitioner =
                     PartitionStrategy::parse(value).ok_or_else(|| invalid("hash|range|edgecut"))?
+            }
+            "batch_size" | "batch-size" => {
+                self.batch_size = value
+                    .parse()
+                    .map_err(|_| invalid("non-negative integer (0 = full graph)"))?;
+            }
+            "fanout" => {
+                self.fanout = gsuite_graph::parse_fanout(value)
+                    .ok_or_else(|| invalid("x-separated fanouts, e.g. 10x5"))?;
+            }
+            "seed_node" | "seed-node" => {
+                self.seed_node = Some(value.parse().map_err(|_| invalid("node id (u32)"))?);
             }
             _ => {
                 return Err(CoreError::UnknownKey {
@@ -430,6 +486,47 @@ mod tests {
         assert_eq!(c.partitioner, PartitionStrategy::Range);
         assert!(RunConfig::from_args(&["--shards", "0"]).is_err());
         assert!(RunConfig::from_args(&["--partitioner", "metis"]).is_err());
+    }
+
+    #[test]
+    fn batch_keys_are_configurable_and_default_to_full_graph() {
+        let c = RunConfig::default();
+        assert_eq!(c.batch_size, 0);
+        assert!(c.fanout.is_empty());
+        assert_eq!(c.seed_node, None);
+        assert!(!c.is_minibatch());
+        assert_eq!(c.effective_fanouts(), vec![10, 10]);
+
+        let c = RunConfig::from_args(&["--batch-size", "64", "--fanout", "10x5"]).unwrap();
+        assert_eq!(c.batch_size, 64);
+        assert_eq!(c.fanout, vec![10, 5]);
+        assert!(c.is_minibatch());
+        assert_eq!(c.effective_fanouts(), vec![10, 5]);
+
+        let mut c = RunConfig::default();
+        c.apply_file("batch_size = 32\nfanout = 25x10\nseed_node = 7\n")
+            .unwrap();
+        assert_eq!(c.batch_size, 32);
+        assert_eq!(c.fanout, vec![25, 10]);
+        assert_eq!(c.seed_node, Some(7));
+        assert!(c.is_minibatch());
+
+        assert!(RunConfig::from_args(&["--fanout", "10x"]).is_err());
+        assert!(RunConfig::from_args(&["--fanout", "ten"]).is_err());
+        assert!(RunConfig::from_args(&["--seed-node", "-1"]).is_err());
+        // batch_size 0 is legal: it means full-graph.
+        assert!(!RunConfig::from_args(&["--batch-size", "0"])
+            .unwrap()
+            .is_minibatch());
+    }
+
+    #[test]
+    fn rgcn_parses_but_stays_out_of_the_sweep_arrays() {
+        assert_eq!(GnnModel::parse("rgcn"), Some(GnnModel::Rgcn));
+        assert_eq!(GnnModel::parse("RGC"), Some(GnnModel::Rgcn));
+        assert_eq!(GnnModel::Rgcn.name(), "RGC");
+        assert!(!GnnModel::ALL.contains(&GnnModel::Rgcn));
+        assert!(!GnnModel::EXTENDED.contains(&GnnModel::Rgcn));
     }
 
     #[test]

@@ -104,6 +104,12 @@ pub struct Builder<'g> {
     /// upload — pure waste on the default O0 hot path, so lowering for
     /// O0 turns it off ([`Builder::track_uploads`]).
     track_content: bool,
+    /// Whether weight buffers get payload content identities too
+    /// (default off — the historical single-pipeline plans never tagged
+    /// weights, and the O2 planopt golden depends on that). The
+    /// mini-batch path turns it on so the hoist pass can recognize each
+    /// batch's re-upload of the same layer weights and keep one copy.
+    tag_weights: bool,
     plan: Plan,
     output: Option<DTensor>,
     /// Transposed, deduplicated adjacency (rows = destinations) — the
@@ -119,11 +125,20 @@ pub struct Builder<'g> {
 impl<'g> Builder<'g> {
     /// A builder over `graph`; `functional` enables host-side math.
     pub fn new(graph: &'g Graph, functional: bool) -> Self {
+        Self::with_plan(graph, functional, Plan::new())
+    }
+
+    /// A builder over `graph` that appends to an existing `plan` — the
+    /// mini-batch path lowers every sampled batch into one combined plan
+    /// so cross-batch CSE can share weight uploads. Buffer and op ids
+    /// continue from where the previous batch left off.
+    pub fn with_plan(graph: &'g Graph, functional: bool, plan: Plan) -> Self {
         Builder {
             graph,
             functional,
             track_content: true,
-            plan: Plan::new(),
+            tag_weights: false,
+            plan,
             output: None,
             adj_t: graph.adjacency_csr_transposed(),
             edges_raw: None,
@@ -137,6 +152,17 @@ impl<'g> Builder<'g> {
     /// O0 disables them to keep the hot path free of O(E) hashing.
     pub fn track_uploads(mut self, track: bool) -> Self {
         self.track_content = track;
+        self
+    }
+
+    /// Enables payload content identities on weight buffers (default
+    /// off). Only meaningful with [`Builder::track_uploads`] on; the
+    /// single-pipeline lowering keeps weights untagged to preserve the
+    /// historical O2 plan byte for byte, while the mini-batch path tags
+    /// them so identical layer weights re-lowered per batch collapse to
+    /// one upload in the hoist pass.
+    pub fn tag_weights(mut self, tag: bool) -> Self {
+        self.tag_weights = tag;
         self
     }
 
@@ -245,6 +271,47 @@ impl<'g> Builder<'g> {
             self.edges_loop = Some(self.endpoint_pair(true));
         }
         self.edges_loop.clone().expect("just cached")
+    }
+
+    /// Uploads an arbitrary `(src, dst)` endpoint pair (e.g. one typed
+    /// relation of a heterogeneous graph) as content-tagged index
+    /// buffers, so per-layer re-uploads of the same relation hoist
+    /// cleanly at O2.
+    pub fn custom_edges(
+        &mut self,
+        tag: &str,
+        src: Arc<Vec<u32>>,
+        dst: Arc<Vec<u32>>,
+    ) -> (DIndex, DIndex) {
+        let sig = self.track_content.then(|| {
+            let mut h = Fnv::new();
+            h.str(tag).u32s(&src).u32s(&dst);
+            h.finish()
+        });
+        let src_buf = self.plan.add_buf(
+            format!("{tag}.src"),
+            src.len() as u64,
+            BufClass::Index,
+            AddrClass::Device,
+            sig.map(|s| crate::plan::mix(s, 1)),
+        );
+        let dst_buf = self.plan.add_buf(
+            format!("{tag}.dst"),
+            dst.len() as u64,
+            BufClass::Index,
+            AddrClass::Device,
+            sig.map(|s| crate::plan::mix(s, 2)),
+        );
+        (
+            DIndex {
+                buf: src_buf,
+                data: src,
+            },
+            DIndex {
+                buf: dst_buf,
+                data: dst,
+            },
+        )
     }
 
     /// The `deg = in-degree + 1` vector (`Â`'s row sums), emitting the
@@ -398,7 +465,25 @@ impl<'g> Builder<'g> {
     /// `sgemm`: `out = x · w` with optional fused ReLU.
     pub fn linear(&mut self, x: &DTensor, w: &DenseMatrix, relu: bool) -> Result<DTensor> {
         let (k, n) = w.shape();
-        let w_buf = self.buf("W", (k * n) as u64, BufClass::Weight);
+        let w_sig = (self.tag_weights && self.track_content).then(|| {
+            let mut h = Fnv::new();
+            h.str("W").u64(k as u64).u64(n as u64).f32s(w.as_slice());
+            h.finish()
+        });
+        let w_buf = self.plan.add_buf(
+            "W",
+            (k * n) as u64,
+            BufClass::Weight,
+            AddrClass::Device,
+            w_sig,
+        );
+        if w_sig.is_some() {
+            // Identity already covers the payload; the explicit check
+            // lets the hoist pass verify merged weights byte for byte.
+            let mut vh = Fnv::new();
+            vh.f32s(w.as_slice());
+            self.plan.set_content_check(w_buf, vh.finish());
+        }
         let out_buf = self.buf("sgemm.out", x.rows as u64 * n as u64, BufClass::Dense);
         // Mirror the kernel's split-K policy: a split-K sgemm accumulates
         // with atomics and cannot fuse the activation, so the historical

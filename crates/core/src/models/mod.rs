@@ -22,6 +22,7 @@ mod builder;
 mod gat;
 mod gcn;
 mod gin;
+mod rgcn;
 mod sage;
 mod sgc;
 
@@ -31,7 +32,7 @@ use gsuite_tensor::DenseMatrix;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::config::{CompModel, GnnModel, RunConfig};
+use crate::config::{CompModel, FrameworkKind, GnnModel, RunConfig};
 use crate::plan::Plan;
 use crate::{CoreError, Result};
 use gsuite_graph::Graph;
@@ -76,7 +77,10 @@ impl ModelWeights {
                 GnnModel::Sage => Some(mk(d_in, hidden)),
                 // Packed [hidden, 2] attention projection vectors.
                 GnnModel::Gat => Some(mk(hidden, 2)),
-                GnnModel::Gcn | GnnModel::Sgc => None,
+                // RGCN's per-relation weights live beside these layer
+                // weights (see `rgcn::relation_weights`); w1 is its
+                // self-loop projection.
+                GnnModel::Gcn | GnnModel::Sgc | GnnModel::Rgcn => None,
             };
             out.push(LayerWeights { w1, w2 });
         }
@@ -98,34 +102,55 @@ impl ModelWeights {
 /// DGL-like baseline adapter reaches SAGE-SpMM through
 /// [`builder::Builder::sage_spmm_layer`] directly instead.
 pub fn build_model(graph: &Graph, config: &RunConfig) -> Result<(Plan, DenseMatrix)> {
-    let weights = ModelWeights::init(
-        config.model,
-        graph.feature_dim(),
-        config.hidden,
-        config.layers,
-        config.seed,
-    );
     // Upload content identities feed only the O2 hoist pass; skip the
     // O(E)/O(nnz) hashing on the O0 hot path.
     let mut builder = Builder::new(graph, config.functional_math)
         .track_uploads(config.opt == crate::plan::OptLevel::O2);
+    lower_into(&mut builder, config)?;
+    Ok(builder.finish())
+}
+
+/// Lowers `config`'s model into an existing builder — the shared
+/// dispatcher behind [`build_model`] and the mini-batch path (which
+/// appends every sampled batch to one combined plan). `config.comp` must
+/// already be the *effective* computational model (the framework's forced
+/// model applied); the DGL-only SAGE-SpMM variant dispatches here too.
+pub(crate) fn lower_into(builder: &mut Builder, config: &RunConfig) -> Result<()> {
+    let weights = ModelWeights::init(
+        config.model,
+        builder.graph().feature_dim(),
+        config.hidden,
+        config.layers,
+        config.seed,
+    );
+    if config.framework == FrameworkKind::DglLike
+        && config.model == GnnModel::Sage
+        && config.comp == CompModel::Spmm
+    {
+        // DGL's SAGE: mean-aggregation SpMM variant (not part of the
+        // gSuite surface).
+        return sage::build_spmm(builder, &weights);
+    }
     match (config.model, config.comp) {
-        (GnnModel::Gcn, CompModel::Mp) => gcn::build_mp(&mut builder, &weights)?,
-        (GnnModel::Gcn, CompModel::Spmm) => gcn::build_spmm(&mut builder, &weights)?,
-        (GnnModel::Gin, CompModel::Mp) => gin::build_mp(&mut builder, &weights)?,
-        (GnnModel::Gin, CompModel::Spmm) => gin::build_spmm(&mut builder, &weights)?,
-        (GnnModel::Sage, CompModel::Mp) => sage::build_mp(&mut builder, &weights)?,
-        (GnnModel::Gat, CompModel::Mp) => gat::build_mp(&mut builder, &weights)?,
-        (GnnModel::Sgc, CompModel::Mp) => sgc::build_mp(&mut builder, &weights)?,
-        (GnnModel::Sgc, CompModel::Spmm) => sgc::build_spmm(&mut builder, &weights)?,
-        (GnnModel::Sage, CompModel::Spmm) | (GnnModel::Gat, CompModel::Spmm) => {
+        (GnnModel::Gcn, CompModel::Mp) => gcn::build_mp(builder, &weights)?,
+        (GnnModel::Gcn, CompModel::Spmm) => gcn::build_spmm(builder, &weights)?,
+        (GnnModel::Gin, CompModel::Mp) => gin::build_mp(builder, &weights)?,
+        (GnnModel::Gin, CompModel::Spmm) => gin::build_spmm(builder, &weights)?,
+        (GnnModel::Sage, CompModel::Mp) => sage::build_mp(builder, &weights)?,
+        (GnnModel::Gat, CompModel::Mp) => gat::build_mp(builder, &weights)?,
+        (GnnModel::Sgc, CompModel::Mp) => sgc::build_mp(builder, &weights)?,
+        (GnnModel::Sgc, CompModel::Spmm) => sgc::build_spmm(builder, &weights)?,
+        (GnnModel::Rgcn, CompModel::Mp) => rgcn::build_mp(builder, config)?,
+        (GnnModel::Sage, CompModel::Spmm)
+        | (GnnModel::Gat, CompModel::Spmm)
+        | (GnnModel::Rgcn, CompModel::Spmm) => {
             return Err(CoreError::UnsupportedCombination {
                 model: config.model.name().to_string(),
                 comp: "SpMM".to_string(),
             })
         }
     }
-    Ok(builder.finish())
+    Ok(())
 }
 
 /// Lowers the DGL-style SAGE-SpMM pipeline (mean aggregation as a

@@ -1,0 +1,207 @@
+//! Relational GCN (Schlichtkrull et al.) — the heterogeneous extension
+//! model: one aggregation chain per typed edge relation, plus a
+//! self-loop projection, summed per layer.
+//!
+//! RGCN is *not* part of the paper's evaluated trio; it exercises the
+//! typed-graph substrate ([`gsuite_graph::HeteroGraph`]) the `hetero`
+//! scenario runs on, built from the exact same Table II core kernels as
+//! every other model (`sgemm` / `indexSelect` / `scatter` / elementwise).
+//!
+//! Relation structure resolution: when the lowered graph *is* the
+//! flattened ogbn-mag union graph, the lowering rebuilds the identical
+//! [`gsuite_graph::HeteroGraph`] from `(dataset, scale)` (both are pure
+//! functions of the seed) and emits one chain per typed relation. Any
+//! other graph — a homogeneous dataset, or a sampled ego-net whose local
+//! ids no longer match the union id space — degrades to a single
+//! relation holding every edge, so RGCN stays total over the whole
+//! configuration space.
+
+use std::sync::Arc;
+
+use gsuite_graph::datasets::Dataset;
+use gsuite_graph::HeteroGraph;
+use gsuite_tensor::ops::Reduce;
+use gsuite_tensor::DenseMatrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::builder::Builder;
+use crate::config::RunConfig;
+use crate::Result;
+
+/// Fixed relation-weight count: the ogbn-mag shape's four relations.
+/// Always generated in full (weight draws stay identical whatever graph
+/// the model lands on); single-relation fallbacks use only the first.
+pub(crate) const NUM_RELATIONS: usize = 4;
+
+/// Per-layer RGCN weights: the self-loop projection plus one matrix per
+/// relation, drawn with the same seeded generator idiom as
+/// [`super::ModelWeights::init`] (a distinct salt keeps the streams
+/// independent).
+pub(crate) fn relation_weights(
+    in_dim: usize,
+    hidden: usize,
+    layers: usize,
+    seed: u64,
+) -> Vec<(DenseMatrix, Vec<DenseMatrix>)> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x57ED_5EED ^ 0x4e1a_7104);
+    let mut mk = |rows: usize, cols: usize| {
+        let scale = 1.0 / (rows.max(1) as f32).sqrt();
+        DenseMatrix::from_fn(rows, cols, |_, _| (rng.gen::<f32>() - 0.5) * 2.0 * scale)
+    };
+    let mut out = Vec::with_capacity(layers);
+    for layer in 0..layers {
+        let d_in = if layer == 0 { in_dim } else { hidden };
+        let w_self = mk(d_in, hidden);
+        let w_rel = (0..NUM_RELATIONS).map(|_| mk(d_in, hidden)).collect();
+        out.push((w_self, w_rel));
+    }
+    out
+}
+
+/// One typed relation's `(src, dst)` endpoint arrays, shared with the
+/// plan's content-tagged upload buffers.
+type RelationEndpoints = (Arc<Vec<u32>>, Arc<Vec<u32>>);
+
+/// The typed relation endpoint arrays this lowering aggregates over, or
+/// the all-edges fallback (`None`) when the graph carries no recoverable
+/// relation structure.
+fn typed_relations(b: &Builder<'_>, config: &RunConfig) -> Option<Vec<RelationEndpoints>> {
+    if config.dataset != Dataset::OgbnMag {
+        return None;
+    }
+    let h = HeteroGraph::mag_like(config.scale);
+    // A sampled ego-net keeps the dataset but re-indexes nodes; only the
+    // untouched union graph can consume the typed endpoint arrays.
+    if h.num_nodes() != b.graph().num_nodes() || h.name() != b.graph().name() {
+        return None;
+    }
+    Some(
+        (0..h.num_relations())
+            .map(|r| {
+                let (src, dst) = h.relation_edges(r);
+                (Arc::new(src.to_vec()), Arc::new(dst.to_vec()))
+            })
+            .collect(),
+    )
+}
+
+/// The message-passing RGCN pipeline, per layer:
+/// `sgemm` (self projection) → per relation: `sgemm` (X·W_r) →
+/// `indexSelect` over the relation's sources → `scatter`-sum into the
+/// destinations → `axpy` accumulate → ReLU between layers.
+pub fn build_mp(b: &mut Builder<'_>, config: &RunConfig) -> Result<()> {
+    let n = b.graph().num_nodes();
+    let weights = relation_weights(
+        b.graph().feature_dim(),
+        config.hidden,
+        config.layers,
+        config.seed,
+    );
+    // Upload the relation index arrays once; every layer reuses them.
+    let rel_indexes: Vec<_> = match typed_relations(b, config) {
+        Some(rels) => rels
+            .into_iter()
+            .enumerate()
+            .map(|(r, (src, dst))| b.custom_edges(&format!("rel{r}"), src, dst))
+            .collect(),
+        None => vec![b.edges()],
+    };
+    let mut x = b.input_features();
+    let layers = weights.len();
+    for (l, (w_self, w_rel)) in weights.iter().enumerate() {
+        let mut acc = b.linear(&x, w_self, false)?;
+        for (r, (src, dst)) in rel_indexes.iter().enumerate() {
+            let h = b.linear(&x, &w_rel[r], false)?;
+            let msgs = b.index_select(&h, src, None)?;
+            let agg = b.scatter(&msgs, dst, n, Reduce::Sum)?;
+            acc = b.axpy(1.0, &acc, &agg)?;
+        }
+        if l + 1 < layers {
+            acc = b.relu(&acc);
+        }
+        x = acc;
+    }
+    b.set_output(x);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GnnModel;
+    use crate::kernels::KernelKind;
+    use gsuite_graph::GraphGenerator;
+
+    #[test]
+    fn fallback_single_relation_kernel_sequence() {
+        let g = GraphGenerator::new(20, 60).seed(1).build_graph(8).unwrap();
+        let config = RunConfig {
+            model: GnnModel::Rgcn,
+            hidden: 4,
+            layers: 1,
+            ..RunConfig::default()
+        };
+        let mut b = Builder::new(&g, true);
+        build_mp(&mut b, &config).unwrap();
+        let (plan, out) = b.finish();
+        // self sgemm, then one relation chain: sgemm/gather/scatter/axpy.
+        assert_eq!(
+            plan.kinds(),
+            vec![
+                KernelKind::Sgemm,
+                KernelKind::Sgemm,
+                KernelKind::IndexSelect,
+                KernelKind::Scatter,
+                KernelKind::Elementwise,
+            ]
+        );
+        assert_eq!(out.shape(), (20, 4));
+    }
+
+    #[test]
+    fn mag_union_graph_lowers_one_chain_per_relation() {
+        let config = RunConfig {
+            model: GnnModel::Rgcn,
+            dataset: Dataset::OgbnMag,
+            scale: 0.0005,
+            hidden: 4,
+            layers: 2,
+            ..RunConfig::default()
+        };
+        let g = config.load_graph();
+        let mut b = Builder::new(&g, true);
+        build_mp(&mut b, &config).unwrap();
+        let (plan, out) = b.finish();
+        let gathers = plan
+            .kinds()
+            .iter()
+            .filter(|k| **k == KernelKind::IndexSelect)
+            .count();
+        assert_eq!(
+            gathers,
+            2 * NUM_RELATIONS,
+            "one gather per relation per layer"
+        );
+        assert_eq!(out.shape(), (g.num_nodes(), 4));
+    }
+
+    #[test]
+    fn lowering_is_deterministic() {
+        let config = RunConfig {
+            model: GnnModel::Rgcn,
+            dataset: Dataset::OgbnMag,
+            scale: 0.0005,
+            hidden: 8,
+            ..RunConfig::default()
+        };
+        let g = config.load_graph();
+        let mut a = Builder::new(&g, true);
+        build_mp(&mut a, &config).unwrap();
+        let (_, out_a) = a.finish();
+        let mut c = Builder::new(&g, true);
+        build_mp(&mut c, &config).unwrap();
+        let (_, out_c) = c.finish();
+        assert_eq!(out_a, out_c);
+    }
+}

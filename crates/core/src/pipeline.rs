@@ -112,6 +112,16 @@ impl PipelineRun {
             }
         };
         checkpoint(cancelled)?;
+        if config.gpus_per_run > 1 && config.is_minibatch() {
+            return Err(crate::CoreError::InvalidConfig {
+                key: "batch_size/seed_node".to_string(),
+                value: format!(
+                    "batch_size={} seed_node={:?} with gpus_per_run={}",
+                    config.batch_size, config.seed_node, config.gpus_per_run
+                ),
+                expected: "mini-batch sampling runs single-device (shards=1)".to_string(),
+            });
+        }
         if config.gpus_per_run > 1 {
             // Sharded multi-GPU path: one plan per shard plus halo
             // exchanges; profile-only by design (output reports zeros,
@@ -128,7 +138,15 @@ impl PipelineRun {
                 sharding: Some(sharded),
             });
         }
-        let (mut plan, output) = frameworks::lower(graph, config)?;
+        let (mut plan, output) = if config.is_minibatch() {
+            // Neighbor-sampled path: every batch's ego-net lowered into
+            // one combined plan (see `plan::minibatch`); the optimize →
+            // decorate → schedule tail below is shared with full-graph
+            // runs, so serve requests and batch cells compile alike.
+            crate::plan::minibatch::lower_batched(graph, config)?
+        } else {
+            frameworks::lower(graph, config)?
+        };
         checkpoint(cancelled)?;
         plan.optimize(config.opt);
         checkpoint(cancelled)?;

@@ -1,0 +1,165 @@
+//! Neighbor-sampled mini-batch lowering: every sampled batch compiled
+//! into **one combined plan**.
+//!
+//! The batch runner and the serving layer both reach this path through
+//! [`crate::pipeline::PipelineRun::build`] whenever
+//! [`crate::config::RunConfig::is_minibatch`] holds — `batch_size > 0`
+//! batches the whole node set with [`gsuite_graph::batch_schedule`],
+//! `seed_node = v` compiles the single ego-net a serve request asks for.
+//! Because both surfaces share this function byte for byte, a served
+//! `batch_size=`/`fanout=` request profiles a subgraph bit-identical to
+//! the batch runner's corresponding `minibatch` cell.
+//!
+//! Per batch: sample the ego-net with [`gsuite_graph::NeighborSampler`]
+//! (seeded draws — replayable on every host and thread count), then
+//! lower the configured model over the re-indexed subgraph *appending*
+//! to the shared plan ([`crate::models::Builder::with_plan`]). The
+//! combined plan then flows through the ordinary
+//! optimize → decorate → schedule tail. At O2 the hoist pass's
+//! content-identity CSE recognizes each batch's re-upload of the same
+//! layer weights (tagged via [`crate::models::Builder::tag_weights`])
+//! and keeps one copy, while per-batch adjacency/index buffers — whose
+//! content differs per sampled subgraph — rebind per batch.
+//!
+//! The functional output keeps only each batch's *seed* rows (local ids
+//! `0..seeds` by the sampler's contract), scattered back to their global
+//! node ids — so a full batch sweep reconstructs an `[n, hidden]` output
+//! with every row computed from its own sampled neighborhood.
+
+use gsuite_graph::{batch_schedule, Graph, NeighborSampler};
+use gsuite_tensor::DenseMatrix;
+
+use crate::config::RunConfig;
+use crate::models::Builder;
+use crate::plan::{OptLevel, Plan};
+use crate::{models, Result};
+
+/// Lowers the full mini-batch sweep (or single ego-net) for `config`
+/// over `graph` into one combined plan. See the module docs.
+///
+/// # Errors
+///
+/// Propagates sampler errors (e.g. an out-of-bounds `seed_node`) and
+/// everything the model lowering can return.
+pub fn lower_batched(graph: &Graph, config: &RunConfig) -> Result<(Plan, DenseMatrix)> {
+    let batches: Vec<Vec<u32>> = match config.seed_node {
+        Some(v) => vec![vec![v]],
+        None => batch_schedule(graph.num_nodes(), config.batch_size, config.seed),
+    };
+    let sampler = NeighborSampler::new(config.effective_fanouts()).seed(config.seed);
+    let mut effective = config.clone();
+    if let Some(comp) = config.framework.forced_comp() {
+        effective.comp = comp;
+    }
+
+    let hidden = config.hidden;
+    // Single ego-net runs report just their seed rows; a batch sweep
+    // reassembles the full per-node output in global id order.
+    let mut output = if config.seed_node.is_some() {
+        DenseMatrix::zeros(1, hidden)
+    } else {
+        DenseMatrix::zeros(graph.num_nodes(), hidden)
+    };
+
+    let mut plan = Plan::new();
+    for batch in &batches {
+        let sub = sampler.sample(graph, batch)?;
+        let mut builder = Builder::with_plan(&sub.graph, config.functional_math, plan)
+            .track_uploads(config.opt == OptLevel::O2)
+            .tag_weights(true);
+        models::lower_into(&mut builder, &effective)?;
+        let (p, batch_out) = builder.finish();
+        plan = p;
+        if config.functional_math {
+            // Seeds occupy local rows 0..seeds in request order.
+            for local in 0..sub.seeds {
+                let row = if config.seed_node.is_some() {
+                    local
+                } else {
+                    sub.local_to_global[local] as usize
+                };
+                for c in 0..hidden {
+                    output.set(row, c, batch_out.get(local, c));
+                }
+            }
+        }
+    }
+    Ok((plan, output))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::BufClass;
+
+    fn minibatch_config(opt: OptLevel) -> RunConfig {
+        RunConfig {
+            scale: 0.05,
+            functional_math: false,
+            batch_size: 32,
+            fanout: vec![5, 5],
+            opt,
+            ..RunConfig::default()
+        }
+    }
+
+    fn live_weight_bufs(plan: &Plan) -> usize {
+        plan.bufs()
+            .iter()
+            .filter(|b| b.class == BufClass::Weight && !b.is_dead())
+            .count()
+    }
+
+    /// The combined plan's op/buffer counts: O0 re-uploads every layer's
+    /// weights once per batch; O2's content-identity CSE keeps exactly
+    /// one live copy per distinct weight matrix, and fusion shrinks the
+    /// combined op stream.
+    #[test]
+    fn combined_plan_shares_weights_across_batches_at_o2() {
+        let config = minibatch_config(OptLevel::O0);
+        let graph = config.load_graph();
+        let batches = batch_schedule(graph.num_nodes(), config.batch_size, config.seed).len();
+        assert!(batches >= 2, "need a real sweep, got {batches} batch(es)");
+
+        let (mut p0, _) = lower_batched(&graph, &config).expect("O0 lowering");
+        p0.optimize(OptLevel::O0);
+        let (mut p2, _) =
+            lower_batched(&graph, &minibatch_config(OptLevel::O2)).expect("O2 lowering");
+        p2.optimize(OptLevel::O2);
+
+        let (w0, w2) = (live_weight_bufs(&p0), live_weight_bufs(&p2));
+        assert_eq!(
+            w0,
+            w2 * batches,
+            "O0 must carry every batch's weight re-upload"
+        );
+        assert!(w2 < w0, "O2 must merge the per-batch weight copies");
+        assert!(
+            p2.ops().len() < p0.ops().len(),
+            "fusion must shrink the combined op stream ({} vs {})",
+            p2.ops().len(),
+            p0.ops().len()
+        );
+    }
+
+    /// `seed_node` compiles exactly one ego-net, and the same request is
+    /// the same plan on every call.
+    #[test]
+    fn seed_node_lowers_one_replayable_ego_net() {
+        let config = RunConfig {
+            scale: 0.05,
+            functional_math: false,
+            seed_node: Some(7),
+            fanout: vec![5, 5],
+            ..RunConfig::default()
+        };
+        let graph = config.load_graph();
+        let (a, _) = lower_batched(&graph, &config).expect("ego-net lowering");
+        let (b, _) = lower_batched(&graph, &config).expect("ego-net lowering");
+        assert_eq!(a.ops().len(), b.ops().len());
+        assert_eq!(a.bufs().len(), b.bufs().len());
+        for (x, y) in a.bufs().iter().zip(b.bufs().iter()) {
+            assert_eq!((&x.name, x.elems), (&y.name, y.elems));
+        }
+    }
+}

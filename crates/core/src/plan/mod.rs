@@ -31,6 +31,7 @@
 //! pass decision log — as a human-readable report (`gsuite-cli explain`).
 
 pub mod explain;
+pub mod minibatch;
 pub mod passes;
 pub mod shard;
 

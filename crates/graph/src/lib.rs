@@ -56,15 +56,19 @@ mod edge_list;
 mod error;
 mod generate;
 mod graph;
+pub mod hetero;
 mod normalize;
 pub mod partition;
+pub mod sample;
 
 pub use edge_list::EdgeList;
 pub use error::GraphError;
 pub use generate::{GraphGenerator, GraphTopology};
 pub use graph::{Graph, GraphFormat, GraphStats};
+pub use hetero::{HeteroGraph, NodeTypeSet, Relation};
 pub use normalize::{add_self_loops, gcn_norm_csr, inv_sqrt_degree, symmetrize};
 pub use partition::{GraphPartition, PartitionStrategy, Partitioner, ShardPart};
+pub use sample::{batch_schedule, fanout_label, parse_fanout, NeighborSampler, SampledSubgraph};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, GraphError>;

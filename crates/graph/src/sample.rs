@@ -1,0 +1,419 @@
+//! Neighbor-sampled mini-batch subgraph extraction.
+//!
+//! A [`NeighborSampler`] draws a `NeighborLoader`-style ego-net around a
+//! set of seed nodes: hop `h` keeps at most `fanouts[h]` in-neighbors of
+//! every frontier node (messages flow `src -> dst`, so inference on a
+//! seed needs its *in*-neighbors), and the union of kept nodes and edges
+//! is re-indexed into a self-contained [`SampledSubgraph`] the pipeline
+//! can lower like any other graph.
+//!
+//! Sampling follows the same determinism contract as [`crate::partition`]:
+//! every draw is a pure function of `(sampler seed, hop, frontier node,
+//! neighbor)` through seeded FNV-1a ranking — no RNG state, no iteration-
+//! order dependence — so the same `(graph, seed, seed nodes, fanouts)`
+//! tuple produces the same subgraph on every host, every run and every
+//! thread count. The scenario runner's memoized caches, the serving
+//! layer's LRU keys and the mini-batch golden snapshots all rest on this.
+//!
+//! [`batch_schedule`] provides the matching deterministic seed-node
+//! batching: a seeded hash-ranked permutation of the node set, chunked
+//! into mini-batches.
+//!
+//! # Example
+//!
+//! ```
+//! use gsuite_graph::{datasets::Dataset, NeighborSampler};
+//!
+//! # fn main() -> Result<(), gsuite_graph::GraphError> {
+//! let g = Dataset::Cora.load_scaled(0.05);
+//! let sampler = NeighborSampler::new(vec![10, 5]).seed(42);
+//! let sub = sampler.sample(&g, &[0, 1, 2, 3])?;
+//! assert_eq!(sub.seeds, 4);
+//! // Seeds come first in the local id space.
+//! assert_eq!(&sub.local_to_global[..4], &[0, 1, 2, 3]);
+//! // Replayable: the same draws produce the same subgraph.
+//! let again = sampler.sample(&g, &[0, 1, 2, 3])?;
+//! assert_eq!(sub.graph.edges(), again.graph.edges());
+//! # Ok(())
+//! # }
+//! ```
+
+use gsuite_tensor::DenseMatrix;
+
+use crate::{EdgeList, Graph, GraphError, Result};
+
+/// Deterministic per-layer fanout neighbor sampler (see the module docs).
+#[derive(Debug, Clone)]
+pub struct NeighborSampler {
+    fanouts: Vec<usize>,
+    seed: u64,
+}
+
+impl NeighborSampler {
+    /// A sampler keeping at most `fanouts[h]` in-neighbors per frontier
+    /// node at hop `h`. An empty fanout list samples the bare seed set.
+    pub fn new(fanouts: Vec<usize>) -> Self {
+        NeighborSampler {
+            fanouts,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Sets the draw seed (default `0x5eed`, matching
+    /// [`crate::Partitioner`]). The seed is part of every subgraph's
+    /// identity: different seeds draw different neighbor subsets.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The per-hop fanout schedule.
+    pub fn fanouts(&self) -> &[usize] {
+        &self.fanouts
+    }
+
+    /// Samples the ego-net of `seed_nodes` (duplicates are dropped; first
+    /// occurrence wins the local id). Local ids order seeds first, then
+    /// discovered nodes in hop/draw order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] when a seed node is not a
+    /// node of `graph`, and [`GraphError::InvalidGeneratorArgs`] when the
+    /// seed set is empty.
+    pub fn sample(&self, graph: &Graph, seed_nodes: &[u32]) -> Result<SampledSubgraph> {
+        let n = graph.num_nodes();
+        if seed_nodes.is_empty() {
+            return Err(GraphError::InvalidGeneratorArgs {
+                reason: "neighbor sampling needs at least one seed node".to_string(),
+            });
+        }
+        for &v in seed_nodes {
+            if v as usize >= n {
+                return Err(GraphError::NodeOutOfBounds {
+                    node: v as usize,
+                    num_nodes: n,
+                });
+            }
+        }
+
+        // In-neighbor lists: rows of A^T are destinations, columns the
+        // sources that message them. `adjacency_csr_transposed` sorts and
+        // dedups, so neighbor order is canonical regardless of edge-list
+        // order.
+        let adj_t = graph.adjacency_csr_transposed();
+        let row_ptr = adj_t.row_ptr();
+        let col_idx = adj_t.col_indices();
+
+        let mut local_to_global: Vec<u32> = Vec::new();
+        let mut global_to_local = vec![u32::MAX; n];
+        let push_node = |v: u32, l2g: &mut Vec<u32>, g2l: &mut Vec<u32>| -> bool {
+            if g2l[v as usize] != u32::MAX {
+                return false;
+            }
+            g2l[v as usize] = l2g.len() as u32;
+            l2g.push(v);
+            true
+        };
+        for &v in seed_nodes {
+            push_node(v, &mut local_to_global, &mut global_to_local);
+        }
+        let seeds = local_to_global.len();
+
+        // Hop-by-hop expansion: every kept edge (u -> v) is recorded in
+        // global ids; kept source nodes seed the next frontier.
+        let mut frontier: Vec<u32> = local_to_global.clone();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut kept: Vec<u32> = Vec::new();
+        for (hop, &fanout) in self.fanouts.iter().enumerate() {
+            let mut next: Vec<u32> = Vec::new();
+            for &v in &frontier {
+                let nbrs = &col_idx[row_ptr[v as usize] as usize..row_ptr[v as usize + 1] as usize];
+                kept.clear();
+                if nbrs.len() <= fanout {
+                    kept.extend_from_slice(nbrs);
+                } else if fanout > 0 {
+                    // Replayable draw without replacement: rank every
+                    // neighbor by its per-(seed, hop, node) hash and keep
+                    // the `fanout` smallest, then restore ascending
+                    // neighbor order so the kept set is canonical.
+                    let mut ranked: Vec<(u64, u32)> = nbrs
+                        .iter()
+                        .map(|&u| (draw_hash(self.seed, hop as u64, v, u), u))
+                        .collect();
+                    ranked.sort_unstable();
+                    ranked.truncate(fanout);
+                    kept.extend(ranked.into_iter().map(|(_, u)| u));
+                    kept.sort_unstable();
+                }
+                for &u in &kept {
+                    edges.push((u, v));
+                    if push_node(u, &mut local_to_global, &mut global_to_local) {
+                        next.push(u);
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+
+        let src: Vec<u32> = edges
+            .iter()
+            .map(|&(u, _)| global_to_local[u as usize])
+            .collect();
+        let dst: Vec<u32> = edges
+            .iter()
+            .map(|&(_, v)| global_to_local[v as usize])
+            .collect();
+        let local_edges = EdgeList::new(local_to_global.len(), src, dst)?;
+
+        let feat = graph.feature_dim();
+        let mut data = Vec::with_capacity(local_to_global.len() * feat);
+        for &g in &local_to_global {
+            data.extend_from_slice(graph.features().row(g as usize));
+        }
+        let features = DenseMatrix::from_vec(local_to_global.len(), feat, data)
+            .expect("gathered rows are rectangular");
+        let name = format!(
+            "{}/ego{}x{}",
+            graph.name(),
+            seeds,
+            fanout_label(&self.fanouts)
+        );
+        let sub = Graph::with_name(local_edges, features, name)?;
+        Ok(SampledSubgraph {
+            graph: sub,
+            local_to_global,
+            seeds,
+            fanouts: self.fanouts.clone(),
+            seed: self.seed,
+        })
+    }
+}
+
+/// One sampled, re-indexed mini-batch subgraph.
+#[derive(Debug, Clone)]
+pub struct SampledSubgraph {
+    /// The self-contained subgraph: sampled edges re-indexed to local
+    /// ids, feature rows gathered from the parent graph.
+    pub graph: Graph,
+    /// Local-to-global node map; the first [`SampledSubgraph::seeds`]
+    /// entries are the seed nodes in request order.
+    pub local_to_global: Vec<u32>,
+    /// Number of seed nodes (they occupy local ids `0..seeds`).
+    pub seeds: usize,
+    /// The fanout schedule that produced this subgraph.
+    pub fanouts: Vec<usize>,
+    /// The draw seed that produced this subgraph.
+    pub seed: u64,
+}
+
+/// Renders a fanout schedule as the wire token (`[10, 5]` → `"10x5"`);
+/// the inverse of [`parse_fanout`]. An empty schedule renders as `"0"`.
+pub fn fanout_label(fanouts: &[usize]) -> String {
+    if fanouts.is_empty() {
+        return "0".to_string();
+    }
+    fanouts
+        .iter()
+        .map(|f| f.to_string())
+        .collect::<Vec<_>>()
+        .join("x")
+}
+
+/// Parses a fanout token: `x`-separated per-hop counts (`"10x5"` →
+/// `[10, 5]`). Rejects empty tokens and non-numeric hops.
+pub fn parse_fanout(s: &str) -> Option<Vec<usize>> {
+    let hops: Option<Vec<usize>> = s.split('x').map(|h| h.trim().parse().ok()).collect();
+    hops.filter(|h| !h.is_empty())
+}
+
+/// The deterministic mini-batch schedule over a node set: node ids are
+/// permuted by seeded hash ranking (the shuffle every epoch-style loader
+/// applies, made replayable) and chunked into batches of `batch_size`.
+/// The final batch may be smaller. `batch_size == 0` yields no batches.
+pub fn batch_schedule(num_nodes: usize, batch_size: usize, seed: u64) -> Vec<Vec<u32>> {
+    if batch_size == 0 || num_nodes == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<u32> = (0..num_nodes as u32).collect();
+    order.sort_unstable_by_key(|&v| (draw_hash(seed, 0xBA7C, v, 0), v));
+    order
+        .chunks(batch_size)
+        .map(|chunk| chunk.to_vec())
+        .collect()
+}
+
+/// Seeded FNV-1a over `(seed, hop, node, neighbor)` — the sampler's draw
+/// function, stable across platforms (the same construction as
+/// `partition::node_hash`).
+fn draw_hash(seed: u64, hop: u64, v: u32, u: u32) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in seed
+        .to_le_bytes()
+        .into_iter()
+        .chain(hop.to_le_bytes())
+        .chain((v as u64).to_le_bytes())
+        .chain((u as u64).to_le_bytes())
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::Dataset;
+    use crate::GraphGenerator;
+
+    fn graph(nodes: usize, edges: usize, seed: u64) -> Graph {
+        GraphGenerator::new(nodes, edges)
+            .seed(seed)
+            .build_graph(4)
+            .unwrap()
+    }
+
+    #[test]
+    fn sample_is_deterministic_per_seed() {
+        let g = graph(80, 400, 3);
+        let seeds = [5u32, 17, 33];
+        let a = NeighborSampler::new(vec![4, 2]).seed(7).sample(&g, &seeds);
+        let b = NeighborSampler::new(vec![4, 2]).seed(7).sample(&g, &seeds);
+        let (a, b) = (a.unwrap(), b.unwrap());
+        assert_eq!(a.graph.edges(), b.graph.edges());
+        assert_eq!(a.local_to_global, b.local_to_global);
+        assert_eq!(a.graph.features(), b.graph.features());
+        let c = NeighborSampler::new(vec![4, 2])
+            .seed(8)
+            .sample(&g, &seeds)
+            .unwrap();
+        assert_ne!(
+            a.graph.edges(),
+            c.graph.edges(),
+            "different seeds draw different neighbors"
+        );
+    }
+
+    #[test]
+    fn fanout_caps_per_node_in_edges() {
+        let g = graph(60, 600, 11);
+        let sub = NeighborSampler::new(vec![3])
+            .sample(&g, &[0, 1, 2])
+            .unwrap();
+        let mut in_deg = vec![0usize; sub.graph.num_nodes()];
+        for (_, d) in sub.graph.edges().iter() {
+            in_deg[d as usize] += 1;
+        }
+        for (local, &deg) in in_deg.iter().take(sub.seeds).enumerate() {
+            assert!(deg <= 3, "seed {local} kept {deg}");
+        }
+    }
+
+    #[test]
+    fn sampled_edges_exist_in_the_parent_graph() {
+        let g = graph(50, 250, 5);
+        let sub = NeighborSampler::new(vec![4, 3])
+            .sample(&g, &[9, 21])
+            .unwrap();
+        let adj_t = g.adjacency_csr_transposed();
+        for (s, d) in sub.graph.edges().iter() {
+            let (gs, gd) = (
+                sub.local_to_global[s as usize],
+                sub.local_to_global[d as usize],
+            );
+            assert_eq!(adj_t.get(gd as usize, gs as usize), 1.0, "{gs}->{gd}");
+        }
+        // Feature rows are gathered, not copied wholesale.
+        for (l, &gv) in sub.local_to_global.iter().enumerate() {
+            assert_eq!(sub.graph.features().row(l), g.features().row(gv as usize));
+        }
+    }
+
+    #[test]
+    fn seeds_keep_request_order_and_dedup() {
+        let g = graph(30, 120, 2);
+        let sub = NeighborSampler::new(vec![2])
+            .sample(&g, &[7, 3, 7, 12])
+            .unwrap();
+        assert_eq!(sub.seeds, 3);
+        assert_eq!(&sub.local_to_global[..3], &[7, 3, 12]);
+    }
+
+    #[test]
+    fn small_neighborhoods_are_kept_whole() {
+        // fanout larger than any in-degree: every in-edge of the seed
+        // survives.
+        let g = graph(40, 80, 9);
+        let sub = NeighborSampler::new(vec![1000]).sample(&g, &[4]).unwrap();
+        let adj_t = g.adjacency_csr_transposed();
+        let expected = adj_t.row_ptr()[5] - adj_t.row_ptr()[4];
+        assert_eq!(sub.graph.num_edges(), expected as usize);
+    }
+
+    #[test]
+    fn empty_fanouts_sample_the_bare_seed_set() {
+        let g = graph(20, 60, 1);
+        let sub = NeighborSampler::new(vec![]).sample(&g, &[0, 5]).unwrap();
+        assert_eq!(sub.graph.num_nodes(), 2);
+        assert_eq!(sub.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn invalid_seeds_are_rejected() {
+        let g = graph(10, 20, 1);
+        assert!(NeighborSampler::new(vec![2]).sample(&g, &[]).is_err());
+        assert!(NeighborSampler::new(vec![2]).sample(&g, &[10]).is_err());
+    }
+
+    #[test]
+    fn batch_schedule_partitions_the_node_set() {
+        let batches = batch_schedule(103, 32, 42);
+        assert_eq!(batches.len(), 4);
+        assert_eq!(batches.last().unwrap().len(), 103 - 3 * 32);
+        let mut seen = [false; 103];
+        for b in &batches {
+            for &v in b {
+                assert!(!seen[v as usize], "node {v} batched twice");
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Deterministic per seed; shuffled, not the identity order.
+        assert_eq!(batches, batch_schedule(103, 32, 42));
+        assert_ne!(batches, batch_schedule(103, 32, 43));
+        assert_ne!(batches[0], (0u32..32).collect::<Vec<_>>());
+        assert!(batch_schedule(10, 0, 1).is_empty());
+    }
+
+    #[test]
+    fn fanout_tokens_round_trip() {
+        assert_eq!(parse_fanout("10x5"), Some(vec![10, 5]));
+        assert_eq!(parse_fanout("7"), Some(vec![7]));
+        assert_eq!(parse_fanout(""), None);
+        assert_eq!(parse_fanout("10x"), None);
+        assert_eq!(parse_fanout("axb"), None);
+        assert_eq!(fanout_label(&[10, 5]), "10x5");
+        assert_eq!(parse_fanout(&fanout_label(&[3, 2, 1])), Some(vec![3, 2, 1]));
+    }
+
+    #[test]
+    fn dataset_sampling_is_replayable() {
+        let g = Dataset::Cora.load_scaled(0.05);
+        let seeds: Vec<u32> = batch_schedule(g.num_nodes(), 16, 42)[0].clone();
+        let a = NeighborSampler::new(vec![10, 5])
+            .seed(42)
+            .sample(&g, &seeds)
+            .unwrap();
+        let b = NeighborSampler::new(vec![10, 5])
+            .seed(42)
+            .sample(&g, &seeds)
+            .unwrap();
+        assert_eq!(a.graph.edges(), b.graph.edges());
+        assert_eq!(a.fanouts, vec![10, 5]);
+        assert!(a.graph.num_nodes() >= seeds.len());
+    }
+}

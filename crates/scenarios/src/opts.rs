@@ -34,6 +34,13 @@ pub struct BenchOpts {
     /// Forces one graph-partition strategy on every sharded cell
     /// (`run-scenario --partitioner hash|range|edgecut`).
     pub partitioner_override: Option<gsuite_graph::PartitionStrategy>,
+    /// Forces one mini-batch size on every expanded cell, replacing the
+    /// spec's `batch_sizes` axis (`run-scenario --batch-size N`; `0`
+    /// forces full-graph inference).
+    pub batch_size_override: Option<usize>,
+    /// Forces one per-layer fanout vector on every expanded cell,
+    /// replacing the spec's `fanouts` axis (`run-scenario --fanout 10x5`).
+    pub fanout_override: Option<Vec<usize>>,
 }
 
 impl BenchOpts {
@@ -116,12 +123,14 @@ impl BenchOpts {
                 Dataset::PubMed => 0.02,
                 Dataset::Reddit => 0.001,
                 Dataset::LiveJournal => 0.0002,
+                Dataset::OgbnMag => 0.0005,
             };
         }
         match dataset {
             Dataset::Cora | Dataset::CiteSeer | Dataset::PubMed => 1.0,
             Dataset::Reddit => 0.02,
             Dataset::LiveJournal => 0.005,
+            Dataset::OgbnMag => 0.005,
         }
     }
 
@@ -141,7 +150,7 @@ impl BenchOpts {
                     ))
                 }
             }
-            Dataset::Reddit | Dataset::LiveJournal => SimProfiler::scaled(16),
+            Dataset::Reddit | Dataset::LiveJournal | Dataset::OgbnMag => SimProfiler::scaled(16),
         };
         sim.max_ctas(Some(max_ctas))
     }
@@ -233,6 +242,9 @@ pub fn sweep_config(
         opt: gsuite_core::OptLevel::O0,
         gpus_per_run: 1,
         partitioner: gsuite_graph::PartitionStrategy::Hash,
+        batch_size: 0,
+        fanout: Vec::new(),
+        seed_node: None,
     }
 }
 

@@ -174,6 +174,16 @@ pub struct ScenarioSpec {
     /// [`crate::BenchOpts::partitioner_override`], the CLI's
     /// `--partitioner`, overrides it).
     pub partitioner: PartitionStrategy,
+    /// Mini-batch-size axis (default `[0]` — full-graph inference, the
+    /// golden-compatible path; the `minibatch` scenario sweeps real batch
+    /// sizes). [`crate::BenchOpts::batch_size_override`] (the CLI's
+    /// `--batch-size`) replaces the whole axis.
+    pub batch_sizes: Vec<usize>,
+    /// Per-layer neighbor-fanout axis for sampled cells (default
+    /// `[vec![]]` — the `RunConfig` default of 10 per hop; ignored by
+    /// full-graph cells). [`crate::BenchOpts::fanout_override`] (the
+    /// CLI's `--fanout`) replaces the whole axis.
+    pub fanouts: Vec<Vec<usize>>,
     /// Optional restriction to a subset of the cross-product.
     pub restrict: Option<CellFilter>,
 }
@@ -199,6 +209,8 @@ impl Default for ScenarioSpec {
             opt_levels: vec![OptLevel::O0],
             gpus_per_run: vec![1],
             partitioner: PartitionStrategy::Hash,
+            batch_sizes: vec![0],
+            fanouts: vec![Vec::new()],
             restrict: None,
         }
     }
@@ -260,6 +272,24 @@ impl ScenarioSpec {
         }
     }
 
+    /// The mini-batch sizes this expansion walks: the CLI's
+    /// `--batch-size` override when present, the spec's axis otherwise.
+    fn batch_axis(&self, opts: &BenchOpts) -> Vec<usize> {
+        match opts.batch_size_override {
+            Some(batch) => vec![batch],
+            None => self.batch_sizes.clone(),
+        }
+    }
+
+    /// The fanout vectors this expansion walks: the CLI's `--fanout`
+    /// override when present, the spec's axis otherwise.
+    fn fanout_axis(&self, opts: &BenchOpts) -> Vec<Vec<usize>> {
+        match &opts.fanout_override {
+            Some(fanout) => vec![fanout.clone()],
+            None => self.fanouts.clone(),
+        }
+    }
+
     /// Expands the spec into its ordered cell grid (see the type-level
     /// docs for the walk order and validity rules).
     pub fn expand(&self, opts: &BenchOpts) -> Vec<ScenarioCell> {
@@ -268,47 +298,54 @@ impl ScenarioSpec {
         for (gpu_index, &gpu) in self.gpus.iter().enumerate() {
             for &opt in &self.opt_axis(opts) {
                 for &shards in &self.shards_axis(opts) {
-                    for &model in &self.models {
-                        for &framework in &self.frameworks {
-                            for &comp in &self.comp_models {
-                                if let Some(forced) = framework.forced_comp() {
-                                    if comp != forced {
-                                        continue;
-                                    }
-                                }
-                                for &format in &self.formats {
-                                    if !format_feeds_comp(format, comp) {
-                                        continue;
-                                    }
-                                    for &dataset in &self.datasets {
-                                        if let Some(keep) = self.restrict {
-                                            if !keep(framework, model, comp, dataset) {
+                    for &batch_size in &self.batch_axis(opts) {
+                        for fanout in &self.fanout_axis(opts) {
+                            for &model in &self.models {
+                                for &framework in &self.frameworks {
+                                    for &comp in &self.comp_models {
+                                        if let Some(forced) = framework.forced_comp() {
+                                            if comp != forced {
                                                 continue;
                                             }
                                         }
-                                        let scale = match self.scale {
-                                            ScalePolicy::Paper => opts.scale_for(dataset),
-                                            ScalePolicy::Fixed(s) => s,
-                                        };
-                                        cells.push(ScenarioCell {
-                                            gpu_index,
-                                            gpu,
-                                            format,
-                                            config: RunConfig {
-                                                model,
-                                                comp,
-                                                dataset,
-                                                scale,
-                                                layers: self.layers,
-                                                hidden: self.hidden,
-                                                framework,
-                                                seed: self.seed,
-                                                functional_math: false,
-                                                opt,
-                                                gpus_per_run: shards.max(1),
-                                                partitioner,
-                                            },
-                                        });
+                                        for &format in &self.formats {
+                                            if !format_feeds_comp(format, comp) {
+                                                continue;
+                                            }
+                                            for &dataset in &self.datasets {
+                                                if let Some(keep) = self.restrict {
+                                                    if !keep(framework, model, comp, dataset) {
+                                                        continue;
+                                                    }
+                                                }
+                                                let scale = match self.scale {
+                                                    ScalePolicy::Paper => opts.scale_for(dataset),
+                                                    ScalePolicy::Fixed(s) => s,
+                                                };
+                                                cells.push(ScenarioCell {
+                                                    gpu_index,
+                                                    gpu,
+                                                    format,
+                                                    config: RunConfig {
+                                                        model,
+                                                        comp,
+                                                        dataset,
+                                                        scale,
+                                                        layers: self.layers,
+                                                        hidden: self.hidden,
+                                                        framework,
+                                                        seed: self.seed,
+                                                        functional_math: false,
+                                                        opt,
+                                                        gpus_per_run: shards.max(1),
+                                                        partitioner,
+                                                        batch_size,
+                                                        fanout: fanout.clone(),
+                                                        seed_node: None,
+                                                    },
+                                                });
+                                            }
+                                        }
                                     }
                                 }
                             }

@@ -203,6 +203,18 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
+    /// The nearest-rank percentile of an ascending sample: the element at
+    /// rank `ceil(percent·n / 100)` (1-based), in exact integer
+    /// arithmetic. The float form `(q * n as f64).ceil()` lands one rank
+    /// high whenever the product rounds just above an integer (e.g.
+    /// `0.28 * 25.0 == 7.000000000000001` ranks 8th instead of 7th), so
+    /// the rank is never allowed near floating point.
+    fn nearest_rank(sorted: &[f64], percent: u64) -> f64 {
+        let n = sorted.len() as u64;
+        let rank = (percent * n).div_ceil(100).max(1);
+        sorted[rank as usize - 1]
+    }
+
     /// Summarizes a latency sample (empty samples summarize to zeros).
     pub fn of(latencies: &[f64]) -> LatencySummary {
         if latencies.is_empty() {
@@ -210,15 +222,11 @@ impl LatencySummary {
         }
         let mut sorted = latencies.to_vec();
         sorted.sort_by(f64::total_cmp);
-        let pick = |q: f64| {
-            let rank = (q * sorted.len() as f64).ceil() as usize;
-            sorted[rank.clamp(1, sorted.len()) - 1]
-        };
         LatencySummary {
             mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
-            p50_ms: pick(0.50),
-            p95_ms: pick(0.95),
-            p99_ms: pick(0.99),
+            p50_ms: Self::nearest_rank(&sorted, 50),
+            p95_ms: Self::nearest_rank(&sorted, 95),
+            p99_ms: Self::nearest_rank(&sorted, 99),
             max_ms: *sorted.last().expect("non-empty"),
         }
     }
@@ -831,6 +839,53 @@ mod tests {
         assert_eq!(LatencySummary::of(&[]), LatencySummary::default());
         let one = LatencySummary::of(&[7.0]);
         assert_eq!((one.p50_ms, one.p99_ms, one.max_ms), (7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn nearest_rank_edge_cases_are_exact() {
+        // Single sample: every percentile is that sample.
+        let one = LatencySummary::of(&[3.5]);
+        assert_eq!((one.p50_ms, one.p95_ms, one.p99_ms), (3.5, 3.5, 3.5));
+
+        // Even-length median: nearest-rank picks the lower middle
+        // (rank ceil(0.5·4) = 2), never an interpolated value.
+        let even = LatencySummary::of(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(even.p50_ms, 2.0);
+
+        // q·n exactly integral: rank q·n itself, not one past it.
+        // (The float form is one ulp away from ranking 20th here.)
+        let twenty: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let s = LatencySummary::of(&twenty);
+        assert_eq!(s.p50_ms, 10.0);
+        assert_eq!(s.p95_ms, 19.0);
+        assert_eq!(s.p99_ms, 20.0);
+
+        // The class of float failure nearest_rank guards against:
+        // 28% of 25 must rank 7th even though 0.28 * 25.0 > 7.0.
+        let quarter: Vec<f64> = (1..=25).map(|i| i as f64).collect();
+        assert_eq!(LatencySummary::nearest_rank(&quarter, 28), 7.0);
+    }
+
+    proptest::proptest! {
+        /// Random samples: every reported percentile equals a brute-force
+        /// integer-arithmetic nearest-rank reference.
+        #[test]
+        fn latency_percentiles_match_integer_reference(
+            sample in proptest::collection::vec(0.0f64..1e6, 1..300),
+        ) {
+            let s = LatencySummary::of(&sample);
+            let mut sorted = sample.clone();
+            sorted.sort_by(f64::total_cmp);
+            let reference = |percent: usize| {
+                let rank = ((percent * sorted.len()).div_ceil(100)).max(1);
+                sorted[rank - 1]
+            };
+            proptest::prop_assert_eq!(s.p50_ms, reference(50));
+            proptest::prop_assert_eq!(s.p95_ms, reference(95));
+            proptest::prop_assert_eq!(s.p99_ms, reference(99));
+            proptest::prop_assert_eq!(s.max_ms, *sorted.last().expect("non-empty"));
+            proptest::prop_assert!(s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms);
+        }
     }
 
     #[test]

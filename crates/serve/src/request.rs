@@ -20,6 +20,8 @@
 //! are deliberately **excluded** from that identity: a tight deadline
 //! must not fragment the cache or the coalescing window.
 
+use std::hash::{Hash, Hasher};
+
 use gsuite_core::config::RunConfig;
 use gsuite_scenarios::{GpuSpec, ScenarioCell};
 
@@ -50,6 +52,33 @@ pub struct ServeRequest {
 impl PartialEq for ServeRequest {
     fn eq(&self, other: &Self) -> bool {
         self.config == other.config && self.gpu == other.gpu
+    }
+}
+
+/// Hashes exactly the identity fields [`PartialEq`] compares (the full
+/// configuration + backend; QoS keys excluded), as the byte-LRU's hash
+/// index requires. `scale` hashes by bit pattern — configurations
+/// validate it as a positive finite value, so bitwise identity coincides
+/// with `==` there.
+impl Hash for ServeRequest {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        let c = &self.config;
+        c.model.name().hash(state);
+        c.comp.name().hash(state);
+        c.dataset.name().hash(state);
+        c.scale.to_bits().hash(state);
+        c.layers.hash(state);
+        c.hidden.hash(state);
+        c.framework.name().hash(state);
+        c.seed.hash(state);
+        c.functional_math.hash(state);
+        c.opt.name().hash(state);
+        c.gpus_per_run.hash(state);
+        c.partitioner.name().hash(state);
+        c.batch_size.hash(state);
+        c.fanout.hash(state);
+        c.seed_node.hash(state);
+        self.gpu.proto_name().hash(state);
     }
 }
 
@@ -116,7 +145,8 @@ impl ServeRequest {
 
     /// Renders the request as one protocol line. `parse_line` of the
     /// result round-trips to an equal request (QoS keys included). The
-    /// sharding keys (`shards`, `partitioner`) and the QoS keys are
+    /// sharding keys (`shards`, `partitioner`), the mini-batch keys
+    /// (`batch_size`, `fanout`, `seed_node`) and the QoS keys are
     /// emitted only when set, keeping plain lines identical to the
     /// historical format.
     pub fn to_line(&self) -> String {
@@ -140,6 +170,18 @@ impl ServeRequest {
                 self.config.gpus_per_run,
                 self.config.partitioner.name()
             ));
+        }
+        if self.config.batch_size > 0 {
+            line.push_str(&format!(" batch_size={}", self.config.batch_size));
+        }
+        if !self.config.fanout.is_empty() {
+            line.push_str(&format!(
+                " fanout={}",
+                gsuite_graph::fanout_label(&self.config.fanout)
+            ));
+        }
+        if let Some(node) = self.config.seed_node {
+            line.push_str(&format!(" seed_node={node}"));
         }
         if let Some(ms) = self.deadline_ms {
             line.push_str(&format!(" deadline_ms={ms}"));
@@ -198,6 +240,8 @@ mod tests {
             "model=gin comp=spmm dataset=cora opt=2 backend=hw",
             "model=gcn dataset=cora scale=0.05 shards=4 partitioner=edgecut backend=hw",
             "model=gcn dataset=cora deadline_ms=250.5 fault_seed=9 backend=hw",
+            "model=sage dataset=pubmed scale=0.02 batch_size=32 fanout=10x5 backend=hw",
+            "model=gcn dataset=cora scale=0.05 seed_node=17 fanout=5x5 backend=hw",
         ] {
             let r = ServeRequest::parse_line(line).expect("valid");
             let back = ServeRequest::parse_line(&r.to_line()).expect("round-trip parses");
@@ -206,6 +250,23 @@ mod tests {
             assert_eq!(r.deadline_ms, back.deadline_ms, "round-trip of {line:?}");
             assert_eq!(r.fault_seed, back.fault_seed, "round-trip of {line:?}");
         }
+    }
+
+    #[test]
+    fn equal_requests_hash_identically() {
+        use std::collections::hash_map::DefaultHasher;
+        let digest = |r: &ServeRequest| {
+            let mut h = DefaultHasher::new();
+            r.hash(&mut h);
+            h.finish()
+        };
+        let line = "model=gcn dataset=cora scale=0.05 batch_size=32 fanout=10x5 backend=sim:8";
+        let a = ServeRequest::parse_line(line).unwrap();
+        let b = ServeRequest::parse_line(&format!("{line} deadline_ms=9")).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(digest(&a), digest(&b), "QoS keys must not perturb the hash");
+        let other = ServeRequest::parse_line("model=gin dataset=cora backend=hw").unwrap();
+        assert_ne!(digest(&a), digest(&other));
     }
 
     #[test]

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Compares the current tree's deterministic sim-clock serving benchmarks
+# against the latest committed BENCH_*.json trajectory file and fails on
+# any unexplained >10% regression — the per-PR bench-delta gate that
+# keeps speed claims grounded (ROADMAP item 5).
+#
+# Only the sim-clock runs are compared: they are pure functions of
+# (scenario, seed, parameters), so any drift is a code-behavior change,
+# never host noise. Wall-clock runs are recorded in the trajectory files
+# but deliberately not gated.
+#
+# Usage: scripts/bench_delta.sh [baseline.json]
+#   baseline.json   trajectory file to compare against; defaults to the
+#                   highest-numbered committed BENCH_pr*.json
+#
+# Environment:
+#   BENCH_DELTA_ACCEPT="reason"   acknowledge an intended regression:
+#                                 prints the reason and exits 0 so the
+#                                 explanation lands in the CI log next
+#                                 to the numbers it excuses.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-}"
+if [ -z "$BASELINE" ]; then
+    BASELINE=$(ls BENCH_pr*.json 2>/dev/null | sort -V | tail -1 || true)
+fi
+if [ -z "$BASELINE" ] || [ ! -f "$BASELINE" ]; then
+    echo "bench_delta: no committed BENCH_pr*.json baseline found; nothing to compare"
+    exit 0
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+cargo build --release --bin gsuite-cli
+BIN=target/release/gsuite-cli
+
+echo "== bench_delta: rerunning the sim-clock benchmarks of $BASELINE"
+"$BIN" loadgen --scenario serve-mix --seed 42 --requests 256 --clients 8 \
+    --json "$TMP/sim_closed.json" > /dev/null
+"$BIN" loadgen --scenario serve-mix --seed 42 --requests 256 --rate 200 \
+    --workers 2 --queue 8 --slo-ms 250 --json "$TMP/sim_open.json" > /dev/null
+"$BIN" loadgen --scenario serve-mix --seed 42 --requests 256 --clients 8 \
+    --fault-seed 7 --fault-rate 0.25 --deadline-ms 900 --retries 2 --breaker \
+    --json "$TMP/sim_chaos.json" > /dev/null
+
+python3 - "$BASELINE" "$TMP" <<'EOF'
+import json
+import os
+import sys
+
+baseline_path, tmp = sys.argv[1], sys.argv[2]
+with open(baseline_path) as f:
+    results = json.load(f).get("results", {})
+
+THRESHOLD = 0.10
+rows = []
+failures = []
+
+
+def check(run, metric, old, new, better):
+    """Record one metric delta; `better` is 'higher' or 'lower'."""
+    if old is None or new is None or old == 0:
+        return
+    delta = (new - old) / old
+    worse = delta < -THRESHOLD if better == "higher" else delta > THRESHOLD
+    rows.append((run, metric, old, new, delta, worse))
+    if worse:
+        failures.append(f"{run}.{metric}: {old} -> {new} ({delta:+.1%})")
+
+
+compared = 0
+for run in ("sim_closed", "sim_open", "sim_chaos"):
+    old = results.get(run)
+    path = os.path.join(tmp, f"{run}.json")
+    if not isinstance(old, dict) or not os.path.exists(path):
+        continue
+    with open(path) as f:
+        new = json.load(f)
+    compared += 1
+    check(run, "throughput_rps", old.get("throughput_rps"),
+          new.get("throughput_rps"), "higher")
+    for p in ("p50", "p95", "p99"):
+        check(run, f"latency_{p}_ms", old.get("latency_ms", {}).get(p),
+              new.get("latency_ms", {}).get(p), "lower")
+
+if compared == 0:
+    print(f"bench_delta: {baseline_path} has no comparable sim-clock runs; skipping")
+    sys.exit(0)
+
+print(f"{'run':<12} {'metric':<18} {'baseline':>12} {'current':>12} {'delta':>8}")
+for run, metric, old, new, delta, worse in rows:
+    flag = "  << REGRESSION" if worse else ""
+    print(f"{run:<12} {metric:<18} {old:>12.4f} {new:>12.4f} {delta:>+7.1%}{flag}")
+
+if failures:
+    reason = os.environ.get("BENCH_DELTA_ACCEPT")
+    if reason:
+        print(f"bench_delta: {len(failures)} regression(s) accepted: {reason}")
+        sys.exit(0)
+    print(f"bench_delta: {len(failures)} unexplained >10% regression(s) "
+          f"vs {baseline_path}:")
+    for f_ in failures:
+        print(f"  {f_}")
+    print("set BENCH_DELTA_ACCEPT=\"reason\" to acknowledge an intended change,")
+    print("or record a new trajectory with scripts/serve_bench.sh and commit it.")
+    sys.exit(1)
+
+print(f"bench_delta: all sim-clock metrics within {THRESHOLD:.0%} of {baseline_path}")
+EOF

@@ -11,6 +11,7 @@
 //! gsuite-cli run-scenario --list [--filter STR]
 //! gsuite-cli run-scenario NAME [--quick|--full] [--csv DIR] [--threads N]
 //!                              [--opt 0|2] [--shards N] [--partitioner NAME]
+//!                              [--batch-size N] [--fanout 10x5]
 //!
 //! gsuite-cli docs-scenarios [--check|--write]
 //!
@@ -104,6 +105,10 @@ fn print_help() {
            --shards N             modeled devices; N > 1 partitions the graph and\n\
                                   compiles one op DAG per shard + halo exchanges (1)\n\
            --partitioner NAME     hash|range|edgecut shard assignment (hash)\n\
+           --batch-size N         neighbor-sampled mini-batch size; N > 0 compiles\n\
+                                  every sampled batch into one plan (0 = full graph)\n\
+           --fanout SPEC          per-hop sampling fanouts, e.g. 10x5 (10 per hop)\n\
+           --seed-node N          compile one sampled ego-net around node N\n\
          \n\
          measurement flags:\n\
            --backend hw|sim       analytical profiler or cycle simulator (hw)\n\
@@ -115,12 +120,15 @@ fn print_help() {
            run-scenario --list [--filter STR]   list registered scenarios\n\
            run-scenario NAME [--quick|--full] [--csv DIR] [--threads N]\n\
                         [--opt 0|2] [--shards N] [--partitioner NAME]\n\
+                        [--batch-size N] [--fanout SPEC]\n\
                                   run one named experiment grid (the paper's\n\
                                   figures plus beyond-paper scenarios); --opt\n\
                                   forces one plan-optimization level on every\n\
                                   cell (see the planopt scenario for O0 vs O2),\n\
                                   --shards/--partitioner force the multi-GPU\n\
-                                  axis (see the multigpu scenario)\n\
+                                  axis (see the multigpu scenario),\n\
+                                  --batch-size/--fanout force the mini-batch\n\
+                                  axes (see the minibatch scenario)\n\
            docs-scenarios [--check|--write]\n\
                                   the generated markdown scenario reference\n\
                                   (docs/SCENARIOS.md); --check fails on drift\n\
@@ -258,11 +266,26 @@ fn run_scenario_cmd(args: &[String]) -> Result<(), String> {
                 );
                 i += 2;
             }
+            "--batch-size" => {
+                opts.batch_size_override = Some(parse_num(
+                    take_value(args, i)?,
+                    "--batch-size",
+                    "a batch size (0 = full graph)",
+                )?);
+                i += 2;
+            }
+            "--fanout" => {
+                let value = take_value(args, i)?;
+                opts.fanout_override = Some(gsuite_graph::parse_fanout(value).ok_or_else(|| {
+                    format!("--fanout expects x-separated per-hop fanouts, e.g. 10x5 (got {value:?})")
+                })?);
+                i += 2;
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!(
                     "unknown run-scenario flag {flag:?} (expected --list | --filter STR | \
                      --quick | --full | --csv DIR | --threads N | --opt 0|2 | --shards N | \
-                     --partitioner hash|range|edgecut)"
+                     --partitioner hash|range|edgecut | --batch-size N | --fanout 10x5)"
                 ));
             }
             other => {
@@ -865,6 +888,15 @@ fn merge(mut base: RunConfig, overrides: RunConfig, raw_flags: &[String]) -> Run
     }
     if passed("partitioner") {
         base.partitioner = overrides.partitioner;
+    }
+    if passed("batch_size") || passed("batch-size") {
+        base.batch_size = overrides.batch_size;
+    }
+    if passed("fanout") {
+        base.fanout = overrides.fanout;
+    }
+    if passed("seed_node") || passed("seed-node") {
+        base.seed_node = overrides.seed_node;
     }
     base
 }

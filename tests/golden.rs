@@ -97,6 +97,8 @@ fn golden_covers_every_registry_scenario() {
         "serve-mix",
         "planopt",
         "multigpu",
+        "minibatch",
+        "hetero",
         "chaos",
     ];
     let registered: Vec<&str> = registry::all().iter().map(|s| s.name).collect();
@@ -131,6 +133,8 @@ golden_test!(
     golden_gpusweep,
     golden_planopt,
     golden_multigpu,
+    golden_minibatch,
+    golden_hetero,
     golden_chaos,
 );
 

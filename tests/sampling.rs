@@ -1,0 +1,148 @@
+//! Mini-batch sampling guarantees, locked at the workspace level:
+//!
+//! 1. **Sampler determinism** — the same `(graph, seed, seed nodes,
+//!    fanout)` tuple yields a byte-identical subgraph on every run, and
+//!    different draw seeds yield genuinely different subgraphs.
+//! 2. **Grid determinism** — the `minibatch` scenario's profiles and
+//!    rendered report are byte-identical across profiling thread counts
+//!    (the property the golden snapshot and the CI smoke rest on).
+//! 3. **Serve ≡ batch** — a served `batch_size=`/`fanout=` request,
+//!    round-tripped through the wire format, profiles bit-identically
+//!    to the batch runner's corresponding `minibatch` cell, and a
+//!    `seed_node=` ego-net request profiles identically across server
+//!    processes.
+
+use gsuite::core::plan::OptLevel;
+use gsuite::graph::{batch_schedule, NeighborSampler};
+use gsuite::scenarios::{registry, BenchOpts};
+use gsuite::serve::{ServeConfig, ServeRequest, Server};
+
+// ---------------------------------------------------------------------------
+// 1. Sampler determinism.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sampled_subgraphs_replay_exactly() {
+    // Dense enough that fanout 3 forces real draws at every hop.
+    let g = gsuite::graph::GraphGenerator::new(200, 2400)
+        .seed(11)
+        .build_graph(8)
+        .expect("generator args valid");
+    let seeds: Vec<u32> = batch_schedule(g.num_nodes(), 24, 42)[0].clone();
+    let sampler = NeighborSampler::new(vec![3, 2]).seed(42);
+    let a = sampler.sample(&g, &seeds).expect("sample");
+    for _ in 0..3 {
+        let b = sampler.sample(&g, &seeds).expect("sample");
+        assert_eq!(a.graph.edges(), b.graph.edges());
+        assert_eq!(a.local_to_global, b.local_to_global);
+        assert_eq!(a.graph.features(), b.graph.features());
+    }
+    // The draw seed is part of the subgraph's identity.
+    let c = NeighborSampler::new(vec![3, 2])
+        .seed(43)
+        .sample(&g, &seeds)
+        .expect("sample");
+    assert_ne!(
+        a.graph.edges(),
+        c.graph.edges(),
+        "different draw seeds must sample different neighbors"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 2. Grid determinism across thread counts.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn minibatch_grid_is_identical_across_thread_counts() {
+    let opts = BenchOpts::golden();
+    let scenario = registry::find("minibatch").expect("minibatch registered");
+    let (r1, rep1) = scenario.run_threads(&opts, 1);
+    let (r4, rep4) = scenario.run_threads(&opts, 4);
+    assert_eq!(
+        rep1.render(&opts),
+        rep4.render(&opts),
+        "rendered minibatch report must not depend on --threads"
+    );
+    for ((cell, o1), (_, o4)) in r1.iter().zip(r4.iter()) {
+        assert_eq!(o1.profile(), o4.profile(), "cell {}", cell.label());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Serve ≡ batch for sampled requests.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn served_sampled_requests_match_batch_cells_bit_for_bit() {
+    let opts = BenchOpts::golden();
+    let scenario = registry::find("minibatch").expect("minibatch registered");
+    let (batch, _) = scenario.run(&opts);
+
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        opts: opts.clone(),
+        ..ServeConfig::default()
+    });
+    // One corner of the grid per (model, dataset): O2, batch 32, fanout
+    // 5x5 — each request round-tripped through the wire format first, so
+    // the comparison covers the protocol keys end to end.
+    let picked: Vec<_> = batch
+        .iter()
+        .filter(|(cell, _)| {
+            cell.config.batch_size == 32
+                && cell.config.fanout == vec![5, 5]
+                && cell.config.opt == OptLevel::O2
+        })
+        .collect();
+    assert!(
+        !picked.is_empty(),
+        "minibatch grid lost its O2/32/5x5 corner"
+    );
+    for (cell, outcome) in picked {
+        let wire = ServeRequest::from_cell(cell).to_line();
+        let req = ServeRequest::parse_line(&wire).expect("wire line parses");
+        let done = server
+            .submit(req)
+            .expect("accepted")
+            .recv()
+            .expect("completion delivered");
+        let served = done.outcome.expect("minibatch cells profile");
+        let batch_profile = outcome.profile().expect("batch cell profiled");
+        assert_eq!(
+            batch_profile,
+            served.as_ref(),
+            "served sampled request differs from batch cell {} (wire {wire:?})",
+            cell.label()
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn seed_node_requests_profile_identically_across_servers() {
+    let opts = BenchOpts::golden();
+    let line = "model=gcn dataset=cora scale=0.05 seed_node=7 fanout=5x5 backend=hw";
+    let req = ServeRequest::parse_line(line).expect("valid line");
+    let serve_once = |req: ServeRequest| {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            opts: opts.clone(),
+            ..ServeConfig::default()
+        });
+        let done = server
+            .submit(req)
+            .expect("accepted")
+            .recv()
+            .expect("completion delivered");
+        server.shutdown();
+        done.outcome.expect("ego-net request profiles")
+    };
+    let a = serve_once(req.clone());
+    let b = serve_once(req);
+    assert_eq!(
+        a.as_ref(),
+        b.as_ref(),
+        "single ego-net profile must be identical across server processes"
+    );
+}
