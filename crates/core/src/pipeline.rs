@@ -22,6 +22,32 @@ use crate::plan::{OpSpec, Plan};
 use crate::Result;
 use gsuite_graph::Graph;
 
+/// Wall-clock milliseconds spent in each compile phase of one
+/// [`PipelineRun::build`] (monotonic host time, the `wall` clock domain
+/// of the telemetry layer — never the sim clock, so these numbers are
+/// real but not reproducible byte-for-byte). Sharded builds charge the
+/// whole per-shard compile to `lower_ms`; the remaining phases run
+/// inside [`crate::plan::shard::build_sharded`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CompilePhases {
+    /// Model → Plan lowering (including mini-batch sampling + per-batch
+    /// lowering, and the full sharded build on multi-GPU runs).
+    pub lower_ms: f64,
+    /// The O-level pass pipeline (fusion / hoist-CSE / dead buffers).
+    pub optimize_ms: f64,
+    /// Framework wrapper-op decoration.
+    pub decorate_ms: f64,
+    /// Address assignment + launch materialization.
+    pub schedule_ms: f64,
+}
+
+impl CompilePhases {
+    /// Sum over all four phases.
+    pub fn total_ms(&self) -> f64 {
+        self.lower_ms + self.optimize_ms + self.decorate_ms + self.schedule_ms
+    }
+}
+
 /// A fully built pipeline: the optimized plan, the ordered kernel
 /// launches it scheduled to, the functional output, and the run
 /// description.
@@ -70,6 +96,11 @@ pub struct PipelineRun {
     /// empty and [`PipelineRun::launches`] concatenates every shard's
     /// stream (see [`crate::plan::shard`]).
     pub sharding: Option<ShardedExec>,
+    /// Measured wall-clock cost of each compile phase of this build —
+    /// the instrumentation points the telemetry layer's
+    /// `compile.{lower,optimize,decorate,schedule}` spans read from on
+    /// live (`--clock wall`) runs.
+    pub compile_phases: CompilePhases,
 }
 
 impl PipelineRun {
@@ -122,11 +153,22 @@ impl PipelineRun {
                 expected: "mini-batch sampling runs single-device (shards=1)".to_string(),
             });
         }
+        let mut phases = CompilePhases::default();
+        let mut mark = std::time::Instant::now();
+        // Charges the wall time since the previous `lap` call to one
+        // phase; ~an Instant::now() per compile phase, so the sim-clock
+        // benchmarks stay byte-identical and measurably free.
+        let mut lap = |slot: &mut f64| {
+            let now = std::time::Instant::now();
+            *slot += now.duration_since(mark).as_secs_f64() * 1e3;
+            mark = now;
+        };
         if config.gpus_per_run > 1 {
             // Sharded multi-GPU path: one plan per shard plus halo
             // exchanges; profile-only by design (output reports zeros,
             // exactly like `functional_math: false`).
             let sharded = shard::build_sharded(graph, config)?;
+            lap(&mut phases.lower_ms);
             checkpoint(cancelled)?;
             return Ok(PipelineRun {
                 label: config.label(),
@@ -136,6 +178,7 @@ impl PipelineRun {
                 peak_device_bytes: sharded.max_shard_peak_bytes(),
                 output: DenseMatrix::zeros(graph.num_nodes(), config.hidden),
                 sharding: Some(sharded),
+                compile_phases: phases,
             });
         }
         let (mut plan, output) = if config.is_minibatch() {
@@ -147,12 +190,16 @@ impl PipelineRun {
         } else {
             frameworks::lower(graph, config)?
         };
+        lap(&mut phases.lower_ms);
         checkpoint(cancelled)?;
         plan.optimize(config.opt);
+        lap(&mut phases.optimize_ms);
         checkpoint(cancelled)?;
         frameworks::decorate(&mut plan, config.framework);
+        lap(&mut phases.decorate_ms);
         checkpoint(cancelled)?;
         let schedule = plan.schedule(config.opt);
+        lap(&mut phases.schedule_ms);
         Ok(PipelineRun {
             label: config.label(),
             config: config.clone(),
@@ -161,6 +208,7 @@ impl PipelineRun {
             peak_device_bytes: schedule.peak_device_bytes,
             output,
             sharding: None,
+            compile_phases: phases,
         })
     }
 
@@ -428,6 +476,27 @@ mod tests {
         assert_eq!(profile.peak_device_bytes, sharding.max_shard_peak_bytes());
         // Parallel profiling is bit-identical on sharded runs too.
         assert_eq!(profile, run.profile_par(&HwProfiler::v100()));
+    }
+
+    #[test]
+    fn compile_phases_are_measured_and_finite() {
+        let cfg = config();
+        let graph = cfg.load_graph();
+        let run = PipelineRun::build(&graph, &cfg).unwrap();
+        let p = run.compile_phases;
+        for ms in [p.lower_ms, p.optimize_ms, p.decorate_ms, p.schedule_ms] {
+            assert!(ms.is_finite() && ms >= 0.0, "{p:?}");
+        }
+        assert!(p.total_ms() > 0.0, "some phase took wall time: {p:?}");
+        // Sharded builds charge everything to the lowering slot.
+        let sharded_cfg = RunConfig {
+            gpus_per_run: 2,
+            functional_math: false,
+            ..config()
+        };
+        let sharded = PipelineRun::build(&graph, &sharded_cfg).unwrap();
+        assert!(sharded.compile_phases.lower_ms > 0.0);
+        assert_eq!(sharded.compile_phases.optimize_ms, 0.0);
     }
 
     #[test]

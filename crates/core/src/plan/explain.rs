@@ -154,6 +154,133 @@ pub fn explain(graph: &Graph, config: &RunConfig) -> Result<String> {
     Ok(out)
 }
 
+/// Machine-readable counterpart of [`explain`]: the same
+/// O0/O2 compile rendered as one JSON object — per-level launch/memory
+/// summaries, O2 pass decisions, the O2 op list (kernel, label, reads,
+/// writes, buffers freed after the op) and the O2 device-buffer table
+/// (liveness, assigned addresses, reuse flags). Trace tooling and the
+/// text report share this one compile, so they can never disagree.
+///
+/// The document is deterministic: identical `(graph, config)` inputs
+/// render byte-identical JSON.
+///
+/// # Errors
+///
+/// Exactly the lowering errors [`explain`] propagates.
+pub fn explain_json(graph: &Graph, config: &RunConfig) -> Result<String> {
+    let (plan_o0, sched_o0) = compile(graph, config, OptLevel::O0)?;
+    let (plan_o2, sched_o2) = compile(graph, config, OptLevel::O2)?;
+
+    let jstr = |s: &str| {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    };
+    let jlist = |ids: &[String]| {
+        let quoted: Vec<String> = ids.iter().map(|s| jstr(s)).collect();
+        format!("[{}]", quoted.join(","))
+    };
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"label\": {},", jstr(&config.label()));
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"layers\": {}, \"hidden\": {}, \"seed\": {}}},",
+        config.layers, config.hidden, config.seed
+    );
+    out.push_str("  \"levels\": {\n");
+    for (i, (level, plan, sched)) in [
+        (OptLevel::O0, &plan_o0, &sched_o0),
+        (OptLevel::O2, &plan_o2, &sched_o2),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{\"launches\": {}, \"peak_device_bytes\": {}, \"arena_bytes\": {}}}{}",
+            level.name(),
+            plan.launch_count(),
+            sched.peak_device_bytes,
+            sched.arena_bytes,
+            if i == 0 { "," } else { "" }
+        );
+    }
+    out.push_str("  },\n");
+
+    out.push_str("  \"decisions\": [");
+    for (i, d) in plan_o2.decisions().iter().enumerate() {
+        out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        out.push_str(&jstr(d));
+    }
+    out.push_str("\n  ],\n");
+
+    // The O2 op list, mirroring the text report's "frees after" column.
+    out.push_str("  \"ops\": [");
+    for (i, op) in plan_o2.ops().iter().enumerate() {
+        let reads: Vec<String> = op.reads().iter().map(|b| b.to_string()).collect();
+        let writes: Vec<String> = op.writes().iter().map(|b| b.to_string()).collect();
+        let frees: Vec<String> = sched_o2
+            .live
+            .iter()
+            .enumerate()
+            .filter(|&(b, l)| {
+                l.map(|(_, last)| last) == Some(i as isize)
+                    && plan_o2.bufs()[b].space == AddrClass::Device
+                    && !plan_o2.bufs()[b].is_dead()
+            })
+            .map(|(b, _)| super::BufId(b).to_string())
+            .collect();
+        out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        let _ = write!(
+            out,
+            "{{\"index\": {i}, \"kernel\": {}, \"op\": {}, \"reads\": {}, \"writes\": {}, \"frees_after\": {}}}",
+            jstr(op.kind.name()),
+            jstr(&op.label()),
+            jlist(&reads),
+            jlist(&writes),
+            jlist(&frees)
+        );
+    }
+    out.push_str("\n  ],\n");
+
+    // Every live O2 device buffer with its liveness window and address.
+    out.push_str("  \"buffers\": [");
+    let mut first = true;
+    for (i, buf) in plan_o2.bufs().iter().enumerate() {
+        if buf.space != AddrClass::Device || buf.is_dead() || sched_o2.live[i].is_none() {
+            continue;
+        }
+        let (def, last) = sched_o2.live[i].expect("live checked");
+        out.push_str(if first { "\n    " } else { ",\n    " });
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"id\": \"b{i}\", \"name\": {}, \"class\": \"{}\", \"bytes\": {}, \"addr\": {}, \"def\": {def}, \"last\": {last}, \"reused\": {}}}",
+            jstr(&buf.name),
+            buf.class.label(),
+            buf.bytes(),
+            sched_o2.addrs[i].unwrap_or(0),
+            sched_o2.reused[i]
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    Ok(out)
+}
+
 /// Lower → optimize → decorate → schedule at one level.
 fn compile(graph: &Graph, config: &RunConfig, level: OptLevel) -> Result<(Plan, Schedule)> {
     let mut cfg = config.clone();
@@ -198,6 +325,29 @@ mod tests {
         assert!(text.contains("hoist:"), "{text}");
         assert!(text.contains("fuse:"), "{text}");
         assert!(text.contains("O2 device buffers:"));
+    }
+
+    #[test]
+    fn explain_json_mirrors_the_text_report() {
+        let graph = GraphGenerator::new(24, 80).seed(3).build_graph(6).unwrap();
+        let config = RunConfig {
+            model: GnnModel::Gcn,
+            comp: CompModel::Spmm,
+            layers: 2,
+            hidden: 4,
+            ..RunConfig::default()
+        };
+        let json = explain_json(&graph, &config).unwrap();
+        assert!(json.contains("\"levels\""), "{json}");
+        assert!(json.contains("\"O0\""), "{json}");
+        assert!(json.contains("\"decisions\""), "{json}");
+        assert!(json.contains("\"frees_after\""), "{json}");
+        assert!(json.contains("\"addr\""), "{json}");
+        // Deterministic: same inputs, same bytes.
+        assert_eq!(json, explain_json(&graph, &config).unwrap());
+        // Same compile as the text report: launch counts agree.
+        let text = explain(&graph, &config).unwrap();
+        assert!(text.contains("plan explain"));
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod resilience;
 mod runner;
 pub mod sim;
 mod spec;
+pub mod trace;
 
 pub use cache::{ByteLru, LruStats};
 pub use opts::{gsuite_pairs, ms, par_sweep, pct, profile_pipeline, sweep_config, BenchOpts};

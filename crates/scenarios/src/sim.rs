@@ -27,8 +27,27 @@
 //! config, every code path below is numerically identical to the
 //! fault-free model.
 
+//! # Telemetry
+//!
+//! [`simulate_open_traced`] / [`simulate_closed_traced`] run the *same*
+//! simulation while emitting a structured span stream on the sim clock
+//! ([`gsuite_telemetry::Trace`], [`ClockDomain::Sim`]): one `request`
+//! root per request with `queue` / `cache_lookup` / `build`
+//! (`compile.{lower,optimize,decorate,schedule}`) / `service`
+//! (`kernel`, `exchange`) children plus the resilience events `retry`,
+//! `backoff`, `degrade` and `cancelled`. The traced variants return the
+//! identical [`SimOutcome`] as their plain counterparts — tracing is
+//! observation, never perturbation — and the span stream is as
+//! deterministic as the simulation itself.
+//!
+//! Compile-phase spans inside a modeled `build` use the documented cost
+//! split [`COMPILE_PHASE_SPLIT`]; the degraded O0 fallback path drops
+//! the `compile.optimize` span, which by construction makes its build
+//! span sum to exactly the `0.5 · build_ms` the simulation charges.
+
 use crate::cache::{ByteLru, LruStats};
 use crate::resilience::{CircuitBreaker, FaultDraw, FaultPlan, ResilienceConfig};
+use gsuite_telemetry::{Attr, ClockDomain, SpanId, SpanSink, Trace};
 
 /// How the serving layer satisfied a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -182,6 +201,49 @@ pub struct SimOutcome {
     pub makespan_ms: f64,
 }
 
+/// The modeled share of a full build each compile phase accounts for in
+/// traced simulations: `lower` / `optimize` / `decorate` / `schedule`.
+/// The split is a documented modeling constant (the sim clock has no
+/// per-phase measurement); it is chosen so the non-`optimize` phases sum
+/// to exactly `0.5` — the degraded O0 fallback's modeled build charge.
+pub const COMPILE_PHASE_SPLIT: [(&str, f64); 4] = [
+    ("compile.lower", 0.25),
+    ("compile.optimize", 0.50),
+    ("compile.decorate", 0.10),
+    ("compile.schedule", 0.15),
+];
+
+/// One kernel (or exchange) child of a traced `service` span: the
+/// modeled per-launch breakdown of a distinct request configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSpan {
+    /// Table II taxonomy name (`sgemm`, `SpMM`, `exchange`, …).
+    pub name: String,
+    /// Modeled milliseconds of this launch.
+    pub time_ms: f64,
+    /// Exchange attribution: `(peer device, transferred bytes)`.
+    /// `None` for compute kernels.
+    pub exchange: Option<(u64, u64)>,
+}
+
+/// Per-configuration launch breakdown used by the traced simulations to
+/// render `kernel`/`exchange` children under each `service` span.
+/// Configurations without one (or an empty list) trace the service
+/// envelope only.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpanProfile {
+    /// Launches in execution order.
+    pub kernels: Vec<KernelSpan>,
+}
+
+/// The span recorder of a traced simulation: the sink plus the per-key
+/// launch breakdowns. Lives outside [`ServiceSim`]'s numeric state; the
+/// simulation never reads it back.
+struct SimTracer<'a> {
+    sink: SpanSink,
+    profiles: &'a [SpanProfile],
+}
+
 /// An execution in flight: submitted (at or before the current clock,
 /// since requests are fed in nondecreasing submission order), possibly
 /// not yet dispatched to a worker.
@@ -189,6 +251,9 @@ struct InFlight {
     key: usize,
     start_ms: f64,
     finish_ms: f64,
+    /// The worker executing it — coalesced requests' spans render on the
+    /// leader's track.
+    worker: usize,
     /// Whether this execution completes as an error response (coalesced
     /// requests share the outcome, error or not — exactly like the live
     /// server's shared `Completion`).
@@ -233,6 +298,9 @@ struct ServiceSim<'a> {
     degraded: u64,
     stale_serves: u64,
     makespan_ms: f64,
+    /// Span recorder, present only in the `_traced` entry points. The
+    /// numeric model never branches on it.
+    tracer: Option<SimTracer<'a>>,
 }
 
 impl<'a> ServiceSim<'a> {
@@ -256,7 +324,182 @@ impl<'a> ServiceSim<'a> {
             degraded: 0,
             stale_serves: 0,
             makespan_ms: 0.0,
+            tracer: None,
             params,
+        }
+    }
+
+    fn with_tracer(mut self, profiles: &'a [SpanProfile]) -> Self {
+        self.tracer = Some(SimTracer {
+            sink: SpanSink::new(),
+            profiles,
+        });
+        self
+    }
+
+    /// The virtual admission lane (Chrome `tid`) for requests shed
+    /// before any worker was elected.
+    fn admission_track(&self) -> u32 {
+        self.params.workers.max(1) as u32
+    }
+
+    /// Traces a request shed at admission (breaker open / queue full):
+    /// a zero-duration `request` root on the admission lane.
+    fn trace_shed(&mut self, key: usize, t: f64, disposition: &str) {
+        let track = self.admission_track();
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.sink.record(
+                "request",
+                None,
+                track,
+                t,
+                0.0,
+                vec![
+                    Attr::u64("key", key as u64),
+                    Attr::str("disposition", disposition),
+                ],
+            );
+        }
+    }
+
+    /// Traces one attempt's spans: the `cache_lookup` event, the modeled
+    /// `build` (with compile-phase children; the degraded path drops
+    /// `compile.optimize`) and the `service` envelope with its
+    /// `kernel`/`exchange` children scaled to fill it.
+    #[allow(clippy::too_many_arguments)]
+    fn trace_attempt(
+        &mut self,
+        root: SpanId,
+        track: u32,
+        key: usize,
+        attempt_start: f64,
+        attempt_ms: f64,
+        kind: AttemptKind,
+        cost: &SimCosts,
+        draw: &FaultDraw,
+    ) {
+        let Some(tr) = self.tracer.as_mut() else {
+            return;
+        };
+        let result = match kind {
+            AttemptKind::Hit => "hit",
+            AttemptKind::HitStale => "stale-hit",
+            AttemptKind::Refresh => "refresh",
+            AttemptKind::Miss => "miss",
+            AttemptKind::MissDegraded => "miss-degraded",
+        };
+        tr.sink.record(
+            "cache_lookup",
+            Some(root),
+            track,
+            attempt_start,
+            0.0,
+            vec![Attr::str("result", result)],
+        );
+        // The modeled build share of this attempt (zero on plain hits).
+        let build_share = match kind {
+            AttemptKind::Miss | AttemptKind::Refresh => cost.build_ms,
+            AttemptKind::MissDegraded => 0.5 * cost.build_ms,
+            AttemptKind::Hit | AttemptKind::HitStale => 0.0,
+        } * draw.slow_factor;
+        let mut cursor = attempt_start;
+        if build_share > 0.0 {
+            let build = tr.sink.record(
+                "build",
+                Some(root),
+                track,
+                cursor,
+                build_share,
+                if kind == AttemptKind::MissDegraded {
+                    vec![Attr::str("opt", "O0-fallback")]
+                } else {
+                    vec![]
+                },
+            );
+            // Full builds charge build_ms across all four phases; the
+            // degraded O0 fallback skips `compile.optimize`, and the
+            // remaining splits sum to the exact 0.5 · build_ms charged.
+            let full_build = cost.build_ms * draw.slow_factor;
+            let mut phase_start = cursor;
+            for (phase, share) in COMPILE_PHASE_SPLIT {
+                if kind == AttemptKind::MissDegraded && phase == "compile.optimize" {
+                    continue;
+                }
+                let dur = full_build * share;
+                tr.sink
+                    .record(phase, Some(build), track, phase_start, dur, vec![]);
+                phase_start += dur;
+            }
+            cursor += build_share;
+        }
+        let service_share = attempt_ms - build_share;
+        let mut service_attrs = vec![Attr::f64("modeled_ms", cost.service_ms)];
+        if draw.link_factor > 1.0 {
+            service_attrs.push(Attr::f64("link_factor", draw.link_factor));
+        }
+        if draw.slow_factor > 1.0 {
+            service_attrs.push(Attr::f64("slow_factor", draw.slow_factor));
+        }
+        let service = tr.sink.record(
+            "service",
+            Some(root),
+            track,
+            cursor,
+            service_share,
+            service_attrs,
+        );
+        // Kernel/exchange children laid out sequentially, scaled to fill
+        // the service envelope (slow/link inflation spreads evenly; the
+        // per-launch modeled_ms attribute keeps the unscaled figure).
+        if let Some(profile) = tr.profiles.get(key) {
+            let modeled_total: f64 = profile.kernels.iter().map(|k| k.time_ms).sum();
+            if modeled_total > 0.0 {
+                let scale = service_share / modeled_total;
+                let mut k_start = cursor;
+                for k in &profile.kernels {
+                    let dur = k.time_ms * scale;
+                    let mut attrs = vec![
+                        Attr::str("kernel", k.name.clone()),
+                        Attr::f64("modeled_ms", k.time_ms),
+                    ];
+                    let name = if let Some((peer, bytes)) = k.exchange {
+                        attrs.push(Attr::u64("peer", peer));
+                        attrs.push(Attr::u64("bytes", bytes));
+                        "exchange"
+                    } else {
+                        "kernel"
+                    };
+                    tr.sink
+                        .record(name, Some(service), track, k_start, dur, attrs);
+                    k_start += dur;
+                }
+            }
+        }
+    }
+
+    /// Records a `request` root under a reserved id.
+    #[allow(clippy::too_many_arguments)]
+    fn trace_root(
+        &mut self,
+        root: SpanId,
+        track: u32,
+        key: usize,
+        t: f64,
+        latency_ms: f64,
+        disposition: &str,
+        retries: u32,
+    ) {
+        if let Some(tr) = self.tracer.as_mut() {
+            let mut attrs = vec![
+                Attr::u64("key", key as u64),
+                Attr::u64("worker", track as u64),
+                Attr::str("disposition", disposition),
+            ];
+            if retries > 0 {
+                attrs.push(Attr::u64("retries", retries as u64));
+            }
+            tr.sink
+                .record_with_id(root, "request", None, track, t, latency_ms, attrs);
         }
     }
 
@@ -292,6 +535,7 @@ impl<'a> ServiceSim<'a> {
         if let Some(breakers) = &mut self.breakers {
             if !breakers[key].admit(t) {
                 self.circuit_open += 1;
+                self.trace_shed(key, t, "circuit-open");
                 return shed(key, t, SimDisposition::CircuitOpen);
             }
         }
@@ -301,11 +545,40 @@ impl<'a> ServiceSim<'a> {
             self.coalesced += 1;
             let finish = e.finish_ms;
             let start = e.start_ms;
+            let track = e.worker as u32;
             let disposition = if e.error {
                 SimDisposition::Error
             } else {
                 SimDisposition::Done(CacheDisposition::Coalesced)
             };
+            if let Some(tr) = self.tracer.as_mut() {
+                // The follower's tree: its own wait plus the shared
+                // window of the leader's execution, on the leader's track.
+                let root = tr.sink.reserve();
+                tr.sink
+                    .record("queue", Some(root), track, t, (start - t).max(0.0), vec![]);
+                tr.sink.record(
+                    "service",
+                    Some(root),
+                    track,
+                    start.max(t),
+                    finish - start.max(t),
+                    vec![Attr::str("shared", "leader")],
+                );
+                tr.sink.record_with_id(
+                    root,
+                    "request",
+                    None,
+                    track,
+                    t,
+                    finish - t,
+                    vec![
+                        Attr::u64("key", key as u64),
+                        Attr::u64("worker", track as u64),
+                        Attr::str("disposition", if e.error { "error" } else { "coalesced" }),
+                    ],
+                );
+            }
             return self.finish(SimRecord {
                 key,
                 submit_ms: t,
@@ -321,6 +594,7 @@ impl<'a> ServiceSim<'a> {
             let waiting = self.in_flight.iter().filter(|e| e.start_ms > t).count();
             if waiting >= self.params.queue_cap.max(1) {
                 self.rejected += 1;
+                self.trace_shed(key, t, "rejected");
                 return shed(key, t, SimDisposition::Rejected);
             }
         }
@@ -330,6 +604,7 @@ impl<'a> ServiceSim<'a> {
         let w = min_index(&self.worker_free);
         let start = t.max(self.worker_free[w]);
         let deadline = self.params.resilience.deadline_ms.map(|d| t + d);
+        let root = self.tracer.as_mut().map(|tr| tr.sink.reserve());
 
         // Cooperative cancellation while queued: a request whose worker
         // only frees past the deadline is abandoned before any work runs
@@ -337,6 +612,21 @@ impl<'a> ServiceSim<'a> {
         if let Some(dl) = deadline {
             if start >= dl {
                 self.timeouts += 1;
+                if let (Some(root), Some(tr)) = (root, self.tracer.as_mut()) {
+                    tr.sink
+                        .record("queue", Some(root), w as u32, t, dl - t, vec![]);
+                    tr.sink.record(
+                        "cancelled",
+                        Some(root),
+                        w as u32,
+                        dl,
+                        0.0,
+                        vec![Attr::str("reason", "queued-past-deadline")],
+                    );
+                }
+                if let Some(root) = root {
+                    self.trace_root(root, w as u32, key, t, dl - t, "timeout", 0);
+                }
                 return self.finish(SimRecord {
                     key,
                     submit_ms: t,
@@ -346,6 +636,10 @@ impl<'a> ServiceSim<'a> {
                     disposition: SimDisposition::TimedOut,
                 });
             }
+        }
+        if let (Some(root), Some(tr)) = (root, self.tracer.as_mut()) {
+            tr.sink
+                .record("queue", Some(root), w as u32, t, start - t, vec![]);
         }
 
         let cost = &self.costs[key];
@@ -370,8 +664,28 @@ impl<'a> ServiceSim<'a> {
                 let service = cost.build_ms * draw.slow_factor;
                 if let Some(dl) = deadline {
                     if clock + service > dl {
-                        return self.cancel_at(key, t, start, w, dl);
+                        return self.cancel_at(key, t, start, w, dl, root);
                     }
+                }
+                if let (Some(root), Some(tr)) = (root, self.tracer.as_mut()) {
+                    tr.sink.record(
+                        "cache_lookup",
+                        Some(root),
+                        w as u32,
+                        clock,
+                        0.0,
+                        vec![Attr::str("result", "miss")],
+                    );
+                    // The discovery build that surfaces the error; no
+                    // compile-phase children — lowering rejected it.
+                    tr.sink.record(
+                        "build",
+                        Some(root),
+                        w as u32,
+                        clock,
+                        service,
+                        vec![Attr::str("outcome", "error")],
+                    );
                 }
                 clock += service;
                 self.worker_free[w] = clock;
@@ -379,9 +693,13 @@ impl<'a> ServiceSim<'a> {
                     key,
                     start_ms: start,
                     finish_ms: clock,
+                    worker: w,
                     error: true,
                 });
                 self.record_breaker(key, clock, false);
+                if let Some(root) = root {
+                    self.trace_root(root, w as u32, key, t, clock - t, "error", retries_used);
+                }
                 return self.finish(SimRecord {
                     key,
                     submit_ms: t,
@@ -411,23 +729,39 @@ impl<'a> ServiceSim<'a> {
             // stale entry instead of refreshing, or fall back to the O0
             // compile (skip optimize passes — modeled at half the build
             // cost; degraded builds are not cached).
+            let mut degrade_mode = None;
             if let Some(dl) = deadline {
                 if clock + attempt_ms > dl && self.params.resilience.degrade {
                     match kind {
                         AttemptKind::Refresh => {
                             attempt_ms = service_base * draw.slow_factor;
                             kind = AttemptKind::HitStale;
+                            degrade_mode = Some("stale-serve");
                         }
                         AttemptKind::Miss => {
                             attempt_ms = (0.5 * cost.build_ms + service_base) * draw.slow_factor;
                             kind = AttemptKind::MissDegraded;
+                            degrade_mode = Some("o0-fallback");
                         }
                         _ => {}
                     }
                 }
                 if clock + attempt_ms > dl {
-                    return self.cancel_at(key, t, start, w, dl);
+                    return self.cancel_at(key, t, start, w, dl, root);
                 }
+            }
+            if let Some(root) = root {
+                if let (Some(mode), Some(tr)) = (degrade_mode, self.tracer.as_mut()) {
+                    tr.sink.record(
+                        "degrade",
+                        Some(root),
+                        w as u32,
+                        clock,
+                        0.0,
+                        vec![Attr::str("mode", mode)],
+                    );
+                }
+                self.trace_attempt(root, w as u32, key, clock, attempt_ms, kind, cost, &draw);
             }
             clock += attempt_ms;
             match kind {
@@ -446,6 +780,7 @@ impl<'a> ServiceSim<'a> {
                     self.crashed += 1;
                     any_crash = true;
                 }
+                let cause = if draw.crash { "crash" } else { "transient" };
                 if retries_used < self.params.resilience.retry.max_retries {
                     retries_used += 1;
                     self.retries += 1;
@@ -454,11 +789,27 @@ impl<'a> ServiceSim<'a> {
                         .fault
                         .as_ref()
                         .map_or(0.0, |plan| plan.jitter(req, attempt));
-                    clock += self
+                    let backoff = self
                         .params
                         .resilience
                         .retry
                         .backoff_ms(retries_used, jitter);
+                    if let (Some(root), Some(tr)) = (root, self.tracer.as_mut()) {
+                        tr.sink.record(
+                            "retry",
+                            Some(root),
+                            w as u32,
+                            clock,
+                            0.0,
+                            vec![
+                                Attr::u64("attempt", (attempt + 1) as u64),
+                                Attr::str("cause", cause),
+                            ],
+                        );
+                        tr.sink
+                            .record("backoff", Some(root), w as u32, clock, backoff, vec![]);
+                    }
+                    clock += backoff;
                     attempt += 1;
                     continue;
                 }
@@ -467,6 +818,7 @@ impl<'a> ServiceSim<'a> {
                     key,
                     start_ms: start,
                     finish_ms: clock,
+                    worker: w,
                     error: true,
                 });
                 self.record_breaker(key, clock, false);
@@ -475,6 +827,10 @@ impl<'a> ServiceSim<'a> {
                 } else {
                     SimDisposition::Error
                 };
+                if let Some(root) = root {
+                    let name = if any_crash { "crashed" } else { "error" };
+                    self.trace_root(root, w as u32, key, t, clock - t, name, retries_used);
+                }
                 return self.finish(SimRecord {
                     key,
                     submit_ms: t,
@@ -491,6 +847,7 @@ impl<'a> ServiceSim<'a> {
                 key,
                 start_ms: start,
                 finish_ms: clock,
+                worker: w,
                 error: false,
             });
             self.record_breaker(key, clock, true);
@@ -500,6 +857,17 @@ impl<'a> ServiceSim<'a> {
                 }
                 AttemptKind::Miss | AttemptKind::MissDegraded => CacheDisposition::Miss,
             };
+            if let Some(root) = root {
+                self.trace_root(
+                    root,
+                    w as u32,
+                    key,
+                    t,
+                    clock - t,
+                    cached.name(),
+                    retries_used,
+                );
+            }
             return self.finish(SimRecord {
                 key,
                 submit_ms: t,
@@ -514,10 +882,31 @@ impl<'a> ServiceSim<'a> {
     /// Cooperative mid-attempt cancellation: the worker is reclaimed at
     /// the deadline (the next plan-phase checkpoint observes the expired
     /// budget) and the config's breaker records a failure.
-    fn cancel_at(&mut self, key: usize, t: f64, start: f64, w: usize, dl: f64) -> SimRecord {
+    fn cancel_at(
+        &mut self,
+        key: usize,
+        t: f64,
+        start: f64,
+        w: usize,
+        dl: f64,
+        root: Option<SpanId>,
+    ) -> SimRecord {
         self.worker_free[w] = dl;
         self.timeouts += 1;
         self.record_breaker(key, dl, false);
+        if let Some(root) = root {
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.sink.record(
+                    "cancelled",
+                    Some(root),
+                    w as u32,
+                    dl,
+                    0.0,
+                    vec![Attr::str("reason", "deadline")],
+                );
+            }
+            self.trace_root(root, w as u32, key, t, dl - t, "timeout", 0);
+        }
         self.finish(SimRecord {
             key,
             submit_ms: t,
@@ -563,19 +952,49 @@ pub fn simulate_open(
     costs: &[SimCosts],
     params: SimParams,
 ) -> SimOutcome {
+    let (outcome, _) = run_open(keys, arrivals, costs, params, None);
+    outcome
+}
+
+/// [`simulate_open`] with span recording: returns the identical
+/// [`SimOutcome`] plus the sim-clock span stream (one `request` tree per
+/// request). `profiles` supplies the per-key `kernel`/`exchange`
+/// breakdown of each `service` span; pass `&[]` to trace envelopes only.
+pub fn simulate_open_traced(
+    keys: &[usize],
+    arrivals: &[f64],
+    costs: &[SimCosts],
+    params: SimParams,
+    profiles: &[SpanProfile],
+) -> (SimOutcome, Trace) {
+    let (outcome, trace) = run_open(keys, arrivals, costs, params, Some(profiles));
+    (outcome, trace.expect("tracer was installed"))
+}
+
+fn run_open(
+    keys: &[usize],
+    arrivals: &[f64],
+    costs: &[SimCosts],
+    params: SimParams,
+    profiles: Option<&[SpanProfile]>,
+) -> (SimOutcome, Option<Trace>) {
     assert_eq!(keys.len(), arrivals.len(), "one arrival per request");
     assert!(
         arrivals.windows(2).all(|w| w[0] <= w[1]),
         "arrivals must be nondecreasing"
     );
     let mut sim = ServiceSim::new(costs, params);
+    if let Some(profiles) = profiles {
+        sim = sim.with_tracer(profiles);
+    }
     let records = keys
         .iter()
         .zip(arrivals)
         .enumerate()
         .map(|(i, (&key, &t))| sim.offer(i as u64, key, t, true))
         .collect();
-    sim.into_outcome(records)
+    let trace = sim.tracer.take().map(|tr| tr.sink.finish(ClockDomain::Sim));
+    (sim.into_outcome(records), trace)
 }
 
 /// Simulates a **closed-loop** run: `clients` clients share the request
@@ -588,8 +1007,35 @@ pub fn simulate_closed(
     costs: &[SimCosts],
     params: SimParams,
 ) -> SimOutcome {
+    let (outcome, _) = run_closed(keys, clients, costs, params, None);
+    outcome
+}
+
+/// [`simulate_closed`] with span recording — see
+/// [`simulate_open_traced`] for the contract.
+pub fn simulate_closed_traced(
+    keys: &[usize],
+    clients: usize,
+    costs: &[SimCosts],
+    params: SimParams,
+    profiles: &[SpanProfile],
+) -> (SimOutcome, Trace) {
+    let (outcome, trace) = run_closed(keys, clients, costs, params, Some(profiles));
+    (outcome, trace.expect("tracer was installed"))
+}
+
+fn run_closed(
+    keys: &[usize],
+    clients: usize,
+    costs: &[SimCosts],
+    params: SimParams,
+    profiles: Option<&[SpanProfile]>,
+) -> (SimOutcome, Option<Trace>) {
     let clients = clients.max(1);
     let mut sim = ServiceSim::new(costs, params);
+    if let Some(profiles) = profiles {
+        sim = sim.with_tracer(profiles);
+    }
     let mut available: Vec<f64> = vec![0.0; clients];
     let mut records = Vec::with_capacity(keys.len());
     for (i, &key) in keys.iter().enumerate() {
@@ -598,7 +1044,8 @@ pub fn simulate_closed(
         available[c] += record.latency_ms.max(0.0);
         records.push(record);
     }
-    sim.into_outcome(records)
+    let trace = sim.tracer.take().map(|tr| tr.sink.finish(ClockDomain::Sim));
+    (sim.into_outcome(records), trace)
 }
 
 /// Index of the minimum element (first on ties) — worker/client election.
@@ -950,6 +1397,109 @@ mod tests {
         let out = simulate_open(&[0], &[0.0], &c, p);
         // service 10 + exchange 2 x (4 - 1) = 16.
         assert_eq!(out.records[0].latency_ms, 16.0);
+    }
+
+    #[test]
+    fn traced_runs_return_the_identical_outcome() {
+        let costs = costs(4, 3.0, 1.5, 64);
+        let keys: Vec<usize> = (0..60).map(|i| i % 4).collect();
+        let arrivals: Vec<f64> = (0..60).map(|i| i as f64 * 1.25).collect();
+        let p = SimParams {
+            fault: Some(FaultPlan::mixed(9, 0.3)),
+            resilience: ResilienceConfig {
+                deadline_ms: Some(40.0),
+                retry: RetryPolicy::retries(2),
+                breaker: Some(BreakerConfig::default()),
+                degrade: true,
+                stale_ttl_ms: Some(20.0),
+            },
+            ..params(2, 8, 256)
+        };
+        let plain = simulate_open(&keys, &arrivals, &costs, p);
+        let (traced, trace) = simulate_open_traced(&keys, &arrivals, &costs, p, &[]);
+        assert_eq!(plain, traced, "tracing must never perturb the model");
+        assert_eq!(trace.root_count(), keys.len(), "one request root each");
+        let (closed_plain, closed_trace) =
+            simulate_closed_traced(&keys, 5, &costs, params(3, 8, 128), &[]);
+        assert_eq!(
+            closed_plain,
+            simulate_closed(&keys, 5, &costs, params(3, 8, 128))
+        );
+        assert_eq!(closed_trace.root_count(), keys.len());
+    }
+
+    #[test]
+    fn traced_span_stream_is_byte_identical_across_runs() {
+        let costs = costs(3, 2.0, 1.0, 32);
+        let keys: Vec<usize> = (0..30).map(|i| i % 3).collect();
+        let arrivals: Vec<f64> = (0..30).map(|i| i as f64 * 0.5).collect();
+        let profiles: Vec<SpanProfile> = (0..3)
+            .map(|i| SpanProfile {
+                kernels: vec![
+                    KernelSpan {
+                        name: "sgemm".to_string(),
+                        time_ms: 1.25,
+                        exchange: None,
+                    },
+                    KernelSpan {
+                        name: "exchange".to_string(),
+                        time_ms: 0.75,
+                        exchange: Some((i as u64, 4096)),
+                    },
+                ],
+            })
+            .collect();
+        let p = SimParams {
+            fault: Some(FaultPlan::mixed(7, 0.25)),
+            resilience: ResilienceConfig {
+                deadline_ms: Some(25.0),
+                retry: RetryPolicy::retries(1),
+                degrade: true,
+                ..ResilienceConfig::default()
+            },
+            ..params(2, 4, 128)
+        };
+        let (_, a) = simulate_open_traced(&keys, &arrivals, &costs, p, &profiles);
+        let (_, b) = simulate_open_traced(&keys, &arrivals, &costs, p, &profiles);
+        assert_eq!(a.to_chrome_json(), b.to_chrome_json());
+        assert_eq!(a.render_tree(), b.render_tree());
+        gsuite_telemetry::json::validate(&a.to_chrome_json()).expect("valid chrome JSON");
+        // The taxonomy shows up: kernels, exchanges, builds with the
+        // compile-phase split.
+        for name in ["request", "queue", "cache_lookup", "build", "service"] {
+            assert!(a.spans.iter().any(|s| s.name == name), "missing {name}");
+        }
+        assert!(a.spans.iter().any(|s| s.name == "compile.optimize"));
+        assert!(a.spans.iter().any(|s| s.name == "exchange"));
+    }
+
+    #[test]
+    fn degraded_builds_drop_the_optimize_span_and_sum_to_half() {
+        // build 20 + service 10 > deadline 25 forces the O0 fallback.
+        let costs = costs(1, 10.0, 20.0, 5);
+        let degrade = SimParams {
+            resilience: ResilienceConfig {
+                deadline_ms: Some(25.0),
+                degrade: true,
+                ..ResilienceConfig::default()
+            },
+            ..params(1, 4, 100)
+        };
+        let (out, trace) = simulate_open_traced(&[0], &[0.0], &costs, degrade, &[]);
+        assert_eq!(out.degraded, 1);
+        assert!(trace.spans.iter().any(|s| s.name == "degrade"));
+        let build: Vec<_> = trace.spans.iter().filter(|s| s.name == "build").collect();
+        assert_eq!(build.len(), 1);
+        assert_eq!(build[0].dur_ms, 10.0, "0.5 x build_ms");
+        assert!(!trace.spans.iter().any(|s| s.name == "compile.optimize"));
+        // The remaining phases tile the degraded build exactly.
+        let phases: f64 = trace
+            .spans
+            .iter()
+            .filter(|s| s.name.starts_with("compile."))
+            .map(|s| s.dur_ms)
+            .sum();
+        assert!((phases - 10.0).abs() < 1e-9, "{phases}");
     }
 
     #[test]

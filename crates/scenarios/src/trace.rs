@@ -1,0 +1,190 @@
+//! Trace construction for scenario runs and profiled pipelines: the
+//! bridge from [`ScenarioResult`] / [`PipelineRun`] to the telemetry
+//! layer's span stream.
+//!
+//! Scenario timestamps are *modeled* milliseconds on the sim clock —
+//! cells are laid out sequentially at their cumulative modeled cost, so
+//! the exported Chrome trace reads as "the grid, had it run
+//! back-to-back on the modeled device". That keeps the export exactly
+//! as deterministic as the profiles themselves.
+
+use gsuite_core::pipeline::PipelineRun;
+use gsuite_core::plan::OpSpec;
+use gsuite_profile::PipelineProfile;
+use gsuite_telemetry::{Attr, ClockDomain, SpanSink, Trace};
+
+use crate::runner::ScenarioResult;
+use crate::sim::{KernelSpan, SpanProfile};
+
+/// The per-launch `kernel`/`exchange` breakdown of one built + profiled
+/// pipeline — the [`SpanProfile`] traced simulations attach under each
+/// `service` span. Sharded runs attribute each Exchange launch to its
+/// peer device and transferred bytes (the same `rows · feat · 4`
+/// pricing the profiler uses); single-device runs have no exchanges.
+pub fn span_profile(run: &PipelineRun, profile: &PipelineProfile) -> SpanProfile {
+    let mut kernels = Vec::with_capacity(profile.kernels.len());
+    if let Some(sharded) = &run.sharding {
+        let mut cursor = 0usize;
+        for shard in &sharded.shards {
+            let slice = &profile.kernels[cursor..cursor + shard.launches.len()];
+            for (op, stats) in shard.plan.ops().iter().zip(slice) {
+                let exchange = match &op.spec {
+                    OpSpec::Exchange {
+                        peer, rows, feat, ..
+                    } => Some((*peer as u64, rows * *feat as u64 * 4)),
+                    _ => None,
+                };
+                kernels.push(KernelSpan {
+                    name: stats.kernel.clone(),
+                    time_ms: stats.time_ms,
+                    exchange,
+                });
+            }
+            cursor += shard.launches.len();
+        }
+    } else {
+        for stats in &profile.kernels {
+            kernels.push(KernelSpan {
+                name: stats.kernel.clone(),
+                time_ms: stats.time_ms,
+                exchange: None,
+            });
+        }
+    }
+    SpanProfile { kernels }
+}
+
+/// Renders an executed scenario as a sim-clock trace: one `cell` root
+/// per grid cell (on its GPU axis's track) at the cells' cumulative
+/// modeled times, with one `kernel`/`exchange` child per launch.
+/// Unsupported cells render as zero-duration roots tagged with the
+/// build error. Deterministic: byte-identical across runs and thread
+/// counts, like the profiles it reads.
+pub fn scenario_trace(result: &ScenarioResult) -> Trace {
+    let mut sink = SpanSink::new();
+    let mut t = 0.0f64;
+    for (cell, outcome) in result.iter() {
+        let track = cell.gpu_index as u32;
+        let label = cell.config.label();
+        match outcome.profile() {
+            Some(profile) => {
+                let total = profile.total_time_ms();
+                let root = sink.record(
+                    "cell",
+                    None,
+                    track,
+                    t,
+                    total,
+                    vec![
+                        Attr::str("label", label),
+                        Attr::str("gpu", cell.gpu.label()),
+                        Attr::f64("host_overhead_ms", profile.host_overhead_ms),
+                        Attr::u64("peak_device_bytes", profile.peak_device_bytes),
+                    ],
+                );
+                let mut k_start = t + profile.host_overhead_ms;
+                for k in &profile.kernels {
+                    let name = if k.kernel == "exchange" {
+                        "exchange"
+                    } else {
+                        "kernel"
+                    };
+                    let mut attrs = vec![Attr::str("kernel", k.kernel.clone())];
+                    if k.kernel == "exchange" {
+                        attrs.push(Attr::u64("bytes", k.dram_bytes));
+                    }
+                    sink.record(name, Some(root), track, k_start, k.time_ms, attrs);
+                    k_start += k.time_ms;
+                }
+                t += total;
+            }
+            None => {
+                let error = match outcome {
+                    crate::runner::CellOutcome::Unsupported(msg) => msg.clone(),
+                    _ => String::new(),
+                };
+                sink.record(
+                    "cell",
+                    None,
+                    track,
+                    t,
+                    0.0,
+                    vec![
+                        Attr::str("label", label),
+                        Attr::str("gpu", cell.gpu.label()),
+                        Attr::str("unsupported", error),
+                    ],
+                );
+            }
+        }
+    }
+    sink.finish(ClockDomain::Sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opts::BenchOpts;
+    use crate::runner::run_scenario;
+    use crate::spec::ScenarioSpec;
+    use gsuite_core::config::{GnnModel, RunConfig};
+    use gsuite_graph::datasets::Dataset;
+    use gsuite_profile::HwProfiler;
+
+    #[test]
+    fn scenario_trace_covers_every_cell_deterministically() {
+        let spec = ScenarioSpec {
+            name: "trace-test",
+            title: "trace unit grid",
+            models: vec![GnnModel::Gcn, GnnModel::Sage],
+            datasets: vec![Dataset::Cora],
+            ..ScenarioSpec::default()
+        };
+        let result = run_scenario(&spec, &BenchOpts::golden());
+        let trace = scenario_trace(&result);
+        assert_eq!(trace.root_count(), result.cells.len());
+        // Unsupported cells are tagged, profiled cells carry kernels.
+        assert!(trace
+            .spans
+            .iter()
+            .any(|s| s.attrs.iter().any(|a| a.key == "unsupported")));
+        assert!(trace.spans.iter().any(|s| s.name == "kernel"));
+        assert_eq!(
+            trace.to_chrome_json(),
+            scenario_trace(&run_scenario(&spec, &BenchOpts::golden())).to_chrome_json()
+        );
+    }
+
+    #[test]
+    fn span_profiles_attribute_exchanges_to_peers() {
+        let cfg = RunConfig {
+            scale: 0.02,
+            hidden: 8,
+            gpus_per_run: 2,
+            functional_math: false,
+            ..RunConfig::default()
+        };
+        let graph = cfg.load_graph();
+        let run = PipelineRun::build(&graph, &cfg).unwrap();
+        let profile = run.profile(&HwProfiler::v100());
+        let sp = span_profile(&run, &profile);
+        assert_eq!(sp.kernels.len(), profile.kernels.len());
+        let exchanges: Vec<_> = sp.kernels.iter().filter(|k| k.exchange.is_some()).collect();
+        assert!(!exchanges.is_empty(), "sharded runs exchange halos");
+        for x in &exchanges {
+            let (peer, bytes) = x.exchange.unwrap();
+            assert!(peer < 2);
+            assert!(bytes > 0);
+            assert_eq!(x.name, "exchange");
+        }
+        // Single-device: no exchange attribution.
+        let cfg1 = RunConfig {
+            gpus_per_run: 1,
+            ..cfg
+        };
+        let run1 = PipelineRun::build(&graph, &cfg1).unwrap();
+        let p1 = run1.profile(&HwProfiler::v100());
+        let sp1 = span_profile(&run1, &p1);
+        assert!(sp1.kernels.iter().all(|k| k.exchange.is_none()));
+    }
+}

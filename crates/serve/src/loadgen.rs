@@ -20,12 +20,18 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use gsuite_scenarios::trace::span_profile;
 use gsuite_scenarios::{registry, BenchOpts, LruStats};
+use gsuite_telemetry::metrics::LATENCY_BUCKETS_MS;
+use gsuite_telemetry::{Attr, ClockDomain, MetricsRegistry, SpanSink, Trace};
 
 use crate::fault::{FaultPlan, ResilienceConfig};
 use crate::request::ServeRequest;
-use crate::server::{entry_bytes, ServeConfig, Server, SubmitError};
-use crate::sim::{simulate_closed, simulate_open, SimCosts, SimDisposition, SimParams};
+use crate::server::{entry_bytes, Completion, ServeConfig, Server, SubmitError};
+use crate::sim::{
+    simulate_closed, simulate_closed_traced, simulate_open, simulate_open_traced, SimCosts,
+    SimDisposition, SimParams, SpanProfile,
+};
 
 /// How the stream's submission times are produced.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -315,6 +321,11 @@ pub struct LoadReport {
     /// Per-completed-request latencies in stream order — the
     /// reproducibility surface the determinism tests compare.
     pub latencies_ms: Vec<f64>,
+    /// Per-phase total milliseconds summed over the run's span stream,
+    /// in [`PHASE_SPAN_NAMES`] order. Empty unless the run was traced
+    /// ([`run_loadgen_traced`]) — untraced reports keep the historical
+    /// format byte-for-byte.
+    pub phases: Vec<(String, f64)>,
 }
 
 impl LoadReport {
@@ -374,6 +385,13 @@ impl LoadReport {
                 r.retries, r.timeouts, r.crashed, r.breaker_trips, r.circuit_open, r.degraded, r.stale_serves
             ));
         }
+        if !self.phases.is_empty() {
+            out.push_str("phases (ms):");
+            for (name, total) in &self.phases {
+                out.push_str(&format!(" {name}={total:.4}"));
+            }
+            out.push('\n');
+        }
         if let Some(slo) = &self.slo {
             out.push_str(&format!(
                 "SLO: {:.1}% of requests <= {:.2} ms (target {:.1}%) -> {}\n",
@@ -422,13 +440,23 @@ impl LoadReport {
         } else {
             String::new()
         };
+        let phases = if self.phases.is_empty() {
+            String::new()
+        } else {
+            let cols: Vec<String> = self
+                .phases
+                .iter()
+                .map(|(name, total)| format!("\"{name}\": {total:.4}"))
+                .collect();
+            format!(",\n  \"phases\": {{{}}}", cols.join(", "))
+        };
         format!(
             "{{\n  \"scenario\": {:?},\n  \"seed\": {},\n  \"clock\": {:?},\n  \"arrival\": {:?},\n  \
              \"universe\": {},\n  \"requests\": {},\n  \"completed\": {},\n  \"errors\": {},\n  \
              \"rejected\": {},\n  \"coalesced\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
              \"cache_hit_rate\": {:.6},\n  \"cache_evictions\": {},\n  \"throughput_rps\": {:.3},\n  \
              \"makespan_ms\": {:.4},\n  \"latency_ms\": {{\"mean\": {:.4}, \"p50\": {:.4}, \"p95\": {:.4}, \
-             \"p99\": {:.4}, \"max\": {:.4}}}{}{}\n}}",
+             \"p99\": {:.4}, \"max\": {:.4}}}{}{}{}\n}}",
             self.scenario,
             self.seed,
             self.clock,
@@ -451,8 +479,141 @@ impl LoadReport {
             self.latency.p99_ms,
             self.latency.max_ms,
             slo,
-            fault
+            fault,
+            phases
         )
+    }
+
+    /// The report as a metrics registry: counters for the traffic and
+    /// cache outcomes, gauges for point-in-time values, a fixed-bucket
+    /// latency histogram, and (for traced runs) one gauge per phase
+    /// column. Exposition order is sorted by name, so the rendered text
+    /// is byte-stable wherever the report itself is.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let c = |reg: &mut MetricsRegistry, name, help, v| reg.counter_add(name, help, v);
+        c(
+            &mut reg,
+            "gsuite_loadgen_completed_total",
+            "Delivered completions.",
+            self.completed,
+        );
+        c(
+            &mut reg,
+            "gsuite_loadgen_errors_total",
+            "Completions that were error responses.",
+            self.errors,
+        );
+        c(
+            &mut reg,
+            "gsuite_loadgen_rejected_total",
+            "Requests shed by the bounded queue.",
+            self.rejected,
+        );
+        c(
+            &mut reg,
+            "gsuite_loadgen_coalesced_total",
+            "Requests sharing an in-flight execution.",
+            self.coalesced,
+        );
+        c(
+            &mut reg,
+            "gsuite_cache_hits_total",
+            "Pipeline-cache lookup hits.",
+            self.cache.hits,
+        );
+        c(
+            &mut reg,
+            "gsuite_cache_misses_total",
+            "Pipeline-cache lookup misses.",
+            self.cache.misses,
+        );
+        c(
+            &mut reg,
+            "gsuite_cache_evictions_total",
+            "Pipeline-cache evictions.",
+            self.cache.evictions,
+        );
+        let r = &self.resilience;
+        c(
+            &mut reg,
+            "gsuite_resilience_retries_total",
+            "Retry attempts performed.",
+            r.retries,
+        );
+        c(
+            &mut reg,
+            "gsuite_resilience_timeouts_total",
+            "Requests failed on an expired deadline.",
+            r.timeouts,
+        );
+        c(
+            &mut reg,
+            "gsuite_resilience_crashed_total",
+            "Requests failed by worker crashes.",
+            r.crashed,
+        );
+        c(
+            &mut reg,
+            "gsuite_resilience_breaker_trips_total",
+            "Circuit-breaker trips.",
+            r.breaker_trips,
+        );
+        c(
+            &mut reg,
+            "gsuite_resilience_circuit_open_total",
+            "Requests shed by an open circuit breaker.",
+            r.circuit_open,
+        );
+        c(
+            &mut reg,
+            "gsuite_resilience_degraded_total",
+            "Requests served by the O0 compile fallback.",
+            r.degraded,
+        );
+        c(
+            &mut reg,
+            "gsuite_resilience_stale_serves_total",
+            "Stale-but-valid cache serves past the soft TTL.",
+            r.stale_serves,
+        );
+        reg.gauge_set(
+            "gsuite_cache_bytes_in_use",
+            "Pipeline-cache bytes in use.",
+            self.cache.bytes_in_use as f64,
+        );
+        reg.gauge_set(
+            "gsuite_cache_entries",
+            "Pipeline-cache resident entries.",
+            self.cache.entries as f64,
+        );
+        reg.gauge_set(
+            "gsuite_loadgen_throughput_rps",
+            "Completed requests per second over the makespan.",
+            self.throughput_rps,
+        );
+        reg.gauge_set(
+            "gsuite_loadgen_makespan_ms",
+            "First-submission-to-last-completion milliseconds.",
+            self.makespan_ms,
+        );
+        for &l in &self.latencies_ms {
+            reg.histogram_observe(
+                "gsuite_loadgen_latency_ms",
+                "Completed-request latency (milliseconds).",
+                &LATENCY_BUCKETS_MS,
+                l,
+            );
+        }
+        for (name, total) in &self.phases {
+            let metric = format!("gsuite_phase_{}_ms", name.replace('.', "_"));
+            reg.gauge_set(
+                &metric,
+                "Total milliseconds spent in this span phase.",
+                *total,
+            );
+        }
+        reg
     }
 
     /// Assembles a report from raw counters and a latency sample.
@@ -504,8 +665,35 @@ impl LoadReport {
             fault_mode: spec.fault.is_some() || !spec.resilience.is_inert(),
             resilience: ResilienceSummary::default(),
             latencies_ms,
+            phases: Vec::new(),
         }
     }
+}
+
+/// The span names the traced reports' per-phase breakdown sums, in
+/// column order: the queue/cache/compile/service decomposition of a
+/// served request. Wall-clock traces only populate the envelope phases
+/// (`queue`, `service`) — the rest read 0.
+pub const PHASE_SPAN_NAMES: [&str; 11] = [
+    "queue",
+    "cache_lookup",
+    "build",
+    "compile.lower",
+    "compile.optimize",
+    "compile.decorate",
+    "compile.schedule",
+    "service",
+    "kernel",
+    "exchange",
+    "backoff",
+];
+
+/// Sums each [`PHASE_SPAN_NAMES`] column over a trace.
+fn phase_totals(trace: &Trace) -> Vec<(String, f64)> {
+    PHASE_SPAN_NAMES
+        .iter()
+        .map(|&name| (name.to_string(), trace.total_ms(name)))
+        .collect()
 }
 
 /// The modeled graph-load + pipeline-build cost charged on a cache miss in
@@ -517,12 +705,18 @@ pub fn build_cost_ms(bytes: u64) -> f64 {
 /// Profiles the distinct configurations of a stream (order-preserving
 /// parallel fan-out) into sim-mode cost records. Unreferenced universe
 /// entries get zero-cost placeholders that the simulation never touches.
+///
+/// With `traced`, the same pass also captures each key's per-launch
+/// [`SpanProfile`] (kernel names, modeled times, exchange peers/bytes)
+/// for the traced simulation to attach under its `service` spans —
+/// untraced runs skip that allocation entirely.
 fn sim_costs(
     universe: &[ServeRequest],
     keys: &[usize],
     opts: &BenchOpts,
     threads: usize,
-) -> Vec<SimCosts> {
+    traced: bool,
+) -> (Vec<SimCosts>, Vec<SpanProfile>) {
     let mut referenced: Vec<usize> = Vec::new();
     for &k in keys {
         if !referenced.contains(&k) {
@@ -545,21 +739,32 @@ fn sim_costs(
                         .map(|shard| shard.exchange_ms)
                         .fold(0.0, f64::max)
                 });
-                SimCosts {
-                    service_ms: profile.total_time_ms(),
-                    build_ms: build_cost_ms(bytes),
-                    exchange_ms,
-                    bytes,
-                    error: None,
-                }
+                let spans = if traced {
+                    span_profile(&run, &profile)
+                } else {
+                    SpanProfile::default()
+                };
+                (
+                    SimCosts {
+                        service_ms: profile.total_time_ms(),
+                        build_ms: build_cost_ms(bytes),
+                        exchange_ms,
+                        bytes,
+                        error: None,
+                    },
+                    spans,
+                )
             }
-            Err(e) => SimCosts {
-                service_ms: 0.0,
-                build_ms: build_cost_ms(0),
-                exchange_ms: 0.0,
-                bytes: 0,
-                error: Some(e.to_string()),
-            },
+            Err(e) => (
+                SimCosts {
+                    service_ms: 0.0,
+                    build_ms: build_cost_ms(0),
+                    exchange_ms: 0.0,
+                    bytes: 0,
+                    error: Some(e.to_string()),
+                },
+                SpanProfile::default(),
+            ),
         }
     });
     let mut costs = vec![
@@ -572,10 +777,12 @@ fn sim_costs(
         };
         universe.len()
     ];
-    for (&k, cost) in referenced.iter().zip(profiled) {
+    let mut profiles = vec![SpanProfile::default(); universe.len()];
+    for (&k, (cost, spans)) in referenced.iter().zip(profiled) {
         costs[k] = cost;
+        profiles[k] = spans;
     }
-    costs
+    (costs, profiles)
 }
 
 /// Runs the load generator in-process (sim or wall clock) and returns its
@@ -589,13 +796,47 @@ pub fn run_loadgen(spec: &LoadSpec) -> Result<LoadReport, String> {
     let universe = spec.universe()?;
     let keys = spec.sample_keys(universe.len());
     match spec.clock {
-        ClockMode::Sim => Ok(run_sim(spec, &universe, &keys)),
-        ClockMode::Wall => Ok(run_wall(spec, &universe, &keys)),
+        ClockMode::Sim => Ok(run_sim(spec, &universe, &keys, false).0),
+        ClockMode::Wall => Ok(run_wall(spec, &universe, &keys, false).0),
     }
 }
 
-fn run_sim(spec: &LoadSpec, universe: &[ServeRequest], keys: &[usize]) -> LoadReport {
-    let costs = sim_costs(universe, keys, &spec.opts, spec.effective_threads());
+/// [`run_loadgen`] with telemetry: the same report (sim-clock reports
+/// are bit-identical to the untraced run's, down to every latency) plus
+/// the run's span stream and a populated per-phase breakdown.
+///
+/// * `--clock sim`: the discrete-event model records every request as a
+///   `request` tree (queue → cache_lookup → build/compile.\* →
+///   service/kernel/exchange, plus retry/backoff/degrade events) on the
+///   **sim clock** — deterministic, byte-identical across runs, hosts
+///   and thread counts.
+/// * `--clock wall`: spans are synthesized from each live completion's
+///   measured envelope (queue/service under the request root) on the
+///   **monotonic clock** — real, not reproducible.
+///
+/// # Errors
+///
+/// Propagates workload-mix resolution failures (unknown scenario, empty
+/// grid).
+pub fn run_loadgen_traced(spec: &LoadSpec) -> Result<(LoadReport, Trace), String> {
+    let universe = spec.universe()?;
+    let keys = spec.sample_keys(universe.len());
+    let (mut report, trace) = match spec.clock {
+        ClockMode::Sim => run_sim(spec, &universe, &keys, true),
+        ClockMode::Wall => run_wall(spec, &universe, &keys, true),
+    };
+    let trace = trace.expect("traced run produces a trace");
+    report.phases = phase_totals(&trace);
+    Ok((report, trace))
+}
+
+fn run_sim(
+    spec: &LoadSpec,
+    universe: &[ServeRequest],
+    keys: &[usize],
+    traced: bool,
+) -> (LoadReport, Option<Trace>) {
+    let (costs, profiles) = sim_costs(universe, keys, &spec.opts, spec.effective_threads(), traced);
     let params = SimParams {
         workers: spec.workers,
         queue_cap: spec.queue_cap,
@@ -603,11 +844,26 @@ fn run_sim(spec: &LoadSpec, universe: &[ServeRequest], keys: &[usize]) -> LoadRe
         fault: spec.fault,
         resilience: spec.resilience,
     };
-    let outcome = match spec.arrival {
-        ArrivalMode::Closed { clients } => simulate_closed(keys, clients, &costs, params),
-        ArrivalMode::Open { rate_rps } => {
-            simulate_open(keys, &spec.arrivals(rate_rps), &costs, params)
-        }
+    let arrivals;
+    let (outcome, trace) = if traced {
+        let (outcome, trace) = match spec.arrival {
+            ArrivalMode::Closed { clients } => {
+                simulate_closed_traced(keys, clients, &costs, params, &profiles)
+            }
+            ArrivalMode::Open { rate_rps } => {
+                arrivals = spec.arrivals(rate_rps);
+                simulate_open_traced(keys, &arrivals, &costs, params, &profiles)
+            }
+        };
+        (outcome, Some(trace))
+    } else {
+        let outcome = match spec.arrival {
+            ArrivalMode::Closed { clients } => simulate_closed(keys, clients, &costs, params),
+            ArrivalMode::Open { rate_rps } => {
+                simulate_open(keys, &spec.arrivals(rate_rps), &costs, params)
+            }
+        };
+        (outcome, None)
     };
     let mut latencies = Vec::with_capacity(outcome.records.len());
     let (mut completed, mut errors) = (0u64, 0u64);
@@ -649,7 +905,7 @@ fn run_sim(spec: &LoadSpec, universe: &[ServeRequest], keys: &[usize]) -> LoadRe
         degraded: outcome.degraded,
         stale_serves: outcome.stale_serves,
     };
-    report
+    (report, trace)
 }
 
 /// One closed-loop step's result (see [`drive_closed_loop`]).
@@ -728,8 +984,18 @@ pub(crate) fn drive_closed_loop<S>(
     Ok(results)
 }
 
-fn run_wall(spec: &LoadSpec, universe: &[ServeRequest], keys: &[usize]) -> LoadReport {
+fn run_wall(
+    spec: &LoadSpec,
+    universe: &[ServeRequest],
+    keys: &[usize],
+    traced: bool,
+) -> (LoadReport, Option<Trace>) {
     let threads = spec.effective_threads();
+    // Traced runs capture each delivered completion with its submission
+    // offset (ms since run start) so the span synthesis can rebuild the
+    // request timeline; untraced runs never touch this.
+    let captured: std::sync::Mutex<Vec<(usize, f64, Completion)>> =
+        std::sync::Mutex::new(Vec::new());
     let server = Server::start(ServeConfig {
         workers: if spec.workers == 0 {
             threads
@@ -752,6 +1018,7 @@ fn run_wall(spec: &LoadSpec, universe: &[ServeRequest], keys: &[usize]) -> LoadR
                 keys.len(),
                 || Ok(()),
                 |(), i| {
+                    let submit_ms = t0.elapsed().as_secs_f64() * 1e3;
                     let rx = match server.submit(universe[keys[i]].clone()) {
                         Ok(rx) => rx,
                         // An open breaker sheds this request; the stream
@@ -764,7 +1031,14 @@ fn run_wall(spec: &LoadSpec, universe: &[ServeRequest], keys: &[usize]) -> LoadR
                     let Ok(done) = rx.recv() else {
                         return Ok(Step::Retire);
                     };
-                    Ok(Step::Done(done.latency_ms, done.outcome.is_err()))
+                    let result = Step::Done(done.latency_ms, done.outcome.is_err());
+                    if traced {
+                        captured
+                            .lock()
+                            .expect("capture buffer poisoned")
+                            .push((i, submit_ms, done));
+                    }
+                    Ok(result)
                 },
             )
             .expect("in-process setup is infallible");
@@ -778,16 +1052,23 @@ fn run_wall(spec: &LoadSpec, universe: &[ServeRequest], keys: &[usize]) -> LoadR
                 if let Some(sleep) = due.checked_sub(t0.elapsed()) {
                     std::thread::sleep(sleep);
                 }
+                let submit_ms = t0.elapsed().as_secs_f64() * 1e3;
                 match server.try_submit(universe[keys[i]].clone()) {
-                    Ok(rx) => pending.push((i, rx)),
+                    Ok(rx) => pending.push((i, submit_ms, rx)),
                     // Queue and breaker sheds are counted by the server.
                     Err(SubmitError::Busy | SubmitError::CircuitOpen) => {}
                     Err(SubmitError::ShuttingDown) => break,
                 }
             }
-            for (i, rx) in pending {
+            for (i, submit_ms, rx) in pending {
                 if let Ok(done) = rx.recv() {
                     results.push((i, done.latency_ms, done.outcome.is_err()));
+                    if traced {
+                        captured
+                            .lock()
+                            .expect("capture buffer poisoned")
+                            .push((i, submit_ms, done));
+                    }
                 }
             }
         }
@@ -820,7 +1101,52 @@ fn run_wall(spec: &LoadSpec, universe: &[ServeRequest], keys: &[usize]) -> LoadR
         degraded: stats.degraded,
         stale_serves: stats.stale_serves,
     };
-    report
+    let trace = traced.then(|| {
+        let mut captured = captured.into_inner().expect("capture buffer poisoned");
+        wall_trace(&mut captured, universe, keys)
+    });
+    (report, trace)
+}
+
+/// Synthesizes a wall-clock trace from captured completions: one
+/// `request` root per delivered completion (in stream order) with its
+/// measured `queue`/`service` envelope as children. Wall mode has no
+/// per-worker attribution, so every span rides track 0; timestamps are
+/// monotonic milliseconds since the run started.
+fn wall_trace(
+    captured: &mut [(usize, f64, Completion)],
+    universe: &[ServeRequest],
+    keys: &[usize],
+) -> Trace {
+    captured.sort_by_key(|&(i, _, _)| i);
+    let mut sink = SpanSink::new();
+    for (i, submit_ms, done) in captured.iter() {
+        let root = sink.reserve();
+        sink.record("queue", Some(root), 0, *submit_ms, done.queue_ms, vec![]);
+        sink.record(
+            "service",
+            Some(root),
+            0,
+            submit_ms + done.queue_ms,
+            done.service_ms,
+            vec![Attr::str("cache", done.cache.name())],
+        );
+        let mut attrs = vec![
+            Attr::str("key", universe[keys[*i]].config.label()),
+            Attr::u64("id", done.id),
+        ];
+        if done.outcome.is_err() {
+            attrs.push(Attr::str("outcome", "error"));
+        }
+        if done.degraded {
+            attrs.push(Attr::str("degraded", "true"));
+        }
+        if done.retries > 0 {
+            attrs.push(Attr::u64("retries", u64::from(done.retries)));
+        }
+        sink.record_with_id(root, "request", None, 0, *submit_ms, done.latency_ms, attrs);
+    }
+    sink.finish(ClockDomain::Wall)
 }
 
 #[cfg(test)]

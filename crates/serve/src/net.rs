@@ -10,9 +10,17 @@
 //! <- ok id=0 cache=miss queue_ms=0.0components... latency_ms=3.1415 device_ms=...
 //! -> stats
 //! <- stats workers=4 queue=0 submitted=1 completed=1 ... cache_hits=0 ...
+//! -> metrics         # multi-line Prometheus-style exposition
+//! <- # HELP gsuite_cache_bytes_in_use ...
+//! <- ...
+//! <- # EOF           # the exposition's terminator doubles as framing
 //! -> quit            # closes this connection
 //! -> shutdown        # stops the whole server (drains first)
 //! ```
+//!
+//! `metrics` is the protocol's only multi-line response; its final
+//! `# EOF` line frames it (read with
+//! [`ProtocolClient::round_trip_multi`]).
 //!
 //! Malformed request lines answer `err id=- msg="..."` and keep the
 //! connection open.
@@ -145,6 +153,12 @@ fn handle_connection(stream: TcpStream, server: &Server, stop: &AtomicBool) -> b
                 return true;
             }
             "stats" => server.stats().to_line(),
+            // Multi-line exposition; `render()` ends with the `# EOF`
+            // framing line (the trailing writeln supplies its newline).
+            "metrics" => {
+                let text = server.stats().metrics().render();
+                text.trim_end().to_string()
+            }
             request => match ServeRequest::parse_line(request) {
                 Ok(req) => match server.submit(req) {
                     Ok(rx) => match rx.recv() {
@@ -205,6 +219,37 @@ impl ProtocolClient {
             ));
         }
         Ok(response.trim_end().to_string())
+    }
+
+    /// Sends one line and reads a multi-line response framed by a final
+    /// `# EOF` line — the `metrics` command's exposition. Returns the
+    /// full text including the terminator, newline-terminated, so the
+    /// payload is byte-identical to the server-side
+    /// [`MetricsRegistry::render`](gsuite_telemetry::MetricsRegistry::render)
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; a connection closed before the
+    /// terminator reads as `UnexpectedEof`.
+    pub fn round_trip_multi(&mut self, line: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        let mut text = String::new();
+        loop {
+            let mut next = String::new();
+            if self.reader.read_line(&mut next)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection before the # EOF terminator",
+                ));
+            }
+            let done = next.trim_end() == "# EOF";
+            text.push_str(next.trim_end());
+            text.push('\n');
+            if done {
+                return Ok(text);
+            }
+        }
     }
 }
 

@@ -291,9 +291,59 @@ pub struct ServerStats {
 }
 
 impl ServerStats {
+    /// The `stats` line's keys, in wire order. The order is part of the
+    /// protocol: new keys are only ever appended (so positional and
+    /// prefix parsers keep working), and the
+    /// `stats_line_round_trips_with_locked_key_order` test locks it.
+    pub const LINE_KEYS: [&'static str; 24] = [
+        "workers",
+        "queue",
+        "submitted",
+        "completed",
+        "coalesced",
+        "rejected",
+        "cache_hits",
+        "cache_misses",
+        "cache_insertions",
+        "cache_evictions",
+        "cache_rejected",
+        "cache_bytes",
+        "cache_capacity",
+        "cache_entries",
+        "peak_device_bytes",
+        "shard_peak_device_bytes",
+        "retries",
+        "timeouts",
+        "breaker_trips",
+        "breaker_shed",
+        "degraded",
+        "stale_serves",
+        "crashed",
+        "respawns",
+    ];
+
     /// Renders the wire-format `stats` response line. The resilience
     /// counters are appended after the historical fields, so existing
     /// parsers keep working.
+    ///
+    /// # Wire format
+    ///
+    /// One space-separated line: the literal token `stats` followed by
+    /// `key=value` pairs — every key in [`ServerStats::LINE_KEYS`], in
+    /// that order, each value a base-10 unsigned integer. Example:
+    ///
+    /// ```text
+    /// stats workers=2 queue=0 submitted=1 completed=1 coalesced=0 rejected=0
+    ///   cache_hits=0 cache_misses=1 cache_insertions=1 cache_evictions=0
+    ///   cache_rejected=0 cache_bytes=211456 cache_capacity=268435456
+    ///   cache_entries=1 peak_device_bytes=54112 shard_peak_device_bytes=0
+    ///   retries=0 timeouts=0 breaker_trips=0 breaker_shed=0 degraded=0
+    ///   stale_serves=0 crashed=0 respawns=0
+    /// ```
+    ///
+    /// (wrapped here for the page; the wire carries a single line).
+    /// [`ServerStats::parse_line`] reads it back; the round trip is
+    /// exact.
     pub fn to_line(&self) -> String {
         format!(
             "stats workers={} queue={} submitted={} completed={} coalesced={} rejected={} \
@@ -327,6 +377,187 @@ impl ServerStats {
             self.crashed,
             self.respawns,
         )
+    }
+
+    /// Parses a wire-format `stats` line back into a snapshot — the
+    /// inverse of [`ServerStats::to_line`]. Unknown keys are ignored
+    /// (future servers may append fields); missing keys read as 0, so
+    /// pre-resilience lines still parse.
+    ///
+    /// Returns `None` when the line does not start with the `stats`
+    /// token.
+    pub fn parse_line(line: &str) -> Option<ServerStats> {
+        let mut tokens = line.split_whitespace();
+        if tokens.next() != Some("stats") {
+            return None;
+        }
+        let get = |key: &str| -> u64 {
+            line.split_whitespace()
+                .find_map(|tok| tok.strip_prefix(key)?.strip_prefix('=')?.parse().ok())
+                .unwrap_or(0)
+        };
+        Some(ServerStats {
+            workers: get("workers") as usize,
+            queue_depth: get("queue") as usize,
+            submitted: get("submitted"),
+            completed: get("completed"),
+            coalesced: get("coalesced"),
+            rejected: get("rejected"),
+            peak_device_bytes: get("peak_device_bytes"),
+            shard_peak_device_bytes: get("shard_peak_device_bytes"),
+            retries: get("retries"),
+            timeouts: get("timeouts"),
+            breaker_trips: get("breaker_trips"),
+            breaker_shed: get("breaker_shed"),
+            degraded: get("degraded"),
+            stale_serves: get("stale_serves"),
+            crashed: get("crashed"),
+            respawns: get("respawns"),
+            cache: LruStats {
+                hits: get("cache_hits"),
+                misses: get("cache_misses"),
+                insertions: get("cache_insertions"),
+                evictions: get("cache_evictions"),
+                rejected: get("cache_rejected"),
+                bytes_in_use: get("cache_bytes"),
+                capacity_bytes: get("cache_capacity"),
+                entries: get("cache_entries") as usize,
+            },
+        })
+    }
+
+    /// The snapshot as a metrics registry — the payload of the `metrics`
+    /// protocol command. Monotone counters become Prometheus counters,
+    /// point-in-time values (queue depth, cache occupancy, memory peaks)
+    /// become gauges; exposition order is sorted by name.
+    pub fn metrics(&self) -> gsuite_telemetry::MetricsRegistry {
+        let mut reg = gsuite_telemetry::MetricsRegistry::new();
+        let counters: [(&str, &str, u64); 17] = [
+            (
+                "gsuite_serve_submitted_total",
+                "Accepted submissions (including coalesced).",
+                self.submitted,
+            ),
+            (
+                "gsuite_serve_completed_total",
+                "Delivered completions.",
+                self.completed,
+            ),
+            (
+                "gsuite_serve_coalesced_total",
+                "Submissions that attached to an in-flight identical request.",
+                self.coalesced,
+            ),
+            (
+                "gsuite_serve_rejected_total",
+                "Submissions shed due to a full queue.",
+                self.rejected,
+            ),
+            (
+                "gsuite_cache_hits_total",
+                "Pipeline-cache lookup hits.",
+                self.cache.hits,
+            ),
+            (
+                "gsuite_cache_misses_total",
+                "Pipeline-cache lookup misses.",
+                self.cache.misses,
+            ),
+            (
+                "gsuite_cache_insertions_total",
+                "Pipeline-cache insertions.",
+                self.cache.insertions,
+            ),
+            (
+                "gsuite_cache_evictions_total",
+                "Pipeline-cache evictions.",
+                self.cache.evictions,
+            ),
+            (
+                "gsuite_cache_rejected_total",
+                "Pipeline-cache inserts rejected (entry larger than capacity).",
+                self.cache.rejected,
+            ),
+            (
+                "gsuite_resilience_retries_total",
+                "Retry attempts consumed.",
+                self.retries,
+            ),
+            (
+                "gsuite_resilience_timeouts_total",
+                "Requests failed on an expired deadline.",
+                self.timeouts,
+            ),
+            (
+                "gsuite_resilience_breaker_trips_total",
+                "Circuit-breaker trips.",
+                self.breaker_trips,
+            ),
+            (
+                "gsuite_resilience_breaker_shed_total",
+                "Submissions shed by an open circuit breaker.",
+                self.breaker_shed,
+            ),
+            (
+                "gsuite_resilience_degraded_total",
+                "Requests served by the O0 compile fallback.",
+                self.degraded,
+            ),
+            (
+                "gsuite_resilience_stale_serves_total",
+                "Stale-but-valid cache serves past the soft TTL.",
+                self.stale_serves,
+            ),
+            (
+                "gsuite_resilience_crashed_total",
+                "Injected worker crashes caught by the supervisor.",
+                self.crashed,
+            ),
+            (
+                "gsuite_resilience_respawns_total",
+                "Worker respawns after caught crashes.",
+                self.respawns,
+            ),
+        ];
+        for (name, help, v) in counters {
+            reg.counter_add(name, help, v);
+        }
+        let gauges: [(&str, &str, f64); 6] = [
+            (
+                "gsuite_serve_workers",
+                "Worker-pool size.",
+                self.workers as f64,
+            ),
+            (
+                "gsuite_serve_queue_depth",
+                "Requests currently queued.",
+                self.queue_depth as f64,
+            ),
+            (
+                "gsuite_cache_bytes_in_use",
+                "Pipeline-cache bytes in use.",
+                self.cache.bytes_in_use as f64,
+            ),
+            (
+                "gsuite_cache_entries",
+                "Pipeline-cache resident entries.",
+                self.cache.entries as f64,
+            ),
+            (
+                "gsuite_serve_peak_device_bytes",
+                "Largest peak-device-bytes footprint served.",
+                self.peak_device_bytes as f64,
+            ),
+            (
+                "gsuite_serve_shard_peak_device_bytes",
+                "Largest per-shard device-bytes peak served.",
+                self.shard_peak_device_bytes as f64,
+            ),
+        ];
+        for (name, help, v) in gauges {
+            reg.gauge_set(name, help, v);
+        }
+        reg
     }
 }
 
@@ -1028,6 +1259,68 @@ mod tests {
         assert!(done.outcome.is_err());
         assert!(done.to_line().starts_with("err id=0"));
         assert_eq!(done.reject, None, "a build error is not a typed reject");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_line_round_trips_with_locked_key_order() {
+        let stats = ServerStats {
+            workers: 3,
+            queue_depth: 2,
+            submitted: 40,
+            completed: 37,
+            coalesced: 5,
+            rejected: 1,
+            peak_device_bytes: 123_456,
+            shard_peak_device_bytes: 7_890,
+            retries: 4,
+            timeouts: 2,
+            breaker_trips: 1,
+            breaker_shed: 3,
+            degraded: 2,
+            stale_serves: 1,
+            crashed: 2,
+            respawns: 2,
+            cache: LruStats {
+                hits: 20,
+                misses: 17,
+                insertions: 16,
+                evictions: 3,
+                rejected: 1,
+                bytes_in_use: 9999,
+                capacity_bytes: 1 << 20,
+                entries: 13,
+            },
+        };
+        let line = stats.to_line();
+        // The wire key order is locked: exactly LINE_KEYS, in order.
+        let keys: Vec<&str> = line
+            .split_whitespace()
+            .skip(1)
+            .map(|tok| tok.split('=').next().unwrap())
+            .collect();
+        assert_eq!(keys, ServerStats::LINE_KEYS);
+        // Exact round trip through the documented format.
+        let parsed = ServerStats::parse_line(&line).expect("stats line parses");
+        assert_eq!(parsed, stats);
+        assert_eq!(parsed.to_line(), line);
+        // Non-stats lines do not parse.
+        assert_eq!(ServerStats::parse_line("ok id=0 cache=miss"), None);
+    }
+
+    #[test]
+    fn stats_metrics_expose_counters_and_gauges() {
+        let server = Server::start(ServeConfig::golden());
+        let rx = server
+            .submit(golden_request("model=gcn dataset=cora scale=0.05"))
+            .unwrap();
+        rx.recv().expect("completion arrives");
+        let text = server.stats().metrics().render();
+        assert!(text.contains("# TYPE gsuite_serve_completed_total counter"));
+        assert!(text.contains("gsuite_serve_completed_total 1"));
+        assert!(text.contains("gsuite_cache_misses_total 1"));
+        assert!(text.contains("# TYPE gsuite_serve_queue_depth gauge"));
+        assert!(text.ends_with("# EOF\n"));
         server.shutdown();
     }
 

@@ -1,0 +1,59 @@
+//! # gsuite-telemetry — deterministic structured telemetry
+//!
+//! A zero-dependency tracing + metrics substrate for the gSuite stack,
+//! built on the same reproducibility contract as the rest of the
+//! workspace: everything recorded on the **sim clock** is a pure
+//! function of `(workload, seed, parameters)` and renders to
+//! byte-identical output across runs, hosts and thread counts.
+//!
+//! Three pieces:
+//!
+//! * [`SpanSink`] / [`Span`] — typed spans with parent links, a track
+//!   (worker) id, millisecond timestamps and a small attribute list.
+//!   A served request renders as a tree: `request` → `queue` /
+//!   `cache_lookup` / `build` (`compile.{lower,optimize,decorate,
+//!   schedule}`) / `service` (`kernel`, `exchange`) plus the
+//!   resilience events `retry`, `backoff`, `degrade`, `cancelled`.
+//! * [`MetricsRegistry`] — counters, gauges and fixed-bucket
+//!   histograms with a stable (sorted) exposition order, rendered as
+//!   Prometheus-style text terminated by `# EOF`.
+//! * Exporters — [`Trace::to_chrome_json`] emits Chrome-trace JSON
+//!   (loadable in `chrome://tracing` / Perfetto) and
+//!   [`Trace::render_tree`] a compact per-request text tree. The
+//!   [`json`] module carries a dependency-free validator used by
+//!   `trace-export` to self-check emitted documents.
+//!
+//! Clock domains are explicit: [`ClockDomain::Sim`] timestamps come
+//! from the discrete-event simulator's virtual clock (deterministic),
+//! [`ClockDomain::Wall`] from monotonic host time (for live runs, not
+//! reproducible byte-for-byte).
+//!
+//! ```
+//! use gsuite_telemetry::{Attr, ClockDomain, SpanSink};
+//!
+//! let mut sink = SpanSink::new();
+//! let root = sink.reserve();
+//! let svc = sink.record("service", Some(root), 0, 0.5, 2.0, vec![]);
+//! sink.record(
+//!     "kernel",
+//!     Some(svc),
+//!     0,
+//!     0.5,
+//!     1.5,
+//!     vec![Attr::str("kernel", "SpMM")],
+//! );
+//! sink.record_with_id(root, "request", None, 0, 0.0, 2.5, vec![Attr::u64("key", 3)]);
+//! let trace = sink.finish(ClockDomain::Sim);
+//! let json = trace.to_chrome_json();
+//! gsuite_telemetry::json::validate(&json).unwrap();
+//! assert!(trace.render_tree().starts_with("request"));
+//! ```
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod span;
+pub mod tree;
+
+pub use metrics::{Metric, MetricsRegistry};
+pub use span::{Attr, AttrValue, ClockDomain, Span, SpanId, SpanSink, Trace};

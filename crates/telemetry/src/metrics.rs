@@ -1,0 +1,219 @@
+//! A stable-order metrics registry with Prometheus-style exposition.
+//!
+//! Three metric kinds: monotonically-increasing **counters**, last-wins
+//! **gauges**, and **fixed-bucket histograms** (cumulative `le` buckets
+//! chosen at registration — never derived from the data, so exposition
+//! layout is independent of the observations). Metrics live in a
+//! `BTreeMap` keyed by name: exposition order is sorted and therefore
+//! byte-stable across runs and thread counts for deterministic inputs.
+//!
+//! [`MetricsRegistry::render`] emits the text format:
+//!
+//! ```text
+//! # HELP gsuite_cache_hits Pipeline-cache lookup hits.
+//! # TYPE gsuite_cache_hits counter
+//! gsuite_cache_hits 42
+//! # EOF
+//! ```
+//!
+//! The `# EOF` terminator doubles as the framing marker for the
+//! multi-line `metrics` protocol command in `gsuite-serve`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One registered metric's state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram {
+        /// Upper bounds of the cumulative buckets, strictly increasing;
+        /// an implicit `+Inf` bucket always follows.
+        bounds: Vec<f64>,
+        /// Per-bound observation counts (non-cumulative internally),
+        /// plus one final slot for observations above every bound.
+        counts: Vec<u64>,
+        sum: f64,
+        count: u64,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    help: String,
+    metric: Metric,
+}
+
+/// Counters, gauges and fixed-bucket histograms with sorted, stable
+/// exposition. Same-name registrations must keep the same kind.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    entries: BTreeMap<String, Entry>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `v` to the counter `name`, registering it at 0 first if new.
+    pub fn counter_add(&mut self, name: &str, help: &str, v: u64) {
+        let entry = self.entries.entry(name.to_string()).or_insert(Entry {
+            help: help.to_string(),
+            metric: Metric::Counter(0),
+        });
+        match &mut entry.metric {
+            Metric::Counter(c) => *c += v,
+            _ => panic!("metric {name} is not a counter"),
+        }
+    }
+
+    /// Sets the gauge `name` to `v` (last write wins).
+    pub fn gauge_set(&mut self, name: &str, help: &str, v: f64) {
+        let entry = self.entries.entry(name.to_string()).or_insert(Entry {
+            help: help.to_string(),
+            metric: Metric::Gauge(0.0),
+        });
+        match &mut entry.metric {
+            Metric::Gauge(g) => *g = v,
+            _ => panic!("metric {name} is not a gauge"),
+        }
+    }
+
+    /// Observes `v` into the histogram `name`, registering it with the
+    /// given fixed `bounds` if new. Bounds must be strictly increasing.
+    pub fn histogram_observe(&mut self, name: &str, help: &str, bounds: &[f64], v: f64) {
+        let entry = self.entries.entry(name.to_string()).or_insert_with(|| {
+            debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+            Entry {
+                help: help.to_string(),
+                metric: Metric::Histogram {
+                    bounds: bounds.to_vec(),
+                    counts: vec![0; bounds.len() + 1],
+                    sum: 0.0,
+                    count: 0,
+                },
+            }
+        });
+        match &mut entry.metric {
+            Metric::Histogram {
+                bounds,
+                counts,
+                sum,
+                count,
+            } => {
+                let slot = bounds.iter().position(|&b| v <= b).unwrap_or(bounds.len());
+                counts[slot] += 1;
+                *sum += v;
+                *count += 1;
+            }
+            _ => panic!("metric {name} is not a histogram"),
+        }
+    }
+
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.entries.get(name).map(|e| &e.metric)
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the Prometheus-style text exposition, sorted by metric
+    /// name and terminated by `# EOF`. Floats use fixed three-decimal
+    /// formatting so deterministic inputs render byte-identically.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, entry) in &self.entries {
+            let kind = match entry.metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram { .. } => "histogram",
+            };
+            let _ = writeln!(out, "# HELP {name} {}", entry.help);
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            match &entry.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name} {c}");
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name} {g:.3}");
+                }
+                Metric::Histogram {
+                    bounds,
+                    counts,
+                    sum,
+                    count,
+                } => {
+                    let mut cumulative = 0u64;
+                    for (bound, n) in bounds.iter().zip(counts) {
+                        cumulative += n;
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{bound:.3}\"}} {cumulative}");
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {count}");
+                    let _ = writeln!(out, "{name}_sum {sum:.3}");
+                    let _ = writeln!(out, "{name}_count {count}");
+                }
+            }
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+}
+
+/// The fixed latency-histogram bucket bounds (milliseconds) shared by
+/// the loadgen `--metrics` block and the serve `metrics` command.
+pub const LATENCY_BUCKETS_MS: [f64; 10] =
+    [1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_is_sorted_and_terminated() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge_set("z_gauge", "Last.", 1.5);
+        reg.counter_add("a_counter", "First.", 2);
+        reg.counter_add("a_counter", "First.", 3);
+        let text = reg.render();
+        let a = text.find("a_counter 5").expect("counter accumulates");
+        let z = text.find("z_gauge 1.500").expect("gauge renders fixed");
+        assert!(a < z, "sorted order");
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut reg = MetricsRegistry::new();
+        for v in [0.5, 1.5, 3.0, 99.0] {
+            reg.histogram_observe("lat", "Latency.", &[1.0, 2.0, 5.0], v);
+        }
+        let text = reg.render();
+        assert!(text.contains("lat_bucket{le=\"1.000\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"2.000\"} 2"));
+        assert!(text.contains("lat_bucket{le=\"5.000\"} 3"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("lat_sum 104.000"));
+        assert!(text.contains("lat_count 4"));
+    }
+
+    #[test]
+    fn render_is_byte_stable() {
+        let build = || {
+            let mut reg = MetricsRegistry::new();
+            reg.counter_add("hits", "h", 7);
+            reg.gauge_set("depth", "d", 3.0);
+            reg.histogram_observe("lat", "l", &LATENCY_BUCKETS_MS, 12.0);
+            reg.render()
+        };
+        assert_eq!(build(), build());
+    }
+}

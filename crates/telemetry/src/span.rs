@@ -1,0 +1,280 @@
+//! Typed spans, the per-worker [`SpanSink`], and the finished [`Trace`].
+//!
+//! Spans are *complete* intervals (start + duration), recorded after the
+//! fact — the recorder computes an operation's envelope and emits one
+//! span per phase. Parent links turn the flat stream into per-request
+//! trees; the `track` field maps to a Chrome-trace `tid` so each worker
+//! (or virtual lane) renders as its own row.
+//!
+//! Timestamps are milliseconds in one of two [`ClockDomain`]s:
+//! `Sim` (the discrete-event simulator's virtual clock — deterministic,
+//! byte-identical across runs and thread counts) or `Wall` (monotonic
+//! host time for live runs). The domain is stamped on the [`Trace`], not
+//! per span: a trace never mixes clocks.
+
+/// Identifier of one recorded span, unique within its [`SpanSink`].
+/// Ids start at 1 and increase in allocation order; 0 is never issued.
+pub type SpanId = u64;
+
+/// Which clock the trace's timestamps were read from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockDomain {
+    /// The discrete-event simulator's virtual clock: pure `f64`
+    /// arithmetic, deterministic across runs, hosts and thread counts.
+    Sim,
+    /// Monotonic host time (`Instant`-derived). Real, not reproducible.
+    Wall,
+}
+
+impl ClockDomain {
+    /// The lowercase label used in exported documents.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClockDomain::Sim => "sim",
+            ClockDomain::Wall => "wall",
+        }
+    }
+}
+
+/// One attribute value. Floats render with fixed three-decimal
+/// precision everywhere so exports are byte-stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    Str(String),
+    U64(u64),
+    F64(f64),
+}
+
+/// A `key = value` annotation on a span (kernel name, peer id, bytes,
+/// retry attempt, …). Keys are `&'static str` by design: the span
+/// taxonomy is closed and documented, not free-form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attr {
+    pub key: &'static str,
+    pub value: AttrValue,
+}
+
+impl Attr {
+    /// A string-valued attribute.
+    pub fn str(key: &'static str, value: impl Into<String>) -> Attr {
+        Attr {
+            key,
+            value: AttrValue::Str(value.into()),
+        }
+    }
+
+    /// An unsigned-integer attribute.
+    pub fn u64(key: &'static str, value: u64) -> Attr {
+        Attr {
+            key,
+            value: AttrValue::U64(value),
+        }
+    }
+
+    /// A float attribute (rendered with three decimals).
+    pub fn f64(key: &'static str, value: f64) -> Attr {
+        Attr {
+            key,
+            value: AttrValue::F64(value),
+        }
+    }
+}
+
+/// One complete span: a named interval on a track, optionally parented
+/// to another span of the same trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    pub id: SpanId,
+    /// The enclosing span, if any — `request` roots have no parent.
+    pub parent: Option<SpanId>,
+    /// Dotted span type from the documented taxonomy, e.g. `request`,
+    /// `compile.optimize`, `kernel`, `backoff`.
+    pub name: String,
+    /// Render lane (Chrome-trace `tid`): the worker index for executed
+    /// requests, or a virtual lane for admission-time rejections.
+    pub track: u32,
+    /// Start time in milliseconds on the trace's clock.
+    pub start_ms: f64,
+    /// Duration in milliseconds; instantaneous events use 0.
+    pub dur_ms: f64,
+    pub attrs: Vec<Attr>,
+}
+
+/// An append-only span recorder. `record` allocates ids in call order,
+/// so a single-threaded recorder (the DES, or one worker's sink)
+/// produces a deterministic stream. [`SpanSink::reserve`] supports the
+/// root-last pattern: reserve the `request` id up front, emit children
+/// against it, then fill the root in once its envelope is known.
+#[derive(Debug, Default)]
+pub struct SpanSink {
+    next_id: SpanId,
+    spans: Vec<Span>,
+}
+
+impl SpanSink {
+    pub fn new() -> SpanSink {
+        SpanSink {
+            next_id: 1,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Allocates an id without recording a span yet. The caller must
+    /// eventually pass it to [`SpanSink::record_with_id`].
+    pub fn reserve(&mut self) -> SpanId {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Records one span and returns its id.
+    pub fn record(
+        &mut self,
+        name: &str,
+        parent: Option<SpanId>,
+        track: u32,
+        start_ms: f64,
+        dur_ms: f64,
+        attrs: Vec<Attr>,
+    ) -> SpanId {
+        let id = self.reserve();
+        self.record_with_id(id, name, parent, track, start_ms, dur_ms, attrs);
+        id
+    }
+
+    /// Records a span under a previously [`reserved`](SpanSink::reserve) id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_with_id(
+        &mut self,
+        id: SpanId,
+        name: &str,
+        parent: Option<SpanId>,
+        track: u32,
+        start_ms: f64,
+        dur_ms: f64,
+        attrs: Vec<Attr>,
+    ) {
+        self.spans.push(Span {
+            id,
+            parent,
+            name: name.to_string(),
+            track,
+            start_ms,
+            dur_ms,
+            attrs,
+        });
+    }
+
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Seals the sink into a [`Trace`] stamped with its clock domain.
+    /// Spans are sorted by `(id)` — allocation order — so the stream is
+    /// stable even when roots were filled in last.
+    pub fn finish(self, clock: ClockDomain) -> Trace {
+        let mut spans = self.spans;
+        spans.sort_by_key(|s| s.id);
+        Trace { clock, spans }
+    }
+}
+
+/// A finished, immutable span stream plus its clock domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    pub clock: ClockDomain,
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// An empty trace on the given clock.
+    pub fn empty(clock: ClockDomain) -> Trace {
+        Trace {
+            clock,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Number of spans with no parent (request/cell roots).
+    pub fn root_count(&self) -> usize {
+        self.spans.iter().filter(|s| s.parent.is_none()).count()
+    }
+
+    /// Total duration covered: max span end minus min span start, 0 for
+    /// an empty trace.
+    pub fn extent_ms(&self) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for s in &self.spans {
+            lo = lo.min(s.start_ms);
+            hi = hi.max(s.start_ms + s.dur_ms);
+        }
+        if self.spans.is_empty() {
+            0.0
+        } else {
+            hi - lo
+        }
+    }
+
+    /// Sum of `dur_ms` over spans named `name` (exact match). Folds from
+    /// `+0.0` — `Iterator::sum` uses `-0.0` as its identity, which would
+    /// leak a `-0.0000` into formatted reports for absent span names.
+    pub fn total_ms(&self, name: &str) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .fold(0.0, |acc, s| acc + s.dur_ms)
+    }
+
+    /// Merges another trace into this one, remapping the other's span
+    /// ids past this trace's maximum so ids stay unique. Both traces
+    /// must share the clock domain.
+    pub fn append(&mut self, other: Trace) {
+        assert_eq!(self.clock, other.clock, "cannot merge clock domains");
+        let base = self.spans.iter().map(|s| s.id).max().unwrap_or(0);
+        for mut s in other.spans {
+            s.id += base;
+            s.parent = s.parent.map(|p| p + base);
+            self.spans.push(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_then_fill_keeps_allocation_order() {
+        let mut sink = SpanSink::new();
+        let root = sink.reserve();
+        let child = sink.record("queue", Some(root), 0, 0.0, 1.0, vec![]);
+        sink.record_with_id(root, "request", None, 0, 0.0, 2.0, vec![]);
+        assert_eq!(root, 1);
+        assert_eq!(child, 2);
+        let trace = sink.finish(ClockDomain::Sim);
+        assert_eq!(trace.spans[0].name, "request");
+        assert_eq!(trace.spans[1].name, "queue");
+        assert_eq!(trace.root_count(), 1);
+        assert_eq!(trace.extent_ms(), 2.0);
+    }
+
+    #[test]
+    fn append_remaps_ids_and_parents() {
+        let mut a = SpanSink::new();
+        a.record("request", None, 0, 0.0, 1.0, vec![]);
+        let mut a = a.finish(ClockDomain::Sim);
+        let mut b = SpanSink::new();
+        let r = b.record("request", None, 1, 1.0, 1.0, vec![]);
+        b.record("queue", Some(r), 1, 1.0, 0.5, vec![]);
+        a.append(b.finish(ClockDomain::Sim));
+        assert_eq!(a.spans.len(), 3);
+        assert_eq!(a.spans[1].id, 2);
+        assert_eq!(a.spans[2].parent, Some(2));
+        assert_eq!(a.total_ms("request"), 2.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Compact span-tree text renderer for CLI reports.
+//!
+//! Renders each root span and its descendants with box-drawing
+//! connectors, start/duration in milliseconds and the span's attributes
+//! inline:
+//!
+//! ```text
+//! request @0.000ms +5.123ms  key=3 worker=0 disposition=miss
+//! ├─ queue @0.000ms +0.512ms
+//! └─ service @0.512ms +4.611ms
+//!    ├─ kernel @0.512ms +2.100ms  kernel=SpMM
+//!    └─ exchange @2.612ms +2.511ms  peer=1 bytes=4096
+//! ```
+//!
+//! Children sort by `(start_ms, id)`; the output is deterministic for
+//! deterministic traces.
+
+use std::fmt::Write as _;
+
+use crate::span::{AttrValue, Span, Trace};
+
+fn attr_suffix(span: &Span) -> String {
+    let mut out = String::new();
+    for attr in &span.attrs {
+        let sep = if out.is_empty() { "  " } else { " " };
+        match &attr.value {
+            AttrValue::Str(s) => {
+                let _ = write!(out, "{sep}{}={s}", attr.key);
+            }
+            AttrValue::U64(v) => {
+                let _ = write!(out, "{sep}{}={v}", attr.key);
+            }
+            AttrValue::F64(v) => {
+                let _ = write!(out, "{sep}{}={v:.3}", attr.key);
+            }
+        }
+    }
+    out
+}
+
+fn render_node(
+    out: &mut String,
+    spans: &[Span],
+    idx: usize,
+    prefix: &str,
+    children: &[Vec<usize>],
+) {
+    let kids = &children[idx];
+    for (i, &child) in kids.iter().enumerate() {
+        let last = i + 1 == kids.len();
+        let span = &spans[child];
+        let _ = writeln!(
+            out,
+            "{prefix}{}{} @{:.3}ms +{:.3}ms{}",
+            if last { "└─ " } else { "├─ " },
+            span.name,
+            span.start_ms,
+            span.dur_ms,
+            attr_suffix(span)
+        );
+        let next = format!("{prefix}{}", if last { "   " } else { "│  " });
+        render_node(out, spans, child, &next, children);
+    }
+}
+
+impl Trace {
+    /// Renders every root span (and descendants) as a text tree. Spans
+    /// whose parent id is missing from the trace render as roots too,
+    /// so partial traces stay visible.
+    pub fn render_tree(&self) -> String {
+        let index_of = |id| self.spans.iter().position(|s| s.id == id);
+        // children[i] = indices of spans parented to spans[i], sorted by
+        // (start, id) for a stable reading order.
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.spans.len()];
+        let mut roots: Vec<usize> = Vec::new();
+        for (i, span) in self.spans.iter().enumerate() {
+            match span.parent.and_then(index_of) {
+                Some(p) => children[p].push(i),
+                None => roots.push(i),
+            }
+        }
+        let order = |&a: &usize, &b: &usize| {
+            let (sa, sb) = (&self.spans[a], &self.spans[b]);
+            sa.start_ms
+                .partial_cmp(&sb.start_ms)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(sa.id.cmp(&sb.id))
+        };
+        roots.sort_by(order);
+        for kids in &mut children {
+            kids.sort_by(order);
+        }
+
+        let mut out = String::new();
+        for &root in &roots {
+            let span = &self.spans[root];
+            let _ = writeln!(
+                out,
+                "{} @{:.3}ms +{:.3}ms{}",
+                span.name,
+                span.start_ms,
+                span.dur_ms,
+                attr_suffix(span)
+            );
+            render_node(&mut out, &self.spans, root, "", &children);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::span::{Attr, ClockDomain, SpanSink};
+
+    #[test]
+    fn renders_nested_tree_with_connectors() {
+        let mut sink = SpanSink::new();
+        let root = sink.reserve();
+        let q = sink.record("queue", Some(root), 0, 0.0, 0.5, vec![]);
+        let svc = sink.record("service", Some(root), 0, 0.5, 2.0, vec![]);
+        sink.record(
+            "kernel",
+            Some(svc),
+            0,
+            0.5,
+            1.0,
+            vec![Attr::str("kernel", "SpMM")],
+        );
+        sink.record_with_id(
+            root,
+            "request",
+            None,
+            0,
+            0.0,
+            2.5,
+            vec![Attr::u64("key", 1)],
+        );
+        let _ = q;
+        let text = sink.finish(ClockDomain::Sim).render_tree();
+        assert!(
+            text.starts_with("request @0.000ms +2.500ms  key=1\n"),
+            "{text}"
+        );
+        assert!(text.contains("├─ queue @0.000ms +0.500ms\n"), "{text}");
+        assert!(text.contains("└─ service @0.500ms +2.000ms\n"), "{text}");
+        assert!(
+            text.contains("   └─ kernel @0.500ms +1.000ms  kernel=SpMM\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn orphan_spans_render_as_roots() {
+        let mut sink = SpanSink::new();
+        sink.record("queue", Some(999), 0, 1.0, 0.5, vec![]);
+        let text = sink.finish(ClockDomain::Wall).render_tree();
+        assert_eq!(text, "queue @1.000ms +0.500ms\n");
+    }
+}

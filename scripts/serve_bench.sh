@@ -19,16 +19,21 @@ trap 'rm -rf "$TMP"' EXIT
 cargo build --release --bin gsuite-cli
 BIN=target/release/gsuite-cli
 
+# Sim-clock runs carry --metrics: the traced path adds the per-phase
+# breakdown ("phases" JSON block — queue/build/compile.*/service/kernel
+# milliseconds) without perturbing any headline number (tracing is
+# observation-only; scripts/bench_delta.sh reads only throughput_rps and
+# the latency percentiles either way).
 echo "== loadgen (sim clock, closed loop)"
 "$BIN" loadgen --scenario serve-mix --seed 42 --requests 256 --clients 8 \
-    --json "$TMP/sim_closed.json"
+    --metrics --json "$TMP/sim_closed.json"
 echo "== loadgen (sim clock, open loop with shedding)"
 "$BIN" loadgen --scenario serve-mix --seed 42 --requests 256 --rate 200 \
-    --workers 2 --queue 8 --slo-ms 250 --json "$TMP/sim_open.json"
+    --workers 2 --queue 8 --slo-ms 250 --metrics --json "$TMP/sim_open.json"
 echo "== loadgen (sim clock, chaos: seeded faults + resilience policy)"
 "$BIN" loadgen --scenario serve-mix --seed 42 --requests 256 --clients 8 \
     --fault-seed 7 --fault-rate 0.25 --deadline-ms 900 --retries 2 --breaker \
-    --json "$TMP/sim_chaos.json"
+    --metrics --json "$TMP/sim_chaos.json"
 echo "== loadgen (wall clock, closed loop)"
 "$BIN" loadgen --scenario serve-mix --seed 42 --requests 256 --clients 8 \
     --clock wall --json "$TMP/wall_closed.json"

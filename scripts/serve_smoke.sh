@@ -29,6 +29,19 @@ if grep -q "hit-rate=0.0%" "$TMP/lg1.txt"; then
 fi
 cat "$TMP/lg1.txt"
 
+echo "== traced loadgen: metrics exposition + per-phase block, still thread-independent"
+"$BIN" loadgen --scenario serve-mix --seed 42 --requests 64 --threads 1 --metrics > "$TMP/m1.txt"
+"$BIN" loadgen --scenario serve-mix --seed 42 --requests 64 --threads 4 --metrics > "$TMP/m2.txt"
+cmp "$TMP/m1.txt" "$TMP/m2.txt"
+grep -q "phases (ms):" "$TMP/m1.txt"
+grep -q "gsuite_loadgen_completed_total 64" "$TMP/m1.txt"
+grep -q "# EOF" "$TMP/m1.txt"
+# Tracing is observation-only: the traced report minus its "phases"
+# line is byte-identical to the untraced report.
+head -n "$(( $(wc -l < "$TMP/lg1.txt") + 1 ))" "$TMP/m1.txt" \
+    | grep -v "^phases (ms):" > "$TMP/m1_report.txt"
+cmp "$TMP/m1_report.txt" "$TMP/lg1.txt"
+
 echo "== live server + TCP loadgen on an ephemeral port"
 "$BIN" serve --port 0 --threads 2 > "$TMP/serve.log" 2>&1 &
 SERVE_PID=$!

@@ -11,11 +11,11 @@
 //! gsuite-cli run-scenario --list [--filter STR]
 //! gsuite-cli run-scenario NAME [--quick|--full] [--csv DIR] [--threads N]
 //!                              [--opt 0|2] [--shards N] [--partitioner NAME]
-//!                              [--batch-size N] [--fanout 10x5]
+//!                              [--batch-size N] [--fanout 10x5] [--trace FILE]
 //!
 //! gsuite-cli docs-scenarios [--check|--write]
 //!
-//! gsuite-cli explain [MODEL] [pipeline flags ...]
+//! gsuite-cli explain [MODEL] [--json] [pipeline flags ...]
 //!
 //! gsuite-cli serve   [--host H] [--port N] [--threads N] [--queue N]
 //!                    [--cache-mb N] [--fault-seed N [--fault-rate F]]
@@ -26,7 +26,8 @@
 //!                    [--slo-ms F] [--fault-seed N [--fault-rate F]]
 //!                    [--deadline-ms F] [--retries N] [--breaker]
 //!                    [--connect ADDR [--stop-server]]
-//!                    [--json FILE] [--full]
+//!                    [--json FILE] [--trace FILE] [--metrics] [--full]
+//! gsuite-cli trace-export FILE [loadgen flags]   # sim clock, forced
 //! ```
 //!
 //! Without a subcommand: builds the configured pipeline, runs it
@@ -41,12 +42,14 @@ use std::process::ExitCode;
 
 use gsuite_core::config::RunConfig;
 use gsuite_core::pipeline::PipelineRun;
-use gsuite_profile::{HwProfiler, Profiler, SimProfiler, TextTable};
+use gsuite_profile::{HwProfiler, PipelineProfile, Profiler, SimProfiler, TextTable};
 use gsuite_scenarios::{registry, BenchOpts};
 use gsuite_serve::fault::{BreakerConfig, FaultPlan, RetryPolicy};
 use gsuite_serve::{
-    loadgen_tcp, run_loadgen, serve_blocking, ArrivalMode, ClockMode, LoadSpec, ServeConfig,
+    loadgen_tcp, run_loadgen, run_loadgen_traced, serve_blocking, ArrivalMode, ClockMode,
+    LoadReport, LoadSpec, ServeConfig,
 };
+use gsuite_telemetry::{Attr, ClockDomain, SpanSink, Trace};
 
 /// A subcommand handler over its argument tail.
 type Subcommand = fn(&[String]) -> Result<(), String>;
@@ -58,6 +61,7 @@ fn main() -> ExitCode {
         Some("explain") => Some(explain_cmd),
         Some("serve") => Some(serve_cmd),
         Some("loadgen") => Some(loadgen_cmd),
+        Some("trace-export") => Some(trace_export_cmd),
         Some("docs-scenarios") => Some(docs_scenarios_cmd),
         _ => None,
     };
@@ -114,13 +118,15 @@ fn print_help() {
            --backend hw|sim       analytical profiler or cycle simulator (hw)\n\
            --sim-sms N            simulated SM count for --backend sim (8)\n\
            --max-ctas N           CTA sampling cap for --backend sim (2048)\n\
+           --spans                append the run's span tree (compile phases,\n\
+                                  per-kernel launches) to the report\n\
            --quiet                print only the summary line\n\
          \n\
          scenario registry:\n\
            run-scenario --list [--filter STR]   list registered scenarios\n\
            run-scenario NAME [--quick|--full] [--csv DIR] [--threads N]\n\
                         [--opt 0|2] [--shards N] [--partitioner NAME]\n\
-                        [--batch-size N] [--fanout SPEC]\n\
+                        [--batch-size N] [--fanout SPEC] [--trace FILE]\n\
                                   run one named experiment grid (the paper's\n\
                                   figures plus beyond-paper scenarios); --opt\n\
                                   forces one plan-optimization level on every\n\
@@ -128,17 +134,20 @@ fn print_help() {
                                   --shards/--partitioner force the multi-GPU\n\
                                   axis (see the multigpu scenario),\n\
                                   --batch-size/--fanout force the mini-batch\n\
-                                  axes (see the minibatch scenario)\n\
+                                  axes (see the minibatch scenario);\n\
+                                  --trace exports the grid as a Chrome-trace\n\
+                                  JSON (Perfetto-loadable, sim clock)\n\
            docs-scenarios [--check|--write]\n\
                                   the generated markdown scenario reference\n\
                                   (docs/SCENARIOS.md); --check fails on drift\n\
          \n\
          plan IR:\n\
-           explain [MODEL] [pipeline flags ...]\n\
+           explain [MODEL] [--json] [pipeline flags ...]\n\
                                   dump the configuration's kernel-dataflow plan\n\
                                   at O0 and O2: ops, pass decisions (fusion,\n\
                                   hoisting, dead buffers), per-buffer liveness,\n\
-                                  planned addresses and peak device bytes\n\
+                                  planned addresses and peak device bytes;\n\
+                                  --json emits the machine-readable dump\n\
          \n\
          serving layer (gsuite-serve):\n\
            serve [--host H] [--port N] [--threads N] [--queue N]\n\
@@ -154,14 +163,25 @@ fn print_help() {
                    [--slo-ms F] [--fault-seed N [--fault-rate F]]\n\
                    [--deadline-ms F] [--retries N] [--breaker]\n\
                    [--connect ADDR [--stop-server]]\n\
-                   [--json FILE] [--full]\n\
+                   [--json FILE] [--trace FILE] [--metrics] [--full]\n\
                                   drive a seeded workload mix and report\n\
                                   throughput + p50/p95/p99 latency + SLO\n\
                                   (--clock sim, the default, is exactly\n\
                                   reproducible for a given seed — also\n\
                                   under --fault-seed chaos injection);\n\
                                   --deadline-ms / --retries / --breaker\n\
-                                  enable the resilience policy"
+                                  enable the resilience policy; --trace\n\
+                                  exports the run's span stream as a\n\
+                                  Chrome-trace JSON, --metrics appends a\n\
+                                  Prometheus-style exposition + per-phase\n\
+                                  breakdown\n\
+           trace-export FILE [loadgen flags]\n\
+                                  run the loadgen on the (forced) sim clock\n\
+                                  and export its span stream to FILE —\n\
+                                  byte-identical across runs, hosts and\n\
+                                  thread counts; the server-side `metrics`\n\
+                                  protocol command exposes the same\n\
+                                  registry over TCP"
     );
 }
 
@@ -214,6 +234,7 @@ fn run_scenario_cmd(args: &[String]) -> Result<(), String> {
     let mut filter: Option<String> = None;
     let mut name: Option<String> = None;
     let mut threads: Option<usize> = None;
+    let mut trace_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -281,11 +302,16 @@ fn run_scenario_cmd(args: &[String]) -> Result<(), String> {
                 })?);
                 i += 2;
             }
+            "--trace" => {
+                trace_path = Some(take_value(args, i)?.to_string());
+                i += 2;
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!(
                     "unknown run-scenario flag {flag:?} (expected --list | --filter STR | \
                      --quick | --full | --csv DIR | --threads N | --opt 0|2 | --shards N | \
-                     --partitioner hash|range|edgecut | --batch-size N | --fanout 10x5)"
+                     --partitioner hash|range|edgecut | --batch-size N | --fanout 10x5 | \
+                     --trace FILE)"
                 ));
             }
             other => {
@@ -331,11 +357,31 @@ fn run_scenario_cmd(args: &[String]) -> Result<(), String> {
         let known: Vec<&str> = registry::all().iter().map(|s| s.name).collect();
         format!("unknown scenario {name:?} (registry: {})", known.join(", "))
     })?;
-    let (_result, report) = match threads {
+    let (result, report) = match threads {
         Some(t) => scenario.run_threads(&opts, t),
         None => scenario.run(&opts),
     };
     report.emit(&opts);
+    if let Some(path) = trace_path {
+        let trace = gsuite_scenarios::trace::scenario_trace(&result);
+        write_trace(&path, &trace)?;
+    }
+    Ok(())
+}
+
+/// Exports a trace as Chrome-trace JSON, self-validating the document
+/// before it touches disk, and announces the write.
+fn write_trace(path: &str, trace: &Trace) -> Result<(), String> {
+    let json = trace.to_chrome_json();
+    gsuite_telemetry::json::validate(&json)
+        .map_err(|e| format!("internal error: exported trace is not valid JSON: {e}"))?;
+    std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!(
+        "[trace] {path} ({} spans, {} roots, clock={})",
+        trace.spans.len(),
+        trace.root_count(),
+        trace.clock.label()
+    );
     Ok(())
 }
 
@@ -417,9 +463,13 @@ fn explain_cmd(args: &[String]) -> Result<(), String> {
                 .to_string(),
         );
     }
+    // `--json` switches to the machine-readable dump; it is not a
+    // pipeline flag, so strip it before RunConfig sees the tail.
+    let json = args.iter().any(|a| a == "--json");
+    let args: Vec<String> = args.iter().filter(|a| *a != "--json").cloned().collect();
     // An optional leading positional names the model; everything else is
     // standard `--key value` pipeline flags.
-    let mut rest = args;
+    let mut rest = &args[..];
     let mut model: Option<gsuite_core::config::GnnModel> = None;
     if let Some(first) = args.first() {
         if !first.starts_with("--") {
@@ -434,7 +484,11 @@ fn explain_cmd(args: &[String]) -> Result<(), String> {
         config.model = m;
     }
     let graph = config.load_graph();
-    let text = gsuite_core::plan::explain::explain(&graph, &config).map_err(|e| e.to_string())?;
+    let text = if json {
+        gsuite_core::plan::explain::explain_json(&graph, &config).map_err(|e| e.to_string())?
+    } else {
+        gsuite_core::plan::explain::explain(&graph, &config).map_err(|e| e.to_string())?
+    };
     print!("{text}");
     Ok(())
 }
@@ -525,11 +579,25 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
 
 /// `gsuite-cli loadgen ...`: drive a workload mix, in-process (simulated
 /// or wall clock) or against a remote server.
-fn loadgen_cmd(args: &[String]) -> Result<(), String> {
+/// Parsed `loadgen` command line, shared with `trace-export` (which is a
+/// sim-clock loadgen run whose span stream goes to a file).
+struct LoadgenArgs {
+    spec: LoadSpec,
+    connect: Option<String>,
+    stop_server: bool,
+    json_path: Option<String>,
+    trace_path: Option<String>,
+    metrics: bool,
+}
+
+/// Parse loadgen flags. Returns `Ok(None)` when `--help` was handled.
+fn parse_loadgen_args(args: &[String]) -> Result<Option<LoadgenArgs>, String> {
     let mut spec = LoadSpec::default();
     let mut connect: Option<String> = None;
     let mut stop_server = false;
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut metrics = false;
     let mut fault_seed: Option<u64> = None;
     let mut fault_rate: Option<f64> = None;
     let mut i = 0;
@@ -537,7 +605,7 @@ fn loadgen_cmd(args: &[String]) -> Result<(), String> {
         match args[i].as_str() {
             "--help" | "-h" => {
                 print_help();
-                return Ok(());
+                return Ok(None);
             }
             "--scenario" => {
                 spec.scenario = take_value(args, i)?.to_string();
@@ -638,6 +706,14 @@ fn loadgen_cmd(args: &[String]) -> Result<(), String> {
                 json_path = Some(take_value(args, i)?.to_string());
                 i += 2;
             }
+            "--trace" => {
+                trace_path = Some(take_value(args, i)?.to_string());
+                i += 2;
+            }
+            "--metrics" => {
+                metrics = true;
+                i += 1;
+            }
             // The loadgen defaults to quick scales (a traffic benchmark
             // wants cheap per-request work); --full opts into Table IV
             // scales, --quick is accepted for symmetry.
@@ -658,25 +734,98 @@ fn loadgen_cmd(args: &[String]) -> Result<(), String> {
                      --requests N | --clients N | --rate RPS | --clock sim|wall | --workers N | \
                      --threads N | --queue N | --cache-mb N | --slo-ms F | --fault-seed N | \
                      --fault-rate F | --deadline-ms F | --retries N | --breaker | \
-                     --connect ADDR | --stop-server | --json FILE | --quick | --full)"
+                     --connect ADDR | --stop-server | --json FILE | --trace FILE | --metrics | \
+                     --quick | --full)"
                 ));
             }
         }
     }
-    if stop_server && connect.is_none() {
+    spec.fault = resolve_fault(fault_seed, fault_rate)?;
+    Ok(Some(LoadgenArgs {
+        spec,
+        connect,
+        stop_server,
+        json_path,
+        trace_path,
+        metrics,
+    }))
+}
+
+fn loadgen_cmd(args: &[String]) -> Result<(), String> {
+    let Some(la) = parse_loadgen_args(args)? else {
+        return Ok(());
+    };
+    if la.stop_server && la.connect.is_none() {
         return Err("--stop-server only applies with --connect ADDR".to_string());
     }
-    spec.fault = resolve_fault(fault_seed, fault_rate)?;
-    let report = match &connect {
-        Some(addr) => loadgen_tcp(addr, &spec, stop_server)?,
-        None => run_loadgen(&spec)?,
+    if la.trace_path.is_some() && la.connect.is_some() {
+        return Err("--trace needs the in-process loadgen; drop --connect ADDR".to_string());
+    }
+    // --metrics alone is satisfied from the report's counters; --trace (or
+    // --metrics on an in-process run, where it is free) takes the traced
+    // path so per-phase totals are available too.
+    let traced = la.trace_path.is_some() || (la.metrics && la.connect.is_none());
+    let (report, trace) = match &la.connect {
+        Some(addr) => (loadgen_tcp(addr, &la.spec, la.stop_server)?, None),
+        None if traced => {
+            let (report, trace) = run_loadgen_traced(&la.spec)?;
+            (report, Some(trace))
+        }
+        None => (run_loadgen(&la.spec)?, None),
     };
+    emit_loadgen_output(&report, trace.as_ref(), &la)
+}
+
+/// Shared `loadgen`/`trace-export` tail: report, then the optional
+/// `--metrics` exposition, `--json` dump, and `--trace` export.
+fn emit_loadgen_output(
+    report: &LoadReport,
+    trace: Option<&Trace>,
+    la: &LoadgenArgs,
+) -> Result<(), String> {
     print!("{}", report.render());
-    if let Some(path) = json_path {
-        std::fs::write(&path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    if la.metrics {
+        print!("{}", report.metrics().render());
+    }
+    if let Some(path) = &la.json_path {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("[json] {path}");
     }
+    if let (Some(path), Some(trace)) = (&la.trace_path, trace) {
+        write_trace(path, trace)?;
+    }
     Ok(())
+}
+
+/// `trace-export FILE [loadgen flags]` — a deterministic sim-clock loadgen
+/// run whose span stream is exported as Chrome-trace JSON at FILE.
+fn trace_export_cmd(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return Ok(());
+    }
+    let Some(file) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err(
+            "trace-export expects an output FILE as its first argument (then loadgen flags)"
+                .to_string(),
+        );
+    };
+    let Some(mut la) = parse_loadgen_args(&args[1..])? else {
+        return Ok(());
+    };
+    if la.connect.is_some() {
+        return Err("trace-export runs the in-process loadgen; drop --connect ADDR".to_string());
+    }
+    if matches!(la.spec.clock, ClockMode::Wall) {
+        return Err(
+            "trace-export is deterministic by design: sim clock only (drop --clock wall)"
+                .to_string(),
+        );
+    }
+    la.spec.clock = ClockMode::Sim;
+    la.trace_path = Some(file.clone());
+    let (report, trace) = run_loadgen_traced(&la.spec)?;
+    emit_loadgen_output(&report, Some(&trace), &la)
 }
 
 fn mode_name(opts: &BenchOpts) -> &'static str {
@@ -696,6 +845,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut sim_sms: usize = 8;
     let mut max_ctas: u64 = 2048;
     let mut quiet = false;
+    let mut spans = false;
     let mut config_file: Option<String> = None;
     let mut pipeline_args: Vec<String> = Vec::new();
     let mut i = 0;
@@ -719,6 +869,10 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             "--quiet" => {
                 quiet = true;
+                i += 1;
+            }
+            "--spans" => {
+                spans = true;
                 i += 1;
             }
             _ => {
@@ -841,7 +995,73 @@ fn run(args: &[String]) -> Result<(), String> {
         profile.total_time_ms(),
         run.output.sum()
     );
+    if spans {
+        println!(
+            "\n{}",
+            single_run_trace(&config, &run, &profile).render_tree()
+        );
+    }
     Ok(())
+}
+
+/// Builds the single-run span tree the `--spans` flag appends to the
+/// report: one `request` root covering build (with the measured
+/// `compile.*` phase children) then service (with one `kernel`/`exchange`
+/// child per profiled launch, offset by the host launch overhead). Build
+/// times are wall-measured; kernel times are the backend's modeled
+/// milliseconds — the same mix a served request's trace carries.
+fn single_run_trace(
+    config: &RunConfig,
+    run: &PipelineRun,
+    profile: &PipelineProfile,
+) -> gsuite_telemetry::Trace {
+    let mut sink = SpanSink::new();
+    let root = sink.reserve();
+    let build_ms = run.compile_phases.total_ms();
+    let service_ms = profile.total_time_ms();
+    let build = sink.record("build", Some(root), 0, 0.0, build_ms, Vec::new());
+    let mut t = 0.0;
+    for (name, dur) in [
+        ("compile.lower", run.compile_phases.lower_ms),
+        ("compile.optimize", run.compile_phases.optimize_ms),
+        ("compile.decorate", run.compile_phases.decorate_ms),
+        ("compile.schedule", run.compile_phases.schedule_ms),
+    ] {
+        sink.record(name, Some(build), 0, t, dur, Vec::new());
+        t += dur;
+    }
+    let service = sink.record(
+        "service",
+        Some(root),
+        0,
+        build_ms,
+        service_ms,
+        vec![Attr::f64("host_overhead_ms", profile.host_overhead_ms)],
+    );
+    let mut k_start = build_ms + profile.host_overhead_ms;
+    for k in &profile.kernels {
+        let name = if k.kernel == "exchange" {
+            "exchange"
+        } else {
+            "kernel"
+        };
+        let mut attrs = vec![Attr::str("kernel", k.kernel.clone())];
+        if k.kernel == "exchange" {
+            attrs.push(Attr::u64("bytes", k.dram_bytes));
+        }
+        sink.record(name, Some(service), 0, k_start, k.time_ms, attrs);
+        k_start += k.time_ms;
+    }
+    sink.record_with_id(
+        root,
+        "request",
+        None,
+        0,
+        0.0,
+        build_ms + service_ms,
+        vec![Attr::str("key", config.label())],
+    );
+    sink.finish(ClockDomain::Wall)
 }
 
 /// Re-applies CLI overrides on top of file defaults. `RunConfig::from_args`

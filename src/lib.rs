@@ -18,6 +18,7 @@
 //! | [`core`]   | the gSuite core kernels, GNN models, pipelines, config, baselines |
 //! | [`scenarios`] | the scenario engine: declarative experiment grids, the figure registry |
 //! | [`serve`]  | the serving layer: benchmark service, LRU pipeline cache, load generator |
+//! | [`telemetry`] | structured tracing + metrics: spans, Chrome-trace/Prometheus exporters |
 //!
 //! # Quickstart
 //!
@@ -50,4 +51,5 @@ pub use gsuite_graph as graph;
 pub use gsuite_profile as profile;
 pub use gsuite_scenarios as scenarios;
 pub use gsuite_serve as serve;
+pub use gsuite_telemetry as telemetry;
 pub use gsuite_tensor as tensor;

@@ -1,0 +1,175 @@
+//! The observability layer's guarantees, locked at the workspace level:
+//!
+//! 1. **Trace determinism** — a sim-clock traced loadgen run is a pure
+//!    function of `(scenario, seed, parameters)`: the Chrome-trace JSON
+//!    and the metrics exposition are byte-identical across repeated runs
+//!    and across profiling thread counts, and tracing never perturbs the
+//!    report (traced and untraced runs agree on every counter and
+//!    latency).
+//! 2. **Span taxonomy** — every served request renders as a tree whose
+//!    children cover the documented phases: queue, cache lookup, the
+//!    four compile phases on misses, and the service envelope with
+//!    per-kernel launch attribution.
+//! 3. **Chaos tracing** — fault-injected runs emit identical span trees
+//!    per `(seed, mix)`, and the resilience events (`retry`, `backoff`,
+//!    `degrade`) appear in the stream; a different fault seed perturbs
+//!    the tree.
+//! 4. **The `metrics` protocol command** round-trips the Prometheus-style
+//!    exposition over TCP, `# EOF`-framed, byte-identical to the
+//!    server-side registry render.
+
+use gsuite::serve::fault::FaultPlan;
+use gsuite::serve::{
+    run_loadgen, run_loadgen_traced, serve_on, ArrivalMode, ClockMode, LoadSpec, ProtocolClient,
+    ServeConfig,
+};
+use gsuite::telemetry::json;
+
+fn traced_spec() -> LoadSpec {
+    LoadSpec {
+        requests: 48,
+        seed: 42,
+        arrival: ArrivalMode::Closed { clients: 4 },
+        clock: ClockMode::Sim,
+        ..LoadSpec::default()
+    }
+}
+
+#[test]
+fn sim_traces_and_metrics_are_byte_identical_across_runs_and_threads() {
+    let spec = traced_spec();
+    let (report_a, trace_a) = run_loadgen_traced(&spec).expect("traced run");
+    let (report_b, trace_b) = run_loadgen_traced(&spec).expect("traced rerun");
+
+    let json_a = trace_a.to_chrome_json();
+    assert_eq!(json_a, trace_b.to_chrome_json(), "trace must be replayable");
+    json::validate(&json_a).expect("exported trace is valid JSON");
+    assert_eq!(
+        report_a.metrics().render(),
+        report_b.metrics().render(),
+        "metrics exposition must be replayable"
+    );
+
+    // The profiling fan-out width must not leak into the span stream.
+    let wide = LoadSpec {
+        threads: 4,
+        ..traced_spec()
+    };
+    let (report_w, trace_w) = run_loadgen_traced(&wide).expect("wide traced run");
+    assert_eq!(json_a, trace_w.to_chrome_json(), "threads leak into trace");
+    assert_eq!(report_a.metrics().render(), report_w.metrics().render());
+
+    // Tracing is observation-only: the untraced report agrees on every
+    // counter and latency; only the phases block is trace-derived.
+    let untraced = run_loadgen(&spec).expect("untraced run");
+    assert!(untraced.phases.is_empty());
+    assert!(!report_a.phases.is_empty());
+    let mut stripped = report_a.clone();
+    stripped.phases = Vec::new();
+    assert_eq!(stripped, untraced, "tracing must not perturb the report");
+}
+
+#[test]
+fn span_trees_cover_the_request_taxonomy() {
+    let (_report, trace) = run_loadgen_traced(&traced_spec()).expect("traced run");
+    assert_eq!(trace.root_count(), 48, "one request root per request");
+    for name in [
+        "request",
+        "queue",
+        "cache_lookup",
+        "build",
+        "compile.lower",
+        "compile.optimize",
+        "compile.decorate",
+        "compile.schedule",
+        "service",
+        "kernel",
+    ] {
+        assert!(
+            trace.spans.iter().any(|s| s.name == name),
+            "span taxonomy is missing {name:?}"
+        );
+    }
+    // Every non-root span hangs off a recorded parent: the stream
+    // renders as complete trees.
+    let tree = trace.render_tree();
+    assert!(tree.contains("request"), "{tree}");
+    for s in &trace.spans {
+        if let Some(parent) = s.parent {
+            assert!(
+                trace.spans.iter().any(|p| p.id == parent),
+                "dangling parent id {parent}"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_span_trees_are_deterministic_per_seed_and_mix() {
+    let mut spec = LoadSpec {
+        fault: Some(FaultPlan::mixed(7, 0.25)),
+        ..traced_spec()
+    };
+    spec.resilience.deadline_ms = Some(900.0);
+    spec.resilience.retry = gsuite::serve::fault::RetryPolicy::retries(2);
+    let (_ra, trace_a) = run_loadgen_traced(&spec).expect("chaos traced run");
+    let (_rb, trace_b) = run_loadgen_traced(&spec).expect("chaos traced rerun");
+    assert_eq!(
+        trace_a.render_tree(),
+        trace_b.render_tree(),
+        "same (seed, mix), same span tree"
+    );
+    assert_eq!(trace_a.to_chrome_json(), trace_b.to_chrome_json());
+
+    // A 25% mixed fault rate leaves visible resilience spans.
+    assert!(
+        trace_a.spans.iter().any(|s| matches!(
+            s.name.as_str(),
+            "retry" | "backoff" | "degrade" | "cancelled"
+        )),
+        "fault injection must surface in the span stream"
+    );
+
+    // A different fault seed perturbs the tree (resilience held fixed).
+    let other = LoadSpec {
+        fault: Some(FaultPlan::mixed(8, 0.25)),
+        resilience: spec.resilience,
+        ..traced_spec()
+    };
+    let (_ro, trace_o) = run_loadgen_traced(&other).expect("other seed");
+    assert_ne!(
+        trace_a.render_tree(),
+        trace_o.render_tree(),
+        "fault seed must matter"
+    );
+}
+
+#[test]
+fn metrics_protocol_round_trips_over_tcp() {
+    let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind ephemeral");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let serve_thread =
+        std::thread::spawn(move || serve_on(listener, ServeConfig::golden()).expect("serves"));
+
+    let mut client = ProtocolClient::connect(&addr).expect("connect");
+    let ok = client
+        .round_trip("model=gcn dataset=cora scale=0.05")
+        .expect("request round-trips");
+    assert!(ok.starts_with("ok id=0 "), "{ok}");
+
+    let text = client.round_trip_multi("metrics").expect("metrics frame");
+    assert!(text.starts_with("# HELP"), "{text}");
+    assert!(text.ends_with("# EOF\n"), "{text}");
+    assert!(text.contains("gsuite_serve_completed_total 1"), "{text}");
+    assert!(
+        text.contains("# TYPE gsuite_serve_queue_depth gauge"),
+        "{text}"
+    );
+
+    // Ordinary single-line commands still work on the same connection.
+    let stats = client.round_trip("stats").expect("stats line");
+    assert!(stats.contains("completed=1"), "{stats}");
+
+    assert_eq!(client.round_trip("shutdown").expect("bye"), "ok bye");
+    serve_thread.join().expect("server exits cleanly");
+}
