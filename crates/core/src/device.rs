@@ -71,6 +71,20 @@ impl AddressSpace {
         }
     }
 
+    /// Rewinds the allocator to its freshly-constructed state in the
+    /// given mode, keeping the free list's backing storage so a reused
+    /// space ([`crate::plan::ScheduleScratch`]) allocates nothing on the
+    /// steady-state path. A reset space behaves byte-identically to
+    /// [`AddressSpace::new`] / [`AddressSpace::with_reuse`].
+    pub fn reset(&mut self, reuse: bool) {
+        self.next = self.base;
+        self.reuse = reuse;
+        self.free.clear();
+        self.live = 0;
+        self.peak = 0;
+        self.total = 0;
+    }
+
     /// Allocates `bytes` and returns the base address (256-byte aligned).
     pub fn alloc(&mut self, bytes: u64) -> u64 {
         self.alloc_traced(bytes).0

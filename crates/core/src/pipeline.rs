@@ -18,7 +18,8 @@ use crate::config::RunConfig;
 use crate::frameworks;
 use crate::kernels::Launch;
 use crate::plan::shard::{self, ShardedExec};
-use crate::plan::{OpSpec, Plan};
+use crate::plan::template::{Template, TemplateCache, TemplateKey};
+use crate::plan::{OpSpec, Plan, ScheduleScratch};
 use crate::Result;
 use gsuite_graph::Graph;
 
@@ -37,14 +38,25 @@ pub struct CompilePhases {
     pub optimize_ms: f64,
     /// Framework wrapper-op decoration.
     pub decorate_ms: f64,
+    /// Plan-template rebind on the serve fast path
+    /// ([`PipelineRun::build_with_templates`]): nonzero only when a
+    /// cached template replaced the lower/optimize/decorate phases.
+    pub instantiate_ms: f64,
     /// Address assignment + launch materialization.
     pub schedule_ms: f64,
 }
 
 impl CompilePhases {
-    /// Sum over all four phases.
+    /// Sum over all phases.
     pub fn total_ms(&self) -> f64 {
-        self.lower_ms + self.optimize_ms + self.decorate_ms + self.schedule_ms
+        self.lower_ms + self.optimize_ms + self.decorate_ms + self.instantiate_ms + self.schedule_ms
+    }
+
+    /// The phases a plan template skips: lowering, optimization and
+    /// decoration. A warmed serving worker drives this to ~0 on
+    /// repeat-shape mixes (`scripts/serve_smoke.sh` asserts it).
+    pub fn full_compile_ms(&self) -> f64 {
+        self.lower_ms + self.optimize_ms + self.decorate_ms
     }
 }
 
@@ -135,6 +147,98 @@ impl PipelineRun {
         config: &RunConfig,
         cancelled: &mut dyn FnMut() -> bool,
     ) -> Result<Self> {
+        Self::full_build(graph, config, &mut ScheduleScratch::default(), cancelled)
+    }
+
+    /// [`PipelineRun::build`] through a [`TemplateCache`]: repeat-shape
+    /// requests skip lower/optimize/decorate and only rebind + schedule
+    /// (see [`crate::plan::template`]). The result is bit-identical to
+    /// [`PipelineRun::build`] whether the cache hits or misses.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`PipelineRun::build`] can return (only full compiles
+    /// can fail; instantiation is infallible).
+    pub fn build_with_templates(
+        graph: &Graph,
+        config: &RunConfig,
+        templates: &TemplateCache,
+    ) -> Result<Self> {
+        Self::build_with_templates_in(
+            graph,
+            config,
+            templates,
+            &mut WorkerScratch::default(),
+            &mut || false,
+        )
+    }
+
+    /// The serving hot path: [`PipelineRun::build_with_templates`] with a
+    /// per-worker [`WorkerScratch`] (so steady-state builds allocate
+    /// ~zero) and the same cooperative cancellation contract as
+    /// [`PipelineRun::build_cancellable`]. The template fast path polls
+    /// `cancelled` before instantiating and before scheduling.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CoreError::Cancelled`] when a checkpoint fires;
+    /// otherwise everything [`PipelineRun::build`] can return.
+    pub fn build_with_templates_in(
+        graph: &Graph,
+        config: &RunConfig,
+        templates: &TemplateCache,
+        scratch: &mut WorkerScratch,
+        cancelled: &mut dyn FnMut() -> bool,
+    ) -> Result<Self> {
+        // Sharded multi-GPU builds are not templatable; take the full
+        // path (which has its own checkpoints).
+        let Some(key) = TemplateKey::of(graph, config) else {
+            return Self::full_build(graph, config, &mut scratch.schedule, cancelled);
+        };
+        let Some(template) = templates.get(&key) else {
+            let run = Self::full_build(graph, config, &mut scratch.schedule, cancelled)?;
+            templates.insert(key, Template::capture(&run.plan, &run.output));
+            return Ok(run);
+        };
+        if cancelled() {
+            return Err(crate::CoreError::Cancelled);
+        }
+        let mut phases = CompilePhases::default();
+        let mut mark = std::time::Instant::now();
+        let mut lap = |slot: &mut f64| {
+            let now = std::time::Instant::now();
+            *slot += now.duration_since(mark).as_secs_f64() * 1e3;
+            mark = now;
+        };
+        let (plan, output) = template.instantiate();
+        lap(&mut phases.instantiate_ms);
+        if cancelled() {
+            return Err(crate::CoreError::Cancelled);
+        }
+        let schedule = plan.schedule_in(config.opt, &mut scratch.schedule);
+        lap(&mut phases.schedule_ms);
+        templates.note_instantiated();
+        Ok(PipelineRun {
+            label: config.label(),
+            config: config.clone(),
+            plan,
+            launches: schedule.launches,
+            peak_device_bytes: schedule.peak_device_bytes,
+            output,
+            sharding: None,
+            compile_phases: phases,
+        })
+    }
+
+    /// The shared full-compile path behind every build entry: lower →
+    /// optimize → decorate → schedule, with the schedule drawing on
+    /// `scratch`.
+    fn full_build(
+        graph: &Graph,
+        config: &RunConfig,
+        scratch: &mut ScheduleScratch,
+        cancelled: &mut dyn FnMut() -> bool,
+    ) -> Result<Self> {
         let checkpoint = |cancelled: &mut dyn FnMut() -> bool| {
             if cancelled() {
                 Err(crate::CoreError::Cancelled)
@@ -198,7 +302,7 @@ impl PipelineRun {
         frameworks::decorate(&mut plan, config.framework);
         lap(&mut phases.decorate_ms);
         checkpoint(cancelled)?;
-        let schedule = plan.schedule(config.opt);
+        let schedule = plan.schedule_in(config.opt, scratch);
         lap(&mut phases.schedule_ms);
         Ok(PipelineRun {
             label: config.label(),
@@ -319,6 +423,27 @@ impl PipelineRun {
     /// Total kernel launches.
     pub fn launch_count(&self) -> usize {
         self.launches.len()
+    }
+}
+
+/// Per-worker reusable compile arenas: everything a build can recycle
+/// between requests so steady-state serving allocates ~zero on the
+/// compile side. Today that is the schedule scratch (allocator free
+/// lists + liveness bucket vectors; see
+/// [`crate::plan::ScheduleScratch`]) — simulator-side `TraceBuf`s are
+/// already pooled inside the GPU model. Not `Sync` by design: each
+/// serving worker owns one.
+#[derive(Debug, Default)]
+pub struct WorkerScratch {
+    /// Schedule-time arenas, reset (not reallocated) on every build.
+    pub schedule: ScheduleScratch,
+}
+
+impl WorkerScratch {
+    /// A fresh scratch; arenas grow to steady-state size over the first
+    /// few builds and are retained afterwards.
+    pub fn new() -> WorkerScratch {
+        WorkerScratch::default()
     }
 }
 
@@ -561,6 +686,99 @@ mod tests {
         for (cs, ss) in c.shards.iter().zip(&s.shards) {
             assert!(ss.exchange_ms > cs.exchange_ms, "exchange inflates");
             assert_eq!(ss.kernel_ms, cs.kernel_ms, "kernel time untouched");
+        }
+    }
+
+    #[test]
+    fn template_builds_are_bit_identical_and_attributed_to_instantiate() {
+        let cfg = config();
+        let graph = cfg.load_graph();
+        let templates = TemplateCache::new();
+        let plain = PipelineRun::build(&graph, &cfg).unwrap();
+        let cold = PipelineRun::build_with_templates(&graph, &cfg, &templates).unwrap();
+        let warm = PipelineRun::build_with_templates(&graph, &cfg, &templates).unwrap();
+        for run in [&cold, &warm] {
+            assert_eq!(run.launch_count(), plain.launch_count());
+            assert_eq!(run.peak_device_bytes, plain.peak_device_bytes);
+            assert_eq!(run.output, plain.output);
+            assert_eq!(
+                run.profile(&HwProfiler::v100()),
+                plain.profile(&HwProfiler::v100())
+            );
+        }
+        // Phase attribution: the cold build paid the full compile, the
+        // warm one only instantiate + schedule.
+        assert_eq!(cold.compile_phases.instantiate_ms, 0.0);
+        assert!(cold.compile_phases.full_compile_ms() > 0.0);
+        assert_eq!(warm.compile_phases.full_compile_ms(), 0.0);
+        assert!(warm.compile_phases.instantiate_ms >= 0.0);
+        assert!(warm.compile_phases.total_ms() > 0.0);
+        let s = templates.stats();
+        assert_eq!((s.hits, s.misses, s.instantiates, s.entries), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn template_fast_path_honors_cancellation_and_sharded_bypass() {
+        let cfg = config();
+        let graph = cfg.load_graph();
+        let templates = TemplateCache::new();
+        let mut scratch = WorkerScratch::new();
+        PipelineRun::build_with_templates_in(&graph, &cfg, &templates, &mut scratch, &mut || false)
+            .unwrap();
+        // Warm path: cancellation still aborts cleanly.
+        let result = PipelineRun::build_with_templates_in(
+            &graph,
+            &cfg,
+            &templates,
+            &mut scratch,
+            &mut || true,
+        );
+        assert!(matches!(result, Err(crate::CoreError::Cancelled)));
+        // Sharded configs bypass the cache entirely (and never insert).
+        let sharded_cfg = RunConfig {
+            gpus_per_run: 2,
+            functional_math: false,
+            ..config()
+        };
+        let before = templates.stats();
+        let sharded = PipelineRun::build_with_templates(&graph, &sharded_cfg, &templates).unwrap();
+        assert!(sharded.sharding.is_some());
+        let after = templates.stats();
+        assert_eq!(after.entries, before.entries);
+        assert_eq!((after.hits, after.misses), (before.hits, before.misses));
+    }
+
+    #[test]
+    fn worker_scratch_reuse_is_byte_identical_across_builds() {
+        // One scratch serving many different shapes must never leak
+        // state between schedules — O0 and O2, interleaved.
+        let graph = config().load_graph();
+        let mut scratch = WorkerScratch::new();
+        let templates = TemplateCache::with_capacity(0); // force full builds
+        for opt in [OptLevel::O0, OptLevel::O2, OptLevel::O0, OptLevel::O2] {
+            for model in [GnnModel::Gcn, GnnModel::Gin] {
+                let cfg = RunConfig {
+                    opt,
+                    model,
+                    ..config()
+                };
+                let fresh = PipelineRun::build(&graph, &cfg).unwrap();
+                let reused = PipelineRun::build_with_templates_in(
+                    &graph,
+                    &cfg,
+                    &templates,
+                    &mut scratch,
+                    &mut || false,
+                )
+                .unwrap();
+                assert_eq!(
+                    fresh.profile(&HwProfiler::v100()),
+                    reused.profile(&HwProfiler::v100()),
+                    "{model:?} at {opt:?}"
+                );
+                assert_eq!(fresh.peak_device_bytes, reused.peak_device_bytes);
+                assert_eq!(fresh.output, reused.output);
+            }
         }
     }
 

@@ -34,6 +34,7 @@ pub mod explain;
 pub mod minibatch;
 pub mod passes;
 pub mod shard;
+pub mod template;
 
 pub use passes::{pass_pipeline, DeadBufferElim, FuseElementwise, HoistCse, Pass};
 
@@ -795,14 +796,23 @@ impl Plan {
     /// Wrapper-region buffers always use the legacy fixed-stride layout in
     /// their disjoint address range.
     pub fn schedule(&self, level: OptLevel) -> Schedule {
+        self.schedule_in(level, &mut ScheduleScratch::default())
+    }
+
+    /// [`Plan::schedule`] with caller-owned scratch arenas.
+    ///
+    /// The output is **byte-identical** to [`Plan::schedule`] — the
+    /// scratch only recycles the allocator free list and the liveness
+    /// bucket storage between schedules, so a steady-state worker
+    /// (see [`crate::pipeline::WorkerScratch`]) re-schedules repeat-shape
+    /// plans with near-zero heap allocation.
+    pub fn schedule_in(&self, level: OptLevel, scratch: &mut ScheduleScratch) -> Schedule {
         let live = self.liveness();
         let mut addrs: Vec<Option<u64>> = vec![None; self.bufs.len()];
         let mut reused: Vec<bool> = vec![false; self.bufs.len()];
         let mut wrapper_cursor = WRAPPER_BASE;
-        let mut space = match level {
-            OptLevel::O0 => AddressSpace::new(),
-            OptLevel::O2 => AddressSpace::with_reuse(),
-        };
+        let ScheduleScratch { space, buckets } = scratch;
+        space.reset(level == OptLevel::O2);
 
         // Wrapper buffers: legacy stride layout in creation order.
         for (i, buf) in self.bufs.iter().enumerate() {
@@ -826,8 +836,7 @@ impl Plan {
                 // Buffers are bucketed by timestep up front (creation
                 // order within a bucket), keeping the walk linear.
                 let nts = self.ops.len() + 1; // slot 0 = pre-execution
-                let mut defs_at: Vec<Vec<usize>> = vec![Vec::new(); nts];
-                let mut frees_at: Vec<Vec<usize>> = vec![Vec::new(); nts];
+                let (defs_at, frees_at) = buckets.take(nts);
                 for (i, buf) in self.bufs.iter().enumerate() {
                     if buf.space != AddrClass::Device || buf.dead {
                         continue;
@@ -901,6 +910,45 @@ pub struct Schedule {
     pub peak_device_bytes: u64,
     /// Total device arena extent in bytes.
     pub arena_bytes: u64,
+}
+
+/// Reusable arenas for [`Plan::schedule_in`]: the allocator (whose
+/// free-list storage survives resets) and the liveness bucket vectors.
+///
+/// One scratch serves any number of sequential schedules; each call
+/// resets the state, so results are byte-identical to a fresh
+/// [`Plan::schedule`]. Serve workers hold one per thread inside
+/// [`crate::pipeline::WorkerScratch`] so steady-state requests stop
+/// paying per-build allocator churn.
+#[derive(Debug, Default)]
+pub struct ScheduleScratch {
+    space: AddressSpace,
+    buckets: BucketPair,
+}
+
+/// The `defs_at` / `frees_at` timestep buckets of the O2 memory planner,
+/// kept around so their inner `Vec` capacity is recycled across runs.
+#[derive(Debug, Default)]
+struct BucketPair {
+    defs: Vec<Vec<usize>>,
+    frees: Vec<Vec<usize>>,
+}
+
+impl BucketPair {
+    /// Hands out cleared bucket slices of length `nts`, growing the
+    /// backing storage only when a plan is larger than any seen before.
+    fn take(&mut self, nts: usize) -> (&mut [Vec<usize>], &mut [Vec<usize>]) {
+        for v in self.defs.iter_mut().chain(self.frees.iter_mut()) {
+            v.clear();
+        }
+        if self.defs.len() < nts {
+            self.defs.resize_with(nts, Vec::new);
+        }
+        if self.frees.len() < nts {
+            self.frees.resize_with(nts, Vec::new);
+        }
+        (&mut self.defs[..nts], &mut self.frees[..nts])
+    }
 }
 
 /// A deterministic 64-bit FNV-1a content hasher used for upload identity

@@ -128,6 +128,7 @@ fn chaos_costs(result: &ScenarioResult) -> Vec<SimCosts> {
                         build_ms: build_cost_ms(bytes) + 2.0 * p.total_time_ms(),
                         exchange_ms,
                         bytes,
+                        template: None,
                         error: None,
                     }
                 }
@@ -136,6 +137,7 @@ fn chaos_costs(result: &ScenarioResult) -> Vec<SimCosts> {
                     build_ms: build_cost_ms(graph_bytes as u64),
                     exchange_ms: 0.0,
                     bytes: 0,
+                    template: None,
                     error: Some(msg.clone()),
                 },
             }

@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use gsuite_core::config::RunConfig;
 use gsuite_core::pipeline::PipelineRun;
+use gsuite_core::plan::template::TemplateCache;
 use gsuite_core::CoreError;
 use gsuite_graph::datasets::Dataset;
 use gsuite_graph::Graph;
@@ -148,9 +149,14 @@ pub fn run_scenario_threads(
             },
         )
         .collect();
+    // A scenario-wide plan-template cache: builds that share a compile
+    // shape (e.g. cells differing only in the profiled GPU or the
+    // sampling axis) lower/optimize/decorate once and instantiate the
+    // cached plan thereafter — bit-identical by construction.
+    let templates = TemplateCache::new();
     let pipelines: Vec<Result<Arc<PipelineRun>, String>> =
         gsuite_par::par_map_threads(&pipe_keys, threads, |_, cfg| {
-            match PipelineRun::build(graph_for(cfg), cfg) {
+            match PipelineRun::build_with_templates(graph_for(cfg), cfg, &templates) {
                 Ok(run) => Ok(Arc::new(run)),
                 // Known suite boundary (e.g. gSuite SAGE/GAT under SpMM):
                 // the cell stays in the grid and renders as `n/a`.

@@ -43,7 +43,10 @@
 //! Compile-phase spans inside a modeled `build` use the documented cost
 //! split [`COMPILE_PHASE_SPLIT`]; the degraded O0 fallback path drops
 //! the `compile.optimize` span, which by construction makes its build
-//! span sum to exactly the `0.5 · build_ms` the simulation charges.
+//! span sum to exactly the `0.5 · build_ms` the simulation charges. A
+//! template-served build ([`SimCosts::template`]) renders
+//! `compile.{instantiate,schedule}` children instead ([`TEMPLATE_PHASE_SPLIT`]),
+//! summing to the `TEMPLATE_BUILD_SHARE · build_ms` it was charged.
 
 use crate::cache::{ByteLru, LruStats};
 use crate::resilience::{CircuitBreaker, FaultDraw, FaultPlan, ResilienceConfig};
@@ -93,6 +96,14 @@ pub struct SimCosts {
     pub exchange_ms: f64,
     /// Cache accounting bytes of the built entry.
     pub bytes: u64,
+    /// Plan-template group of this configuration: configurations sharing
+    /// a compile shape (same plan modulo the profiling axis) carry the
+    /// same group id. After the group's first charged full build, later
+    /// misses and refreshes pay only [`TEMPLATE_BUILD_SHARE`] of
+    /// `build_ms` — the modeled instantiate + schedule fast path. `None`
+    /// (the default everywhere but the load generator) disables the
+    /// model and reproduces the historical costs exactly.
+    pub template: Option<usize>,
     /// `Some(msg)` when the configuration cannot build (the request
     /// completes as an error after paying the build cost).
     pub error: Option<String>,
@@ -197,6 +208,13 @@ pub struct SimOutcome {
     /// Stale-but-valid cache entries served past the soft TTL under
     /// deadline pressure.
     pub stale_serves: u64,
+    /// Charged builds served at the instantiate share because their
+    /// plan-template group was already installed ([`SimCosts::template`]).
+    /// Zero when no cost record carries a template group.
+    pub template_hits: u64,
+    /// Charged builds of template-carrying configurations that paid the
+    /// full compile cost (and installed their group).
+    pub template_misses: u64,
     /// Last completion time (ms since sim start).
     pub makespan_ms: f64,
 }
@@ -212,6 +230,20 @@ pub const COMPILE_PHASE_SPLIT: [(&str, f64); 4] = [
     ("compile.decorate", 0.10),
     ("compile.schedule", 0.15),
 ];
+
+/// The modeled share of a full build an instantiate-from-template build
+/// charges ([`SimCosts::template`]): lower/optimize/decorate are skipped,
+/// leaving the [`TEMPLATE_PHASE_SPLIT`] phases, which sum to exactly this
+/// constant.
+pub const TEMPLATE_BUILD_SHARE: f64 = 0.25;
+
+/// Compile-phase spans of a traced instantiate-from-template build:
+/// rebinding the cached plan (`compile.instantiate`) plus the address
+/// assignment (`compile.schedule`, same share as in
+/// [`COMPILE_PHASE_SPLIT`]). Shares are of the *full* build cost and sum
+/// to [`TEMPLATE_BUILD_SHARE`].
+pub const TEMPLATE_PHASE_SPLIT: [(&str, f64); 2] =
+    [("compile.instantiate", 0.10), ("compile.schedule", 0.15)];
 
 /// One kernel (or exchange) child of a traced `service` span: the
 /// modeled per-launch breakdown of a distinct request configuration.
@@ -287,6 +319,9 @@ struct ServiceSim<'a> {
     /// Cached entries map to their build-completion time (the soft-TTL
     /// clock).
     cache: ByteLru<usize, f64>,
+    /// Plan-template groups whose full build has been charged: later
+    /// builds of the same group pay only the instantiate share.
+    installed_templates: std::collections::HashSet<usize>,
     /// Per-config breakers, present only when the policy enables them.
     breakers: Option<Vec<CircuitBreaker>>,
     coalesced: u64,
@@ -297,6 +332,8 @@ struct ServiceSim<'a> {
     retries: u64,
     degraded: u64,
     stale_serves: u64,
+    template_hits: u64,
+    template_misses: u64,
     makespan_ms: f64,
     /// Span recorder, present only in the `_traced` entry points. The
     /// numeric model never branches on it.
@@ -314,6 +351,7 @@ impl<'a> ServiceSim<'a> {
             worker_free: vec![0.0; params.workers.max(1)],
             in_flight: Vec::new(),
             cache: ByteLru::new(params.cache_bytes),
+            installed_templates: std::collections::HashSet::new(),
             breakers,
             coalesced: 0,
             rejected: 0,
@@ -323,6 +361,8 @@ impl<'a> ServiceSim<'a> {
             retries: 0,
             degraded: 0,
             stale_serves: 0,
+            template_hits: 0,
+            template_misses: 0,
             makespan_ms: 0.0,
             tracer: None,
             params,
@@ -364,8 +404,9 @@ impl<'a> ServiceSim<'a> {
 
     /// Traces one attempt's spans: the `cache_lookup` event, the modeled
     /// `build` (with compile-phase children; the degraded path drops
-    /// `compile.optimize`) and the `service` envelope with its
-    /// `kernel`/`exchange` children scaled to fill it.
+    /// `compile.optimize`, a template-instantiated build renders
+    /// [`TEMPLATE_PHASE_SPLIT`] instead) and the `service` envelope with
+    /// its `kernel`/`exchange` children scaled to fill it.
     #[allow(clippy::too_many_arguments)]
     fn trace_attempt(
         &mut self,
@@ -375,6 +416,7 @@ impl<'a> ServiceSim<'a> {
         attempt_start: f64,
         attempt_ms: f64,
         kind: AttemptKind,
+        template_hit: bool,
         cost: &SimCosts,
         draw: &FaultDraw,
     ) {
@@ -398,6 +440,9 @@ impl<'a> ServiceSim<'a> {
         );
         // The modeled build share of this attempt (zero on plain hits).
         let build_share = match kind {
+            AttemptKind::Miss | AttemptKind::Refresh if template_hit => {
+                TEMPLATE_BUILD_SHARE * cost.build_ms
+            }
             AttemptKind::Miss | AttemptKind::Refresh => cost.build_ms,
             AttemptKind::MissDegraded => 0.5 * cost.build_ms,
             AttemptKind::Hit | AttemptKind::HitStale => 0.0,
@@ -412,16 +457,25 @@ impl<'a> ServiceSim<'a> {
                 build_share,
                 if kind == AttemptKind::MissDegraded {
                     vec![Attr::str("opt", "O0-fallback")]
+                } else if template_hit {
+                    vec![Attr::str("compile", "instantiate")]
                 } else {
                     vec![]
                 },
             );
             // Full builds charge build_ms across all four phases; the
-            // degraded O0 fallback skips `compile.optimize`, and the
-            // remaining splits sum to the exact 0.5 · build_ms charged.
+            // degraded O0 fallback skips `compile.optimize` (the
+            // remaining splits sum to the exact 0.5 · build_ms charged);
+            // a template-instantiated build renders instantiate +
+            // schedule, summing to the exact 0.25 · build_ms charged.
             let full_build = cost.build_ms * draw.slow_factor;
+            let phases: &[(&str, f64)] = if template_hit {
+                &TEMPLATE_PHASE_SPLIT
+            } else {
+                &COMPILE_PHASE_SPLIT
+            };
             let mut phase_start = cursor;
-            for (phase, share) in COMPILE_PHASE_SPLIT {
+            for &(phase, share) in phases {
                 if kind == AttemptKind::MissDegraded && phase == "compile.optimize" {
                     continue;
                 }
@@ -712,16 +766,25 @@ impl<'a> ServiceSim<'a> {
 
             // The attempt's cache interaction and base cost. Degraded
             // interconnect inflates the Exchange share of the service
-            // time.
+            // time. A build whose template group is installed pays only
+            // the instantiate share of the build cost.
             let service_base = cost.service_ms + cost.exchange_ms * (draw.link_factor - 1.0);
+            let template_hit = cost
+                .template
+                .is_some_and(|g| self.installed_templates.contains(&g));
+            let build_charge = if template_hit {
+                TEMPLATE_BUILD_SHARE * cost.build_ms
+            } else {
+                cost.build_ms
+            };
             let (mut attempt_ms, mut kind) = match self.cache.get(&key).copied() {
                 Some(built_at) => match self.params.resilience.stale_ttl_ms {
                     Some(ttl) if clock - built_at > ttl => {
-                        (cost.build_ms + service_base, AttemptKind::Refresh)
+                        (build_charge + service_base, AttemptKind::Refresh)
                     }
                     _ => (service_base, AttemptKind::Hit),
                 },
-                None => (cost.build_ms + service_base, AttemptKind::Miss),
+                None => (build_charge + service_base, AttemptKind::Miss),
             };
             attempt_ms *= draw.slow_factor;
 
@@ -738,7 +801,10 @@ impl<'a> ServiceSim<'a> {
                             kind = AttemptKind::HitStale;
                             degrade_mode = Some("stale-serve");
                         }
-                        AttemptKind::Miss => {
+                        // The O0 fallback only helps when it is cheaper
+                        // than the pending build: an instantiate-served
+                        // miss (0.25 · build) already undercuts it.
+                        AttemptKind::Miss if !template_hit => {
                             attempt_ms = (0.5 * cost.build_ms + service_base) * draw.slow_factor;
                             kind = AttemptKind::MissDegraded;
                             degrade_mode = Some("o0-fallback");
@@ -761,12 +827,33 @@ impl<'a> ServiceSim<'a> {
                         vec![Attr::str("mode", mode)],
                     );
                 }
-                self.trace_attempt(root, w as u32, key, clock, attempt_ms, kind, cost, &draw);
+                self.trace_attempt(
+                    root,
+                    w as u32,
+                    key,
+                    clock,
+                    attempt_ms,
+                    kind,
+                    template_hit,
+                    cost,
+                    &draw,
+                );
             }
             clock += attempt_ms;
             match kind {
                 AttemptKind::Miss | AttemptKind::Refresh => {
                     self.cache.insert(key, clock, cost.bytes);
+                    // The charged build installs the shape's template
+                    // (mirroring the live server, the insert survives a
+                    // later transient loss of the attempt's result).
+                    if let Some(g) = cost.template {
+                        if template_hit {
+                            self.template_hits += 1;
+                        } else {
+                            self.template_misses += 1;
+                        }
+                        self.installed_templates.insert(g);
+                    }
                 }
                 AttemptKind::MissDegraded => self.degraded += 1,
                 AttemptKind::HitStale => self.stale_serves += 1,
@@ -933,6 +1020,8 @@ impl<'a> ServiceSim<'a> {
                 .map_or(0, |bs| bs.iter().map(CircuitBreaker::trips).sum()),
             degraded: self.degraded,
             stale_serves: self.stale_serves,
+            template_hits: self.template_hits,
+            template_misses: self.template_misses,
             makespan_ms: self.makespan_ms,
         }
     }
@@ -1071,6 +1160,7 @@ mod tests {
                 build_ms: build,
                 exchange_ms: 0.0,
                 bytes,
+                template: None,
                 error: None,
             })
             .collect()
@@ -1092,6 +1182,39 @@ mod tests {
         assert_eq!(out.cache.hits, 2);
         assert_eq!(out.cache.misses, 1);
         assert_eq!(out.coalesced, 0);
+    }
+
+    #[test]
+    fn template_groups_pay_the_instantiate_share_after_first_build() {
+        // Two distinct keys sharing one template group: the first miss
+        // pays the full build, the second only the instantiate share.
+        let mut costs = costs(2, 10.0, 8.0, 100);
+        costs[0].template = Some(0);
+        costs[1].template = Some(0);
+        let out = simulate_open(&[0, 1], &[0.0, 20.0], &costs, params(1, 4, 1000));
+        assert_eq!(out.records[0].latency_ms, 18.0, "full build + service");
+        assert_eq!(
+            out.records[1].latency_ms,
+            10.0 + TEMPLATE_BUILD_SHARE * 8.0,
+            "instantiate share + service"
+        );
+        assert_eq!((out.template_misses, out.template_hits), (1, 1));
+
+        // `template: None` reproduces the historical costs exactly.
+        let plain = costs_plain(&costs);
+        let legacy = simulate_open(&[0, 1], &[0.0, 20.0], &plain, params(1, 4, 1000));
+        assert_eq!(legacy.records[1].latency_ms, 18.0);
+        assert_eq!((legacy.template_misses, legacy.template_hits), (0, 0));
+    }
+
+    fn costs_plain(costs: &[SimCosts]) -> Vec<SimCosts> {
+        costs
+            .iter()
+            .map(|c| SimCosts {
+                template: None,
+                ..c.clone()
+            })
+            .collect()
     }
 
     #[test]
@@ -1353,6 +1476,7 @@ mod tests {
             build_ms: 0.0,
             exchange_ms: 0.0,
             bytes: 1,
+            template: None,
             error: None,
         });
         let p = SimParams {

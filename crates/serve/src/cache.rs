@@ -1,0 +1,210 @@
+//! An N-way sharded wrapper over [`ByteLru`] with per-shard locks — the
+//! serving layer's answer to cache-lock contention.
+//!
+//! The historical server kept its pipeline cache inside the one big
+//! `Mutex<State>`, so every cache touch serialized against queue
+//! bookkeeping. [`ShardedByteLru`] splits the key space by hash across
+//! `N` independently-locked [`ByteLru`] shards: workers touching
+//! different keys proceed in parallel, and cache traffic never holds the
+//! queue lock at all. Each shard applies the exact single-lock `ByteLru`
+//! semantics to its slice of the key space (the brute-force oracle test
+//! in `tests/serve.rs` locks this), and the total byte capacity is
+//! partitioned across shards so the aggregate budget is unchanged.
+//!
+//! Lock contention is observable: every acquisition that would block
+//! bumps a per-shard wait counter, surfaced as the `lock_waits` stats
+//! key and the `gsuite_cache_lock_waits_total` metric.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, TryLockError};
+
+use gsuite_scenarios::{ByteLru, LruStats};
+
+/// One shard: a single-lock [`ByteLru`] plus its lock-wait counter.
+struct Shard<K, V> {
+    lru: Mutex<ByteLru<K, V>>,
+    waits: AtomicU64,
+}
+
+impl<K: PartialEq + Hash, V> Shard<K, V> {
+    /// Locks the shard, counting a wait when the lock was contended.
+    fn lock(&self) -> MutexGuard<'_, ByteLru<K, V>> {
+        match self.lru.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                self.waits.fetch_add(1, Ordering::Relaxed);
+                self.lru.lock().expect("cache shard poisoned")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("cache shard poisoned"),
+        }
+    }
+}
+
+/// A byte-accounted LRU cache sharded `N` ways by key hash, each shard
+/// behind its own lock. Shared by reference across workers — all methods
+/// take `&self`.
+pub struct ShardedByteLru<K, V> {
+    shards: Vec<Shard<K, V>>,
+}
+
+impl<K: PartialEq + Hash, V: Clone> ShardedByteLru<K, V> {
+    /// A cache of `capacity_bytes` total, split across `shards` locks
+    /// (clamped to at least one). The capacity partition is exact: shard
+    /// byte budgets sum to `capacity_bytes`.
+    pub fn new(capacity_bytes: u64, shards: usize) -> Self {
+        let n = shards.max(1) as u64;
+        let (each, remainder) = (capacity_bytes / n, capacity_bytes % n);
+        ShardedByteLru {
+            shards: (0..n)
+                .map(|i| Shard {
+                    lru: Mutex::new(ByteLru::new(each + u64::from(i < remainder))),
+                    waits: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// The shard responsible for `key`.
+    fn shard_of(&self, key: &K) -> &Shard<K, V> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up `key` in its shard, promoting it to most-recently-used
+    /// and cloning the value out so the shard lock is released before
+    /// the caller touches it.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard_of(key).lock().get(key).cloned()
+    }
+
+    /// Inserts `key -> value` accounted at `bytes` into its shard,
+    /// evicting from that shard's LRU end until it fits. Returns `false`
+    /// when `bytes` exceeds the shard's capacity.
+    pub fn insert(&self, key: K, value: V, bytes: u64) -> bool {
+        self.shard_of(&key).lock().insert(key, value, bytes)
+    }
+
+    /// Drops up to `n` entries total, sweeping the shards round-robin
+    /// one LRU victim at a time — the fault injector's eviction-storm
+    /// primitive. Returns how many entries were actually dropped.
+    pub fn evict_lru(&self, n: usize) -> usize {
+        let mut dropped = 0;
+        while dropped < n {
+            let before = dropped;
+            for shard in &self.shards {
+                if dropped == n {
+                    break;
+                }
+                dropped += shard.lock().evict_lru(1);
+            }
+            if dropped == before {
+                break; // every shard is empty
+            }
+        }
+        dropped
+    }
+
+    /// Aggregated counter snapshot: per-shard [`LruStats`] summed (the
+    /// capacity sums back to the configured total).
+    pub fn stats(&self) -> LruStats {
+        let mut total = LruStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.insertions += s.insertions;
+            total.evictions += s.evictions;
+            total.rejected += s.rejected;
+            total.bytes_in_use += s.bytes_in_use;
+            total.capacity_bytes += s.capacity_bytes;
+            total.entries += s.entries;
+        }
+        total
+    }
+
+    /// Total contended lock acquisitions across all shards.
+    pub fn lock_waits(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.waits.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Number of shards (and locks).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_partition_is_exact() {
+        let c: ShardedByteLru<u32, u32> = ShardedByteLru::new(1003, 8);
+        assert_eq!(c.stats().capacity_bytes, 1003);
+        assert_eq!(c.shard_count(), 8);
+        let single: ShardedByteLru<u32, u32> = ShardedByteLru::new(100, 0);
+        assert_eq!(single.shard_count(), 1, "shard count clamps to one");
+    }
+
+    #[test]
+    fn get_insert_roundtrip_and_counters_aggregate() {
+        let c: ShardedByteLru<u32, u32> = ShardedByteLru::new(1 << 20, 4);
+        for k in 0..64u32 {
+            assert!(c.insert(k, k * 3, 64));
+        }
+        for k in 0..64u32 {
+            assert_eq!(c.get(&k), Some(k * 3));
+        }
+        assert_eq!(c.get(&999), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (64, 1, 64));
+        assert_eq!(s.entries, 64);
+        assert_eq!(s.bytes_in_use, 64 * 64);
+        assert_eq!(c.len(), 64);
+        assert!(!c.is_empty());
+        assert_eq!(c.lock_waits(), 0, "uncontended use never blocks");
+    }
+
+    #[test]
+    fn eviction_storm_sweeps_across_shards() {
+        let c: ShardedByteLru<u32, ()> = ShardedByteLru::new(1 << 20, 4);
+        for k in 0..16u32 {
+            c.insert(k, (), 1);
+        }
+        assert_eq!(c.evict_lru(10), 10);
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.evict_lru(100), 6, "bounded by live entries");
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn one_shard_is_exactly_the_single_lock_cache() {
+        // With a single shard, every operation must mirror a plain
+        // ByteLru byte for byte — the degenerate case of the oracle
+        // test in tests/serve.rs.
+        let sharded: ShardedByteLru<u32, u32> = ShardedByteLru::new(30, 1);
+        let mut plain: ByteLru<u32, u32> = ByteLru::new(30);
+        let ops: [(u32, u32); 5] = [(1, 10), (2, 20), (3, 30), (1, 11), (4, 40)];
+        for (k, v) in ops {
+            assert_eq!(sharded.insert(k, v, 10), plain.insert(k, v, 10));
+            assert_eq!(sharded.get(&1), plain.get(&1).copied());
+        }
+        assert_eq!(sharded.stats(), plain.stats());
+    }
+}

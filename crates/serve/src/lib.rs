@@ -5,8 +5,12 @@
 //! service accepts inference-benchmark requests (model × dataset × format
 //! × GPU config), executes them through a worker pool with
 //!
-//! * a **byte-accounted LRU cache** of built graphs + pipelines
-//!   ([`ByteLru`], hit/miss/eviction counters),
+//! * a **byte-accounted LRU cache** of built graphs + pipelines, sharded
+//!   by key hash with per-shard locks ([`ShardedByteLru`] over
+//!   [`ByteLru`]; hit/miss/eviction and lock-wait counters),
+//! * a **plan-template fast path** — repeat compile shapes skip
+//!   lower/optimize/decorate and only instantiate + re-schedule
+//!   ([`gsuite_core::plan::template::TemplateCache`]), bit-identically,
 //! * **request coalescing** — identical in-flight configurations share one
 //!   profile run,
 //! * a **bounded queue with backpressure** (blocking submits for
@@ -58,6 +62,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod fault;
 mod loadgen;
 mod net;
@@ -72,6 +77,7 @@ pub mod sim {
     pub use gsuite_scenarios::sim::*;
 }
 
+pub use cache::ShardedByteLru;
 pub use gsuite_scenarios::{ByteLru, LruStats};
 pub use loadgen::{
     build_cost_ms, run_loadgen, run_loadgen_traced, ArrivalMode, ClockMode, LatencySummary,

@@ -20,6 +20,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use gsuite_core::plan::template::TemplateKey;
 use gsuite_scenarios::trace::span_profile;
 use gsuite_scenarios::{registry, BenchOpts, LruStats};
 use gsuite_telemetry::metrics::LATENCY_BUCKETS_MS;
@@ -303,6 +304,13 @@ pub struct LoadReport {
     pub coalesced: u64,
     /// Cache counters after the run.
     pub cache: LruStats,
+    /// Plan-template fast-path builds: charged builds served at the
+    /// instantiate share (sim clock), or the server's template-cache
+    /// hits (wall clock). Zero on clocks that do not surface them (TCP).
+    pub tpl_hits: u64,
+    /// Template-carrying builds that paid the full compile (sim clock),
+    /// or the server's template-cache misses (wall clock).
+    pub tpl_misses: u64,
     /// Completed requests per second over the makespan.
     pub throughput_rps: f64,
     /// First-submission-to-last-completion milliseconds.
@@ -365,6 +373,14 @@ impl LoadReport {
             self.cache.capacity_bytes,
             self.cache.entries
         ));
+        if self.tpl_hits + self.tpl_misses > 0 {
+            out.push_str(&format!(
+                "templates: hits={} misses={} hit-rate={:.1}%\n",
+                self.tpl_hits,
+                self.tpl_misses,
+                self.tpl_hits as f64 / (self.tpl_hits + self.tpl_misses) as f64 * 100.0
+            ));
+        }
         if self.fault_mode {
             let ok = self.completed.saturating_sub(self.errors);
             let shed = self.rejected + self.resilience.circuit_open;
@@ -440,6 +456,16 @@ impl LoadReport {
         } else {
             String::new()
         };
+        let templates = if self.tpl_hits + self.tpl_misses > 0 {
+            format!(
+                ",\n  \"tpl_hits\": {},\n  \"tpl_misses\": {},\n  \"tpl_hit_rate\": {:.6}",
+                self.tpl_hits,
+                self.tpl_misses,
+                self.tpl_hits as f64 / (self.tpl_hits + self.tpl_misses) as f64
+            )
+        } else {
+            String::new()
+        };
         let phases = if self.phases.is_empty() {
             String::new()
         } else {
@@ -456,7 +482,7 @@ impl LoadReport {
              \"rejected\": {},\n  \"coalesced\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
              \"cache_hit_rate\": {:.6},\n  \"cache_evictions\": {},\n  \"throughput_rps\": {:.3},\n  \
              \"makespan_ms\": {:.4},\n  \"latency_ms\": {{\"mean\": {:.4}, \"p50\": {:.4}, \"p95\": {:.4}, \
-             \"p99\": {:.4}, \"max\": {:.4}}}{}{}{}\n}}",
+             \"p99\": {:.4}, \"max\": {:.4}}}{}{}{}{}\n}}",
             self.scenario,
             self.seed,
             self.clock,
@@ -478,6 +504,7 @@ impl LoadReport {
             self.latency.p95_ms,
             self.latency.p99_ms,
             self.latency.max_ms,
+            templates,
             slo,
             fault,
             phases
@@ -654,6 +681,8 @@ impl LoadReport {
             rejected,
             coalesced,
             cache,
+            tpl_hits: 0,
+            tpl_misses: 0,
             throughput_rps: if makespan_ms > 0.0 {
                 completed as f64 / makespan_ms * 1e3
             } else {
@@ -674,13 +703,14 @@ impl LoadReport {
 /// column order: the queue/cache/compile/service decomposition of a
 /// served request. Wall-clock traces only populate the envelope phases
 /// (`queue`, `service`) — the rest read 0.
-pub const PHASE_SPAN_NAMES: [&str; 11] = [
+pub const PHASE_SPAN_NAMES: [&str; 12] = [
     "queue",
     "cache_lookup",
     "build",
     "compile.lower",
     "compile.optimize",
     "compile.decorate",
+    "compile.instantiate",
     "compile.schedule",
     "service",
     "kernel",
@@ -750,9 +780,11 @@ fn sim_costs(
                         build_ms: build_cost_ms(bytes),
                         exchange_ms,
                         bytes,
+                        template: None,
                         error: None,
                     },
                     spans,
+                    TemplateKey::of(&graph, &req.config),
                 )
             }
             Err(e) => (
@@ -761,9 +793,11 @@ fn sim_costs(
                     build_ms: build_cost_ms(0),
                     exchange_ms: 0.0,
                     bytes: 0,
+                    template: None,
                     error: Some(e.to_string()),
                 },
                 SpanProfile::default(),
+                None,
             ),
         }
     });
@@ -773,12 +807,26 @@ fn sim_costs(
             build_ms: 0.0,
             exchange_ms: 0.0,
             bytes: 0,
+            template: None,
             error: None,
         };
         universe.len()
     ];
     let mut profiles = vec![SpanProfile::default(); universe.len()];
-    for (&k, (cost, spans)) in referenced.iter().zip(profiled) {
+    // Mirror the server's plan-template cache: every buildable entry
+    // whose compile shape (TemplateKey) matches an earlier one shares
+    // that entry's group, so only the group's first build pays the full
+    // lower/optimize/decorate cost. Group ids are assigned in first-use
+    // order, which keys them to the deterministic request stream.
+    let mut groups: Vec<TemplateKey> = Vec::new();
+    for (&k, (mut cost, spans, tkey)) in referenced.iter().zip(profiled) {
+        cost.template = tkey.map(|key| match groups.iter().position(|g| *g == key) {
+            Some(id) => id,
+            None => {
+                groups.push(key);
+                groups.len() - 1
+            }
+        });
         costs[k] = cost;
         profiles[k] = spans;
     }
@@ -896,6 +944,8 @@ fn run_sim(
         outcome.makespan_ms,
         latencies,
     );
+    report.tpl_hits = outcome.template_hits;
+    report.tpl_misses = outcome.template_misses;
     report.resilience = ResilienceSummary {
         retries: outcome.retries,
         timeouts: outcome.timeouts,
@@ -1004,6 +1054,7 @@ fn run_wall(
         },
         queue_cap: spec.queue_cap,
         cache_bytes: spec.cache_bytes,
+        cache_shards: ServeConfig::default().cache_shards,
         opts: spec.opts.clone(),
         fault: spec.fault,
         resilience: spec.resilience,
@@ -1092,6 +1143,8 @@ fn run_wall(
         makespan_ms,
         latencies,
     );
+    report.tpl_hits = stats.tpl_hits;
+    report.tpl_misses = stats.tpl_misses;
     report.resilience = ResilienceSummary {
         retries: stats.retries,
         timeouts: stats.timeouts,

@@ -117,8 +117,11 @@ fn handle_connection(stream: TcpStream, server: &Server, stop: &AtomicBool) -> b
     }
     let mut writer = stream;
     let mut reader = BufReader::new(reader_stream);
-    // Partial line bytes survive timeout wake-ups: `read_line` appends
-    // whatever it consumed before the timeout error.
+    // Reusable request read buffer. Partial line bytes survive timeout
+    // wake-ups (`read_line` appends whatever it consumed before the
+    // timeout error), and the allocation is recycled across requests:
+    // each line is decoded in place over borrowed `&str` key/value
+    // slices, so the steady-state loop performs no per-line allocation.
     let mut pending = String::new();
     loop {
         // Checked on every iteration — not just timeouts — so a client
@@ -143,10 +146,11 @@ fn handle_connection(stream: TcpStream, server: &Server, stop: &AtomicBool) -> b
             }
             Err(_) => break,
         }
-        let line = std::mem::take(&mut pending);
-        let line = line.trim();
-        let response = match line {
-            "" => continue,
+        let response = match pending.trim() {
+            "" => {
+                pending.clear();
+                continue;
+            }
             "quit" => break,
             "shutdown" => {
                 let _ = writeln!(writer, "ok bye");
@@ -175,6 +179,7 @@ fn handle_connection(stream: TcpStream, server: &Server, stop: &AtomicBool) -> b
                 Err(msg) => format!("err id=- msg={msg:?}"),
             },
         };
+        pending.clear();
         if writeln!(writer, "{response}").is_err() {
             break;
         }
@@ -210,15 +215,31 @@ impl ProtocolClient {
     /// Propagates I/O failures; a closed connection reads as
     /// `UnexpectedEof`.
     pub fn round_trip(&mut self, line: &str) -> std::io::Result<String> {
-        writeln!(self.writer, "{line}")?;
         let mut response = String::new();
-        if self.reader.read_line(&mut response)? == 0 {
+        self.round_trip_into(line, &mut response)?;
+        Ok(response)
+    }
+
+    /// [`ProtocolClient::round_trip`] into a caller-owned buffer:
+    /// `response` is cleared and refilled (trailing newline stripped), so
+    /// a driving loop that keeps one buffer per connection allocates
+    /// nothing per request — the load generator's TCP hot path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; a closed connection reads as
+    /// `UnexpectedEof`.
+    pub fn round_trip_into(&mut self, line: &str, response: &mut String) -> std::io::Result<()> {
+        writeln!(self.writer, "{line}")?;
+        response.clear();
+        if self.reader.read_line(response)? == 0 {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
             ));
         }
-        Ok(response.trim_end().to_string())
+        response.truncate(response.trim_end().len());
+        Ok(())
     }
 
     /// Sends one line and reads a multi-line response framed by a final
@@ -382,11 +403,17 @@ pub fn loadgen_tcp(addr: &str, spec: &LoadSpec, stop_server: bool) -> Result<Loa
     let results = crate::loadgen::drive_closed_loop(
         clients,
         keys.len(),
-        || ProtocolClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}")),
-        |client, i| {
+        // One connection and one reusable response buffer per client:
+        // the request loop allocates nothing per round trip.
+        || {
+            ProtocolClient::connect(addr)
+                .map(|client| (client, String::new()))
+                .map_err(|e| format!("cannot connect to {addr}: {e}"))
+        },
+        |(client, response), i| {
             let sent = Instant::now();
-            let response = client
-                .round_trip(&lines[keys[i]])
+            client
+                .round_trip_into(&lines[keys[i]], response)
                 .map_err(|e| format!("connection to {addr} failed: {e}"))?;
             let latency_ms = sent.elapsed().as_secs_f64() * 1e3;
             Ok(Step::Done(latency_ms, !response.starts_with("ok ")))

@@ -1,7 +1,12 @@
 //! The long-running inference-benchmark service: a worker pool draining a
 //! bounded FIFO request queue, a shared byte-accounted LRU cache of built
-//! graphs + pipelines, and request coalescing (identical in-flight
-//! configurations share one profile run).
+//! graphs + pipelines (sharded by key hash with per-shard locks, see
+//! [`crate::cache::ShardedByteLru`]), and request coalescing (identical
+//! in-flight configurations share one profile run). Repeat compile shapes
+//! ride the plan-template fast path
+//! ([`gsuite_core::plan::template::TemplateCache`]): lower/optimize/
+//! decorate are skipped and only instantiate + schedule run, which is
+//! bit-identical by construction.
 //!
 //! Execution of one request mirrors the batch scenario runner exactly —
 //! `Dataset::load_scaled`, `PipelineRun::build`, then
@@ -45,14 +50,16 @@ use std::sync::{Arc, Condvar, Mutex, Once};
 use std::time::Instant;
 
 use gsuite_core::config::RunConfig;
-use gsuite_core::pipeline::PipelineRun;
+use gsuite_core::pipeline::{PipelineRun, WorkerScratch};
+use gsuite_core::plan::template::TemplateCache;
 use gsuite_core::plan::OptLevel;
 use gsuite_core::CoreError;
 use gsuite_graph::Graph;
 use gsuite_profile::{Interconnect, PipelineProfile};
 use gsuite_scenarios::BenchOpts;
-use gsuite_scenarios::{ByteLru, LruStats};
+use gsuite_scenarios::LruStats;
 
+use crate::cache::ShardedByteLru;
 use crate::fault::{CircuitBreaker, FaultDraw, FaultPlan, RejectReason, ResilienceConfig};
 use crate::request::{CacheDisposition, ServeRequest};
 
@@ -108,8 +115,12 @@ pub struct ServeConfig {
     /// Bounded queue depth; a full queue blocks [`Server::submit`] and
     /// rejects [`Server::try_submit`].
     pub queue_cap: usize,
-    /// LRU cache capacity in bytes.
+    /// LRU cache capacity in bytes (split across [`ServeConfig::cache_shards`]).
     pub cache_bytes: u64,
+    /// Pipeline-cache lock shards: the cache is split `cache_shards` ways
+    /// by key hash, each slice behind its own lock, so workers touching
+    /// different keys never contend (values < 1 are clamped to 1).
+    pub cache_shards: usize,
     /// Measurement options shared by every request (scale policy, CTA
     /// caps) — the same knobs the batch scenario runner takes.
     pub opts: BenchOpts,
@@ -126,6 +137,7 @@ impl Default for ServeConfig {
             workers: 4,
             queue_cap: 64,
             cache_bytes: 256 << 20,
+            cache_shards: 8,
             opts: BenchOpts::quick(),
             fault: None,
             resilience: ResilienceConfig::default(),
@@ -286,6 +298,15 @@ pub struct ServerStats {
     /// Worker respawns after caught crashes (one per crash — no crash
     /// loses its worker slot).
     pub respawns: u64,
+    /// Plan-template cache lookup hits (repeat compile shapes).
+    pub tpl_hits: u64,
+    /// Plan-template cache lookup misses (first sight of a shape).
+    pub tpl_misses: u64,
+    /// Builds served by template instantiation instead of a full
+    /// lower/optimize/decorate compile.
+    pub tpl_instantiates: u64,
+    /// Contended pipeline-cache shard-lock acquisitions.
+    pub lock_waits: u64,
     /// Cache counters.
     pub cache: LruStats,
 }
@@ -295,7 +316,7 @@ impl ServerStats {
     /// protocol: new keys are only ever appended (so positional and
     /// prefix parsers keep working), and the
     /// `stats_line_round_trips_with_locked_key_order` test locks it.
-    pub const LINE_KEYS: [&'static str; 24] = [
+    pub const LINE_KEYS: [&'static str; 28] = [
         "workers",
         "queue",
         "submitted",
@@ -320,6 +341,10 @@ impl ServerStats {
         "stale_serves",
         "crashed",
         "respawns",
+        "tpl_hits",
+        "tpl_misses",
+        "tpl_instantiates",
+        "lock_waits",
     ];
 
     /// Renders the wire-format `stats` response line. The resilience
@@ -338,7 +363,8 @@ impl ServerStats {
     ///   cache_rejected=0 cache_bytes=211456 cache_capacity=268435456
     ///   cache_entries=1 peak_device_bytes=54112 shard_peak_device_bytes=0
     ///   retries=0 timeouts=0 breaker_trips=0 breaker_shed=0 degraded=0
-    ///   stale_serves=0 crashed=0 respawns=0
+    ///   stale_serves=0 crashed=0 respawns=0 tpl_hits=0 tpl_misses=1
+    ///   tpl_instantiates=0 lock_waits=0
     /// ```
     ///
     /// (wrapped here for the page; the wire carries a single line).
@@ -351,7 +377,8 @@ impl ServerStats {
              cache_rejected={} cache_bytes={} cache_capacity={} cache_entries={} \
              peak_device_bytes={} shard_peak_device_bytes={} \
              retries={} timeouts={} breaker_trips={} breaker_shed={} degraded={} \
-             stale_serves={} crashed={} respawns={}",
+             stale_serves={} crashed={} respawns={} \
+             tpl_hits={} tpl_misses={} tpl_instantiates={} lock_waits={}",
             self.workers,
             self.queue_depth,
             self.submitted,
@@ -376,6 +403,10 @@ impl ServerStats {
             self.stale_serves,
             self.crashed,
             self.respawns,
+            self.tpl_hits,
+            self.tpl_misses,
+            self.tpl_instantiates,
+            self.lock_waits,
         )
     }
 
@@ -413,6 +444,10 @@ impl ServerStats {
             stale_serves: get("stale_serves"),
             crashed: get("crashed"),
             respawns: get("respawns"),
+            tpl_hits: get("tpl_hits"),
+            tpl_misses: get("tpl_misses"),
+            tpl_instantiates: get("tpl_instantiates"),
+            lock_waits: get("lock_waits"),
             cache: LruStats {
                 hits: get("cache_hits"),
                 misses: get("cache_misses"),
@@ -432,7 +467,7 @@ impl ServerStats {
     /// become gauges; exposition order is sorted by name.
     pub fn metrics(&self) -> gsuite_telemetry::MetricsRegistry {
         let mut reg = gsuite_telemetry::MetricsRegistry::new();
-        let counters: [(&str, &str, u64); 17] = [
+        let counters: [(&str, &str, u64); 21] = [
             (
                 "gsuite_serve_submitted_total",
                 "Accepted submissions (including coalesced).",
@@ -518,6 +553,26 @@ impl ServerStats {
                 "Worker respawns after caught crashes.",
                 self.respawns,
             ),
+            (
+                "gsuite_template_hits_total",
+                "Plan-template cache lookup hits.",
+                self.tpl_hits,
+            ),
+            (
+                "gsuite_template_misses_total",
+                "Plan-template cache lookup misses.",
+                self.tpl_misses,
+            ),
+            (
+                "gsuite_template_instantiates_total",
+                "Builds served by template instantiation instead of a full compile.",
+                self.tpl_instantiates,
+            ),
+            (
+                "gsuite_cache_lock_waits_total",
+                "Contended pipeline-cache shard-lock acquisitions.",
+                self.lock_waits,
+            ),
         ];
         for (name, help, v) in counters {
             reg.counter_add(name, help, v);
@@ -579,7 +634,6 @@ struct State {
     /// Keys currently executing on a worker; identical submissions attach
     /// their waiter here.
     executing: Vec<(ServeRequest, Vec<Waiter>)>,
-    cache: ByteLru<ServeRequest, CacheEntry>,
     /// Per-config circuit breakers (linear scan: the config universe a
     /// service sees is small).
     breakers: Vec<(ServeRequest, CircuitBreaker)>,
@@ -606,6 +660,13 @@ struct Inner {
     /// since this instant, mirroring the sim clock's absolute time.
     epoch: Instant,
     state: Mutex<State>,
+    /// The pipeline cache, sharded by key hash with per-shard locks —
+    /// deliberately *outside* the queue mutex so cache traffic and queue
+    /// bookkeeping never serialize against each other.
+    cache: ShardedByteLru<ServeRequest, CacheEntry>,
+    /// Compile-shape templates shared by every worker: repeat shapes skip
+    /// lower/optimize/decorate and only re-schedule.
+    templates: TemplateCache,
     work_avail: Condvar,
     space_avail: Condvar,
 }
@@ -629,7 +690,6 @@ impl Server {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 executing: Vec::new(),
-                cache: ByteLru::new(cfg.cache_bytes),
                 breakers: Vec::new(),
                 next_id: 0,
                 submitted: 0,
@@ -648,6 +708,8 @@ impl Server {
                 shutdown: false,
             }),
             epoch: Instant::now(),
+            cache: ShardedByteLru::new(cfg.cache_bytes, cfg.cache_shards),
+            templates: TemplateCache::new(),
             work_avail: Condvar::new(),
             space_avail: Condvar::new(),
             cfg,
@@ -774,6 +836,7 @@ impl Server {
 
     /// The current counter snapshot.
     pub fn stats(&self) -> ServerStats {
+        let tpl = self.inner.templates.stats();
         let state = self.inner.state.lock().expect("server state poisoned");
         ServerStats {
             workers: self.handles.len(),
@@ -792,7 +855,11 @@ impl Server {
             stale_serves: state.stale_serves,
             crashed: state.crashed,
             respawns: state.respawns,
-            cache: state.cache.stats(),
+            tpl_hits: tpl.hits,
+            tpl_misses: tpl.misses,
+            tpl_instantiates: tpl.instantiates,
+            lock_waits: self.inner.cache.lock_waits(),
+            cache: self.inner.cache.stats(),
         }
     }
 
@@ -850,14 +917,18 @@ struct AttemptSuccess {
 }
 
 /// Builds graph + pipeline for `config` — the expensive miss path, run
-/// outside the state lock. `cancelled` is the deadline budget's
+/// outside the state lock. Repeat compile shapes are served from
+/// `templates` (instantiate + schedule only); `scratch` is the calling
+/// worker's reusable compile arena; `cancelled` is the deadline budget's
 /// cooperative-cancellation checkpoint.
 fn build_pipeline(
     config: &RunConfig,
+    templates: &TemplateCache,
+    scratch: &mut WorkerScratch,
     cancelled: &mut dyn FnMut() -> bool,
 ) -> Result<CachedPipeline, AttemptError> {
     let graph = Arc::new(config.load_graph());
-    match PipelineRun::build_cancellable(&graph, config, cancelled) {
+    match PipelineRun::build_with_templates_in(&graph, config, templates, scratch, cancelled) {
         Ok(run) => Ok((graph, Arc::new(run))),
         Err(CoreError::Cancelled) => Err(AttemptError::Cancelled),
         // The suite's known boundary (e.g. gSuite SAGE under SpMM) and any
@@ -882,6 +953,7 @@ fn run_attempt(
     key: &ServeRequest,
     draw: &FaultDraw,
     pressured: bool,
+    scratch: &mut WorkerScratch,
     cancelled: &mut dyn FnMut() -> bool,
 ) -> Result<AttemptSuccess, AttemptError> {
     let started = Instant::now();
@@ -892,13 +964,10 @@ fn run_attempt(
     }
     let res = &inner.cfg.resilience;
 
-    // Cache lookup under the lock; the expensive build outside it.
-    // Coalescing guarantees one execution per key at a time, so two
-    // workers never race to build the same entry.
-    let cached = {
-        let mut state = inner.state.lock().expect("server state poisoned");
-        state.cache.get(key).cloned()
-    };
+    // Cache lookup under the key's shard lock only; the expensive build
+    // outside any lock. Coalescing guarantees one execution per key at a
+    // time, so two workers never race to build the same entry.
+    let cached = inner.cache.get(key);
     let (disposition, value, degraded, stale) = match cached {
         Some(entry) => {
             let age_ms = ms_between(entry.built_at, Instant::now());
@@ -909,11 +978,12 @@ fn run_attempt(
                     (CacheDisposition::Hit, entry.value, false, true)
                 }
                 Some(ttl) if age_ms > ttl => {
-                    // Refresh: rebuild and re-insert with a fresh age.
-                    let built = build_pipeline(&key.config, cancelled)?;
+                    // Refresh: rebuild and re-insert with a fresh age. The
+                    // rebuild is a template hit (same shape just aged out),
+                    // so only the schedule is recomputed.
+                    let built = build_pipeline(&key.config, &inner.templates, scratch, cancelled)?;
                     let bytes = entry_bytes(&built.0, &built.1);
-                    let mut state = inner.state.lock().expect("server state poisoned");
-                    state.cache.insert(
+                    inner.cache.insert(
                         key.clone(),
                         CacheEntry {
                             value: built.clone(),
@@ -934,14 +1004,13 @@ fn run_attempt(
                 opt: OptLevel::O0,
                 ..key.config.clone()
             };
-            let built = build_pipeline(&o0, cancelled)?;
+            let built = build_pipeline(&o0, &inner.templates, scratch, cancelled)?;
             (CacheDisposition::Miss, built, true, false)
         }
         None => {
-            let built = build_pipeline(&key.config, cancelled)?;
+            let built = build_pipeline(&key.config, &inner.templates, scratch, cancelled)?;
             let bytes = entry_bytes(&built.0, &built.1);
-            let mut state = inner.state.lock().expect("server state poisoned");
-            state.cache.insert(
+            inner.cache.insert(
                 key.clone(),
                 CacheEntry {
                     value: built.clone(),
@@ -984,6 +1053,11 @@ fn run_attempt(
 }
 
 fn worker_loop(inner: &Inner) {
+    // Per-worker reusable compile arena: steady-state builds recycle the
+    // schedule allocator and liveness buckets instead of reallocating.
+    // Safe across caught panics — every build resets the scratch before
+    // use, so a crash-interrupted attempt cannot poison the next one.
+    let mut scratch = WorkerScratch::new();
     loop {
         // Wait for a job (or drain-and-exit on shutdown).
         let job = {
@@ -1027,10 +1101,9 @@ fn worker_loop(inner: &Inner) {
             }
             let draw = plan.map_or_else(FaultDraw::healthy, |p| p.draw(request_index, attempt));
             if draw.evict > 0 {
-                // Injected eviction storm: poison the LRU tail before the
+                // Injected eviction storm: poison the LRU tails before the
                 // attempt's cache lookup.
-                let mut state = inner.state.lock().expect("server state poisoned");
-                state.cache.evict_lru(draw.evict);
+                inner.cache.evict_lru(draw.evict);
             }
             let pressured =
                 deadline_ms.is_some_and(|d| ms_between(anchor, Instant::now()) > 0.5 * d);
@@ -1039,7 +1112,7 @@ fn worker_loop(inner: &Inner) {
             // injected crash or a real bug) unwinds to here; the worker
             // thread survives and is logically respawned.
             let caught = catch_unwind(AssertUnwindSafe(|| {
-                run_attempt(inner, &job.key, &draw, pressured, &mut || {
+                run_attempt(inner, &job.key, &draw, pressured, &mut scratch, &mut || {
                     expired(Instant::now())
                 })
             }));
@@ -1208,7 +1281,9 @@ mod tests {
             "served pipeline reports its memory-schedule peak"
         );
         assert!(stats.to_line().contains("peak_device_bytes="));
-        assert!(stats.to_line().ends_with("crashed=0 respawns=0"));
+        assert!(stats
+            .to_line()
+            .ends_with("tpl_hits=0 tpl_misses=1 tpl_instantiates=0 lock_waits=0"));
         server.shutdown();
     }
 
@@ -1223,6 +1298,34 @@ mod tests {
         // Bit-identical profiles: same pipeline, same profiler.
         assert_eq!(first.outcome.unwrap(), second.outcome.unwrap());
         assert!(server.stats().cache.hit_rate() > 0.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn evicted_pipelines_rebuild_from_the_plan_template() {
+        // A zero-byte cache rejects every pipeline insert, so each repeat
+        // request misses the pipeline cache — but the second one finds
+        // the plan template and serves an instantiated build that is
+        // bit-identical to the first full compile.
+        let server = Server::start(ServeConfig {
+            cache_bytes: 0,
+            ..ServeConfig::golden()
+        });
+        let req = golden_request("model=gcn dataset=cora scale=0.05");
+        let first = server.submit(req.clone()).unwrap().recv().unwrap();
+        let second = server.submit(req).unwrap().recv().unwrap();
+        assert_eq!(first.cache, CacheDisposition::Miss);
+        assert_eq!(second.cache, CacheDisposition::Miss);
+        assert_eq!(
+            first.outcome.unwrap(),
+            second.outcome.unwrap(),
+            "instantiated build profiles bit-identically to the full compile"
+        );
+        let stats = server.stats();
+        assert_eq!(stats.tpl_misses, 1, "first request sees no template");
+        assert_eq!(stats.tpl_hits, 1, "second request finds the template");
+        assert_eq!(stats.tpl_instantiates, 1);
+        assert_eq!(stats.cache.rejected, 2, "pipeline cache rejects both");
         server.shutdown();
     }
 
@@ -1281,6 +1384,10 @@ mod tests {
             stale_serves: 1,
             crashed: 2,
             respawns: 2,
+            tpl_hits: 11,
+            tpl_misses: 6,
+            tpl_instantiates: 9,
+            lock_waits: 4,
             cache: LruStats {
                 hits: 20,
                 misses: 17,

@@ -7,6 +7,11 @@
 #
 # Usage: scripts/serve_bench.sh [tag]
 #   tag   suffix for the output file, e.g. `pr3` -> BENCH_pr3.json
+#
+# Environment:
+#   BENCH_NOTES="text"   recorded as a top-level "notes" field — use it
+#                        to annotate accepted/intended deltas next to
+#                        the numbers they explain.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,6 +35,9 @@ echo "== loadgen (sim clock, closed loop)"
 echo "== loadgen (sim clock, open loop with shedding)"
 "$BIN" loadgen --scenario serve-mix --seed 42 --requests 256 --rate 200 \
     --workers 2 --queue 8 --slo-ms 250 --metrics --json "$TMP/sim_open.json"
+echo "== loadgen (sim clock, warm templates: small cache forces rebuilds)"
+"$BIN" loadgen --scenario serve-mix --seed 42 --requests 256 --clients 8 \
+    --cache-mb 4 --metrics --json "$TMP/sim_warm.json"
 echo "== loadgen (sim clock, chaos: seeded faults + resilience policy)"
 "$BIN" loadgen --scenario serve-mix --seed 42 --requests 256 --clients 8 \
     --fault-seed 7 --fault-rate 0.25 --deadline-ms 900 --retries 2 --breaker \
@@ -38,15 +46,56 @@ echo "== loadgen (wall clock, closed loop)"
 "$BIN" loadgen --scenario serve-mix --seed 42 --requests 256 --clients 8 \
     --clock wall --json "$TMP/wall_closed.json"
 
+# Plan-template fast-path summary, from the warm-templates sim run
+# (a 4 MiB cache keeps evicting pipelines, so rebuilds exercise the
+# instantiate path against an installed template):
+# hit rate, and the per-build compile-phase milliseconds of the
+# instantiate path (compile.instantiate + compile.schedule) vs a full
+# compile (compile.lower + optimize + decorate + schedule) — the
+# ≥2× criterion the PR gate reads.
+TEMPLATE_JSON="$(python3 - "$TMP/sim_warm.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+phases = r.get("phases", {})
+hits, misses = r.get("tpl_hits", 0), r.get("tpl_misses", 0)
+inst = phases.get("compile.instantiate", 0.0)
+full = sum(phases.get(f"compile.{p}", 0.0) for p in ("lower", "optimize", "decorate"))
+sched = phases.get("compile.schedule", 0.0)
+builds = hits + misses
+# The schedule share is paid on both paths; apportion it by build count.
+sched_each = sched / builds if builds else 0.0
+inst_per = inst / hits + sched_each if hits else 0.0
+full_per = full / misses + sched_each if misses else 0.0
+print(json.dumps({
+    "hit_rate": round(r.get("tpl_hit_rate", 0.0), 6),
+    "instantiate_builds": hits,
+    "full_builds": misses,
+    "instantiate_ms_per_build": round(inst_per, 4),
+    "full_compile_ms_per_build": round(full_per, 4),
+    "compile_speedup": round(full_per / inst_per, 2) if inst_per else None,
+}, indent=2))
+EOF
+)"
+echo "== template fast path: $TEMPLATE_JSON"
+
 {
     echo '{'
     echo "  \"tag\": \"$TAG\","
     echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
     echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
     echo "  \"host_cores\": $(nproc),"
+    if [ -n "${BENCH_NOTES:-}" ]; then
+        printf '  "notes": %s,\n' "$(python3 -c 'import json,sys; print(json.dumps(sys.argv[1]))' "$BENCH_NOTES")"
+    fi
+    printf '  "template": '
+    sed 's/^/  /' <<<"$TEMPLATE_JSON" | sed '1s/^  //'
+    echo ','
     echo '  "results": {'
     first=1
-    for run in sim_closed sim_open sim_chaos wall_closed; do
+    for run in sim_closed sim_open sim_warm sim_chaos wall_closed; do
         [ $first -eq 1 ] || echo ','
         first=0
         printf '    "%s": ' "$run"

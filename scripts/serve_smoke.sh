@@ -21,9 +21,9 @@ echo "== sim-clock loadgen: reproducibility across thread counts"
 "$BIN" loadgen --scenario serve-mix --seed 42 --requests 64 --threads 4 > "$TMP/lg2.txt"
 cmp "$TMP/lg1.txt" "$TMP/lg2.txt"
 grep -q "p99=" "$TMP/lg1.txt"
-grep -q "hit-rate=" "$TMP/lg1.txt"
+grep -q "^cache: .*hit-rate=" "$TMP/lg1.txt"
 # Repeated configs in the mix must actually hit the cache.
-if grep -q "hit-rate=0.0%" "$TMP/lg1.txt"; then
+if grep -q "^cache: .*hit-rate=0.0%" "$TMP/lg1.txt"; then
     echo "error: expected a non-zero cache hit rate" >&2
     exit 1
 fi
@@ -41,6 +41,47 @@ grep -q "# EOF" "$TMP/m1.txt"
 head -n "$(( $(wc -l < "$TMP/lg1.txt") + 1 ))" "$TMP/m1.txt" \
     | grep -v "^phases (ms):" > "$TMP/m1_report.txt"
 cmp "$TMP/m1_report.txt" "$TMP/lg1.txt"
+
+echo "== plan templates: warmed compile phases flatline on repeat mixes"
+# A 4 MiB cache keeps evicting built pipelines, so rebuilds must ride
+# the plan-template fast path: once every compile shape in the mix has
+# been seen, doubling the traffic adds ZERO lower/optimize/decorate
+# milliseconds — only instantiate + schedule grow. Sim clock, so the
+# totals are exact and host-independent.
+"$BIN" loadgen --scenario serve-mix --seed 42 --requests 128 --cache-mb 4 --metrics \
+    | grep -E "^templates:|^phases" > "$TMP/warm128.txt"
+"$BIN" loadgen --scenario serve-mix --seed 42 --requests 256 --cache-mb 4 --metrics \
+    | grep -E "^templates:|^phases" > "$TMP/warm256.txt"
+python3 - "$TMP/warm128.txt" "$TMP/warm256.txt" <<'EOF'
+import re
+import sys
+
+
+def parse(path):
+    phases, hits = {}, 0
+    for line in open(path):
+        if line.startswith("templates:"):
+            hits = int(re.search(r"hits=(\d+)", line).group(1))
+        if line.startswith("phases"):
+            phases = dict(
+                (k, float(v)) for k, v in re.findall(r"(\S+)=([\d.]+)", line)
+            )
+    return hits, phases
+
+
+hits1, p1 = parse(sys.argv[1])
+hits2, p2 = parse(sys.argv[2])
+full1 = sum(p1[f"compile.{k}"] for k in ("lower", "optimize", "decorate"))
+full2 = sum(p2[f"compile.{k}"] for k in ("lower", "optimize", "decorate"))
+assert hits1 > 0 and hits2 > hits1, f"template fast path inactive: {hits1}, {hits2}"
+assert p2["compile.instantiate"] > p1["compile.instantiate"] > 0.0
+assert full2 == full1, (
+    f"warmed full-compile phases must not grow with traffic: {full1} -> {full2}"
+)
+print(f"warm OK: full-compile frozen at {full1:.4f} ms while "
+      f"instantiate grew {p1['compile.instantiate']:.4f} -> "
+      f"{p2['compile.instantiate']:.4f} ms ({hits1} -> {hits2} template hits)")
+EOF
 
 echo "== live server + TCP loadgen on an ephemeral port"
 "$BIN" serve --port 0 --threads 2 > "$TMP/serve.log" 2>&1 &

@@ -1025,6 +1025,7 @@ fn single_run_trace(
         ("compile.lower", run.compile_phases.lower_ms),
         ("compile.optimize", run.compile_phases.optimize_ms),
         ("compile.decorate", run.compile_phases.decorate_ms),
+        ("compile.instantiate", run.compile_phases.instantiate_ms),
         ("compile.schedule", run.compile_phases.schedule_ms),
     ] {
         sink.record(name, Some(build), 0, t, dur, Vec::new());

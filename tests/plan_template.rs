@@ -1,0 +1,241 @@
+//! Plan-template equivalence suite — the lock on the serve fast path
+//! (`gsuite_core::plan::template`):
+//!
+//! * An **instantiated** pipeline (template hit: skip
+//!   lower/optimize/decorate, rebind the cached plan, re-schedule) is
+//!   **bit-identical** to a full compile — same launch kinds, grids and
+//!   full sampled address traces, same functional output, same peak
+//!   device bytes — for every model × format × O0/O2, including
+//!   mini-batch sampled configs.
+//! * Sharded multi-GPU configs are explicitly *not* templatable
+//!   (`TemplateKey::of` → `None`): `build_with_templates` still builds
+//!   them, identically, without touching the cache.
+//! * The same equivalence holds on random power-law graphs (proptest).
+
+use gsuite::core::config::{CompModel, GnnModel, RunConfig};
+use gsuite::core::pipeline::PipelineRun;
+use gsuite::core::plan::template::{TemplateCache, TemplateKey};
+use gsuite::core::OptLevel;
+use gsuite::gpu::TraceBuf;
+use gsuite::graph::datasets::Dataset;
+use gsuite::graph::{Graph, GraphGenerator, GraphTopology};
+use gsuite::scenarios::BenchOpts;
+use proptest::prelude::*;
+
+/// Every `(model, comp)` pair the suite can build (extension models
+/// included; the format axis is implied by the computational model —
+/// see `tests/plan_equivalence.rs`).
+fn buildable_pairs() -> Vec<(GnnModel, CompModel)> {
+    let mut pairs = Vec::new();
+    for model in GnnModel::EXTENDED {
+        for comp in CompModel::ALL {
+            if comp == CompModel::Spmm && matches!(model, GnnModel::Sage | GnnModel::Gat) {
+                continue; // no SpMM lowering (paper §V-A)
+            }
+            pairs.push((model, comp));
+        }
+    }
+    pairs
+}
+
+/// A complete behavioural fingerprint of a launch stream: kind, workload
+/// name, grid, and the full traces of a deterministic warp sample.
+/// Traces embed every operand address, so equal fingerprints mean
+/// byte-identical scheduled kernels — ops, addresses and launches alike.
+fn fingerprint(
+    run: &PipelineRun,
+) -> Vec<(
+    gsuite::core::kernels::KernelKind,
+    String,
+    gsuite::gpu::Grid,
+    Vec<TraceBuf>,
+)> {
+    run.launches
+        .iter()
+        .map(|l| {
+            let grid = l.workload.grid();
+            let mut traces = Vec::new();
+            for cta in [0, grid.ctas / 2, grid.ctas - 1] {
+                for warp in [0, grid.warps_per_cta - 1] {
+                    traces.push(l.workload.trace(cta, warp));
+                }
+            }
+            (l.kind, l.workload.name(), grid, traces)
+        })
+        .collect()
+}
+
+/// Asserts a template-instantiated build of `config` is bit-identical
+/// to a full compile: first build through a fresh cache populates the
+/// template (and must itself equal `PipelineRun::build`), second build
+/// is served by `Template::instantiate` and must match in every
+/// observable — launches, addresses, output, peak bytes.
+fn check_instantiate_equivalence(graph: &Graph, config: &RunConfig, ctx: &str) {
+    let full = PipelineRun::build(graph, config).expect("full build");
+    let templates = TemplateCache::new();
+    let cold = PipelineRun::build_with_templates(graph, config, &templates).expect("cold build");
+    let warm = PipelineRun::build_with_templates(graph, config, &templates).expect("warm build");
+
+    for (run, label) in [(&cold, "cold"), (&warm, "instantiated")] {
+        assert_eq!(
+            fingerprint(&full),
+            fingerprint(run),
+            "{ctx}: {label} launch stream must be byte-identical to a full compile"
+        );
+        assert_eq!(
+            full.output, run.output,
+            "{ctx}: {label} functional output drifted"
+        );
+        assert_eq!(
+            full.peak_device_bytes, run.peak_device_bytes,
+            "{ctx}: {label} peak device bytes drifted"
+        );
+        assert_eq!(
+            full.launch_count(),
+            run.launch_count(),
+            "{ctx}: {label} launch count drifted"
+        );
+    }
+
+    // The warm build really took the fast path: no lower/optimize/
+    // decorate time, and the cache counted one instantiate.
+    assert_eq!(
+        warm.compile_phases.full_compile_ms(),
+        0.0,
+        "{ctx}: instantiated build must skip lower/optimize/decorate"
+    );
+    let s = templates.stats();
+    assert_eq!(
+        (s.hits, s.misses, s.instantiates, s.entries),
+        (1, 1, 1, 1),
+        "{ctx}: expected exactly one miss (populate) then one instantiate"
+    );
+}
+
+#[test]
+fn instantiated_equals_full_compile_for_every_model_format_and_opt() {
+    let opts = BenchOpts::golden();
+    let dataset = Dataset::Cora;
+    let graph = dataset.load_scaled(opts.scale_for(dataset));
+    for (model, comp) in buildable_pairs() {
+        for opt in [OptLevel::O0, OptLevel::O2] {
+            let config = RunConfig {
+                model,
+                comp,
+                dataset,
+                scale: opts.scale_for(dataset),
+                layers: 2,
+                hidden: 8,
+                opt,
+                functional_math: true,
+                ..RunConfig::default()
+            };
+            check_instantiate_equivalence(
+                &graph,
+                &config,
+                &format!("{model}-{comp} @ {opt:?} on {dataset}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn instantiated_equals_full_compile_for_minibatch_configs() {
+    let opts = BenchOpts::golden();
+    let dataset = Dataset::Cora;
+    let graph = dataset.load_scaled(opts.scale_for(dataset));
+    for opt in [OptLevel::O0, OptLevel::O2] {
+        let config = RunConfig {
+            dataset,
+            scale: opts.scale_for(dataset),
+            batch_size: 8,
+            fanout: vec![4, 3],
+            opt,
+            functional_math: true,
+            ..RunConfig::default()
+        };
+        check_instantiate_equivalence(&graph, &config, &format!("minibatch @ {opt:?}"));
+
+        // A different sampling axis is a different compile shape — the
+        // key must split, never alias.
+        let other = RunConfig {
+            batch_size: 4,
+            ..config.clone()
+        };
+        assert_ne!(
+            TemplateKey::of(&graph, &config),
+            TemplateKey::of(&graph, &other),
+            "batch_size is compile-relevant and must split template keys"
+        );
+    }
+}
+
+#[test]
+fn sharded_configs_bypass_the_cache_but_still_build_identically() {
+    let opts = BenchOpts::golden();
+    let dataset = Dataset::Cora;
+    let graph = dataset.load_scaled(opts.scale_for(dataset));
+    let config = RunConfig {
+        dataset,
+        scale: opts.scale_for(dataset),
+        gpus_per_run: 2,
+        ..RunConfig::default()
+    };
+    assert_eq!(
+        TemplateKey::of(&graph, &config),
+        None,
+        "sharded multi-GPU configs are not templatable"
+    );
+    let full = PipelineRun::build(&graph, &config).expect("full sharded build");
+    let templates = TemplateCache::new();
+    let a = PipelineRun::build_with_templates(&graph, &config, &templates).expect("build a");
+    let b = PipelineRun::build_with_templates(&graph, &config, &templates).expect("build b");
+    for run in [&a, &b] {
+        assert_eq!(fingerprint(&full), fingerprint(run));
+        assert_eq!(full.output, run.output);
+        assert_eq!(full.peak_device_bytes, run.peak_device_bytes);
+    }
+    let s = templates.stats();
+    assert_eq!(
+        (s.hits, s.misses, s.instantiates, s.entries),
+        (0, 0, 0, 0),
+        "sharded builds must never touch the template cache"
+    );
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (5usize..40, 1usize..6, 0u64..200, 1usize..12).prop_map(|(nodes, deg, seed, feat)| {
+        let edges = (nodes * deg).min(nodes * (nodes - 1) / 2);
+        GraphGenerator::new(nodes, edges)
+            .topology(GraphTopology::PowerLaw { exponent: 0.8 })
+            .seed(seed)
+            .build_graph(feat)
+            .expect("valid generator args")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn instantiated_equals_full_compile_on_random_graphs(
+        graph in arb_graph(), layers in 1usize..4, hidden in 1usize..8,
+        opt_o2 in proptest::bool::ANY
+    ) {
+        let config = RunConfig {
+            layers,
+            hidden,
+            opt: if opt_o2 { OptLevel::O2 } else { OptLevel::O0 },
+            functional_math: true,
+            ..RunConfig::default()
+        };
+        let full = PipelineRun::build(&graph, &config).unwrap();
+        let templates = TemplateCache::new();
+        let _cold = PipelineRun::build_with_templates(&graph, &config, &templates).unwrap();
+        let warm = PipelineRun::build_with_templates(&graph, &config, &templates).unwrap();
+        prop_assert_eq!(fingerprint(&full), fingerprint(&warm));
+        prop_assert_eq!(&full.output, &warm.output);
+        prop_assert_eq!(full.peak_device_bytes, warm.peak_device_bytes);
+        prop_assert_eq!(templates.stats().instantiates, 1);
+    }
+}

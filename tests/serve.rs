@@ -2,7 +2,9 @@
 //!
 //! 1. **Cache correctness** — the byte-accounted LRU's capacity
 //!    accounting, eviction order and hit/miss counters match a
-//!    brute-force reference model under random operation sequences.
+//!    brute-force reference model under random operation sequences, and
+//!    the N-way sharded cache matches N independent single-lock caches
+//!    (same hash routing, same capacity partition) op for op.
 //! 2. **Serve ≡ batch** — a profile served by [`gsuite::serve::Server`]
 //!    is bit-identical to the same configuration's cell in the batch
 //!    [`gsuite::scenarios::run_scenario`] grid.
@@ -18,7 +20,7 @@ use proptest::prelude::*;
 use gsuite::scenarios::{registry, BenchOpts};
 use gsuite::serve::{
     run_loadgen, serve_on, ArrivalMode, ByteLru, ClockMode, LoadSpec, ProtocolClient, ServeConfig,
-    ServeRequest, Server,
+    ServeRequest, Server, ShardedByteLru,
 };
 
 // ---------------------------------------------------------------------------
@@ -132,6 +134,77 @@ proptest! {
             cache.insert(key, (), bytes); // <=100 bytes free: never evicts 0
         }
         assert!(cache.contains(&0));
+    }
+
+    /// The sharded cache is exactly N independent single-lock caches: a
+    /// brute-force reference — one plain [`ByteLru`] per shard, keys
+    /// routed by the same hash, capacity partitioned the same way —
+    /// agrees with [`ShardedByteLru`] on every lookup, every insert
+    /// acceptance, the eviction-storm sweep and the aggregate counters.
+    #[test]
+    fn sharded_lru_matches_single_lock_reference(
+        capacity in 1u64..400,
+        shards in 1usize..6,
+        ops in proptest::collection::vec((0u8..3, 0u8..12, 1u64..120), 0..64),
+    ) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+
+        let sharded: ShardedByteLru<u8, u8> = ShardedByteLru::new(capacity, shards);
+        let n = shards as u64;
+        let (each, remainder) = (capacity / n, capacity % n);
+        let mut reference: Vec<ByteLru<u8, u8>> = (0..n)
+            .map(|i| ByteLru::new(each + u64::from(i < remainder)))
+            .collect();
+        let route = |key: u8| -> usize {
+            let mut h = DefaultHasher::new();
+            key.hash(&mut h);
+            (h.finish() % n) as usize
+        };
+        for (op, key, bytes) in ops {
+            match op {
+                0 => {
+                    let accepted = sharded.insert(key, key, bytes);
+                    prop_assert_eq!(accepted, reference[route(key)].insert(key, key, bytes));
+                }
+                1 => {
+                    let got = sharded.get(&key);
+                    prop_assert_eq!(got, reference[route(key)].get(&key).copied());
+                }
+                _ => {
+                    // Round-robin storm, one LRU victim per shard pass.
+                    let victims = (bytes % 4) as usize;
+                    let mut dropped = 0;
+                    while dropped < victims {
+                        let before = dropped;
+                        for shard in reference.iter_mut() {
+                            if dropped == victims {
+                                break;
+                            }
+                            dropped += shard.evict_lru(1);
+                        }
+                        if dropped == before {
+                            break;
+                        }
+                    }
+                    prop_assert_eq!(sharded.evict_lru(victims), dropped);
+                }
+            }
+        }
+        let mut expect = gsuite::serve::LruStats::default();
+        for shard in &reference {
+            let s = shard.stats();
+            expect.hits += s.hits;
+            expect.misses += s.misses;
+            expect.insertions += s.insertions;
+            expect.evictions += s.evictions;
+            expect.rejected += s.rejected;
+            expect.bytes_in_use += s.bytes_in_use;
+            expect.capacity_bytes += s.capacity_bytes;
+            expect.entries += s.entries;
+        }
+        prop_assert_eq!(sharded.stats(), expect);
+        prop_assert_eq!(sharded.len(), reference.iter().map(|s| s.len()).sum::<usize>());
     }
 }
 
