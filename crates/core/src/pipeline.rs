@@ -17,6 +17,7 @@ use gsuite_tensor::DenseMatrix;
 use crate::config::RunConfig;
 use crate::frameworks;
 use crate::kernels::Launch;
+use crate::plan::batchmerge::{self, MergedPart};
 use crate::plan::shard::{self, ShardedExec};
 use crate::plan::template::{Template, TemplateCache, TemplateKey};
 use crate::plan::{OpSpec, Plan, ScheduleScratch};
@@ -230,6 +231,137 @@ impl PipelineRun {
         })
     }
 
+    /// Builds one cross-request merged batch (see
+    /// [`crate::plan::batchmerge`]): all member requests lowered into a
+    /// single block-diagonal plan, one optimize → decorate → schedule
+    /// tail, one launch stream. Returns the combined run plus each
+    /// member's [`MergedPart`] (solo-bit-identical output + attribution
+    /// weights) in request order.
+    ///
+    /// The returned run's `config`/`label` describe the first member;
+    /// its `output` stacks the member outputs row-wise when they share a
+    /// width (always true for sampled merges).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`crate::plan::batchmerge::lower_merged`] can return:
+    /// empty or class-mixed member lists, sampler errors, unsupported
+    /// model combinations.
+    pub fn build_merged(graph: &Graph, configs: &[RunConfig]) -> Result<(Self, Vec<MergedPart>)> {
+        Self::merged_full_build(graph, configs, &mut ScheduleScratch::default())
+    }
+
+    /// [`PipelineRun::build_merged`] through a [`TemplateCache`]: a
+    /// repeat-shape merged batch (same members, same order — see
+    /// [`TemplateKey::of_merged`]) skips lower/optimize/decorate and
+    /// only rebinds + schedules. Bit-identical to the full merged build
+    /// whether the cache hits or misses; heterogeneous merges
+    /// (full-graph mixes) always take the full path.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`PipelineRun::build_merged`] can return.
+    pub fn build_merged_with_templates(
+        graph: &Graph,
+        configs: &[RunConfig],
+        templates: &TemplateCache,
+        scratch: &mut WorkerScratch,
+    ) -> Result<(Self, Vec<MergedPart>)> {
+        let Some(key) = TemplateKey::of_merged(graph, configs) else {
+            return Self::merged_full_build(graph, configs, &mut scratch.schedule);
+        };
+        let Some(template) = templates.get(&key) else {
+            let (run, parts) = Self::merged_full_build(graph, configs, &mut scratch.schedule)?;
+            let meta = parts.iter().map(|p| (p.nodes, p.edges)).collect();
+            templates.insert(key, Template::capture_merged(&run.plan, &run.output, meta));
+            return Ok((run, parts));
+        };
+        let mut phases = CompilePhases::default();
+        let mut mark = std::time::Instant::now();
+        let mut lap = |slot: &mut f64| {
+            let now = std::time::Instant::now();
+            *slot += now.duration_since(mark).as_secs_f64() * 1e3;
+            mark = now;
+        };
+        let (plan, output) = template.instantiate();
+        lap(&mut phases.instantiate_ms);
+        // Unstack the members: sampled merges (the only templatable
+        // kind) contribute one output row each, and the template kept
+        // every member's attribution metadata at capture time.
+        let first = &configs[0];
+        let parts: Vec<MergedPart> = template
+            .merged_parts()
+            .iter()
+            .enumerate()
+            .map(|(i, &(nodes, edges))| {
+                let mut member = DenseMatrix::zeros(1, first.hidden);
+                for c in 0..first.hidden {
+                    member.set(0, c, output.get(i, c));
+                }
+                MergedPart {
+                    output: member,
+                    nodes,
+                    edges,
+                }
+            })
+            .collect();
+        let schedule = plan.schedule_in(first.opt, &mut scratch.schedule);
+        lap(&mut phases.schedule_ms);
+        templates.note_instantiated();
+        Ok((
+            PipelineRun {
+                label: format!("batch[{}] {}", configs.len(), first.label()),
+                config: first.clone(),
+                plan,
+                launches: schedule.launches,
+                peak_device_bytes: schedule.peak_device_bytes,
+                output,
+                sharding: None,
+                compile_phases: phases,
+            },
+            parts,
+        ))
+    }
+
+    /// The full merged-batch compile: `lower_merged` plus the ordinary
+    /// optimize → decorate → schedule tail of [`PipelineRun::full_build`].
+    fn merged_full_build(
+        graph: &Graph,
+        configs: &[RunConfig],
+        scratch: &mut ScheduleScratch,
+    ) -> Result<(Self, Vec<MergedPart>)> {
+        let mut phases = CompilePhases::default();
+        let mut mark = std::time::Instant::now();
+        let mut lap = |slot: &mut f64| {
+            let now = std::time::Instant::now();
+            *slot += now.duration_since(mark).as_secs_f64() * 1e3;
+            mark = now;
+        };
+        let (mut plan, parts) = batchmerge::lower_merged(graph, configs)?;
+        lap(&mut phases.lower_ms);
+        let first = &configs[0];
+        plan.optimize(first.opt);
+        lap(&mut phases.optimize_ms);
+        frameworks::decorate(&mut plan, first.framework);
+        lap(&mut phases.decorate_ms);
+        let schedule = plan.schedule_in(first.opt, scratch);
+        lap(&mut phases.schedule_ms);
+        let output = stack_member_outputs(&parts);
+        Ok((
+            PipelineRun {
+                label: format!("batch[{}] {}", configs.len(), first.label()),
+                config: first.clone(),
+                plan,
+                launches: schedule.launches,
+                peak_device_bytes: schedule.peak_device_bytes,
+                output,
+                sharding: None,
+                compile_phases: phases,
+            },
+            parts,
+        ))
+    }
+
     /// The shared full-compile path behind every build entry: lower →
     /// optimize → decorate → schedule, with the schedule drawing on
     /// `scratch`.
@@ -426,6 +558,29 @@ impl PipelineRun {
     }
 }
 
+/// Stacks merged-member outputs row-wise into the combined run's output
+/// matrix. Members of differing widths (full-graph merges mixing hidden
+/// sizes) cannot stack; the combined output degrades to a `1×1` zero
+/// placeholder and callers read the per-member [`MergedPart`]s instead.
+fn stack_member_outputs(parts: &[MergedPart]) -> DenseMatrix {
+    let cols = parts.first().map_or(0, |p| p.output.cols());
+    if cols == 0 || parts.iter().any(|p| p.output.cols() != cols) {
+        return DenseMatrix::zeros(1, 1);
+    }
+    let rows = parts.iter().map(|p| p.output.rows()).sum();
+    let mut out = DenseMatrix::zeros(rows, cols);
+    let mut r = 0;
+    for part in parts {
+        for i in 0..part.output.rows() {
+            for c in 0..cols {
+                out.set(r, c, part.output.get(i, c));
+            }
+            r += 1;
+        }
+    }
+    out
+}
+
 /// Per-worker reusable compile arenas: everything a build can recycle
 /// between requests so steady-state serving allocates ~zero on the
 /// compile side. Today that is the schedule scratch (allocator free
@@ -492,6 +647,46 @@ mod tests {
             hidden: 8,
             ..RunConfig::default()
         }
+    }
+
+    /// The merged template fast path is bit-identical to the full merged
+    /// build: same launch stream size, peak bytes, stacked output and
+    /// per-member parts — and the second identical batch hits the cache.
+    #[test]
+    fn merged_template_instantiate_is_bit_identical() {
+        let member = |v: u32| RunConfig {
+            seed_node: Some(v),
+            fanout: vec![3, 3],
+            opt: OptLevel::O2,
+            ..config()
+        };
+        let configs: Vec<RunConfig> = [2u32, 5, 11].iter().map(|&v| member(v)).collect();
+        let graph = configs[0].load_graph();
+        let (full, full_parts) = PipelineRun::build_merged(&graph, &configs).unwrap();
+
+        let templates = TemplateCache::new();
+        let mut scratch = WorkerScratch::default();
+        let (first, _) =
+            PipelineRun::build_merged_with_templates(&graph, &configs, &templates, &mut scratch)
+                .unwrap();
+        assert_eq!(templates.stats().instantiates, 0, "first build compiles");
+        let (hit, hit_parts) =
+            PipelineRun::build_merged_with_templates(&graph, &configs, &templates, &mut scratch)
+                .unwrap();
+        assert_eq!(templates.stats().instantiates, 1, "second build rebinds");
+
+        for run in [&first, &hit] {
+            assert_eq!(run.launches.len(), full.launches.len());
+            assert_eq!(run.peak_device_bytes, full.peak_device_bytes);
+            assert_eq!(run.output, full.output);
+        }
+        assert_eq!(hit_parts.len(), full_parts.len());
+        for (a, b) in hit_parts.iter().zip(&full_parts) {
+            assert_eq!(a.output, b.output);
+            assert_eq!((a.nodes, a.edges), (b.nodes, b.edges));
+        }
+        // The stacked output carries one row per member.
+        assert_eq!(full.output.rows(), configs.len());
     }
 
     #[test]

@@ -1,0 +1,390 @@
+//! Cross-request batch merging: K *different* serve requests lowered
+//! into **one** combined plan.
+//!
+//! [`crate::plan::minibatch::lower_batched`] already compiles many
+//! sampled batches of a single request into one plan; this module
+//! generalizes the same append-to-a-shared-plan idiom across request
+//! boundaries. Each member request lowers its own (sub)graph via
+//! [`crate::models::Builder::with_plan`], so the combined plan is the
+//! block-diagonal composition of the members: every member owns a
+//! disjoint, re-indexed node range, and no op reads across a member
+//! boundary. Weights are tagged ([`crate::models::Builder::tag_weights`])
+//! so the O2 hoist pass's content-identity CSE keeps one copy of each
+//! distinct weight matrix across members — identically-configured
+//! ego-net requests share every layer's weights.
+//!
+//! Two request shapes are mergeable, described by [`MergeClass`]:
+//!
+//! * **Sampled** — single-device ego-net requests (`seed_node = v`).
+//!   Members must agree on every compile-relevant field *except* the
+//!   seed node. Because [`gsuite_graph::NeighborSampler`] keys every
+//!   draw by `(seed, hop, node, neighbor)` — context-free — a member's
+//!   sampled subgraph, and therefore its functional output, is
+//!   bit-identical whether it is compiled alone or inside a merge
+//!   (`tests/batchserve.rs` locks this).
+//! * **FullGraph** — single-device full-graph requests over the same
+//!   loaded graph (`dataset` + `scale`). Members may differ in model,
+//!   computational model, hidden width or seed; they must agree on the
+//!   plan-wide knobs (`opt`, `framework`) because optimization and
+//!   decoration run once over the combined plan.
+//!
+//! The functional output stays per-member: lowering computes each
+//! member's output host-side over its own (sub)graph, exactly as the
+//! solo path does, and [`lower_merged`] returns one [`MergedPart`] per
+//! member in request order for the serving layer to scatter back to the
+//! waiters.
+
+use gsuite_graph::{Graph, NeighborSampler};
+use gsuite_tensor::DenseMatrix;
+
+use crate::config::{CompModel, FrameworkKind, GnnModel, RunConfig};
+use crate::models::Builder;
+use crate::plan::{OptLevel, Plan};
+use crate::{models, CoreError, Result};
+
+/// The merge-compatibility class of one request: two requests can share
+/// a combined plan iff their classes are equal. Opaque by design — the
+/// serving layers only compare and hash it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MergeClass(Class);
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Class {
+    /// Ego-net requests: every compile-relevant field except the seed
+    /// node (the fanout schedule is compared in effective form, so an
+    /// explicit `fanout=10,10` merges with the 2-layer default).
+    Sampled {
+        model: GnnModel,
+        comp: CompModel,
+        dataset: gsuite_graph::datasets::Dataset,
+        scale_bits: u64,
+        layers: usize,
+        hidden: usize,
+        framework: FrameworkKind,
+        seed: u64,
+        functional_math: bool,
+        opt: OptLevel,
+        fanout: Vec<usize>,
+    },
+    /// Full-graph requests: same loaded graph, same plan-wide knobs.
+    FullGraph {
+        dataset: gsuite_graph::datasets::Dataset,
+        scale_bits: u64,
+        opt: OptLevel,
+        framework: FrameworkKind,
+    },
+}
+
+/// The merge class of `config`, or `None` when the request cannot join a
+/// cross-request batch: sharded multi-GPU builds (their plans live
+/// per-shard) and mini-batch sweeps (`batch_size > 0` is already a
+/// batched compile of its own).
+pub fn merge_class(config: &RunConfig) -> Option<MergeClass> {
+    if config.gpus_per_run > 1 || config.batch_size > 0 {
+        return None;
+    }
+    // Statically-unbuildable combinations never merge: one such member
+    // would fail the whole merged build, poisoning every other member's
+    // response. They dispatch alone and error alone, exactly as before.
+    let comp = config.framework.forced_comp().unwrap_or(config.comp);
+    let buildable = match (config.model, comp) {
+        (GnnModel::Sage, CompModel::Spmm) => config.framework == FrameworkKind::DglLike,
+        (GnnModel::Gat | GnnModel::Rgcn, CompModel::Spmm) => false,
+        _ => true,
+    };
+    if !buildable {
+        return None;
+    }
+    Some(MergeClass(match config.seed_node {
+        Some(_) => Class::Sampled {
+            model: config.model,
+            comp: config.comp,
+            dataset: config.dataset,
+            scale_bits: config.scale.to_bits(),
+            layers: config.layers,
+            hidden: config.hidden,
+            framework: config.framework,
+            seed: config.seed,
+            functional_math: config.functional_math,
+            opt: config.opt,
+            fanout: config.effective_fanouts(),
+        },
+        None => Class::FullGraph {
+            dataset: config.dataset,
+            scale_bits: config.scale.to_bits(),
+            opt: config.opt,
+            framework: config.framework,
+        },
+    }))
+}
+
+/// One member's share of a merged build: its functional output (the
+/// same matrix the solo build would produce, bit for bit) plus the node
+/// and edge counts of the member's own (sub)graph — the attribution
+/// weights the serving layer splits batch cost by.
+#[derive(Debug, Clone)]
+pub struct MergedPart {
+    /// The member's functional output (`1 × hidden` for ego-net members,
+    /// `n × hidden` full-graph).
+    pub output: DenseMatrix,
+    /// Nodes in the member's own (sub)graph.
+    pub nodes: usize,
+    /// Edges in the member's own (sub)graph.
+    pub edges: usize,
+}
+
+fn mixed_class_error(config: &RunConfig) -> CoreError {
+    CoreError::InvalidConfig {
+        key: "batch".to_string(),
+        value: config.label(),
+        expected: "requests of one merge class (see plan::batchmerge::merge_class)".to_string(),
+    }
+}
+
+/// Lowers `configs` — all of one [`MergeClass`] — over `graph` into one
+/// combined block-diagonal plan, returning the plan plus one
+/// [`MergedPart`] per member in request order. The caller owns the
+/// ordinary optimize → decorate → schedule tail (see
+/// [`crate::pipeline::PipelineRun::build_merged`]).
+///
+/// # Errors
+///
+/// Rejects an empty member list and members of differing merge classes
+/// as [`CoreError::InvalidConfig`]; propagates sampler errors (e.g. an
+/// out-of-bounds `seed_node`) and everything model lowering can return.
+pub fn lower_merged(graph: &Graph, configs: &[RunConfig]) -> Result<(Plan, Vec<MergedPart>)> {
+    let first = configs.first().ok_or_else(|| CoreError::InvalidConfig {
+        key: "batch".to_string(),
+        value: "[]".to_string(),
+        expected: "at least one member request".to_string(),
+    })?;
+    let class = merge_class(first).ok_or_else(|| mixed_class_error(first))?;
+    for config in &configs[1..] {
+        if merge_class(config).as_ref() != Some(&class) {
+            return Err(mixed_class_error(config));
+        }
+    }
+
+    let mut plan = Plan::new();
+    let mut parts = Vec::with_capacity(configs.len());
+    for config in configs {
+        let mut effective = config.clone();
+        if let Some(comp) = config.framework.forced_comp() {
+            effective.comp = comp;
+        }
+        match config.seed_node {
+            Some(v) => {
+                // Mirror `minibatch::lower_batched`'s single-ego-net arm
+                // byte for byte: context-free seeded draws make the
+                // member's subgraph independent of its batch position.
+                let sampler = NeighborSampler::new(config.effective_fanouts()).seed(config.seed);
+                let sub = sampler.sample(graph, &[v])?;
+                let mut builder = Builder::with_plan(&sub.graph, config.functional_math, plan)
+                    .track_uploads(config.opt == OptLevel::O2)
+                    .tag_weights(true);
+                models::lower_into(&mut builder, &effective)?;
+                let (p, batch_out) = builder.finish();
+                plan = p;
+                let mut output = DenseMatrix::zeros(1, config.hidden);
+                if config.functional_math {
+                    for local in 0..sub.seeds {
+                        for c in 0..config.hidden {
+                            output.set(local, c, batch_out.get(local, c));
+                        }
+                    }
+                }
+                parts.push(MergedPart {
+                    output,
+                    nodes: sub.graph.num_nodes(),
+                    edges: sub.graph.num_edges(),
+                });
+            }
+            None => {
+                let mut builder = Builder::with_plan(graph, config.functional_math, plan)
+                    .track_uploads(config.opt == OptLevel::O2)
+                    .tag_weights(true);
+                models::lower_into(&mut builder, &effective)?;
+                let (p, out) = builder.finish();
+                plan = p;
+                parts.push(MergedPart {
+                    output: out,
+                    nodes: graph.num_nodes(),
+                    edges: graph.num_edges(),
+                });
+            }
+        }
+    }
+    Ok((plan, parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::minibatch::lower_batched;
+    use crate::plan::BufClass;
+
+    fn ego_config(seed_node: u32, opt: OptLevel) -> RunConfig {
+        RunConfig {
+            scale: 0.05,
+            seed_node: Some(seed_node),
+            fanout: vec![5, 5],
+            opt,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn merge_class_partitions_the_request_space() {
+        let a = ego_config(3, OptLevel::O0);
+        let b = ego_config(9, OptLevel::O0);
+        assert_eq!(merge_class(&a), merge_class(&b), "seed_node is not part");
+        let opt_differs = ego_config(3, OptLevel::O2);
+        assert_ne!(merge_class(&a), merge_class(&opt_differs));
+
+        // The effective fanout schedule merges explicit and default forms.
+        let explicit = RunConfig {
+            fanout: vec![10, 10],
+            seed_node: Some(1),
+            ..RunConfig::default()
+        };
+        let default = RunConfig {
+            seed_node: Some(2),
+            ..RunConfig::default()
+        };
+        assert_eq!(merge_class(&explicit), merge_class(&default));
+
+        // Full-graph classes key on the loaded graph + plan-wide knobs.
+        let full = RunConfig::default();
+        let model_differs = RunConfig {
+            model: GnnModel::Gin,
+            hidden: 8,
+            ..RunConfig::default()
+        };
+        assert_eq!(merge_class(&full), merge_class(&model_differs));
+        assert_ne!(merge_class(&full), merge_class(&a), "sampled != full-graph");
+
+        // Unmergeable shapes.
+        let sharded = RunConfig {
+            gpus_per_run: 2,
+            ..RunConfig::default()
+        };
+        assert_eq!(merge_class(&sharded), None);
+        let sweep = RunConfig {
+            batch_size: 32,
+            ..RunConfig::default()
+        };
+        assert_eq!(merge_class(&sweep), None);
+    }
+
+    /// The tentpole's bit-identity contract at the lowering layer: each
+    /// member of a merged ego-net batch produces exactly the output the
+    /// solo `lower_batched` build produces.
+    #[test]
+    fn merged_member_outputs_match_solo_builds() {
+        for opt in [OptLevel::O0, OptLevel::O2] {
+            let configs: Vec<RunConfig> = [3u32, 9, 27]
+                .iter()
+                .map(|&v| RunConfig {
+                    functional_math: true,
+                    ..ego_config(v, opt)
+                })
+                .collect();
+            let graph = configs[0].load_graph();
+            let (_, parts) = lower_merged(&graph, &configs).expect("merged lowering");
+            assert_eq!(parts.len(), configs.len());
+            for (config, part) in configs.iter().zip(&parts) {
+                let (_, solo) = lower_batched(&graph, config).expect("solo lowering");
+                assert_eq!(
+                    part.output.as_slice(),
+                    solo.as_slice(),
+                    "member {:?} diverged at {}",
+                    config.seed_node,
+                    opt
+                );
+                assert!(part.nodes > 0 && part.edges > 0);
+            }
+        }
+    }
+
+    /// O2's content-identity CSE shares each distinct weight matrix
+    /// across members, exactly as it does across mini-batches.
+    #[test]
+    fn merged_members_share_weights_at_o2() {
+        let live_weights = |plan: &Plan| {
+            plan.bufs()
+                .iter()
+                .filter(|b| b.class == BufClass::Weight && !b.is_dead())
+                .count()
+        };
+        let members = 3usize;
+        let configs: Vec<RunConfig> = (0..members as u32)
+            .map(|v| ego_config(v * 7 + 1, OptLevel::O0))
+            .collect();
+        let graph = configs[0].load_graph();
+        let (mut p0, _) = lower_merged(&graph, &configs).expect("O0 merge");
+        p0.optimize(OptLevel::O0);
+        let o2_configs: Vec<RunConfig> = (0..members as u32)
+            .map(|v| ego_config(v * 7 + 1, OptLevel::O2))
+            .collect();
+        let (mut p2, _) = lower_merged(&graph, &o2_configs).expect("O2 merge");
+        p2.optimize(OptLevel::O2);
+        let (w0, w2) = (live_weights(&p0), live_weights(&p2));
+        assert_eq!(w0, w2 * members, "O0 carries every member's re-upload");
+        assert!(w2 < w0, "O2 must CSE the shared weights");
+    }
+
+    /// Same-graph full-graph requests with different models merge, and
+    /// each member's output matches its solo build.
+    #[test]
+    fn full_graph_members_keep_solo_outputs() {
+        let base = RunConfig {
+            scale: 0.05,
+            functional_math: true,
+            hidden: 8,
+            ..RunConfig::default()
+        };
+        let other = RunConfig {
+            model: GnnModel::Gin,
+            seed: 7,
+            ..base.clone()
+        };
+        let graph = base.load_graph();
+        let configs = vec![base, other];
+        let (_, parts) = lower_merged(&graph, &configs).expect("full-graph merge");
+        for (config, part) in configs.iter().zip(&parts) {
+            let mut effective = config.clone();
+            if let Some(comp) = config.framework.forced_comp() {
+                effective.comp = comp;
+            }
+            let mut builder = Builder::with_plan(&graph, config.functional_math, Plan::new())
+                .track_uploads(config.opt == OptLevel::O2)
+                .tag_weights(true);
+            models::lower_into(&mut builder, &effective).expect("solo lowering");
+            let (_, solo) = builder.finish();
+            assert_eq!(part.output.as_slice(), solo.as_slice());
+            assert_eq!(
+                (part.nodes, part.edges),
+                (graph.num_nodes(), graph.num_edges())
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_classes_are_rejected() {
+        let graph = RunConfig {
+            scale: 0.05,
+            ..RunConfig::default()
+        }
+        .load_graph();
+        assert!(lower_merged(&graph, &[]).is_err(), "empty batch");
+        let mixed = vec![
+            ego_config(1, OptLevel::O0),
+            RunConfig {
+                scale: 0.05,
+                ..RunConfig::default()
+            },
+        ];
+        let err = lower_merged(&graph, &mixed).unwrap_err();
+        assert!(err.to_string().contains("merge class"), "{err}");
+    }
+}

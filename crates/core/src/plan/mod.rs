@@ -30,6 +30,7 @@
 //! [`explain`] renders a plan — ops, buffers, liveness, addresses and the
 //! pass decision log — as a human-readable report (`gsuite-cli explain`).
 
+pub mod batchmerge;
 pub mod explain;
 pub mod minibatch;
 pub mod passes;

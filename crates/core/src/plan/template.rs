@@ -59,6 +59,10 @@ pub struct TemplateKey {
     nodes: usize,
     /// Graph identity guard: edge count of the graph actually passed in.
     edges: usize,
+    /// Cross-request merged ego-net batches ([`TemplateKey::of_merged`]):
+    /// the member seed nodes in batch order. Always empty for solo
+    /// builds, so merged keys can never collide with per-request ones.
+    merged_seeds: Vec<u32>,
 }
 
 impl TemplateKey {
@@ -84,7 +88,38 @@ impl TemplateKey {
             seed_node: config.seed_node,
             nodes: graph.num_nodes(),
             edges: graph.num_edges(),
+            merged_seeds: Vec::new(),
         })
+    }
+
+    /// The template key of one cross-request merged ego-net batch (see
+    /// [`crate::plan::batchmerge`]): the members' shared compile shape
+    /// with the seed nodes folded into [`TemplateKey::merged_seeds`] in
+    /// batch order. `None` when the members are not a homogeneous
+    /// sampled merge — full-graph merges may mix models, so their
+    /// combined plans are not worth a template slot.
+    pub fn of_merged(graph: &Graph, configs: &[RunConfig]) -> Option<TemplateKey> {
+        let first = configs.first()?;
+        first.seed_node?;
+        let stripped = |config: &RunConfig| {
+            TemplateKey::of(
+                graph,
+                &RunConfig {
+                    seed_node: None,
+                    ..config.clone()
+                },
+            )
+        };
+        let mut key = stripped(first)?;
+        let mut seeds = Vec::with_capacity(configs.len());
+        for config in configs {
+            if config.seed_node.is_none() || stripped(config)? != key {
+                return None;
+            }
+            seeds.push(config.seed_node.expect("checked above"));
+        }
+        key.merged_seeds = seeds;
+        Some(key)
     }
 }
 
@@ -94,6 +129,11 @@ impl TemplateKey {
 pub struct Template {
     pub(crate) plan: Plan,
     pub(crate) output: DenseMatrix,
+    /// Merged-batch member metadata (`(nodes, edges)` per member, batch
+    /// order; empty for solo templates): the attribution weights a
+    /// template-served merged build scatters cost by, preserved so
+    /// instantiation never has to re-sample the members.
+    pub(crate) parts: Vec<(usize, usize)>,
 }
 
 impl Template {
@@ -102,7 +142,27 @@ impl Template {
         Template {
             plan: plan.clone(),
             output: output.clone(),
+            parts: Vec::new(),
         }
+    }
+
+    /// Captures a template from a finished merged-batch build, keeping
+    /// each member's `(nodes, edges)` attribution metadata.
+    pub(crate) fn capture_merged(
+        plan: &Plan,
+        output: &DenseMatrix,
+        parts: Vec<(usize, usize)>,
+    ) -> Template {
+        Template {
+            plan: plan.clone(),
+            output: output.clone(),
+            parts,
+        }
+    }
+
+    /// The merged-batch member metadata (empty for solo templates).
+    pub(crate) fn merged_parts(&self) -> &[(usize, usize)] {
+        &self.parts
     }
 
     /// Rebinds the template into a fresh `(plan, output)` pair ready for
@@ -267,6 +327,7 @@ mod tests {
         Template {
             plan: Plan::new(),
             output: DenseMatrix::zeros(1, 1),
+            parts: Vec::new(),
         }
     }
 
@@ -304,6 +365,44 @@ mod tests {
             ..config
         };
         assert_ne!(base, TemplateKey::of(&graph, &compile_differs).unwrap());
+    }
+
+    #[test]
+    fn merged_keys_fold_seed_nodes_and_never_collide() {
+        let config = |v| RunConfig {
+            scale: 0.02,
+            hidden: 8,
+            seed_node: Some(v),
+            fanout: vec![3, 3],
+            ..RunConfig::default()
+        };
+        let graph = config(0).load_graph();
+        let configs = vec![config(1), config(3)];
+        let k = TemplateKey::of_merged(&graph, &configs).expect("homogeneous merge");
+        assert_eq!(k, TemplateKey::of_merged(&graph, &configs).unwrap());
+        // Member order is part of the shape.
+        let swapped = vec![config(3), config(1)];
+        assert_ne!(k, TemplateKey::of_merged(&graph, &swapped).unwrap());
+        // A merged key can never collide with a solo full-graph key of
+        // the same compile shape (merged_seeds is non-empty).
+        let solo = RunConfig {
+            scale: 0.02,
+            hidden: 8,
+            fanout: vec![3, 3],
+            ..RunConfig::default()
+        };
+        assert_ne!(k, TemplateKey::of(&graph, &solo).unwrap());
+        // Heterogeneous and full-graph member sets are not templatable.
+        let mixed = vec![
+            config(1),
+            RunConfig {
+                hidden: 4,
+                ..config(3)
+            },
+        ];
+        assert_eq!(TemplateKey::of_merged(&graph, &mixed), None);
+        assert_eq!(TemplateKey::of_merged(&graph, &[solo]), None);
+        assert_eq!(TemplateKey::of_merged(&graph, &[]), None);
     }
 
     #[test]

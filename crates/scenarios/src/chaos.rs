@@ -129,6 +129,7 @@ fn chaos_costs(result: &ScenarioResult) -> Vec<SimCosts> {
                         exchange_ms,
                         bytes,
                         template: None,
+                        batch: None,
                         error: None,
                     }
                 }
@@ -138,6 +139,7 @@ fn chaos_costs(result: &ScenarioResult) -> Vec<SimCosts> {
                     exchange_ms: 0.0,
                     bytes: 0,
                     template: None,
+                    batch: None,
                     error: Some(msg.clone()),
                 },
             }
@@ -175,7 +177,9 @@ fn tally(out: &SimOutcome, slo_ms: f64) -> Tally {
                 }
             }
             SimDisposition::Error | SimDisposition::Crashed => err += 1,
-            SimDisposition::Rejected | SimDisposition::CircuitOpen => shed += 1,
+            SimDisposition::Rejected | SimDisposition::CircuitOpen | SimDisposition::BatchShed => {
+                shed += 1
+            }
             SimDisposition::TimedOut => timeouts += 1,
         }
     }

@@ -53,6 +53,7 @@ pub mod registry;
 mod report;
 pub mod resilience;
 mod runner;
+mod servebatch;
 pub mod sim;
 mod spec;
 pub mod trace;

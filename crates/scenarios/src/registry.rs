@@ -163,6 +163,12 @@ pub fn all() -> Vec<Scenario> {
             spec_fn: crate::chaos::spec_chaos,
             render_fn: crate::chaos::render_chaos,
         },
+        Scenario {
+            name: "servebatch",
+            about: "beyond-paper: cross-request batching vs unbatched serving (goodput, tail latency, SLO) by offered rate x batch policy over an ego-net request mix",
+            spec_fn: crate::servebatch::spec_servebatch,
+            render_fn: crate::servebatch::render_servebatch,
+        },
     ]
 }
 

@@ -450,6 +450,9 @@ pub enum RejectReason {
     /// The executing worker crashed (and retries, if any, were
     /// exhausted).
     Crashed,
+    /// The cross-request batch former's backlog of open batches exceeded
+    /// its admission bound (batched load shed).
+    BatchBacklog,
 }
 
 impl RejectReason {
@@ -460,6 +463,7 @@ impl RejectReason {
             RejectReason::DeadlineExceeded => "deadline-exceeded",
             RejectReason::CircuitOpen => "circuit-open",
             RejectReason::Crashed => "crashed",
+            RejectReason::BatchBacklog => "batch-backlog",
         }
     }
 
@@ -470,6 +474,7 @@ impl RejectReason {
             "deadline-exceeded" => Some(RejectReason::DeadlineExceeded),
             "circuit-open" => Some(RejectReason::CircuitOpen),
             "crashed" => Some(RejectReason::Crashed),
+            "batch-backlog" => Some(RejectReason::BatchBacklog),
             _ => None,
         }
     }
@@ -594,6 +599,7 @@ mod tests {
             RejectReason::DeadlineExceeded,
             RejectReason::CircuitOpen,
             RejectReason::Crashed,
+            RejectReason::BatchBacklog,
         ] {
             assert_eq!(RejectReason::parse(reason.code()), Some(reason));
         }

@@ -1,0 +1,381 @@
+//! The `servebatch` scenario: cross-request batching over the serving
+//! simulation, swept across offered rate × batch policy.
+//!
+//! The workload is the serving shape the tentpole targets: **ego-net
+//! requests** — every request asks for one seed node's sampled
+//! neighborhood under one of three GNN models, so the key universe is
+//! wide (models × seed nodes), identical in-flight requests are rare
+//! (request coalescing cannot absorb the load the way it does for the
+//! 18-config full-graph `serve-mix` universe) and each request pays its
+//! own compile unless the batch former merges it with class-mates into
+//! one combined block-diagonal Plan. Per-key costs are **measured, not
+//! assumed**: each ego config is built and profiled solo, then merged
+//! with itself, and the two-point difference splits its service time
+//! into the shared `fixed` and per-member `marginal` share the DES
+//! charges merged executions (`max(fixed) + Σ marginal`).
+//!
+//! The renderer replays one fixed seeded request stream through
+//! [`crate::sim::simulate_open_batched`] for every rate × policy pair
+//! and reports goodput, tail latency, SLO attainment and the realized
+//! batch-size distribution. The pipeline LRU is held at one byte:
+//! requests model *distinct users*, where caching one user's compiled
+//! ego pipeline never serves the next — precisely the regime where
+//! cross-request batching pays and per-key caching cannot.
+//!
+//! Everything is pure `f64` arithmetic over fixed iteration orders —
+//! the report is byte-identical across runs, hosts and `--threads`
+//! values, and is locked by a golden snapshot like every other registry
+//! scenario.
+
+use gsuite_core::config::{CompModel, GnnModel, RunConfig};
+use gsuite_core::pipeline::PipelineRun;
+use gsuite_core::plan::batchmerge::merge_class;
+use gsuite_graph::datasets::Dataset;
+use gsuite_profile::TextTable;
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+use crate::opts::{ms, pct, BenchOpts};
+use crate::report::Report;
+use crate::runner::ScenarioResult;
+use crate::sim::{
+    build_cost_ms, simulate_open_batched, BatchPolicy, SimBatch, SimCosts, SimDisposition,
+    SimOutcome, SimParams,
+};
+use crate::spec::ScenarioSpec;
+
+/// Seed of the synthetic request stream (key choices and arrival jitter).
+const STREAM_SEED: u64 = 42;
+/// Requests replayed per sweep row.
+const REQUESTS: usize = 360;
+/// Simulated worker threads.
+const WORKERS: usize = 4;
+/// Bounded queue depth.
+const QUEUE_CAP: usize = 32;
+/// The model axis of the ego-net universe — one merge class per model.
+const BASE_MODELS: [GnnModel; 3] = [GnnModel::Gcn, GnnModel::Gin, GnnModel::Sage];
+/// Distinct seed nodes per model (profiled universe = models × seeds).
+const SEEDS_PER_MODEL: usize = 8;
+/// Virtual-user key space: the profiled shapes tiled so each request is
+/// effectively a distinct user — duplicate in-flight keys (and with
+/// them request coalescing) become negligible, which is the regime
+/// cross-request batching exists for.
+const VIRTUAL_USERS: usize = 1440;
+/// Offered load as a multiple of the unbatched serving capacity.
+const RATE_MULTS: [f64; 3] = [0.6, 1.2, 2.5];
+
+pub(crate) fn spec_servebatch() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "servebatch",
+        title: "cross-request batching: goodput and tail latency by offered rate x batch policy (ego-net mix)",
+        models: vec![GnnModel::Gcn],
+        datasets: vec![Dataset::Cora],
+        comp_models: vec![CompModel::Mp],
+        ..ScenarioSpec::default()
+    }
+}
+
+/// One sweep policy row; `max_batch == 1` is the unbatched baseline
+/// (locked byte-identical to [`crate::sim::simulate_open`]).
+struct Policy {
+    label: &'static str,
+    policy: BatchPolicy,
+}
+
+fn policies(delay_ms: f64) -> Vec<Policy> {
+    vec![
+        Policy {
+            label: "unbatched",
+            policy: BatchPolicy {
+                max_batch: 1,
+                max_queue_delay_ms: 0.0,
+                max_backlog: 0,
+            },
+        },
+        Policy {
+            label: "batch<=4",
+            policy: BatchPolicy {
+                max_batch: 4,
+                max_queue_delay_ms: delay_ms,
+                max_backlog: 0,
+            },
+        },
+        Policy {
+            label: "batch<=8",
+            policy: BatchPolicy {
+                max_batch: 8,
+                max_queue_delay_ms: delay_ms,
+                max_backlog: 0,
+            },
+        },
+        Policy {
+            label: "batch<=8 backlog 2",
+            policy: BatchPolicy {
+                max_batch: 8,
+                max_queue_delay_ms: delay_ms,
+                max_backlog: 2,
+            },
+        },
+    ]
+}
+
+/// Builds and profiles the ego-net key universe over the scenario's
+/// loaded graph: one merge group per base model, [`SEEDS_PER_MODEL`]
+/// distinct seed nodes each. The solo profile gives `service_ms`; the
+/// self-pair merged profile gives the two-point `fixed`/`marginal`
+/// split (identical to the loadgen probe in `gsuite-serve`).
+fn ego_costs(result: &ScenarioResult, opts: &BenchOpts) -> Vec<SimCosts> {
+    let graph = result
+        .graph(Dataset::Cora)
+        .expect("the spec grid loads Cora");
+    let base = &result.iter().next().expect("grid is non-empty").0.config;
+    let feature_len = graph.stats().feature_len;
+    let profiler = opts.hw();
+    let nodes = graph.num_nodes() as u32;
+    let mut costs = Vec::with_capacity(BASE_MODELS.len() * SEEDS_PER_MODEL);
+    for (group, &model) in BASE_MODELS.iter().enumerate() {
+        for s in 0..SEEDS_PER_MODEL {
+            // Seed nodes spread deterministically over the graph.
+            let seed_node = (s as u32 * 37 + group as u32 * 11) % nodes;
+            let config = RunConfig {
+                model,
+                hidden: 8,
+                seed_node: Some(seed_node),
+                fanout: vec![4, 4],
+                ..base.clone()
+            };
+            assert!(merge_class(&config).is_some(), "ego configs must merge");
+            let (solo, parts) =
+                PipelineRun::build_merged(graph, std::slice::from_ref(&config)).expect("ego build");
+            let alone_ms = solo.profile(&profiler).total_time_ms();
+            let pair = [config.clone(), config.clone()];
+            let (pair_run, _) = PipelineRun::build_merged(graph, &pair).expect("pair probe");
+            let pair_ms = pair_run.profile(&profiler).total_time_ms();
+            let marginal_ms = (pair_ms - alone_ms).clamp(0.0, alone_ms);
+            let bytes = (parts[0].nodes * (feature_len * 4 + 8) + parts[0].edges * 8 + 512) as u64;
+            costs.push(SimCosts {
+                service_ms: alone_ms,
+                build_ms: build_cost_ms(bytes) + 2.0 * alone_ms,
+                exchange_ms: 0.0,
+                bytes,
+                template: None,
+                batch: Some(SimBatch {
+                    group,
+                    fixed_ms: alone_ms - marginal_ms,
+                    marginal_ms,
+                }),
+                error: None,
+            });
+        }
+    }
+    // Tile the profiled shapes across the virtual-user key space: same
+    // measured costs and merge groups, but distinct simulation keys, so
+    // two users asking for the same shape are separate requests (no
+    // identical-key coalescing) that the former may still merge.
+    (0..VIRTUAL_USERS)
+        .map(|u| costs[u % costs.len()].clone())
+        .collect()
+}
+
+/// The per-row tallies extracted from one simulated run.
+struct Tally {
+    ok: usize,
+    shed: usize,
+    goodput_rps: f64,
+    p99_ms: f64,
+    slo: f64,
+}
+
+fn tally(out: &SimOutcome, slo_ms: f64) -> Tally {
+    let total = out.records.len().max(1);
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    let mut within_slo = 0usize;
+    let mut ok_latencies: Vec<f64> = Vec::new();
+    for r in &out.records {
+        match r.disposition {
+            SimDisposition::Done(_) => {
+                ok += 1;
+                ok_latencies.push(r.latency_ms);
+                if r.latency_ms <= slo_ms {
+                    within_slo += 1;
+                }
+            }
+            SimDisposition::Rejected | SimDisposition::BatchShed => shed += 1,
+            _ => {}
+        }
+    }
+    ok_latencies.sort_by(|a, b| a.total_cmp(b));
+    let p99_ms = if ok_latencies.is_empty() {
+        0.0
+    } else {
+        let rank = ((ok_latencies.len() - 1) as f64 * 0.99).ceil() as usize;
+        ok_latencies[rank]
+    };
+    Tally {
+        ok,
+        shed,
+        goodput_rps: if out.makespan_ms > 0.0 {
+            ok as f64 / out.makespan_ms * 1000.0
+        } else {
+            0.0
+        },
+        p99_ms,
+        slo: within_slo as f64 / total as f64,
+    }
+}
+
+pub(crate) fn render_servebatch(result: &ScenarioResult, opts: &BenchOpts) -> Report {
+    let mut report = Report::new();
+    report.header(
+        "Scenario servebatch",
+        "offered rate x batch policy over the ego-net serving simulation",
+    );
+
+    let costs = ego_costs(result, opts);
+
+    // Unbatched capacity: every request pays its own cold build plus
+    // inference (distinct users, one-byte LRU), spread over the pool.
+    let mean_work_ms =
+        costs.iter().map(|c| c.build_ms + c.service_ms).sum::<f64>() / costs.len() as f64;
+    let capacity_rps = WORKERS as f64 / mean_work_ms * 1000.0;
+    let slo_ms = 8.0 * mean_work_ms;
+    let delay_ms = 2.0 * mean_work_ms;
+
+    let mut table = TextTable::new(&[
+        "rate (rps)",
+        "policy",
+        "ok",
+        "shed",
+        "batches",
+        "avg-size",
+        "goodput (rps)",
+        "p99 (ms)",
+        "SLO",
+    ]);
+    for mult in RATE_MULTS {
+        let rate_rps = capacity_rps * mult;
+        let gap_ms = 1000.0 / rate_rps;
+        // One fixed request stream per rate, shared by every policy row:
+        // uniformly sampled ego keys, jittered open-loop gaps (pure
+        // arithmetic — no transcendentals — so the report is bit-stable
+        // across hosts).
+        let mut rng = SmallRng::seed_from_u64(STREAM_SEED);
+        let mut keys = Vec::with_capacity(REQUESTS);
+        let mut arrivals = Vec::with_capacity(REQUESTS);
+        let mut t = 0.0;
+        for _ in 0..REQUESTS {
+            keys.push(rng.gen_range(0..costs.len()));
+            t += gap_ms * (0.5 + rng.gen::<f64>());
+            arrivals.push(t);
+        }
+        for p in policies(delay_ms) {
+            let params = SimParams::new(WORKERS, QUEUE_CAP, 1);
+            let out = simulate_open_batched(&keys, &arrivals, &costs, params, p.policy);
+            let row = tally(&out, slo_ms);
+            let avg_size = if out.batches == 0 {
+                0.0
+            } else {
+                out.batched_requests as f64 / out.batches as f64
+            };
+            table.row_owned(vec![
+                format!("{rate_rps:.1}"),
+                p.label.to_string(),
+                row.ok.to_string(),
+                row.shed.to_string(),
+                out.batches.to_string(),
+                format!("{avg_size:.2}"),
+                format!("{:.1}", row.goodput_rps),
+                ms(row.p99_ms),
+                pct(row.slo),
+            ]);
+        }
+    }
+    report.table(
+        "servebatch",
+        "Offered rate x batch policy — goodput, tail latency, batch sizes",
+        table,
+    );
+    report.note(format!(
+        "universe: {} profiled ego-net shapes ({} models x {SEEDS_PER_MODEL} seed nodes, \
+         fanout 4x4) tiled over {VIRTUAL_USERS} virtual users; stream seed {STREAM_SEED}, \
+         {REQUESTS} requests per row",
+        BASE_MODELS.len() * SEEDS_PER_MODEL,
+        BASE_MODELS.len(),
+    ));
+    report.note(format!(
+        "capacity model: mean per-request work {} ms (cold build + inference) over {WORKERS} \
+         workers -> {capacity_rps:.1} rps unbatched; SLO {}, former delay {}",
+        ms(mean_work_ms),
+        ms(slo_ms),
+        ms(delay_ms),
+    ));
+    report.note(
+        "(distinct-user regime: the pipeline LRU is held at one byte, so solo requests pay \
+         their own compile while merged batches share one amortized build — replayable, \
+         byte-identical for every --threads value)",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_scenario_threads;
+
+    #[test]
+    fn servebatch_report_is_thread_count_invariant_and_batching_wins() {
+        let opts = BenchOpts::golden();
+        let spec = spec_servebatch();
+        let serial = run_scenario_threads(&spec, &opts, 1);
+        let parallel = run_scenario_threads(&spec, &opts, 4);
+        let a = render_servebatch(&serial, &opts).render(&opts);
+        let b = render_servebatch(&parallel, &opts).render(&opts);
+        assert_eq!(a, b);
+
+        // The acceptance shape, asserted directly on the outcomes: at
+        // the top offered rate the batch<=8 policy must at least double
+        // the unbatched goodput and hold p99 within the SLO the
+        // unbatched path violates.
+        let costs = ego_costs(&serial, &opts);
+        let mean_work_ms =
+            costs.iter().map(|c| c.build_ms + c.service_ms).sum::<f64>() / costs.len() as f64;
+        let capacity_rps = WORKERS as f64 / mean_work_ms * 1000.0;
+        let slo_ms = 8.0 * mean_work_ms;
+        let rate_rps = capacity_rps * RATE_MULTS[RATE_MULTS.len() - 1];
+        let gap_ms = 1000.0 / rate_rps;
+        let mut rng = SmallRng::seed_from_u64(STREAM_SEED);
+        let mut keys = Vec::with_capacity(REQUESTS);
+        let mut arrivals = Vec::with_capacity(REQUESTS);
+        let mut t = 0.0;
+        for _ in 0..REQUESTS {
+            keys.push(rng.gen_range(0..costs.len()));
+            t += gap_ms * (0.5 + rng.gen::<f64>());
+            arrivals.push(t);
+        }
+        let rows = policies(2.0 * mean_work_ms);
+        let solo = simulate_open_batched(
+            &keys,
+            &arrivals,
+            &costs,
+            SimParams::new(WORKERS, QUEUE_CAP, 1),
+            rows[0].policy,
+        );
+        let batched = simulate_open_batched(
+            &keys,
+            &arrivals,
+            &costs,
+            SimParams::new(WORKERS, QUEUE_CAP, 1),
+            rows[2].policy,
+        );
+        let (solo_t, batched_t) = (tally(&solo, slo_ms), tally(&batched, slo_ms));
+        assert!(
+            batched_t.goodput_rps >= 2.0 * solo_t.goodput_rps,
+            "batched {:.1} rps vs unbatched {:.1} rps",
+            batched_t.goodput_rps,
+            solo_t.goodput_rps,
+        );
+        assert!(solo_t.slo < 0.99, "unbatched must miss the SLO at overload");
+        assert!(batched_t.slo >= 0.99, "batched must hold the SLO");
+    }
+}

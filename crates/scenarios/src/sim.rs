@@ -104,9 +104,38 @@ pub struct SimCosts {
     /// (the default everywhere but the load generator) disables the
     /// model and reproduces the historical costs exactly.
     pub template: Option<usize>,
+    /// Cross-request batch-merge model of this configuration.
+    /// Configurations sharing a [`SimBatch::group`] may be merged by
+    /// [`simulate_open_batched`] into one batched Plan execution whose
+    /// inference time is `max(fixed_ms) + Σ marginal_ms` over the
+    /// members. `None` (the default everywhere but the batched load
+    /// generator) excludes the configuration from merging: it always
+    /// dispatches alone, under the full fault/resilience machinery, and
+    /// reproduces the historical costs exactly.
+    pub batch: Option<SimBatch>,
     /// `Some(msg)` when the configuration cannot build (the request
     /// completes as an error after paying the build cost).
     pub error: Option<String>,
+}
+
+/// The two-point cross-request batching cost model of one configuration
+/// — see [`SimCosts::batch`]. The invariant `fixed_ms + marginal_ms ==
+/// service_ms` makes a merged batch of one member cost exactly its solo
+/// service time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimBatch {
+    /// Merge-class id: only configurations with equal `group` may share
+    /// a batched Plan (the sim-side mirror of
+    /// `plan::batchmerge::merge_class`).
+    pub group: usize,
+    /// The batch-invariant share of [`SimCosts::service_ms`] (op
+    /// dispatch, framework wrapper overhead): a merged execution pays
+    /// it once, as the max over its members.
+    pub fixed_ms: f64,
+    /// The per-member share of [`SimCosts::service_ms`] (the member's
+    /// own rows of the block-diagonal batch): every merged member pays
+    /// its own.
+    pub marginal_ms: f64,
 }
 
 /// The modeled graph-load + pipeline-build cost charged on a cache miss in
@@ -145,6 +174,39 @@ impl SimParams {
     }
 }
 
+/// The cross-request batch-forming policy of [`simulate_open_batched`]:
+/// how many compatible queued requests may merge into one batched Plan,
+/// how long the head of a forming batch waits for company, and how many
+/// batches may be forming at once before batch-opening arrivals are
+/// shed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPolicy {
+    /// Maximum members per merged execution; a batch reaching it
+    /// dispatches immediately. `1` disables merging entirely — every
+    /// request dispatches alone at its own arrival time, reproducing
+    /// the unbatched model byte-for-byte.
+    pub max_batch: usize,
+    /// Milliseconds the *first* member of a forming batch may wait
+    /// before the batch dispatches regardless of fill.
+    pub max_queue_delay_ms: f64,
+    /// Admission bound on concurrently forming batches: an arrival that
+    /// would need to *open* a new batch while this many are already
+    /// forming is shed ([`SimDisposition::BatchShed`]). Arrivals that
+    /// join an existing batch — and unmergeable singleton dispatches —
+    /// are never subject to it. `0` means unbounded.
+    pub max_backlog: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 8,
+            max_queue_delay_ms: 2.0,
+            max_backlog: 0,
+        }
+    }
+}
+
 /// What happened to one simulated request.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SimDisposition {
@@ -162,6 +224,10 @@ pub enum SimDisposition {
     CircuitOpen,
     /// The executing worker crashed and retries (if any) were exhausted.
     Crashed,
+    /// Shed at arrival by the batch former's admission control: the
+    /// backlog of open (forming) batches exceeded
+    /// [`BatchPolicy::max_backlog`].
+    BatchShed,
 }
 
 /// One simulated request's timing record.
@@ -215,6 +281,17 @@ pub struct SimOutcome {
     /// Charged builds of template-carrying configurations that paid the
     /// full compile cost (and installed their group).
     pub template_misses: u64,
+    /// Batches dispatched by [`simulate_open_batched`] (singleton
+    /// dispatches included). Zero on the unbatched entry points.
+    pub batches: u64,
+    /// Requests that resolved through a dispatched batch.
+    pub batched_requests: u64,
+    /// Requests shed by the batch former's admission control
+    /// ([`BatchPolicy::max_backlog`]).
+    pub batch_shed: u64,
+    /// `batch_size_hist[i]` = dispatched batches of size `i + 1`.
+    /// Empty on the unbatched entry points.
+    pub batch_size_hist: Vec<u64>,
     /// Last completion time (ms since sim start).
     pub makespan_ms: f64,
 }
@@ -236,6 +313,15 @@ pub const COMPILE_PHASE_SPLIT: [(&str, f64); 4] = [
 /// leaving the [`TEMPLATE_PHASE_SPLIT`] phases, which sum to exactly this
 /// constant.
 pub const TEMPLATE_BUILD_SHARE: f64 = 0.25;
+
+/// The modeled share of each *additional* miss member's solo build cost
+/// a merged batch build pays: merging K requests lowers and optimizes
+/// one block-diagonal Plan, so the merged build is modeled as
+/// `max(build_ms) + share · Σ build_ms(others)` rather than the full
+/// sum. Once a merged shape (the ordered miss-member key list) has been
+/// charged, later identical shapes pay [`TEMPLATE_BUILD_SHARE`] of that
+/// — the batched template fast path.
+pub const BATCH_MEMBER_BUILD_SHARE: f64 = 0.25;
 
 /// Compile-phase spans of a traced instantiate-from-template build:
 /// rebinding the cached plan (`compile.instantiate`) plus the address
@@ -322,6 +408,10 @@ struct ServiceSim<'a> {
     /// Plan-template groups whose full build has been charged: later
     /// builds of the same group pay only the instantiate share.
     installed_templates: std::collections::HashSet<usize>,
+    /// Merged batch shapes (ordered miss-member key lists) whose full
+    /// merged build has been charged: later identical shapes pay
+    /// [`TEMPLATE_BUILD_SHARE`] of the merged build.
+    installed_batch_shapes: std::collections::HashSet<Vec<usize>>,
     /// Per-config breakers, present only when the policy enables them.
     breakers: Option<Vec<CircuitBreaker>>,
     coalesced: u64,
@@ -352,6 +442,7 @@ impl<'a> ServiceSim<'a> {
             in_flight: Vec::new(),
             cache: ByteLru::new(params.cache_bytes),
             installed_templates: std::collections::HashSet::new(),
+            installed_batch_shapes: std::collections::HashSet::new(),
             breakers,
             coalesced: 0,
             rejected: 0,
@@ -1022,8 +1113,183 @@ impl<'a> ServiceSim<'a> {
             stale_serves: self.stale_serves,
             template_hits: self.template_hits,
             template_misses: self.template_misses,
+            batches: 0,
+            batched_requests: 0,
+            batch_shed: 0,
+            batch_size_hist: Vec::new(),
             makespan_ms: self.makespan_ms,
         }
+    }
+
+    /// Executes a formed batch of `k ≥ 2` members as **one** merged
+    /// Plan: one worker election, one amortized merged build over the
+    /// leader members ([`BATCH_MEMBER_BUILD_SHARE`]; the instantiate
+    /// share once the merged shape is installed), `max(fixed) +
+    /// Σ marginal` inference, then per-member scatter of records.
+    ///
+    /// The merged path models the *healthy* fast path exactly like the
+    /// wall server's: fault draws, deadlines, retries and circuit
+    /// breakers apply only to singleton dispatches (and to admission,
+    /// in the former), and the pipeline LRU is **skipped entirely** —
+    /// a merged batch compiles its own combined plan whether or not
+    /// member pipelines are cached, so cache counters never move here.
+    /// Duplicate keys inside one batch coalesce onto their first
+    /// occurrence, and every leader key is left in flight so later solo
+    /// arrivals can coalesce onto the merged execution.
+    fn offer_merged(&mut self, batch: &FormedBatch) -> Vec<SimRecord> {
+        let t = batch.dispatch_ms;
+        self.in_flight.retain(|e| e.finish_ms > t);
+
+        // Backpressure sheds the batch as a unit: its members were
+        // admitted by the former, but the execution queue is full.
+        let waiting = self.in_flight.iter().filter(|e| e.start_ms > t).count();
+        if waiting >= self.params.queue_cap.max(1) {
+            let mut records = Vec::with_capacity(batch.members.len());
+            for m in &batch.members {
+                self.rejected += 1;
+                self.trace_shed(m.key, m.at_ms, "rejected");
+                records.push(SimRecord {
+                    key: m.key,
+                    submit_ms: m.at_ms,
+                    queue_ms: 0.0,
+                    service_ms: 0.0,
+                    latency_ms: 0.0,
+                    disposition: SimDisposition::Rejected,
+                });
+            }
+            return records;
+        }
+
+        let w = min_index(&self.worker_free);
+        let start = t.max(self.worker_free[w]);
+        // First occurrence of each key leads; duplicates coalesce onto
+        // their leader exactly like the in-flight window.
+        let mut leaders: Vec<usize> = Vec::with_capacity(batch.members.len());
+        let is_leader: Vec<bool> = batch
+            .members
+            .iter()
+            .map(|m| {
+                if leaders.contains(&m.key) {
+                    false
+                } else {
+                    leaders.push(m.key);
+                    true
+                }
+            })
+            .collect();
+
+        // One merged execution: the leaders share one amortized build
+        // and one fixed-plus-marginals inference envelope — the LRU is
+        // never consulted, exactly like the wall server's merged path.
+        let mut fixed_max: f64 = 0.0;
+        let mut marginal_sum = 0.0;
+        let mut build_max: f64 = 0.0;
+        let mut build_sum = 0.0;
+        for &key in &leaders {
+            let cost = &self.costs[key];
+            let b = cost
+                .batch
+                .as_ref()
+                .expect("merged members carry a batch cost model");
+            fixed_max = fixed_max.max(b.fixed_ms);
+            marginal_sum += b.marginal_ms;
+            build_max = build_max.max(cost.build_ms);
+            build_sum += cost.build_ms;
+        }
+        let mut batch_build = build_max + BATCH_MEMBER_BUILD_SHARE * (build_sum - build_max);
+        if self.installed_batch_shapes.contains(&leaders) {
+            batch_build *= TEMPLATE_BUILD_SHARE;
+            self.template_hits += 1;
+        } else {
+            self.template_misses += 1;
+            self.installed_batch_shapes.insert(leaders.clone());
+        }
+        let duration = batch_build + fixed_max + marginal_sum;
+        let finish = start + duration;
+
+        for (m, &lead) in batch.members.iter().zip(&is_leader) {
+            if lead {
+                self.in_flight.push(InFlight {
+                    key: m.key,
+                    start_ms: start,
+                    finish_ms: finish,
+                    worker: w,
+                    error: false,
+                });
+            }
+        }
+        self.worker_free[w] = finish;
+
+        let track = w as u32;
+        let size = batch.members.len() as u64;
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.sink.record(
+                "batch.form",
+                None,
+                track,
+                batch.head_ms,
+                t - batch.head_ms,
+                vec![Attr::u64("size", size)],
+            );
+        }
+        let mut records = Vec::with_capacity(batch.members.len());
+        for (m, &lead) in batch.members.iter().zip(&is_leader) {
+            let disposition = if lead {
+                SimDisposition::Done(CacheDisposition::Miss)
+            } else {
+                self.coalesced += 1;
+                SimDisposition::Done(CacheDisposition::Coalesced)
+            };
+            if let Some(tr) = self.tracer.as_mut() {
+                let name = match disposition {
+                    SimDisposition::Done(d) => d.name(),
+                    _ => unreachable!("merged members always complete"),
+                };
+                let root = tr.sink.reserve();
+                tr.sink
+                    .record("queue", Some(root), track, m.at_ms, start - m.at_ms, vec![]);
+                tr.sink.record(
+                    "service",
+                    Some(root),
+                    track,
+                    start,
+                    duration,
+                    vec![Attr::str("shared", "batch")],
+                );
+                tr.sink.record_with_id(
+                    root,
+                    "request",
+                    None,
+                    track,
+                    m.at_ms,
+                    finish - m.at_ms,
+                    vec![
+                        Attr::u64("key", m.key as u64),
+                        Attr::u64("worker", track as u64),
+                        Attr::str("disposition", name),
+                    ],
+                );
+            }
+            records.push(self.finish(SimRecord {
+                key: m.key,
+                submit_ms: m.at_ms,
+                queue_ms: start - m.at_ms,
+                service_ms: duration,
+                latency_ms: finish - m.at_ms,
+                disposition,
+            }));
+        }
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.sink.record(
+                "batch.scatter",
+                None,
+                track,
+                finish,
+                0.0,
+                vec![Attr::u64("size", size)],
+            );
+        }
+        records
     }
 }
 
@@ -1137,6 +1403,345 @@ fn run_closed(
     (sim.into_outcome(records), trace)
 }
 
+/// One request offered to the [`BatchFormer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchArrival {
+    /// Original request-stream index (also the fault-draw key).
+    pub index: u64,
+    /// Distinct-configuration index.
+    pub key: usize,
+    /// Merge-class id ([`SimBatch::group`]). `None` never merges: the
+    /// arrival dispatches as an immediate singleton, bypassing both
+    /// forming and the backlog bound.
+    pub group: Option<usize>,
+    /// Arrival time (ms since sim start).
+    pub at_ms: f64,
+}
+
+/// A batch the [`BatchFormer`] decided to dispatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FormedBatch {
+    /// When the batch leaves the former: the arrival that filled it, or
+    /// its head's arrival plus [`BatchPolicy::max_queue_delay_ms`].
+    pub dispatch_ms: f64,
+    /// The first member's arrival time.
+    pub head_ms: f64,
+    /// Members in arrival order (completion scatter preserves this
+    /// FIFO-within-batch order).
+    pub members: Vec<BatchArrival>,
+}
+
+/// What the [`BatchFormer`] emits while consuming an arrival stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FormerEvent {
+    /// A batch dispatched: by fill, by the head's delay budget
+    /// expiring, or by [`BatchFormer::flush`].
+    Dispatch(FormedBatch),
+    /// An arrival shed by the backlog bound
+    /// ([`BatchPolicy::max_backlog`]).
+    Shed(BatchArrival),
+}
+
+/// The pure, streaming cross-request batch former: arrivals go in (in
+/// nondecreasing time order), dispatch and shed decisions come out.
+/// It holds only the currently forming batches — `O(max_backlog)` or
+/// `O(live merge classes)` state, never the arrival history — so a
+/// million-request stream forms batches in bounded memory.
+///
+/// Guarantees, for any arrival sequence and policy (property-tested
+/// against a brute-force reference in `tests/batchserve.rs`):
+///
+/// - no batch exceeds [`BatchPolicy::max_batch`] members;
+/// - no batch dispatches later than `head arrival +
+///   max_queue_delay_ms` (no request starves in the former);
+/// - members dispatch in arrival order within their batch, and the
+///   emitted event stream is nondecreasing in time — an expiry that
+///   ties an arrival dispatches *first*, without the arrival;
+/// - every arrival resolves in exactly one event (a dispatch
+///   membership, or a shed).
+///
+/// Formation is key-agnostic: duplicate keys consume member slots like
+/// any other arrival (the simulation coalesces them at execution).
+pub struct BatchFormer {
+    policy: BatchPolicy,
+    /// Forming batches in head-arrival order; heads — and therefore
+    /// expiry deadlines — are nondecreasing.
+    open: Vec<OpenBatch>,
+}
+
+struct OpenBatch {
+    head_ms: f64,
+    group: usize,
+    members: Vec<BatchArrival>,
+}
+
+impl BatchFormer {
+    /// An empty former under `policy`.
+    pub fn new(policy: BatchPolicy) -> Self {
+        BatchFormer {
+            policy,
+            open: Vec::new(),
+        }
+    }
+
+    /// Number of currently forming batches (the admission-control
+    /// backlog).
+    pub fn backlog(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Feeds the next arrival (nondecreasing `at_ms`), emitting any
+    /// batches whose delay budget expired first, then the arrival's own
+    /// resolution if it has one now.
+    pub fn offer(&mut self, arrival: BatchArrival, emit: &mut dyn FnMut(FormerEvent)) {
+        let delay = self.policy.max_queue_delay_ms;
+        // Expired batches form a prefix (heads are nondecreasing). A
+        // tie dispatches without the arrival: the timer fired first.
+        while self
+            .open
+            .first()
+            .is_some_and(|b| b.head_ms + delay <= arrival.at_ms)
+        {
+            let b = self.open.remove(0);
+            emit(FormerEvent::Dispatch(FormedBatch {
+                dispatch_ms: b.head_ms + delay,
+                head_ms: b.head_ms,
+                members: b.members,
+            }));
+        }
+        let singleton = |a: BatchArrival| {
+            let t = a.at_ms;
+            FormerEvent::Dispatch(FormedBatch {
+                dispatch_ms: t,
+                head_ms: t,
+                members: vec![a],
+            })
+        };
+        let Some(group) = arrival.group else {
+            // Unmergeable configurations bypass forming entirely.
+            emit(singleton(arrival));
+            return;
+        };
+        // Join the oldest forming batch of the same class (all open
+        // batches are non-full by construction).
+        if let Some(i) = self.open.iter().position(|b| b.group == group) {
+            self.open[i].members.push(arrival);
+            if self.open[i].members.len() >= self.policy.max_batch {
+                let b = self.open.remove(i);
+                let filled_at = b.members.last().expect("non-empty batch").at_ms;
+                emit(FormerEvent::Dispatch(FormedBatch {
+                    dispatch_ms: filled_at,
+                    head_ms: b.head_ms,
+                    members: b.members,
+                }));
+            }
+            return;
+        }
+        // Opening a new batch is what the backlog bound controls.
+        if self.policy.max_backlog > 0 && self.open.len() >= self.policy.max_backlog {
+            emit(FormerEvent::Shed(arrival));
+            return;
+        }
+        if self.policy.max_batch <= 1 {
+            emit(singleton(arrival));
+            return;
+        }
+        self.open.push(OpenBatch {
+            head_ms: arrival.at_ms,
+            group,
+            members: vec![arrival],
+        });
+    }
+
+    /// Ends the stream: every still-forming batch dispatches at its
+    /// head's delay deadline, in head order.
+    pub fn flush(&mut self, emit: &mut dyn FnMut(FormerEvent)) {
+        let delay = self.policy.max_queue_delay_ms;
+        for b in self.open.drain(..) {
+            emit(FormerEvent::Dispatch(FormedBatch {
+                dispatch_ms: b.head_ms + delay,
+                head_ms: b.head_ms,
+                members: b.members,
+            }));
+        }
+    }
+}
+
+/// Simulates an **open-loop** run with cross-request batching: the
+/// arrival stream passes through a [`BatchFormer`] under `policy`.
+/// Dispatched singletons execute exactly like [`simulate_open`]
+/// requests — the full fault/resilience/template/cache machinery — at
+/// their dispatch time, with the former wait folded into their queue
+/// time. Merged batches (k ≥ 2) execute the modeled healthy fast path
+/// ([`ServiceSim::offer_merged`]): one worker, one amortized merged
+/// build, `max(fixed) + Σ marginal` inference, per-member scatter.
+///
+/// With `policy.max_batch == 1` the outcome is **byte-identical** to
+/// [`simulate_open`] apart from the batch counters: every request
+/// dispatches alone at its own arrival time.
+pub fn simulate_open_batched(
+    keys: &[usize],
+    arrivals: &[f64],
+    costs: &[SimCosts],
+    params: SimParams,
+    policy: BatchPolicy,
+) -> SimOutcome {
+    let (outcome, _) = run_open_batched(keys, arrivals, costs, params, policy, None);
+    outcome
+}
+
+/// [`simulate_open_batched`] with span recording — the identical
+/// [`SimOutcome`] plus the sim-clock span stream. Merged batches add a
+/// `batch.form` span on the worker track (the forming window), one
+/// `request` root per member sharing the batch `service` envelope, and
+/// a zero-duration `batch.scatter` marker at completion.
+pub fn simulate_open_batched_traced(
+    keys: &[usize],
+    arrivals: &[f64],
+    costs: &[SimCosts],
+    params: SimParams,
+    policy: BatchPolicy,
+    profiles: &[SpanProfile],
+) -> (SimOutcome, Trace) {
+    let (outcome, trace) = run_open_batched(keys, arrivals, costs, params, policy, Some(profiles));
+    (outcome, trace.expect("tracer was installed"))
+}
+
+fn run_open_batched(
+    keys: &[usize],
+    arrivals: &[f64],
+    costs: &[SimCosts],
+    params: SimParams,
+    policy: BatchPolicy,
+    profiles: Option<&[SpanProfile]>,
+) -> (SimOutcome, Option<Trace>) {
+    assert_eq!(keys.len(), arrivals.len(), "one arrival per request");
+    assert!(
+        arrivals.windows(2).all(|w| w[0] <= w[1]),
+        "arrivals must be nondecreasing"
+    );
+    let mut sim = ServiceSim::new(costs, params);
+    if let Some(profiles) = profiles {
+        sim = sim.with_tracer(profiles);
+    }
+    let mut former = BatchFormer::new(policy);
+    let mut events: Vec<FormerEvent> = Vec::new();
+    let mut slots: Vec<Option<SimRecord>> = vec![None; keys.len()];
+    let mut batches: u64 = 0;
+    let mut batched_requests: u64 = 0;
+    let mut batch_shed: u64 = 0;
+    let mut hist: Vec<u64> = Vec::new();
+
+    fn handle(
+        sim: &mut ServiceSim<'_>,
+        slots: &mut [Option<SimRecord>],
+        batches: &mut u64,
+        batched_requests: &mut u64,
+        batch_shed: &mut u64,
+        hist: &mut Vec<u64>,
+        ev: FormerEvent,
+    ) {
+        match ev {
+            FormerEvent::Shed(a) => {
+                *batch_shed += 1;
+                sim.trace_shed(a.key, a.at_ms, "batch-shed");
+                slots[a.index as usize] = Some(SimRecord {
+                    key: a.key,
+                    submit_ms: a.at_ms,
+                    queue_ms: 0.0,
+                    service_ms: 0.0,
+                    latency_ms: 0.0,
+                    disposition: SimDisposition::BatchShed,
+                });
+            }
+            FormerEvent::Dispatch(b) => {
+                *batches += 1;
+                *batched_requests += b.members.len() as u64;
+                let size = b.members.len();
+                if hist.len() < size {
+                    hist.resize(size, 0);
+                }
+                hist[size - 1] += 1;
+                if size == 1 {
+                    // The full solo machinery, dispatched at the
+                    // former's release; time spent forming counts as
+                    // queueing (a zero wait leaves the record — and
+                    // the max_batch=1 differential — untouched).
+                    let m = &b.members[0];
+                    let mut r = sim.offer(m.index, m.key, b.dispatch_ms, true);
+                    let wait = b.dispatch_ms - m.at_ms;
+                    if wait > 0.0 {
+                        r.submit_ms = m.at_ms;
+                        r.queue_ms += wait;
+                        r.latency_ms += wait;
+                    }
+                    slots[m.index as usize] = Some(r);
+                } else {
+                    let records = sim.offer_merged(&b);
+                    for (m, r) in b.members.iter().zip(records) {
+                        slots[m.index as usize] = Some(r);
+                    }
+                }
+            }
+        }
+    }
+
+    for (i, (&key, &t)) in keys.iter().zip(arrivals).enumerate() {
+        let cost = &costs[key];
+        let group = if cost.error.is_some() {
+            // Unbuildable configurations must keep their solo error
+            // path (and never waste a merged execution).
+            None
+        } else {
+            cost.batch.as_ref().map(|b| b.group)
+        };
+        former.offer(
+            BatchArrival {
+                index: i as u64,
+                key,
+                group,
+                at_ms: t,
+            },
+            &mut |e| events.push(e),
+        );
+        for ev in events.drain(..) {
+            handle(
+                &mut sim,
+                &mut slots,
+                &mut batches,
+                &mut batched_requests,
+                &mut batch_shed,
+                &mut hist,
+                ev,
+            );
+        }
+    }
+    former.flush(&mut |e| events.push(e));
+    for ev in events.drain(..) {
+        handle(
+            &mut sim,
+            &mut slots,
+            &mut batches,
+            &mut batched_requests,
+            &mut batch_shed,
+            &mut hist,
+            ev,
+        );
+    }
+
+    let trace = sim.tracer.take().map(|tr| tr.sink.finish(ClockDomain::Sim));
+    let records = slots
+        .into_iter()
+        .map(|r| r.expect("every arrival resolves in exactly one event"))
+        .collect();
+    let mut outcome = sim.into_outcome(records);
+    outcome.batches = batches;
+    outcome.batched_requests = batched_requests;
+    outcome.batch_shed = batch_shed;
+    outcome.batch_size_hist = hist;
+    (outcome, trace)
+}
+
 /// Index of the minimum element (first on ties) — worker/client election.
 fn min_index(xs: &[f64]) -> usize {
     let mut best = 0;
@@ -1161,6 +1766,7 @@ mod tests {
                 exchange_ms: 0.0,
                 bytes,
                 template: None,
+                batch: None,
                 error: None,
             })
             .collect()
@@ -1477,6 +2083,7 @@ mod tests {
             exchange_ms: 0.0,
             bytes: 1,
             template: None,
+            batch: None,
             error: None,
         });
         let p = SimParams {
@@ -1646,5 +2253,298 @@ mod tests {
         assert_eq!(out.cache.hits, 0);
         assert_eq!(out.cache.misses, 3);
         assert_eq!(out.cache.evictions, 2, "two cached entries were stormed");
+    }
+
+    /// Collects everything a former emits for an arrival sequence.
+    fn form(policy: BatchPolicy, arrivals: &[(usize, Option<usize>, f64)]) -> Vec<FormerEvent> {
+        let mut former = BatchFormer::new(policy);
+        let mut events = Vec::new();
+        for (i, &(key, group, at_ms)) in arrivals.iter().enumerate() {
+            former.offer(
+                BatchArrival {
+                    index: i as u64,
+                    key,
+                    group,
+                    at_ms,
+                },
+                &mut |e| events.push(e),
+            );
+        }
+        former.flush(&mut |e| events.push(e));
+        events
+    }
+
+    fn dispatched(events: &[FormerEvent]) -> Vec<(f64, Vec<u64>)> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                FormerEvent::Dispatch(b) => {
+                    Some((b.dispatch_ms, b.members.iter().map(|m| m.index).collect()))
+                }
+                FormerEvent::Shed(_) => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn former_dispatches_on_fill_and_on_delay() {
+        let policy = BatchPolicy {
+            max_batch: 2,
+            max_queue_delay_ms: 5.0,
+            max_backlog: 0,
+        };
+        let g = Some(0);
+        // 0 and 1 fill a batch at t=1; 2 waits out its delay.
+        let events = form(policy, &[(0, g, 0.0), (1, g, 1.0), (2, g, 2.0)]);
+        assert_eq!(dispatched(&events), vec![(1.0, vec![0, 1]), (7.0, vec![2])]);
+
+        // An arrival landing exactly on the head's deadline does not
+        // join: the timer fires first.
+        let events = form(policy, &[(0, g, 0.0), (1, g, 5.0)]);
+        assert_eq!(dispatched(&events), vec![(5.0, vec![0]), (10.0, vec![1])]);
+
+        // max_batch=1 never forms: immediate singletons at arrival.
+        let one = BatchPolicy {
+            max_batch: 1,
+            ..policy
+        };
+        let events = form(one, &[(0, g, 0.0), (1, g, 0.5)]);
+        assert_eq!(dispatched(&events), vec![(0.0, vec![0]), (0.5, vec![1])]);
+    }
+
+    #[test]
+    fn former_backlog_sheds_only_batch_opening_arrivals() {
+        let policy = BatchPolicy {
+            max_batch: 4,
+            max_queue_delay_ms: 100.0,
+            max_backlog: 1,
+        };
+        // 0 opens the only allowed batch; 1 (a new class) is shed; 2
+        // joins 0's batch; 3 (unmergeable) bypasses the bound.
+        let events = form(
+            policy,
+            &[
+                (0, Some(0), 0.0),
+                (1, Some(1), 1.0),
+                (2, Some(0), 2.0),
+                (3, None, 3.0),
+            ],
+        );
+        assert!(matches!(&events[0], FormerEvent::Shed(a) if a.index == 1));
+        assert_eq!(
+            dispatched(&events),
+            vec![(3.0, vec![3]), (100.0, vec![0, 2])]
+        );
+    }
+
+    #[test]
+    fn batched_with_max_batch_one_is_byte_identical_to_unbatched() {
+        // Batch metadata present on every cost, full fault/resilience
+        // machinery active: max_batch=1 must reduce to simulate_open
+        // exactly (the differential anchor of the batched model).
+        let mut costs = costs(4, 3.0, 1.5, 64);
+        for (i, c) in costs.iter_mut().enumerate() {
+            c.template = Some(i % 2);
+            c.batch = Some(SimBatch {
+                group: i % 2,
+                fixed_ms: 2.0,
+                marginal_ms: 1.0,
+            });
+        }
+        let keys: Vec<usize> = (0..60).map(|i| i % 4).collect();
+        let arrivals: Vec<f64> = (0..60).map(|i| i as f64 * 1.25).collect();
+        let p = SimParams {
+            fault: Some(FaultPlan::mixed(9, 0.3)),
+            resilience: ResilienceConfig {
+                deadline_ms: Some(40.0),
+                retry: RetryPolicy::retries(2),
+                breaker: Some(BreakerConfig::default()),
+                degrade: true,
+                stale_ttl_ms: Some(20.0),
+            },
+            ..params(2, 8, 256)
+        };
+        let unbatched = simulate_open(&keys, &arrivals, &costs, p);
+        let policy = BatchPolicy {
+            max_batch: 1,
+            max_queue_delay_ms: 4.0,
+            max_backlog: 2,
+        };
+        let batched = simulate_open_batched(&keys, &arrivals, &costs, p, policy);
+        assert_eq!(batched.batches, 60);
+        assert_eq!(batched.batched_requests, 60);
+        assert_eq!(batched.batch_size_hist, vec![60]);
+        assert_eq!(batched.batch_shed, 0);
+        let mut stripped = batched.clone();
+        stripped.batches = 0;
+        stripped.batched_requests = 0;
+        stripped.batch_size_hist = Vec::new();
+        assert_eq!(
+            stripped, unbatched,
+            "max_batch=1 must reproduce simulate_open"
+        );
+    }
+
+    #[test]
+    fn merged_batches_amortize_fixed_and_build_costs() {
+        // Two distinct keys of one merge class; a cache too small to
+        // hold anything keeps every request on the miss path.
+        let costs: Vec<SimCosts> = (0..2)
+            .map(|_| SimCosts {
+                service_ms: 10.0,
+                build_ms: 4.0,
+                exchange_ms: 0.0,
+                bytes: 100,
+                template: None,
+                batch: Some(SimBatch {
+                    group: 0,
+                    fixed_ms: 8.0,
+                    marginal_ms: 2.0,
+                }),
+                error: None,
+            })
+            .collect();
+        let policy = BatchPolicy {
+            max_batch: 2,
+            max_queue_delay_ms: 5.0,
+            max_backlog: 0,
+        };
+        let keys = [0, 1, 0, 1];
+        let arrivals = [0.0, 0.5, 100.0, 100.5];
+        let out = simulate_open_batched(&keys, &arrivals, &costs, params(2, 8, 1), policy);
+        // First pair: filled at 0.5; merged build = 4 + 0.25·4 = 5,
+        // inference = max(8, 8) + 2 + 2 = 12; finish = 17.5.
+        assert_eq!(out.records[0].latency_ms, 17.5);
+        assert_eq!(out.records[1].latency_ms, 17.0);
+        assert_eq!(
+            out.records[0].disposition,
+            SimDisposition::Done(CacheDisposition::Miss)
+        );
+        // Second identical pair: the merged shape [0, 1] is installed,
+        // so the build drops to the instantiate share (5 · 0.25 =
+        // 1.25); finish = 100.5 + 13.25.
+        assert_eq!(out.records[2].latency_ms, 13.75);
+        assert_eq!((out.template_misses, out.template_hits), (1, 1));
+        assert_eq!(out.batches, 2);
+        assert_eq!(out.batched_requests, 4);
+        assert_eq!(out.batch_size_hist, vec![0, 2]);
+
+        // The same stream unbatched keeps full per-request costs: the
+        // merged run strictly beats it on makespan.
+        let unbatched = simulate_open(&keys, &arrivals, &costs, params(2, 8, 1));
+        assert!(out.makespan_ms < unbatched.makespan_ms);
+    }
+
+    #[test]
+    fn batch_backlog_sheds_and_unmergeable_requests_bypass_forming() {
+        let mut costs = costs(3, 10.0, 4.0, 10);
+        costs[0].batch = Some(SimBatch {
+            group: 0,
+            fixed_ms: 8.0,
+            marginal_ms: 2.0,
+        });
+        costs[1].batch = Some(SimBatch {
+            group: 1,
+            fixed_ms: 8.0,
+            marginal_ms: 2.0,
+        });
+        let policy = BatchPolicy {
+            max_batch: 4,
+            max_queue_delay_ms: 100.0,
+            max_backlog: 1,
+        };
+        let out = simulate_open_batched(
+            &[0, 1, 2],
+            &[0.0, 1.0, 2.0],
+            &costs,
+            params(2, 8, 1000),
+            policy,
+        );
+        // 0 opens the only allowed batch; 1 is shed; 2 (no batch
+        // model) dispatches immediately as a plain miss.
+        assert_eq!(out.records[1].disposition, SimDisposition::BatchShed);
+        assert_eq!(out.records[1].latency_ms, 0.0);
+        assert_eq!(out.batch_shed, 1);
+        assert_eq!(out.records[2].submit_ms, 2.0);
+        assert_eq!(out.records[2].latency_ms, 14.0);
+        // 0's lonely batch dispatches as a singleton at its deadline;
+        // the forming wait counts as queue time.
+        assert_eq!(out.records[0].submit_ms, 0.0);
+        assert_eq!(out.records[0].queue_ms, 100.0);
+        assert_eq!(out.records[0].latency_ms, 114.0);
+        assert_eq!(out.batches, 2);
+    }
+
+    #[test]
+    fn later_arrivals_coalesce_onto_merged_executions() {
+        let costs: Vec<SimCosts> = (0..2)
+            .map(|_| SimCosts {
+                service_ms: 10.0,
+                build_ms: 4.0,
+                exchange_ms: 0.0,
+                bytes: 100,
+                template: None,
+                batch: Some(SimBatch {
+                    group: 0,
+                    fixed_ms: 8.0,
+                    marginal_ms: 2.0,
+                }),
+                error: None,
+            })
+            .collect();
+        let policy = BatchPolicy {
+            max_batch: 2,
+            max_queue_delay_ms: 1.0,
+            max_backlog: 0,
+        };
+        // 0 and 1 merge (dispatch at 0.5, finish 17.5); a second key-0
+        // request at t=3 finds the merged execution in flight and
+        // coalesces onto it rather than re-executing.
+        let out = simulate_open_batched(
+            &[0, 1, 0],
+            &[0.0, 0.5, 3.0],
+            &costs,
+            params(2, 8, 1000),
+            policy,
+        );
+        assert_eq!(out.coalesced, 1);
+        assert_eq!(
+            out.records[2].disposition,
+            SimDisposition::Done(CacheDisposition::Coalesced)
+        );
+        assert_eq!(out.records[2].latency_ms, 14.5, "finishes with the batch");
+    }
+
+    #[test]
+    fn traced_batched_runs_match_and_emit_batch_spans() {
+        let mut costs = costs(4, 3.0, 1.5, 64);
+        for c in costs.iter_mut() {
+            c.batch = Some(SimBatch {
+                group: 0,
+                fixed_ms: 2.0,
+                marginal_ms: 1.0,
+            });
+        }
+        let keys: Vec<usize> = (0..40).map(|i| i % 4).collect();
+        let arrivals: Vec<f64> = (0..40).map(|i| i as f64 * 0.6).collect();
+        let policy = BatchPolicy {
+            max_batch: 4,
+            max_queue_delay_ms: 2.0,
+            max_backlog: 0,
+        };
+        let p = params(2, 8, 256);
+        let plain = simulate_open_batched(&keys, &arrivals, &costs, p, policy);
+        let (traced, a) = simulate_open_batched_traced(&keys, &arrivals, &costs, p, policy, &[]);
+        assert_eq!(plain, traced, "tracing must never perturb the model");
+        assert!(
+            plain.batch_size_hist.len() > 1,
+            "some real merging happened"
+        );
+        let (_, b) = simulate_open_batched_traced(&keys, &arrivals, &costs, p, policy, &[]);
+        assert_eq!(a.to_chrome_json(), b.to_chrome_json());
+        gsuite_telemetry::json::validate(&a.to_chrome_json()).expect("valid chrome JSON");
+        for name in ["batch.form", "batch.scatter", "request", "service"] {
+            assert!(a.spans.iter().any(|s| s.name == name), "missing {name}");
+        }
     }
 }

@@ -26,11 +26,14 @@ use gsuite_scenarios::{registry, BenchOpts, LruStats};
 use gsuite_telemetry::metrics::LATENCY_BUCKETS_MS;
 use gsuite_telemetry::{Attr, ClockDomain, MetricsRegistry, SpanSink, Trace};
 
+use gsuite_core::plan::batchmerge::{merge_class, MergeClass};
+
 use crate::fault::{FaultPlan, ResilienceConfig};
 use crate::request::ServeRequest;
 use crate::server::{entry_bytes, Completion, ServeConfig, Server, SubmitError};
 use crate::sim::{
-    simulate_closed, simulate_closed_traced, simulate_open, simulate_open_traced, SimCosts,
+    simulate_closed, simulate_closed_traced, simulate_open, simulate_open_batched,
+    simulate_open_batched_traced, simulate_open_traced, BatchPolicy, SimBatch, SimCosts,
     SimDisposition, SimParams, SpanProfile,
 };
 
@@ -108,6 +111,13 @@ pub struct LoadSpec {
     /// Resilience policy applied by the service (sim and wall clocks
     /// share the same policy engine). Default: fully inert.
     pub resilience: ResilienceConfig,
+    /// Cross-request batching policy. `None` (the default) serves every
+    /// request alone and keeps all reports byte-identical to the
+    /// unbatched format. `Some` requires open-loop arrivals: compatible
+    /// queued requests merge into one batched Plan execution
+    /// ([`simulate_open_batched`] on the sim clock, the server's batch
+    /// former on the wall clock).
+    pub batch: Option<BatchPolicy>,
     /// Measurement options (scale policy, CTA caps).
     pub opts: BenchOpts,
 }
@@ -129,6 +139,7 @@ impl Default for LoadSpec {
             slo_ms: None,
             fault: None,
             resilience: ResilienceConfig::default(),
+            batch: None,
             opts: BenchOpts::quick(),
         }
     }
@@ -161,28 +172,44 @@ impl LoadSpec {
         Ok(cells.iter().map(ServeRequest::from_cell).collect())
     }
 
-    /// The seeded request stream: `requests` indices into a universe of
-    /// `universe_len` configurations, sampled uniformly with replacement.
-    pub fn sample_keys(&self, universe_len: usize) -> Vec<usize> {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
-        (0..self.requests)
-            .map(|_| rng.gen_range(0..universe_len))
-            .collect()
+    /// The seeded request stream as a **lazy** iterator: `requests`
+    /// indices into a universe of `universe_len` configurations, sampled
+    /// uniformly with replacement. The iterator carries only the RNG
+    /// state — `O(1)` memory regardless of stream length — so
+    /// million-request mixes never materialize a key vector just to be
+    /// walked once.
+    pub fn key_stream(&self, universe_len: usize) -> KeyStream {
+        KeyStream {
+            rng: SmallRng::seed_from_u64(self.seed),
+            universe_len,
+            remaining: self.requests,
+        }
     }
 
-    /// Seeded open-loop arrival times (ms, nondecreasing): exponential
-    /// inter-arrivals at `rate_rps`. Decoupled from the sampling stream so
-    /// the same seed yields the same mix under both arrival modes.
+    /// The seeded request stream, collected ([`LoadSpec::key_stream`] is
+    /// the single source of truth; this is its eager form).
+    pub fn sample_keys(&self, universe_len: usize) -> Vec<usize> {
+        self.key_stream(universe_len).collect()
+    }
+
+    /// Seeded open-loop arrival times (ms, nondecreasing) as a **lazy**
+    /// iterator: exponential inter-arrivals at `rate_rps`, `O(1)` memory.
+    /// Decoupled from the sampling stream so the same seed yields the
+    /// same mix under both arrival modes.
+    pub fn arrival_stream(&self, rate_rps: f64) -> ArrivalStream {
+        ArrivalStream {
+            rng: SmallRng::seed_from_u64(self.seed ^ 0xA5A5_5A5A_1234_5678),
+            rate_rps,
+            t: 0.0,
+            remaining: self.requests,
+        }
+    }
+
+    /// Seeded open-loop arrival times, collected
+    /// ([`LoadSpec::arrival_stream`] is the single source of truth; this
+    /// is its eager form).
     pub fn arrivals(&self, rate_rps: f64) -> Vec<f64> {
-        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xA5A5_5A5A_1234_5678);
-        let mut t = 0.0;
-        (0..self.requests)
-            .map(|_| {
-                let u: f64 = rng.gen();
-                t += -(1.0 - u).ln() / rate_rps.max(1e-9) * 1e3;
-                t
-            })
-            .collect()
+        self.arrival_stream(rate_rps).collect()
     }
 
     fn effective_threads(&self) -> usize {
@@ -193,6 +220,65 @@ impl LoadSpec {
         }
     }
 }
+
+/// Lazy seeded key stream — see [`LoadSpec::key_stream`]. Holds only
+/// the RNG and a countdown; its memory footprint is independent of the
+/// stream length.
+#[derive(Debug, Clone)]
+pub struct KeyStream {
+    rng: SmallRng,
+    universe_len: usize,
+    remaining: usize,
+}
+
+impl Iterator for KeyStream {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.rng.gen_range(0..self.universe_len))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for KeyStream {}
+
+/// Lazy seeded open-loop arrival stream — see
+/// [`LoadSpec::arrival_stream`]. Yields nondecreasing milliseconds;
+/// `O(1)` memory.
+#[derive(Debug, Clone)]
+pub struct ArrivalStream {
+    rng: SmallRng,
+    rate_rps: f64,
+    t: f64,
+    remaining: usize,
+}
+
+impl Iterator for ArrivalStream {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let u: f64 = self.rng.gen();
+        self.t += -(1.0 - u).ln() / self.rate_rps.max(1e-9) * 1e3;
+        Some(self.t)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for ArrivalStream {}
 
 /// Latency percentile summary in milliseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -278,6 +364,42 @@ pub struct ResilienceSummary {
     pub stale_serves: u64,
 }
 
+/// Cross-request batching counters of one load-generation run. Present
+/// on the report only when the run had a [`BatchPolicy`] — unbatched
+/// reports keep the historical format byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BatchSummary {
+    /// Batches dispatched (singleton dispatches included).
+    pub batches: u64,
+    /// Requests that resolved through a dispatched batch.
+    pub batched_requests: u64,
+    /// Requests shed by the batch former's admission control.
+    pub shed: u64,
+    /// `size_hist[i]` = dispatched batches of size `i + 1`.
+    pub size_hist: Vec<u64>,
+}
+
+impl BatchSummary {
+    /// Mean members per dispatched batch (`0` with no batches).
+    pub fn avg_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    /// The histogram as `size:count` pairs, skipping empty sizes.
+    fn hist_cells(&self) -> Vec<String> {
+        self.size_hist
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| format!("{}:{}", i + 1, n))
+            .collect()
+    }
+}
+
 /// The load generator's result: counters, cache stats, throughput and the
 /// latency distribution.
 #[derive(Debug, Clone, PartialEq)]
@@ -326,6 +448,9 @@ pub struct LoadReport {
     /// Resilience counters (all zero when [`LoadReport::fault_mode`] is
     /// false).
     pub resilience: ResilienceSummary,
+    /// Cross-request batching counters; `None` (every unbatched run)
+    /// keeps the report byte-identical to the historical format.
+    pub batch: Option<BatchSummary>,
     /// Per-completed-request latencies in stream order — the
     /// reproducibility surface the determinism tests compare.
     pub latencies_ms: Vec<f64>,
@@ -400,6 +525,20 @@ impl LoadReport {
                 "resilience: retries={} timeouts={} crashed={} breaker-trips={} circuit-shed={} degraded={} stale={}\n",
                 r.retries, r.timeouts, r.crashed, r.breaker_trips, r.circuit_open, r.degraded, r.stale_serves
             ));
+        }
+        if let Some(b) = &self.batch {
+            out.push_str(&format!(
+                "batch: batches={} batched={} avg-size={:.2} shed={}",
+                b.batches,
+                b.batched_requests,
+                b.avg_size(),
+                b.shed
+            ));
+            let cells = b.hist_cells();
+            if !cells.is_empty() {
+                out.push_str(&format!(" | sizes {}", cells.join(" ")));
+            }
+            out.push('\n');
         }
         if !self.phases.is_empty() {
             out.push_str("phases (ms):");
@@ -476,13 +615,28 @@ impl LoadReport {
                 .collect();
             format!(",\n  \"phases\": {{{}}}", cols.join(", "))
         };
+        let batch = match &self.batch {
+            Some(b) => {
+                let hist: Vec<String> = b.size_hist.iter().map(u64::to_string).collect();
+                format!(
+                    ",\n  \"batch\": {{\"batches\": {}, \"batched_requests\": {}, \
+                     \"avg_size\": {:.4}, \"shed\": {}, \"size_hist\": [{}]}}",
+                    b.batches,
+                    b.batched_requests,
+                    b.avg_size(),
+                    b.shed,
+                    hist.join(", ")
+                )
+            }
+            None => String::new(),
+        };
         format!(
             "{{\n  \"scenario\": {:?},\n  \"seed\": {},\n  \"clock\": {:?},\n  \"arrival\": {:?},\n  \
              \"universe\": {},\n  \"requests\": {},\n  \"completed\": {},\n  \"errors\": {},\n  \
              \"rejected\": {},\n  \"coalesced\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
              \"cache_hit_rate\": {:.6},\n  \"cache_evictions\": {},\n  \"throughput_rps\": {:.3},\n  \
              \"makespan_ms\": {:.4},\n  \"latency_ms\": {{\"mean\": {:.4}, \"p50\": {:.4}, \"p95\": {:.4}, \
-             \"p99\": {:.4}, \"max\": {:.4}}}{}{}{}{}\n}}",
+             \"p99\": {:.4}, \"max\": {:.4}}}{}{}{}{}{}\n}}",
             self.scenario,
             self.seed,
             self.clock,
@@ -507,6 +661,7 @@ impl LoadReport {
             templates,
             slo,
             fault,
+            batch,
             phases
         )
     }
@@ -632,6 +787,37 @@ impl LoadReport {
                 l,
             );
         }
+        if let Some(b) = &self.batch {
+            c(
+                &mut reg,
+                "gsuite_batch_dispatched_total",
+                "Batches dispatched by the cross-request former.",
+                b.batches,
+            );
+            c(
+                &mut reg,
+                "gsuite_batch_requests_total",
+                "Requests resolved through a dispatched batch.",
+                b.batched_requests,
+            );
+            c(
+                &mut reg,
+                "gsuite_batch_shed_total",
+                "Requests shed by the batch former's admission control.",
+                b.shed,
+            );
+            reg.gauge_set(
+                "gsuite_batch_avg_size",
+                "Mean members per dispatched batch.",
+                b.avg_size(),
+            );
+            for (i, &n) in b.size_hist.iter().enumerate() {
+                if n > 0 {
+                    let name = format!("gsuite_batch_size_{}_total", i + 1);
+                    reg.counter_add(&name, "Dispatched batches of this size.", n);
+                }
+            }
+        }
         for (name, total) in &self.phases {
             let metric = format!("gsuite_phase_{}_ms", name.replace('.', "_"));
             reg.gauge_set(
@@ -693,6 +879,7 @@ impl LoadReport {
             slo,
             fault_mode: spec.fault.is_some() || !spec.resilience.is_inert(),
             resilience: ResilienceSummary::default(),
+            batch: None,
             latencies_ms,
             phases: Vec::new(),
         }
@@ -740,12 +927,22 @@ pub fn build_cost_ms(bytes: u64) -> f64 {
 /// [`SpanProfile`] (kernel names, modeled times, exchange peers/bytes)
 /// for the traced simulation to attach under its `service` spans —
 /// untraced runs skip that allocation entirely.
+///
+/// With `batched`, every mergeable configuration (see
+/// `plan::batchmerge::merge_class`) is additionally profiled as a
+/// merged **pair** of itself: the two-point measurement splits its solo
+/// service time into the batch-invariant `fixed_ms = 2·alone − pair`
+/// and the per-member `marginal_ms = pair − alone` shares (clamped into
+/// `[0, alone]`, so `fixed + marginal == alone` exactly) that
+/// [`simulate_open_batched`] charges merged executions. Unbatched runs
+/// skip the pair builds entirely and produce the historical costs.
 fn sim_costs(
     universe: &[ServeRequest],
     keys: &[usize],
     opts: &BenchOpts,
     threads: usize,
     traced: bool,
+    batched: bool,
 ) -> (Vec<SimCosts>, Vec<SpanProfile>) {
     let mut referenced: Vec<usize> = Vec::new();
     for &k in keys {
@@ -774,17 +971,34 @@ fn sim_costs(
                 } else {
                     SpanProfile::default()
                 };
+                let alone_ms = profile.total_time_ms();
+                let probe = if batched {
+                    merge_class(&req.config).and_then(|class| {
+                        let pair = [req.config.clone(), req.config.clone()];
+                        gsuite_core::pipeline::PipelineRun::build_merged(&graph, &pair)
+                            .ok()
+                            .map(|(pair_run, _)| {
+                                let pair_ms = pair_run.profile(profiler.as_ref()).total_time_ms();
+                                let marginal = (pair_ms - alone_ms).clamp(0.0, alone_ms);
+                                (class, alone_ms - marginal, marginal)
+                            })
+                    })
+                } else {
+                    None
+                };
                 (
                     SimCosts {
-                        service_ms: profile.total_time_ms(),
+                        service_ms: alone_ms,
                         build_ms: build_cost_ms(bytes),
                         exchange_ms,
                         bytes,
                         template: None,
+                        batch: None,
                         error: None,
                     },
                     spans,
                     TemplateKey::of(&graph, &req.config),
+                    probe,
                 )
             }
             Err(e) => (
@@ -794,9 +1008,11 @@ fn sim_costs(
                     exchange_ms: 0.0,
                     bytes: 0,
                     template: None,
+                    batch: None,
                     error: Some(e.to_string()),
                 },
                 SpanProfile::default(),
+                None,
                 None,
             ),
         }
@@ -808,6 +1024,7 @@ fn sim_costs(
             exchange_ms: 0.0,
             bytes: 0,
             template: None,
+            batch: None,
             error: None,
         };
         universe.len()
@@ -819,7 +1036,9 @@ fn sim_costs(
     // lower/optimize/decorate cost. Group ids are assigned in first-use
     // order, which keys them to the deterministic request stream.
     let mut groups: Vec<TemplateKey> = Vec::new();
-    for (&k, (mut cost, spans, tkey)) in referenced.iter().zip(profiled) {
+    // Merge-class ids for the batch former, likewise in first-use order.
+    let mut batch_groups: Vec<MergeClass> = Vec::new();
+    for (&k, (mut cost, spans, tkey, probe)) in referenced.iter().zip(profiled) {
         cost.template = tkey.map(|key| match groups.iter().position(|g| *g == key) {
             Some(id) => id,
             None => {
@@ -827,6 +1046,20 @@ fn sim_costs(
                 groups.len() - 1
             }
         });
+        if let Some((class, fixed_ms, marginal_ms)) = probe {
+            let group = match batch_groups.iter().position(|g| *g == class) {
+                Some(id) => id,
+                None => {
+                    batch_groups.push(class);
+                    batch_groups.len() - 1
+                }
+            };
+            cost.batch = Some(SimBatch {
+                group,
+                fixed_ms,
+                marginal_ms,
+            });
+        }
         costs[k] = cost;
         profiles[k] = spans;
     }
@@ -841,6 +1074,7 @@ fn sim_costs(
 /// Propagates workload-mix resolution failures (unknown scenario, empty
 /// grid).
 pub fn run_loadgen(spec: &LoadSpec) -> Result<LoadReport, String> {
+    validate_batch_mode(spec)?;
     let universe = spec.universe()?;
     let keys = spec.sample_keys(universe.len());
     match spec.clock {
@@ -867,6 +1101,7 @@ pub fn run_loadgen(spec: &LoadSpec) -> Result<LoadReport, String> {
 /// Propagates workload-mix resolution failures (unknown scenario, empty
 /// grid).
 pub fn run_loadgen_traced(spec: &LoadSpec) -> Result<(LoadReport, Trace), String> {
+    validate_batch_mode(spec)?;
     let universe = spec.universe()?;
     let keys = spec.sample_keys(universe.len());
     let (mut report, trace) = match spec.clock {
@@ -875,7 +1110,25 @@ pub fn run_loadgen_traced(spec: &LoadSpec) -> Result<(LoadReport, Trace), String
     };
     let trace = trace.expect("traced run produces a trace");
     report.phases = phase_totals(&trace);
+    if spec.batch.is_some() {
+        // Batch orchestration spans sit outside the per-request phase
+        // list, so append them explicitly when batching is on.
+        for name in ["batch.form", "batch.scatter"] {
+            report.phases.push((name.to_string(), trace.total_ms(name)));
+        }
+    }
     Ok((report, trace))
+}
+
+/// Rejects spec combinations the batching layer cannot serve: the batch
+/// former keys off open-loop arrival timestamps, so closed-loop runs
+/// (which have no arrival clock to age a forming batch against) are a
+/// configuration error rather than a silently unbatched run.
+fn validate_batch_mode(spec: &LoadSpec) -> Result<(), String> {
+    if spec.batch.is_some() && matches!(spec.arrival, ArrivalMode::Closed { .. }) {
+        return Err("cross-request batching requires open-loop arrivals (--rate)".to_string());
+    }
+    Ok(())
 }
 
 fn run_sim(
@@ -884,7 +1137,14 @@ fn run_sim(
     keys: &[usize],
     traced: bool,
 ) -> (LoadReport, Option<Trace>) {
-    let (costs, profiles) = sim_costs(universe, keys, &spec.opts, spec.effective_threads(), traced);
+    let (costs, profiles) = sim_costs(
+        universe,
+        keys,
+        &spec.opts,
+        spec.effective_threads(),
+        traced,
+        spec.batch.is_some(),
+    );
     let params = SimParams {
         workers: spec.workers,
         queue_cap: spec.queue_cap,
@@ -894,21 +1154,28 @@ fn run_sim(
     };
     let arrivals;
     let (outcome, trace) = if traced {
-        let (outcome, trace) = match spec.arrival {
-            ArrivalMode::Closed { clients } => {
+        let (outcome, trace) = match (spec.arrival, spec.batch) {
+            (ArrivalMode::Closed { clients }, _) => {
                 simulate_closed_traced(keys, clients, &costs, params, &profiles)
             }
-            ArrivalMode::Open { rate_rps } => {
+            (ArrivalMode::Open { rate_rps }, None) => {
                 arrivals = spec.arrivals(rate_rps);
                 simulate_open_traced(keys, &arrivals, &costs, params, &profiles)
+            }
+            (ArrivalMode::Open { rate_rps }, Some(policy)) => {
+                arrivals = spec.arrivals(rate_rps);
+                simulate_open_batched_traced(keys, &arrivals, &costs, params, policy, &profiles)
             }
         };
         (outcome, Some(trace))
     } else {
-        let outcome = match spec.arrival {
-            ArrivalMode::Closed { clients } => simulate_closed(keys, clients, &costs, params),
-            ArrivalMode::Open { rate_rps } => {
+        let outcome = match (spec.arrival, spec.batch) {
+            (ArrivalMode::Closed { clients }, _) => simulate_closed(keys, clients, &costs, params),
+            (ArrivalMode::Open { rate_rps }, None) => {
                 simulate_open(keys, &spec.arrivals(rate_rps), &costs, params)
+            }
+            (ArrivalMode::Open { rate_rps }, Some(policy)) => {
+                simulate_open_batched(keys, &spec.arrivals(rate_rps), &costs, params, policy)
             }
         };
         (outcome, None)
@@ -918,7 +1185,7 @@ fn run_sim(
     for r in &outcome.records {
         match r.disposition {
             // Shed before execution: no completion, no latency sample.
-            SimDisposition::Rejected | SimDisposition::CircuitOpen => {}
+            SimDisposition::Rejected | SimDisposition::CircuitOpen | SimDisposition::BatchShed => {}
             // Delivered as an error response — mirroring the wall server,
             // where timeouts and crashes complete with `err` lines.
             SimDisposition::Error | SimDisposition::TimedOut | SimDisposition::Crashed => {
@@ -955,6 +1222,14 @@ fn run_sim(
         degraded: outcome.degraded,
         stale_serves: outcome.stale_serves,
     };
+    if spec.batch.is_some() {
+        report.batch = Some(BatchSummary {
+            batches: outcome.batches,
+            batched_requests: outcome.batched_requests,
+            shed: outcome.batch_shed,
+            size_hist: outcome.batch_size_hist.clone(),
+        });
+    }
     (report, trace)
 }
 
@@ -1058,6 +1333,7 @@ fn run_wall(
         opts: spec.opts.clone(),
         fault: spec.fault,
         resilience: spec.resilience,
+        batch: spec.batch,
     });
     let t0 = std::time::Instant::now();
     // (stream index, latency_ms, was_error) per delivered completion.
@@ -1072,9 +1348,12 @@ fn run_wall(
                     let submit_ms = t0.elapsed().as_secs_f64() * 1e3;
                     let rx = match server.submit(universe[keys[i]].clone()) {
                         Ok(rx) => rx,
-                        // An open breaker sheds this request; the stream
-                        // moves on (the server counts the shed).
-                        Err(SubmitError::CircuitOpen) => return Ok(Step::Shed),
+                        // An open breaker or full batch backlog sheds this
+                        // request; the stream moves on (the server counts
+                        // the shed).
+                        Err(SubmitError::CircuitOpen | SubmitError::BatchBacklog) => {
+                            return Ok(Step::Shed)
+                        }
                         // Submit failures mean the server is stopping:
                         // retire the worker rather than failing the run.
                         Err(_) => return Ok(Step::Retire),
@@ -1095,19 +1374,23 @@ fn run_wall(
             .expect("in-process setup is infallible");
         }
         ArrivalMode::Open { rate_rps } => {
-            // One dispatcher pacing seeded arrivals; a full queue sheds.
-            let arrivals = spec.arrivals(rate_rps);
+            // One dispatcher pacing seeded arrivals, streamed lazily (the
+            // schedule is O(1) memory however long the run is); a full
+            // queue sheds.
             let mut pending = Vec::new();
-            for i in 0..keys.len() {
-                let due = std::time::Duration::from_secs_f64(arrivals[i] / 1e3);
+            for (i, at_ms) in spec.arrival_stream(rate_rps).enumerate() {
+                let due = std::time::Duration::from_secs_f64(at_ms / 1e3);
                 if let Some(sleep) = due.checked_sub(t0.elapsed()) {
                     std::thread::sleep(sleep);
                 }
                 let submit_ms = t0.elapsed().as_secs_f64() * 1e3;
                 match server.try_submit(universe[keys[i]].clone()) {
                     Ok(rx) => pending.push((i, submit_ms, rx)),
-                    // Queue and breaker sheds are counted by the server.
-                    Err(SubmitError::Busy | SubmitError::CircuitOpen) => {}
+                    // Queue, breaker and batch-backlog sheds are counted
+                    // by the server.
+                    Err(
+                        SubmitError::Busy | SubmitError::CircuitOpen | SubmitError::BatchBacklog,
+                    ) => {}
                     Err(SubmitError::ShuttingDown) => break,
                 }
             }
@@ -1154,6 +1437,16 @@ fn run_wall(
         degraded: stats.degraded,
         stale_serves: stats.stale_serves,
     };
+    if spec.batch.is_some() {
+        // The wall server does not keep a per-size histogram; the
+        // summary's average still falls out of the two counters.
+        report.batch = Some(BatchSummary {
+            batches: stats.batches,
+            batched_requests: stats.batched_requests,
+            shed: stats.batch_shed,
+            size_hist: Vec::new(),
+        });
+    }
     let trace = traced.then(|| {
         let mut captured = captured.into_inner().expect("capture buffer poisoned");
         wall_trace(&mut captured, universe, keys)
@@ -1280,6 +1573,85 @@ mod tests {
         assert_eq!(arr.len(), spec.requests);
         assert!(arr.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(arr, spec.arrivals(500.0));
+    }
+
+    /// The lazy streams are the single source of truth for the seeded
+    /// mix: they must reproduce the historical eager generation bit for
+    /// bit (the serve goldens depend on it) while carrying only RNG
+    /// state — no buffer that grows with the request count.
+    #[test]
+    fn streams_match_eager_reference_with_constant_memory() {
+        let spec = LoadSpec {
+            requests: 257,
+            ..LoadSpec::default()
+        };
+        // Inline replica of the pre-streaming eager generators.
+        let mut rng = SmallRng::seed_from_u64(spec.seed);
+        let eager_keys: Vec<usize> = (0..spec.requests).map(|_| rng.gen_range(0..18)).collect();
+        let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0xA5A5_5A5A_1234_5678);
+        let mut t = 0.0;
+        let eager_arrivals: Vec<f64> = (0..spec.requests)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                t += -(1.0 - u).ln() / 500.0f64.max(1e-9) * 1e3;
+                t
+            })
+            .collect();
+        assert_eq!(spec.key_stream(18).collect::<Vec<_>>(), eager_keys);
+        let streamed: Vec<f64> = spec.arrival_stream(500.0).collect();
+        assert_eq!(streamed.len(), eager_arrivals.len());
+        for (s, e) in streamed.iter().zip(&eager_arrivals) {
+            assert_eq!(s.to_bits(), e.to_bits());
+        }
+
+        // O(1) memory: the iterator structs are a fixed few machine
+        // words regardless of the stream length...
+        assert!(std::mem::size_of::<KeyStream>() <= 64);
+        assert!(std::mem::size_of::<ArrivalStream>() <= 64);
+        // ...and a ten-million-request schedule can be walked partially
+        // without materializing anything (laziness, not just size).
+        let huge = LoadSpec {
+            requests: 10_000_000,
+            ..LoadSpec::default()
+        };
+        let mut stream = huge.arrival_stream(1e4);
+        assert_eq!(stream.len(), 10_000_000);
+        let head: Vec<f64> = stream.by_ref().take(5).collect();
+        assert!(head.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(stream.len(), 10_000_000 - 5);
+        assert_eq!(huge.key_stream(18).nth(1_000_000), {
+            let mut s = huge.key_stream(18);
+            s.nth(1_000_000)
+        });
+    }
+
+    #[test]
+    fn batching_rejects_closed_loop_specs() {
+        let spec = LoadSpec {
+            batch: Some(BatchPolicy::default()),
+            ..LoadSpec::default()
+        };
+        let err = run_loadgen(&spec).unwrap_err();
+        assert!(err.contains("open-loop"), "{err}");
+        assert!(run_loadgen_traced(&spec).is_err());
+    }
+
+    #[test]
+    fn batch_summary_average_handles_empty() {
+        let none = BatchSummary {
+            batches: 0,
+            batched_requests: 0,
+            shed: 0,
+            size_hist: Vec::new(),
+        };
+        assert_eq!(none.avg_size(), 0.0);
+        let some = BatchSummary {
+            batches: 4,
+            batched_requests: 10,
+            shed: 1,
+            size_hist: vec![2, 1, 0, 1],
+        };
+        assert!((some.avg_size() - 2.5).abs() < 1e-12);
     }
 
     #[test]

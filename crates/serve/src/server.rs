@@ -51,11 +51,13 @@ use std::time::Instant;
 
 use gsuite_core::config::RunConfig;
 use gsuite_core::pipeline::{PipelineRun, WorkerScratch};
+use gsuite_core::plan::batchmerge::merge_class;
 use gsuite_core::plan::template::TemplateCache;
 use gsuite_core::plan::OptLevel;
 use gsuite_core::CoreError;
 use gsuite_graph::Graph;
 use gsuite_profile::{Interconnect, PipelineProfile};
+use gsuite_scenarios::sim::BatchPolicy;
 use gsuite_scenarios::BenchOpts;
 use gsuite_scenarios::LruStats;
 
@@ -129,6 +131,19 @@ pub struct ServeConfig {
     /// Resilience policy (deadlines, retries, breaker, degradation). The
     /// default is fully inert — see [`ResilienceConfig::is_inert`].
     pub resilience: ResilienceConfig,
+    /// Cross-request batching policy. `None` (the default) serves every
+    /// request alone — the historical code path, exactly. When set, a
+    /// worker that dequeues a mergeable request (see
+    /// [`gsuite_core::plan::batchmerge::merge_class`]) holds a forming
+    /// window open for up to [`BatchPolicy::max_queue_delay_ms`],
+    /// drains up to [`BatchPolicy::max_batch`] compatible queued
+    /// requests into one merged Plan build + profile, and scatters
+    /// per-request completions. Merged executions skip the pipeline
+    /// LRU (each member is a distinct key built block-diagonally; the
+    /// plan-template cache still serves repeat batch shapes) and the
+    /// fault-injection machinery (the merged path is the healthy fast
+    /// path; faulted workloads exercise the solo path).
+    pub batch: Option<BatchPolicy>,
 }
 
 impl Default for ServeConfig {
@@ -141,6 +156,7 @@ impl Default for ServeConfig {
             opts: BenchOpts::quick(),
             fault: None,
             resilience: ResilienceConfig::default(),
+            batch: None,
         }
     }
 }
@@ -177,6 +193,9 @@ pub struct Completion {
     pub degraded: bool,
     /// Retries consumed before this completion was produced.
     pub retries: u32,
+    /// Members in the cross-request batch this completion was served by
+    /// (`1` = served alone, the historical path).
+    pub batch: u32,
     /// Wall milliseconds spent queued before dispatch.
     pub queue_ms: f64,
     /// Wall milliseconds of (possibly shared) build + profile work.
@@ -216,6 +235,9 @@ impl Completion {
         if self.retries > 0 {
             line.push_str(&format!(" retries={}", self.retries));
         }
+        if self.batch > 1 {
+            line.push_str(&format!(" batch={}", self.batch));
+        }
         line
     }
 }
@@ -230,6 +252,10 @@ pub enum SubmitError {
     /// configuration failed recently enough, often enough, that the
     /// server fast-fails it instead of queueing it.
     CircuitOpen,
+    /// The batch former's admission control shed this mergeable
+    /// request: [`BatchPolicy::max_backlog`] forming windows were
+    /// already open.
+    BatchBacklog,
     /// The server is shutting down.
     ShuttingDown,
 }
@@ -241,6 +267,7 @@ impl SubmitError {
         match self {
             SubmitError::Busy => Some(RejectReason::QueueFull),
             SubmitError::CircuitOpen => Some(RejectReason::CircuitOpen),
+            SubmitError::BatchBacklog => Some(RejectReason::BatchBacklog),
             SubmitError::ShuttingDown => None,
         }
     }
@@ -251,6 +278,7 @@ impl std::fmt::Display for SubmitError {
         f.write_str(match self {
             SubmitError::Busy => "queue full",
             SubmitError::CircuitOpen => "circuit open",
+            SubmitError::BatchBacklog => "batch backlog full",
             SubmitError::ShuttingDown => "server shutting down",
         })
     }
@@ -307,6 +335,13 @@ pub struct ServerStats {
     pub tpl_instantiates: u64,
     /// Contended pipeline-cache shard-lock acquisitions.
     pub lock_waits: u64,
+    /// Merged cross-request batches executed (2+ members each; solo
+    /// dispatches are not counted).
+    pub batches: u64,
+    /// Requests served through a merged batch.
+    pub batched_requests: u64,
+    /// Mergeable submissions shed by batch-former admission control.
+    pub batch_shed: u64,
     /// Cache counters.
     pub cache: LruStats,
 }
@@ -316,7 +351,7 @@ impl ServerStats {
     /// protocol: new keys are only ever appended (so positional and
     /// prefix parsers keep working), and the
     /// `stats_line_round_trips_with_locked_key_order` test locks it.
-    pub const LINE_KEYS: [&'static str; 28] = [
+    pub const LINE_KEYS: [&'static str; 31] = [
         "workers",
         "queue",
         "submitted",
@@ -345,6 +380,9 @@ impl ServerStats {
         "tpl_misses",
         "tpl_instantiates",
         "lock_waits",
+        "batches",
+        "batched_requests",
+        "batch_shed",
     ];
 
     /// Renders the wire-format `stats` response line. The resilience
@@ -364,7 +402,8 @@ impl ServerStats {
     ///   cache_entries=1 peak_device_bytes=54112 shard_peak_device_bytes=0
     ///   retries=0 timeouts=0 breaker_trips=0 breaker_shed=0 degraded=0
     ///   stale_serves=0 crashed=0 respawns=0 tpl_hits=0 tpl_misses=1
-    ///   tpl_instantiates=0 lock_waits=0
+    ///   tpl_instantiates=0 lock_waits=0 batches=0 batched_requests=0
+    ///   batch_shed=0
     /// ```
     ///
     /// (wrapped here for the page; the wire carries a single line).
@@ -378,7 +417,8 @@ impl ServerStats {
              peak_device_bytes={} shard_peak_device_bytes={} \
              retries={} timeouts={} breaker_trips={} breaker_shed={} degraded={} \
              stale_serves={} crashed={} respawns={} \
-             tpl_hits={} tpl_misses={} tpl_instantiates={} lock_waits={}",
+             tpl_hits={} tpl_misses={} tpl_instantiates={} lock_waits={} \
+             batches={} batched_requests={} batch_shed={}",
             self.workers,
             self.queue_depth,
             self.submitted,
@@ -407,6 +447,9 @@ impl ServerStats {
             self.tpl_misses,
             self.tpl_instantiates,
             self.lock_waits,
+            self.batches,
+            self.batched_requests,
+            self.batch_shed,
         )
     }
 
@@ -448,6 +491,9 @@ impl ServerStats {
             tpl_misses: get("tpl_misses"),
             tpl_instantiates: get("tpl_instantiates"),
             lock_waits: get("lock_waits"),
+            batches: get("batches"),
+            batched_requests: get("batched_requests"),
+            batch_shed: get("batch_shed"),
             cache: LruStats {
                 hits: get("cache_hits"),
                 misses: get("cache_misses"),
@@ -467,7 +513,7 @@ impl ServerStats {
     /// become gauges; exposition order is sorted by name.
     pub fn metrics(&self) -> gsuite_telemetry::MetricsRegistry {
         let mut reg = gsuite_telemetry::MetricsRegistry::new();
-        let counters: [(&str, &str, u64); 21] = [
+        let counters: [(&str, &str, u64); 24] = [
             (
                 "gsuite_serve_submitted_total",
                 "Accepted submissions (including coalesced).",
@@ -573,6 +619,21 @@ impl ServerStats {
                 "Contended pipeline-cache shard-lock acquisitions.",
                 self.lock_waits,
             ),
+            (
+                "gsuite_batch_dispatched_total",
+                "Merged cross-request batches executed.",
+                self.batches,
+            ),
+            (
+                "gsuite_batch_requests_total",
+                "Requests served through a merged batch.",
+                self.batched_requests,
+            ),
+            (
+                "gsuite_batch_shed_total",
+                "Mergeable submissions shed by batch-former admission control.",
+                self.batch_shed,
+            ),
         ];
         for (name, help, v) in counters {
             reg.counter_add(name, help, v);
@@ -651,6 +712,12 @@ struct State {
     respawns: u64,
     peak_device_bytes: u64,
     shard_peak_device_bytes: u64,
+    batches: u64,
+    batched_requests: u64,
+    batch_shed: u64,
+    /// Batch-forming windows currently held open by workers — the
+    /// backlog bound [`BatchPolicy::max_backlog`] sheds against.
+    forming: usize,
     shutdown: bool,
 }
 
@@ -705,6 +772,10 @@ impl Server {
                 respawns: 0,
                 peak_device_bytes: 0,
                 shard_peak_device_bytes: 0,
+                batches: 0,
+                batched_requests: 0,
+                batch_shed: 0,
+                forming: 0,
                 shutdown: false,
             }),
             epoch: Instant::now(),
@@ -761,6 +832,19 @@ impl Server {
         let mut state = self.inner.state.lock().expect("server state poisoned");
         if state.shutdown {
             return Err(SubmitError::ShuttingDown);
+        }
+        // Batch-former admission: with `max_backlog` forming windows
+        // already open, a *mergeable* submission is shed instead of
+        // deepening the backlog (unmergeable requests bypass the former
+        // entirely, so they are never shed here).
+        if let Some(policy) = self.inner.cfg.batch {
+            if policy.max_backlog > 0
+                && state.forming >= policy.max_backlog
+                && merge_class(&req.config).is_some()
+            {
+                state.batch_shed += 1;
+                return Err(SubmitError::BatchBacklog);
+            }
         }
         // Circuit-breaker admission runs before coalescing: an open
         // breaker means the config is known-bad, and attaching to an
@@ -859,6 +943,9 @@ impl Server {
             tpl_misses: tpl.misses,
             tpl_instantiates: tpl.instantiates,
             lock_waits: self.inner.cache.lock_waits(),
+            batches: state.batches,
+            batched_requests: state.batched_requests,
+            batch_shed: state.batch_shed,
             cache: self.inner.cache.stats(),
         }
     }
@@ -1052,6 +1139,170 @@ fn run_attempt(
     })
 }
 
+/// Holds a forming window open for up to
+/// [`BatchPolicy::max_queue_delay_ms`]: drains queued jobs whose merge
+/// class and GPU match the head's (oldest first, skipping incompatible
+/// jobs in place) until the batch is full, the window expires, or the
+/// server shuts down. Returns the members in arrival order, head first.
+/// Every drained member is registered as executing before the lock
+/// drops, so identical submissions coalesce onto it exactly as they
+/// would onto a solo execution.
+fn form_batch(
+    inner: &Inner,
+    mut state: std::sync::MutexGuard<'_, State>,
+    head: Job,
+    policy: BatchPolicy,
+    class: &gsuite_core::plan::batchmerge::MergeClass,
+) -> Vec<Job> {
+    state.forming += 1;
+    let mut members = vec![head];
+    let gpu = members[0].key.gpu;
+    let deadline = Instant::now()
+        + std::time::Duration::from_secs_f64(policy.max_queue_delay_ms.max(0.0) / 1e3);
+    loop {
+        // Drain every compatible queued job, oldest first.
+        let mut i = 0;
+        while i < state.queue.len() && members.len() < policy.max_batch {
+            let compatible = {
+                let j = &state.queue[i];
+                j.key.gpu == gpu && merge_class(&j.key.config).as_ref() == Some(class)
+            };
+            if compatible {
+                let job = state.queue.remove(i).expect("indexed job exists");
+                state.executing.push((job.key.clone(), Vec::new()));
+                inner.space_avail.notify_one();
+                members.push(job);
+            } else {
+                i += 1;
+            }
+        }
+        if members.len() >= policy.max_batch || state.shutdown {
+            break;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        // Incompatible work may still be queued: hand the wake-up back
+        // before parking so an idle worker (not this forming one) takes
+        // it.
+        if !state.queue.is_empty() {
+            inner.work_avail.notify_one();
+        }
+        let (s, timeout) = inner
+            .work_avail
+            .wait_timeout(state, deadline - now)
+            .expect("server state poisoned");
+        state = s;
+        if timeout.timed_out() {
+            break;
+        }
+    }
+    state.forming -= 1;
+    members
+}
+
+/// Executes a formed batch (2+ members) as **one** merged Plan build +
+/// profile and scatters per-member completions. The merged path skips
+/// the pipeline LRU (each member is a distinct key whose merged entry
+/// would not be reusable solo) and the fault-injection machinery — it
+/// is the healthy fast path; the plan-template cache still serves
+/// repeat batch shapes. A panic anywhere in the build is caught and
+/// delivered as error completions, so the worker survives.
+fn run_merged_batch(inner: &Inner, jobs: Vec<Job>, scratch: &mut WorkerScratch) {
+    let dispatched = Instant::now();
+    let configs: Vec<RunConfig> = jobs.iter().map(|j| j.key.config.clone()).collect();
+    let head = jobs[0].key.clone();
+    let built = catch_unwind(AssertUnwindSafe(|| {
+        let graph = Arc::new(head.config.load_graph());
+        let (run, parts) =
+            PipelineRun::build_merged_with_templates(&graph, &configs, &inner.templates, scratch)
+                .map_err(|e| e.to_string())?;
+        let profiler = head.gpu.profiler(&inner.cfg.opts, head.config.dataset);
+        let profile = Arc::new(run.profile(profiler.as_ref()));
+        Ok((run.peak_device_bytes, profile, parts))
+    }));
+    let outcome = match built {
+        Ok(res) => res,
+        Err(_payload) => {
+            let mut state = inner.state.lock().expect("server state poisoned");
+            state.crashed += 1;
+            state.respawns += 1;
+            Err("worker crashed during merged batch build".to_string())
+        }
+    };
+    let finished = Instant::now();
+    let service_ms = ms_between(dispatched, finished);
+    // Node-share attribution: each member's service share is its own
+    // subgraph's node fraction of the merged execution (error batches
+    // fall back to the shared wall time).
+    let shares: Vec<f64> = match &outcome {
+        Ok((_, _, parts)) => {
+            let total: usize = parts.iter().map(|p| p.nodes).sum();
+            parts
+                .iter()
+                .map(|p| service_ms * p.nodes as f64 / total.max(1) as f64)
+                .collect()
+        }
+        Err(_) => vec![service_ms; jobs.len()],
+    };
+    // Retire every member's executing slot (collecting coalescers that
+    // attached during execution) and roll the batch into the counters
+    // under one lock.
+    let late: Vec<Vec<Waiter>> = {
+        let mut state = inner.state.lock().expect("server state poisoned");
+        state.batches += 1;
+        state.batched_requests += jobs.len() as u64;
+        if let Ok((peak, _, _)) = &outcome {
+            state.peak_device_bytes = state.peak_device_bytes.max(*peak);
+        }
+        let late: Vec<Vec<Waiter>> = jobs
+            .iter()
+            .map(|job| {
+                let i = state
+                    .executing
+                    .iter()
+                    .position(|(k, _)| *k == job.key)
+                    .expect("executing entry registered at dispatch");
+                state.executing.swap_remove(i).1
+            })
+            .collect();
+        state.completed += jobs
+            .iter()
+            .zip(&late)
+            .map(|(j, l)| (j.waiters.len() + l.len()) as u64)
+            .sum::<u64>();
+        late
+    };
+    let batch = jobs.len() as u32;
+    for (i, (job, late_waiters)) in jobs.into_iter().zip(late).enumerate() {
+        let member_outcome: Result<Arc<PipelineProfile>, String> = match &outcome {
+            Ok((_, profile, _)) => Ok(Arc::clone(profile)),
+            Err(msg) => Err(msg.clone()),
+        };
+        for (n, waiter) in job.waiters.into_iter().chain(late_waiters).enumerate() {
+            let completion = Completion {
+                id: waiter.id,
+                request: job.key.clone(),
+                outcome: member_outcome.clone(),
+                cache: if n == 0 {
+                    CacheDisposition::Miss
+                } else {
+                    CacheDisposition::Coalesced
+                },
+                reject: None,
+                degraded: false,
+                retries: 0,
+                batch,
+                queue_ms: ms_between(waiter.submitted, dispatched).max(0.0),
+                service_ms: shares[i],
+                latency_ms: ms_between(waiter.submitted, finished).max(0.0),
+            };
+            let _ = waiter.tx.send(completion);
+        }
+    }
+}
+
 fn worker_loop(inner: &Inner) {
     // Per-worker reusable compile arena: steady-state builds recycle the
     // schedule allocator and liveness buckets instead of reallocating.
@@ -1062,7 +1313,7 @@ fn worker_loop(inner: &Inner) {
         // Wait for a job (or drain-and-exit on shutdown).
         let job = {
             let mut state = inner.state.lock().expect("server state poisoned");
-            loop {
+            let head = loop {
                 if let Some(job) = state.queue.pop_front() {
                     state.executing.push((job.key.clone(), Vec::new()));
                     inner.space_avail.notify_one();
@@ -1072,6 +1323,24 @@ fn worker_loop(inner: &Inner) {
                     return;
                 }
                 state = inner.work_avail.wait(state).expect("server state poisoned");
+            };
+            // Cross-request batching: a mergeable head holds a forming
+            // window open for compatible company; everything else takes
+            // the historical solo path untouched.
+            let formable = inner
+                .cfg
+                .batch
+                .filter(|p| p.max_batch >= 2)
+                .and_then(|p| merge_class(&head.key.config).map(|class| (p, class)));
+            if let Some((policy, class)) = formable {
+                let members = form_batch(inner, state, head, policy, &class);
+                if members.len() >= 2 {
+                    run_merged_batch(inner, members, &mut scratch);
+                    continue;
+                }
+                members.into_iter().next().expect("former returns the head")
+            } else {
+                head
             }
         };
         let dispatched = Instant::now();
@@ -1234,6 +1503,7 @@ fn worker_loop(inner: &Inner) {
                 reject,
                 degraded,
                 retries: retries_used,
+                batch: 1,
                 queue_ms: ms_between(waiter.submitted, dispatched).max(0.0),
                 service_ms,
                 latency_ms: ms_between(waiter.submitted, finished).max(0.0),
@@ -1281,9 +1551,10 @@ mod tests {
             "served pipeline reports its memory-schedule peak"
         );
         assert!(stats.to_line().contains("peak_device_bytes="));
-        assert!(stats
-            .to_line()
-            .ends_with("tpl_hits=0 tpl_misses=1 tpl_instantiates=0 lock_waits=0"));
+        assert!(stats.to_line().ends_with(
+            "tpl_hits=0 tpl_misses=1 tpl_instantiates=0 lock_waits=0 \
+             batches=0 batched_requests=0 batch_shed=0"
+        ));
         server.shutdown();
     }
 
@@ -1388,6 +1659,9 @@ mod tests {
             tpl_misses: 6,
             tpl_instantiates: 9,
             lock_waits: 4,
+            batches: 5,
+            batched_requests: 12,
+            batch_shed: 1,
             cache: LruStats {
                 hits: 20,
                 misses: 17,
@@ -1554,6 +1828,84 @@ mod tests {
         assert_eq!(done.retries, 2, "both retries consumed");
         assert!(done.to_line().contains("retries=2"));
         assert_eq!(server.stats().retries, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn compatible_requests_merge_into_one_batch() {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            batch: Some(BatchPolicy {
+                max_batch: 2,
+                max_queue_delay_ms: 5_000.0,
+                max_backlog: 0,
+            }),
+            ..ServeConfig::golden()
+        });
+        // Same dataset + scale + opt + framework: one full-graph merge
+        // class, two different models — merged block-diagonally.
+        let a = server
+            .submit(golden_request("model=gcn dataset=cora scale=0.05"))
+            .unwrap();
+        let b = server
+            .submit(golden_request("model=gin dataset=cora scale=0.05"))
+            .unwrap();
+        let da = a.recv().expect("first member completes");
+        let db = b.recv().expect("second member completes");
+        for d in [&da, &db] {
+            assert_eq!(d.batch, 2);
+            assert!(d.to_line().contains(" batch=2"), "{}", d.to_line());
+            assert!(d.outcome.is_ok());
+            assert_eq!(d.cache, CacheDisposition::Miss);
+            assert!(d.service_ms > 0.0, "node-share attribution is non-zero");
+            assert!(d.latency_ms >= d.service_ms);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.batches, 1, "one merged execution for both");
+        assert_eq!(stats.batched_requests, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.batch_shed, 0);
+        assert!(stats.peak_device_bytes > 0);
+        assert!(stats.to_line().contains("batches=1 batched_requests=2"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_backlog_sheds_mergeable_submissions_only() {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            batch: Some(BatchPolicy {
+                max_batch: 8,
+                max_queue_delay_ms: 400.0,
+                max_backlog: 1,
+            }),
+            ..ServeConfig::golden()
+        });
+        let rx = server
+            .submit(golden_request("model=gcn dataset=cora scale=0.05"))
+            .unwrap();
+        // Let the worker open its forming window.
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        let err = server
+            .submit(golden_request("model=gin dataset=cora scale=0.05"))
+            .unwrap_err();
+        assert_eq!(err, SubmitError::BatchBacklog);
+        assert_eq!(err.reject_reason(), Some(RejectReason::BatchBacklog));
+        // Unmergeable requests (sharded multi-GPU) bypass the former and
+        // its admission control entirely.
+        let solo = server
+            .submit(golden_request(
+                "model=gcn dataset=cora scale=0.05 shards=2 partitioner=range",
+            ))
+            .unwrap();
+        let head = rx.recv().expect("head completes");
+        assert_eq!(head.batch, 1, "a lonely window closes into the solo path");
+        assert!(!head.to_line().contains("batch="), "{}", head.to_line());
+        assert!(solo.recv().unwrap().outcome.is_ok());
+        let stats = server.stats();
+        assert_eq!(stats.batch_shed, 1);
+        assert_eq!(stats.batches, 0, "singleton dispatches are not batches");
+        assert_eq!(stats.batched_requests, 0);
         server.shutdown();
     }
 

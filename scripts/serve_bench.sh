@@ -2,8 +2,9 @@
 # Records the serving-layer trajectory numbers to BENCH_<tag>.json: the
 # deterministic sim-clock benchmark (reproducible across hosts), a
 # chaos-mode run (seeded fault injection under the resilience policy,
-# with its availability figure), plus a wall-clock measurement of the
-# live threaded server on this machine.
+# with its availability figure), a cross-request-batching run plus the
+# servebatch scenario's batched-vs-unbatched acceptance numbers, and a
+# wall-clock measurement of the live threaded server on this machine.
 #
 # Usage: scripts/serve_bench.sh [tag]
 #   tag   suffix for the output file, e.g. `pr3` -> BENCH_pr3.json
@@ -42,6 +43,10 @@ echo "== loadgen (sim clock, chaos: seeded faults + resilience policy)"
 "$BIN" loadgen --scenario serve-mix --seed 42 --requests 256 --clients 8 \
     --fault-seed 7 --fault-rate 0.25 --deadline-ms 900 --retries 2 --breaker \
     --metrics --json "$TMP/sim_chaos.json"
+echo "== loadgen (sim clock, open loop with cross-request batching)"
+"$BIN" loadgen --scenario serve-mix --seed 42 --requests 256 --rate 200 \
+    --workers 2 --queue 8 --slo-ms 250 --batch 8 --batch-delay-ms 5 \
+    --metrics --json "$TMP/sim_open_batched.json"
 echo "== loadgen (wall clock, closed loop)"
 "$BIN" loadgen --scenario serve-mix --seed 42 --requests 256 --clients 8 \
     --clock wall --json "$TMP/wall_closed.json"
@@ -81,6 +86,49 @@ EOF
 )"
 echo "== template fast path: $TEMPLATE_JSON"
 
+# Cross-request batching summary, from the servebatch registry scenario
+# (ego-net requests from distinct users: no cache hits, no coalescing —
+# the regime batching exists for). The script asserts the acceptance
+# shape: at the top offered rate, merged execution must at least DOUBLE
+# the unbatched goodput while holding p99 within the SLO the unbatched
+# path violates.
+echo "== servebatch scenario (rate x policy sweep)"
+"$BIN" run-scenario servebatch --csv "$TMP" > /dev/null
+BATCH_JSON="$(python3 - "$TMP/servebatch.csv" <<'EOF'
+import csv
+import json
+import sys
+
+rows = list(csv.DictReader(open(sys.argv[1])))
+top_rate = max(float(r["rate (rps)"]) for r in rows)
+at_top = [r for r in rows if float(r["rate (rps)"]) == top_rate]
+solo = next(r for r in at_top if r["policy"] == "unbatched")
+batched = max(
+    (r for r in at_top if r["policy"].startswith("batch<=") and "backlog" not in r["policy"]),
+    key=lambda r: float(r["goodput (rps)"]),
+)
+def slo(r):
+    return float(r["SLO"].rstrip("%")) / 100.0
+speedup = float(batched["goodput (rps)"]) / float(solo["goodput (rps)"])
+assert speedup >= 2.0, f"batched goodput speedup {speedup:.2f}x < 2x at {top_rate} rps"
+assert slo(solo) < 0.99, f"unbatched SLO {slo(solo):.1%} should break at {top_rate} rps"
+assert slo(batched) >= 0.99, f"batched SLO {slo(batched):.1%} must hold at {top_rate} rps"
+print(json.dumps({
+    "offered_rps": top_rate,
+    "unbatched_goodput_rps": float(solo["goodput (rps)"]),
+    "batched_goodput_rps": float(batched["goodput (rps)"]),
+    "goodput_speedup": round(speedup, 2),
+    "batched_policy": batched["policy"],
+    "batched_avg_size": float(batched["avg-size"]),
+    "unbatched_p99_ms": float(solo["p99 (ms)"]),
+    "batched_p99_ms": float(batched["p99 (ms)"]),
+    "unbatched_slo": round(slo(solo), 4),
+    "batched_slo": round(slo(batched), 4),
+}, indent=2))
+EOF
+)"
+echo "== cross-request batching: $BATCH_JSON"
+
 {
     echo '{'
     echo "  \"tag\": \"$TAG\","
@@ -93,9 +141,12 @@ echo "== template fast path: $TEMPLATE_JSON"
     printf '  "template": '
     sed 's/^/  /' <<<"$TEMPLATE_JSON" | sed '1s/^  //'
     echo ','
+    printf '  "batch": '
+    sed 's/^/  /' <<<"$BATCH_JSON" | sed '1s/^  //'
+    echo ','
     echo '  "results": {'
     first=1
-    for run in sim_closed sim_open sim_warm sim_chaos wall_closed; do
+    for run in sim_closed sim_open sim_warm sim_chaos sim_open_batched wall_closed; do
         [ $first -eq 1 ] || echo ','
         first=0
         printf '    "%s": ' "$run"

@@ -83,6 +83,27 @@ print(f"warm OK: full-compile frozen at {full1:.4f} ms while "
       f"{p2['compile.instantiate']:.4f} ms ({hits1} -> {hits2} template hits)")
 EOF
 
+echo "== cross-request batching: batches form, report stays thread-independent"
+"$BIN" loadgen --scenario serve-mix --seed 42 --requests 64 --rate 400 \
+    --batch 4 --batch-delay-ms 5 --threads 1 > "$TMP/b1.txt"
+"$BIN" loadgen --scenario serve-mix --seed 42 --requests 64 --rate 400 \
+    --batch 4 --batch-delay-ms 5 --threads 4 > "$TMP/b2.txt"
+cmp "$TMP/b1.txt" "$TMP/b2.txt"
+grep -q "^batch: batches=" "$TMP/b1.txt"
+# The former must actually merge something (a multi-member size bucket).
+if ! grep -E "^batch: .*sizes .*[2-9]:[1-9]" "$TMP/b1.txt" > /dev/null; then
+    echo "error: expected at least one multi-member batch" >&2
+    cat "$TMP/b1.txt" >&2
+    exit 1
+fi
+# max-batch 1 is batching OFF: byte-identical to the unbatched report.
+"$BIN" loadgen --scenario serve-mix --seed 42 --requests 64 --rate 400 > "$TMP/ub.txt"
+"$BIN" loadgen --scenario serve-mix --seed 42 --requests 64 --rate 400 \
+    --batch 1 > "$TMP/b_off.txt"
+grep -v "^batch: " "$TMP/b_off.txt" > "$TMP/b_off_stripped.txt"
+cmp "$TMP/b_off_stripped.txt" "$TMP/ub.txt"
+cat "$TMP/b1.txt"
+
 echo "== live server + TCP loadgen on an ephemeral port"
 "$BIN" serve --port 0 --threads 2 > "$TMP/serve.log" 2>&1 &
 SERVE_PID=$!

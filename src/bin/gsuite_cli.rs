@@ -19,12 +19,14 @@
 //!
 //! gsuite-cli serve   [--host H] [--port N] [--threads N] [--queue N]
 //!                    [--cache-mb N] [--fault-seed N [--fault-rate F]]
+//!                    [--batch N [--batch-delay-ms F] [--batch-backlog N]]
 //!                    [--quick|--full]
 //! gsuite-cli loadgen [--scenario NAME] [--seed N] [--requests N]
 //!                    [--clients N | --rate RPS] [--clock sim|wall]
 //!                    [--workers N] [--threads N] [--queue N] [--cache-mb N]
 //!                    [--slo-ms F] [--fault-seed N [--fault-rate F]]
 //!                    [--deadline-ms F] [--retries N] [--breaker]
+//!                    [--batch N [--batch-delay-ms F] [--batch-backlog N]]
 //!                    [--connect ADDR [--stop-server]]
 //!                    [--json FILE] [--trace FILE] [--metrics] [--full]
 //! gsuite-cli trace-export FILE [loadgen flags]   # sim clock, forced
@@ -45,6 +47,7 @@ use gsuite_core::pipeline::PipelineRun;
 use gsuite_profile::{HwProfiler, PipelineProfile, Profiler, SimProfiler, TextTable};
 use gsuite_scenarios::{registry, BenchOpts};
 use gsuite_serve::fault::{BreakerConfig, FaultPlan, RetryPolicy};
+use gsuite_serve::sim::BatchPolicy;
 use gsuite_serve::{
     loadgen_tcp, run_loadgen, run_loadgen_traced, serve_blocking, ArrivalMode, ClockMode,
     LoadReport, LoadSpec, ServeConfig,
@@ -152,16 +155,23 @@ fn print_help() {
          serving layer (gsuite-serve):\n\
            serve [--host H] [--port N] [--threads N] [--queue N]\n\
                  [--cache-mb N] [--fault-seed N [--fault-rate F]]\n\
+                 [--batch N [--batch-delay-ms F] [--batch-backlog N]]\n\
                  [--quick|--full]\n\
                                   run the benchmark service over TCP\n\
                                   (port 0 picks an ephemeral port);\n\
                                   --fault-seed injects a seeded mixed\n\
-                                  fault plan at --fault-rate (0.1)\n\
+                                  fault plan at --fault-rate (0.1);\n\
+                                  --batch merges up to N compatible\n\
+                                  queued requests into one batched Plan\n\
+                                  (window --batch-delay-ms, default 2;\n\
+                                  --batch-backlog bounds open windows,\n\
+                                  shedding mergeable submissions past it)\n\
            loadgen [--scenario NAME] [--seed N] [--requests N]\n\
                    [--clients N | --rate RPS] [--clock sim|wall]\n\
                    [--workers N] [--threads N] [--queue N] [--cache-mb N]\n\
                    [--slo-ms F] [--fault-seed N [--fault-rate F]]\n\
                    [--deadline-ms F] [--retries N] [--breaker]\n\
+                   [--batch N [--batch-delay-ms F] [--batch-backlog N]]\n\
                    [--connect ADDR [--stop-server]]\n\
                    [--json FILE] [--trace FILE] [--metrics] [--full]\n\
                                   drive a seeded workload mix and report\n\
@@ -170,11 +180,12 @@ fn print_help() {
                                   reproducible for a given seed — also\n\
                                   under --fault-seed chaos injection);\n\
                                   --deadline-ms / --retries / --breaker\n\
-                                  enable the resilience policy; --trace\n\
-                                  exports the run's span stream as a\n\
-                                  Chrome-trace JSON, --metrics appends a\n\
-                                  Prometheus-style exposition + per-phase\n\
-                                  breakdown\n\
+                                  enable the resilience policy; --batch\n\
+                                  enables cross-request batching (open\n\
+                                  loop only); --trace exports the run's\n\
+                                  span stream as a Chrome-trace JSON,\n\
+                                  --metrics appends a Prometheus-style\n\
+                                  exposition + per-phase breakdown\n\
            trace-export FILE [loadgen flags]\n\
                                   run the loadgen on the (forced) sim clock\n\
                                   and export its span stream to FILE —\n\
@@ -223,6 +234,39 @@ fn resolve_fault(seed: Option<u64>, rate: Option<f64>) -> Result<Option<FaultPla
         (None, Some(_)) => Err("--fault-rate only applies with --fault-seed N".to_string()),
         (None, None) => Ok(None),
     }
+}
+
+/// Resolves `--batch` / `--batch-delay-ms` / `--batch-backlog` into a
+/// cross-request batching policy. `--batch N` is the opt-in; the other
+/// two refine its forming window and admission bound.
+fn resolve_batch(
+    max: Option<usize>,
+    delay_ms: Option<f64>,
+    backlog: Option<usize>,
+) -> Result<Option<BatchPolicy>, String> {
+    match (max, delay_ms, backlog) {
+        (None, None, None) => Ok(None),
+        (None, ..) => {
+            Err("--batch-delay-ms / --batch-backlog only apply with --batch N".to_string())
+        }
+        (Some(max_batch), delay, backlog) => {
+            let defaults = BatchPolicy::default();
+            Ok(Some(BatchPolicy {
+                max_batch,
+                max_queue_delay_ms: delay.unwrap_or(defaults.max_queue_delay_ms),
+                max_backlog: backlog.unwrap_or(defaults.max_backlog),
+            }))
+        }
+    }
+}
+
+/// Parses `--batch-delay-ms`'s value: a non-negative window.
+fn parse_batch_delay(args: &[String], i: usize) -> Result<f64, String> {
+    let d: f64 = parse_num(take_value(args, i)?, "--batch-delay-ms", "milliseconds")?;
+    if d < 0.0 {
+        return Err("--batch-delay-ms expects a non-negative window".to_string());
+    }
+    Ok(d)
 }
 
 /// `gsuite-cli run-scenario ...`: list, filter or execute registry
@@ -503,6 +547,9 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
     };
     let mut fault_seed: Option<u64> = None;
     let mut fault_rate: Option<f64> = None;
+    let mut batch_max: Option<usize> = None;
+    let mut batch_delay: Option<f64> = None;
+    let mut batch_backlog: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -543,6 +590,22 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
                 fault_rate = Some(parse_fault_rate(args, i)?);
                 i += 2;
             }
+            "--batch" => {
+                batch_max = Some(parse_positive(args, i)?);
+                i += 2;
+            }
+            "--batch-delay-ms" => {
+                batch_delay = Some(parse_batch_delay(args, i)?);
+                i += 2;
+            }
+            "--batch-backlog" => {
+                batch_backlog = Some(parse_num(
+                    take_value(args, i)?,
+                    "--batch-backlog",
+                    "an integer",
+                )?);
+                i += 2;
+            }
             "--quick" => {
                 cfg.opts.quick = true;
                 cfg.opts.full = false;
@@ -557,12 +620,14 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
                 return Err(format!(
                     "unknown serve flag {other:?} (expected --host H | --port N | --threads N | \
                      --queue N | --cache-mb N | --fault-seed N | --fault-rate F | \
+                     --batch N | --batch-delay-ms F | --batch-backlog N | \
                      --quick | --full)"
                 ));
             }
         }
     }
     cfg.fault = resolve_fault(fault_seed, fault_rate)?;
+    cfg.batch = resolve_batch(batch_max, batch_delay, batch_backlog)?;
     println!(
         "gsuite-serve: {} workers, queue depth {}, cache {} MiB, {} scales{}",
         cfg.workers,
@@ -600,6 +665,9 @@ fn parse_loadgen_args(args: &[String]) -> Result<Option<LoadgenArgs>, String> {
     let mut metrics = false;
     let mut fault_seed: Option<u64> = None;
     let mut fault_rate: Option<f64> = None;
+    let mut batch_max: Option<usize> = None;
+    let mut batch_delay: Option<f64> = None;
+    let mut batch_backlog: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -694,6 +762,22 @@ fn parse_loadgen_args(args: &[String]) -> Result<Option<LoadgenArgs>, String> {
                 spec.resilience.breaker = Some(BreakerConfig::default());
                 i += 1;
             }
+            "--batch" => {
+                batch_max = Some(parse_positive(args, i)?);
+                i += 2;
+            }
+            "--batch-delay-ms" => {
+                batch_delay = Some(parse_batch_delay(args, i)?);
+                i += 2;
+            }
+            "--batch-backlog" => {
+                batch_backlog = Some(parse_num(
+                    take_value(args, i)?,
+                    "--batch-backlog",
+                    "an integer",
+                )?);
+                i += 2;
+            }
             "--connect" => {
                 connect = Some(take_value(args, i)?.to_string());
                 i += 2;
@@ -734,6 +818,7 @@ fn parse_loadgen_args(args: &[String]) -> Result<Option<LoadgenArgs>, String> {
                      --requests N | --clients N | --rate RPS | --clock sim|wall | --workers N | \
                      --threads N | --queue N | --cache-mb N | --slo-ms F | --fault-seed N | \
                      --fault-rate F | --deadline-ms F | --retries N | --breaker | \
+                     --batch N | --batch-delay-ms F | --batch-backlog N | \
                      --connect ADDR | --stop-server | --json FILE | --trace FILE | --metrics | \
                      --quick | --full)"
                 ));
@@ -741,6 +826,7 @@ fn parse_loadgen_args(args: &[String]) -> Result<Option<LoadgenArgs>, String> {
         }
     }
     spec.fault = resolve_fault(fault_seed, fault_rate)?;
+    spec.batch = resolve_batch(batch_max, batch_delay, batch_backlog)?;
     Ok(Some(LoadgenArgs {
         spec,
         connect,

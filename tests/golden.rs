@@ -100,6 +100,7 @@ fn golden_covers_every_registry_scenario() {
         "minibatch",
         "hetero",
         "chaos",
+        "servebatch",
     ];
     let registered: Vec<&str> = registry::all().iter().map(|s| s.name).collect();
     assert_eq!(
@@ -136,6 +137,7 @@ golden_test!(
     golden_minibatch,
     golden_hetero,
     golden_chaos,
+    golden_servebatch,
 );
 
 // Hyphenated registry names don't fit the identifier-derived macro above.
